@@ -1,0 +1,32 @@
+// Shared formatting helpers for the paper-reproduction bench binaries.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace bench {
+
+inline void Header(const char* artifact, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artifact, what);
+  std::printf("==============================================================\n");
+}
+
+inline void Note(const std::string& text) { std::printf("note: %s\n", text.c_str()); }
+
+inline std::string Bar(double fraction, int width = 40) {
+  if (fraction < 0) fraction = 0;
+  if (fraction > 1) fraction = 1;
+  int n = static_cast<int>(fraction * width + 0.5);
+  std::string out(n, '#');
+  out.append(width - n, ' ');
+  return out;
+}
+
+inline double Ms(int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace bench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,48 @@
+// Fig. 7 — Runtime breakdown of WALI across the system stack: fraction of
+// wall time spent in the Wasm app (interpreter), the kernel (raw syscalls),
+// and the WALI translation layer itself.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workloads/workloads.h"
+
+int main() {
+  bench::Header("Figure 7", "runtime breakdown: wasm-app / kernel / wali");
+  bench::Note("attribution via per-layer clocks around every WALI handler and "
+              "raw syscall (Fig. 7 in the paper)");
+
+  const char* apps[] = {"lua", "bash", "sqlite3", "paho-bench", "memcached"};
+  const int scales[] = {20, 120, 300, 1200, 400};
+
+  std::printf("\n%-12s %10s %10s %10s   breakdown (a=app k=kernel w=wali)\n", "App",
+              "wasm-app%", "kernel%", "wali%");
+  for (size_t i = 0; i < std::size(apps); ++i) {
+    const workloads::Workload* w = workloads::FindWorkload(apps[i]);
+    if (w == nullptr) continue;
+    auto stats = workloads::RunUnderWali(*w, scales[i]);
+    if (!stats.result.ok_or_exit0()) {
+      std::printf("%-12s <failed: %s>\n", apps[i], stats.result.trap_message.c_str());
+      continue;
+    }
+    double wall = static_cast<double>(stats.wall_ns);
+    double kernel = static_cast<double>(stats.kernel_ns);
+    double wali = static_cast<double>(stats.wali_ns);
+    if (kernel + wali > wall) {
+      wall = kernel + wali;  // threaded apps: layer clocks sum across threads
+    }
+    double app = wall - kernel - wali;
+    double ap = 100.0 * app / wall, kp = 100.0 * kernel / wall, wp = 100.0 * wali / wall;
+    std::string bar(50, 'a');
+    int kchars = static_cast<int>(kp / 2 + 0.5);
+    int wchars = static_cast<int>(wp / 2 + 0.5);
+    for (int c = 0; c < kchars && c < 50; ++c) bar[49 - c] = 'k';
+    for (int c = kchars; c < kchars + wchars && c < 50; ++c) bar[49 - c] = 'w';
+    std::printf("%-12s %9.1f%% %9.1f%% %9.1f%%   |%s|\n", apps[i], ap, kp, wp,
+                bar.c_str());
+  }
+  std::printf("\nshape check (paper Fig. 7): WALI itself takes ~0.1-2.4%% of wall\n"
+              "time; compute apps (lua, paho) are app-dominated; sqlite3 is\n"
+              "kernel-heavy (fsync); memcached pays the most WALI time due to\n"
+              "threading.\n");
+  return 0;
+}

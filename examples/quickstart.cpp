@@ -1,0 +1,56 @@
+// Quickstart: embed the engine, attach WALI, and run a guest program that
+// talks to the real kernel — `write(1, ...)`, `getpid()`, `uname()` — from
+// inside the Wasm sandbox.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/wali/wali.h"
+#include "src/wasm/wasm.h"
+
+static const char* kGuest = R"((module
+  (import "wali" "SYS_write" (func $write (param i64 i64 i64) (result i64)))
+  (import "wali" "SYS_getpid" (func $getpid (result i64)))
+  (import "wali" "SYS_uname" (func $uname (param i64) (result i64)))
+  (memory 2)
+  (data (i32.const 64) "hello from the WALI sandbox!\n")
+  (func (export "main") (result i32)
+    ;; 1. plain zero-copy write(1, buf, len)
+    (drop (call $write (i64.const 1) (i64.const 64) (i64.const 29)))
+    ;; 2. uname into guest memory; machine field reads "wasm32"
+    (drop (call $uname (i64.const 1024)))
+    (drop (call $write (i64.const 1) (i64.add (i64.const 1024) (i64.const 260))
+                (i64.const 6)))
+    (drop (call $write (i64.const 1) (i64.const 92) (i64.const 1)))  ;; newline
+    ;; 3. return our real pid (mod 256) as the exit status
+    (i32.and (i32.wrap_i64 (call $getpid)) (i32.const 0xff)))
+))";
+
+int main() {
+  // 1. Parse and validate the guest module.
+  auto module = wasm::ParseAndValidateWat(kGuest);
+  if (!module.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", module.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. One Linker + WaliRuntime = an engine with the `wali` namespace.
+  wasm::Linker linker;
+  wali::WaliRuntime runtime(&linker);
+
+  // 3. Create the process (argv/env are explicit) and run it.
+  auto process = runtime.CreateProcess(*module, {"quickstart"}, {"LANG=C"});
+  if (!process.ok()) {
+    std::fprintf(stderr, "instantiation error: %s\n",
+                 process.status().ToString().c_str());
+    return 1;
+  }
+  wasm::RunResult result = runtime.RunMain(**process);
+
+  std::printf("guest finished: trap=%s exit/result=%d, %llu syscalls, pid %% 256 = %u\n",
+              wasm::TrapKindName(result.trap),
+              result.trap == wasm::TrapKind::kExit ? result.exit_code : 0,
+              static_cast<unsigned long long>((*process)->trace.total_calls()),
+              result.values.empty() ? 0u : result.values[0].i32());
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Domain example 3 — the layering story (Fig. 1/Fig. 6, claim C2): a WASI
+// application runs against the WASI-over-WALI layer. The capability model
+// (preopens, path containment) lives in the layer; the engine only exposes
+// the thin kernel interface.
+//
+// Build & run:  ./build/examples/wasi_app
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/wali/wali.h"
+#include "src/wasi/wasi_layer.h"
+#include "src/wasm/wasm.h"
+
+static const char* kWasiGuest = R"((module
+  (import "wasi_snapshot_preview1" "fd_write" (func $fd_write (param i32 i32 i32 i32) (result i32)))
+  (import "wasi_snapshot_preview1" "fd_prestat_get" (func $prestat (param i32 i32) (result i32)))
+  (import "wasi_snapshot_preview1" "path_open" (func $path_open (param i32 i32 i32 i32 i32 i64 i64 i32 i32) (result i32)))
+  (import "wasi_snapshot_preview1" "fd_close" (func $fd_close (param i32) (result i32)))
+  (memory 2)
+  (data (i32.const 100) "WASI over WALI: notes.txt written\n")
+  (data (i32.const 300) "notes.txt")
+  (data (i32.const 400) "/etc/passwd")
+  (func $say (param $addr i32) (param $len i32)
+    (i32.store (i32.const 64) (local.get $addr))
+    (i32.store (i32.const 68) (local.get $len))
+    (drop (call $fd_write (i32.const 1) (i32.const 64) (i32.const 1) (i32.const 80))))
+  (func (export "main") (result i32)
+    (local $dirfd i32) (local $fd i32)
+    ;; discover the preopened sandbox dir
+    (local.set $dirfd (i32.const 3))
+    (block $found
+      (loop $probe
+        (br_if $found (i32.eqz (call $prestat (local.get $dirfd) (i32.const 8000))))
+        (local.set $dirfd (i32.add (local.get $dirfd) (i32.const 1)))
+        (br_if $probe (i32.lt_u (local.get $dirfd) (i32.const 16)))))
+    ;; create notes.txt inside the sandbox (O_CREAT|O_TRUNC, rights rw)
+    (if (i32.ne (call $path_open (local.get $dirfd) (i32.const 0) (i32.const 300)
+                      (i32.const 9) (i32.const 9)
+                      (i64.const 0x42) (i64.const 0) (i32.const 0) (i32.const 500))
+                (i32.const 0))
+      (then (return (i32.const 1))))
+    (local.set $fd (i32.load (i32.const 500)))
+    (i32.store (i32.const 64) (i32.const 100))
+    (i32.store (i32.const 68) (i32.const 34))
+    (drop (call $fd_write (local.get $fd) (i32.const 64) (i32.const 1) (i32.const 80)))
+    (drop (call $fd_close (local.get $fd)))
+    (call $say (i32.const 100) (i32.const 34))
+    ;; the capability layer must refuse an absolute path (ENOTCAPABLE=76)
+    (call $path_open (local.get $dirfd) (i32.const 0) (i32.const 400)
+          (i32.const 11) (i32.const 0)
+          (i64.const 2) (i64.const 0) (i32.const 0) (i32.const 500)))
+))";
+
+int main() {
+  std::string sandbox = "/tmp/wali_wasi_example";
+  mkdir(sandbox.c_str(), 0755);
+
+  auto module = wasm::ParseAndValidateWat(kWasiGuest);
+  if (!module.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", module.status().ToString().c_str());
+    return 1;
+  }
+  wasm::Linker linker;
+  wali::WaliRuntime wali_runtime(&linker);  // thin kernel interface (bottom)
+  wasi::WasiLayer::Options opts;
+  opts.preopens.push_back({"/sandbox", sandbox});
+  wasi::WasiLayer wasi_layer(&linker, opts);  // capability API (layered above)
+
+  auto process = wali_runtime.CreateProcess(*module, {"wasi-app"}, {});
+  if (!process.ok()) {
+    std::fprintf(stderr, "error: %s\n", process.status().ToString().c_str());
+    return 1;
+  }
+  wasm::RunResult r = wali_runtime.RunMain(**process);
+  uint32_t escape_errno = r.values.empty() ? 0 : r.values[0].i32();
+  std::printf("absolute-path open refused with WASI errno %u (76 = ENOTCAPABLE)\n",
+              escape_errno);
+  std::printf("every WASI call bottomed out in the thin interface: %llu WALI calls\n",
+              static_cast<unsigned long long>(wasi_layer.wali_calls()));
+
+  std::string created = sandbox + "/notes.txt";
+  struct stat st;
+  bool exists = stat(created.c_str(), &st) == 0;
+  std::printf("host check: %s %s (%lld bytes)\n", created.c_str(),
+              exists ? "exists" : "MISSING", exists ? (long long)st.st_size : 0);
+  unlink(created.c_str());
+  rmdir(sandbox.c_str());
+  return exists && escape_errno == 76 ? 0 : 1;
+}

@@ -1,0 +1,140 @@
+#include "src/abi/layout.h"
+
+#include <cstring>
+
+namespace wabi {
+
+namespace {
+
+// x86-64 glibc/kernel struct stat (144 bytes).
+constexpr StatLayout kX8664Stat = {
+    /*dev=*/{0, 8},       /*ino=*/{8, 8},      /*mode=*/{24, 4},
+    /*nlink=*/{16, 8},    /*uid=*/{28, 4},     /*gid=*/{32, 4},
+    /*rdev=*/{40, 8},     /*size=*/{48, 8},    /*blksize=*/{56, 8},
+    /*blocks=*/{64, 8},   /*atime_sec=*/{72, 8},  /*atime_nsec=*/{80, 8},
+    /*mtime_sec=*/{88, 8},  /*mtime_nsec=*/{96, 8},
+    /*ctime_sec=*/{104, 8}, /*ctime_nsec=*/{112, 8},
+    /*struct_size=*/144,
+};
+
+// asm-generic struct stat shared by aarch64 and riscv64 (128 bytes):
+// mode/nlink swap widths and blksize shrinks to 4 bytes relative to x86-64.
+constexpr StatLayout kGenericStat = {
+    /*dev=*/{0, 8},       /*ino=*/{8, 8},      /*mode=*/{16, 4},
+    /*nlink=*/{20, 4},    /*uid=*/{24, 4},     /*gid=*/{28, 4},
+    /*rdev=*/{32, 8},     /*size=*/{48, 8},    /*blksize=*/{56, 4},
+    /*blocks=*/{64, 8},   /*atime_sec=*/{72, 8},  /*atime_nsec=*/{80, 8},
+    /*mtime_sec=*/{88, 8},  /*mtime_nsec=*/{96, 8},
+    /*ctime_sec=*/{104, 8}, /*ctime_nsec=*/{112, 8},
+    /*struct_size=*/128,
+};
+
+uint64_t ReadField(const uint8_t* base, StatField f) {
+  uint64_t v = 0;
+  std::memcpy(&v, base + f.offset, f.size);
+  return v;
+}
+
+void WriteField(uint8_t* base, StatField f, uint64_t v) {
+  std::memcpy(base + f.offset, &v, f.size);
+}
+
+// Open-flag bit pairs that differ between the asm-generic (canonical) and
+// arm64 encodings; all other bits are identical across the three ISAs.
+struct FlagPair {
+  uint32_t generic;
+  uint32_t arm64;
+};
+constexpr FlagPair kArm64FlagPairs[] = {
+    {00040000, 00200000},  // O_DIRECT
+    {00100000, 00400000},  // O_LARGEFILE
+    {00200000, 00040000},  // O_DIRECTORY
+    {00400000, 00100000},  // O_NOFOLLOW
+};
+constexpr uint32_t kArm64Affected = 00740000;
+
+}  // namespace
+
+const StatLayout& StatLayoutFor(Isa isa) {
+  return isa == Isa::kX8664 ? kX8664Stat : kGenericStat;
+}
+
+void NativeStatToWali(const void* native, Isa isa, WaliKStat* out) {
+  const StatLayout& l = StatLayoutFor(isa);
+  const uint8_t* p = static_cast<const uint8_t*>(native);
+  out->dev = ReadField(p, l.dev);
+  out->ino = ReadField(p, l.ino);
+  out->nlink = ReadField(p, l.nlink);
+  out->mode = static_cast<uint32_t>(ReadField(p, l.mode));
+  out->uid = static_cast<uint32_t>(ReadField(p, l.uid));
+  out->gid = static_cast<uint32_t>(ReadField(p, l.gid));
+  out->pad0 = 0;
+  out->rdev = ReadField(p, l.rdev);
+  out->size = static_cast<int64_t>(ReadField(p, l.size));
+  out->blksize = static_cast<int64_t>(ReadField(p, l.blksize));
+  out->blocks = static_cast<int64_t>(ReadField(p, l.blocks));
+  out->atime_sec = static_cast<int64_t>(ReadField(p, l.atime_sec));
+  out->atime_nsec = static_cast<int64_t>(ReadField(p, l.atime_nsec));
+  out->mtime_sec = static_cast<int64_t>(ReadField(p, l.mtime_sec));
+  out->mtime_nsec = static_cast<int64_t>(ReadField(p, l.mtime_nsec));
+  out->ctime_sec = static_cast<int64_t>(ReadField(p, l.ctime_sec));
+  out->ctime_nsec = static_cast<int64_t>(ReadField(p, l.ctime_nsec));
+}
+
+void WaliStatToNative(const WaliKStat& in, Isa isa, void* native) {
+  const StatLayout& l = StatLayoutFor(isa);
+  uint8_t* p = static_cast<uint8_t*>(native);
+  std::memset(p, 0, l.struct_size);
+  WriteField(p, l.dev, in.dev);
+  WriteField(p, l.ino, in.ino);
+  WriteField(p, l.nlink, in.nlink);
+  WriteField(p, l.mode, in.mode);
+  WriteField(p, l.uid, in.uid);
+  WriteField(p, l.gid, in.gid);
+  WriteField(p, l.rdev, in.rdev);
+  WriteField(p, l.size, static_cast<uint64_t>(in.size));
+  WriteField(p, l.blksize, static_cast<uint64_t>(in.blksize));
+  WriteField(p, l.blocks, static_cast<uint64_t>(in.blocks));
+  WriteField(p, l.atime_sec, static_cast<uint64_t>(in.atime_sec));
+  WriteField(p, l.atime_nsec, static_cast<uint64_t>(in.atime_nsec));
+  WriteField(p, l.mtime_sec, static_cast<uint64_t>(in.mtime_sec));
+  WriteField(p, l.mtime_nsec, static_cast<uint64_t>(in.mtime_nsec));
+  WriteField(p, l.ctime_sec, static_cast<uint64_t>(in.ctime_sec));
+  WriteField(p, l.ctime_nsec, static_cast<uint64_t>(in.ctime_nsec));
+}
+
+uint32_t OpenFlagsToNative(uint32_t wali_flags, Isa isa) {
+  if (isa != Isa::kAarch64) {
+    return wali_flags;  // x86-64 and riscv64 match the generic encoding here
+  }
+  uint32_t out = wali_flags & ~kArm64Affected;
+  for (const FlagPair& p : kArm64FlagPairs) {
+    if ((wali_flags & p.generic) != 0) out |= p.arm64;
+  }
+  return out;
+}
+
+uint32_t OpenFlagsFromNative(uint32_t native_flags, Isa isa) {
+  if (isa != Isa::kAarch64) {
+    return native_flags;
+  }
+  uint32_t out = native_flags & ~kArm64Affected;
+  for (const FlagPair& p : kArm64FlagPairs) {
+    if ((native_flags & p.arm64) != 0) out |= p.generic;
+  }
+  return out;
+}
+
+Isa HostIsa() {
+#if defined(__x86_64__)
+  return Isa::kX8664;
+#elif defined(__aarch64__)
+  return Isa::kAarch64;
+#elif defined(__riscv)
+  return Isa::kRiscv64;
+#else
+  return Isa::kX8664;
+#endif
+}
+
+}  // namespace wabi

@@ -1,0 +1,102 @@
+// ISA-portable struct layouts and per-ISA marshalling (paper §3.5).
+//
+// WALI gives `kstat`-class syscall arguments one dedicated wire layout that
+// is identical on every ISA; the engine converts to/from the host ISA's
+// native layout at the syscall boundary. This module defines those portable
+// layouts, per-ISA native `struct stat` field descriptors (x86-64 vs the
+// asm-generic layout used by aarch64/riscv64), and open-flag translation
+// (arm64 permutes O_DIRECTORY/O_NOFOLLOW/O_DIRECT/O_LARGEFILE).
+#ifndef SRC_ABI_LAYOUT_H_
+#define SRC_ABI_LAYOUT_H_
+
+#include <cstdint>
+
+#include "src/abi/syscall_table.h"
+
+namespace wabi {
+
+// Portable stat record written into Wasm memory. Fixed layout on all ISAs;
+// all fields naturally aligned, 144 bytes total.
+struct WaliKStat {
+  uint64_t dev;
+  uint64_t ino;
+  uint64_t nlink;
+  uint32_t mode;
+  uint32_t uid;
+  uint32_t gid;
+  uint32_t pad0;
+  uint64_t rdev;
+  int64_t size;
+  int64_t blksize;
+  int64_t blocks;
+  int64_t atime_sec;
+  int64_t atime_nsec;
+  int64_t mtime_sec;
+  int64_t mtime_nsec;
+  int64_t ctime_sec;
+  int64_t ctime_nsec;
+};
+static_assert(sizeof(WaliKStat) == 120, "WaliKStat wire size is part of the ABI");
+
+// Portable timespec (WALI uses 64-bit fields on every ISA).
+struct WaliTimespec {
+  int64_t sec;
+  int64_t nsec;
+};
+
+// wasm32 iovec as emitted by a 32-bit guest libc.
+struct WaliIovec {
+  uint32_t base;  // wasm address
+  uint32_t len;
+};
+
+// Portable sigaction record (wasm32 guest view): handler is an index into
+// the module's function table.
+struct WaliKSigaction {
+  uint32_t handler;   // funcref table index, or 0/1 for SIG_DFL/SIG_IGN
+  uint32_t flags;
+  uint64_t mask;
+};
+
+// Portable sysinfo subset.
+struct WaliSysinfo {
+  int64_t uptime;
+  uint64_t totalram;
+  uint64_t freeram;
+  uint64_t procs;
+};
+
+// ---- per-ISA native struct stat descriptors ----
+
+struct StatField {
+  uint16_t offset;
+  uint8_t size;  // bytes (0 = absent)
+};
+
+struct StatLayout {
+  StatField dev, ino, mode, nlink, uid, gid, rdev, size, blksize, blocks;
+  StatField atime_sec, atime_nsec, mtime_sec, mtime_nsec, ctime_sec, ctime_nsec;
+  uint16_t struct_size;
+};
+
+const StatLayout& StatLayoutFor(Isa isa);
+
+// Converts a native `struct stat` byte image laid out per `isa` into the
+// portable record (and back). The byte-image interface lets tests exercise
+// all three ISAs on one host.
+void NativeStatToWali(const void* native, Isa isa, WaliKStat* out);
+void WaliStatToNative(const WaliKStat& in, Isa isa, void* native);
+
+// ---- open(2) flag translation ----
+
+// WALI's canonical open flags are the asm-generic values. These translate a
+// canonical flag word to/from an ISA's native encoding.
+uint32_t OpenFlagsToNative(uint32_t wali_flags, Isa isa);
+uint32_t OpenFlagsFromNative(uint32_t native_flags, Isa isa);
+
+// Host ISA of this build.
+Isa HostIsa();
+
+}  // namespace wabi
+
+#endif  // SRC_ABI_LAYOUT_H_

@@ -1,0 +1,226 @@
+#include "src/abi/syscall_table.h"
+
+#include <algorithm>
+#include <map>
+
+namespace wabi {
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kX8664: return "x86_64";
+    case Isa::kAarch64: return "aarch64";
+    case Isa::kRiscv64: return "rv64";
+  }
+  return "<bad>";
+}
+
+namespace {
+
+// S3: present on all three ISAs (x86_64 number, asm-generic number used by
+//     both aarch64 and riscv64).
+// SXA: present on x86_64 + aarch64 only (e.g. renameat, memfd_secret).
+// SX: legacy x86_64-only.
+// SR: riscv64-only.
+#define S3(name, x, g) {#name, {x, g, g}},
+#define SXA(name, x, g) {#name, {x, g, -1}},
+#define SX(name, x) {#name, {x, -1, -1}},
+#define SR(name, g) {#name, {-1, -1, g}},
+
+const std::vector<SyscallEntry>* BuildTable() {
+  auto* table = new std::vector<SyscallEntry>({
+      // --- common core (asm-generic order) ---
+      S3(io_setup, 206, 0) S3(io_destroy, 207, 1) S3(io_submit, 209, 2)
+      S3(io_cancel, 210, 3) S3(io_getevents, 208, 4)
+      S3(setxattr, 188, 5) S3(lsetxattr, 189, 6) S3(fsetxattr, 190, 7)
+      S3(getxattr, 191, 8) S3(lgetxattr, 192, 9) S3(fgetxattr, 193, 10)
+      S3(listxattr, 194, 11) S3(llistxattr, 195, 12) S3(flistxattr, 196, 13)
+      S3(removexattr, 197, 14) S3(lremovexattr, 198, 15) S3(fremovexattr, 199, 16)
+      S3(getcwd, 79, 17) S3(eventfd2, 290, 19)
+      S3(epoll_create1, 291, 20) S3(epoll_ctl, 233, 21) S3(epoll_pwait, 281, 22)
+      S3(dup, 32, 23) S3(dup3, 292, 24) S3(fcntl, 72, 25)
+      S3(inotify_init1, 294, 26) S3(inotify_add_watch, 254, 27)
+      S3(inotify_rm_watch, 255, 28) S3(ioctl, 16, 29)
+      S3(ioprio_set, 251, 30) S3(ioprio_get, 252, 31) S3(flock, 73, 32)
+      S3(mknodat, 259, 33) S3(mkdirat, 258, 34) S3(unlinkat, 263, 35)
+      S3(symlinkat, 266, 36) S3(linkat, 265, 37)
+      SXA(renameat, 264, 38)
+      S3(umount2, 166, 39) S3(mount, 165, 40) S3(pivot_root, 155, 41)
+      S3(statfs, 137, 43) S3(fstatfs, 138, 44) S3(truncate, 76, 45)
+      S3(ftruncate, 77, 46) S3(fallocate, 285, 47) S3(faccessat, 269, 48)
+      S3(chdir, 80, 49) S3(fchdir, 81, 50) S3(chroot, 161, 51)
+      S3(fchmod, 91, 52) S3(fchmodat, 268, 53) S3(fchownat, 260, 54)
+      S3(fchown, 93, 55) S3(openat, 257, 56) S3(close, 3, 57)
+      S3(vhangup, 153, 58) S3(pipe2, 293, 59) S3(quotactl, 179, 60)
+      S3(getdents64, 217, 61) S3(lseek, 8, 62) S3(read, 0, 63)
+      S3(write, 1, 64) S3(readv, 19, 65) S3(writev, 20, 66)
+      S3(pread64, 17, 67) S3(pwrite64, 18, 68) S3(preadv, 295, 69)
+      S3(pwritev, 296, 70) S3(sendfile, 40, 71) S3(pselect6, 270, 72)
+      S3(ppoll, 271, 73) S3(signalfd4, 289, 74) S3(vmsplice, 278, 75)
+      S3(splice, 275, 76) S3(tee, 276, 77) S3(readlinkat, 267, 78)
+      S3(newfstatat, 262, 79) S3(fstat, 5, 80) S3(sync, 162, 81)
+      S3(fsync, 74, 82) S3(fdatasync, 75, 83) S3(sync_file_range, 277, 84)
+      S3(timerfd_create, 283, 85) S3(timerfd_settime, 286, 86)
+      S3(timerfd_gettime, 287, 87) S3(utimensat, 280, 88) S3(acct, 163, 89)
+      S3(capget, 125, 90) S3(capset, 126, 91) S3(personality, 135, 92)
+      S3(exit, 60, 93) S3(exit_group, 231, 94) S3(waitid, 247, 95)
+      S3(set_tid_address, 218, 96) S3(unshare, 272, 97) S3(futex, 202, 98)
+      S3(set_robust_list, 273, 99) S3(get_robust_list, 274, 100)
+      S3(nanosleep, 35, 101) S3(getitimer, 36, 102) S3(setitimer, 38, 103)
+      S3(kexec_load, 246, 104) S3(init_module, 175, 105)
+      S3(delete_module, 176, 106)
+      S3(timer_create, 222, 107) S3(timer_gettime, 224, 108)
+      S3(timer_getoverrun, 225, 109) S3(timer_settime, 223, 110)
+      S3(timer_delete, 226, 111) S3(clock_settime, 227, 112)
+      S3(clock_gettime, 228, 113) S3(clock_getres, 229, 114)
+      S3(clock_nanosleep, 230, 115) S3(syslog, 103, 116) S3(ptrace, 101, 117)
+      S3(sched_setparam, 142, 118) S3(sched_setscheduler, 144, 119)
+      S3(sched_getscheduler, 145, 120) S3(sched_getparam, 143, 121)
+      S3(sched_setaffinity, 203, 122) S3(sched_getaffinity, 204, 123)
+      S3(sched_yield, 24, 124) S3(sched_get_priority_max, 146, 125)
+      S3(sched_get_priority_min, 147, 126) S3(sched_rr_get_interval, 148, 127)
+      S3(restart_syscall, 219, 128) S3(kill, 62, 129) S3(tkill, 200, 130)
+      S3(tgkill, 234, 131) S3(sigaltstack, 131, 132)
+      S3(rt_sigsuspend, 130, 133) S3(rt_sigaction, 13, 134)
+      S3(rt_sigprocmask, 14, 135) S3(rt_sigpending, 127, 136)
+      S3(rt_sigtimedwait, 128, 137) S3(rt_sigqueueinfo, 129, 138)
+      S3(rt_sigreturn, 15, 139) S3(setpriority, 141, 140)
+      S3(getpriority, 140, 141) S3(reboot, 169, 142) S3(setregid, 114, 143)
+      S3(setgid, 106, 144) S3(setreuid, 113, 145) S3(setuid, 105, 146)
+      S3(setresuid, 117, 147) S3(getresuid, 118, 148) S3(setresgid, 119, 149)
+      S3(getresgid, 120, 150) S3(setfsuid, 122, 151) S3(setfsgid, 123, 152)
+      S3(times, 100, 153) S3(setpgid, 109, 154) S3(getpgid, 121, 155)
+      S3(getsid, 124, 156) S3(setsid, 112, 157) S3(getgroups, 115, 158)
+      S3(setgroups, 116, 159) S3(uname, 63, 160) S3(sethostname, 170, 161)
+      S3(setdomainname, 171, 162) S3(getrlimit, 97, 163) S3(setrlimit, 160, 164)
+      S3(getrusage, 98, 165) S3(umask, 95, 166) S3(prctl, 157, 167)
+      S3(getcpu, 309, 168) S3(gettimeofday, 96, 169) S3(settimeofday, 164, 170)
+      S3(adjtimex, 159, 171) S3(getpid, 39, 172) S3(getppid, 110, 173)
+      S3(getuid, 102, 174) S3(geteuid, 107, 175) S3(getgid, 104, 176)
+      S3(getegid, 108, 177) S3(gettid, 186, 178) S3(sysinfo, 99, 179)
+      S3(mq_open, 240, 180) S3(mq_unlink, 241, 181) S3(mq_timedsend, 242, 182)
+      S3(mq_timedreceive, 243, 183) S3(mq_notify, 244, 184)
+      S3(mq_getsetattr, 245, 185)
+      S3(msgget, 68, 186) S3(msgctl, 71, 187) S3(msgrcv, 70, 188)
+      S3(msgsnd, 69, 189) S3(semget, 64, 190) S3(semctl, 66, 191)
+      S3(semtimedop, 220, 192) S3(semop, 65, 193) S3(shmget, 29, 194)
+      S3(shmctl, 31, 195) S3(shmat, 30, 196) S3(shmdt, 67, 197)
+      S3(socket, 41, 198) S3(socketpair, 53, 199) S3(bind, 49, 200)
+      S3(listen, 50, 201) S3(accept, 43, 202) S3(connect, 42, 203)
+      S3(getsockname, 51, 204) S3(getpeername, 52, 205) S3(sendto, 44, 206)
+      S3(recvfrom, 45, 207) S3(setsockopt, 54, 208) S3(getsockopt, 55, 209)
+      S3(shutdown, 48, 210) S3(sendmsg, 46, 211) S3(recvmsg, 47, 212)
+      S3(readahead, 187, 213) S3(brk, 12, 214) S3(munmap, 11, 215)
+      S3(mremap, 25, 216) S3(add_key, 248, 217) S3(request_key, 249, 218)
+      S3(keyctl, 250, 219) S3(clone, 56, 220) S3(execve, 59, 221)
+      S3(mmap, 9, 222) S3(fadvise64, 221, 223) S3(swapon, 167, 224)
+      S3(swapoff, 168, 225) S3(mprotect, 10, 226) S3(msync, 26, 227)
+      S3(mlock, 149, 228) S3(munlock, 150, 229) S3(mlockall, 151, 230)
+      S3(munlockall, 152, 231) S3(mincore, 27, 232) S3(madvise, 28, 233)
+      S3(remap_file_pages, 216, 234) S3(mbind, 237, 235)
+      S3(get_mempolicy, 239, 236) S3(set_mempolicy, 238, 237)
+      S3(migrate_pages, 256, 238) S3(move_pages, 279, 239)
+      S3(rt_tgsigqueueinfo, 297, 240) S3(perf_event_open, 298, 241)
+      S3(accept4, 288, 242) S3(recvmmsg, 299, 243)
+      S3(wait4, 61, 260) S3(prlimit64, 302, 261)
+      S3(fanotify_init, 300, 262) S3(fanotify_mark, 301, 263)
+      S3(name_to_handle_at, 303, 264) S3(open_by_handle_at, 304, 265)
+      S3(clock_adjtime, 305, 266) S3(syncfs, 306, 267) S3(setns, 308, 268)
+      S3(sendmmsg, 307, 269) S3(process_vm_readv, 310, 270)
+      S3(process_vm_writev, 311, 271) S3(kcmp, 312, 272)
+      S3(finit_module, 313, 273) S3(sched_setattr, 314, 274)
+      S3(sched_getattr, 315, 275) S3(renameat2, 316, 276) S3(seccomp, 317, 277)
+      S3(getrandom, 318, 278) S3(memfd_create, 319, 279) S3(bpf, 321, 280)
+      S3(execveat, 322, 281) S3(userfaultfd, 323, 282) S3(membarrier, 324, 283)
+      S3(mlock2, 325, 284) S3(copy_file_range, 326, 285) S3(preadv2, 327, 286)
+      S3(pwritev2, 328, 287) S3(pkey_mprotect, 329, 288) S3(pkey_alloc, 330, 289)
+      S3(pkey_free, 331, 290) S3(statx, 332, 291) S3(io_pgetevents, 333, 292)
+      S3(rseq, 334, 293) S3(kexec_file_load, 320, 294)
+      S3(pidfd_send_signal, 424, 424) S3(io_uring_setup, 425, 425)
+      S3(io_uring_enter, 426, 426) S3(io_uring_register, 427, 427)
+      S3(open_tree, 428, 428) S3(move_mount, 429, 429) S3(fsopen, 430, 430)
+      S3(fsconfig, 431, 431) S3(fsmount, 432, 432) S3(fspick, 433, 433)
+      S3(pidfd_open, 434, 434) S3(clone3, 435, 435) S3(close_range, 436, 436)
+      S3(openat2, 437, 437) S3(pidfd_getfd, 438, 438) S3(faccessat2, 439, 439)
+      S3(process_madvise, 440, 440) S3(epoll_pwait2, 441, 441)
+      S3(mount_setattr, 442, 442)
+      S3(landlock_create_ruleset, 444, 444) S3(landlock_add_rule, 445, 445)
+      S3(landlock_restrict_self, 446, 446)
+      SXA(memfd_secret, 447, 447)
+      S3(process_mrelease, 448, 448) S3(futex_waitv, 449, 449)
+      // --- legacy x86_64-only ---
+      SX(open, 2) SX(stat, 4) SX(lstat, 6) SX(poll, 7) SX(access, 21)
+      SX(pipe, 22) SX(select, 23) SX(dup2, 33) SX(pause, 34) SX(alarm, 37)
+      SX(fork, 57) SX(vfork, 58) SX(getdents, 78) SX(rename, 82) SX(mkdir, 83)
+      SX(rmdir, 84) SX(creat, 85) SX(link, 86) SX(unlink, 87) SX(symlink, 88)
+      SX(readlink, 89) SX(chmod, 90) SX(chown, 92) SX(lchown, 94)
+      SX(getpgrp, 111) SX(utime, 132) SX(mknod, 133) SX(uselib, 134)
+      SX(ustat, 136) SX(sysfs, 139) SX(modify_ldt, 154) SX(_sysctl, 156)
+      SX(arch_prctl, 158) SX(iopl, 172) SX(ioperm, 173) SX(time, 201)
+      SX(epoll_create, 213) SX(epoll_wait, 232) SX(utimes, 235)
+      SX(inotify_init, 253) SX(futimesat, 261) SX(signalfd, 282)
+      SX(eventfd, 284)
+      // --- riscv64-only ---
+      SR(riscv_flush_icache, 259)
+  });
+#undef S3
+#undef SXA
+#undef SX
+#undef SR
+  std::sort(table->begin(), table->end(),
+            [](const SyscallEntry& a, const SyscallEntry& b) {
+              return std::string_view(a.name) < std::string_view(b.name);
+            });
+  return table;
+}
+
+}  // namespace
+
+const std::vector<SyscallEntry>& SyscallTable() {
+  static const std::vector<SyscallEntry>* kTable = BuildTable();
+  return *kTable;
+}
+
+const SyscallEntry* FindSyscall(std::string_view name) {
+  const auto& table = SyscallTable();
+  auto it = std::lower_bound(table.begin(), table.end(), name,
+                             [](const SyscallEntry& e, std::string_view n) {
+                               return std::string_view(e.name) < n;
+                             });
+  if (it != table.end() && std::string_view(it->name) == name) {
+    return &*it;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> SyscallNames(Isa isa) {
+  std::vector<std::string> names;
+  for (const SyscallEntry& e : SyscallTable()) {
+    if (e.PresentOn(isa)) {
+      names.push_back(e.name);
+    }
+  }
+  return names;
+}
+
+IsaSimilarity ComputeIsaSimilarity() {
+  IsaSimilarity out = {};
+  for (const SyscallEntry& e : SyscallTable()) {
+    int present = 0;
+    for (int i = 0; i < kNumIsas; ++i) {
+      if (e.number[i] >= 0) {
+        ++out.total[i];
+        ++present;
+      }
+    }
+    if (present == kNumIsas) {
+      ++out.common_all;
+    } else if (present == 1) {
+      for (int i = 0; i < kNumIsas; ++i) {
+        if (e.number[i] >= 0) ++out.arch_specific[i];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wabi

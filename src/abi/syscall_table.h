@@ -1,0 +1,54 @@
+// Per-ISA Linux syscall tables (paper §2, Fig. 3; §3.5 name-bound syscalls).
+//
+// The table is curated from the upstream Linux syscall tables: x86-64 keeps
+// its historical numbering including legacy calls (open, stat, fork, ...);
+// aarch64 and riscv64 use the asm-generic table, which drops most legacy
+// calls in favor of the *at variants. Numbers for the non-host ISAs are the
+// asm-generic values; entries whose number we do not need carry -1 (presence
+// is what Fig. 3 measures). On the host ISA the actual passthrough uses
+// <sys/syscall.h> constants, not this table.
+#ifndef SRC_ABI_SYSCALL_TABLE_H_
+#define SRC_ABI_SYSCALL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wabi {
+
+enum class Isa : uint8_t { kX8664 = 0, kAarch64 = 1, kRiscv64 = 2 };
+
+inline constexpr int kNumIsas = 3;
+
+const char* IsaName(Isa isa);
+
+struct SyscallEntry {
+  const char* name;
+  // Syscall number per ISA; -1 = not present on that ISA.
+  int number[kNumIsas];
+
+  bool PresentOn(Isa isa) const { return number[static_cast<int>(isa)] >= 0; }
+};
+
+// Full curated table (sorted by name).
+const std::vector<SyscallEntry>& SyscallTable();
+
+// Name lookup; returns nullptr when unknown.
+const SyscallEntry* FindSyscall(std::string_view name);
+
+// All names present on `isa`.
+std::vector<std::string> SyscallNames(Isa isa);
+
+struct IsaSimilarity {
+  int total[kNumIsas];        // syscalls present per ISA
+  int common_all;             // present on all three ISAs
+  int arch_specific[kNumIsas];  // present on exactly this ISA
+};
+
+// Computes the Fig. 3 statistics.
+IsaSimilarity ComputeIsaSimilarity();
+
+}  // namespace wabi
+
+#endif  // SRC_ABI_SYSCALL_TABLE_H_

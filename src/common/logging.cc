@@ -1,0 +1,83 @@
+#include "src/common/logging.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace common {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized
+
+int InitLevelFromEnv() {
+  const char* env = std::getenv("WALI_LOG");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogLevel::kError);
+  }
+  int v = std::atoi(env);
+  if (v < 0) v = 0;
+  if (v > 3) v = 3;
+  return v;
+}
+
+int CurrentLevel() {
+  int lvl = g_level.load(std::memory_order_relaxed);
+  if (lvl < 0) {
+    lvl = InitLevelFromEnv();
+    g_level.store(lvl, std::memory_order_relaxed);
+  }
+  return lvl;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(CurrentLevel()); }
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) <= CurrentLevel();
+}
+
+void LogLine(LogLevel level, const std::string& line) {
+  if (!LogEnabled(level)) {
+    return;
+  }
+  std::string out;
+  out.reserve(line.size() + 8);
+  out += '[';
+  out += LevelTag(level);
+  out += "] ";
+  out += line;
+  out += '\n';
+  // Single write keeps concurrent log lines from interleaving.
+  ssize_t ignored = write(STDERR_FILENO, out.data(), out.size());
+  (void)ignored;
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << (base != nullptr ? base + 1 : file) << ':' << line << ' ';
+}
+
+LogMessage::~LogMessage() { LogLine(level_, stream_.str()); }
+
+}  // namespace internal
+
+}  // namespace common

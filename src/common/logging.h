@@ -1,0 +1,39 @@
+// Leveled stderr logging. Level selected via WALI_LOG env var (0=off .. 3=debug)
+// or SetLogLevel(). Thread-safe (single write(2) per line).
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace common {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+bool LogEnabled(LogLevel level);
+void LogLine(LogLevel level, const std::string& line);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define LOG_ERROR() ::common::internal::LogMessage(::common::LogLevel::kError, __FILE__, __LINE__).stream()
+#define LOG_INFO() ::common::internal::LogMessage(::common::LogLevel::kInfo, __FILE__, __LINE__).stream()
+#define LOG_DEBUG() ::common::internal::LogMessage(::common::LogLevel::kDebug, __FILE__, __LINE__).stream()
+
+}  // namespace common
+
+#endif  // SRC_COMMON_LOGGING_H_

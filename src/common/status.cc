@@ -1,0 +1,46 @@
+#include "src/common/status.h"
+
+namespace common {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status OkStatus() { return Status(); }
+Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+Status OutOfRange(std::string m) { return {StatusCode::kOutOfRange, std::move(m)}; }
+Status Unimplemented(std::string m) { return {StatusCode::kUnimplemented, std::move(m)}; }
+Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
+Status PermissionDenied(std::string m) { return {StatusCode::kPermissionDenied, std::move(m)}; }
+Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+
+}  // namespace common

@@ -1,0 +1,120 @@
+// Lightweight status / status-or types used across the repository.
+//
+// Library code in this repo does not throw: fallible operations return Status
+// or StatusOr<T>. Engine traps are modeled separately (wasm::Trap) because
+// they carry Wasm-specific semantics; Status is for host-side failures.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace common {
+
+enum class StatusCode : int32_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+  kPermissionDenied,
+  kFailedPrecondition,
+  kUnavailable,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status OkStatus();
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status OutOfRange(std::string message);
+Status Unimplemented(std::string message);
+Status Internal(std::string message);
+Status ResourceExhausted(std::string message);
+Status PermissionDenied(std::string message);
+Status FailedPrecondition(std::string message);
+Status Unavailable(std::string message);
+
+// Minimal StatusOr: either an ok value or a non-ok Status.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define RETURN_IF_ERROR(expr)                \
+  do {                                       \
+    ::common::Status _st = (expr);           \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+#define ASSIGN_OR_RETURN(lhs, expr)          \
+  ASSIGN_OR_RETURN_IMPL_(                    \
+      COMMON_CONCAT_(_status_or_, __LINE__), lhs, expr)
+
+#define ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                           \
+  if (!var.ok()) return var.status();          \
+  lhs = std::move(var).value()
+
+#define COMMON_CONCAT_INNER_(a, b) a##b
+#define COMMON_CONCAT_(a, b) COMMON_CONCAT_INNER_(a, b)
+
+}  // namespace common
+
+#endif  // SRC_COMMON_STATUS_H_

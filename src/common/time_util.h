@@ -1,0 +1,40 @@
+// Monotonic / CPU-time helpers used by the benchmark harnesses and WALI's
+// per-layer time attribution (Fig. 7).
+#ifndef SRC_COMMON_TIME_UTIL_H_
+#define SRC_COMMON_TIME_UTIL_H_
+
+#include <time.h>
+
+#include <cstdint>
+
+namespace common {
+
+inline int64_t MonotonicNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC_RAW, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+inline int64_t ThreadCpuNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+// Accumulates nanoseconds across Start/Stop pairs; used to attribute time to
+// the app / WALI / kernel layers.
+class StopwatchNs {
+ public:
+  void Start() { start_ = MonotonicNanos(); }
+  void Stop() { total_ += MonotonicNanos() - start_; }
+  int64_t total() const { return total_; }
+  void Reset() { total_ = 0; }
+
+ private:
+  int64_t start_ = 0;
+  int64_t total_ = 0;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_TIME_UTIL_H_

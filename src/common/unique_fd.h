@@ -1,0 +1,47 @@
+// RAII wrapper for POSIX file descriptors.
+#ifndef SRC_COMMON_UNIQUE_FD_H_
+#define SRC_COMMON_UNIQUE_FD_H_
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace common {
+
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset(other.Release());
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  int Release() { return std::exchange(fd_, -1); }
+
+  void Reset(int fd = -1) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_UNIQUE_FD_H_

@@ -1,0 +1,375 @@
+#include "src/rtos/kernel.h"
+
+#include <chrono>
+
+#include "src/common/time_util.h"
+
+namespace rtos {
+
+namespace {
+
+std::cv_status WaitOn(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                      int64_t timeout_ms) {
+  if (timeout_ms < 0) {
+    cv.wait(lock);
+    return std::cv_status::no_timeout;
+  }
+  return cv.wait_for(lock, std::chrono::milliseconds(timeout_ms));
+}
+
+}  // namespace
+
+// ---- Semaphore ----
+
+int64_t Semaphore::Take(int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (count_ > 0) {
+    --count_;
+    return kOk;
+  }
+  if (timeout_ms == kNoWait) {
+    return kEbusy;
+  }
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  while (count_ == 0) {
+    if (timeout_ms < 0) {
+      cv_.wait(lock);
+    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+               count_ == 0) {
+      return kEagain;
+    }
+  }
+  --count_;
+  return kOk;
+}
+
+void Semaphore::Give() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ < limit_) {
+      ++count_;
+    }
+  }
+  cv_.notify_one();
+}
+
+uint32_t Semaphore::Count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+// ---- Mutex ----
+
+int64_t Mutex::Lock(int64_t timeout_ms) {
+  if (timeout_ms < 0) {
+    mu_.lock();
+  } else if (timeout_ms == 0) {
+    if (!mu_.try_lock()) {
+      return kEbusy;
+    }
+  } else if (!mu_.try_lock_for(std::chrono::milliseconds(timeout_ms))) {
+    return kEagain;
+  }
+  owner_.store(std::this_thread::get_id(), std::memory_order_release);
+  return kOk;
+}
+
+int64_t Mutex::Unlock() {
+  if (owner_.load(std::memory_order_acquire) != std::this_thread::get_id()) {
+    return kEinval;  // Zephyr: only the owner may unlock
+  }
+  owner_.store(std::thread::id(), std::memory_order_release);
+  mu_.unlock();
+  return kOk;
+}
+
+// ---- MsgQueue ----
+
+int64_t MsgQueue::Put(const void* msg, int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (queue_.size() >= max_msgs_) {
+    if (timeout_ms == kNoWait) {
+      return kEagain;
+    }
+    if (WaitOn(not_full_, lock, timeout_ms) == std::cv_status::timeout &&
+        queue_.size() >= max_msgs_) {
+      return kEagain;
+    }
+  }
+  const uint8_t* bytes = static_cast<const uint8_t*>(msg);
+  queue_.emplace_back(bytes, bytes + msg_size_);
+  not_empty_.notify_one();
+  return kOk;
+}
+
+int64_t MsgQueue::Get(void* msg, int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (queue_.empty()) {
+    if (timeout_ms == kNoWait) {
+      return kEagain;
+    }
+    if (WaitOn(not_empty_, lock, timeout_ms) == std::cv_status::timeout &&
+        queue_.empty()) {
+      return kEagain;
+    }
+  }
+  std::vector<uint8_t> front = std::move(queue_.front());
+  queue_.pop_front();
+  std::copy(front.begin(), front.end(), static_cast<uint8_t*>(msg));
+  not_full_.notify_one();
+  return kOk;
+}
+
+uint32_t MsgQueue::NumUsed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(queue_.size());
+}
+
+// ---- devices ----
+
+void UartDevice::PollOut(uint8_t byte) {
+  std::lock_guard<std::mutex> lock(mu_);
+  output_.push_back(static_cast<char>(byte));
+}
+
+int64_t UartDevice::PollIn(uint8_t* byte) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (input_.empty()) {
+    return kEagain;
+  }
+  *byte = input_.front();
+  input_.pop_front();
+  return kOk;
+}
+
+std::string UartDevice::TakeOutput() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = std::move(output_);
+  output_.clear();
+  return out;
+}
+
+void UartDevice::FeedInput(const std::string& bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  input_.insert(input_.end(), bytes.begin(), bytes.end());
+}
+
+int64_t GpioDevice::Configure(uint32_t pin, uint32_t flags) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pin >= pins_.size()) {
+    return kEinval;
+  }
+  configured_[pin] = flags;
+  return kOk;
+}
+
+int64_t GpioDevice::Set(uint32_t pin, uint32_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pin >= pins_.size()) {
+    return kEinval;
+  }
+  uint8_t v = value != 0 ? 1 : 0;
+  if (pins_[pin] != v) {
+    ++toggles_[pin];
+  }
+  pins_[pin] = v;
+  return kOk;
+}
+
+int64_t GpioDevice::Get(uint32_t pin) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pin >= pins_.size()) {
+    return kEinval;
+  }
+  return pins_[pin];
+}
+
+uint64_t GpioDevice::toggle_count(uint32_t pin) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = toggles_.find(pin);
+  return it == toggles_.end() ? 0 : it->second;
+}
+
+int64_t SensorDevice::SampleFetch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sample_seq_;
+  // Channel 0: sawtooth 20000..29999 milli-degrees; channel 1: ramp.
+  latest_[0] = 20000 + static_cast<int64_t>((sample_seq_ * 137) % 10000);
+  latest_[1] = static_cast<int64_t>(sample_seq_ * 10);
+  return kOk;
+}
+
+int64_t SensorDevice::ChannelGet(uint32_t channel) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = latest_.find(channel);
+  return it == latest_.end() ? kEinval : it->second;
+}
+
+// ---- Kernel ----
+
+Kernel::Kernel() : boot_ns_(common::MonotonicNanos()) {
+  RegisterDevice(std::make_shared<UartDevice>("uart0"));
+  RegisterDevice(std::make_shared<GpioDevice>("gpio0"));
+  RegisterDevice(std::make_shared<SensorDevice>("temp0"));
+}
+
+Kernel::~Kernel() {
+  std::map<int64_t, std::unique_ptr<ThreadSlot>> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(threads_);
+  }
+  for (auto& [handle, slot] : threads) {
+    if (slot->native.joinable()) {
+      slot->native.join();
+    }
+  }
+}
+
+int64_t Kernel::UptimeMs() {
+  return (common::MonotonicNanos() - boot_ns_) / 1000000;
+}
+
+void Kernel::SleepMs(int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+void Kernel::Yield() { std::this_thread::yield(); }
+
+int64_t Kernel::SemCreate(uint32_t initial, uint32_t limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t h = next_handle_++;
+  sems_[h] = std::make_unique<Semaphore>(initial, limit);
+  return h;
+}
+
+Semaphore* Kernel::Sem(int64_t handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sems_.find(handle);
+  return it == sems_.end() ? nullptr : it->second.get();
+}
+
+int64_t Kernel::MutexCreate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t h = next_handle_++;
+  mutexes_[h] = std::make_unique<Mutex>();
+  return h;
+}
+
+Mutex* Kernel::Mut(int64_t handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = mutexes_.find(handle);
+  return it == mutexes_.end() ? nullptr : it->second.get();
+}
+
+int64_t Kernel::MsgqCreate(uint32_t msg_size, uint32_t max_msgs) {
+  if (msg_size == 0 || msg_size > 4096 || max_msgs == 0) {
+    return kEinval;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t h = next_handle_++;
+  msgqs_[h] = std::make_unique<MsgQueue>(msg_size, max_msgs);
+  return h;
+}
+
+MsgQueue* Kernel::Msgq(int64_t handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = msgqs_.find(handle);
+  return it == msgqs_.end() ? nullptr : it->second.get();
+}
+
+int64_t Kernel::ThreadCreate(std::function<void()> entry, int priority,
+                             const std::string& name) {
+  auto slot = std::make_unique<ThreadSlot>();
+  slot->priority = priority;
+  slot->name = name;
+  slot->native = std::thread(std::move(entry));
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t h = next_handle_++;
+  threads_[h] = std::move(slot);
+  return h;
+}
+
+int64_t Kernel::ThreadJoin(int64_t handle, int64_t timeout_ms) {
+  std::unique_ptr<ThreadSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = threads_.find(handle);
+    if (it == threads_.end()) {
+      return kEinval;
+    }
+    slot = std::move(it->second);
+    threads_.erase(it);
+  }
+  if (slot->native.joinable()) {
+    slot->native.join();  // timeout advisory: host join is uninterruptible
+  }
+  return kOk;
+}
+
+int Kernel::thread_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void Kernel::RegisterDevice(std::shared_ptr<Device> device) {
+  std::lock_guard<std::mutex> lock(mu_);
+  devices_.push_back(std::move(device));
+}
+
+int64_t Kernel::DeviceGetBinding(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i]->name() == name) {
+      return static_cast<int64_t>(i) + 1;  // 0 reserved
+    }
+  }
+  return kEnodev;
+}
+
+Device* Kernel::DeviceByHandle(int64_t handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (handle < 1 || static_cast<size_t>(handle) > devices_.size()) {
+    return nullptr;
+  }
+  return devices_[static_cast<size_t>(handle) - 1].get();
+}
+
+UartDevice* Kernel::Console() {
+  return static_cast<UartDevice*>(DeviceByHandle(DeviceGetBinding("uart0")));
+}
+
+const std::vector<KSyscallDesc>& SyscallEncoding() {
+  static const std::vector<KSyscallDesc>* kTable = new std::vector<KSyscallDesc>({
+      {"k_uptime_get", 0, "time"},
+      {"k_sleep", 1, "time"},
+      {"k_usleep", 1, "time"},
+      {"k_yield", 0, "time"},
+      {"k_sem_create", 2, "sync"},
+      {"k_sem_take", 2, "sync"},
+      {"k_sem_give", 1, "sync"},
+      {"k_sem_count_get", 1, "sync"},
+      {"k_mutex_create", 0, "sync"},
+      {"k_mutex_lock", 2, "sync"},
+      {"k_mutex_unlock", 1, "sync"},
+      {"k_msgq_create", 2, "ipc"},
+      {"k_msgq_put", 3, "ipc"},
+      {"k_msgq_get", 3, "ipc"},
+      {"k_msgq_num_used_get", 1, "ipc"},
+      {"k_thread_create", 3, "thread"},
+      {"k_thread_join", 2, "thread"},
+      {"device_get_binding", 1, "device"},
+      {"uart_poll_out", 2, "device"},
+      {"uart_poll_in", 2, "device"},
+      {"gpio_pin_configure", 3, "device"},
+      {"gpio_pin_set", 3, "device"},
+      {"gpio_pin_get", 2, "device"},
+      {"sensor_sample_fetch", 1, "device"},
+      {"sensor_channel_get", 2, "device"},
+      {"k_oops", 0, "fault"},
+  });
+  return *kTable;
+}
+
+}  // namespace rtos

@@ -1,0 +1,222 @@
+// Zephyr-class RTOS simulator (S5 in DESIGN.md).
+//
+// The paper's WAZI (§5.1) targets Zephyr, whose syscall interface is already
+// ISA-portable and whose build emits a compile-time encoding of every
+// syscall that the paper uses to auto-generate the WAMR bindings. We have no
+// Zephyr hardware here, so this module provides the same *shape*: a small
+// kernel with k_-style services (threads, semaphores, mutexes, message
+// queues, timers, uptime/sleep), a device table (UART / GPIO / sensor), and
+// — crucially — a self-describing syscall encoding table (SyscallEncoding())
+// from which WAZI auto-generates its host bindings, mirroring the recipe.
+#ifndef SRC_RTOS_KERNEL_H_
+#define SRC_RTOS_KERNEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rtos {
+
+// Zephyr-style return codes.
+inline constexpr int64_t kOk = 0;
+inline constexpr int64_t kEagain = -11;
+inline constexpr int64_t kEinval = -22;
+inline constexpr int64_t kEnomem = -12;
+inline constexpr int64_t kEnodev = -19;
+inline constexpr int64_t kEbusy = -16;
+
+// K_FOREVER / K_NO_WAIT timeout sentinels (milliseconds otherwise).
+inline constexpr int64_t kForever = -1;
+inline constexpr int64_t kNoWait = 0;
+
+class Kernel;
+
+// ---- kernel objects (opaque handles across the WAZI boundary) ----
+
+class Semaphore {
+ public:
+  Semaphore(uint32_t initial, uint32_t limit) : count_(initial), limit_(limit) {}
+  int64_t Take(int64_t timeout_ms);
+  void Give();
+  uint32_t Count();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint32_t count_;
+  uint32_t limit_;
+};
+
+class Mutex {
+ public:
+  int64_t Lock(int64_t timeout_ms);
+  int64_t Unlock();
+
+ private:
+  std::timed_mutex mu_;
+  std::atomic<std::thread::id> owner_{};
+};
+
+class MsgQueue {
+ public:
+  MsgQueue(uint32_t msg_size, uint32_t max_msgs)
+      : msg_size_(msg_size), max_msgs_(max_msgs) {}
+  int64_t Put(const void* msg, int64_t timeout_ms);
+  int64_t Get(void* msg, int64_t timeout_ms);
+  uint32_t NumUsed();
+  uint32_t msg_size() const { return msg_size_; }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  uint32_t msg_size_;
+  uint32_t max_msgs_;
+  std::deque<std::vector<uint8_t>> queue_;
+};
+
+// ---- devices ----
+
+enum class DeviceKind : uint8_t { kUart = 0, kGpio = 1, kSensor = 2 };
+
+class Device {
+ public:
+  Device(std::string name, DeviceKind kind) : name_(std::move(name)), kind_(kind) {}
+  virtual ~Device() = default;
+  const std::string& name() const { return name_; }
+  DeviceKind kind() const { return kind_; }
+
+ private:
+  std::string name_;
+  DeviceKind kind_;
+};
+
+// Console UART: bytes written become the kernel's console transcript;
+// a test-fed input queue backs uart_poll_in.
+class UartDevice : public Device {
+ public:
+  explicit UartDevice(std::string name) : Device(std::move(name), DeviceKind::kUart) {}
+  void PollOut(uint8_t byte);
+  int64_t PollIn(uint8_t* byte);  // kOk or kEagain (empty)
+  std::string TakeOutput();
+  void FeedInput(const std::string& bytes);
+
+ private:
+  std::mutex mu_;
+  std::string output_;
+  std::deque<uint8_t> input_;
+};
+
+class GpioDevice : public Device {
+ public:
+  explicit GpioDevice(std::string name, int num_pins = 32)
+      : Device(std::move(name), DeviceKind::kGpio), pins_(num_pins, 0),
+        configured_(num_pins, 0) {}
+  int64_t Configure(uint32_t pin, uint32_t flags);
+  int64_t Set(uint32_t pin, uint32_t value);
+  int64_t Get(uint32_t pin);
+  uint64_t toggle_count(uint32_t pin);
+
+ private:
+  std::mutex mu_;
+  std::vector<uint8_t> pins_;
+  std::vector<uint32_t> configured_;
+  std::map<uint32_t, uint64_t> toggles_;
+};
+
+// Synthetic sensor: deterministic sawtooth per channel (a temperature-style
+// trace), standing in for the paper's physical sensor boards.
+class SensorDevice : public Device {
+ public:
+  explicit SensorDevice(std::string name)
+      : Device(std::move(name), DeviceKind::kSensor) {}
+  int64_t SampleFetch();
+  // Returns a fixed-point milli-unit reading for `channel`.
+  int64_t ChannelGet(uint32_t channel);
+
+ private:
+  std::mutex mu_;
+  uint64_t sample_seq_ = 0;
+  std::map<uint32_t, int64_t> latest_;
+};
+
+// ---- the kernel ----
+
+class Kernel {
+ public:
+  Kernel();
+  ~Kernel();
+
+  // Time. Virtual uptime advances in real time but is offset-based so tests
+  // stay deterministic enough.
+  int64_t UptimeMs();
+  void SleepMs(int64_t ms);
+  void Yield();
+
+  // Object creation returns small handles (Zephyr passes object pointers;
+  // handles keep the WAZI boundary ISA-portable and validated).
+  int64_t SemCreate(uint32_t initial, uint32_t limit);
+  Semaphore* Sem(int64_t handle);
+  int64_t MutexCreate();
+  Mutex* Mut(int64_t handle);
+  int64_t MsgqCreate(uint32_t msg_size, uint32_t max_msgs);
+  MsgQueue* Msgq(int64_t handle);
+
+  // Threads: entry runs on a native thread (the simulator's "scheduler" is
+  // the host's, with priorities recorded but advisory).
+  int64_t ThreadCreate(std::function<void()> entry, int priority,
+                       const std::string& name);
+  int64_t ThreadJoin(int64_t handle, int64_t timeout_ms);
+  int thread_count();
+
+  // Devices.
+  void RegisterDevice(std::shared_ptr<Device> device);
+  int64_t DeviceGetBinding(const std::string& name);  // handle or kEnodev
+  Device* DeviceByHandle(int64_t handle);
+  UartDevice* Console();  // the default "uart0"
+
+  // Fault counter (WAZI traps feed this; Zephyr would k_oops).
+  void RecordFault() { faults_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t faults() const { return faults_.load(std::memory_order_relaxed); }
+
+ private:
+  std::mutex mu_;
+  int64_t boot_ns_;
+  int64_t next_handle_ = 1;
+  std::map<int64_t, std::unique_ptr<Semaphore>> sems_;
+  std::map<int64_t, std::unique_ptr<Mutex>> mutexes_;
+  std::map<int64_t, std::unique_ptr<MsgQueue>> msgqs_;
+  struct ThreadSlot {
+    std::thread native;
+    int priority;
+    std::string name;
+  };
+  std::map<int64_t, std::unique_ptr<ThreadSlot>> threads_;
+  std::vector<std::shared_ptr<Device>> devices_;
+  std::atomic<uint64_t> faults_{0};
+};
+
+// ---- compile-time syscall encoding (the auto-generation source) ----
+
+struct KSyscallDesc {
+  const char* name;   // e.g. "k_sem_take"
+  int nargs;
+  const char* group;  // "time", "sync", "thread", "device", ...
+};
+
+// The full encoded syscall surface of this kernel, analogous to Zephyr's
+// generated syscall list; WAZI auto-generates its bindings from this table
+// (paper §5: ">85% of the implementation auto-generated").
+const std::vector<KSyscallDesc>& SyscallEncoding();
+
+}  // namespace rtos
+
+#endif  // SRC_RTOS_KERNEL_H_

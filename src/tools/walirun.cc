@@ -1,0 +1,159 @@
+// walirun — run a WALI program the way the paper's artifact runs .wasm files
+// like ELF binaries (binfmt-style):
+//
+//   walirun [options] <program.wat|program.wasm> [args...]
+//
+// Options:
+//   -e KEY=VALUE     add an environment variable (repeatable; §3.4: env is
+//                    explicit, never inherited)
+//   --scheme S       safepoint scheme: loop (default) | function | all | none
+//   --compile OUT    encode the module to binary .wasm at OUT and exit
+//   --trace          print the syscall profile after the run (WALI_VERBOSE-
+//                    style diagnostics; set WALI_LOG=3 for per-call logging)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/wali/wali.h"
+#include "src/wasm/wasm.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: walirun [-e K=V]... [--scheme loop|function|all|none]\n"
+               "               [--compile out.wasm] [--trace] <prog.wat|prog.wasm> "
+               "[args...]\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool LooksLikeBinary(const std::string& bytes) {
+  return bytes.size() >= 4 && bytes[0] == '\0' && bytes[1] == 'a' && bytes[2] == 's' &&
+         bytes[3] == 'm';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> env;
+  std::string compile_out;
+  bool trace = false;
+  wasm::SafepointScheme scheme = wasm::SafepointScheme::kLoop;
+
+  int i = 1;
+  for (; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-e" && i + 1 < argc) {
+      env.push_back(argv[++i]);
+    } else if (arg == "--scheme" && i + 1 < argc) {
+      std::string s = argv[++i];
+      if (s == "loop") scheme = wasm::SafepointScheme::kLoop;
+      else if (s == "function") scheme = wasm::SafepointScheme::kFunction;
+      else if (s == "all") scheme = wasm::SafepointScheme::kEveryInstr;
+      else if (s == "none") scheme = wasm::SafepointScheme::kNone;
+      else return Usage();
+    } else if (arg == "--compile" && i + 1 < argc) {
+      compile_out = argv[++i];
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage();
+    } else {
+      break;
+    }
+  }
+  if (i >= argc) {
+    return Usage();
+  }
+
+  std::string path = argv[i];
+  std::string bytes;
+  if (!ReadFile(path, &bytes)) {
+    std::fprintf(stderr, "walirun: cannot read %s\n", path.c_str());
+    return 1;
+  }
+
+  common::StatusOr<std::shared_ptr<wasm::Module>> parsed =
+      LooksLikeBinary(bytes)
+          ? wasm::DecodeModule(reinterpret_cast<const uint8_t*>(bytes.data()),
+                               bytes.size())
+          : wasm::ParseWat(bytes);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "walirun: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  common::Status validated = wasm::Validate(**parsed);
+  if (!validated.ok()) {
+    std::fprintf(stderr, "walirun: %s\n", validated.ToString().c_str());
+    return 1;
+  }
+
+  if (!compile_out.empty()) {
+    std::vector<uint8_t> encoded = wasm::EncodeModule(**parsed);
+    std::ofstream out(compile_out, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(encoded.data()),
+              static_cast<std::streamsize>(encoded.size()));
+    std::fprintf(stderr, "walirun: wrote %zu bytes to %s\n", encoded.size(),
+                 compile_out.c_str());
+    return 0;
+  }
+
+  std::vector<std::string> guest_argv;
+  guest_argv.push_back(path);
+  for (int k = i + 1; k < argc; ++k) {
+    guest_argv.push_back(argv[k]);
+  }
+
+  wasm::Linker linker;
+  wali::WaliRuntime::Options opts;
+  opts.scheme = scheme;
+  wali::WaliRuntime runtime(&linker, opts);
+  auto proc = runtime.CreateProcess(*parsed, guest_argv, env);
+  if (!proc.ok()) {
+    std::fprintf(stderr, "walirun: %s\n", proc.status().ToString().c_str());
+    return 1;
+  }
+  wasm::RunResult r = runtime.RunMain(**proc);
+
+  if (trace) {
+    std::fprintf(stderr, "--- syscall profile ---\n");
+    const auto& defs = runtime.syscalls();
+    for (size_t id = 0; id < defs.size(); ++id) {
+      uint64_t n = (*proc)->trace.count(static_cast<uint32_t>(id));
+      if (n > 0) {
+        std::fprintf(stderr, "%10llu  %s\n", static_cast<unsigned long long>(n),
+                     defs[id].name);
+      }
+    }
+    std::fprintf(stderr, "wali time: %.3f ms, kernel time: %.3f ms\n",
+                 (*proc)->trace.wali_nanos() / 1e6,
+                 (*proc)->trace.kernel_nanos() / 1e6);
+  }
+
+  if (r.trap == wasm::TrapKind::kExit) {
+    return r.exit_code;
+  }
+  if (!r.ok()) {
+    std::fprintf(stderr, "walirun: trap: %s %s\n", wasm::TrapKindName(r.trap),
+                 r.trap_message.c_str());
+    return 134;  // mimic abort
+  }
+  if (!r.values.empty()) {
+    return static_cast<int>(r.values[0].i32());
+  }
+  return 0;
+}

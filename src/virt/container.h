@@ -1,0 +1,72 @@
+// Container runtime simulator: the "Docker" comparator of Fig. 8 (§4.3).
+//
+// Docker's startup cost is dominated by assembling the container's view of
+// the world: pulling layer metadata, materializing the merged rootfs,
+// creating namespaces/cgroups, and starting the init process. This simulator
+// performs the same *kind* of work for real — it stages N image layers of
+// real files on disk, assembles a merged rootfs (link-or-copy, like an
+// overlay snapshot), and writes namespace/cgroup bookkeeping records — then
+// runs the workload natively (containers execute directly on the CPU).
+// Result: the characteristic large startup intercept with a near-native
+// execution slope. Base memory models the daemon-side layer cache the paper
+// measures (~30 MB): allocated and touched for real.
+#ifndef SRC_VIRT_CONTAINER_H_
+#define SRC_VIRT_CONTAINER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace virt {
+
+struct ImageSpec {
+  std::string name = "app";
+  int num_layers = 6;          // typical small image
+  int files_per_layer = 40;
+  int bytes_per_file = 4096;
+  uint64_t daemon_cache_bytes = 30ull << 20;  // paper: ~30 MB base overhead
+};
+
+class ContainerRuntime {
+ public:
+  explicit ContainerRuntime(std::string state_dir);
+  ~ContainerRuntime();
+
+  // Builds (once) the layer store for `image` — this models `docker pull`
+  // and is excluded from startup measurements, like the paper's.
+  common::Status PrepareImage(const ImageSpec& image);
+
+  struct Container {
+    std::string rootfs;      // merged view
+    int64_t startup_ns = 0;  // namespace+rootfs assembly time
+    uint64_t rootfs_bytes = 0;
+  };
+
+  // "docker run": assembles the merged rootfs + namespaces and returns the
+  // started container. Startup work is real file-system work.
+  common::StatusOr<Container> Start(const ImageSpec& image);
+
+  // Runs the workload natively inside the "container" (containers execute
+  // on the CPU directly; isolation is namespace bookkeeping, not dynamic
+  // translation). Returns workload wall time in ns.
+  int64_t Run(const Container& container, const std::function<void()>& workload);
+
+  common::Status Stop(const Container& container);
+
+  // Daemon-side base memory (layer cache), allocated+touched on first use.
+  uint64_t daemon_bytes() const { return daemon_cache_.size(); }
+
+ private:
+  std::string LayerDir(const ImageSpec& image, int layer) const;
+
+  std::string state_dir_;
+  std::vector<uint8_t> daemon_cache_;
+  int next_container_id_ = 0;
+};
+
+}  // namespace virt
+
+#endif  // SRC_VIRT_CONTAINER_H_

@@ -1,0 +1,663 @@
+#include "src/virt/minirv.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+namespace virt {
+
+namespace {
+
+const std::map<std::string, RvOp>& Mnemonics() {
+  static const auto* kMap = new std::map<std::string, RvOp>({
+      {"add", RvOp::kAdd}, {"sub", RvOp::kSub}, {"mul", RvOp::kMul},
+      {"div", RvOp::kDiv}, {"rem", RvOp::kRem}, {"and", RvOp::kAnd},
+      {"or", RvOp::kOr}, {"xor", RvOp::kXor}, {"sll", RvOp::kSll},
+      {"srl", RvOp::kSrl}, {"sra", RvOp::kSra}, {"slt", RvOp::kSlt},
+      {"sltu", RvOp::kSltu},
+      {"addi", RvOp::kAddi}, {"andi", RvOp::kAndi}, {"ori", RvOp::kOri},
+      {"xori", RvOp::kXori}, {"slli", RvOp::kSlli}, {"srli", RvOp::kSrli},
+      {"srai", RvOp::kSrai}, {"slti", RvOp::kSlti}, {"lui", RvOp::kLui},
+      {"ld", RvOp::kLd}, {"lw", RvOp::kLw}, {"lwu", RvOp::kLwu},
+      {"lb", RvOp::kLb}, {"lbu", RvOp::kLbu},
+      {"sd", RvOp::kSd}, {"sw", RvOp::kSw}, {"sb", RvOp::kSb},
+      {"beq", RvOp::kBeq}, {"bne", RvOp::kBne}, {"blt", RvOp::kBlt},
+      {"bge", RvOp::kBge}, {"bltu", RvOp::kBltu}, {"bgeu", RvOp::kBgeu},
+      {"jal", RvOp::kJal}, {"jalr", RvOp::kJalr},
+      {"ecall", RvOp::kEcall}, {"ebreak", RvOp::kEbreak},
+  });
+  return *kMap;
+}
+
+void EncodeInstr(const RvInstr& in, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(in.op));
+  out->push_back(in.rd);
+  out->push_back(in.rs1);
+  out->push_back(in.rs2);
+  uint32_t imm = static_cast<uint32_t>(in.imm);
+  out->push_back(imm & 0xFF);
+  out->push_back((imm >> 8) & 0xFF);
+  out->push_back((imm >> 16) & 0xFF);
+  out->push_back((imm >> 24) & 0xFF);
+}
+
+bool DecodeInstr(const uint8_t* bytes, RvInstr* out) {
+  uint8_t op = bytes[0];
+  if (op > static_cast<uint8_t>(RvOp::kEbreak)) {
+    return false;
+  }
+  out->op = static_cast<RvOp>(op);
+  out->rd = bytes[1];
+  out->rs1 = bytes[2];
+  out->rs2 = bytes[3];
+  uint32_t imm = static_cast<uint32_t>(bytes[4]) | (static_cast<uint32_t>(bytes[5]) << 8) |
+                 (static_cast<uint32_t>(bytes[6]) << 16) |
+                 (static_cast<uint32_t>(bytes[7]) << 24);
+  out->imm = static_cast<int32_t>(imm);
+  return out->rd < 32 && out->rs1 < 32 && out->rs2 < 32;
+}
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : line) {
+    if (c == ';' || c == '#') break;  // comment
+    if (c == ' ' || c == '\t' || c == ',') {
+      if (!cur.empty()) {
+        tokens.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) tokens.push_back(cur);
+  return tokens;
+}
+
+bool ParseImm(const std::string& token, const std::map<std::string, uint64_t>& symbols,
+              int64_t* out) {
+  auto it = symbols.find(token);
+  if (it != symbols.end()) {
+    *out = static_cast<int64_t>(it->second);
+    return true;
+  }
+  char* end = nullptr;
+  long long v = strtoll(token.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0' || end == token.c_str()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+// Parses "imm(reg)" memory operands.
+bool ParseMemOperand(const std::string& token, int* reg, int32_t* offset) {
+  auto open = token.find('(');
+  auto close = token.find(')');
+  if (open == std::string::npos || close == std::string::npos || close < open) {
+    return false;
+  }
+  std::string off = token.substr(0, open);
+  std::string reg_name = token.substr(open + 1, close - open - 1);
+  *reg = RvRegisterNumber(reg_name);
+  if (*reg < 0) return false;
+  if (off.empty()) {
+    *offset = 0;
+    return true;
+  }
+  char* end = nullptr;
+  long v = strtol(off.c_str(), &end, 0);
+  if (*end != '\0') return false;
+  *offset = static_cast<int32_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int RvRegisterNumber(const std::string& name) {
+  static const std::map<std::string, int>* kAbi = new std::map<std::string, int>({
+      {"zero", 0}, {"ra", 1}, {"sp", 2}, {"gp", 3}, {"tp", 4},
+      {"t0", 5}, {"t1", 6}, {"t2", 7}, {"s0", 8}, {"fp", 8}, {"s1", 9},
+      {"a0", 10}, {"a1", 11}, {"a2", 12}, {"a3", 13}, {"a4", 14}, {"a5", 15},
+      {"a6", 16}, {"a7", 17},
+      {"s2", 18}, {"s3", 19}, {"s4", 20}, {"s5", 21}, {"s6", 22}, {"s7", 23},
+      {"s8", 24}, {"s9", 25}, {"s10", 26}, {"s11", 27},
+      {"t3", 28}, {"t4", 29}, {"t5", 30}, {"t6", 31},
+  });
+  auto it = kAbi->find(name);
+  if (it != kAbi->end()) {
+    return it->second;
+  }
+  if (name.size() >= 2 && name[0] == 'x') {
+    char* end = nullptr;
+    long v = strtol(name.c_str() + 1, &end, 10);
+    if (*end == '\0' && v >= 0 && v < 32) {
+      return static_cast<int>(v);
+    }
+  }
+  return -1;
+}
+
+common::StatusOr<RvProgram> AssembleRv(const std::string& source) {
+  RvProgram program;
+  // Pass 1: compute label addresses.
+  struct Line {
+    std::vector<std::string> tokens;
+    int lineno;
+    bool in_data;
+  };
+  std::vector<Line> lines;
+  {
+    std::istringstream stream(source);
+    std::string raw;
+    int lineno = 0;
+    bool in_data = false;
+    uint64_t text_cursor = kRvTextBase;
+    uint64_t data_cursor = kRvDataBase;
+    while (std::getline(stream, raw)) {
+      ++lineno;
+      std::vector<std::string> tokens = Tokenize(raw);
+      if (tokens.empty()) continue;
+      // Labels (possibly followed by an instruction on the same line).
+      while (!tokens.empty() && tokens[0].back() == ':') {
+        std::string label = tokens[0].substr(0, tokens[0].size() - 1);
+        program.symbols[label] = in_data ? data_cursor : text_cursor;
+        tokens.erase(tokens.begin());
+      }
+      if (tokens.empty()) continue;
+      // String literals collapse in Tokenize; re-extract for .asciiz.
+      if (tokens[0] == ".asciiz") {
+        auto q1 = raw.find('"');
+        auto q2 = raw.rfind('"');
+        if (q1 == std::string::npos || q2 <= q1) {
+          return common::InvalidArgument("minirv:" + std::to_string(lineno) +
+                                         ": bad .asciiz");
+        }
+        tokens = {".asciiz", raw.substr(q1 + 1, q2 - q1 - 1)};
+      }
+      if (tokens[0] == ".data") {
+        in_data = true;
+        continue;
+      }
+      if (tokens[0] == ".text") {
+        in_data = false;
+        continue;
+      }
+      if (tokens[0] == ".word") {
+        data_cursor += 8;
+      } else if (tokens[0] == ".space") {
+        int64_t n = 0;
+        ParseImm(tokens[1], {}, &n);
+        data_cursor += static_cast<uint64_t>(n);
+      } else if (tokens[0] == ".asciiz") {
+        data_cursor += tokens[1].size() + 1;
+      } else if (!in_data) {
+        // "li" expands to lui+addi? We use addi with 32-bit imm: 1 instr.
+        text_cursor += kRvInstrBytes;
+      }
+      lines.push_back({tokens, lineno, in_data});
+    }
+  }
+
+  // Pass 2: emit.
+  uint64_t text_cursor = kRvTextBase;
+  for (const Line& line : lines) {
+    const auto& t = line.tokens;
+    auto err = [&](const std::string& msg) {
+      return common::InvalidArgument("minirv:" + std::to_string(line.lineno) + ": " + msg);
+    };
+    if (t[0] == ".word") {
+      int64_t v = 0;
+      if (!ParseImm(t[1], program.symbols, &v)) return err("bad .word");
+      uint64_t u = static_cast<uint64_t>(v);
+      for (int i = 0; i < 8; ++i) program.data.push_back((u >> (8 * i)) & 0xFF);
+      continue;
+    }
+    if (t[0] == ".space") {
+      int64_t n = 0;
+      if (!ParseImm(t[1], {}, &n)) return err("bad .space");
+      program.data.insert(program.data.end(), static_cast<size_t>(n), 0);
+      continue;
+    }
+    if (t[0] == ".asciiz") {
+      program.data.insert(program.data.end(), t[1].begin(), t[1].end());
+      program.data.push_back(0);
+      continue;
+    }
+    if (line.in_data) {
+      return err("instruction in .data section");
+    }
+
+    std::string mnem = t[0];
+    RvInstr in = {};
+    // Operand-count guard (exact formats are validated per-op below).
+    auto need = [&](size_t n) { return t.size() >= n + 1; };
+    if ((mnem == "li" || mnem == "mv") && !need(2)) return err("missing operands");
+    if ((mnem == "j" || mnem == "call") && !need(1)) return err("missing operand");
+    // Pseudo-instructions.
+    if (mnem == "li") {  // li rd, imm -> addi rd, x0, imm
+      in.op = RvOp::kAddi;
+      int rd = RvRegisterNumber(t[1]);
+      int64_t imm;
+      if (rd < 0 || !ParseImm(t[2], program.symbols, &imm)) return err("bad li");
+      in.rd = static_cast<uint8_t>(rd);
+      in.rs1 = 0;
+      in.imm = static_cast<int32_t>(imm);
+    } else if (mnem == "mv") {  // mv rd, rs -> addi rd, rs, 0
+      in.op = RvOp::kAddi;
+      int rd = RvRegisterNumber(t[1]), rs = RvRegisterNumber(t[2]);
+      if (rd < 0 || rs < 0) return err("bad mv");
+      in.rd = static_cast<uint8_t>(rd);
+      in.rs1 = static_cast<uint8_t>(rs);
+    } else if (mnem == "j") {  // j label -> jal x0, label
+      in.op = RvOp::kJal;
+      int64_t target;
+      if (!ParseImm(t[1], program.symbols, &target)) return err("bad j target");
+      in.rd = 0;
+      in.imm = static_cast<int32_t>(target - static_cast<int64_t>(text_cursor));
+    } else if (mnem == "ret") {  // jalr x0, 0(ra)
+      in.op = RvOp::kJalr;
+      in.rd = 0;
+      in.rs1 = 1;
+    } else if (mnem == "call") {  // jal ra, label
+      in.op = RvOp::kJal;
+      int64_t target;
+      if (!ParseImm(t[1], program.symbols, &target)) return err("bad call target");
+      in.rd = 1;
+      in.imm = static_cast<int32_t>(target - static_cast<int64_t>(text_cursor));
+    } else {
+      auto it = Mnemonics().find(mnem);
+      if (it == Mnemonics().end()) return err("unknown mnemonic '" + mnem + "'");
+      in.op = it->second;
+      // Per-format operand counts.
+      switch (in.op) {
+        case RvOp::kEcall: case RvOp::kEbreak: break;
+        case RvOp::kLui: case RvOp::kJal:
+          if (!need(2)) return err("missing operands");
+          break;
+        case RvOp::kLd: case RvOp::kLw: case RvOp::kLwu: case RvOp::kLb:
+        case RvOp::kLbu: case RvOp::kSd: case RvOp::kSw: case RvOp::kSb:
+        case RvOp::kJalr:
+          if (!need(2)) return err("missing operands");
+          break;
+        default:
+          if (!need(3)) return err("missing operands");
+          break;
+      }
+      switch (in.op) {
+        case RvOp::kAdd: case RvOp::kSub: case RvOp::kMul: case RvOp::kDiv:
+        case RvOp::kRem: case RvOp::kAnd: case RvOp::kOr: case RvOp::kXor:
+        case RvOp::kSll: case RvOp::kSrl: case RvOp::kSra: case RvOp::kSlt:
+        case RvOp::kSltu: {
+          int rd = RvRegisterNumber(t[1]), rs1 = RvRegisterNumber(t[2]),
+              rs2 = RvRegisterNumber(t[3]);
+          if (rd < 0 || rs1 < 0 || rs2 < 0) return err("bad R-type operands");
+          in.rd = rd; in.rs1 = rs1; in.rs2 = rs2;
+          break;
+        }
+        case RvOp::kAddi: case RvOp::kAndi: case RvOp::kOri: case RvOp::kXori:
+        case RvOp::kSlli: case RvOp::kSrli: case RvOp::kSrai: case RvOp::kSlti: {
+          int rd = RvRegisterNumber(t[1]), rs1 = RvRegisterNumber(t[2]);
+          int64_t imm;
+          if (rd < 0 || rs1 < 0 || !ParseImm(t[3], program.symbols, &imm)) {
+            return err("bad I-type operands");
+          }
+          in.rd = rd; in.rs1 = rs1; in.imm = static_cast<int32_t>(imm);
+          break;
+        }
+        case RvOp::kLui: {
+          int rd = RvRegisterNumber(t[1]);
+          int64_t imm;
+          if (rd < 0 || !ParseImm(t[2], program.symbols, &imm)) return err("bad lui");
+          in.rd = rd; in.imm = static_cast<int32_t>(imm);
+          break;
+        }
+        case RvOp::kLd: case RvOp::kLw: case RvOp::kLwu: case RvOp::kLb:
+        case RvOp::kLbu: {
+          int rd = RvRegisterNumber(t[1]);
+          int rs1;
+          int32_t off;
+          if (rd < 0 || !ParseMemOperand(t[2], &rs1, &off)) return err("bad load");
+          in.rd = rd; in.rs1 = rs1; in.imm = off;
+          break;
+        }
+        case RvOp::kSd: case RvOp::kSw: case RvOp::kSb: {
+          int rs2 = RvRegisterNumber(t[1]);
+          int rs1;
+          int32_t off;
+          if (rs2 < 0 || !ParseMemOperand(t[2], &rs1, &off)) return err("bad store");
+          in.rs2 = rs2; in.rs1 = rs1; in.imm = off;
+          break;
+        }
+        case RvOp::kBeq: case RvOp::kBne: case RvOp::kBlt: case RvOp::kBge:
+        case RvOp::kBltu: case RvOp::kBgeu: {
+          int rs1 = RvRegisterNumber(t[1]), rs2 = RvRegisterNumber(t[2]);
+          int64_t target;
+          if (rs1 < 0 || rs2 < 0 || !ParseImm(t[3], program.symbols, &target)) {
+            return err("bad branch");
+          }
+          in.rs1 = rs1; in.rs2 = rs2;
+          in.imm = static_cast<int32_t>(target - static_cast<int64_t>(text_cursor));
+          break;
+        }
+        case RvOp::kJal: {
+          int rd = RvRegisterNumber(t[1]);
+          int64_t target;
+          if (rd < 0 || !ParseImm(t[2], program.symbols, &target)) return err("bad jal");
+          in.rd = rd;
+          in.imm = static_cast<int32_t>(target - static_cast<int64_t>(text_cursor));
+          break;
+        }
+        case RvOp::kJalr: {
+          int rd = RvRegisterNumber(t[1]);
+          int rs1;
+          int32_t off;
+          if (rd < 0 || !ParseMemOperand(t[2], &rs1, &off)) return err("bad jalr");
+          in.rd = rd; in.rs1 = rs1; in.imm = off;
+          break;
+        }
+        case RvOp::kEcall:
+        case RvOp::kEbreak:
+          break;
+      }
+    }
+    EncodeInstr(in, &program.text);
+    text_cursor += kRvInstrBytes;
+  }
+  return program;
+}
+
+MiniRvMachine::MiniRvMachine(const Options& options) : options_(options) {
+  regs_[2] = kRvStackTop;  // sp
+}
+
+uint8_t* MiniRvMachine::TranslatePage(uint64_t addr, bool write) {
+  uint64_t page = addr / kRvPageSize;
+  auto it = pages_.find(page);
+  if (it != pages_.end()) {
+    return it->second.get();
+  }
+  if (committed_pages_ >= options_.ram_pages) {
+    return nullptr;  // guest OOM
+  }
+  auto fresh = std::make_unique<uint8_t[]>(kRvPageSize);
+  std::memset(fresh.get(), 0, kRvPageSize);
+  uint8_t* raw = fresh.get();
+  pages_[page] = std::move(fresh);
+  ++committed_pages_;
+  return raw;
+}
+
+bool MiniRvMachine::ReadMem(uint64_t addr, void* out, uint64_t len) {
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  while (len > 0) {
+    uint8_t* page = TranslatePage(addr, false);
+    if (page == nullptr) return false;
+    uint64_t in_page = addr % kRvPageSize;
+    uint64_t chunk = std::min(len, kRvPageSize - in_page);
+    std::memcpy(dst, page + in_page, chunk);
+    addr += chunk;
+    dst += chunk;
+    len -= chunk;
+  }
+  return true;
+}
+
+bool MiniRvMachine::WriteMem(uint64_t addr, const void* in, uint64_t len) {
+  const uint8_t* src = static_cast<const uint8_t*>(in);
+  while (len > 0) {
+    uint8_t* page = TranslatePage(addr, true);
+    if (page == nullptr) return false;
+    uint64_t in_page = addr % kRvPageSize;
+    uint64_t chunk = std::min(len, kRvPageSize - in_page);
+    std::memcpy(page + in_page, src, chunk);
+    addr += chunk;
+    src += chunk;
+    len -= chunk;
+  }
+  return true;
+}
+
+common::Status MiniRvMachine::Load(const RvProgram& program) {
+  if (!WriteMem(kRvTextBase, program.text.data(), program.text.size()) ||
+      !WriteMem(kRvDataBase, program.data.data(), program.data.size())) {
+    return common::ResourceExhausted("guest RAM too small for program");
+  }
+  pc_ = kRvTextBase;
+  return common::OkStatus();
+}
+
+uint64_t MiniRvMachine::footprint_bytes() const {
+  return committed_pages_ * kRvPageSize + pages_.size() * 48 /* node overhead */;
+}
+
+int64_t MiniRvMachine::HandleEcall() {
+  if (!options_.allow_syscalls) {
+    return -38;  // ENOSYS
+  }
+  uint64_t nr = regs_[17];  // a7
+  uint64_t a0 = regs_[10], a1 = regs_[11], a2 = regs_[12], a3 = regs_[13];
+  switch (nr) {
+    case 64: {  // write(fd, buf, len): emulator-style bounce buffer
+      if (a2 > (1 << 20)) return -22;
+      std::vector<uint8_t> buf(a2);
+      if (!ReadMem(a1, buf.data(), a2)) return -14;
+      if (a0 == 1 || a0 == 2) {
+        console_.append(reinterpret_cast<char*>(buf.data()), a2);
+        return static_cast<int64_t>(a2);
+      }
+      ssize_t n = ::write(static_cast<int>(a0), buf.data(), a2);
+      return n >= 0 ? n : -errno;
+    }
+    case 63: {  // read(fd, buf, len)
+      if (a2 > (1 << 20)) return -22;
+      std::vector<uint8_t> buf(a2);
+      ssize_t n = ::read(static_cast<int>(a0), buf.data(), a2);
+      if (n < 0) return -errno;
+      if (!WriteMem(a1, buf.data(), static_cast<uint64_t>(n))) return -14;
+      return n;
+    }
+    case 56: {  // openat(dirfd, path, flags, mode)
+      char path[512];
+      uint64_t i = 0;
+      for (; i < sizeof(path) - 1; ++i) {
+        if (!ReadMem(a1 + i, &path[i], 1)) return -14;
+        if (path[i] == '\0') break;
+      }
+      path[i] = '\0';
+      int fd = ::openat(static_cast<int>(static_cast<int64_t>(a0)), path,
+                        static_cast<int>(a2), static_cast<mode_t>(a3));
+      return fd >= 0 ? fd : -errno;
+    }
+    case 57: {  // close
+      return ::close(static_cast<int>(a0)) == 0 ? 0 : -errno;
+    }
+    case 62: {  // lseek
+      off_t r = ::lseek(static_cast<int>(a0), static_cast<off_t>(a1),
+                        static_cast<int>(a2));
+      return r >= 0 ? r : -errno;
+    }
+    case 67: {  // pread64(fd, buf, len, off)
+      if (a2 > (1 << 20)) return -22;
+      std::vector<uint8_t> buf(a2);
+      ssize_t n = ::pread(static_cast<int>(a0), buf.data(), a2, static_cast<off_t>(a3));
+      if (n < 0) return -errno;
+      if (!WriteMem(a1, buf.data(), static_cast<uint64_t>(n))) return -14;
+      return n;
+    }
+    case 68: {  // pwrite64(fd, buf, len, off)
+      if (a2 > (1 << 20)) return -22;
+      std::vector<uint8_t> buf(a2);
+      if (!ReadMem(a1, buf.data(), a2)) return -14;
+      ssize_t n = ::pwrite(static_cast<int>(a0), buf.data(), a2, static_cast<off_t>(a3));
+      return n >= 0 ? n : -errno;
+    }
+    case 82: {  // fsync
+      return ::fsync(static_cast<int>(a0)) == 0 ? 0 : -errno;
+    }
+    case 35: {  // unlinkat(dirfd, path, flags)
+      char path[512];
+      uint64_t i = 0;
+      for (; i < sizeof(path) - 1; ++i) {
+        if (!ReadMem(a1 + i, &path[i], 1)) return -14;
+        if (path[i] == '\0') break;
+      }
+      path[i] = '\0';
+      return ::unlinkat(static_cast<int>(static_cast<int64_t>(a0)), path,
+                        static_cast<int>(a2)) == 0
+                 ? 0
+                 : -errno;
+    }
+    case 93:  // exit
+      halted_ = true;
+      exit_code_ = static_cast<int64_t>(a0);
+      return 0;
+    case 113: {  // clock_gettime -> monotonic ns into (sec,nsec)
+      timespec ts;
+      clock_gettime(CLOCK_MONOTONIC, &ts);
+      int64_t fields[2] = {ts.tv_sec, ts.tv_nsec};
+      if (!WriteMem(a1, fields, sizeof(fields))) return -14;
+      return 0;
+    }
+    case 124:  // sched_yield
+      return 0;
+    default:
+      return -38;  // ENOSYS
+  }
+}
+
+MiniRvMachine::RunResult MiniRvMachine::Run() {
+  RunResult result;
+  uint8_t raw[kRvInstrBytes];
+  while (!halted_) {
+    if (options_.max_instrs != 0 && result.executed >= options_.max_instrs) {
+      result.error = "instruction budget exhausted";
+      return result;
+    }
+    // Fetch + decode from guest memory every instruction (no translation
+    // cache): the defining cost of pure emulation.
+    if (!ReadMem(pc_, raw, kRvInstrBytes)) {
+      result.error = "fetch fault";
+      return result;
+    }
+    RvInstr in;
+    if (!DecodeInstr(raw, &in)) {
+      result.error = "illegal instruction";
+      return result;
+    }
+    ++result.executed;
+    uint64_t next_pc = pc_ + kRvInstrBytes;
+    uint64_t rs1 = regs_[in.rs1];
+    uint64_t rs2 = regs_[in.rs2];
+    uint64_t imm = static_cast<uint64_t>(static_cast<int64_t>(in.imm));
+
+    switch (in.op) {
+      case RvOp::kAdd: set_reg(in.rd, rs1 + rs2); break;
+      case RvOp::kSub: set_reg(in.rd, rs1 - rs2); break;
+      case RvOp::kMul: set_reg(in.rd, rs1 * rs2); break;
+      case RvOp::kDiv:
+        set_reg(in.rd, rs2 == 0 ? ~0ull
+                                : static_cast<uint64_t>(static_cast<int64_t>(rs1) /
+                                                        static_cast<int64_t>(rs2)));
+        break;
+      case RvOp::kRem:
+        set_reg(in.rd, rs2 == 0 ? rs1
+                                : static_cast<uint64_t>(static_cast<int64_t>(rs1) %
+                                                        static_cast<int64_t>(rs2)));
+        break;
+      case RvOp::kAnd: set_reg(in.rd, rs1 & rs2); break;
+      case RvOp::kOr: set_reg(in.rd, rs1 | rs2); break;
+      case RvOp::kXor: set_reg(in.rd, rs1 ^ rs2); break;
+      case RvOp::kSll: set_reg(in.rd, rs1 << (rs2 & 63)); break;
+      case RvOp::kSrl: set_reg(in.rd, rs1 >> (rs2 & 63)); break;
+      case RvOp::kSra:
+        set_reg(in.rd, static_cast<uint64_t>(static_cast<int64_t>(rs1) >> (rs2 & 63)));
+        break;
+      case RvOp::kSlt:
+        set_reg(in.rd, static_cast<int64_t>(rs1) < static_cast<int64_t>(rs2) ? 1 : 0);
+        break;
+      case RvOp::kSltu: set_reg(in.rd, rs1 < rs2 ? 1 : 0); break;
+      case RvOp::kAddi: set_reg(in.rd, rs1 + imm); break;
+      case RvOp::kAndi: set_reg(in.rd, rs1 & imm); break;
+      case RvOp::kOri: set_reg(in.rd, rs1 | imm); break;
+      case RvOp::kXori: set_reg(in.rd, rs1 ^ imm); break;
+      case RvOp::kSlli: set_reg(in.rd, rs1 << (imm & 63)); break;
+      case RvOp::kSrli: set_reg(in.rd, rs1 >> (imm & 63)); break;
+      case RvOp::kSrai:
+        set_reg(in.rd, static_cast<uint64_t>(static_cast<int64_t>(rs1) >> (imm & 63)));
+        break;
+      case RvOp::kSlti:
+        set_reg(in.rd,
+                static_cast<int64_t>(rs1) < static_cast<int64_t>(imm) ? 1 : 0);
+        break;
+      case RvOp::kLui: set_reg(in.rd, imm << 12); break;
+
+#define RV_LOAD(ctype, extend)                                        \
+  {                                                                   \
+    ctype v;                                                          \
+    if (!ReadMem(rs1 + imm, &v, sizeof(v))) {                         \
+      result.error = "load fault";                                    \
+      return result;                                                  \
+    }                                                                 \
+    set_reg(in.rd, static_cast<uint64_t>(extend(v)));                 \
+    break;                                                            \
+  }
+#define RV_STORE(ctype)                                               \
+  {                                                                   \
+    ctype v = static_cast<ctype>(rs2);                                \
+    if (!WriteMem(rs1 + imm, &v, sizeof(v))) {                        \
+      result.error = "store fault";                                   \
+      return result;                                                  \
+    }                                                                 \
+    break;                                                            \
+  }
+      case RvOp::kLd: RV_LOAD(uint64_t, static_cast<uint64_t>)
+      case RvOp::kLw: RV_LOAD(int32_t, static_cast<int64_t>)
+      case RvOp::kLwu: RV_LOAD(uint32_t, static_cast<uint64_t>)
+      case RvOp::kLb: RV_LOAD(int8_t, static_cast<int64_t>)
+      case RvOp::kLbu: RV_LOAD(uint8_t, static_cast<uint64_t>)
+      case RvOp::kSd: RV_STORE(uint64_t)
+      case RvOp::kSw: RV_STORE(uint32_t)
+      case RvOp::kSb: RV_STORE(uint8_t)
+#undef RV_LOAD
+#undef RV_STORE
+
+      case RvOp::kBeq: if (rs1 == rs2) next_pc = pc_ + imm; break;
+      case RvOp::kBne: if (rs1 != rs2) next_pc = pc_ + imm; break;
+      case RvOp::kBlt:
+        if (static_cast<int64_t>(rs1) < static_cast<int64_t>(rs2)) next_pc = pc_ + imm;
+        break;
+      case RvOp::kBge:
+        if (static_cast<int64_t>(rs1) >= static_cast<int64_t>(rs2)) next_pc = pc_ + imm;
+        break;
+      case RvOp::kBltu: if (rs1 < rs2) next_pc = pc_ + imm; break;
+      case RvOp::kBgeu: if (rs1 >= rs2) next_pc = pc_ + imm; break;
+      case RvOp::kJal:
+        set_reg(in.rd, next_pc);
+        next_pc = pc_ + imm;
+        break;
+      case RvOp::kJalr:
+        set_reg(in.rd, next_pc);
+        next_pc = rs1 + imm;
+        break;
+      case RvOp::kEcall: {
+        int64_t r = HandleEcall();
+        set_reg(10, static_cast<uint64_t>(r));
+        break;
+      }
+      case RvOp::kEbreak:
+        result.error = "ebreak";
+        return result;
+    }
+    pc_ = next_pc;
+  }
+  result.exited = true;
+  result.exit_code = exit_code_;
+  return result;
+}
+
+}  // namespace virt

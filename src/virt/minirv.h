@@ -1,0 +1,125 @@
+// MiniRV: a small RISC-style guest ISA with an assembler and a
+// fetch-decode-execute emulator using a softmmu (per-access page-table
+// translation). This is the repo's stand-in for "QEMU without KVM" in the
+// paper's Fig. 8 (§4.3): same mechanism class — every guest instruction is
+// fetched from guest memory and decoded at execution time, and every guest
+// memory access goes through address translation — which yields the
+// emulator's signature cost profile (tiny startup, large per-instruction
+// slowdown).
+//
+// The ISA is RV-flavored: 32 x-registers (x0 hardwired to zero), a7 carries
+// the syscall number for ECALL (Linux riscv64 convention), a0..a5 arguments.
+// Instructions use a fixed 8-byte encoding (op, rd, rs1, rs2, imm32).
+#ifndef SRC_VIRT_MINIRV_H_
+#define SRC_VIRT_MINIRV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace virt {
+
+enum class RvOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kRem, kAnd, kOr, kXor, kSll, kSrl, kSra,
+  kSlt, kSltu,
+  kAddi, kAndi, kOri, kXori, kSlli, kSrli, kSrai, kSlti,
+  kLui,
+  kLd, kLw, kLwu, kLb, kLbu, kSd, kSw, kSb,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kJal, kJalr,
+  kEcall, kEbreak,
+};
+
+struct RvInstr {
+  RvOp op;
+  uint8_t rd;
+  uint8_t rs1;
+  uint8_t rs2;
+  int32_t imm;
+};
+
+inline constexpr size_t kRvInstrBytes = 8;
+inline constexpr uint64_t kRvPageSize = 4096;
+inline constexpr uint64_t kRvTextBase = 0x10000;
+inline constexpr uint64_t kRvDataBase = 0x400000;
+inline constexpr uint64_t kRvStackTop = 0x800000;
+
+// Two-pass assembler for the MiniRV text syntax:
+//   label:
+//     addi a0, x0, 42     ; abi names (a0..a7, sp, ra, t0..) or x0..x31
+//     beq a0, x0, done
+//     ld t0, 8(sp)
+//     .data / .text / .asciiz "str" / .word N / .space N
+// Returns the program image (text at kRvTextBase, data at kRvDataBase).
+struct RvProgram {
+  std::vector<uint8_t> text;
+  std::vector<uint8_t> data;
+  std::map<std::string, uint64_t> symbols;
+};
+
+common::StatusOr<RvProgram> AssembleRv(const std::string& source);
+
+// The emulator.
+class MiniRvMachine {
+ public:
+  struct Options {
+    uint64_t ram_pages = 2048;    // 8 MiB guest RAM
+    uint64_t max_instrs = 0;      // 0 = unlimited
+    bool allow_syscalls = true;   // ECALL passthrough (write/read/exit/...)
+  };
+
+  explicit MiniRvMachine(const Options& options);
+
+  common::Status Load(const RvProgram& program);
+
+  struct RunResult {
+    bool exited = false;
+    int64_t exit_code = 0;
+    uint64_t executed = 0;
+    std::string error;  // non-empty on fault
+  };
+  RunResult Run();
+
+  uint64_t reg(int index) const { return regs_[index]; }
+  void set_reg(int index, uint64_t value) {
+    if (index != 0) regs_[index] = value;
+  }
+
+  // Guest memory access through the softmmu (public for tests/loaders).
+  bool ReadMem(uint64_t addr, void* out, uint64_t len);
+  bool WriteMem(uint64_t addr, const void* in, uint64_t len);
+
+  // Captured output of guest write(2) to fds 1/2.
+  const std::string& console() const { return console_; }
+
+  // Memory footprint: committed guest pages + page-table structures.
+  uint64_t footprint_bytes() const;
+
+ private:
+  // Softmmu: page-granular table, filled on demand (guest RAM is
+  // demand-allocated like an emulator's).
+  uint8_t* TranslatePage(uint64_t addr, bool write);
+
+  int64_t HandleEcall();
+
+  Options options_;
+  uint64_t regs_[32] = {0};
+  uint64_t pc_ = kRvTextBase;
+  std::map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+  uint64_t committed_pages_ = 0;
+  std::string console_;
+  bool halted_ = false;
+  int64_t exit_code_ = 0;
+};
+
+// Parses a register name ("x7", "a0", "sp", "ra", "t0".."t6", "s0".."s11");
+// returns -1 if invalid.
+int RvRegisterNumber(const std::string& name);
+
+}  // namespace virt
+
+#endif  // SRC_VIRT_MINIRV_H_

@@ -1,0 +1,231 @@
+#include "src/wali/mmap_mgr.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace wali {
+
+namespace {
+
+uint64_t PageUp(uint64_t v) { return (v + kMmapPageSize - 1) & ~(kMmapPageSize - 1); }
+
+}  // namespace
+
+void MmapManager::InitLocked() {
+  if (initialized_) {
+    return;
+  }
+  initialized_ = true;
+  // Pool begins above everything the module declared/used at bind time,
+  // rounded to a wasm page so file mappings stay page-aligned, and ends at
+  // the reservation cap.
+  base_ = PageUp(memory_->size_bytes());
+  if (base_ < memory_->size_bytes()) {
+    base_ = memory_->size_bytes();
+  }
+  base_ = (base_ + wasm::kWasmPageSize - 1) & ~(wasm::kWasmPageSize - 1);
+  limit_ = memory_->max_pages() * wasm::kWasmPageSize;
+  virgin_base_ = base_;
+}
+
+uint64_t MmapManager::pool_base() {
+  std::lock_guard<std::mutex> lock(mu_);
+  InitLocked();
+  return base_;
+}
+
+uint64_t MmapManager::bytes_in_use() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [start, len] : used_) {
+    total += len;
+  }
+  return total;
+}
+
+uint64_t MmapManager::Allocate(uint64_t len, uint64_t hint_addr, bool fixed,
+                               bool* virgin) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InitLocked();
+  return AllocateLocked(len, hint_addr, fixed, virgin);
+}
+
+uint64_t MmapManager::AllocateLocked(uint64_t len, uint64_t hint_addr, bool fixed,
+                                     bool* virgin) {
+  if (virgin != nullptr) {
+    *virgin = false;
+  }
+  len = PageUp(len);
+  if (len == 0 || base_ >= limit_) {
+    return 0;
+  }
+  if (fixed && hint_addr != 0) {
+    if (hint_addr % kMmapPageSize != 0 || hint_addr < base_ ||
+        hint_addr + len > limit_) {
+      return 0;
+    }
+    // Kernel MAP_FIXED semantics replace existing mappings: release overlap.
+    ReleaseLocked(hint_addr, len);
+    used_[hint_addr] = len;
+    if (!memory_->GrowToCover(hint_addr + len)) {
+      used_.erase(hint_addr);
+      return 0;
+    }
+    if (virgin != nullptr) {
+      *virgin = hint_addr >= virgin_base_;
+    }
+    if (hint_addr + len > virgin_base_) {
+      virgin_base_ = hint_addr + len;
+    }
+    return hint_addr;
+  }
+  // First-fit scan over gaps between used ranges.
+  uint64_t cursor = base_;
+  for (const auto& [start, used_len] : used_) {
+    if (start >= cursor && start - cursor >= len) {
+      break;
+    }
+    if (start + used_len > cursor) {
+      cursor = start + used_len;
+    }
+  }
+  if (cursor + len > limit_) {
+    return 0;
+  }
+  if (!memory_->GrowToCover(cursor + len)) {
+    return 0;
+  }
+  used_[cursor] = len;
+  if (virgin != nullptr) {
+    *virgin = cursor >= virgin_base_;
+  }
+  if (cursor + len > virgin_base_) {
+    virgin_base_ = cursor + len;
+  }
+  return cursor;
+}
+
+bool MmapManager::Release(uint64_t addr, uint64_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InitLocked();
+  return ReleaseLocked(addr, len);
+}
+
+bool MmapManager::ReleaseLocked(uint64_t addr, uint64_t len) {
+  len = PageUp(len);
+  uint64_t end = addr + len;
+  bool any = false;
+  // Start at the first range that could overlap (the predecessor may spill
+  // into [addr, end)).
+  auto it = used_.lower_bound(addr);
+  if (it != used_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second > addr) {
+      it = prev;
+    }
+  }
+  while (it != used_.end() && it->first < end) {
+    uint64_t s = it->first;
+    uint64_t e = s + it->second;
+    if (e <= addr) {
+      ++it;
+      continue;
+    }
+    any = true;
+    it = used_.erase(it);
+    // Keep the non-overlapping tails mapped.
+    if (s < addr) {
+      used_[s] = addr - s;
+    }
+    if (e > end) {
+      used_[end] = e - end;
+    }
+  }
+  return any;
+}
+
+uint64_t MmapManager::Reallocate(uint64_t old_addr, uint64_t old_len,
+                                 uint64_t new_len, bool may_move) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InitLocked();
+  old_len = PageUp(old_len);
+  new_len = PageUp(new_len);
+  auto it = used_.find(old_addr);
+  if (it == used_.end() || it->second < old_len) {
+    return 0;
+  }
+  if (new_len <= old_len) {  // shrink in place
+    it->second = new_len;
+    ReleaseLocked(old_addr + new_len, old_len - new_len);
+    used_[old_addr] = new_len;
+    return old_addr;
+  }
+  // Try growing in place: next used range must not overlap.
+  auto next = std::next(it);
+  uint64_t room = (next == used_.end() ? limit_ : next->first) - old_addr;
+  if (room >= new_len && memory_->GrowToCover(old_addr + new_len)) {
+    it->second = new_len;
+    return old_addr;
+  }
+  if (!may_move) {
+    return 0;
+  }
+  uint64_t fresh = AllocateLocked(new_len, 0, false);
+  if (fresh == 0) {
+    return 0;
+  }
+  std::memmove(memory_->At(fresh), memory_->At(old_addr), old_len);
+  ReleaseLocked(old_addr, old_len);
+  return fresh;
+}
+
+bool MmapManager::IsMapped(uint64_t addr, uint64_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t end = addr + PageUp(len);
+  uint64_t cursor = addr;
+  for (const auto& [s, l] : used_) {
+    if (s > cursor) {
+      if (cursor < end) return false;
+      break;
+    }
+    if (s + l > cursor) {
+      cursor = s + l;
+    }
+    if (cursor >= end) return true;
+  }
+  return cursor >= end;
+}
+
+uint64_t MmapManager::Brk(uint64_t new_break) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InitLocked();
+  if (brk_base_ == 0) {
+    // Heap emulation region: a quarter of the remaining pool, capped at
+    // 16 MiB, at least one wasm page.
+    uint64_t room = limit_ > base_ ? limit_ - base_ : 0;
+    uint64_t want = std::min<uint64_t>(16ULL << 20, room / 4);
+    if (want < wasm::kWasmPageSize) {
+      want = wasm::kWasmPageSize;
+    }
+    uint64_t region = AllocateLocked(want, 0, false);
+    if (region == 0) {
+      return 0;
+    }
+    brk_base_ = region;
+    brk_cur_ = region;
+    brk_limit_ = region + want;
+  }
+  if (new_break == 0) {
+    return brk_cur_;
+  }
+  if (new_break < brk_base_ || new_break > brk_limit_) {
+    return brk_cur_;  // kernel brk returns the old break on failure
+  }
+  if (!memory_->GrowToCover(new_break)) {
+    return brk_cur_;
+  }
+  brk_cur_ = new_break;
+  return brk_cur_;
+}
+
+}  // namespace wali

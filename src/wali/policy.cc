@@ -1,0 +1,76 @@
+#include "src/wali/policy.h"
+
+namespace wali {
+
+void SyscallPolicy::SetDefault(Action action, int deny_errno) {
+  std::lock_guard<std::mutex> lock(mu_);
+  default_action_ = action;
+  default_errno_ = deny_errno;
+}
+
+void SyscallPolicy::SetRule(const std::string& name, const Rule& rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& state = states_[name];
+  if (state == nullptr) {
+    state = std::make_unique<State>();
+  }
+  state->rule = rule;
+}
+
+SyscallPolicy::Decision SyscallPolicy::Evaluate(const std::string& name) {
+  State* state = nullptr;
+  Action default_action;
+  int default_errno;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    default_action = default_action_;
+    default_errno = default_errno_;
+    auto it = states_.find(name);
+    if (it == states_.end()) {
+      // Lazily create a counter slot so the audit log is complete even for
+      // default-action syscalls.
+      auto& slot = states_[name];
+      slot = std::make_unique<State>();
+      slot->rule.action = default_action;
+      slot->rule.deny_errno = default_errno;
+      state = slot.get();
+    } else {
+      state = it->second.get();
+    }
+  }
+  uint64_t n = state->calls.fetch_add(1, std::memory_order_relaxed) + 1;
+  Decision d{state->rule.action, state->rule.deny_errno, false};
+  if (d.action != Action::kAllow) {
+    state->denials.fetch_add(1, std::memory_order_relaxed);
+    return d;
+  }
+  if (state->rule.fault_every != 0 && n % state->rule.fault_every == 0) {
+    d.inject_fault = true;
+    d.err = state->rule.fault_errno;
+    state->denials.fetch_add(1, std::memory_order_relaxed);
+  }
+  return d;
+}
+
+uint64_t SyscallPolicy::calls(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(name);
+  return it == states_.end() ? 0 : it->second->calls.load(std::memory_order_relaxed);
+}
+
+uint64_t SyscallPolicy::denials(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(name);
+  return it == states_.end() ? 0 : it->second->denials.load(std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, uint64_t>> SyscallPolicy::AuditLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  for (const auto& [name, state] : states_) {
+    out.emplace_back(name, state->calls.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+}  // namespace wali

@@ -1,0 +1,82 @@
+// User-space syscall policy layer (paper §3.6 "Dynamic Policies", §6
+// "Expansion and Interposition of Syscalls").
+//
+// WALI deliberately does not implement seccomp; instead, because syscalls
+// are name-bound Wasm imports, policies interpose *above* the engine in
+// plain user space: allow/deny/kill filters (seccomp-BPF-class), audit
+// logging, and fault injection — the paper's "log, restrict, profile,
+// fault-inject" libraries. A policy attaches to a WaliProcess and is
+// consulted on every syscall before the handler runs.
+#ifndef SRC_WALI_POLICY_H_
+#define SRC_WALI_POLICY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wali {
+
+class SyscallPolicy {
+ public:
+  enum class Action : uint8_t {
+    kAllow = 0,  // run the syscall
+    kDeny,       // refuse with a configurable errno (seccomp ERRNO)
+    kKill,       // trap the process (seccomp KILL)
+  };
+
+  struct Rule {
+    Action action = Action::kAllow;
+    int deny_errno = 1;  // EPERM by default
+    // Fault injection: every `fault_every`-th call fails with fault_errno
+    // (0 = disabled). Applies only to allowed calls.
+    uint32_t fault_every = 0;
+    int fault_errno = 5;  // EIO
+  };
+
+  // Default action for syscalls without an explicit rule.
+  void SetDefault(Action action, int deny_errno = 1);
+  void SetRule(const std::string& syscall_name, const Rule& rule);
+  void Allow(const std::string& name) { SetRule(name, Rule{}); }
+  void Deny(const std::string& name, int err = 1) {
+    SetRule(name, Rule{Action::kDeny, err, 0, 5});
+  }
+  void Kill(const std::string& name) {
+    SetRule(name, Rule{Action::kKill, 1, 0, 5});
+  }
+  void InjectFault(const std::string& name, uint32_t every_n, int err) {
+    SetRule(name, Rule{Action::kAllow, 1, every_n, err});
+  }
+
+  // Decision for one invocation (counts calls; applies fault cadence).
+  struct Decision {
+    Action action;
+    int err;  // errno for kDeny / injected fault (as positive value)
+    bool inject_fault;
+  };
+  Decision Evaluate(const std::string& syscall_name);
+
+  // Audit log: per-syscall invocation and denial counters.
+  uint64_t calls(const std::string& name) const;
+  uint64_t denials(const std::string& name) const;
+  std::vector<std::pair<std::string, uint64_t>> AuditLog() const;
+
+ private:
+  struct State {
+    Rule rule;
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> denials{0};
+  };
+
+  mutable std::mutex mu_;
+  Action default_action_ = Action::kAllow;
+  int default_errno_ = 1;
+  std::map<std::string, std::unique_ptr<State>> states_;
+};
+
+}  // namespace wali
+
+#endif  // SRC_WALI_POLICY_H_

@@ -1,0 +1,89 @@
+// WaliProcess: the engine-side state for one WALI process (paper §3).
+//
+// Follows the paper's chosen 1-to-1 process model with instance-per-thread
+// (§3.1): the process maps to the host process; each guest thread spawned via
+// SYS_clone runs its own module instance sharing the parent's linear memory.
+#ifndef SRC_WALI_PROCESS_H_
+#define SRC_WALI_PROCESS_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/wali/mmap_mgr.h"
+#include "src/wali/policy.h"
+#include "src/wali/sigtable.h"
+#include "src/wali/trace.h"
+#include "src/wasm/wasm.h"
+
+namespace wali {
+
+class WaliRuntime;
+
+class WaliProcess {
+ public:
+  WaliProcess(WaliRuntime* runtime, std::vector<std::string> argv,
+              std::vector<std::string> env);
+  ~WaliProcess();
+
+  WaliProcess(const WaliProcess&) = delete;
+  WaliProcess& operator=(const WaliProcess&) = delete;
+
+  // Wires safepoint polling + user_data into an instance belonging to this
+  // process (main instance and every thread clone).
+  void AdoptInstance(wasm::Instance* instance);
+
+  // SYS_clone backend: spawns a native thread running a fresh instance that
+  // shares this process's memory; the thread invokes funcref table entry
+  // `func_index` with `arg`. Returns child tid or -errno.
+  int64_t SpawnThread(uint32_t func_index, uint64_t arg, uint64_t flags,
+                      uint64_t ptid_addr, uint64_t ctid_addr);
+
+  void JoinThreads();
+  int thread_count();
+
+  // Requests process-wide termination; sibling threads observe it at their
+  // next safepoint (used by SYS_exit_group).
+  void RequestExitAll(int32_t code) {
+    exit_code.store(code, std::memory_order_release);
+    exit_all.store(true, std::memory_order_release);
+  }
+
+  WaliRuntime* runtime;
+  std::vector<std::string> argv;
+  std::vector<std::string> env;
+
+  std::shared_ptr<const wasm::Module> module;
+  std::unique_ptr<wasm::Instance> main_instance;
+  std::shared_ptr<wasm::Memory> memory;
+
+  SigTable sigtable;
+  MmapManager mmap;
+  SyscallTrace trace;
+  // Optional user-space syscall policy (§3.6); consulted before dispatch.
+  std::shared_ptr<SyscallPolicy> policy;
+
+  std::atomic<bool> exit_all{false};
+  std::atomic<int32_t> exit_code{0};
+  // Defers nested handler execution while one is running (paper: stack-based
+  // deferral when SA_NODEFER is unset; we keep one level).
+  std::atomic<bool> in_signal_handler{false};
+
+  // tid registered via SYS_set_tid_address (cleared+futex-woken on exit).
+  std::atomic<uint64_t> clear_child_tid{0};
+
+ private:
+  struct GuestThread {
+    std::thread native;
+  };
+  std::mutex threads_mu_;
+  std::vector<std::unique_ptr<GuestThread>> threads_;
+};
+
+}  // namespace wali
+
+#endif  // SRC_WALI_PROCESS_H_

@@ -1,0 +1,337 @@
+#include "src/wali/runtime.h"
+
+#include <errno.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace wali {
+
+namespace {
+
+// Safepoint callback: delivers pending virtual signals by re-entering the
+// module (paper Fig. 5 steps 3-4), and observes process-wide exit requests.
+wasm::TrapKind WaliSafepoint(wasm::ExecContext& ctx) {
+  auto* proc = static_cast<WaliProcess*>(ctx.current_instance()->user_data());
+  if (proc == nullptr) {
+    return wasm::TrapKind::kNone;
+  }
+  if (proc->exit_all.load(std::memory_order_acquire)) {
+    ctx.RequestExit(proc->exit_code.load(std::memory_order_acquire));
+    return wasm::TrapKind::kExit;
+  }
+  if (!proc->sigtable.AnyPending()) {
+    return wasm::TrapKind::kNone;
+  }
+  // Defer while a handler is already running (one-level SA_NODEFER model).
+  if (proc->in_signal_handler.exchange(true)) {
+    return wasm::TrapKind::kNone;
+  }
+  wasm::TrapKind out = wasm::TrapKind::kNone;
+  uint64_t pending = proc->sigtable.TakePending(proc->sigtable.virtual_mask());
+  for (int signo = 1; signo <= kNumSignals && out == wasm::TrapKind::kNone; ++signo) {
+    if ((pending & (1ULL << (signo - 1))) == 0) {
+      continue;
+    }
+    SigEntry entry = proc->sigtable.GetAction(signo);
+    if (entry.handler == kSigIgn) {
+      continue;
+    }
+    if (entry.handler == kSigDfl) {
+      // Default action for anything routed through the virtual table is
+      // termination (the trampoline is only installed for caught signals,
+      // so this is a rarely-hit race with re-registration).
+      ctx.RequestExit(128 + signo);
+      out = wasm::TrapKind::kExit;
+      break;
+    }
+    wasm::Instance* inst = ctx.current_instance();
+    auto table = inst->table(0);
+    if (table == nullptr || entry.handler >= table->elems.size()) {
+      continue;  // stale funcref; drop the signal
+    }
+    const wasm::FuncRef& handler = table->elems[entry.handler];
+    if (handler.IsNull()) {
+      continue;
+    }
+    proc->sigtable.count_delivery();
+    wasm::ExecOptions opts = ctx.opts;
+    wasm::RunResult r =
+        inst->CallRef(handler, {wasm::Value::I32(static_cast<uint32_t>(signo))}, opts);
+    if (!r.ok()) {
+      if (r.trap == wasm::TrapKind::kExit) {
+        ctx.RequestExit(r.exit_code);
+      } else {
+        ctx.SetTrap(r.trap, r.trap_message.c_str());
+      }
+      out = r.trap;
+    }
+  }
+  proc->in_signal_handler.store(false);
+  return out;
+}
+
+}  // namespace
+
+bool WaliCtx::GetStr(uint64_t addr, std::string* out) const {
+  constexpr uint64_t kMaxStr = 1 << 16;
+  uint64_t size = mem.size_bytes();
+  if (addr >= size) {
+    return false;
+  }
+  uint64_t limit = std::min(size, addr + kMaxStr);
+  const char* p = reinterpret_cast<const char*>(mem.At(addr));
+  uint64_t n = 0;
+  while (addr + n < limit && p[n] != '\0') {
+    ++n;
+  }
+  if (addr + n >= limit) {
+    return false;  // unterminated
+  }
+  out->assign(p, n);
+  return true;
+}
+
+int64_t WaliCtx::Raw(long number, long a0, long a1, long a2, long a3, long a4,
+                     long a5) const {
+  const bool timed = rt.options().attribute_time;
+  int64_t t0 = timed ? common::MonotonicNanos() : 0;
+  long r = ::syscall(number, a0, a1, a2, a3, a4, a5);
+  int64_t ret = r >= 0 ? static_cast<int64_t>(r) : -static_cast<int64_t>(errno);
+  if (timed) {
+    proc.trace.AddKernelNanos(common::MonotonicNanos() - t0);
+  }
+  return ret;
+}
+
+bool PathAllowed(const std::string& path) {
+  // Reject /proc/<anything>/mem and /proc/<anything>/maps-style windows into
+  // the host address space (paper §3.6 "Filesystem Sandboxing").
+  if (path.rfind("/proc/", 0) != 0) {
+    return true;
+  }
+  std::string rest = path.substr(6);
+  auto slash = rest.find('/');
+  if (slash == std::string::npos) {
+    return true;
+  }
+  std::string leaf = rest.substr(slash + 1);
+  return !(leaf == "mem" || leaf == "maps" || leaf == "pagemap" ||
+           leaf.rfind("map_files", 0) == 0);
+}
+
+WaliRuntime::WaliRuntime(wasm::Linker* linker) : WaliRuntime(linker, Options()) {}
+
+WaliRuntime::WaliRuntime(wasm::Linker* linker, const Options& options)
+    : linker_(linker), options_(options) {
+  RegisterAll();
+  RegisterSupportMethods();
+}
+
+wasm::ExecOptions WaliRuntime::exec_options() const {
+  wasm::ExecOptions opts;
+  opts.scheme = options_.scheme;
+  opts.max_frames = options_.max_frames;
+  opts.fuel = options_.fuel;
+  return opts;
+}
+
+int WaliRuntime::SyscallId(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+void WaliRuntime::RegisterAll() {
+  RegisterFsSyscalls(defs_);
+  RegisterMemSyscalls(defs_);
+  RegisterProcSyscalls(defs_);
+  RegisterSignalSyscalls(defs_);
+  RegisterNetSyscalls(defs_);
+  RegisterTimeSyscalls(defs_);
+  RegisterMiscSyscalls(defs_);
+
+  for (size_t id = 0; id < defs_.size(); ++id) {
+    const SyscallDef& def = defs_[id];
+    ids_[def.name] = static_cast<int>(id);
+    wasm::FuncType type;
+    type.params.assign(def.nargs, wasm::ValType::kI64);
+    type.results = {wasm::ValType::kI64};
+    linker_->DefineHostFunc(
+        "wali", std::string("SYS_") + def.name, type,
+        [this, id](wasm::ExecContext& ctx, const uint64_t* args,
+                   uint64_t* results) -> wasm::TrapKind {
+          auto* proc = static_cast<WaliProcess*>(ctx.current_instance()->user_data());
+          if (proc == nullptr) {
+            ctx.SetTrap(wasm::TrapKind::kHostError, "WALI call outside a WALI process");
+            return ctx.trap;
+          }
+          const SyscallDef& def = defs_[id];
+          if (proc->policy != nullptr) {
+            SyscallPolicy::Decision d = proc->policy->Evaluate(def.name);
+            if (d.action == SyscallPolicy::Action::kKill) {
+              ctx.SetTrap(wasm::TrapKind::kHostError,
+                          "syscall killed by policy");
+              return ctx.trap;
+            }
+            if (d.action == SyscallPolicy::Action::kDeny || d.inject_fault) {
+              proc->trace.Count(static_cast<uint32_t>(id));
+              results[0] = static_cast<uint64_t>(-static_cast<int64_t>(d.err));
+              return ctx.trap;
+            }
+          }
+          WaliCtx c{ctx, *proc, *proc->memory, *this};
+          const bool timed = options_.attribute_time;
+          int64_t t0 = timed ? common::MonotonicNanos() : 0;
+          int64_t ret = def.fn(c, reinterpret_cast<const int64_t*>(args));
+          if (timed) {
+            proc->trace.AddWaliNanos(common::MonotonicNanos() - t0);
+          }
+          proc->trace.Count(static_cast<uint32_t>(id));
+          if (common::LogEnabled(common::LogLevel::kDebug)) {
+            LOG_DEBUG() << "SYS_" << def.name << " -> " << ret;
+          }
+          results[0] = static_cast<uint64_t>(ret);
+          return ctx.trap;  // kExit/kHostError propagate; kNone continues
+        });
+  }
+}
+
+void WaliRuntime::RegisterSupportMethods() {
+  auto get_proc = [](wasm::ExecContext& ctx) -> WaliProcess* {
+    return static_cast<WaliProcess*>(ctx.current_instance()->user_data());
+  };
+
+  wasm::FuncType t_ret;
+  t_ret.results = {wasm::ValType::kI64};
+  wasm::FuncType t_arg_ret;
+  t_arg_ret.params = {wasm::ValType::kI64};
+  t_arg_ret.results = {wasm::ValType::kI64};
+  wasm::FuncType t_2arg_ret;
+  t_2arg_ret.params = {wasm::ValType::kI64, wasm::ValType::kI64};
+  t_2arg_ret.results = {wasm::ValType::kI64};
+
+  // Command-line parameter transfer (paper §3.4): the guest libc allocates
+  // and copies inside the sandbox, so parser bugs stay contained.
+  linker_->DefineHostFunc("wali", "get_argc", t_ret,
+                          [get_proc](wasm::ExecContext& ctx, const uint64_t*,
+                                     uint64_t* results) {
+                            WaliProcess* p = get_proc(ctx);
+                            results[0] = p != nullptr ? p->argv.size() : 0;
+                            return wasm::TrapKind::kNone;
+                          });
+  linker_->DefineHostFunc(
+      "wali", "get_argv_len", t_arg_ret,
+      [get_proc](wasm::ExecContext& ctx, const uint64_t* args, uint64_t* results) {
+        WaliProcess* p = get_proc(ctx);
+        uint64_t i = args[0];
+        results[0] = (p != nullptr && i < p->argv.size())
+                         ? p->argv[i].size() + 1
+                         : static_cast<uint64_t>(-EINVAL);
+        return wasm::TrapKind::kNone;
+      });
+  linker_->DefineHostFunc(
+      "wali", "copy_argv", t_2arg_ret,
+      [get_proc](wasm::ExecContext& ctx, const uint64_t* args, uint64_t* results) {
+        WaliProcess* p = get_proc(ctx);
+        uint64_t buf = args[0], i = args[1];
+        if (p == nullptr || i >= p->argv.size()) {
+          results[0] = static_cast<uint64_t>(-EINVAL);
+          return wasm::TrapKind::kNone;
+        }
+        const std::string& s = p->argv[i];
+        auto mem = ctx.current_instance()->memory(0);
+        if (mem == nullptr || !mem->InBounds(buf, s.size() + 1)) {
+          results[0] = static_cast<uint64_t>(-EFAULT);
+          return wasm::TrapKind::kNone;
+        }
+        std::memcpy(mem->At(buf), s.c_str(), s.size() + 1);
+        results[0] = s.size() + 1;
+        return wasm::TrapKind::kNone;
+      });
+  // Environment transfer (§3.4): explicitly specified, never inherited.
+  linker_->DefineHostFunc("wali", "get_envc", t_ret,
+                          [get_proc](wasm::ExecContext& ctx, const uint64_t*,
+                                     uint64_t* results) {
+                            WaliProcess* p = get_proc(ctx);
+                            results[0] = p != nullptr ? p->env.size() : 0;
+                            return wasm::TrapKind::kNone;
+                          });
+  linker_->DefineHostFunc(
+      "wali", "get_env_len", t_arg_ret,
+      [get_proc](wasm::ExecContext& ctx, const uint64_t* args, uint64_t* results) {
+        WaliProcess* p = get_proc(ctx);
+        uint64_t i = args[0];
+        results[0] = (p != nullptr && i < p->env.size())
+                         ? p->env[i].size() + 1
+                         : static_cast<uint64_t>(-EINVAL);
+        return wasm::TrapKind::kNone;
+      });
+  linker_->DefineHostFunc(
+      "wali", "copy_env", t_2arg_ret,
+      [get_proc](wasm::ExecContext& ctx, const uint64_t* args, uint64_t* results) {
+        WaliProcess* p = get_proc(ctx);
+        uint64_t buf = args[0], i = args[1];
+        if (p == nullptr || i >= p->env.size()) {
+          results[0] = static_cast<uint64_t>(-EINVAL);
+          return wasm::TrapKind::kNone;
+        }
+        const std::string& s = p->env[i];
+        auto mem = ctx.current_instance()->memory(0);
+        if (mem == nullptr || !mem->InBounds(buf, s.size() + 1)) {
+          results[0] = static_cast<uint64_t>(-EFAULT);
+          return wasm::TrapKind::kNone;
+        }
+        std::memcpy(mem->At(buf), s.c_str(), s.size() + 1);
+        results[0] = s.size() + 1;
+        return wasm::TrapKind::kNone;
+      });
+}
+
+common::StatusOr<std::unique_ptr<WaliProcess>> WaliRuntime::CreateProcess(
+    std::shared_ptr<const wasm::Module> module, std::vector<std::string> argv,
+    std::vector<std::string> env) {
+  auto proc = std::make_unique<WaliProcess>(this, std::move(argv), std::move(env));
+  proc->module = module;
+  wasm::Linker::InstantiateOptions opts;
+  opts.user_data = proc.get();
+  opts.instance_name = proc->argv.empty() ? "wali-proc" : proc->argv[0];
+  ASSIGN_OR_RETURN(std::unique_ptr<wasm::Instance> inst,
+                   linker_->Instantiate(module, opts));
+  proc->main_instance = std::move(inst);
+  proc->memory = proc->main_instance->memory(0);
+  if (proc->memory == nullptr) {
+    return common::InvalidArgument("WALI modules must declare or import a memory");
+  }
+  proc->mmap.Bind(proc->memory.get());
+  proc->AdoptInstance(proc->main_instance.get());
+  return proc;
+}
+
+wasm::RunResult WaliRuntime::RunMain(WaliProcess& process) {
+  wasm::ExecOptions opts = exec_options();
+  wasm::RunResult r;
+  if (process.module->FindExport("_start", wasm::ExternKind::kFunc) != nullptr) {
+    r = process.main_instance->CallExport("_start", {}, opts);
+  } else {
+    r = process.main_instance->CallExport("main", {}, opts);
+    if (r.ok() && !r.values.empty()) {
+      r.exit_code = static_cast<int32_t>(r.values[0].i32());
+    }
+  }
+  process.JoinThreads();
+  if (r.trap == wasm::TrapKind::kExit) {
+    // Clean process exit.
+    r.values.clear();
+  }
+  return r;
+}
+
+void WaliProcess::AdoptInstance(wasm::Instance* instance) {
+  instance->set_user_data(this);
+  instance->set_safepoint_fn(&WaliSafepoint);
+}
+
+}  // namespace wali

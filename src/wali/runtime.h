@@ -1,0 +1,116 @@
+// WaliRuntime: registers the `wali` import namespace on a Linker and owns
+// the name-bound syscall registry (paper §3.5). Each syscall is a host
+// function `("wali", "SYS_<name>")` with the uniform signature
+// (i64 x nargs) -> i64, returning the kernel convention (-errno on failure).
+#ifndef SRC_WALI_RUNTIME_H_
+#define SRC_WALI_RUNTIME_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/time_util.h"
+#include "src/wali/process.h"
+#include "src/wasm/wasm.h"
+
+namespace wali {
+
+class WaliRuntime;
+
+// Per-call context handed to syscall handlers: address-space translation
+// (§3.2), raw-syscall passthrough with kernel-time attribution, and access
+// to the owning process.
+struct WaliCtx {
+  wasm::ExecContext& exec;
+  WaliProcess& proc;
+  wasm::Memory& mem;
+  WaliRuntime& rt;
+
+  // Bounds-checked wasm->host pointer translation; nullptr on fault
+  // (handlers then return -EFAULT, mirroring the kernel).
+  void* Ptr(uint64_t addr, uint64_t len) const {
+    if (!mem.InBounds(addr, len)) {
+      return nullptr;
+    }
+    return mem.At(addr);
+  }
+  template <typename T>
+  T* TypedPtr(uint64_t addr) const {
+    return static_cast<T*>(Ptr(addr, sizeof(T)));
+  }
+
+  // Reads a NUL-terminated guest string (bounded).
+  bool GetStr(uint64_t addr, std::string* out) const;
+
+  // Timed raw syscall passthrough (kernel time accounted for Fig. 7).
+  int64_t Raw(long number, long a0 = 0, long a1 = 0, long a2 = 0, long a3 = 0,
+              long a4 = 0, long a5 = 0) const;
+};
+
+using SyscallHandler = int64_t (*)(WaliCtx&, const int64_t*);
+
+struct SyscallDef {
+  const char* name;
+  int nargs;
+  SyscallHandler fn;
+  bool stateful;     // maintains engine-side state (Table 2 "State" column)
+  int loc_estimate;  // implementation size (Table 2 "LOC" column)
+};
+
+class WaliRuntime {
+ public:
+  struct Options {
+    wasm::SafepointScheme scheme = wasm::SafepointScheme::kLoop;
+    bool attribute_time = true;  // per-layer timing (small clock overhead)
+    uint32_t max_frames = 4096;
+    uint64_t fuel = 0;
+  };
+
+  // Registers all host functions on `linker`; the linker must outlive the
+  // runtime and all instances.
+  explicit WaliRuntime(wasm::Linker* linker);
+  WaliRuntime(wasm::Linker* linker, const Options& options);
+
+  // Instantiates `module` as a new WALI process with the given parameters.
+  common::StatusOr<std::unique_ptr<WaliProcess>> CreateProcess(
+      std::shared_ptr<const wasm::Module> module, std::vector<std::string> argv,
+      std::vector<std::string> env);
+
+  // Runs the process entry point: exported `_start` ()->() if present, else
+  // `main` ()->i32. SYS_exit(_group) surfaces as trap==kExit with the code.
+  wasm::RunResult RunMain(WaliProcess& process);
+
+  const std::vector<SyscallDef>& syscalls() const { return defs_; }
+  int SyscallId(const std::string& name) const;
+  wasm::Linker* linker() { return linker_; }
+  const Options& options() const { return options_; }
+  wasm::ExecOptions exec_options() const;
+
+ private:
+  void RegisterAll();
+  void RegisterSupportMethods();
+
+  wasm::Linker* linker_;
+  Options options_;
+  std::vector<SyscallDef> defs_;
+  std::map<std::string, int> ids_;
+};
+
+// Registry population, grouped by subsystem (one .cc per group).
+void RegisterFsSyscalls(std::vector<SyscallDef>& defs);
+void RegisterMemSyscalls(std::vector<SyscallDef>& defs);
+void RegisterProcSyscalls(std::vector<SyscallDef>& defs);
+void RegisterSignalSyscalls(std::vector<SyscallDef>& defs);
+void RegisterNetSyscalls(std::vector<SyscallDef>& defs);
+void RegisterTimeSyscalls(std::vector<SyscallDef>& defs);
+void RegisterMiscSyscalls(std::vector<SyscallDef>& defs);
+
+// Security interposition (paper §3.6): rejects sandbox-escaping paths such
+// as /proc/<pid>/mem and /proc/self/mem.
+bool PathAllowed(const std::string& path);
+
+}  // namespace wali
+
+#endif  // SRC_WALI_RUNTIME_H_

@@ -1,0 +1,107 @@
+#include "src/wali/sigtable.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <string.h>
+
+namespace wali {
+
+namespace {
+
+// Global routing table for the native trampoline (async-signal-safe reads).
+std::atomic<SigTable*> g_route[kNumSignals + 1];
+
+void NativeTrampoline(int signo) {
+  if (signo < 1 || signo > kNumSignals) {
+    return;
+  }
+  SigTable* table = g_route[signo].load(std::memory_order_acquire);
+  if (table != nullptr) {
+    table->RaiseVirtual(signo);
+  }
+}
+
+}  // namespace
+
+SigTable::SigTable() = default;
+
+SigTable::~SigTable() {
+  // Unroute any signals still pointing at this table.
+  for (int s = 1; s <= kNumSignals; ++s) {
+    SigTable* self = this;
+    g_route[s].compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
+  }
+}
+
+int SigTable::SetAction(int signo, const SigEntry& entry, SigEntry* old) {
+  if (signo < 1 || signo > kNumSignals || signo == SIGKILL || signo == SIGSTOP) {
+    return -EINVAL;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (old != nullptr) {
+    *old = entries_[signo];
+  }
+  int rc = 0;
+  if (entry.handler == kSigDfl || entry.handler == kSigIgn) {
+    rc = RestoreNativeDisposition(signo, entry.handler);
+    SigTable* self = this;
+    g_route[signo].compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
+  } else {
+    rc = InstallNativeTrampoline(signo, this);
+  }
+  if (rc == 0) {
+    entries_[signo] = entry;
+    entries_[signo].registered = entry.handler != kSigDfl && entry.handler != kSigIgn;
+  }
+  return rc;
+}
+
+SigEntry SigTable::GetAction(int signo) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (signo < 1 || signo > kNumSignals) {
+    return SigEntry{};
+  }
+  return entries_[signo];
+}
+
+uint64_t SigTable::TakePending(uint64_t masked) {
+  uint64_t current = pending_.load(std::memory_order_acquire);
+  while (true) {
+    uint64_t deliverable = current & ~masked;
+    if (deliverable == 0) {
+      return 0;
+    }
+    uint64_t rest = current & ~deliverable;
+    if (pending_.compare_exchange_weak(current, rest, std::memory_order_acq_rel)) {
+      return deliverable;
+    }
+  }
+}
+
+int InstallNativeTrampoline(int signo, SigTable* table) {
+  g_route[signo].store(table, std::memory_order_release);
+  struct sigaction sa;
+  memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &NativeTrampoline;
+  sigemptyset(&sa.sa_mask);
+  // SA_RESTART keeps passthrough syscalls from spuriously failing; delivery
+  // latency is bounded by the safepoint polling interval anyway.
+  sa.sa_flags = SA_RESTART;
+  if (sigaction(signo, &sa, nullptr) != 0) {
+    return -errno;
+  }
+  return 0;
+}
+
+int RestoreNativeDisposition(int signo, uint32_t disposition) {
+  struct sigaction sa;
+  memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = disposition == kSigIgn ? SIG_IGN : SIG_DFL;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(signo, &sa, nullptr) != 0) {
+    return -errno;
+  }
+  return 0;
+}
+
+}  // namespace wali

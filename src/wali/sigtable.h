@@ -1,0 +1,80 @@
+// Virtual signal table and asynchronous signal plumbing (paper §3.3, Fig. 5).
+//
+// Lifecycle mirrors the paper: (1) registration — wali_rt_sigaction stores
+// the Wasm funcref index in the sigtable and installs a native trampoline;
+// (2) generation — the kernel delivers the native signal to the trampoline,
+// which (async-signal-safely) sets a pending bit; (3) delivery — the
+// interpreter polls pending bits at safepoints; (4) handler execution — the
+// engine re-enters the module to run the registered Wasm handler.
+#ifndef SRC_WALI_SIGTABLE_H_
+#define SRC_WALI_SIGTABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace wali {
+
+inline constexpr int kNumSignals = 64;  // 1..64 (rt signals included)
+
+// Virtual handler values matching the kernel ABI.
+inline constexpr uint32_t kSigDfl = 0;
+inline constexpr uint32_t kSigIgn = 1;
+
+struct SigEntry {
+  uint32_t handler = kSigDfl;  // funcref table index, or kSigDfl/kSigIgn
+  uint32_t flags = 0;
+  uint64_t mask = 0;
+  bool registered = false;  // a native trampoline is installed
+};
+
+class SigTable {
+ public:
+  SigTable();
+  ~SigTable();
+
+  // Registers `entry` for `signo` (1-based). Installs/uninstalls the native
+  // trampoline as needed and writes the previous entry to `old` if non-null.
+  // Returns 0 or -errno.
+  int SetAction(int signo, const SigEntry& entry, SigEntry* old);
+  SigEntry GetAction(int signo);
+
+  // Marks `signo` pending (called from the native trampoline; must stay
+  // async-signal-safe: single atomic OR).
+  void RaiseVirtual(int signo) {
+    pending_.fetch_or(1ULL << (signo - 1), std::memory_order_acq_rel);
+  }
+
+  bool AnyPending() const {
+    return pending_.load(std::memory_order_acquire) != 0;
+  }
+
+  // Atomically takes the deliverable (non-masked) pending set.
+  uint64_t TakePending(uint64_t masked);
+
+  // Virtual per-process signal mask (paper: per-LWP masks come free with
+  // clone-backed models; our instance-per-thread model keeps one virtual
+  // mask per process plus native passthrough).
+  uint64_t virtual_mask() const { return sigmask_.load(std::memory_order_acquire); }
+  void set_virtual_mask(uint64_t m) { sigmask_.store(m, std::memory_order_release); }
+
+  uint64_t delivered_count() const { return delivered_.load(std::memory_order_relaxed); }
+  void count_delivery() { delivered_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::mutex mu_;
+  SigEntry entries_[kNumSignals + 1];
+  std::atomic<uint64_t> pending_{0};
+  std::atomic<uint64_t> sigmask_{0};
+  std::atomic<uint64_t> delivered_{0};
+};
+
+// Installs the native trampoline for `signo`, routing to `table`. The global
+// signo->SigTable registry reflects the paper's 1-to-1 process model: one
+// WALI process per native process; the most recent registration wins.
+int InstallNativeTrampoline(int signo, SigTable* table);
+int RestoreNativeDisposition(int signo, uint32_t disposition);
+
+}  // namespace wali
+
+#endif  // SRC_WALI_SIGTABLE_H_

@@ -1,0 +1,191 @@
+// Memory-management syscalls (paper §3.2): mmap/munmap/mremap fully inside
+// the Wasm sandbox via the MmapManager pool, file maps MAP_FIXED into linear
+// memory (zero-copy), brk emulated over the pool.
+#include <errno.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+
+#include "src/wali/runtime.h"
+
+namespace wali {
+
+namespace {
+
+constexpr uint64_t kPageMask = kMmapPageSize - 1;
+
+int64_t SysMmap(WaliCtx& c, const int64_t* a) {
+  uint64_t addr = static_cast<uint64_t>(a[0]);
+  uint64_t len = static_cast<uint64_t>(a[1]);
+  int prot = static_cast<int>(a[2]);
+  int flags = static_cast<int>(a[3]);
+  int fd = static_cast<int>(a[4]);
+  int64_t offset = a[5];
+  if (len == 0 || (addr & kPageMask) != 0 || (offset & kPageMask) != 0) {
+    return -EINVAL;
+  }
+  if ((prot & PROT_EXEC) != 0) {
+    return -EPERM;  // code injection impossible by construction (§3.6)
+  }
+  bool fixed = (flags & MAP_FIXED) != 0;
+  bool virgin = false;
+  uint64_t got = c.proc.mmap.Allocate(len, addr, fixed, &virgin);
+  if (got == 0) {
+    return -ENOMEM;
+  }
+  if ((flags & MAP_ANONYMOUS) != 0 || fd < 0) {
+    // Reused pool ranges may hold stale bytes; freshly committed ranges are
+    // already zero and skip the re-mapping.
+    if (!virgin) {
+      int rc = c.mem.UnmapFixed(got, (len + kPageMask) & ~kPageMask);
+      if (rc != 0) {
+        c.proc.mmap.Release(got, len);
+        return -rc;
+      }
+    }
+    return static_cast<int64_t>(got);
+  }
+  int host_flags = (flags & (MAP_SHARED | MAP_PRIVATE)) | MAP_FIXED;
+  int rc = c.mem.MapFileFixed(got, len, prot, host_flags, fd, offset);
+  if (rc != 0) {
+    c.proc.mmap.Release(got, len);
+    return -rc;
+  }
+  return static_cast<int64_t>(got);
+}
+
+int64_t SysMunmap(WaliCtx& c, const int64_t* a) {
+  uint64_t addr = static_cast<uint64_t>(a[0]);
+  uint64_t len = static_cast<uint64_t>(a[1]);
+  if ((addr & kPageMask) != 0 || len == 0) {
+    return -EINVAL;
+  }
+  if (addr < c.proc.mmap.pool_base()) {
+    return -EINVAL;  // never unmap module data/stack below the pool
+  }
+  c.proc.mmap.Release(addr, len);
+  // Replace with zero pages so stale sandboxed reads see zeros, not the old
+  // mapping (passthrough munmap would leave a fault-on-touch hole).
+  int rc = c.mem.UnmapFixed(addr, (len + kPageMask) & ~kPageMask);
+  return rc == 0 ? 0 : -rc;
+}
+
+int64_t SysMremap(WaliCtx& c, const int64_t* a) {
+  uint64_t old_addr = static_cast<uint64_t>(a[0]);
+  uint64_t old_len = static_cast<uint64_t>(a[1]);
+  uint64_t new_len = static_cast<uint64_t>(a[2]);
+  int flags = static_cast<int>(a[3]);
+  if ((old_addr & kPageMask) != 0 || new_len == 0) {
+    return -EINVAL;
+  }
+  uint64_t got =
+      c.proc.mmap.Reallocate(old_addr, old_len, new_len, (flags & MREMAP_MAYMOVE) != 0);
+  if (got == 0) {
+    return -ENOMEM;
+  }
+  return static_cast<int64_t>(got);
+}
+
+int64_t SysMprotect(WaliCtx& c, const int64_t* a) {
+  uint64_t addr = static_cast<uint64_t>(a[0]);
+  uint64_t len = static_cast<uint64_t>(a[1]);
+  int prot = static_cast<int>(a[2]);
+  if ((addr & kPageMask) != 0) {
+    return -EINVAL;
+  }
+  if ((prot & PROT_EXEC) != 0) {
+    return -EPERM;
+  }
+  if (!c.mem.InBounds(addr, len)) {
+    return -ENOMEM;
+  }
+  // The sandbox keeps pages readable+writable so interpreter accesses can
+  // never fault the engine; permission *restrictions* are recorded as a
+  // no-op (documented deviation — a fault-to-trap engine would pass through).
+  if ((prot & (PROT_READ | PROT_WRITE)) == (PROT_READ | PROT_WRITE)) {
+    int rc = c.mem.ProtectFixed(addr, len, prot);
+    return rc == 0 ? 0 : -rc;
+  }
+  return 0;
+}
+
+int64_t SysMadvise(WaliCtx& c, const int64_t* a) {
+  uint64_t addr = static_cast<uint64_t>(a[0]);
+  uint64_t len = static_cast<uint64_t>(a[1]);
+  if (!c.mem.InBounds(addr, len)) {
+    return -ENOMEM;
+  }
+  return c.Raw(SYS_madvise, reinterpret_cast<long>(c.mem.At(addr)), len, a[2]);
+}
+
+int64_t SysBrk(WaliCtx& c, const int64_t* a) {
+  uint64_t r = c.proc.mmap.Brk(static_cast<uint64_t>(a[0]));
+  return r != 0 ? static_cast<int64_t>(r) : -ENOMEM;
+}
+
+int64_t SysMsync(WaliCtx& c, const int64_t* a) {
+  uint64_t addr = static_cast<uint64_t>(a[0]);
+  uint64_t len = static_cast<uint64_t>(a[1]);
+  if (!c.mem.InBounds(addr, len)) {
+    return -ENOMEM;
+  }
+  return c.Raw(SYS_msync, reinterpret_cast<long>(c.mem.At(addr)), len, a[2]);
+}
+
+int64_t SysMlock(WaliCtx& c, const int64_t* a) {
+  uint64_t addr = static_cast<uint64_t>(a[0]);
+  uint64_t len = static_cast<uint64_t>(a[1]);
+  if (!c.mem.InBounds(addr, len)) {
+    return -ENOMEM;
+  }
+  return c.Raw(SYS_mlock, reinterpret_cast<long>(c.mem.At(addr)), len);
+}
+
+int64_t SysMunlock(WaliCtx& c, const int64_t* a) {
+  uint64_t addr = static_cast<uint64_t>(a[0]);
+  uint64_t len = static_cast<uint64_t>(a[1]);
+  if (!c.mem.InBounds(addr, len)) {
+    return -ENOMEM;
+  }
+  return c.Raw(SYS_munlock, reinterpret_cast<long>(c.mem.At(addr)), len);
+}
+
+int64_t SysMincore(WaliCtx& c, const int64_t* a) {
+  uint64_t addr = static_cast<uint64_t>(a[0]);
+  uint64_t len = static_cast<uint64_t>(a[1]);
+  uint64_t pages = (len + kPageMask) / kMmapPageSize;
+  if (!c.mem.InBounds(addr, len)) {
+    return -ENOMEM;
+  }
+  void* vec = c.Ptr(a[2], pages);
+  if (vec == nullptr) {
+    return -EFAULT;
+  }
+  return c.Raw(SYS_mincore, reinterpret_cast<long>(c.mem.At(addr)), len,
+               reinterpret_cast<long>(vec));
+}
+
+// process_vm_{read,write}v: §3.6 — mappings are sandboxed, so cross-process
+// address-space access is refused outright.
+int64_t SysProcessVmReadv(WaliCtx& c, const int64_t* a) { return -EPERM; }
+int64_t SysProcessVmWritev(WaliCtx& c, const int64_t* a) { return -EPERM; }
+
+}  // namespace
+
+void RegisterMemSyscalls(std::vector<SyscallDef>& defs) {
+  defs.insert(defs.end(), {
+      {"mmap", 6, SysMmap, true, 30},
+      {"munmap", 2, SysMunmap, true, 12},
+      {"mremap", 5, SysMremap, true, 14},
+      {"mprotect", 3, SysMprotect, false, 4},
+      {"madvise", 3, SysMadvise, false, 4},
+      {"brk", 1, SysBrk, true, 8},
+      {"msync", 3, SysMsync, false, 4},
+      {"mlock", 2, SysMlock, false, 3},
+      {"munlock", 2, SysMunlock, false, 3},
+      {"mincore", 3, SysMincore, false, 8},
+      {"process_vm_readv", 6, SysProcessVmReadv, false, 1},
+      {"process_vm_writev", 6, SysProcessVmWritev, false, 1},
+  });
+}
+
+}  // namespace wali

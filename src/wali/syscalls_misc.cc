@@ -1,0 +1,195 @@
+// Polling, futex, epoll, eventfd, randomness. pollfd/epoll_event/fd_set all
+// have ISA-independent layouts — zero-copy passthrough after translation.
+#include <errno.h>
+#include <sys/epoll.h>
+#include <sys/select.h>
+#include <sys/syscall.h>
+
+#include "src/wali/runtime.h"
+
+namespace wali {
+
+namespace {
+
+int64_t SysFutex(WaliCtx& c, const int64_t* a) {
+  void* uaddr = c.Ptr(a[0], 4);
+  if (uaddr == nullptr) return -EFAULT;
+  long timeout_ptr = 0;
+  int op = static_cast<int>(a[1]) & 0x7F;  // mask FUTEX_PRIVATE_FLAG
+  // FUTEX_WAIT-class ops pass a timespec; WAKE-class pass a count in arg4.
+  bool has_timeout = (op == 0 /*WAIT*/ || op == 9 /*WAIT_BITSET*/);
+  if (has_timeout && a[3] != 0) {
+    void* ts = c.Ptr(a[3], 16);
+    if (ts == nullptr) return -EFAULT;
+    timeout_ptr = reinterpret_cast<long>(ts);
+  } else {
+    timeout_ptr = a[3];
+  }
+  long uaddr2 = 0;
+  if (a[4] != 0) {
+    void* p = c.Ptr(a[4], 4);
+    if (p == nullptr) return -EFAULT;
+    uaddr2 = reinterpret_cast<long>(p);
+  }
+  return c.Raw(SYS_futex, reinterpret_cast<long>(uaddr), a[1], a[2], timeout_ptr,
+               uaddr2, a[5]);
+}
+
+int64_t SysPoll(WaliCtx& c, const int64_t* a) {
+  uint64_t nfds = static_cast<uint64_t>(a[1]);
+  void* fds = c.Ptr(a[0], nfds * 8);  // struct pollfd = 8 bytes everywhere
+  if (fds == nullptr && nfds != 0) return -EFAULT;
+#ifdef SYS_poll
+  return c.Raw(SYS_poll, reinterpret_cast<long>(fds), nfds, a[2]);
+#else
+  struct timespec ts;
+  struct timespec* tsp = nullptr;
+  if (a[2] >= 0) {
+    ts.tv_sec = a[2] / 1000;
+    ts.tv_nsec = (a[2] % 1000) * 1000000;
+    tsp = &ts;
+  }
+  return c.Raw(SYS_ppoll, reinterpret_cast<long>(fds), nfds,
+               reinterpret_cast<long>(tsp), 0, 8);
+#endif
+}
+
+int64_t SysPpoll(WaliCtx& c, const int64_t* a) {
+  uint64_t nfds = static_cast<uint64_t>(a[1]);
+  void* fds = c.Ptr(a[0], nfds * 8);
+  if (fds == nullptr && nfds != 0) return -EFAULT;
+  long ts_ptr = 0, mask_ptr = 0;
+  if (a[2] != 0) {
+    void* ts = c.Ptr(a[2], 16);
+    if (ts == nullptr) return -EFAULT;
+    ts_ptr = reinterpret_cast<long>(ts);
+  }
+  if (a[3] != 0) {
+    void* mask = c.Ptr(a[3], 8);
+    if (mask == nullptr) return -EFAULT;
+    mask_ptr = reinterpret_cast<long>(mask);
+  }
+  return c.Raw(SYS_ppoll, reinterpret_cast<long>(fds), nfds, ts_ptr, mask_ptr, 8);
+}
+
+int64_t SysSelect(WaliCtx& c, const int64_t* a) {
+  long sets[3] = {0, 0, 0};
+  for (int i = 0; i < 3; ++i) {
+    if (a[1 + i] != 0) {
+      void* p = c.Ptr(a[1 + i], sizeof(fd_set));
+      if (p == nullptr) return -EFAULT;
+      sets[i] = reinterpret_cast<long>(p);
+    }
+  }
+  long tv_ptr = 0;
+  if (a[4] != 0) {
+    void* tv = c.Ptr(a[4], 16);
+    if (tv == nullptr) return -EFAULT;
+    tv_ptr = reinterpret_cast<long>(tv);
+  }
+#ifdef SYS_select
+  return c.Raw(SYS_select, a[0], sets[0], sets[1], sets[2], tv_ptr);
+#else
+  return -ENOSYS;
+#endif
+}
+
+int64_t SysPselect6(WaliCtx& c, const int64_t* a) {
+  long sets[3] = {0, 0, 0};
+  for (int i = 0; i < 3; ++i) {
+    if (a[1 + i] != 0) {
+      void* p = c.Ptr(a[1 + i], sizeof(fd_set));
+      if (p == nullptr) return -EFAULT;
+      sets[i] = reinterpret_cast<long>(p);
+    }
+  }
+  long ts_ptr = 0;
+  if (a[4] != 0) {
+    void* ts = c.Ptr(a[4], 16);
+    if (ts == nullptr) return -EFAULT;
+    ts_ptr = reinterpret_cast<long>(ts);
+  }
+  // The 6th arg (sigmask descriptor) is not translated: passed as null.
+  return c.Raw(SYS_pselect6, a[0], sets[0], sets[1], sets[2], ts_ptr, 0);
+}
+
+int64_t SysEpollCreate1(WaliCtx& c, const int64_t* a) {
+  return c.Raw(SYS_epoll_create1, a[0]);
+}
+
+int64_t SysEpollCtl(WaliCtx& c, const int64_t* a) {
+  long ev_ptr = 0;
+  if (a[3] != 0) {
+    void* ev = c.Ptr(a[3], 12);  // struct epoll_event is packed 12 bytes
+    if (ev == nullptr) return -EFAULT;
+    ev_ptr = reinterpret_cast<long>(ev);
+  }
+  return c.Raw(SYS_epoll_ctl, a[0], a[1], a[2], ev_ptr);
+}
+
+int64_t SysEpollWait(WaliCtx& c, const int64_t* a) {
+  uint64_t maxevents = static_cast<uint64_t>(a[2]);
+  void* events = c.Ptr(a[1], maxevents * 12);
+  if (events == nullptr && maxevents != 0) return -EFAULT;
+#ifdef SYS_epoll_wait
+  return c.Raw(SYS_epoll_wait, a[0], reinterpret_cast<long>(events), a[2], a[3]);
+#else
+  return c.Raw(SYS_epoll_pwait, a[0], reinterpret_cast<long>(events), a[2], a[3], 0, 8);
+#endif
+}
+
+int64_t SysEpollPwait(WaliCtx& c, const int64_t* a) {
+  uint64_t maxevents = static_cast<uint64_t>(a[2]);
+  void* events = c.Ptr(a[1], maxevents * 12);
+  if (events == nullptr && maxevents != 0) return -EFAULT;
+  long mask_ptr = 0;
+  if (a[4] != 0) {
+    void* mask = c.Ptr(a[4], 8);
+    if (mask == nullptr) return -EFAULT;
+    mask_ptr = reinterpret_cast<long>(mask);
+  }
+  return c.Raw(SYS_epoll_pwait, a[0], reinterpret_cast<long>(events), a[2], a[3],
+               mask_ptr, 8);
+}
+
+int64_t SysEventfd2(WaliCtx& c, const int64_t* a) {
+  return c.Raw(SYS_eventfd2, a[0], a[1]);
+}
+
+int64_t SysGetrandom(WaliCtx& c, const int64_t* a) {
+  void* buf = c.Ptr(a[0], a[1]);
+  if (buf == nullptr && a[1] != 0) return -EFAULT;
+  return c.Raw(SYS_getrandom, reinterpret_cast<long>(buf), a[1], a[2]);
+}
+
+int64_t SysMembarrier(WaliCtx& c, const int64_t* a) {
+  return c.Raw(SYS_membarrier, a[0], a[1], 0);
+}
+
+// Modeled as unsupported: niche interfaces that passthrough engines expose
+// via the auto-generation path later (paper §6 "Expansion of Syscalls").
+int64_t SysEnosys(WaliCtx& c, const int64_t* a) { return -ENOSYS; }
+
+}  // namespace
+
+void RegisterMiscSyscalls(std::vector<SyscallDef>& defs) {
+  defs.insert(defs.end(), {
+      {"futex", 6, SysFutex, false, 6},
+      {"poll", 3, SysPoll, false, 12},
+      {"ppoll", 5, SysPpoll, false, 12},
+      {"select", 5, SysSelect, false, 14},
+      {"pselect6", 6, SysPselect6, false, 14},
+      {"epoll_create1", 1, SysEpollCreate1, false, 3},
+      {"epoll_ctl", 4, SysEpollCtl, false, 6},
+      {"epoll_wait", 4, SysEpollWait, false, 6},
+      {"epoll_pwait", 5, SysEpollPwait, false, 8},
+      {"eventfd2", 2, SysEventfd2, false, 3},
+      {"getrandom", 3, SysGetrandom, false, 4},
+      {"membarrier", 2, SysMembarrier, false, 3},
+      {"rseq", 4, SysEnosys, false, 1},
+      {"io_uring_setup", 2, SysEnosys, false, 1},
+      {"io_uring_enter", 6, SysEnosys, false, 1},
+  });
+}
+
+}  // namespace wali

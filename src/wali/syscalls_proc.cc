@@ -1,0 +1,262 @@
+// Process/thread/identity syscalls (paper §3.1: 1-to-1 model; fork and wait4
+// are passthrough, clone spawns an instance-per-thread native thread).
+#include <errno.h>
+#include <sched.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <sys/sysinfo.h>
+#include <sys/utsname.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/abi/layout.h"
+#include "src/wali/runtime.h"
+
+namespace wali {
+
+namespace {
+
+int64_t SysGetpid(WaliCtx& c, const int64_t* a) { return c.Raw(SYS_getpid); }
+int64_t SysGetppid(WaliCtx& c, const int64_t* a) { return c.Raw(SYS_getppid); }
+int64_t SysGettid(WaliCtx& c, const int64_t* a) { return c.Raw(SYS_gettid); }
+int64_t SysGetuid(WaliCtx& c, const int64_t* a) { return c.Raw(SYS_getuid); }
+int64_t SysGeteuid(WaliCtx& c, const int64_t* a) { return c.Raw(SYS_geteuid); }
+int64_t SysGetgid(WaliCtx& c, const int64_t* a) { return c.Raw(SYS_getgid); }
+int64_t SysGetegid(WaliCtx& c, const int64_t* a) { return c.Raw(SYS_getegid); }
+int64_t SysSetsid(WaliCtx& c, const int64_t* a) { return c.Raw(SYS_setsid); }
+int64_t SysGetsid(WaliCtx& c, const int64_t* a) { return c.Raw(SYS_getsid, a[0]); }
+int64_t SysGetpgid(WaliCtx& c, const int64_t* a) { return c.Raw(SYS_getpgid, a[0]); }
+int64_t SysSetpgid(WaliCtx& c, const int64_t* a) {
+  return c.Raw(SYS_setpgid, a[0], a[1]);
+}
+int64_t SysSchedYield(WaliCtx& c, const int64_t* a) { return c.Raw(SYS_sched_yield); }
+
+int64_t SysSchedGetaffinity(WaliCtx& c, const int64_t* a) {
+  void* mask = c.Ptr(a[2], a[1]);
+  if (mask == nullptr) return -EFAULT;
+  return c.Raw(SYS_sched_getaffinity, a[0], a[1], reinterpret_cast<long>(mask));
+}
+
+int64_t SysGetrusage(WaliCtx& c, const int64_t* a) {
+  // struct rusage is all-long on LP64: zero-copy for a 64-bit guest view.
+  void* ru = c.Ptr(a[1], sizeof(struct rusage));
+  if (ru == nullptr) return -EFAULT;
+  return c.Raw(SYS_getrusage, a[0], reinterpret_cast<long>(ru));
+}
+
+int64_t SysPrlimit64(WaliCtx& c, const int64_t* a) {
+  long new_ptr = 0, old_ptr = 0;
+  if (a[2] != 0) {
+    void* p = c.Ptr(a[2], 16);
+    if (p == nullptr) return -EFAULT;
+    new_ptr = reinterpret_cast<long>(p);
+  }
+  if (a[3] != 0) {
+    void* p = c.Ptr(a[3], 16);
+    if (p == nullptr) return -EFAULT;
+    old_ptr = reinterpret_cast<long>(p);
+  }
+  return c.Raw(SYS_prlimit64, a[0], a[1], new_ptr, old_ptr);
+}
+
+int64_t SysGetrlimit(WaliCtx& c, const int64_t* a) {
+  void* p = c.Ptr(a[1], 16);
+  if (p == nullptr) return -EFAULT;
+  return c.Raw(SYS_prlimit64, 0, a[0], 0, reinterpret_cast<long>(p));
+}
+
+int64_t SysSetrlimit(WaliCtx& c, const int64_t* a) {
+  void* p = c.Ptr(a[1], 16);
+  if (p == nullptr) return -EFAULT;
+  return c.Raw(SYS_prlimit64, 0, a[0], reinterpret_cast<long>(p), 0);
+}
+
+int64_t SysSysinfo(WaliCtx& c, const int64_t* a) {
+  struct sysinfo si;
+  int64_t r = c.Raw(SYS_sysinfo, reinterpret_cast<long>(&si));
+  if (r < 0) return r;
+  auto* out = c.TypedPtr<wabi::WaliSysinfo>(a[0]);
+  if (out == nullptr) return -EFAULT;
+  out->uptime = si.uptime;
+  out->totalram = si.totalram;
+  out->freeram = si.freeram;
+  out->procs = si.procs;
+  return 0;
+}
+
+int64_t SysUname(WaliCtx& c, const int64_t* a) {
+  struct utsname un;
+  int64_t r = c.Raw(SYS_uname, reinterpret_cast<long>(&un));
+  if (r < 0) return r;
+  void* out = c.Ptr(a[0], sizeof(un));
+  if (out == nullptr) return -EFAULT;
+  std::memcpy(out, &un, sizeof(un));
+  // WALI reports the virtual machine ISA, not the host's (§3.5).
+  struct utsname* guest = static_cast<struct utsname*>(out);
+  std::strncpy(guest->machine, "wasm32", sizeof(guest->machine) - 1);
+  return 0;
+}
+
+int64_t SysExit(WaliCtx& c, const int64_t* a) {
+  // Thread exit: unwind this interpreter only.
+  c.exec.RequestExit(static_cast<int32_t>(a[0]));
+  return 0;
+}
+
+int64_t SysExitGroup(WaliCtx& c, const int64_t* a) {
+  // Process exit: sibling threads observe exit_all at their next safepoint.
+  c.proc.RequestExitAll(static_cast<int32_t>(a[0]));
+  c.exec.RequestExit(static_cast<int32_t>(a[0]));
+  return 0;
+}
+
+int64_t SysWait4(WaliCtx& c, const int64_t* a) {
+  long status_ptr = 0, rusage_ptr = 0;
+  if (a[1] != 0) {
+    void* p = c.Ptr(a[1], 4);
+    if (p == nullptr) return -EFAULT;
+    status_ptr = reinterpret_cast<long>(p);
+  }
+  if (a[3] != 0) {
+    void* p = c.Ptr(a[3], sizeof(struct rusage));
+    if (p == nullptr) return -EFAULT;
+    rusage_ptr = reinterpret_cast<long>(p);
+  }
+  return c.Raw(SYS_wait4, a[0], status_ptr, a[2], rusage_ptr);
+}
+
+int64_t SysFork(WaliCtx& c, const int64_t* a) {
+  // 1-to-1 model: plain passthrough. The interpreter state is ordinary
+  // process memory, so the child resumes exactly here with return value 0.
+  return c.Raw(SYS_fork);
+}
+
+// Reads a guest NULL-terminated array of wasm32 string pointers.
+int ReadStringArray(const WaliCtx& c, uint64_t addr, std::vector<std::string>* out) {
+  constexpr int kMaxEntries = 1024;
+  for (int i = 0; i < kMaxEntries; ++i) {
+    const auto* slot = static_cast<const uint32_t*>(c.Ptr(addr + 4ull * i, 4));
+    if (slot == nullptr) return -EFAULT;
+    if (*slot == 0) return 0;
+    std::string s;
+    if (!c.GetStr(*slot, &s)) return -EFAULT;
+    out->push_back(std::move(s));
+  }
+  return -E2BIG;
+}
+
+int64_t SysExecve(WaliCtx& c, const int64_t* a) {
+  std::string path;
+  if (!c.GetStr(a[0], &path)) return -EFAULT;
+  if (!PathAllowed(path)) return -EACCES;
+  std::vector<std::string> argv, envp;
+  if (a[1] != 0) {
+    int rc = ReadStringArray(c, a[1], &argv);
+    if (rc != 0) return rc;
+  }
+  if (a[2] != 0) {
+    int rc = ReadStringArray(c, a[2], &envp);
+    if (rc != 0) return rc;
+  }
+  std::vector<char*> cargv, cenv;
+  for (auto& s : argv) cargv.push_back(s.data());
+  cargv.push_back(nullptr);
+  for (auto& s : envp) cenv.push_back(s.data());
+  cenv.push_back(nullptr);
+  ::execve(path.c_str(), cargv.data(), cenv.data());
+  return -errno;
+}
+
+int64_t SysClone(WaliCtx& c, const int64_t* a) {
+  uint64_t flags = static_cast<uint64_t>(a[0]);
+  if ((flags & CLONE_VM) == 0) {
+    // Non-shared-memory clone is fork(2) territory; WALI exposes SYS_fork.
+    return -ENOSYS;
+  }
+  // WALI thread ABI: clone(flags, entry_funcref, arg, ptid, ctid). The entry
+  // is an index into the module's function table with signature (i32)->i32.
+  return c.proc.SpawnThread(static_cast<uint32_t>(a[1]), static_cast<uint64_t>(a[2]),
+                            flags, static_cast<uint64_t>(a[3]),
+                            static_cast<uint64_t>(a[4]));
+}
+
+int64_t SysSetTidAddress(WaliCtx& c, const int64_t* a) {
+  c.proc.clear_child_tid.store(static_cast<uint64_t>(a[0]), std::memory_order_release);
+  return c.Raw(SYS_gettid);
+}
+
+int64_t SysGetcpu(WaliCtx& c, const int64_t* a) {
+  long cpu_ptr = 0, node_ptr = 0;
+  if (a[0] != 0) {
+    void* p = c.Ptr(a[0], 4);
+    if (p == nullptr) return -EFAULT;
+    cpu_ptr = reinterpret_cast<long>(p);
+  }
+  if (a[1] != 0) {
+    void* p = c.Ptr(a[1], 4);
+    if (p == nullptr) return -EFAULT;
+    node_ptr = reinterpret_cast<long>(p);
+  }
+  return c.Raw(SYS_getcpu, cpu_ptr, node_ptr, 0);
+}
+
+int64_t SysGetgroups(WaliCtx& c, const int64_t* a) {
+  void* list = a[1] != 0 ? c.Ptr(a[1], 4 * static_cast<uint64_t>(a[0])) : nullptr;
+  if (a[0] != 0 && list == nullptr) return -EFAULT;
+  return c.Raw(SYS_getgroups, a[0], reinterpret_cast<long>(list));
+}
+
+int64_t SysPrctl(WaliCtx& c, const int64_t* a) {
+  // Only value-based prctl options pass through; pointer options would need
+  // per-option translation and are rejected.
+  switch (a[0]) {
+    case 3 /*PR_GET_DUMPABLE*/:
+    case 4 /*PR_SET_DUMPABLE*/:
+    case 38 /*PR_SET_NO_NEW_PRIVS*/:
+    case 39 /*PR_GET_NO_NEW_PRIVS*/:
+      return c.Raw(SYS_prctl, a[0], a[1], a[2], a[3], a[4]);
+    default:
+      return -EINVAL;
+  }
+}
+
+}  // namespace
+
+void RegisterProcSyscalls(std::vector<SyscallDef>& defs) {
+  defs.insert(defs.end(), {
+      {"getpid", 0, SysGetpid, false, 1},
+      {"getppid", 0, SysGetppid, false, 1},
+      {"gettid", 0, SysGettid, false, 1},
+      {"getuid", 0, SysGetuid, false, 1},
+      {"geteuid", 0, SysGeteuid, false, 1},
+      {"getgid", 0, SysGetgid, false, 1},
+      {"getegid", 0, SysGetegid, false, 1},
+      {"setsid", 0, SysSetsid, false, 1},
+      {"getsid", 1, SysGetsid, false, 1},
+      {"getpgid", 1, SysGetpgid, false, 1},
+      {"setpgid", 2, SysSetpgid, false, 1},
+      {"sched_yield", 0, SysSchedYield, false, 1},
+      {"sched_getaffinity", 3, SysSchedGetaffinity, false, 4},
+      {"getrusage", 2, SysGetrusage, false, 5},
+      {"prlimit64", 4, SysPrlimit64, false, 5},
+      {"getrlimit", 2, SysGetrlimit, false, 4},
+      {"setrlimit", 2, SysSetrlimit, false, 4},
+      {"sysinfo", 1, SysSysinfo, false, 10},
+      {"uname", 1, SysUname, false, 10},
+      {"exit", 1, SysExit, true, 2},
+      {"exit_group", 1, SysExitGroup, true, 3},
+      {"wait4", 4, SysWait4, false, 10},
+      {"fork", 0, SysFork, false, 1},
+      {"execve", 3, SysExecve, false, 25},
+      {"clone", 5, SysClone, true, 100},
+      {"set_tid_address", 1, SysSetTidAddress, true, 3},
+      {"getcpu", 3, SysGetcpu, false, 8},
+      {"getgroups", 2, SysGetgroups, false, 4},
+      {"prctl", 5, SysPrctl, false, 10},
+  });
+}
+
+}  // namespace wali

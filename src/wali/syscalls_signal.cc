@@ -1,0 +1,159 @@
+// Signal syscalls (paper §3.3). rt_sigaction maintains the virtual sigtable;
+// masks are 64-bit words matching the kernel sigset layout on every ISA, so
+// mask-based calls are zero-copy passthrough; sigreturn traps (§3.6).
+#include <errno.h>
+#include <signal.h>
+#include <sys/syscall.h>
+
+#include "src/abi/layout.h"
+#include "src/wali/runtime.h"
+
+namespace wali {
+
+namespace {
+
+int64_t SysRtSigaction(WaliCtx& c, const int64_t* a) {
+  int signo = static_cast<int>(a[0]);
+  SigEntry old;
+  if (a[1] != 0) {
+    const auto* act = c.TypedPtr<wabi::WaliKSigaction>(a[1]);
+    if (act == nullptr) return -EFAULT;
+    SigEntry entry;
+    entry.handler = act->handler;
+    entry.flags = act->flags;
+    entry.mask = act->mask;
+    int rc = c.proc.sigtable.SetAction(signo, entry, &old);
+    if (rc != 0) return rc;
+  } else {
+    if (signo < 1 || signo > kNumSignals) return -EINVAL;
+    old = c.proc.sigtable.GetAction(signo);
+  }
+  if (a[2] != 0) {
+    auto* oldact = c.TypedPtr<wabi::WaliKSigaction>(a[2]);
+    if (oldact == nullptr) return -EFAULT;
+    oldact->handler = old.handler;
+    oldact->flags = old.flags;
+    oldact->mask = old.mask;
+  }
+  return 0;
+}
+
+int64_t SysRtSigprocmask(WaliCtx& c, const int64_t* a) {
+  int how = static_cast<int>(a[0]);
+  uint64_t old_virtual = c.proc.sigtable.virtual_mask();
+  const uint64_t* set = nullptr;
+  if (a[1] != 0) {
+    set = c.TypedPtr<const uint64_t>(a[1]);
+    if (set == nullptr) return -EFAULT;
+  }
+  if (a[2] != 0) {
+    auto* old_out = c.TypedPtr<uint64_t>(a[2]);
+    if (old_out == nullptr) return -EFAULT;
+    *old_out = old_virtual;
+  }
+  if (set == nullptr) {
+    return 0;
+  }
+  uint64_t next;
+  switch (how) {
+    case SIG_BLOCK: next = old_virtual | *set; break;
+    case SIG_UNBLOCK: next = old_virtual & ~*set; break;
+    case SIG_SETMASK: next = *set; break;
+    default: return -EINVAL;
+  }
+  c.proc.sigtable.set_virtual_mask(next);
+  // Native passthrough keeps kernel-side blocking consistent for directed
+  // signals; the virtual mask gates safepoint delivery. A safepoint runs
+  // right after this syscall returns, handling anything just unblocked
+  // before the module re-enters a critical section (paper §3.3 delivery
+  // guarantee).
+  return c.Raw(SYS_rt_sigprocmask, how, reinterpret_cast<long>(set), 0, 8);
+}
+
+int64_t SysRtSigpending(WaliCtx& c, const int64_t* a) {
+  auto* out = c.TypedPtr<uint64_t>(a[0]);
+  if (out == nullptr) return -EFAULT;
+  uint64_t native = 0;
+  c.Raw(SYS_rt_sigpending, reinterpret_cast<long>(&native), 8);
+  // Virtual pending bits merge with native ones.
+  uint64_t virt = c.proc.sigtable.TakePending(0);
+  if (virt != 0) {
+    // Peeked, not consumed: put them back.
+    for (int s = 1; s <= kNumSignals; ++s) {
+      if ((virt & (1ULL << (s - 1))) != 0) c.proc.sigtable.RaiseVirtual(s);
+    }
+  }
+  *out = native | virt;
+  return 0;
+}
+
+int64_t SysRtSigsuspend(WaliCtx& c, const int64_t* a) {
+  const void* mask = c.Ptr(a[0], 8);
+  if (mask == nullptr) return -EFAULT;
+  return c.Raw(SYS_rt_sigsuspend, reinterpret_cast<long>(mask), 8);
+}
+
+int64_t SysRtSigtimedwait(WaliCtx& c, const int64_t* a) {
+  const void* set = c.Ptr(a[0], 8);
+  if (set == nullptr) return -EFAULT;
+  long info_ptr = 0, ts_ptr = 0;
+  if (a[1] != 0) {
+    void* p = c.Ptr(a[1], 128);  // siginfo_t
+    if (p == nullptr) return -EFAULT;
+    info_ptr = reinterpret_cast<long>(p);
+  }
+  if (a[2] != 0) {
+    void* p = c.Ptr(a[2], 16);
+    if (p == nullptr) return -EFAULT;
+    ts_ptr = reinterpret_cast<long>(p);
+  }
+  return c.Raw(SYS_rt_sigtimedwait, reinterpret_cast<long>(set), info_ptr, ts_ptr, 8);
+}
+
+int64_t SysRtSigreturn(WaliCtx& c, const int64_t* a) {
+  // §3.6 "Signal Trampoline": handler execution is fully engine-managed, so
+  // a direct sigreturn is a classic SROP gadget — trap instead.
+  c.exec.SetTrap(wasm::TrapKind::kHostError,
+                 "sigreturn is prohibited inside WALI modules");
+  return -ENOSYS;
+}
+
+int64_t SysKill(WaliCtx& c, const int64_t* a) { return c.Raw(SYS_kill, a[0], a[1]); }
+int64_t SysTkill(WaliCtx& c, const int64_t* a) { return c.Raw(SYS_tkill, a[0], a[1]); }
+int64_t SysTgkill(WaliCtx& c, const int64_t* a) {
+  return c.Raw(SYS_tgkill, a[0], a[1], a[2]);
+}
+
+int64_t SysPause(WaliCtx& c, const int64_t* a) {
+#ifdef SYS_pause
+  return c.Raw(SYS_pause);
+#else
+  return c.Raw(SYS_ppoll, 0, 0, 0, 0);
+#endif
+}
+
+int64_t SysSigaltstack(WaliCtx& c, const int64_t* a) {
+  // The Wasm value/call stack is non-addressable; alternate native stacks
+  // are meaningless inside the sandbox.
+  return -ENOSYS;
+}
+
+}  // namespace
+
+void RegisterSignalSyscalls(std::vector<SyscallDef>& defs) {
+  defs.insert(defs.end(), {
+      {"rt_sigaction", 4, SysRtSigaction, true, 40},
+      {"rt_sigprocmask", 4, SysRtSigprocmask, true, 5},
+      {"rt_sigpending", 2, SysRtSigpending, true, 12},
+      {"rt_sigsuspend", 2, SysRtSigsuspend, false, 4},
+      {"rt_sigtimedwait", 4, SysRtSigtimedwait, false, 12},
+      {"rt_sigreturn", 0, SysRtSigreturn, false, 2},
+      {"kill", 2, SysKill, false, 1},
+      {"tkill", 2, SysTkill, false, 1},
+      {"tgkill", 3, SysTgkill, false, 1},
+      {"pause", 0, SysPause, false, 1},
+      {"sigaltstack", 2, SysSigaltstack, false, 1},
+  });
+}
+
+}  // namespace wali

@@ -1,0 +1,112 @@
+// Clock/timer syscalls. WALI's portable timespec/timeval use 64-bit fields,
+// matching the LP64 kernel layout, so these are zero-copy passthrough.
+#include <errno.h>
+#include <sys/syscall.h>
+#include <time.h>
+
+#include "src/abi/layout.h"
+#include "src/wali/runtime.h"
+
+namespace wali {
+
+namespace {
+
+int64_t SysClockGettime(WaliCtx& c, const int64_t* a) {
+  void* ts = c.Ptr(a[1], sizeof(wabi::WaliTimespec));
+  if (ts == nullptr) return -EFAULT;
+  return c.Raw(SYS_clock_gettime, a[0], reinterpret_cast<long>(ts));
+}
+
+int64_t SysClockGetres(WaliCtx& c, const int64_t* a) {
+  long ts_ptr = 0;
+  if (a[1] != 0) {
+    void* ts = c.Ptr(a[1], sizeof(wabi::WaliTimespec));
+    if (ts == nullptr) return -EFAULT;
+    ts_ptr = reinterpret_cast<long>(ts);
+  }
+  return c.Raw(SYS_clock_getres, a[0], ts_ptr);
+}
+
+int64_t SysClockSettime(WaliCtx& c, const int64_t* a) {
+  return -EPERM;  // never allow the sandbox to set host clocks
+}
+
+int64_t SysNanosleep(WaliCtx& c, const int64_t* a) {
+  const void* req = c.Ptr(a[0], sizeof(wabi::WaliTimespec));
+  if (req == nullptr) return -EFAULT;
+  long rem_ptr = 0;
+  if (a[1] != 0) {
+    void* rem = c.Ptr(a[1], sizeof(wabi::WaliTimespec));
+    if (rem == nullptr) return -EFAULT;
+    rem_ptr = reinterpret_cast<long>(rem);
+  }
+  return c.Raw(SYS_nanosleep, reinterpret_cast<long>(req), rem_ptr);
+}
+
+int64_t SysClockNanosleep(WaliCtx& c, const int64_t* a) {
+  const void* req = c.Ptr(a[2], sizeof(wabi::WaliTimespec));
+  if (req == nullptr) return -EFAULT;
+  long rem_ptr = 0;
+  if (a[3] != 0) {
+    void* rem = c.Ptr(a[3], sizeof(wabi::WaliTimespec));
+    if (rem == nullptr) return -EFAULT;
+    rem_ptr = reinterpret_cast<long>(rem);
+  }
+  return c.Raw(SYS_clock_nanosleep, a[0], a[1], reinterpret_cast<long>(req), rem_ptr);
+}
+
+int64_t SysGettimeofday(WaliCtx& c, const int64_t* a) {
+  long tv_ptr = 0;
+  if (a[0] != 0) {
+    void* tv = c.Ptr(a[0], 16);
+    if (tv == nullptr) return -EFAULT;
+    tv_ptr = reinterpret_cast<long>(tv);
+  }
+  return c.Raw(SYS_gettimeofday, tv_ptr, 0);
+}
+
+int64_t SysTimes(WaliCtx& c, const int64_t* a) {
+  long buf_ptr = 0;
+  if (a[0] != 0) {
+    void* buf = c.Ptr(a[0], 32);  // struct tms: 4 x clock_t
+    if (buf == nullptr) return -EFAULT;
+    buf_ptr = reinterpret_cast<long>(buf);
+  }
+  return c.Raw(SYS_times, buf_ptr);
+}
+
+int64_t SysSetitimer(WaliCtx& c, const int64_t* a) {
+  const void* newval = c.Ptr(a[1], 32);  // struct itimerval
+  if (newval == nullptr) return -EFAULT;
+  long old_ptr = 0;
+  if (a[2] != 0) {
+    void* old = c.Ptr(a[2], 32);
+    if (old == nullptr) return -EFAULT;
+    old_ptr = reinterpret_cast<long>(old);
+  }
+  return c.Raw(SYS_setitimer, a[0], reinterpret_cast<long>(newval), old_ptr);
+}
+
+int64_t SysGetitimer(WaliCtx& c, const int64_t* a) {
+  void* val = c.Ptr(a[1], 32);
+  if (val == nullptr) return -EFAULT;
+  return c.Raw(SYS_getitimer, a[0], reinterpret_cast<long>(val));
+}
+
+}  // namespace
+
+void RegisterTimeSyscalls(std::vector<SyscallDef>& defs) {
+  defs.insert(defs.end(), {
+      {"clock_gettime", 2, SysClockGettime, false, 4},
+      {"clock_getres", 2, SysClockGetres, false, 6},
+      {"clock_settime", 2, SysClockSettime, false, 1},
+      {"nanosleep", 2, SysNanosleep, false, 8},
+      {"clock_nanosleep", 4, SysClockNanosleep, false, 8},
+      {"gettimeofday", 2, SysGettimeofday, false, 5},
+      {"times", 1, SysTimes, false, 5},
+      {"setitimer", 3, SysSetitimer, false, 8},
+      {"getitimer", 2, SysGetitimer, false, 4},
+  });
+}
+
+}  // namespace wali

@@ -1,0 +1,20 @@
+// Umbrella header for the WALI thin kernel interface (paper §3, S2 in
+// DESIGN.md).
+//
+// Quickstart:
+//   wasm::Linker linker;
+//   wali::WaliRuntime runtime(&linker);                    // exposes "wali" imports
+//   auto module = wasm::ParseAndValidateWat(src);          // or DecodeModule(bytes)
+//   auto proc = runtime.CreateProcess(*module, {"app"}, {"HOME=/root"});
+//   wasm::RunResult r = runtime.RunMain(**proc);           // runs _start/main
+#ifndef SRC_WALI_WALI_H_
+#define SRC_WALI_WALI_H_
+
+#include "src/wali/mmap_mgr.h"   // IWYU pragma: export
+#include "src/wali/policy.h"     // IWYU pragma: export
+#include "src/wali/process.h"    // IWYU pragma: export
+#include "src/wali/runtime.h"    // IWYU pragma: export
+#include "src/wali/sigtable.h"   // IWYU pragma: export
+#include "src/wali/trace.h"      // IWYU pragma: export
+
+#endif  // SRC_WALI_WALI_H_

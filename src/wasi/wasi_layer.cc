@@ -1,0 +1,575 @@
+#include "src/wasi/wasi_layer.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <functional>
+
+#include "src/abi/layout.h"
+#include "src/common/logging.h"
+
+namespace wasi {
+
+namespace {
+
+// WASI preview1 file types.
+constexpr uint8_t kFiletypeUnknown = 0;
+constexpr uint8_t kFiletypeBlock = 1;
+constexpr uint8_t kFiletypeChar = 2;
+constexpr uint8_t kFiletypeDir = 3;
+constexpr uint8_t kFiletypeRegular = 4;
+constexpr uint8_t kFiletypeSocket = 6;
+constexpr uint8_t kFiletypeSymlink = 7;
+
+uint8_t FiletypeFromMode(uint32_t mode) {
+  switch (mode & 0170000) {
+    case 0040000: return kFiletypeDir;
+    case 0100000: return kFiletypeRegular;
+    case 0120000: return kFiletypeSymlink;
+    case 0020000: return kFiletypeChar;
+    case 0060000: return kFiletypeBlock;
+    case 0140000: return kFiletypeSocket;
+    default: return kFiletypeUnknown;
+  }
+}
+
+// preview1 filestat (64 bytes).
+struct WasiFilestat {
+  uint64_t dev;
+  uint64_t ino;
+  uint8_t filetype;
+  uint8_t pad[7];
+  uint64_t nlink;
+  uint64_t size;
+  uint64_t atim;
+  uint64_t mtim;
+  uint64_t ctim;
+};
+static_assert(sizeof(WasiFilestat) == 64, "preview1 wire layout");
+
+// The capability model lives in this layer, not in WALI: paths must stay
+// lexically inside the preopened directory.
+bool PathContained(const std::string& path) {
+  if (path.empty() || path[0] == '/') {
+    return false;
+  }
+  size_t i = 0;
+  while (i < path.size()) {
+    size_t j = path.find('/', i);
+    if (j == std::string::npos) j = path.size();
+    if (path.substr(i, j - i) == "..") {
+      return false;
+    }
+    i = j + 1;
+  }
+  return true;
+}
+
+// Scratch sub-regions (inside the 64 KiB WALI-mmap'ed block).
+constexpr uint64_t kScratchPath1 = 0;
+constexpr uint64_t kScratchPath2 = 4608;
+constexpr uint64_t kScratchKstat = 8192;
+constexpr uint64_t kScratchTime = 16384;
+
+}  // namespace
+
+uint16_t WasiErrnoFromLinux(int64_t neg_errno) {
+  switch (-neg_errno) {
+    case 0: return kSuccess;
+    case E2BIG: return kE2big;
+    case EACCES: return kEacces;
+    case EAGAIN: return kEagain;
+    case EBADF: return kEbadf;
+    case EEXIST: return kEexist;
+    case EFAULT: return kEfault;
+    case EINVAL: return kEinval;
+    case EIO: return kEio;
+    case EISDIR: return kEisdir;
+    case ELOOP: return kEloop;
+    case ENOENT: return kEnoent;
+    case ENOMEM: return kEnomem;
+    case ENOSYS: return kEnosys;
+    case ENOTDIR: return kEnotdir;
+    case EPERM: return kEperm;
+    case EROFS: return kErofs;
+    default: return kEio;
+  }
+}
+
+// Per-invocation helper bound to one ExecContext.
+class WasiCall {
+ public:
+  WasiCall(WasiLayer* layer, wasm::ExecContext& ctx)
+      : layer_(layer), ctx_(ctx), mem_(ctx.current_instance()->memory(0).get()) {}
+
+  bool ok() const { return mem_ != nullptr; }
+  WasiLayer* layer() { return layer_; }
+  wasm::ExecContext& ctx() { return ctx_; }
+
+  int64_t Wali(const std::string& name, std::initializer_list<int64_t> args) {
+    return layer_->CallWali(ctx_, name, args);
+  }
+  int64_t WaliSupport(const std::string& name, std::initializer_list<int64_t> args) {
+    return layer_->CallWaliByFullName(ctx_, name, args);
+  }
+
+  void* Ptr(uint64_t addr, uint64_t len) {
+    if (mem_ == nullptr || !mem_->InBounds(addr, len)) {
+      return nullptr;
+    }
+    return mem_->At(addr);
+  }
+
+  bool WriteU32(uint64_t addr, uint32_t v) {
+    void* p = Ptr(addr, 4);
+    if (p == nullptr) return false;
+    std::memcpy(p, &v, 4);
+    return true;
+  }
+  bool WriteU64(uint64_t addr, uint64_t v) {
+    void* p = Ptr(addr, 8);
+    if (p == nullptr) return false;
+    std::memcpy(p, &v, 8);
+    return true;
+  }
+
+  // Scratch region inside the sandbox, allocated lazily through WALI mmap.
+  uint64_t Scratch() {
+    uint64_t& s = layer_->ScratchFor(ctx_);
+    if (s == 0) {
+      int64_t r = Wali("mmap", {0, 65536, 3 /*RW*/, 0x22 /*ANON|PRIVATE*/, -1, 0});
+      if (r > 0) {
+        s = static_cast<uint64_t>(r);
+      }
+    }
+    return s;
+  }
+
+  // Copies a (ptr,len) guest path into scratch with a NUL at sub-offset
+  // `slot`; returns the staged wasm address or 0.
+  uint64_t StagePath(uint64_t path_addr, uint64_t path_len, std::string* out,
+                     uint64_t slot = kScratchPath1) {
+    if (path_len > 4096) return 0;
+    const void* src = Ptr(path_addr, path_len);
+    uint64_t scratch = Scratch();
+    if (src == nullptr || scratch == 0) return 0;
+    void* dst = Ptr(scratch + slot, path_len + 1);
+    if (dst == nullptr) return 0;
+    std::memcpy(dst, src, path_len);
+    static_cast<char*>(dst)[path_len] = '\0';
+    if (out != nullptr) {
+      out->assign(static_cast<const char*>(src), path_len);
+    }
+    return scratch + slot;
+  }
+
+  uint16_t FilestatFromFd(int64_t fd, uint64_t out_addr) {
+    uint64_t scratch = Scratch();
+    if (scratch == 0) return kEnomem;
+    int64_t r = Wali("fstat", {fd, static_cast<int64_t>(scratch + kScratchKstat)});
+    if (r < 0) return WasiErrnoFromLinux(r);
+    return FilestatFromKstat(scratch + kScratchKstat, out_addr);
+  }
+
+  uint16_t FilestatFromKstat(uint64_t kst_addr, uint64_t out_addr) {
+    const auto* kst =
+        static_cast<const wabi::WaliKStat*>(Ptr(kst_addr, sizeof(wabi::WaliKStat)));
+    auto* out = static_cast<WasiFilestat*>(Ptr(out_addr, sizeof(WasiFilestat)));
+    if (kst == nullptr || out == nullptr) return kEfault;
+    std::memset(out, 0, sizeof(*out));
+    out->dev = kst->dev;
+    out->ino = kst->ino;
+    out->filetype = FiletypeFromMode(kst->mode);
+    out->nlink = kst->nlink;
+    out->size = static_cast<uint64_t>(kst->size);
+    out->atim = static_cast<uint64_t>(kst->atime_sec) * 1000000000ull + kst->atime_nsec;
+    out->mtim = static_cast<uint64_t>(kst->mtime_sec) * 1000000000ull + kst->mtime_nsec;
+    out->ctim = static_cast<uint64_t>(kst->ctime_sec) * 1000000000ull + kst->ctime_nsec;
+    return kSuccess;
+  }
+
+ private:
+  WasiLayer* layer_;
+  wasm::ExecContext& ctx_;
+  wasm::Memory* mem_;
+};
+
+WasiLayer::WasiLayer(wasm::Linker* linker, const Options& options)
+    : linker_(linker), options_(options) {
+  Register();
+}
+
+WasiLayer::~WasiLayer() = default;
+
+int64_t WasiLayer::CallWali(wasm::ExecContext& ctx, const std::string& name,
+                            std::initializer_list<int64_t> args) {
+  return CallWaliByFullName(ctx, "SYS_" + name, args);
+}
+
+int64_t WasiLayer::CallWaliByFullName(wasm::ExecContext& ctx, const std::string& name,
+                                      std::initializer_list<int64_t> args) {
+  wasm::FuncRef ref = linker_->FindFunc("wali", name);
+  if (ref.IsNull() || !ref.IsHost()) {
+    return -ENOSYS;
+  }
+  ++wali_calls_;
+  uint64_t argbuf[8] = {0};
+  size_t i = 0;
+  for (int64_t a : args) {
+    argbuf[i++] = static_cast<uint64_t>(a);
+  }
+  uint64_t result = 0;
+  wasm::TrapKind t = ref.host->fn(ctx, argbuf, &result);
+  if (t != wasm::TrapKind::kNone) {
+    return -EINTR;  // trap propagates via ctx; give callers a sane value
+  }
+  return static_cast<int64_t>(result);
+}
+
+uint64_t& WasiLayer::ScratchFor(wasm::ExecContext& ctx) {
+  return scratch_[ctx.current_instance()->user_data()];
+}
+
+const std::map<uint32_t, WasiLayer::PreopenFd>& WasiLayer::EnsurePreopens(
+    wasm::ExecContext& ctx) {
+  void* key = ctx.current_instance()->user_data();
+  auto it = preopens_by_proc_.find(key);
+  if (it != preopens_by_proc_.end()) {
+    return it->second;
+  }
+  std::map<uint32_t, PreopenFd>& table = preopens_by_proc_[key];
+  WasiCall call(this, ctx);
+  for (const Preopen& pre : options_.preopens) {
+    uint64_t scratch = call.Scratch();
+    if (scratch == 0) continue;
+    void* dst = call.Ptr(scratch + kScratchPath1, pre.host_path.size() + 1);
+    if (dst == nullptr) continue;
+    std::memcpy(dst, pre.host_path.c_str(), pre.host_path.size() + 1);
+    int64_t fd =
+        CallWali(ctx, "openat",
+                 {AT_FDCWD, static_cast<int64_t>(scratch + kScratchPath1),
+                  O_RDONLY | O_DIRECTORY | O_CLOEXEC, 0});
+    if (fd >= 0) {
+      table[static_cast<uint32_t>(fd)] =
+          PreopenFd{static_cast<int>(fd), pre.guest_path};
+    } else {
+      LOG_ERROR() << "wasi preopen failed for " << pre.host_path << ": " << fd;
+    }
+  }
+  return table;
+}
+
+void WasiLayer::Register() {
+  using Handler = std::function<uint16_t(WasiCall&, const uint64_t*)>;
+
+  // sig: one char per param, 'i' = i32, 'I' = i64; result is always errno i32.
+  auto def = [&](const char* name, const char* sig, Handler fn) {
+    wasm::FuncType type;
+    for (const char* p = sig; *p != '\0'; ++p) {
+      type.params.push_back(*p == 'I' ? wasm::ValType::kI64 : wasm::ValType::kI32);
+    }
+    type.results = {wasm::ValType::kI32};
+    linker_->DefineHostFunc(
+        "wasi_snapshot_preview1", name, type,
+        [this, fn](wasm::ExecContext& ctx, const uint64_t* args,
+                   uint64_t* results) -> wasm::TrapKind {
+          WasiCall call(this, ctx);
+          if (!call.ok()) {
+            ctx.SetTrap(wasm::TrapKind::kHostError, "wasi: no guest memory");
+            return ctx.trap;
+          }
+          results[0] = fn(call, args);
+          return ctx.trap;
+        });
+  };
+
+  auto i32 = [](uint64_t v) { return static_cast<int64_t>(static_cast<int32_t>(v)); };
+
+  // ---- args / environ (routed through the WALI support methods, §3.4) ----
+  def("args_sizes_get", "ii", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    int64_t argc = c.WaliSupport("get_argc", {});
+    uint64_t total = 0;
+    for (int64_t i = 0; i < argc; ++i) {
+      total += static_cast<uint64_t>(c.WaliSupport("get_argv_len", {i}));
+    }
+    if (!c.WriteU32(a[0], static_cast<uint32_t>(argc)) ||
+        !c.WriteU32(a[1], static_cast<uint32_t>(total))) {
+      return kEfault;
+    }
+    return kSuccess;
+  });
+  def("args_get", "ii", [](WasiCall& c, const uint64_t* a) -> uint16_t {
+    int64_t argc = c.WaliSupport("get_argc", {});
+    uint64_t argv_ptr = a[0], buf = a[1];
+    for (int64_t i = 0; i < argc; ++i) {
+      if (!c.WriteU32(argv_ptr + 4 * static_cast<uint64_t>(i),
+                      static_cast<uint32_t>(buf))) {
+        return kEfault;
+      }
+      int64_t n = c.WaliSupport("copy_argv", {static_cast<int64_t>(buf), i});
+      if (n < 0) return kEfault;
+      buf += static_cast<uint64_t>(n);
+    }
+    return kSuccess;
+  });
+  def("environ_sizes_get", "ii", [](WasiCall& c, const uint64_t* a) -> uint16_t {
+    int64_t envc = c.WaliSupport("get_envc", {});
+    uint64_t total = 0;
+    for (int64_t i = 0; i < envc; ++i) {
+      total += static_cast<uint64_t>(c.WaliSupport("get_env_len", {i}));
+    }
+    if (!c.WriteU32(a[0], static_cast<uint32_t>(envc)) ||
+        !c.WriteU32(a[1], static_cast<uint32_t>(total))) {
+      return kEfault;
+    }
+    return kSuccess;
+  });
+  def("environ_get", "ii", [](WasiCall& c, const uint64_t* a) -> uint16_t {
+    int64_t envc = c.WaliSupport("get_envc", {});
+    uint64_t env_ptr = a[0], buf = a[1];
+    for (int64_t i = 0; i < envc; ++i) {
+      if (!c.WriteU32(env_ptr + 4 * static_cast<uint64_t>(i),
+                      static_cast<uint32_t>(buf))) {
+        return kEfault;
+      }
+      int64_t n = c.WaliSupport("copy_env", {static_cast<int64_t>(buf), i});
+      if (n < 0) return kEfault;
+      buf += static_cast<uint64_t>(n);
+    }
+    return kSuccess;
+  });
+
+  // ---- clocks (WASI ids 0..3 coincide with Linux CLOCK_* ids) ----
+  def("clock_time_get", "iIi", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    uint64_t scratch = c.Scratch();
+    if (scratch == 0) return kEnomem;
+    int64_t r = c.Wali("clock_gettime",
+                       {i32(a[0]), static_cast<int64_t>(scratch + kScratchTime)});
+    if (r < 0) return WasiErrnoFromLinux(r);
+    const auto* ts =
+        static_cast<const wabi::WaliTimespec*>(c.Ptr(scratch + kScratchTime, 16));
+    if (ts == nullptr) return kEfault;
+    uint64_t ns = static_cast<uint64_t>(ts->sec) * 1000000000ull +
+                  static_cast<uint64_t>(ts->nsec);
+    if (!c.WriteU64(a[2], ns)) return kEfault;
+    return kSuccess;
+  });
+  def("clock_res_get", "ii", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    uint64_t scratch = c.Scratch();
+    if (scratch == 0) return kEnomem;
+    int64_t r = c.Wali("clock_getres",
+                       {i32(a[0]), static_cast<int64_t>(scratch + kScratchTime)});
+    if (r < 0) return WasiErrnoFromLinux(r);
+    const auto* ts =
+        static_cast<const wabi::WaliTimespec*>(c.Ptr(scratch + kScratchTime, 16));
+    if (ts == nullptr) return kEfault;
+    uint64_t ns = static_cast<uint64_t>(ts->sec) * 1000000000ull +
+                  static_cast<uint64_t>(ts->nsec);
+    if (!c.WriteU64(a[1], ns)) return kEfault;
+    return kSuccess;
+  });
+
+  // ---- fd ops ----
+  def("fd_close", "i", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    return WasiErrnoFromLinux(c.Wali("close", {i32(a[0])}));
+  });
+  def("fd_read", "iiii", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    // WASI iovec layout == wasm32 iovec: passes straight through WALI readv.
+    int64_t r = c.Wali("readv", {i32(a[0]), static_cast<int64_t>(a[1]),
+                                 static_cast<int64_t>(a[2])});
+    if (r < 0) return WasiErrnoFromLinux(r);
+    return c.WriteU32(a[3], static_cast<uint32_t>(r)) ? kSuccess : kEfault;
+  });
+  def("fd_write", "iiii", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    int64_t r = c.Wali("writev", {i32(a[0]), static_cast<int64_t>(a[1]),
+                                  static_cast<int64_t>(a[2])});
+    if (r < 0) return WasiErrnoFromLinux(r);
+    return c.WriteU32(a[3], static_cast<uint32_t>(r)) ? kSuccess : kEfault;
+  });
+  def("fd_seek", "iIii", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    int64_t r = c.Wali("lseek", {i32(a[0]), static_cast<int64_t>(a[1]), i32(a[2])});
+    if (r < 0) return WasiErrnoFromLinux(r);
+    return c.WriteU64(a[3], static_cast<uint64_t>(r)) ? kSuccess : kEfault;
+  });
+  def("fd_tell", "ii", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    int64_t r = c.Wali("lseek", {i32(a[0]), 0, SEEK_CUR});
+    if (r < 0) return WasiErrnoFromLinux(r);
+    return c.WriteU64(a[1], static_cast<uint64_t>(r)) ? kSuccess : kEfault;
+  });
+  def("fd_filestat_get", "ii", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    return c.FilestatFromFd(i32(a[0]), a[1]);
+  });
+  def("fd_fdstat_get", "ii", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    uint64_t scratch = c.Scratch();
+    if (scratch == 0) return kEnomem;
+    int64_t r = c.Wali("fstat", {i32(a[0]), static_cast<int64_t>(scratch + kScratchKstat)});
+    if (r < 0) return WasiErrnoFromLinux(r);
+    const auto* kst = static_cast<const wabi::WaliKStat*>(
+        c.Ptr(scratch + kScratchKstat, sizeof(wabi::WaliKStat)));
+    int64_t fl = c.Wali("fcntl", {i32(a[0]), F_GETFL, 0});
+    if (fl < 0) return WasiErrnoFromLinux(fl);
+    uint8_t* out = static_cast<uint8_t*>(c.Ptr(a[1], 24));
+    if (out == nullptr || kst == nullptr) return kEfault;
+    std::memset(out, 0, 24);
+    out[0] = FiletypeFromMode(kst->mode);
+    uint16_t flags = 0;
+    if ((fl & O_APPEND) != 0) flags |= 1;
+    if ((fl & O_NONBLOCK) != 0) flags |= 4;
+    std::memcpy(out + 2, &flags, 2);
+    uint64_t rights = ~0ull;  // per-fd rights narrowing is a policy layer above
+    std::memcpy(out + 8, &rights, 8);
+    std::memcpy(out + 16, &rights, 8);
+    return kSuccess;
+  });
+  def("fd_fdstat_set_flags", "ii", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    int flags = 0;
+    if ((a[1] & 1) != 0) flags |= O_APPEND;
+    if ((a[1] & 4) != 0) flags |= O_NONBLOCK;
+    return WasiErrnoFromLinux(c.Wali("fcntl", {i32(a[0]), F_SETFL, flags}));
+  });
+  def("fd_datasync", "i", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    return WasiErrnoFromLinux(c.Wali("fdatasync", {i32(a[0])}));
+  });
+  def("fd_sync", "i", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    return WasiErrnoFromLinux(c.Wali("fsync", {i32(a[0])}));
+  });
+  def("fd_renumber", "ii", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    int64_t r = c.Wali("dup3", {i32(a[0]), i32(a[1]), 0});
+    return r < 0 ? WasiErrnoFromLinux(r) : kSuccess;
+  });
+  def("fd_prestat_get", "ii", [](WasiCall& c, const uint64_t* a) -> uint16_t {
+    const auto& preopens = c.layer()->EnsurePreopens(c.ctx());
+    auto it = preopens.find(static_cast<uint32_t>(a[0]));
+    if (it == preopens.end()) return kEbadf;
+    // prestat: tag u8 = 0 (dir), then u32 name_len.
+    if (!c.WriteU32(a[1], 0) ||
+        !c.WriteU32(a[1] + 4, static_cast<uint32_t>(it->second.guest_path.size()))) {
+      return kEfault;
+    }
+    return kSuccess;
+  });
+  def("fd_prestat_dir_name", "iii", [](WasiCall& c, const uint64_t* a) -> uint16_t {
+    const auto& preopens = c.layer()->EnsurePreopens(c.ctx());
+    auto it = preopens.find(static_cast<uint32_t>(a[0]));
+    if (it == preopens.end()) return kEbadf;
+    const std::string& name = it->second.guest_path;
+    if (a[2] < name.size()) return kEinval;
+    void* dst = c.Ptr(a[1], name.size());
+    if (dst == nullptr) return kEfault;
+    std::memcpy(dst, name.data(), name.size());
+    return kSuccess;
+  });
+
+  // ---- path ops (capability checks live HERE, above WALI) ----
+  def("path_open", "iiiiiIIii", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    c.layer()->EnsurePreopens(c.ctx());
+    std::string path;
+    uint64_t staged = c.StagePath(a[2], a[3], &path);
+    if (staged == 0) return kEfault;
+    if (!PathContained(path)) return kEnotcapable;
+    uint32_t oflags = static_cast<uint32_t>(a[4]);
+    uint64_t rights = a[5];
+    uint32_t fdflags = static_cast<uint32_t>(a[7]);
+    int flags = 0;
+    if ((oflags & 1) != 0) flags |= O_CREAT;
+    if ((oflags & 2) != 0) flags |= O_DIRECTORY;
+    if ((oflags & 4) != 0) flags |= O_EXCL;
+    if ((oflags & 8) != 0) flags |= O_TRUNC;
+    if ((fdflags & 1) != 0) flags |= O_APPEND;
+    if ((fdflags & 4) != 0) flags |= O_NONBLOCK;
+    constexpr uint64_t kRightRead = 1 << 1;   // fd_read
+    constexpr uint64_t kRightWrite = 1 << 6;  // fd_write
+    bool want_read = (rights & kRightRead) != 0;
+    bool want_write = (rights & kRightWrite) != 0 || (flags & (O_CREAT | O_TRUNC)) != 0;
+    flags |= want_write ? (want_read ? O_RDWR : O_WRONLY) : O_RDONLY;
+    int64_t fd =
+        c.Wali("openat", {i32(a[0]), static_cast<int64_t>(staged), flags, 0644});
+    if (fd < 0) return WasiErrnoFromLinux(fd);
+    return c.WriteU32(a[8], static_cast<uint32_t>(fd)) ? kSuccess : kEfault;
+  });
+  def("path_create_directory", "iii", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    std::string path;
+    uint64_t staged = c.StagePath(a[1], a[2], &path);
+    if (staged == 0) return kEfault;
+    if (!PathContained(path)) return kEnotcapable;
+    return WasiErrnoFromLinux(
+        c.Wali("mkdirat", {i32(a[0]), static_cast<int64_t>(staged), 0755}));
+  });
+  def("path_remove_directory", "iii", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    std::string path;
+    uint64_t staged = c.StagePath(a[1], a[2], &path);
+    if (staged == 0) return kEfault;
+    if (!PathContained(path)) return kEnotcapable;
+    return WasiErrnoFromLinux(
+        c.Wali("unlinkat", {i32(a[0]), static_cast<int64_t>(staged), AT_REMOVEDIR}));
+  });
+  def("path_unlink_file", "iii", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    std::string path;
+    uint64_t staged = c.StagePath(a[1], a[2], &path);
+    if (staged == 0) return kEfault;
+    if (!PathContained(path)) return kEnotcapable;
+    return WasiErrnoFromLinux(
+        c.Wali("unlinkat", {i32(a[0]), static_cast<int64_t>(staged), 0}));
+  });
+  def("path_filestat_get", "iiiii", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    std::string path;
+    uint64_t staged = c.StagePath(a[2], a[3], &path);
+    if (staged == 0) return kEfault;
+    if (!PathContained(path)) return kEnotcapable;
+    uint64_t scratch = c.Scratch();
+    int at_flags = (a[1] & 1) != 0 ? 0 : AT_SYMLINK_NOFOLLOW;  // bit0 = follow
+    int64_t r = c.Wali("newfstatat",
+                       {i32(a[0]), static_cast<int64_t>(staged),
+                        static_cast<int64_t>(scratch + kScratchKstat), at_flags});
+    if (r < 0) return WasiErrnoFromLinux(r);
+    return c.FilestatFromKstat(scratch + kScratchKstat, a[4]);
+  });
+  def("path_rename", "iiiiii", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    std::string oldp, newp;
+    uint64_t staged_old = c.StagePath(a[1], a[2], &oldp, kScratchPath1);
+    uint64_t staged_new = c.StagePath(a[4], a[5], &newp, kScratchPath2);
+    if (staged_old == 0 || staged_new == 0) return kEfault;
+    if (!PathContained(oldp) || !PathContained(newp)) return kEnotcapable;
+    return WasiErrnoFromLinux(
+        c.Wali("renameat", {i32(a[0]), static_cast<int64_t>(staged_old), i32(a[3]),
+                            static_cast<int64_t>(staged_new)}));
+  });
+  def("path_readlink", "iiiiii", [i32](WasiCall& c, const uint64_t* a) -> uint16_t {
+    std::string path;
+    uint64_t staged = c.StagePath(a[1], a[2], &path);
+    if (staged == 0) return kEfault;
+    if (!PathContained(path)) return kEnotcapable;
+    int64_t r = c.Wali("readlinkat",
+                       {i32(a[0]), static_cast<int64_t>(staged),
+                        static_cast<int64_t>(a[3]), static_cast<int64_t>(a[4])});
+    if (r < 0) return WasiErrnoFromLinux(r);
+    return c.WriteU32(a[5], static_cast<uint32_t>(r)) ? kSuccess : kEfault;
+  });
+
+  // ---- misc ----
+  def("random_get", "ii", [](WasiCall& c, const uint64_t* a) -> uint16_t {
+    int64_t r = c.Wali("getrandom",
+                       {static_cast<int64_t>(a[0]), static_cast<int64_t>(a[1]), 0});
+    return r < 0 ? WasiErrnoFromLinux(r) : kSuccess;
+  });
+  def("sched_yield", "", [](WasiCall& c, const uint64_t*) -> uint16_t {
+    return WasiErrnoFromLinux(c.Wali("sched_yield", {}));
+  });
+
+  // proc_exit(code) -> ! (no result)
+  {
+    wasm::FuncType type;
+    type.params = {wasm::ValType::kI32};
+    linker_->DefineHostFunc(
+        "wasi_snapshot_preview1", "proc_exit", type,
+        [this](wasm::ExecContext& ctx, const uint64_t* args, uint64_t*) {
+          CallWali(ctx, "exit_group",
+                   {static_cast<int64_t>(static_cast<int32_t>(args[0]))});
+          return ctx.trap;
+        });
+  }
+}
+
+}  // namespace wasi

@@ -1,0 +1,108 @@
+// WASI (preview1-class) implemented as a layer over WALI (paper §4.1/Fig. 6,
+// claim C2, experiment E2).
+//
+// Every operation bottoms out in name-bound `("wali", ...)` calls resolved
+// through the Linker — exactly the calls a Wasm module implementing WASI
+// would import. The layer adds the capability model WASI requires
+// (preopened directories, lexical path containment, rights words) strictly
+// *above* the thin kernel interface, demonstrating the paper's layering:
+// engines keep one tiny syscall surface; security-model APIs live outside
+// the TCB. Even the layer's scratch memory is allocated inside the guest
+// sandbox via WALI mmap.
+#ifndef SRC_WASI_WASI_LAYER_H_
+#define SRC_WASI_WASI_LAYER_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/wasm/wasm.h"
+
+namespace wasi {
+
+// WASI errno values (subset; preview1 numbering).
+enum WasiErrno : uint16_t {
+  kSuccess = 0,
+  kE2big = 1,
+  kEacces = 2,
+  kEagain = 6,
+  kEbadf = 8,
+  kEexist = 20,
+  kEfault = 21,
+  kEinval = 28,
+  kEio = 29,
+  kEisdir = 31,
+  kEloop = 32,
+  kEnoent = 44,
+  kEnomem = 48,
+  kEnosys = 52,
+  kEnotdir = 54,
+  kEperm = 63,
+  kErofs = 69,
+  kEnotcapable = 76,
+};
+
+// Maps a negative-errno WALI result to a WASI errno.
+uint16_t WasiErrnoFromLinux(int64_t neg_errno);
+
+class WasiCall;
+
+class WasiLayer {
+ public:
+  struct Preopen {
+    std::string guest_path;  // name reported to the guest, e.g. "/sandbox"
+    std::string host_path;   // directory opened through WALI at first use
+  };
+
+  struct Options {
+    std::vector<Preopen> preopens;
+  };
+
+  // Registers the "wasi_snapshot_preview1" namespace on `linker`. A
+  // WaliRuntime must already be attached to the same linker.
+  WasiLayer(wasm::Linker* linker, const Options& options);
+  ~WasiLayer();
+
+  WasiLayer(const WasiLayer&) = delete;
+  WasiLayer& operator=(const WasiLayer&) = delete;
+
+  // Number of WALI calls issued through the layering boundary (telemetry
+  // for tests: proves everything routes through the thin interface).
+  uint64_t wali_calls() const { return wali_calls_; }
+
+  struct PreopenFd {
+    int host_fd;
+    std::string guest_path;
+  };
+
+ private:
+  friend class WasiCall;
+
+  void Register();
+
+  // Invokes ("wali", "SYS_<name>"); returns the kernel-convention result.
+  int64_t CallWali(wasm::ExecContext& ctx, const std::string& name,
+                   std::initializer_list<int64_t> args);
+  // Invokes a WALI support method by exact name (get_argc, copy_argv, ...).
+  int64_t CallWaliByFullName(wasm::ExecContext& ctx, const std::string& name,
+                             std::initializer_list<int64_t> args);
+
+  // Per-process scratch region (wasm address) allocated via WALI mmap.
+  uint64_t& ScratchFor(wasm::ExecContext& ctx);
+  // Opens configured preopen dirs through WALI for this process (idempotent).
+  const std::map<uint32_t, PreopenFd>& EnsurePreopens(wasm::ExecContext& ctx);
+
+  wasm::Linker* linker_;
+  Options options_;
+  std::map<void*, uint64_t> scratch_;  // keyed by WaliProcess pointer
+  std::map<void*, std::map<uint32_t, PreopenFd>> preopens_by_proc_;
+  uint64_t wali_calls_ = 0;
+};
+
+}  // namespace wasi
+
+#endif  // SRC_WASI_WASI_LAYER_H_

@@ -1,0 +1,541 @@
+#include "src/wasm/decode.h"
+
+#include <cstring>
+#include <string>
+
+#include "src/wasm/opcode.h"
+
+namespace wasm {
+
+namespace {
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool AtEnd() const { return pos_ >= size_; }
+  size_t pos() const { return pos_; }
+
+  common::Status Fail(const std::string& msg) {
+    return common::InvalidArgument("wasm decode @" + std::to_string(pos_) + ": " + msg);
+  }
+
+  common::Status Byte(uint8_t* out) {
+    if (pos_ >= size_) return Fail("unexpected end");
+    *out = data_[pos_++];
+    return common::OkStatus();
+  }
+
+  common::Status Bytes(void* out, size_t n) {
+    if (pos_ + n > size_) return Fail("unexpected end");
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return common::OkStatus();
+  }
+
+  common::Status U32Leb(uint32_t* out) {
+    uint64_t v;
+    RETURN_IF_ERROR(ULeb(&v, 5));
+    *out = static_cast<uint32_t>(v);
+    return common::OkStatus();
+  }
+
+  common::Status U64Leb(uint64_t* out) { return ULeb(out, 10); }
+
+  common::Status S64Leb(int64_t* out) {
+    int64_t result = 0;
+    int shift = 0;
+    uint8_t b;
+    do {
+      RETURN_IF_ERROR(Byte(&b));
+      result |= static_cast<int64_t>(b & 0x7F) << shift;
+      shift += 7;
+    } while ((b & 0x80) != 0 && shift < 70);
+    if ((b & 0x80) != 0) return Fail("sleb too long");
+    if (shift < 64 && (b & 0x40) != 0) {
+      result |= -(static_cast<int64_t>(1) << shift);
+    }
+    *out = result;
+    return common::OkStatus();
+  }
+
+  common::Status S32Leb(int32_t* out) {
+    int64_t v;
+    RETURN_IF_ERROR(S64Leb(&v));
+    *out = static_cast<int32_t>(v);
+    return common::OkStatus();
+  }
+
+  common::Status Name(std::string* out) {
+    uint32_t len;
+    RETURN_IF_ERROR(U32Leb(&len));
+    if (pos_ + len > size_) return Fail("name exceeds section");
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return common::OkStatus();
+  }
+
+  common::Status SkipTo(size_t target) {
+    if (target < pos_ || target > size_) return Fail("bad section length");
+    pos_ = target;
+    return common::OkStatus();
+  }
+
+ private:
+  common::Status ULeb(uint64_t* out, int max_bytes) {
+    uint64_t result = 0;
+    int shift = 0;
+    for (int i = 0; i < max_bytes; ++i) {
+      uint8_t b;
+      RETURN_IF_ERROR(Byte(&b));
+      result |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) {
+        *out = result;
+        return common::OkStatus();
+      }
+      shift += 7;
+    }
+    return Fail("uleb too long");
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+common::Status DecodeValType(Reader& r, ValType* out) {
+  uint8_t b;
+  RETURN_IF_ERROR(r.Byte(&b));
+  switch (b) {
+    case 0x7F: *out = ValType::kI32; return common::OkStatus();
+    case 0x7E: *out = ValType::kI64; return common::OkStatus();
+    case 0x7D: *out = ValType::kF32; return common::OkStatus();
+    case 0x7C: *out = ValType::kF64; return common::OkStatus();
+    case 0x70: *out = ValType::kFuncRef; return common::OkStatus();
+    default: return r.Fail("bad value type");
+  }
+}
+
+common::Status DecodeLimits(Reader& r, Limits* out) {
+  uint8_t flags;
+  RETURN_IF_ERROR(r.Byte(&flags));
+  uint32_t min;
+  RETURN_IF_ERROR(r.U32Leb(&min));
+  out->min = min;
+  out->shared = (flags & 2) != 0;
+  if ((flags & 1) != 0) {
+    uint32_t max;
+    RETURN_IF_ERROR(r.U32Leb(&max));
+    out->max = max;
+    out->has_max = true;
+  }
+  return common::OkStatus();
+}
+
+common::Status DecodeInitExpr(Reader& r, InitExpr* out) {
+  uint8_t op;
+  RETURN_IF_ERROR(r.Byte(&op));
+  switch (op) {
+    case 0x41: {
+      int32_t v;
+      RETURN_IF_ERROR(r.S32Leb(&v));
+      out->kind = InitExpr::Kind::kConst;
+      out->type = ValType::kI32;
+      out->bits = static_cast<uint32_t>(v);
+      break;
+    }
+    case 0x42: {
+      int64_t v;
+      RETURN_IF_ERROR(r.S64Leb(&v));
+      out->kind = InitExpr::Kind::kConst;
+      out->type = ValType::kI64;
+      out->bits = static_cast<uint64_t>(v);
+      break;
+    }
+    case 0x43: {
+      uint32_t u;
+      RETURN_IF_ERROR(r.Bytes(&u, 4));
+      out->kind = InitExpr::Kind::kConst;
+      out->type = ValType::kF32;
+      out->bits = u;
+      break;
+    }
+    case 0x44: {
+      uint64_t u;
+      RETURN_IF_ERROR(r.Bytes(&u, 8));
+      out->kind = InitExpr::Kind::kConst;
+      out->type = ValType::kF64;
+      out->bits = u;
+      break;
+    }
+    case 0x23: {
+      uint32_t idx;
+      RETURN_IF_ERROR(r.U32Leb(&idx));
+      out->kind = InitExpr::Kind::kGlobalGet;
+      out->global_index = idx;
+      break;
+    }
+    default:
+      return r.Fail("unsupported init expression opcode");
+  }
+  uint8_t end;
+  RETURN_IF_ERROR(r.Byte(&end));
+  if (end != 0x0B) return r.Fail("init expression must end with 'end'");
+  return common::OkStatus();
+}
+
+common::Status DecodeBody(Reader& r, Function* fn) {
+  int depth = 1;
+  while (depth > 0) {
+    uint8_t first;
+    RETURN_IF_ERROR(r.Byte(&first));
+    uint32_t raw = first;
+    if (first == 0xFC || first == 0xFE) {
+      uint32_t sub;
+      RETURN_IF_ERROR(r.U32Leb(&sub));
+      raw = (first == 0xFC ? 0x100 : 0x200) + sub;
+    }
+    if (!IsKnownOp(raw)) {
+      return r.Fail("unknown opcode 0x" + std::to_string(raw));
+    }
+    Instr in;
+    in.op = static_cast<Op>(raw);
+    switch (OpImmKind(in.op)) {
+      case ImmKind::kNone:
+        break;
+      case ImmKind::kBlock: {
+        uint8_t bt;
+        RETURN_IF_ERROR(r.Byte(&bt));
+        in.imm = bt;
+        break;
+      }
+      case ImmKind::kLabel: {
+        uint32_t depth_imm;
+        RETURN_IF_ERROR(r.U32Leb(&depth_imm));
+        in.a = depth_imm;
+        in.imm = depth_imm;
+        break;
+      }
+      case ImmKind::kBrTable: {
+        uint32_t count;
+        RETURN_IF_ERROR(r.U32Leb(&count));
+        BrTable table;
+        for (uint32_t i = 0; i <= count; ++i) {
+          uint32_t d;
+          RETURN_IF_ERROR(r.U32Leb(&d));
+          BrTarget t;
+          t.depth = d;
+          table.targets.push_back(t);
+        }
+        in.a = static_cast<uint32_t>(fn->br_tables.size());
+        fn->br_tables.push_back(std::move(table));
+        break;
+      }
+      case ImmKind::kFunc:
+      case ImmKind::kLocal:
+      case ImmKind::kGlobal: {
+        uint32_t idx;
+        RETURN_IF_ERROR(r.U32Leb(&idx));
+        in.a = idx;
+        break;
+      }
+      case ImmKind::kCallIndirect: {
+        uint32_t type_index, table_index;
+        RETURN_IF_ERROR(r.U32Leb(&type_index));
+        RETURN_IF_ERROR(r.U32Leb(&table_index));
+        in.a = type_index;
+        in.b = table_index;
+        break;
+      }
+      case ImmKind::kMem: {
+        uint32_t align, offset;
+        RETURN_IF_ERROR(r.U32Leb(&align));
+        RETURN_IF_ERROR(r.U32Leb(&offset));
+        in.a = offset;
+        in.b = align;
+        break;
+      }
+      case ImmKind::kMemIdx: {
+        uint8_t zero;
+        RETURN_IF_ERROR(r.Byte(&zero));
+        break;
+      }
+      case ImmKind::kMemMemIdx: {
+        uint8_t zero;
+        RETURN_IF_ERROR(r.Byte(&zero));
+        RETURN_IF_ERROR(r.Byte(&zero));
+        break;
+      }
+      case ImmKind::kI32Const: {
+        int32_t v;
+        RETURN_IF_ERROR(r.S32Leb(&v));
+        in.imm = static_cast<uint32_t>(v);
+        break;
+      }
+      case ImmKind::kI64Const: {
+        int64_t v;
+        RETURN_IF_ERROR(r.S64Leb(&v));
+        in.imm = static_cast<uint64_t>(v);
+        break;
+      }
+      case ImmKind::kF32Const: {
+        uint32_t u;
+        RETURN_IF_ERROR(r.Bytes(&u, 4));
+        in.imm = u;
+        break;
+      }
+      case ImmKind::kF64Const: {
+        uint64_t u;
+        RETURN_IF_ERROR(r.Bytes(&u, 8));
+        in.imm = u;
+        break;
+      }
+    }
+    if (in.op == Op::kBlock || in.op == Op::kLoop || in.op == Op::kIf) {
+      ++depth;
+    } else if (in.op == Op::kEnd) {
+      --depth;
+    }
+    fn->code.push_back(in);
+  }
+  return common::OkStatus();
+}
+
+}  // namespace
+
+common::StatusOr<std::shared_ptr<Module>> DecodeModule(const uint8_t* data, size_t size) {
+  Reader r(data, size);
+  uint8_t magic[8];
+  RETURN_IF_ERROR(r.Bytes(magic, 8));
+  static const uint8_t kMagic[8] = {0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00};
+  if (std::memcmp(magic, kMagic, 8) != 0) {
+    return common::InvalidArgument("bad wasm magic/version");
+  }
+
+  auto module = std::make_shared<Module>();
+  std::vector<uint32_t> func_type_indices;
+
+  while (!r.AtEnd()) {
+    uint8_t section_id;
+    RETURN_IF_ERROR(r.Byte(&section_id));
+    uint32_t section_len;
+    RETURN_IF_ERROR(r.U32Leb(&section_len));
+    size_t section_end = r.pos() + section_len;
+
+    switch (section_id) {
+      case 0: {  // custom: skipped
+        RETURN_IF_ERROR(r.SkipTo(section_end));
+        break;
+      }
+      case 1: {  // types
+        uint32_t count;
+        RETURN_IF_ERROR(r.U32Leb(&count));
+        for (uint32_t i = 0; i < count; ++i) {
+          uint8_t form;
+          RETURN_IF_ERROR(r.Byte(&form));
+          if (form != 0x60) return r.Fail("expected func type");
+          FuncType t;
+          uint32_t np, nr;
+          RETURN_IF_ERROR(r.U32Leb(&np));
+          for (uint32_t k = 0; k < np; ++k) {
+            ValType v;
+            RETURN_IF_ERROR(DecodeValType(r, &v));
+            t.params.push_back(v);
+          }
+          RETURN_IF_ERROR(r.U32Leb(&nr));
+          for (uint32_t k = 0; k < nr; ++k) {
+            ValType v;
+            RETURN_IF_ERROR(DecodeValType(r, &v));
+            t.results.push_back(v);
+          }
+          module->types.push_back(std::move(t));
+        }
+        break;
+      }
+      case 2: {  // imports
+        uint32_t count;
+        RETURN_IF_ERROR(r.U32Leb(&count));
+        for (uint32_t i = 0; i < count; ++i) {
+          Import imp;
+          RETURN_IF_ERROR(r.Name(&imp.module));
+          RETURN_IF_ERROR(r.Name(&imp.name));
+          uint8_t kind;
+          RETURN_IF_ERROR(r.Byte(&kind));
+          imp.kind = static_cast<ExternKind>(kind);
+          switch (imp.kind) {
+            case ExternKind::kFunc: {
+              RETURN_IF_ERROR(r.U32Leb(&imp.type_index));
+              ++module->num_imported_funcs;
+              break;
+            }
+            case ExternKind::kTable: {
+              uint8_t reftype;
+              RETURN_IF_ERROR(r.Byte(&reftype));
+              RETURN_IF_ERROR(DecodeLimits(r, &imp.limits));
+              ++module->num_imported_tables;
+              break;
+            }
+            case ExternKind::kMemory: {
+              RETURN_IF_ERROR(DecodeLimits(r, &imp.limits));
+              ++module->num_imported_memories;
+              break;
+            }
+            case ExternKind::kGlobal: {
+              RETURN_IF_ERROR(DecodeValType(r, &imp.global_type.type));
+              uint8_t mut;
+              RETURN_IF_ERROR(r.Byte(&mut));
+              imp.global_type.mut = mut != 0;
+              ++module->num_imported_globals;
+              break;
+            }
+            default:
+              return r.Fail("bad import kind");
+          }
+          module->imports.push_back(std::move(imp));
+        }
+        break;
+      }
+      case 3: {  // function type indices
+        uint32_t count;
+        RETURN_IF_ERROR(r.U32Leb(&count));
+        for (uint32_t i = 0; i < count; ++i) {
+          uint32_t ti;
+          RETURN_IF_ERROR(r.U32Leb(&ti));
+          func_type_indices.push_back(ti);
+        }
+        break;
+      }
+      case 4: {  // tables
+        uint32_t count;
+        RETURN_IF_ERROR(r.U32Leb(&count));
+        for (uint32_t i = 0; i < count; ++i) {
+          uint8_t reftype;
+          RETURN_IF_ERROR(r.Byte(&reftype));
+          TableDecl t;
+          RETURN_IF_ERROR(DecodeLimits(r, &t.limits));
+          module->tables.push_back(t);
+        }
+        break;
+      }
+      case 5: {  // memories
+        uint32_t count;
+        RETURN_IF_ERROR(r.U32Leb(&count));
+        for (uint32_t i = 0; i < count; ++i) {
+          MemoryDecl m;
+          RETURN_IF_ERROR(DecodeLimits(r, &m.limits));
+          module->memories.push_back(m);
+        }
+        break;
+      }
+      case 6: {  // globals
+        uint32_t count;
+        RETURN_IF_ERROR(r.U32Leb(&count));
+        for (uint32_t i = 0; i < count; ++i) {
+          Global g;
+          RETURN_IF_ERROR(DecodeValType(r, &g.type.type));
+          uint8_t mut;
+          RETURN_IF_ERROR(r.Byte(&mut));
+          g.type.mut = mut != 0;
+          RETURN_IF_ERROR(DecodeInitExpr(r, &g.init));
+          module->globals.push_back(std::move(g));
+        }
+        break;
+      }
+      case 7: {  // exports
+        uint32_t count;
+        RETURN_IF_ERROR(r.U32Leb(&count));
+        for (uint32_t i = 0; i < count; ++i) {
+          Export e;
+          RETURN_IF_ERROR(r.Name(&e.name));
+          uint8_t kind;
+          RETURN_IF_ERROR(r.Byte(&kind));
+          e.kind = static_cast<ExternKind>(kind);
+          RETURN_IF_ERROR(r.U32Leb(&e.index));
+          module->exports.push_back(std::move(e));
+        }
+        break;
+      }
+      case 8: {  // start
+        uint32_t idx;
+        RETURN_IF_ERROR(r.U32Leb(&idx));
+        module->start = idx;
+        break;
+      }
+      case 9: {  // elems
+        uint32_t count;
+        RETURN_IF_ERROR(r.U32Leb(&count));
+        for (uint32_t i = 0; i < count; ++i) {
+          ElemSegment seg;
+          RETURN_IF_ERROR(r.U32Leb(&seg.table_index));
+          RETURN_IF_ERROR(DecodeInitExpr(r, &seg.offset));
+          uint32_t n;
+          RETURN_IF_ERROR(r.U32Leb(&n));
+          for (uint32_t k = 0; k < n; ++k) {
+            uint32_t fi;
+            RETURN_IF_ERROR(r.U32Leb(&fi));
+            seg.func_indices.push_back(fi);
+          }
+          module->elems.push_back(std::move(seg));
+        }
+        break;
+      }
+      case 10: {  // code
+        uint32_t count;
+        RETURN_IF_ERROR(r.U32Leb(&count));
+        if (count != func_type_indices.size()) {
+          return r.Fail("code section count mismatch");
+        }
+        for (uint32_t i = 0; i < count; ++i) {
+          uint32_t body_size;
+          RETURN_IF_ERROR(r.U32Leb(&body_size));
+          size_t body_end = r.pos() + body_size;
+          Function fn;
+          fn.type_index = func_type_indices[i];
+          uint32_t nruns;
+          RETURN_IF_ERROR(r.U32Leb(&nruns));
+          for (uint32_t k = 0; k < nruns; ++k) {
+            uint32_t n;
+            ValType t;
+            RETURN_IF_ERROR(r.U32Leb(&n));
+            RETURN_IF_ERROR(DecodeValType(r, &t));
+            if (fn.locals.size() + n > 65536) return r.Fail("too many locals");
+            for (uint32_t j = 0; j < n; ++j) fn.locals.push_back(t);
+          }
+          RETURN_IF_ERROR(DecodeBody(r, &fn));
+          if (r.pos() != body_end) return r.Fail("function body size mismatch");
+          module->functions.push_back(std::move(fn));
+        }
+        break;
+      }
+      case 11: {  // data
+        uint32_t count;
+        RETURN_IF_ERROR(r.U32Leb(&count));
+        for (uint32_t i = 0; i < count; ++i) {
+          DataSegment seg;
+          RETURN_IF_ERROR(r.U32Leb(&seg.memory_index));
+          RETURN_IF_ERROR(DecodeInitExpr(r, &seg.offset));
+          uint32_t n;
+          RETURN_IF_ERROR(r.U32Leb(&n));
+          seg.bytes.resize(n);
+          if (n > 0) {
+            RETURN_IF_ERROR(r.Bytes(seg.bytes.data(), n));
+          }
+          module->datas.push_back(std::move(seg));
+        }
+        break;
+      }
+      default:
+        return r.Fail("unknown section id " + std::to_string(section_id));
+    }
+    if (r.pos() != section_end) {
+      return r.Fail("section length mismatch (id " + std::to_string(section_id) + ")");
+    }
+  }
+
+  if (func_type_indices.size() != module->functions.size()) {
+    return common::InvalidArgument("function section without matching code section");
+  }
+  return module;
+}
+
+}  // namespace wasm

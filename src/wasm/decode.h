@@ -1,0 +1,23 @@
+// Binary (.wasm) decoder: parses the standard wire format into a Module.
+#ifndef SRC_WASM_DECODE_H_
+#define SRC_WASM_DECODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/wasm/module.h"
+
+namespace wasm {
+
+common::StatusOr<std::shared_ptr<Module>> DecodeModule(const uint8_t* data, size_t size);
+
+inline common::StatusOr<std::shared_ptr<Module>> DecodeModule(
+    const std::vector<uint8_t>& bytes) {
+  return DecodeModule(bytes.data(), bytes.size());
+}
+
+}  // namespace wasm
+
+#endif  // SRC_WASM_DECODE_H_

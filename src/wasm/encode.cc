@@ -1,0 +1,324 @@
+#include "src/wasm/encode.h"
+
+#include <cstring>
+
+namespace wasm {
+
+namespace {
+
+class Writer {
+ public:
+  std::vector<uint8_t> out;
+
+  void Byte(uint8_t b) { out.push_back(b); }
+  void Bytes(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    out.insert(out.end(), p, p + n);
+  }
+  void U32Leb(uint64_t v) {
+    do {
+      uint8_t b = v & 0x7F;
+      v >>= 7;
+      if (v != 0) b |= 0x80;
+      out.push_back(b);
+    } while (v != 0);
+  }
+  void S64Leb(int64_t v) {
+    bool more = true;
+    while (more) {
+      uint8_t b = v & 0x7F;
+      v >>= 7;
+      if ((v == 0 && (b & 0x40) == 0) || (v == -1 && (b & 0x40) != 0)) {
+        more = false;
+      } else {
+        b |= 0x80;
+      }
+      out.push_back(b);
+    }
+  }
+  void S32Leb(int32_t v) { S64Leb(v); }
+  void Name(const std::string& s) {
+    U32Leb(s.size());
+    Bytes(s.data(), s.size());
+  }
+  void Limits(const wasm::Limits& l) {
+    uint8_t flags = (l.has_max ? 1 : 0) | (l.shared ? 2 : 0);
+    Byte(flags);
+    U32Leb(l.min);
+    if (l.has_max) U32Leb(l.max);
+  }
+  void InitExpr(const wasm::InitExpr& e) {
+    if (e.kind == wasm::InitExpr::Kind::kGlobalGet) {
+      Byte(0x23);
+      U32Leb(e.global_index);
+    } else {
+      switch (e.type) {
+        case ValType::kI32:
+          Byte(0x41);
+          S32Leb(static_cast<int32_t>(e.bits));
+          break;
+        case ValType::kI64:
+          Byte(0x42);
+          S64Leb(static_cast<int64_t>(e.bits));
+          break;
+        case ValType::kF32: {
+          Byte(0x43);
+          uint32_t u = static_cast<uint32_t>(e.bits);
+          Bytes(&u, 4);
+          break;
+        }
+        default: {
+          Byte(0x44);
+          uint64_t u = e.bits;
+          Bytes(&u, 8);
+          break;
+        }
+      }
+    }
+    Byte(0x0B);  // end
+  }
+  // Appends `payload` as section `id`.
+  void Section(uint8_t id, const Writer& payload) {
+    Byte(id);
+    U32Leb(payload.out.size());
+    Bytes(payload.out.data(), payload.out.size());
+  }
+};
+
+void EncodeInstr(Writer& w, const Function& fn, const Instr& in) {
+  uint32_t raw = static_cast<uint32_t>(in.op);
+  if (raw >= 0x200) {
+    w.Byte(0xFE);
+    w.U32Leb(raw - 0x200);
+  } else if (raw >= 0x100) {
+    w.Byte(0xFC);
+    w.U32Leb(raw - 0x100);
+  } else {
+    w.Byte(static_cast<uint8_t>(raw));
+  }
+  switch (OpImmKind(in.op)) {
+    case ImmKind::kNone:
+      break;
+    case ImmKind::kBlock:
+      w.Byte(static_cast<uint8_t>(in.imm));
+      break;
+    case ImmKind::kLabel:
+      w.U32Leb(in.imm);  // original depth
+      break;
+    case ImmKind::kBrTable: {
+      const BrTable& table = fn.br_tables[in.a];
+      w.U32Leb(table.targets.size() - 1);
+      for (const BrTarget& t : table.targets) {
+        w.U32Leb(t.depth);
+      }
+      break;
+    }
+    case ImmKind::kFunc:
+      w.U32Leb(in.a);
+      break;
+    case ImmKind::kCallIndirect:
+      w.U32Leb(in.a);  // type index
+      w.U32Leb(in.b);  // table index
+      break;
+    case ImmKind::kLocal:
+    case ImmKind::kGlobal:
+      w.U32Leb(in.a);
+      break;
+    case ImmKind::kMem:
+      w.U32Leb(in.b);  // align (log2; we carry it opaquely)
+      w.U32Leb(in.a);  // offset
+      break;
+    case ImmKind::kMemIdx:
+      w.Byte(0);
+      break;
+    case ImmKind::kMemMemIdx:
+      w.Byte(0);
+      w.Byte(0);
+      break;
+    case ImmKind::kI32Const:
+      w.S32Leb(static_cast<int32_t>(in.imm));
+      break;
+    case ImmKind::kI64Const:
+      w.S64Leb(static_cast<int64_t>(in.imm));
+      break;
+    case ImmKind::kF32Const: {
+      uint32_t u = static_cast<uint32_t>(in.imm);
+      w.Bytes(&u, 4);
+      break;
+    }
+    case ImmKind::kF64Const: {
+      uint64_t u = in.imm;
+      w.Bytes(&u, 8);
+      break;
+    }
+  }
+}
+
+// Emits the body up to (and including) the function-closing kEnd, skipping
+// any synthetic kReturn appended by validation.
+void EncodeBody(Writer& w, const Function& fn) {
+  int depth = 1;
+  for (const Instr& in : fn.code) {
+    EncodeInstr(w, fn, in);
+    if (in.op == Op::kBlock || in.op == Op::kLoop || in.op == Op::kIf) {
+      ++depth;
+    } else if (in.op == Op::kEnd) {
+      --depth;
+      if (depth == 0) return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeModule(const Module& module) {
+  Writer w;
+  static const uint8_t kMagic[8] = {0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00};
+  w.Bytes(kMagic, 8);
+
+  if (!module.types.empty()) {
+    Writer s;
+    s.U32Leb(module.types.size());
+    for (const FuncType& t : module.types) {
+      s.Byte(0x60);
+      s.U32Leb(t.params.size());
+      for (ValType v : t.params) s.Byte(static_cast<uint8_t>(v));
+      s.U32Leb(t.results.size());
+      for (ValType v : t.results) s.Byte(static_cast<uint8_t>(v));
+    }
+    w.Section(1, s);
+  }
+
+  if (!module.imports.empty()) {
+    Writer s;
+    s.U32Leb(module.imports.size());
+    for (const Import& imp : module.imports) {
+      s.Name(imp.module);
+      s.Name(imp.name);
+      s.Byte(static_cast<uint8_t>(imp.kind));
+      switch (imp.kind) {
+        case ExternKind::kFunc:
+          s.U32Leb(imp.type_index);
+          break;
+        case ExternKind::kTable:
+          s.Byte(0x70);
+          s.Limits(imp.limits);
+          break;
+        case ExternKind::kMemory:
+          s.Limits(imp.limits);
+          break;
+        case ExternKind::kGlobal:
+          s.Byte(static_cast<uint8_t>(imp.global_type.type));
+          s.Byte(imp.global_type.mut ? 1 : 0);
+          break;
+      }
+    }
+    w.Section(2, s);
+  }
+
+  if (!module.functions.empty()) {
+    Writer s;
+    s.U32Leb(module.functions.size());
+    for (const Function& f : module.functions) s.U32Leb(f.type_index);
+    w.Section(3, s);
+  }
+
+  if (!module.tables.empty()) {
+    Writer s;
+    s.U32Leb(module.tables.size());
+    for (const TableDecl& t : module.tables) {
+      s.Byte(0x70);
+      s.Limits(t.limits);
+    }
+    w.Section(4, s);
+  }
+
+  if (!module.memories.empty()) {
+    Writer s;
+    s.U32Leb(module.memories.size());
+    for (const MemoryDecl& m : module.memories) s.Limits(m.limits);
+    w.Section(5, s);
+  }
+
+  if (!module.globals.empty()) {
+    Writer s;
+    s.U32Leb(module.globals.size());
+    for (const Global& g : module.globals) {
+      s.Byte(static_cast<uint8_t>(g.type.type));
+      s.Byte(g.type.mut ? 1 : 0);
+      s.InitExpr(g.init);
+    }
+    w.Section(6, s);
+  }
+
+  if (!module.exports.empty()) {
+    Writer s;
+    s.U32Leb(module.exports.size());
+    for (const Export& e : module.exports) {
+      s.Name(e.name);
+      s.Byte(static_cast<uint8_t>(e.kind));
+      s.U32Leb(e.index);
+    }
+    w.Section(7, s);
+  }
+
+  if (module.start.has_value()) {
+    Writer s;
+    s.U32Leb(*module.start);
+    w.Section(8, s);
+  }
+
+  if (!module.elems.empty()) {
+    Writer s;
+    s.U32Leb(module.elems.size());
+    for (const ElemSegment& seg : module.elems) {
+      s.U32Leb(seg.table_index);
+      s.InitExpr(seg.offset);
+      s.U32Leb(seg.func_indices.size());
+      for (uint32_t fi : seg.func_indices) s.U32Leb(fi);
+    }
+    w.Section(9, s);
+  }
+
+  if (!module.functions.empty()) {
+    Writer s;
+    s.U32Leb(module.functions.size());
+    for (const Function& f : module.functions) {
+      Writer body;
+      // Local declarations: run-length encoded by type.
+      std::vector<std::pair<uint32_t, ValType>> runs;
+      for (ValType t : f.locals) {
+        if (!runs.empty() && runs.back().second == t) {
+          ++runs.back().first;
+        } else {
+          runs.emplace_back(1, t);
+        }
+      }
+      body.U32Leb(runs.size());
+      for (auto [count, t] : runs) {
+        body.U32Leb(count);
+        body.Byte(static_cast<uint8_t>(t));
+      }
+      EncodeBody(body, f);
+      s.U32Leb(body.out.size());
+      s.Bytes(body.out.data(), body.out.size());
+    }
+    w.Section(10, s);
+  }
+
+  if (!module.datas.empty()) {
+    Writer s;
+    s.U32Leb(module.datas.size());
+    for (const DataSegment& seg : module.datas) {
+      s.U32Leb(seg.memory_index);
+      s.InitExpr(seg.offset);
+      s.U32Leb(seg.bytes.size());
+      s.Bytes(seg.bytes.data(), seg.bytes.size());
+    }
+    w.Section(11, s);
+  }
+
+  return w.out;
+}
+
+}  // namespace wasm

@@ -1,0 +1,16 @@
+// Binary (.wasm) encoder: serializes a Module to the standard wire format.
+#ifndef SRC_WASM_ENCODE_H_
+#define SRC_WASM_ENCODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/wasm/module.h"
+
+namespace wasm {
+
+std::vector<uint8_t> EncodeModule(const Module& module);
+
+}  // namespace wasm
+
+#endif  // SRC_WASM_ENCODE_H_

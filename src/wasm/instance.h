@@ -1,0 +1,204 @@
+// Runtime structures: function references, tables, globals, instances and the
+// Linker that resolves imports. Mirrors the spec's store/instance split in a
+// compact form; Linker owns host functions and must outlive instances.
+#ifndef SRC_WASM_INSTANCE_H_
+#define SRC_WASM_INSTANCE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/wasm/memory.h"
+#include "src/wasm/module.h"
+#include "src/wasm/types.h"
+
+namespace wasm {
+
+class Instance;
+class ExecContext;
+
+// Host functions receive raw 64-bit slots (types statically validated).
+using HostFn =
+    std::function<TrapKind(ExecContext&, const uint64_t* args, uint64_t* results)>;
+
+struct HostFunc {
+  FuncType type;
+  HostFn fn;
+  std::string name;
+};
+
+// A callable reference: either a wasm function (code+owner) or a host
+// function. Null refs have type == nullptr.
+struct FuncRef {
+  const FuncType* type = nullptr;
+  const Function* code = nullptr;
+  Instance* owner = nullptr;
+  const HostFunc* host = nullptr;
+
+  bool IsNull() const { return type == nullptr; }
+  bool IsHost() const { return host != nullptr; }
+};
+
+struct TableInst {
+  Limits limits;
+  std::vector<FuncRef> elems;
+};
+
+struct GlobalInst {
+  GlobalType type;
+  uint64_t bits = 0;
+};
+
+// Paper Table 3 safepoint insertion schemes (§3.3/§4.2).
+enum class SafepointScheme : uint8_t {
+  kNone = 0,      // baseline: no async signal delivery
+  kLoop,          // poll on backward branches (loop headers) — WALI default
+  kFunction,      // poll on function entry
+  kEveryInstr,    // poll after every instruction
+};
+
+const char* SafepointSchemeName(SafepointScheme s);
+
+struct ExecOptions {
+  SafepointScheme scheme = SafepointScheme::kLoop;
+  uint32_t max_frames = 4096;
+  uint64_t max_value_stack = 1ULL << 22;  // slots
+  uint64_t fuel = 0;                      // 0 = unlimited instructions
+};
+
+// Outcome of an invocation.
+struct RunResult {
+  TrapKind trap = TrapKind::kNone;
+  std::string trap_message;
+  int32_t exit_code = 0;  // valid when trap == kExit
+  std::vector<Value> values;
+  uint64_t executed_instrs = 0;
+
+  bool ok() const { return trap == TrapKind::kNone; }
+  // Treats a clean exit(0) as success too (process-style programs).
+  bool ok_or_exit0() const {
+    return ok() || (trap == TrapKind::kExit && exit_code == 0);
+  }
+};
+
+// Callback polled at safepoints; may re-enter the instance (signal handlers).
+using SafepointFn = std::function<TrapKind(ExecContext&)>;
+
+class Instance {
+ public:
+  const Module& module() const { return *module_; }
+  const std::shared_ptr<const Module>& module_ptr() const { return module_; }
+  const std::string& name() const { return name_; }
+
+  std::shared_ptr<Memory> memory(uint32_t index = 0) const {
+    return index < memories_.size() ? memories_[index] : nullptr;
+  }
+  std::shared_ptr<TableInst> table(uint32_t index = 0) const {
+    return index < tables_.size() ? tables_[index] : nullptr;
+  }
+  GlobalInst& global(uint32_t index) { return globals_[index]; }
+  const FuncRef& func(uint32_t index) const { return funcs_[index]; }
+  uint32_t num_funcs() const { return static_cast<uint32_t>(funcs_.size()); }
+
+  common::StatusOr<uint32_t> FindExportedFuncIndex(const std::string& name) const;
+
+  // Invokes function `func_index` with `args` (one slot per param).
+  RunResult Call(uint32_t func_index, const std::vector<Value>& args,
+                 const ExecOptions& opts = {});
+  RunResult CallExport(const std::string& export_name, const std::vector<Value>& args,
+                       const ExecOptions& opts = {});
+  // Invokes an arbitrary reference (used for table-dispatched signal handlers).
+  RunResult CallRef(const FuncRef& ref, const std::vector<Value>& args,
+                    const ExecOptions& opts = {});
+
+  void set_user_data(void* p) { user_data_ = p; }
+  void* user_data() const { return user_data_; }
+
+  void set_safepoint_fn(SafepointFn fn) { safepoint_fn_ = std::move(fn); }
+  const SafepointFn& safepoint_fn() const { return safepoint_fn_; }
+
+ private:
+  friend class Linker;
+  friend class ExecContext;
+  friend TrapKind RunLoop(ExecContext& ctx);
+
+  Instance() = default;
+
+  std::shared_ptr<const Module> module_;
+  std::vector<FuncRef> funcs_;
+  std::vector<std::shared_ptr<Memory>> memories_;
+  std::vector<std::shared_ptr<TableInst>> tables_;
+  std::vector<GlobalInst> globals_;
+  void* user_data_ = nullptr;
+  SafepointFn safepoint_fn_;
+  std::string name_;
+};
+
+class Linker {
+ public:
+  Linker() = default;
+  Linker(const Linker&) = delete;
+  Linker& operator=(const Linker&) = delete;
+
+  void DefineHostFunc(const std::string& module, const std::string& name,
+                      FuncType type, HostFn fn);
+  void DefineMemory(const std::string& module, const std::string& name,
+                    std::shared_ptr<Memory> memory);
+  void DefineTable(const std::string& module, const std::string& name,
+                   std::shared_ptr<TableInst> table);
+  void DefineGlobal(const std::string& module, const std::string& name,
+                    GlobalType type, uint64_t bits);
+  // Re-exports `instance`'s function and memory exports under module name
+  // `as_module` (layering: e.g. a WASI implementation module over WALI).
+  common::Status DefineInstanceExports(const std::string& as_module, Instance* instance);
+
+  struct InstantiateOptions {
+    // Replaces memory 0 (whether imported or locally declared). Used for the
+    // instance-per-thread clone model: the clone shares the parent's memory.
+    std::shared_ptr<Memory> memory0_override;
+    bool apply_data = true;  // false for thread clones (memory already live)
+    bool run_start = true;
+    std::string instance_name;
+    void* user_data = nullptr;
+  };
+
+  common::StatusOr<std::unique_ptr<Instance>> Instantiate(
+      std::shared_ptr<const Module> module);
+  common::StatusOr<std::unique_ptr<Instance>> Instantiate(
+      std::shared_ptr<const Module> module, const InstantiateOptions& opts);
+
+  // Looks up a previously defined function export (host or re-exported wasm
+  // function). Lets layered APIs (e.g. WASI-over-WALI) call through the same
+  // name-bound interface a guest module would import. Null ref if undefined.
+  FuncRef FindFunc(const std::string& module, const std::string& name) const {
+    auto it = defs_.find(Key(module, name));
+    if (it == defs_.end() || it->second.kind != ExternKind::kFunc) {
+      return FuncRef{};
+    }
+    return it->second.funcref;
+  }
+
+ private:
+  struct ExternVal {
+    ExternKind kind = ExternKind::kFunc;
+    FuncRef funcref;
+    std::shared_ptr<Memory> memory;
+    std::shared_ptr<TableInst> table;
+    GlobalType global_type;
+    uint64_t global_bits = 0;
+  };
+
+  static std::string Key(const std::string& module, const std::string& name) {
+    return module + '\0' + name;
+  }
+
+  std::map<std::string, ExternVal> defs_;
+  std::vector<std::unique_ptr<HostFunc>> host_funcs_;
+};
+
+}  // namespace wasm
+
+#endif  // SRC_WASM_INSTANCE_H_

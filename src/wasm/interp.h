@@ -1,0 +1,77 @@
+// The interpreter. Executes pre-decoded, validator-annotated instruction
+// streams. Signal-poll safepoints (paper §3.3) are issued according to
+// ExecOptions::scheme: on backward branches (loop headers), on function
+// entry, or after every instruction.
+#ifndef SRC_WASM_INTERP_H_
+#define SRC_WASM_INTERP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/wasm/instance.h"
+#include "src/wasm/module.h"
+#include "src/wasm/types.h"
+
+namespace wasm {
+
+inline constexpr size_t kMaxHostArgs = 16;
+inline constexpr size_t kMaxHostResults = 8;
+
+class ExecContext {
+ public:
+  struct Frame {
+    Instance* inst = nullptr;
+    const Function* fn = nullptr;
+    const Instr* code = nullptr;
+    uint32_t pc = 0;
+    uint32_t locals_base = 0;  // stack slot where params/locals begin
+    uint32_t stack_base = 0;   // operand stack floor for this frame
+    Memory* mem = nullptr;     // cached memory 0 of inst
+    const FuncType* type = nullptr;
+  };
+
+  Instance* root = nullptr;
+  ExecOptions opts;
+  std::vector<uint64_t> stack;
+  std::vector<Frame> frames;
+  TrapKind trap = TrapKind::kNone;
+  std::string trap_msg;
+  int32_t exit_code = 0;
+  uint64_t executed = 0;
+  const SafepointFn* poll = nullptr;
+
+  Instance* current_instance() {
+    return frames.empty() ? root : frames.back().inst;
+  }
+  Memory* current_memory() {
+    if (!frames.empty() && frames.back().mem != nullptr) {
+      return frames.back().mem;
+    }
+    auto m = root != nullptr ? root->memory(0) : nullptr;
+    return m.get();
+  }
+
+  void SetTrap(TrapKind kind, const char* msg = nullptr) {
+    trap = kind;
+    if (msg != nullptr) {
+      trap_msg = msg;
+    }
+  }
+  // Clean process-style exit; unwinds the interpreter with kExit.
+  void RequestExit(int32_t code) {
+    exit_code = code;
+    trap = TrapKind::kExit;
+  }
+};
+
+// Invokes `ref` (wasm or host function) with typed arguments.
+RunResult Invoke(Instance* inst, const FuncRef& ref, const std::vector<Value>& args,
+                 const ExecOptions& opts);
+
+// Dispatch loop; returns the trap kind (kNone on normal completion).
+TrapKind RunLoop(ExecContext& ctx);
+
+}  // namespace wasm
+
+#endif  // SRC_WASM_INTERP_H_

@@ -1,0 +1,97 @@
+// Linear memory. The full max size is reserved up-front with PROT_NONE and
+// committed on grow, so the base address never moves. This is what lets
+// WALI (a) share one memory across instance-per-thread clones and (b) map
+// files zero-copy inside the sandbox with MAP_FIXED (paper §3.2).
+#ifndef SRC_WASM_MEMORY_H_
+#define SRC_WASM_MEMORY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/common/status.h"
+#include "src/wasm/types.h"
+
+namespace wasm {
+
+class Memory {
+ public:
+  // Creates a memory of `limits.min` pages, reserving `limits.max` pages
+  // (or kDefaultMaxPages when absent). Returns nullptr on reservation failure.
+  static common::StatusOr<std::shared_ptr<Memory>> Create(const Limits& limits);
+  ~Memory();
+
+  Memory(const Memory&) = delete;
+  Memory& operator=(const Memory&) = delete;
+
+  uint8_t* base() const { return base_; }
+  uint64_t size_bytes() const { return size_bytes_.load(std::memory_order_acquire); }
+  uint64_t size_pages() const { return size_bytes() / kWasmPageSize; }
+  uint64_t max_pages() const { return max_pages_; }
+  bool shared() const { return shared_; }
+
+  // Grows by delta pages; returns previous size in pages or -1 on failure
+  // (Wasm memory.grow semantics).
+  int64_t Grow(uint64_t delta_pages);
+
+  // Grows until size_bytes() >= end (page-rounded). Used by WALI mmap.
+  bool GrowToCover(uint64_t end);
+
+  bool InBounds(uint64_t offset, uint64_t len) const {
+    uint64_t size = size_bytes();
+    return offset <= size && len <= size - offset;
+  }
+
+  // Unchecked translation; callers must bounds-check first.
+  uint8_t* At(uint64_t offset) const { return base_ + offset; }
+
+  // --- WALI memory-mapping hooks (all offsets are wasm addresses) ---
+
+  // Maps fd at linear-memory offset `offset` with MAP_FIXED. The range must
+  // be page-aligned and inside the reservation; grows the wasm size to cover
+  // it. Returns errno (0 on success).
+  int MapFileFixed(uint64_t offset, uint64_t len, int prot, int flags, int fd,
+                   int64_t file_offset);
+  // "Unmaps" by replacing with fresh anonymous zero pages, keeping the range
+  // accessible so later sandboxed loads see zeros instead of faulting.
+  int UnmapFixed(uint64_t offset, uint64_t len);
+  // mprotect passthrough within the sandbox (never allows PROT_EXEC).
+  int ProtectFixed(uint64_t offset, uint64_t len, int prot);
+
+  // --- atomics.wait / atomics.notify support (threads proposal) ---
+  // Returns 0 = woken, 1 = not-equal, 2 = timed out.
+  int Wait32(uint64_t addr, uint32_t expected, int64_t timeout_ns);
+  int Wait64(uint64_t addr, uint64_t expected, int64_t timeout_ns);
+  uint32_t Notify(uint64_t addr, uint32_t count);
+
+ private:
+  Memory() = default;
+
+  template <typename T>
+  int WaitImpl(uint64_t addr, T expected, int64_t timeout_ns);
+
+  uint8_t* base_ = nullptr;
+  std::atomic<uint64_t> size_bytes_{0};
+  uint64_t max_pages_ = 0;
+  uint64_t reserved_bytes_ = 0;
+  bool shared_ = false;
+  std::mutex grow_mu_;
+
+  struct WaitQueue {
+    std::condition_variable cv;
+    uint64_t waiters = 0;
+    uint64_t wake_epoch = 0;
+  };
+  std::mutex wait_mu_;
+  std::map<uint64_t, WaitQueue> wait_queues_;
+};
+
+// Default reservation when a memory declares no maximum: 16384 pages = 1 GiB.
+inline constexpr uint64_t kDefaultMaxPages = 16384;
+
+}  // namespace wasm
+
+#endif  // SRC_WASM_MEMORY_H_

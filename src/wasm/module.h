@@ -1,0 +1,184 @@
+// In-memory module representation. Produced by the WAT parser or the binary
+// decoder; consumed by the validator (which annotates branch instructions
+// with resolved targets) and then by the interpreter.
+#ifndef SRC_WASM_MODULE_H_
+#define SRC_WASM_MODULE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/wasm/opcode.h"
+#include "src/wasm/types.h"
+
+namespace wasm {
+
+// Block type immediate (stored in Instr::imm as the raw wire byte):
+// 0x40 = empty, otherwise a valtype byte. Multi-value block types are not
+// supported by this engine's validator.
+inline constexpr uint64_t kVoidBlockType = 0x40;
+
+// Pre-decoded instruction. 24 bytes. Field use per op:
+//   consts:        imm = payload bits
+//   local/global:  a = index
+//   call:          a = function index
+//   call_indirect: a = type index, b = table index
+//   br/br_if:      before validation a = label depth; after validation
+//                  a = target pc, b = unwind height, arity = label arity.
+//                  imm always holds the original label depth (encoder use).
+//   br_table:      a = index into Function::br_tables
+//   block/loop:    imm = blocktype; (after validation) a = end pc
+//   if:            imm = blocktype; a = false-branch target, b = end pc
+//   else:          a = end pc
+//   memory ops:    a = offset, b = align
+struct Instr {
+  Op op = Op::kNop;
+  uint8_t flags = 0;
+  uint16_t arity = 0;
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint64_t imm = 0;
+
+  static constexpr uint8_t kFlagBackward = 1;
+};
+
+// One resolved br_table target.
+struct BrTarget {
+  uint32_t pc = 0;      // jump destination
+  uint32_t height = 0;  // operand stack height to unwind to
+  uint16_t arity = 0;   // values carried
+  uint32_t depth = 0;   // original label depth (pre-validation)
+};
+
+struct BrTable {
+  std::vector<BrTarget> targets;  // last entry is the default
+};
+
+struct Function {
+  uint32_t type_index = 0;
+  std::vector<ValType> locals;  // non-param locals
+  std::vector<Instr> code;      // terminated by kEnd
+  std::vector<BrTable> br_tables;
+  std::string debug_name;
+};
+
+enum class ExternKind : uint8_t { kFunc = 0, kTable = 1, kMemory = 2, kGlobal = 3 };
+
+struct GlobalType {
+  ValType type = ValType::kI32;
+  bool mut = false;
+};
+
+// Constant initializer expression (module-level): a single const instruction
+// or global.get of an imported immutable global.
+struct InitExpr {
+  enum class Kind : uint8_t { kConst, kGlobalGet };
+  Kind kind = Kind::kConst;
+  ValType type = ValType::kI32;
+  uint64_t bits = 0;       // for kConst
+  uint32_t global_index = 0;  // for kGlobalGet
+};
+
+struct Import {
+  std::string module;
+  std::string name;
+  ExternKind kind = ExternKind::kFunc;
+  uint32_t type_index = 0;  // kFunc
+  Limits limits;            // kMemory / kTable
+  GlobalType global_type;   // kGlobal
+};
+
+struct Export {
+  std::string name;
+  ExternKind kind = ExternKind::kFunc;
+  uint32_t index = 0;
+};
+
+struct Global {
+  GlobalType type;
+  InitExpr init;
+  std::string debug_name;
+};
+
+struct TableDecl {
+  Limits limits;  // funcref tables only
+};
+
+struct MemoryDecl {
+  Limits limits;  // units: 64 KiB pages
+};
+
+struct ElemSegment {
+  uint32_t table_index = 0;
+  InitExpr offset;
+  std::vector<uint32_t> func_indices;
+};
+
+struct DataSegment {
+  uint32_t memory_index = 0;
+  InitExpr offset;
+  std::vector<uint8_t> bytes;
+};
+
+struct Module {
+  std::vector<FuncType> types;
+  std::vector<Import> imports;
+  std::vector<Function> functions;  // local (non-imported) functions
+  std::vector<TableDecl> tables;    // local tables
+  std::vector<MemoryDecl> memories;  // local memories
+  std::vector<Global> globals;      // local globals
+  std::vector<Export> exports;
+  std::vector<ElemSegment> elems;
+  std::vector<DataSegment> datas;
+  std::optional<uint32_t> start;
+  std::string name;
+
+  bool validated = false;
+
+  // Import-space counts (imports precede local definitions in index spaces).
+  uint32_t num_imported_funcs = 0;
+  uint32_t num_imported_tables = 0;
+  uint32_t num_imported_memories = 0;
+  uint32_t num_imported_globals = 0;
+
+  uint32_t NumFuncs() const {
+    return num_imported_funcs + static_cast<uint32_t>(functions.size());
+  }
+  uint32_t NumGlobals() const {
+    return num_imported_globals + static_cast<uint32_t>(globals.size());
+  }
+  uint32_t NumMemories() const {
+    return num_imported_memories + static_cast<uint32_t>(memories.size());
+  }
+  uint32_t NumTables() const {
+    return num_imported_tables + static_cast<uint32_t>(tables.size());
+  }
+
+  // Type of function index `i` (import space first). Caller must ensure the
+  // index is in range.
+  uint32_t FuncTypeIndex(uint32_t i) const {
+    if (i < num_imported_funcs) {
+      uint32_t seen = 0;
+      for (const Import& imp : imports) {
+        if (imp.kind == ExternKind::kFunc) {
+          if (seen == i) return imp.type_index;
+          ++seen;
+        }
+      }
+    }
+    return functions[i - num_imported_funcs].type_index;
+  }
+
+  const Export* FindExport(const std::string& export_name, ExternKind kind) const {
+    for (const Export& e : exports) {
+      if (e.kind == kind && e.name == export_name) return &e;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace wasm
+
+#endif  // SRC_WASM_MODULE_H_

@@ -1,0 +1,55 @@
+#include "src/wasm/opcode.h"
+
+#include <unordered_map>
+
+namespace wasm {
+
+const char* OpName(Op op) {
+  switch (op) {
+#define WASM_OP_NAME(name, value, imm, text) \
+  case Op::name:                             \
+    return text;
+    WASM_OPCODE_LIST(WASM_OP_NAME)
+#undef WASM_OP_NAME
+  }
+  return "<bad-op>";
+}
+
+ImmKind OpImmKind(Op op) {
+  switch (op) {
+#define WASM_OP_IMM(name, value, imm, text) \
+  case Op::name:                            \
+    return ImmKind::imm;
+    WASM_OPCODE_LIST(WASM_OP_IMM)
+#undef WASM_OP_IMM
+  }
+  return ImmKind::kNone;
+}
+
+std::optional<Op> OpFromText(std::string_view text) {
+  static const auto* kMap = [] {
+    auto* m = new std::unordered_map<std::string_view, Op>();
+#define WASM_OP_TEXT(name, value, imm, text_) m->emplace(text_, Op::name);
+    WASM_OPCODE_LIST(WASM_OP_TEXT)
+#undef WASM_OP_TEXT
+    return m;
+  }();
+  auto it = kMap->find(text);
+  if (it == kMap->end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool IsKnownOp(uint32_t raw) {
+  switch (raw) {
+#define WASM_OP_KNOWN(name, value, imm, text) case value:
+    WASM_OPCODE_LIST(WASM_OP_KNOWN)
+#undef WASM_OP_KNOWN
+    return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace wasm

@@ -1,0 +1,261 @@
+// Opcode table. Single-byte opcodes use their wire value; 0xFC-prefixed ops
+// are flattened to 0x100|sub, 0xFE-prefixed (atomics) to 0x200|sub. The
+// X-macro drives the name table, immediate classification, text-format lookup
+// and the encoder/decoder.
+#ifndef SRC_WASM_OPCODE_H_
+#define SRC_WASM_OPCODE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace wasm {
+
+// Immediate operand classes as they appear in the binary format.
+enum class ImmKind : uint8_t {
+  kNone,
+  kBlock,         // blocktype
+  kLabel,         // label depth (u32)
+  kBrTable,       // vector of depths + default
+  kFunc,          // function index
+  kCallIndirect,  // type index + table index
+  kLocal,         // local index
+  kGlobal,        // global index
+  kMem,           // align + offset
+  kMemIdx,        // single 0x00 memory index byte (memory.size/grow/fill)
+  kMemMemIdx,     // two 0x00 bytes (memory.copy)
+  kI32Const,
+  kI64Const,
+  kF32Const,
+  kF64Const,
+};
+
+// clang-format off
+#define WASM_OPCODE_LIST(V) \
+  V(kUnreachable,      0x00, kNone,         "unreachable") \
+  V(kNop,              0x01, kNone,         "nop") \
+  V(kBlock,            0x02, kBlock,        "block") \
+  V(kLoop,             0x03, kBlock,        "loop") \
+  V(kIf,               0x04, kBlock,        "if") \
+  V(kElse,             0x05, kNone,         "else") \
+  V(kEnd,              0x0B, kNone,         "end") \
+  V(kBr,               0x0C, kLabel,        "br") \
+  V(kBrIf,             0x0D, kLabel,        "br_if") \
+  V(kBrTable,          0x0E, kBrTable,      "br_table") \
+  V(kReturn,           0x0F, kNone,         "return") \
+  V(kCall,             0x10, kFunc,         "call") \
+  V(kCallIndirect,     0x11, kCallIndirect, "call_indirect") \
+  V(kDrop,             0x1A, kNone,         "drop") \
+  V(kSelect,           0x1B, kNone,         "select") \
+  V(kLocalGet,         0x20, kLocal,        "local.get") \
+  V(kLocalSet,         0x21, kLocal,        "local.set") \
+  V(kLocalTee,         0x22, kLocal,        "local.tee") \
+  V(kGlobalGet,        0x23, kGlobal,       "global.get") \
+  V(kGlobalSet,        0x24, kGlobal,       "global.set") \
+  V(kI32Load,          0x28, kMem,          "i32.load") \
+  V(kI64Load,          0x29, kMem,          "i64.load") \
+  V(kF32Load,          0x2A, kMem,          "f32.load") \
+  V(kF64Load,          0x2B, kMem,          "f64.load") \
+  V(kI32Load8S,        0x2C, kMem,          "i32.load8_s") \
+  V(kI32Load8U,        0x2D, kMem,          "i32.load8_u") \
+  V(kI32Load16S,       0x2E, kMem,          "i32.load16_s") \
+  V(kI32Load16U,       0x2F, kMem,          "i32.load16_u") \
+  V(kI64Load8S,        0x30, kMem,          "i64.load8_s") \
+  V(kI64Load8U,        0x31, kMem,          "i64.load8_u") \
+  V(kI64Load16S,       0x32, kMem,          "i64.load16_s") \
+  V(kI64Load16U,       0x33, kMem,          "i64.load16_u") \
+  V(kI64Load32S,       0x34, kMem,          "i64.load32_s") \
+  V(kI64Load32U,       0x35, kMem,          "i64.load32_u") \
+  V(kI32Store,         0x36, kMem,          "i32.store") \
+  V(kI64Store,         0x37, kMem,          "i64.store") \
+  V(kF32Store,         0x38, kMem,          "f32.store") \
+  V(kF64Store,         0x39, kMem,          "f64.store") \
+  V(kI32Store8,        0x3A, kMem,          "i32.store8") \
+  V(kI32Store16,       0x3B, kMem,          "i32.store16") \
+  V(kI64Store8,        0x3C, kMem,          "i64.store8") \
+  V(kI64Store16,       0x3D, kMem,          "i64.store16") \
+  V(kI64Store32,       0x3E, kMem,          "i64.store32") \
+  V(kMemorySize,       0x3F, kMemIdx,       "memory.size") \
+  V(kMemoryGrow,       0x40, kMemIdx,       "memory.grow") \
+  V(kI32Const,         0x41, kI32Const,     "i32.const") \
+  V(kI64Const,         0x42, kI64Const,     "i64.const") \
+  V(kF32Const,         0x43, kF32Const,     "f32.const") \
+  V(kF64Const,         0x44, kF64Const,     "f64.const") \
+  V(kI32Eqz,           0x45, kNone,         "i32.eqz") \
+  V(kI32Eq,            0x46, kNone,         "i32.eq") \
+  V(kI32Ne,            0x47, kNone,         "i32.ne") \
+  V(kI32LtS,           0x48, kNone,         "i32.lt_s") \
+  V(kI32LtU,           0x49, kNone,         "i32.lt_u") \
+  V(kI32GtS,           0x4A, kNone,         "i32.gt_s") \
+  V(kI32GtU,           0x4B, kNone,         "i32.gt_u") \
+  V(kI32LeS,           0x4C, kNone,         "i32.le_s") \
+  V(kI32LeU,           0x4D, kNone,         "i32.le_u") \
+  V(kI32GeS,           0x4E, kNone,         "i32.ge_s") \
+  V(kI32GeU,           0x4F, kNone,         "i32.ge_u") \
+  V(kI64Eqz,           0x50, kNone,         "i64.eqz") \
+  V(kI64Eq,            0x51, kNone,         "i64.eq") \
+  V(kI64Ne,            0x52, kNone,         "i64.ne") \
+  V(kI64LtS,           0x53, kNone,         "i64.lt_s") \
+  V(kI64LtU,           0x54, kNone,         "i64.lt_u") \
+  V(kI64GtS,           0x55, kNone,         "i64.gt_s") \
+  V(kI64GtU,           0x56, kNone,         "i64.gt_u") \
+  V(kI64LeS,           0x57, kNone,         "i64.le_s") \
+  V(kI64LeU,           0x58, kNone,         "i64.le_u") \
+  V(kI64GeS,           0x59, kNone,         "i64.ge_s") \
+  V(kI64GeU,           0x5A, kNone,         "i64.ge_u") \
+  V(kF32Eq,            0x5B, kNone,         "f32.eq") \
+  V(kF32Ne,            0x5C, kNone,         "f32.ne") \
+  V(kF32Lt,            0x5D, kNone,         "f32.lt") \
+  V(kF32Gt,            0x5E, kNone,         "f32.gt") \
+  V(kF32Le,            0x5F, kNone,         "f32.le") \
+  V(kF32Ge,            0x60, kNone,         "f32.ge") \
+  V(kF64Eq,            0x61, kNone,         "f64.eq") \
+  V(kF64Ne,            0x62, kNone,         "f64.ne") \
+  V(kF64Lt,            0x63, kNone,         "f64.lt") \
+  V(kF64Gt,            0x64, kNone,         "f64.gt") \
+  V(kF64Le,            0x65, kNone,         "f64.le") \
+  V(kF64Ge,            0x66, kNone,         "f64.ge") \
+  V(kI32Clz,           0x67, kNone,         "i32.clz") \
+  V(kI32Ctz,           0x68, kNone,         "i32.ctz") \
+  V(kI32Popcnt,        0x69, kNone,         "i32.popcnt") \
+  V(kI32Add,           0x6A, kNone,         "i32.add") \
+  V(kI32Sub,           0x6B, kNone,         "i32.sub") \
+  V(kI32Mul,           0x6C, kNone,         "i32.mul") \
+  V(kI32DivS,          0x6D, kNone,         "i32.div_s") \
+  V(kI32DivU,          0x6E, kNone,         "i32.div_u") \
+  V(kI32RemS,          0x6F, kNone,         "i32.rem_s") \
+  V(kI32RemU,          0x70, kNone,         "i32.rem_u") \
+  V(kI32And,           0x71, kNone,         "i32.and") \
+  V(kI32Or,            0x72, kNone,         "i32.or") \
+  V(kI32Xor,           0x73, kNone,         "i32.xor") \
+  V(kI32Shl,           0x74, kNone,         "i32.shl") \
+  V(kI32ShrS,          0x75, kNone,         "i32.shr_s") \
+  V(kI32ShrU,          0x76, kNone,         "i32.shr_u") \
+  V(kI32Rotl,          0x77, kNone,         "i32.rotl") \
+  V(kI32Rotr,          0x78, kNone,         "i32.rotr") \
+  V(kI64Clz,           0x79, kNone,         "i64.clz") \
+  V(kI64Ctz,           0x7A, kNone,         "i64.ctz") \
+  V(kI64Popcnt,        0x7B, kNone,         "i64.popcnt") \
+  V(kI64Add,           0x7C, kNone,         "i64.add") \
+  V(kI64Sub,           0x7D, kNone,         "i64.sub") \
+  V(kI64Mul,           0x7E, kNone,         "i64.mul") \
+  V(kI64DivS,          0x7F, kNone,         "i64.div_s") \
+  V(kI64DivU,          0x80, kNone,         "i64.div_u") \
+  V(kI64RemS,          0x81, kNone,         "i64.rem_s") \
+  V(kI64RemU,          0x82, kNone,         "i64.rem_u") \
+  V(kI64And,           0x83, kNone,         "i64.and") \
+  V(kI64Or,            0x84, kNone,         "i64.or") \
+  V(kI64Xor,           0x85, kNone,         "i64.xor") \
+  V(kI64Shl,           0x86, kNone,         "i64.shl") \
+  V(kI64ShrS,          0x87, kNone,         "i64.shr_s") \
+  V(kI64ShrU,          0x88, kNone,         "i64.shr_u") \
+  V(kI64Rotl,          0x89, kNone,         "i64.rotl") \
+  V(kI64Rotr,          0x8A, kNone,         "i64.rotr") \
+  V(kF32Abs,           0x8B, kNone,         "f32.abs") \
+  V(kF32Neg,           0x8C, kNone,         "f32.neg") \
+  V(kF32Ceil,          0x8D, kNone,         "f32.ceil") \
+  V(kF32Floor,         0x8E, kNone,         "f32.floor") \
+  V(kF32Trunc,         0x8F, kNone,         "f32.trunc") \
+  V(kF32Nearest,       0x90, kNone,         "f32.nearest") \
+  V(kF32Sqrt,          0x91, kNone,         "f32.sqrt") \
+  V(kF32Add,           0x92, kNone,         "f32.add") \
+  V(kF32Sub,           0x93, kNone,         "f32.sub") \
+  V(kF32Mul,           0x94, kNone,         "f32.mul") \
+  V(kF32Div,           0x95, kNone,         "f32.div") \
+  V(kF32Min,           0x96, kNone,         "f32.min") \
+  V(kF32Max,           0x97, kNone,         "f32.max") \
+  V(kF32Copysign,      0x98, kNone,         "f32.copysign") \
+  V(kF64Abs,           0x99, kNone,         "f64.abs") \
+  V(kF64Neg,           0x9A, kNone,         "f64.neg") \
+  V(kF64Ceil,          0x9B, kNone,         "f64.ceil") \
+  V(kF64Floor,         0x9C, kNone,         "f64.floor") \
+  V(kF64Trunc,         0x9D, kNone,         "f64.trunc") \
+  V(kF64Nearest,       0x9E, kNone,         "f64.nearest") \
+  V(kF64Sqrt,          0x9F, kNone,         "f64.sqrt") \
+  V(kF64Add,           0xA0, kNone,         "f64.add") \
+  V(kF64Sub,           0xA1, kNone,         "f64.sub") \
+  V(kF64Mul,           0xA2, kNone,         "f64.mul") \
+  V(kF64Div,           0xA3, kNone,         "f64.div") \
+  V(kF64Min,           0xA4, kNone,         "f64.min") \
+  V(kF64Max,           0xA5, kNone,         "f64.max") \
+  V(kF64Copysign,      0xA6, kNone,         "f64.copysign") \
+  V(kI32WrapI64,       0xA7, kNone,         "i32.wrap_i64") \
+  V(kI32TruncF32S,     0xA8, kNone,         "i32.trunc_f32_s") \
+  V(kI32TruncF32U,     0xA9, kNone,         "i32.trunc_f32_u") \
+  V(kI32TruncF64S,     0xAA, kNone,         "i32.trunc_f64_s") \
+  V(kI32TruncF64U,     0xAB, kNone,         "i32.trunc_f64_u") \
+  V(kI64ExtendI32S,    0xAC, kNone,         "i64.extend_i32_s") \
+  V(kI64ExtendI32U,    0xAD, kNone,         "i64.extend_i32_u") \
+  V(kI64TruncF32S,     0xAE, kNone,         "i64.trunc_f32_s") \
+  V(kI64TruncF32U,     0xAF, kNone,         "i64.trunc_f32_u") \
+  V(kI64TruncF64S,     0xB0, kNone,         "i64.trunc_f64_s") \
+  V(kI64TruncF64U,     0xB1, kNone,         "i64.trunc_f64_u") \
+  V(kF32ConvertI32S,   0xB2, kNone,         "f32.convert_i32_s") \
+  V(kF32ConvertI32U,   0xB3, kNone,         "f32.convert_i32_u") \
+  V(kF32ConvertI64S,   0xB4, kNone,         "f32.convert_i64_s") \
+  V(kF32ConvertI64U,   0xB5, kNone,         "f32.convert_i64_u") \
+  V(kF32DemoteF64,     0xB6, kNone,         "f32.demote_f64") \
+  V(kF64ConvertI32S,   0xB7, kNone,         "f64.convert_i32_s") \
+  V(kF64ConvertI32U,   0xB8, kNone,         "f64.convert_i32_u") \
+  V(kF64ConvertI64S,   0xB9, kNone,         "f64.convert_i64_s") \
+  V(kF64ConvertI64U,   0xBA, kNone,         "f64.convert_i64_u") \
+  V(kF64PromoteF32,    0xBB, kNone,         "f64.promote_f32") \
+  V(kI32ReinterpretF32, 0xBC, kNone,        "i32.reinterpret_f32") \
+  V(kI64ReinterpretF64, 0xBD, kNone,        "i64.reinterpret_f64") \
+  V(kF32ReinterpretI32, 0xBE, kNone,        "f32.reinterpret_i32") \
+  V(kF64ReinterpretI64, 0xBF, kNone,        "f64.reinterpret_i64") \
+  V(kI32Extend8S,      0xC0, kNone,         "i32.extend8_s") \
+  V(kI32Extend16S,     0xC1, kNone,         "i32.extend16_s") \
+  V(kI64Extend8S,      0xC2, kNone,         "i64.extend8_s") \
+  V(kI64Extend16S,     0xC3, kNone,         "i64.extend16_s") \
+  V(kI64Extend32S,     0xC4, kNone,         "i64.extend32_s") \
+  V(kI32TruncSatF32S,  0x100, kNone,        "i32.trunc_sat_f32_s") \
+  V(kI32TruncSatF32U,  0x101, kNone,        "i32.trunc_sat_f32_u") \
+  V(kI32TruncSatF64S,  0x102, kNone,        "i32.trunc_sat_f64_s") \
+  V(kI32TruncSatF64U,  0x103, kNone,        "i32.trunc_sat_f64_u") \
+  V(kI64TruncSatF32S,  0x104, kNone,        "i64.trunc_sat_f32_s") \
+  V(kI64TruncSatF32U,  0x105, kNone,        "i64.trunc_sat_f32_u") \
+  V(kI64TruncSatF64S,  0x106, kNone,        "i64.trunc_sat_f64_s") \
+  V(kI64TruncSatF64U,  0x107, kNone,        "i64.trunc_sat_f64_u") \
+  V(kMemoryCopy,       0x10A, kMemMemIdx,   "memory.copy") \
+  V(kMemoryFill,       0x10B, kMemIdx,      "memory.fill") \
+  V(kAtomicNotify,     0x200, kMem,         "memory.atomic.notify") \
+  V(kAtomicWait32,     0x201, kMem,         "memory.atomic.wait32") \
+  V(kAtomicWait64,     0x202, kMem,         "memory.atomic.wait64") \
+  V(kAtomicFence,      0x203, kMemIdx,      "atomic.fence") \
+  V(kI32AtomicLoad,    0x210, kMem,         "i32.atomic.load") \
+  V(kI64AtomicLoad,    0x211, kMem,         "i64.atomic.load") \
+  V(kI32AtomicStore,   0x217, kMem,         "i32.atomic.store") \
+  V(kI64AtomicStore,   0x218, kMem,         "i64.atomic.store") \
+  V(kI32AtomicRmwAdd,  0x21E, kMem,         "i32.atomic.rmw.add") \
+  V(kI64AtomicRmwAdd,  0x21F, kMem,         "i64.atomic.rmw.add") \
+  V(kI32AtomicRmwSub,  0x225, kMem,         "i32.atomic.rmw.sub") \
+  V(kI64AtomicRmwSub,  0x226, kMem,         "i64.atomic.rmw.sub") \
+  V(kI32AtomicRmwAnd,  0x22C, kMem,         "i32.atomic.rmw.and") \
+  V(kI64AtomicRmwAnd,  0x22D, kMem,         "i64.atomic.rmw.and") \
+  V(kI32AtomicRmwOr,   0x233, kMem,         "i32.atomic.rmw.or") \
+  V(kI64AtomicRmwOr,   0x234, kMem,         "i64.atomic.rmw.or") \
+  V(kI32AtomicRmwXor,  0x23A, kMem,         "i32.atomic.rmw.xor") \
+  V(kI64AtomicRmwXor,  0x23B, kMem,         "i64.atomic.rmw.xor") \
+  V(kI32AtomicRmwXchg, 0x241, kMem,         "i32.atomic.rmw.xchg") \
+  V(kI64AtomicRmwXchg, 0x242, kMem,         "i64.atomic.rmw.xchg") \
+  V(kI32AtomicRmwCmpxchg, 0x248, kMem,      "i32.atomic.rmw.cmpxchg") \
+  V(kI64AtomicRmwCmpxchg, 0x249, kMem,      "i64.atomic.rmw.cmpxchg")
+// clang-format on
+
+enum class Op : uint16_t {
+#define WASM_OP_ENUM(name, value, imm, text) name = value,
+  WASM_OPCODE_LIST(WASM_OP_ENUM)
+#undef WASM_OP_ENUM
+};
+
+const char* OpName(Op op);
+ImmKind OpImmKind(Op op);
+// Looks an opcode up by its text-format mnemonic (used by the WAT parser).
+std::optional<Op> OpFromText(std::string_view text);
+// True if `raw` (flattened encoding) denotes a known opcode.
+bool IsKnownOp(uint32_t raw);
+
+}  // namespace wasm
+
+#endif  // SRC_WASM_OPCODE_H_

@@ -1,0 +1,87 @@
+#include "src/wasm/types.h"
+
+#include <cstring>
+
+namespace wasm {
+
+const char* ValTypeName(ValType t) {
+  switch (t) {
+    case ValType::kI32: return "i32";
+    case ValType::kI64: return "i64";
+    case ValType::kF32: return "f32";
+    case ValType::kF64: return "f64";
+    case ValType::kFuncRef: return "funcref";
+  }
+  return "<bad>";
+}
+
+bool IsNumType(ValType t) {
+  return t == ValType::kI32 || t == ValType::kI64 || t == ValType::kF32 ||
+         t == ValType::kF64;
+}
+
+std::string FuncType::ToString() const {
+  std::string s = "(";
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i != 0) s += ' ';
+    s += ValTypeName(params[i]);
+  }
+  s += ") -> (";
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i != 0) s += ' ';
+    s += ValTypeName(results[i]);
+  }
+  s += ')';
+  return s;
+}
+
+Value Value::F32(float v) {
+  Value out;
+  out.type = ValType::kF32;
+  uint32_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  out.bits = u;
+  return out;
+}
+
+Value Value::F64(double v) {
+  Value out;
+  out.type = ValType::kF64;
+  std::memcpy(&out.bits, &v, sizeof(v));
+  return out;
+}
+
+float Value::f32() const {
+  uint32_t u = static_cast<uint32_t>(bits);
+  float v;
+  std::memcpy(&v, &u, sizeof(v));
+  return v;
+}
+
+double Value::f64() const {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+const char* TrapKindName(TrapKind t) {
+  switch (t) {
+    case TrapKind::kNone: return "none";
+    case TrapKind::kUnreachable: return "unreachable";
+    case TrapKind::kMemOutOfBounds: return "out of bounds memory access";
+    case TrapKind::kDivByZero: return "integer divide by zero";
+    case TrapKind::kIntOverflow: return "integer overflow";
+    case TrapKind::kInvalidConversion: return "invalid conversion to integer";
+    case TrapKind::kIndirectOob: return "undefined element";
+    case TrapKind::kIndirectNull: return "uninitialized element";
+    case TrapKind::kIndirectSigMismatch: return "indirect call type mismatch";
+    case TrapKind::kStackExhausted: return "call stack exhausted";
+    case TrapKind::kHostError: return "host error";
+    case TrapKind::kUnalignedAtomic: return "unaligned atomic access";
+    case TrapKind::kFuelExhausted: return "fuel exhausted";
+    case TrapKind::kExit: return "exit";
+  }
+  return "<bad>";
+}
+
+}  // namespace wasm

@@ -1,0 +1,82 @@
+// Core WebAssembly types shared by the decoder, validator and interpreter.
+#ifndef SRC_WASM_TYPES_H_
+#define SRC_WASM_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wasm {
+
+// Wire-format value type codes (negative SLEB in the spec; byte values here).
+enum class ValType : uint8_t {
+  kI32 = 0x7F,
+  kI64 = 0x7E,
+  kF32 = 0x7D,
+  kF64 = 0x7C,
+  kFuncRef = 0x70,
+};
+
+const char* ValTypeName(ValType t);
+bool IsNumType(ValType t);
+
+struct FuncType {
+  std::vector<ValType> params;
+  std::vector<ValType> results;
+
+  bool operator==(const FuncType& o) const {
+    return params == o.params && results == o.results;
+  }
+  std::string ToString() const;
+};
+
+struct Limits {
+  uint64_t min = 0;
+  uint64_t max = 0;
+  bool has_max = false;
+  bool shared = false;
+};
+
+// Runtime value with a type tag; the interpreter's internal stack is untyped
+// 64-bit slots (types are statically validated), this is the public surface.
+struct Value {
+  ValType type = ValType::kI32;
+  uint64_t bits = 0;
+
+  static Value I32(uint32_t v) { return {ValType::kI32, v}; }
+  static Value I64(uint64_t v) { return {ValType::kI64, v}; }
+  static Value F32(float v);
+  static Value F64(double v);
+
+  uint32_t i32() const { return static_cast<uint32_t>(bits); }
+  uint64_t i64() const { return bits; }
+  float f32() const;
+  double f64() const;
+};
+
+// Execution outcomes. kExit is a clean unwind triggered by proc-exit style
+// host calls and carries an exit code in ExecContext.
+enum class TrapKind : uint8_t {
+  kNone = 0,
+  kUnreachable,
+  kMemOutOfBounds,
+  kDivByZero,
+  kIntOverflow,
+  kInvalidConversion,
+  kIndirectOob,
+  kIndirectNull,
+  kIndirectSigMismatch,
+  kStackExhausted,
+  kHostError,
+  kUnalignedAtomic,
+  kFuelExhausted,
+  kExit,
+};
+
+const char* TrapKindName(TrapKind t);
+
+inline constexpr uint64_t kWasmPageSize = 65536;
+
+}  // namespace wasm
+
+#endif  // SRC_WASM_TYPES_H_

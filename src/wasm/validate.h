@@ -1,0 +1,18 @@
+// Module validation (spec-style type checking) combined with interpreter
+// preparation: resolves branch targets, records unwind heights/arities on
+// branch instructions, and appends a synthetic return to each body.
+#ifndef SRC_WASM_VALIDATE_H_
+#define SRC_WASM_VALIDATE_H_
+
+#include "src/common/status.h"
+#include "src/wasm/module.h"
+
+namespace wasm {
+
+// Validates and annotates `module` in place; sets module.validated on
+// success. Returns the first error found.
+common::Status Validate(Module& module);
+
+}  // namespace wasm
+
+#endif  // SRC_WASM_VALIDATE_H_

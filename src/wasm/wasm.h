@@ -1,0 +1,16 @@
+// Umbrella header for the WebAssembly engine substrate (S1 in DESIGN.md).
+#ifndef SRC_WASM_WASM_H_
+#define SRC_WASM_WASM_H_
+
+#include "src/wasm/decode.h"    // IWYU pragma: export
+#include "src/wasm/encode.h"    // IWYU pragma: export
+#include "src/wasm/instance.h"  // IWYU pragma: export
+#include "src/wasm/interp.h"    // IWYU pragma: export
+#include "src/wasm/memory.h"    // IWYU pragma: export
+#include "src/wasm/module.h"    // IWYU pragma: export
+#include "src/wasm/opcode.h"    // IWYU pragma: export
+#include "src/wasm/types.h"     // IWYU pragma: export
+#include "src/wasm/validate.h"  // IWYU pragma: export
+#include "src/wasm/wat_parser.h"  // IWYU pragma: export
+
+#endif  // SRC_WASM_WASM_H_

@@ -1,0 +1,1200 @@
+#include "src/wasm/wat_parser.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/wasm/opcode.h"
+#include "src/wasm/validate.h"
+
+namespace wasm {
+
+namespace {
+
+// ---------------------------------------------------------------- s-exprs --
+
+struct SExpr {
+  enum class Kind : uint8_t { kList, kAtom, kString, kId };
+  Kind kind = Kind::kAtom;
+  std::string text;          // atom text / id (without '$') / decoded string bytes
+  std::vector<SExpr> list;
+  int line = 0;
+
+  bool IsList() const { return kind == Kind::kList; }
+  bool IsAtom() const { return kind == Kind::kAtom; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsId() const { return kind == Kind::kId; }
+  bool IsListHead(std::string_view head) const {
+    return IsList() && !list.empty() && list[0].IsAtom() && list[0].text == head;
+  }
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  common::Status Tokenize(SExpr* root) {
+    root->kind = SExpr::Kind::kList;
+    std::vector<SExpr*> open{root};
+    while (true) {
+      SkipSpace();
+      if (pos_ >= src_.size()) break;
+      char c = src_[pos_];
+      if (c == '(') {
+        ++pos_;
+        open.back()->list.emplace_back();
+        SExpr& e = open.back()->list.back();
+        e.kind = SExpr::Kind::kList;
+        e.line = line_;
+        open.push_back(&e);
+      } else if (c == ')') {
+        ++pos_;
+        if (open.size() == 1) {
+          return Err("unbalanced ')'");
+        }
+        open.pop_back();
+      } else if (c == '"') {
+        SExpr e;
+        e.kind = SExpr::Kind::kString;
+        e.line = line_;
+        RETURN_IF_ERROR(LexString(&e.text));
+        open.back()->list.push_back(std::move(e));
+      } else {
+        SExpr e;
+        e.line = line_;
+        size_t start = pos_;
+        while (pos_ < src_.size() && !IsDelim(src_[pos_])) ++pos_;
+        std::string tok(src_.substr(start, pos_ - start));
+        if (!tok.empty() && tok[0] == '$') {
+          e.kind = SExpr::Kind::kId;
+          e.text = tok.substr(1);
+        } else {
+          e.kind = SExpr::Kind::kAtom;
+          e.text = std::move(tok);
+        }
+        open.back()->list.push_back(std::move(e));
+      }
+    }
+    if (open.size() != 1) {
+      return Err("unbalanced '('");
+    }
+    return common::OkStatus();
+  }
+
+ private:
+  static bool IsDelim(char c) {
+    return c == '(' || c == ')' || c == '"' || c == ' ' || c == '\t' ||
+           c == '\n' || c == '\r' || c == ';';
+  }
+
+  common::Status Err(const std::string& msg) {
+    return common::InvalidArgument("wat:" + std::to_string(line_) + ": " + msg);
+  }
+
+  void SkipSpace() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else if (c == ';' && pos_ + 1 < src_.size() && src_[pos_ + 1] == ';') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else if (c == '(' && pos_ + 1 < src_.size() && src_[pos_ + 1] == ';') {
+        int depth = 1;
+        pos_ += 2;
+        while (pos_ < src_.size() && depth > 0) {
+          if (src_[pos_] == '\n') ++line_;
+          if (src_[pos_] == '(' && pos_ + 1 < src_.size() && src_[pos_ + 1] == ';') {
+            ++depth;
+            pos_ += 2;
+          } else if (src_[pos_] == ';' && pos_ + 1 < src_.size() && src_[pos_ + 1] == ')') {
+            --depth;
+            pos_ += 2;
+          } else {
+            ++pos_;
+          }
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  static int HexVal(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  }
+
+  common::Status LexString(std::string* out) {
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      char c = src_[pos_];
+      if (c == '\\') {
+        if (pos_ + 1 >= src_.size()) return Err("truncated escape");
+        char e = src_[pos_ + 1];
+        pos_ += 2;
+        switch (e) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case '\\': out->push_back('\\'); break;
+          case '"': out->push_back('"'); break;
+          case '\'': out->push_back('\''); break;
+          default: {
+            // WAT hex escape: backslash followed by exactly two hex digits.
+            int hi = HexVal(e);
+            int lo = pos_ < src_.size() ? HexVal(src_[pos_]) : -1;
+            if (hi < 0 || lo < 0) return Err("bad string escape");
+            ++pos_;
+            out->push_back(static_cast<char>(hi * 16 + lo));
+          }
+        }
+      } else {
+        if (c == '\n') ++line_;
+        out->push_back(c);
+        ++pos_;
+      }
+    }
+    if (pos_ >= src_.size()) return Err("unterminated string");
+    ++pos_;  // closing quote
+    return common::OkStatus();
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// ---------------------------------------------------------------- numbers --
+
+bool ParseIntText(const std::string& text, uint64_t* out) {
+  std::string s;
+  s.reserve(text.size());
+  for (char c : text) {
+    if (c != '_') s.push_back(c);
+  }
+  if (s.empty()) return false;
+  bool neg = false;
+  size_t i = 0;
+  if (s[0] == '+' || s[0] == '-') {
+    neg = s[0] == '-';
+    i = 1;
+  }
+  if (i >= s.size()) return false;
+  uint64_t v = 0;
+  if (s.size() - i > 2 && s[i] == '0' && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+    for (size_t k = i + 2; k < s.size(); ++k) {
+      char c = s[k];
+      int d;
+      if (c >= '0' && c <= '9') d = c - '0';
+      else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+      else return false;
+      v = v * 16 + static_cast<uint64_t>(d);
+    }
+  } else {
+    for (size_t k = i; k < s.size(); ++k) {
+      char c = s[k];
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+  }
+  *out = neg ? static_cast<uint64_t>(-static_cast<int64_t>(v)) : v;
+  return true;
+}
+
+bool ParseFloatText(const std::string& text, double* out) {
+  std::string s;
+  for (char c : text) {
+    if (c != '_') s.push_back(c);
+  }
+  if (s == "inf" || s == "+inf") {
+    *out = INFINITY;
+    return true;
+  }
+  if (s == "-inf") {
+    *out = -INFINITY;
+    return true;
+  }
+  if (s == "nan" || s == "+nan" || s == "-nan") {
+    *out = NAN;
+    return true;
+  }
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0' || end == s.c_str()) return false;
+  *out = v;
+  return true;
+}
+
+// ----------------------------------------------------------------- parser --
+
+class WatModuleParser {
+ public:
+  common::StatusOr<std::shared_ptr<Module>> Parse(std::string_view source) {
+    Lexer lexer(source);
+    RETURN_IF_ERROR(lexer.Tokenize(&root_));
+    // Accept either a bare field list or a single (module ...) wrapper.
+    const SExpr* mod = &root_;
+    if (root_.list.size() == 1 && root_.list[0].IsListHead("module")) {
+      mod = &root_.list[0];
+    }
+    module_ = std::make_shared<Module>();
+    size_t first = (mod == &root_) ? 0 : 1;
+    // Optional module name.
+    if (mod != &root_ && mod->list.size() > 1 && mod->list[1].IsId()) {
+      module_->name = mod->list[1].text;
+      first = 2;
+    }
+
+    std::vector<const SExpr*> func_fields;
+    // First pass: declarations and index assignment.
+    for (size_t i = first; i < mod->list.size(); ++i) {
+      const SExpr& field = mod->list[i];
+      if (!field.IsList() || field.list.empty() || !field.list[0].IsAtom()) {
+        return Err(field, "expected module field");
+      }
+      const std::string& head = field.list[0].text;
+      if (head == "type") {
+        RETURN_IF_ERROR(ParseTypeField(field));
+      } else if (head == "import") {
+        RETURN_IF_ERROR(ParseImportField(field));
+      } else if (head == "func") {
+        RETURN_IF_ERROR(DeclareFunc(field));
+        func_fields.push_back(&field);
+      } else if (head == "memory") {
+        RETURN_IF_ERROR(ParseMemoryField(field));
+      } else if (head == "table") {
+        RETURN_IF_ERROR(ParseTableField(field));
+      } else if (head == "global") {
+        RETURN_IF_ERROR(ParseGlobalField(field));
+      } else if (head == "export" || head == "start" || head == "elem" ||
+                 head == "data") {
+        late_fields_.push_back(&field);
+      } else {
+        return Err(field, "unknown module field '" + head + "'");
+      }
+    }
+
+    // Second pass: exports/start/elem/data (need complete name maps).
+    for (const SExpr* field : late_fields_) {
+      const std::string& head = field->list[0].text;
+      if (head == "export") {
+        RETURN_IF_ERROR(ParseExportField(*field));
+      } else if (head == "start") {
+        uint32_t idx;
+        RETURN_IF_ERROR(ResolveIndex((*field).list[1], func_names_, "func", &idx));
+        module_->start = idx;
+      } else if (head == "elem") {
+        RETURN_IF_ERROR(ParseElemField(*field));
+      } else if (head == "data") {
+        RETURN_IF_ERROR(ParseDataField(*field));
+      }
+    }
+
+    // Third pass: function bodies.
+    for (const SExpr* field : func_fields) {
+      RETURN_IF_ERROR(ParseFuncBody(*field));
+    }
+
+    return module_;
+  }
+
+ private:
+  common::Status Err(const SExpr& at, const std::string& msg) {
+    return common::InvalidArgument("wat:" + std::to_string(at.line) + ": " + msg);
+  }
+
+  uint32_t GetOrAddType(const FuncType& type) {
+    for (size_t i = 0; i < module_->types.size(); ++i) {
+      if (module_->types[i] == type) return static_cast<uint32_t>(i);
+    }
+    module_->types.push_back(type);
+    return static_cast<uint32_t>(module_->types.size() - 1);
+  }
+
+  static common::Status NoStatusErr() { return common::OkStatus(); }
+
+  common::Status ParseValType(const SExpr& e, ValType* out) {
+    if (!e.IsAtom()) return Err(e, "expected value type");
+    if (e.text == "i32") *out = ValType::kI32;
+    else if (e.text == "i64") *out = ValType::kI64;
+    else if (e.text == "f32") *out = ValType::kF32;
+    else if (e.text == "f64") *out = ValType::kF64;
+    else if (e.text == "funcref") *out = ValType::kFuncRef;
+    else return Err(e, "unknown value type '" + e.text + "'");
+    return common::OkStatus();
+  }
+
+  // Parses (param ...) / (result ...) lists starting at list index *i.
+  // Records parameter names into `param_names` when provided.
+  common::Status ParseSignature(const SExpr& field, size_t* i, FuncType* type,
+                                std::map<std::string, uint32_t>* param_names) {
+    while (*i < field.list.size() && field.list[*i].IsListHead("param")) {
+      const SExpr& p = field.list[*i];
+      if (p.list.size() >= 2 && p.list[1].IsId()) {
+        if (param_names != nullptr) {
+          (*param_names)[p.list[1].text] = static_cast<uint32_t>(type->params.size());
+        }
+        if (p.list.size() != 3) return Err(p, "named param takes exactly one type");
+        ValType t;
+        RETURN_IF_ERROR(ParseValType(p.list[2], &t));
+        type->params.push_back(t);
+      } else {
+        for (size_t k = 1; k < p.list.size(); ++k) {
+          ValType t;
+          RETURN_IF_ERROR(ParseValType(p.list[k], &t));
+          type->params.push_back(t);
+        }
+      }
+      ++*i;
+    }
+    while (*i < field.list.size() && field.list[*i].IsListHead("result")) {
+      const SExpr& r = field.list[*i];
+      for (size_t k = 1; k < r.list.size(); ++k) {
+        ValType t;
+        RETURN_IF_ERROR(ParseValType(r.list[k], &t));
+        type->results.push_back(t);
+      }
+      ++*i;
+    }
+    return common::OkStatus();
+  }
+
+  common::Status ParseTypeField(const SExpr& field) {
+    size_t i = 1;
+    std::string name;
+    if (i < field.list.size() && field.list[i].IsId()) {
+      name = field.list[i].text;
+      ++i;
+    }
+    if (i >= field.list.size() || !field.list[i].IsListHead("func")) {
+      return Err(field, "type field must contain (func ...)");
+    }
+    const SExpr& fn = field.list[i];
+    FuncType type;
+    size_t j = 1;
+    RETURN_IF_ERROR(ParseSignature(fn, &j, &type, nullptr));
+    uint32_t idx = static_cast<uint32_t>(module_->types.size());
+    module_->types.push_back(type);  // explicit types are not deduped
+    if (!name.empty()) type_names_[name] = idx;
+    return common::OkStatus();
+  }
+
+  common::Status ParseLimits(const SExpr& field, size_t* i, Limits* out) {
+    uint64_t v;
+    if (*i >= field.list.size() || !field.list[*i].IsAtom() ||
+        !ParseIntText(field.list[*i].text, &v)) {
+      return Err(field, "expected limits minimum");
+    }
+    out->min = v;
+    ++*i;
+    if (*i < field.list.size() && field.list[*i].IsAtom() &&
+        ParseIntText(field.list[*i].text, &v)) {
+      out->max = v;
+      out->has_max = true;
+      ++*i;
+    }
+    if (*i < field.list.size() && field.list[*i].IsAtom() &&
+        field.list[*i].text == "shared") {
+      out->shared = true;
+      ++*i;
+    }
+    return common::OkStatus();
+  }
+
+  common::Status ParseImportField(const SExpr& field) {
+    if (field.list.size() < 4 || !field.list[1].IsString() || !field.list[2].IsString()) {
+      return Err(field, "import needs module and name strings");
+    }
+    if (!module_->functions.empty() || !module_->memories.empty() ||
+        !module_->globals.empty() || !module_->tables.empty()) {
+      return Err(field, "imports must precede definitions");
+    }
+    Import imp;
+    imp.module = field.list[1].text;
+    imp.name = field.list[2].text;
+    const SExpr& desc = field.list[3];
+    if (!desc.IsList() || desc.list.empty()) return Err(field, "bad import descriptor");
+    const std::string& kind = desc.list[0].text;
+    size_t i = 1;
+    std::string bind_name;
+    if (i < desc.list.size() && desc.list[i].IsId()) {
+      bind_name = desc.list[i].text;
+      ++i;
+    }
+    if (kind == "func") {
+      imp.kind = ExternKind::kFunc;
+      if (i < desc.list.size() && desc.list[i].IsListHead("type")) {
+        uint32_t idx;
+        RETURN_IF_ERROR(ResolveIndex(desc.list[i].list[1], type_names_, "type", &idx));
+        imp.type_index = idx;
+      } else {
+        FuncType type;
+        RETURN_IF_ERROR(ParseSignature(desc, &i, &type, nullptr));
+        imp.type_index = GetOrAddType(type);
+      }
+      if (!bind_name.empty()) func_names_[bind_name] = module_->num_imported_funcs;
+      ++module_->num_imported_funcs;
+    } else if (kind == "memory") {
+      imp.kind = ExternKind::kMemory;
+      RETURN_IF_ERROR(ParseLimits(desc, &i, &imp.limits));
+      if (!bind_name.empty()) memory_names_[bind_name] = module_->num_imported_memories;
+      ++module_->num_imported_memories;
+    } else if (kind == "table") {
+      imp.kind = ExternKind::kTable;
+      RETURN_IF_ERROR(ParseLimits(desc, &i, &imp.limits));
+      if (!bind_name.empty()) table_names_[bind_name] = module_->num_imported_tables;
+      ++module_->num_imported_tables;
+    } else if (kind == "global") {
+      imp.kind = ExternKind::kGlobal;
+      if (i < desc.list.size() && desc.list[i].IsListHead("mut")) {
+        imp.global_type.mut = true;
+        RETURN_IF_ERROR(ParseValType(desc.list[i].list[1], &imp.global_type.type));
+      } else if (i < desc.list.size()) {
+        RETURN_IF_ERROR(ParseValType(desc.list[i], &imp.global_type.type));
+      } else {
+        return Err(field, "global import needs a type");
+      }
+      if (!bind_name.empty()) global_names_[bind_name] = module_->num_imported_globals;
+      ++module_->num_imported_globals;
+    } else {
+      return Err(field, "unknown import kind '" + kind + "'");
+    }
+    module_->imports.push_back(std::move(imp));
+    return common::OkStatus();
+  }
+
+  common::Status DeclareFunc(const SExpr& field) {
+    size_t i = 1;
+    std::string name;
+    if (i < field.list.size() && field.list[i].IsId()) {
+      name = field.list[i].text;
+      ++i;
+    }
+    uint32_t func_index = module_->NumFuncs();
+    if (!name.empty()) func_names_[name] = func_index;
+
+    // Inline exports.
+    while (i < field.list.size() && field.list[i].IsListHead("export")) {
+      Export e;
+      e.name = field.list[i].list[1].text;
+      e.kind = ExternKind::kFunc;
+      e.index = func_index;
+      module_->exports.push_back(std::move(e));
+      ++i;
+    }
+
+    Function fn;
+    fn.debug_name = name;
+    FuncType type;
+    std::map<std::string, uint32_t> param_names;
+    if (i < field.list.size() && field.list[i].IsListHead("type")) {
+      uint32_t idx;
+      RETURN_IF_ERROR(ResolveIndex(field.list[i].list[1], type_names_, "type", &idx));
+      ++i;
+      // Optional redundant param/result decls (must match; names recorded).
+      FuncType inline_type;
+      size_t before = i;
+      RETURN_IF_ERROR(ParseSignature(field, &i, &inline_type, &param_names));
+      if (i != before && !(inline_type == module_->types[idx])) {
+        return Err(field, "inline signature does not match (type ...)");
+      }
+      fn.type_index = idx;
+    } else {
+      RETURN_IF_ERROR(ParseSignature(field, &i, &type, &param_names));
+      fn.type_index = GetOrAddType(type);
+    }
+    // Locals.
+    while (i < field.list.size() && field.list[i].IsListHead("local")) {
+      const SExpr& l = field.list[i];
+      if (l.list.size() >= 2 && l.list[1].IsId()) {
+        if (l.list.size() != 3) return Err(l, "named local takes exactly one type");
+        uint32_t local_index =
+            static_cast<uint32_t>(module_->types[fn.type_index].params.size() +
+                                  fn.locals.size());
+        param_names[l.list[1].text] = local_index;
+        ValType t;
+        RETURN_IF_ERROR(ParseValType(l.list[2], &t));
+        fn.locals.push_back(t);
+      } else {
+        for (size_t k = 1; k < l.list.size(); ++k) {
+          ValType t;
+          RETURN_IF_ERROR(ParseValType(l.list[k], &t));
+          fn.locals.push_back(t);
+        }
+      }
+      ++i;
+    }
+    func_body_start_[&field] = i;
+    func_local_names_[&field] = std::move(param_names);
+    module_->functions.push_back(std::move(fn));
+    func_of_field_[&field] = module_->NumFuncs() - 1;
+    return common::OkStatus();
+  }
+
+  common::Status ParseMemoryField(const SExpr& field) {
+    size_t i = 1;
+    std::string name;
+    if (i < field.list.size() && field.list[i].IsId()) {
+      name = field.list[i].text;
+      ++i;
+    }
+    uint32_t index = module_->NumMemories();
+    while (i < field.list.size() && field.list[i].IsListHead("export")) {
+      Export e;
+      e.name = field.list[i].list[1].text;
+      e.kind = ExternKind::kMemory;
+      e.index = index;
+      module_->exports.push_back(std::move(e));
+      ++i;
+    }
+    MemoryDecl m;
+    RETURN_IF_ERROR(ParseLimits(field, &i, &m.limits));
+    if (!name.empty()) memory_names_[name] = index;
+    module_->memories.push_back(m);
+    return common::OkStatus();
+  }
+
+  common::Status ParseTableField(const SExpr& field) {
+    size_t i = 1;
+    std::string name;
+    if (i < field.list.size() && field.list[i].IsId()) {
+      name = field.list[i].text;
+      ++i;
+    }
+    TableDecl t;
+    RETURN_IF_ERROR(ParseLimits(field, &i, &t.limits));
+    if (i < field.list.size() && field.list[i].IsAtom() &&
+        field.list[i].text == "funcref") {
+      ++i;
+    }
+    if (!name.empty()) table_names_[name] = module_->NumTables();
+    module_->tables.push_back(t);
+    return common::OkStatus();
+  }
+
+  common::Status ParseInitExpr(const SExpr& e, InitExpr* out) {
+    // (i32.const N) | (i64.const N) | (f32.const X) | (f64.const X) |
+    // (global.get $g) | (offset <one of those>)
+    const SExpr* expr = &e;
+    if (e.IsListHead("offset")) {
+      if (e.list.size() != 2) return Err(e, "offset takes one expression");
+      expr = &e.list[1];
+    }
+    if (!expr->IsList() || expr->list.empty()) return Err(e, "expected init expression");
+    const std::string& op = expr->list[0].text;
+    if (op == "global.get") {
+      out->kind = InitExpr::Kind::kGlobalGet;
+      uint32_t idx;
+      RETURN_IF_ERROR(ResolveIndex(expr->list[1], global_names_, "global", &idx));
+      out->global_index = idx;
+      return common::OkStatus();
+    }
+    out->kind = InitExpr::Kind::kConst;
+    if (expr->list.size() != 2) return Err(e, "const init takes one literal");
+    const std::string& lit = expr->list[1].text;
+    if (op == "i32.const") {
+      uint64_t v;
+      if (!ParseIntText(lit, &v)) return Err(e, "bad i32 literal");
+      out->type = ValType::kI32;
+      out->bits = static_cast<uint32_t>(v);
+    } else if (op == "i64.const") {
+      uint64_t v;
+      if (!ParseIntText(lit, &v)) return Err(e, "bad i64 literal");
+      out->type = ValType::kI64;
+      out->bits = v;
+    } else if (op == "f32.const") {
+      double d;
+      uint64_t iv;
+      if (ParseFloatText(lit, &d)) {
+        float f = static_cast<float>(d);
+        uint32_t u;
+        std::memcpy(&u, &f, 4);
+        out->bits = u;
+      } else if (ParseIntText(lit, &iv)) {
+        float f = static_cast<float>(static_cast<int64_t>(iv));
+        uint32_t u;
+        std::memcpy(&u, &f, 4);
+        out->bits = u;
+      } else {
+        return Err(e, "bad f32 literal");
+      }
+      out->type = ValType::kF32;
+    } else if (op == "f64.const") {
+      double d;
+      if (!ParseFloatText(lit, &d)) return Err(e, "bad f64 literal");
+      out->type = ValType::kF64;
+      std::memcpy(&out->bits, &d, 8);
+    } else {
+      return Err(e, "unsupported init expression '" + op + "'");
+    }
+    return common::OkStatus();
+  }
+
+  common::Status ParseGlobalField(const SExpr& field) {
+    size_t i = 1;
+    Global g;
+    if (i < field.list.size() && field.list[i].IsId()) {
+      g.debug_name = field.list[i].text;
+      ++i;
+    }
+    uint32_t index = module_->NumGlobals();
+    while (i < field.list.size() && field.list[i].IsListHead("export")) {
+      Export e;
+      e.name = field.list[i].list[1].text;
+      e.kind = ExternKind::kGlobal;
+      e.index = index;
+      module_->exports.push_back(std::move(e));
+      ++i;
+    }
+    if (i >= field.list.size()) return Err(field, "global needs a type");
+    if (field.list[i].IsListHead("mut")) {
+      g.type.mut = true;
+      RETURN_IF_ERROR(ParseValType(field.list[i].list[1], &g.type.type));
+    } else {
+      RETURN_IF_ERROR(ParseValType(field.list[i], &g.type.type));
+    }
+    ++i;
+    if (i >= field.list.size()) return Err(field, "global needs an initializer");
+    RETURN_IF_ERROR(ParseInitExpr(field.list[i], &g.init));
+    if (!g.debug_name.empty()) global_names_[g.debug_name] = index;
+    module_->globals.push_back(std::move(g));
+    return common::OkStatus();
+  }
+
+  common::Status ResolveIndex(const SExpr& e, const std::map<std::string, uint32_t>& names,
+                              const char* what, uint32_t* out) {
+    if (e.IsId()) {
+      auto it = names.find(e.text);
+      if (it == names.end()) {
+        return Err(e, std::string("unknown ") + what + " '$" + e.text + "'");
+      }
+      *out = it->second;
+      return common::OkStatus();
+    }
+    uint64_t v;
+    if (e.IsAtom() && ParseIntText(e.text, &v)) {
+      *out = static_cast<uint32_t>(v);
+      return common::OkStatus();
+    }
+    return Err(e, std::string("expected ") + what + " index");
+  }
+
+  common::Status ParseExportField(const SExpr& field) {
+    if (field.list.size() != 3 || !field.list[1].IsString() || !field.list[2].IsList()) {
+      return Err(field, "export needs a name and descriptor");
+    }
+    Export e;
+    e.name = field.list[1].text;
+    const SExpr& desc = field.list[2];
+    const std::string& kind = desc.list[0].text;
+    uint32_t idx;
+    if (kind == "func") {
+      e.kind = ExternKind::kFunc;
+      RETURN_IF_ERROR(ResolveIndex(desc.list[1], func_names_, "func", &idx));
+    } else if (kind == "memory") {
+      e.kind = ExternKind::kMemory;
+      RETURN_IF_ERROR(ResolveIndex(desc.list[1], memory_names_, "memory", &idx));
+    } else if (kind == "table") {
+      e.kind = ExternKind::kTable;
+      RETURN_IF_ERROR(ResolveIndex(desc.list[1], table_names_, "table", &idx));
+    } else if (kind == "global") {
+      e.kind = ExternKind::kGlobal;
+      RETURN_IF_ERROR(ResolveIndex(desc.list[1], global_names_, "global", &idx));
+    } else {
+      return Err(field, "unknown export kind");
+    }
+    e.index = idx;
+    module_->exports.push_back(std::move(e));
+    return common::OkStatus();
+  }
+
+  common::Status ParseElemField(const SExpr& field) {
+    ElemSegment seg;
+    size_t i = 1;
+    if (i < field.list.size() && (field.list[i].IsId() ||
+        (field.list[i].IsAtom() && isdigit(static_cast<unsigned char>(field.list[i].text[0]))))) {
+      RETURN_IF_ERROR(ResolveIndex(field.list[i], table_names_, "table", &seg.table_index));
+      ++i;
+    }
+    if (i >= field.list.size() || !field.list[i].IsList()) {
+      return Err(field, "elem needs an offset expression");
+    }
+    RETURN_IF_ERROR(ParseInitExpr(field.list[i], &seg.offset));
+    ++i;
+    if (i < field.list.size() && field.list[i].IsAtom() && field.list[i].text == "func") {
+      ++i;
+    }
+    for (; i < field.list.size(); ++i) {
+      uint32_t idx;
+      RETURN_IF_ERROR(ResolveIndex(field.list[i], func_names_, "func", &idx));
+      seg.func_indices.push_back(idx);
+    }
+    module_->elems.push_back(std::move(seg));
+    return common::OkStatus();
+  }
+
+  common::Status ParseDataField(const SExpr& field) {
+    DataSegment seg;
+    size_t i = 1;
+    if (i >= field.list.size() || !field.list[i].IsList()) {
+      return Err(field, "data needs an offset expression");
+    }
+    RETURN_IF_ERROR(ParseInitExpr(field.list[i], &seg.offset));
+    ++i;
+    for (; i < field.list.size(); ++i) {
+      if (!field.list[i].IsString()) return Err(field, "data bytes must be strings");
+      seg.bytes.insert(seg.bytes.end(), field.list[i].text.begin(),
+                       field.list[i].text.end());
+    }
+    module_->datas.push_back(std::move(seg));
+    return common::OkStatus();
+  }
+
+  // ------------------------------------------------------------ func body --
+
+  struct BodyCtx {
+    Function* fn = nullptr;
+    const std::map<std::string, uint32_t>* local_names = nullptr;
+    std::vector<std::string> labels;  // innermost last
+  };
+
+  common::Status ParseFuncBody(const SExpr& field) {
+    uint32_t func_index = func_of_field_[&field];
+    Function& fn = module_->functions[func_index - module_->num_imported_funcs];
+    BodyCtx ctx;
+    ctx.fn = &fn;
+    ctx.local_names = &func_local_names_[&field];
+    size_t i = func_body_start_[&field];
+    RETURN_IF_ERROR(ParseInstrSeq(field, &i, field.list.size(), &ctx));
+    Instr end;
+    end.op = Op::kEnd;
+    fn.code.push_back(end);
+    if (!ctx.labels.empty()) {
+      return Err(field, "unterminated block in plain form");
+    }
+    return common::OkStatus();
+  }
+
+  // Parses elements [*i, end) of `parent` as an instruction sequence.
+  common::Status ParseInstrSeq(const SExpr& parent, size_t* i, size_t end, BodyCtx* ctx) {
+    while (*i < end) {
+      RETURN_IF_ERROR(ParseInstrElem(parent, i, end, ctx));
+    }
+    return common::OkStatus();
+  }
+
+  static bool LooksLikeIndex(const SExpr& e) {
+    if (e.IsId()) return true;
+    if (!e.IsAtom() || e.text.empty()) return false;
+    char c = e.text[0];
+    return (c >= '0' && c <= '9') || c == '-' || c == '+';
+  }
+
+  common::Status ResolveLabel(const SExpr& e, BodyCtx* ctx, uint32_t* depth) {
+    if (e.IsId()) {
+      for (size_t d = 0; d < ctx->labels.size(); ++d) {
+        if (ctx->labels[ctx->labels.size() - 1 - d] == e.text) {
+          *depth = static_cast<uint32_t>(d);
+          return common::OkStatus();
+        }
+      }
+      return Err(e, "unknown label '$" + e.text + "'");
+    }
+    uint64_t v;
+    if (e.IsAtom() && ParseIntText(e.text, &v)) {
+      *depth = static_cast<uint32_t>(v);
+      return common::OkStatus();
+    }
+    return Err(e, "expected label");
+  }
+
+  common::Status ResolveLocal(const SExpr& e, BodyCtx* ctx, uint32_t* out) {
+    if (e.IsId()) {
+      auto it = ctx->local_names->find(e.text);
+      if (it == ctx->local_names->end()) {
+        return Err(e, "unknown local '$" + e.text + "'");
+      }
+      *out = it->second;
+      return common::OkStatus();
+    }
+    uint64_t v;
+    if (e.IsAtom() && ParseIntText(e.text, &v)) {
+      *out = static_cast<uint32_t>(v);
+      return common::OkStatus();
+    }
+    return Err(e, "expected local index");
+  }
+
+  // Parses block type annotation "(result t)" at parent.list[*i]; returns the
+  // blocktype immediate byte.
+  common::Status ParseBlockTypeAnnot(const SExpr& parent, size_t* i, size_t end,
+                                     uint64_t* imm) {
+    *imm = kVoidBlockType;
+    if (*i < end && parent.list[*i].IsListHead("result")) {
+      const SExpr& r = parent.list[*i];
+      if (r.list.size() != 2) return Err(r, "only single-result blocks supported");
+      ValType t;
+      RETURN_IF_ERROR(ParseValType(r.list[1], &t));
+      *imm = static_cast<uint64_t>(t);
+      ++*i;
+    }
+    return common::OkStatus();
+  }
+
+  // Parses memarg immediates "offset=N align=N".
+  common::Status ParseMemarg(const SExpr& parent, size_t* i, size_t end, Instr* in) {
+    while (*i < end && parent.list[*i].IsAtom()) {
+      const std::string& t = parent.list[*i].text;
+      if (t.rfind("offset=", 0) == 0) {
+        uint64_t v;
+        if (!ParseIntText(t.substr(7), &v)) return Err(parent.list[*i], "bad offset");
+        in->a = static_cast<uint32_t>(v);
+        ++*i;
+      } else if (t.rfind("align=", 0) == 0) {
+        uint64_t v;
+        if (!ParseIntText(t.substr(6), &v)) return Err(parent.list[*i], "bad align");
+        in->b = static_cast<uint32_t>(v);
+        ++*i;
+      } else {
+        break;
+      }
+    }
+    return common::OkStatus();
+  }
+
+  // Emits one instruction element: plain atom form or folded list form.
+  common::Status ParseInstrElem(const SExpr& parent, size_t* i, size_t end, BodyCtx* ctx) {
+    const SExpr& e = parent.list[*i];
+    if (e.IsAtom()) {
+      return ParsePlainInstr(parent, i, end, ctx);
+    }
+    if (e.IsList()) {
+      ++*i;
+      return ParseFoldedInstr(e, ctx);
+    }
+    return Err(e, "unexpected token in function body");
+  }
+
+  // Parses immediates for `op` from parent.list starting at *i, fills `in`,
+  // but does not emit. Shared by plain and folded forms.
+  common::Status ParseImmediates(Op op, const SExpr& parent, size_t* i, size_t end,
+                                 BodyCtx* ctx, Instr* in) {
+    switch (OpImmKind(op)) {
+      case ImmKind::kNone:
+      case ImmKind::kMemIdx:
+      case ImmKind::kMemMemIdx:
+        break;
+      case ImmKind::kBlock:
+        break;  // handled by block parsing
+      case ImmKind::kLabel: {
+        if (*i >= end) return Err(parent, "missing label");
+        uint32_t depth;
+        RETURN_IF_ERROR(ResolveLabel(parent.list[*i], ctx, &depth));
+        ++*i;
+        in->a = depth;
+        in->imm = depth;  // a is rewritten by the validator; imm keeps depth
+        break;
+      }
+      case ImmKind::kBrTable: {
+        std::vector<uint32_t> depths;
+        while (*i < end && LooksLikeIndex(parent.list[*i])) {
+          uint32_t d;
+          RETURN_IF_ERROR(ResolveLabel(parent.list[*i], ctx, &d));
+          depths.push_back(d);
+          ++*i;
+        }
+        if (depths.empty()) return Err(parent, "br_table needs at least a default label");
+        BrTable table;
+        for (uint32_t d : depths) {
+          BrTarget t;
+          t.depth = d;
+          table.targets.push_back(t);
+        }
+        in->a = static_cast<uint32_t>(ctx->fn->br_tables.size());
+        ctx->fn->br_tables.push_back(std::move(table));
+        break;
+      }
+      case ImmKind::kFunc: {
+        if (*i >= end) return Err(parent, "missing function index");
+        uint32_t idx;
+        RETURN_IF_ERROR(ResolveIndex(parent.list[*i], func_names_, "func", &idx));
+        ++*i;
+        in->a = idx;
+        break;
+      }
+      case ImmKind::kCallIndirect: {
+        // Optional table index then (type $t) or inline signature.
+        uint32_t table_index = 0;
+        if (*i < end && LooksLikeIndex(parent.list[*i]) && !parent.list[*i].IsId()) {
+          uint64_t v;
+          ParseIntText(parent.list[*i].text, &v);
+          table_index = static_cast<uint32_t>(v);
+          ++*i;
+        }
+        uint32_t type_index = UINT32_MAX;
+        FuncType inline_type;
+        bool has_inline = false;
+        while (*i < end && parent.list[*i].IsList()) {
+          const SExpr& l = parent.list[*i];
+          if (l.IsListHead("type")) {
+            RETURN_IF_ERROR(ResolveIndex(l.list[1], type_names_, "type", &type_index));
+            ++*i;
+          } else if (l.IsListHead("param") || l.IsListHead("result")) {
+            size_t j = *i;
+            RETURN_IF_ERROR(ParseSignature(parent, &j, &inline_type, nullptr));
+            has_inline = true;
+            *i = j;
+          } else {
+            break;
+          }
+        }
+        if (type_index == UINT32_MAX) {
+          if (!has_inline) return Err(parent, "call_indirect needs a type");
+          type_index = GetOrAddType(inline_type);
+        }
+        in->a = type_index;
+        in->b = table_index;
+        break;
+      }
+      case ImmKind::kLocal: {
+        if (*i >= end) return Err(parent, "missing local index");
+        uint32_t idx;
+        RETURN_IF_ERROR(ResolveLocal(parent.list[*i], ctx, &idx));
+        ++*i;
+        in->a = idx;
+        break;
+      }
+      case ImmKind::kGlobal: {
+        if (*i >= end) return Err(parent, "missing global index");
+        uint32_t idx;
+        RETURN_IF_ERROR(ResolveIndex(parent.list[*i], global_names_, "global", &idx));
+        ++*i;
+        in->a = idx;
+        break;
+      }
+      case ImmKind::kMem:
+        RETURN_IF_ERROR(ParseMemarg(parent, i, end, in));
+        break;
+      case ImmKind::kI32Const: {
+        if (*i >= end) return Err(parent, "missing i32 literal");
+        uint64_t v;
+        if (!ParseIntText(parent.list[*i].text, &v)) {
+          return Err(parent.list[*i], "bad i32 literal");
+        }
+        ++*i;
+        in->imm = static_cast<uint32_t>(v);
+        break;
+      }
+      case ImmKind::kI64Const: {
+        if (*i >= end) return Err(parent, "missing i64 literal");
+        uint64_t v;
+        if (!ParseIntText(parent.list[*i].text, &v)) {
+          return Err(parent.list[*i], "bad i64 literal");
+        }
+        ++*i;
+        in->imm = v;
+        break;
+      }
+      case ImmKind::kF32Const: {
+        if (*i >= end) return Err(parent, "missing f32 literal");
+        double d;
+        uint64_t iv;
+        if (ParseFloatText(parent.list[*i].text, &d)) {
+        } else if (ParseIntText(parent.list[*i].text, &iv)) {
+          d = static_cast<double>(static_cast<int64_t>(iv));
+        } else {
+          return Err(parent.list[*i], "bad f32 literal");
+        }
+        ++*i;
+        float f = static_cast<float>(d);
+        uint32_t u;
+        std::memcpy(&u, &f, 4);
+        in->imm = u;
+        break;
+      }
+      case ImmKind::kF64Const: {
+        if (*i >= end) return Err(parent, "missing f64 literal");
+        double d;
+        uint64_t iv;
+        if (ParseFloatText(parent.list[*i].text, &d)) {
+        } else if (ParseIntText(parent.list[*i].text, &iv)) {
+          d = static_cast<double>(static_cast<int64_t>(iv));
+        } else {
+          return Err(parent.list[*i], "bad f64 literal");
+        }
+        ++*i;
+        std::memcpy(&in->imm, &d, 8);
+        break;
+      }
+    }
+    return common::OkStatus();
+  }
+
+  void Emit(BodyCtx* ctx, const Instr& in) { ctx->fn->code.push_back(in); }
+
+  // Plain (non-folded) instruction: mnemonic atom + immediates; block
+  // structure handled via the label stack with explicit 'end'.
+  common::Status ParsePlainInstr(const SExpr& parent, size_t* i, size_t end,
+                                 BodyCtx* ctx) {
+    const SExpr& head = parent.list[*i];
+    const std::string& mnemonic = head.text;
+    ++*i;
+
+    if (mnemonic == "end") {
+      if (ctx->labels.empty()) return Err(head, "'end' without open block");
+      ctx->labels.pop_back();
+      // Optional trailing label id.
+      if (*i < end && parent.list[*i].IsId()) ++*i;
+      Instr in;
+      in.op = Op::kEnd;
+      Emit(ctx, in);
+      return common::OkStatus();
+    }
+    if (mnemonic == "else") {
+      if (*i < end && parent.list[*i].IsId()) ++*i;
+      Instr in;
+      in.op = Op::kElse;
+      Emit(ctx, in);
+      return common::OkStatus();
+    }
+
+    auto op = OpFromText(mnemonic);
+    if (!op.has_value()) return Err(head, "unknown instruction '" + mnemonic + "'");
+
+    if (*op == Op::kBlock || *op == Op::kLoop || *op == Op::kIf) {
+      std::string label;
+      if (*i < end && parent.list[*i].IsId()) {
+        label = parent.list[*i].text;
+        ++*i;
+      }
+      Instr in;
+      in.op = *op;
+      RETURN_IF_ERROR(ParseBlockTypeAnnot(parent, i, end, &in.imm));
+      ctx->labels.push_back(label);
+      Emit(ctx, in);
+      return common::OkStatus();
+    }
+
+    Instr in;
+    in.op = *op;
+    RETURN_IF_ERROR(ParseImmediates(*op, parent, i, end, ctx, &in));
+    Emit(ctx, in);
+    return common::OkStatus();
+  }
+
+  // Folded instruction: (op imm* operand-expr*) with special forms for
+  // block/loop/if.
+  common::Status ParseFoldedInstr(const SExpr& e, BodyCtx* ctx) {
+    if (e.list.empty() || !e.list[0].IsAtom()) {
+      return Err(e, "expected instruction");
+    }
+    const std::string& mnemonic = e.list[0].text;
+    auto op = OpFromText(mnemonic);
+    if (!op.has_value()) return Err(e, "unknown instruction '" + mnemonic + "'");
+
+    size_t i = 1;
+    if (*op == Op::kBlock || *op == Op::kLoop) {
+      std::string label;
+      if (i < e.list.size() && e.list[i].IsId()) {
+        label = e.list[i].text;
+        ++i;
+      }
+      Instr in;
+      in.op = *op;
+      RETURN_IF_ERROR(ParseBlockTypeAnnot(e, &i, e.list.size(), &in.imm));
+      Emit(ctx, in);
+      ctx->labels.push_back(label);
+      RETURN_IF_ERROR(ParseInstrSeq(e, &i, e.list.size(), ctx));
+      ctx->labels.pop_back();
+      Instr endin;
+      endin.op = Op::kEnd;
+      Emit(ctx, endin);
+      return common::OkStatus();
+    }
+    if (*op == Op::kIf) {
+      std::string label;
+      if (i < e.list.size() && e.list[i].IsId()) {
+        label = e.list[i].text;
+        ++i;
+      }
+      Instr in;
+      in.op = Op::kIf;
+      RETURN_IF_ERROR(ParseBlockTypeAnnot(e, &i, e.list.size(), &in.imm));
+      // Condition expressions (all elements before (then ...)).
+      while (i < e.list.size() && !e.list[i].IsListHead("then")) {
+        RETURN_IF_ERROR(ParseFoldedInstr(e.list[i], ctx));
+        ++i;
+      }
+      if (i >= e.list.size()) return Err(e, "folded if needs (then ...)");
+      Emit(ctx, in);
+      ctx->labels.push_back(label);
+      const SExpr& then_clause = e.list[i];
+      size_t j = 1;
+      RETURN_IF_ERROR(ParseInstrSeq(then_clause, &j, then_clause.list.size(), ctx));
+      ++i;
+      if (i < e.list.size() && e.list[i].IsListHead("else")) {
+        Instr elsein;
+        elsein.op = Op::kElse;
+        Emit(ctx, elsein);
+        const SExpr& else_clause = e.list[i];
+        j = 1;
+        RETURN_IF_ERROR(ParseInstrSeq(else_clause, &j, else_clause.list.size(), ctx));
+        ++i;
+      }
+      if (i != e.list.size()) return Err(e, "unexpected tokens after folded if");
+      ctx->labels.pop_back();
+      Instr endin;
+      endin.op = Op::kEnd;
+      Emit(ctx, endin);
+      return common::OkStatus();
+    }
+
+    // Generic folded op: immediates, then child operand expressions, then op.
+    Instr in;
+    in.op = *op;
+    RETURN_IF_ERROR(ParseImmediates(*op, e, &i, e.list.size(), ctx, &in));
+    for (; i < e.list.size(); ++i) {
+      if (!e.list[i].IsList()) return Err(e.list[i], "folded operands must be expressions");
+      RETURN_IF_ERROR(ParseFoldedInstr(e.list[i], ctx));
+    }
+    Emit(ctx, in);
+    return common::OkStatus();
+  }
+
+  SExpr root_;
+  std::shared_ptr<Module> module_;
+  std::map<std::string, uint32_t> type_names_;
+  std::map<std::string, uint32_t> func_names_;
+  std::map<std::string, uint32_t> global_names_;
+  std::map<std::string, uint32_t> memory_names_;
+  std::map<std::string, uint32_t> table_names_;
+  std::vector<const SExpr*> late_fields_;
+  std::map<const SExpr*, size_t> func_body_start_;
+  std::map<const SExpr*, std::map<std::string, uint32_t>> func_local_names_;
+  std::map<const SExpr*, uint32_t> func_of_field_;
+};
+
+}  // namespace
+
+common::StatusOr<std::shared_ptr<Module>> ParseWat(std::string_view source) {
+  WatModuleParser parser;
+  return parser.Parse(source);
+}
+
+common::StatusOr<std::shared_ptr<Module>> ParseAndValidateWat(std::string_view source) {
+  WatModuleParser parser;
+  ASSIGN_OR_RETURN(std::shared_ptr<Module> module, parser.Parse(source));
+  RETURN_IF_ERROR(Validate(*module));
+  return module;
+}
+
+}  // namespace wasm

@@ -1,0 +1,23 @@
+// Parser for the WebAssembly text format (a practical subset: MVP constructs
+// plus the atomics used by this repo; folded and plain instruction forms,
+// named locals/labels/functions, data/elem segments, imports/exports).
+#ifndef SRC_WASM_WAT_PARSER_H_
+#define SRC_WASM_WAT_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/wasm/module.h"
+
+namespace wasm {
+
+// Parses WAT source into an (unvalidated) module.
+common::StatusOr<std::shared_ptr<Module>> ParseWat(std::string_view source);
+
+// Convenience: parse + validate.
+common::StatusOr<std::shared_ptr<Module>> ParseAndValidateWat(std::string_view source);
+
+}  // namespace wasm
+
+#endif  // SRC_WASM_WAT_PARSER_H_

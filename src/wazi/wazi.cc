@@ -1,0 +1,262 @@
+#include "src/wazi/wazi.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace wazi {
+
+namespace {
+
+struct WaziCtx {
+  wasm::ExecContext& exec;
+  WaziProcess& proc;
+  wasm::Memory& mem;
+
+  void* Ptr(uint64_t addr, uint64_t len) const {
+    if (!mem.InBounds(addr, len)) {
+      return nullptr;
+    }
+    return mem.At(addr);
+  }
+  bool GetStr(uint64_t addr, std::string* out) const {
+    uint64_t size = mem.size_bytes();
+    uint64_t n = 0;
+    while (addr + n < size && n < 256) {
+      char ch = static_cast<char>(*mem.At(addr + n));
+      if (ch == '\0') {
+        out->assign(reinterpret_cast<const char*>(mem.At(addr)), n);
+        return true;
+      }
+      ++n;
+    }
+    return false;
+  }
+};
+
+using KHandler = int64_t (*)(WaziCtx&, const int64_t*);
+
+// Hand-written bodies for each encoded syscall; everything else about the
+// binding (name, signature, registration, sandbox context) is generated
+// from the encoding table.
+int64_t Dispatch(const std::string& name, WaziCtx& c, const int64_t* a) {
+  rtos::Kernel& k = *c.proc.kernel;
+  if (name == "k_uptime_get") return k.UptimeMs();
+  if (name == "k_sleep") {
+    k.SleepMs(a[0]);
+    return rtos::kOk;
+  }
+  if (name == "k_usleep") {
+    k.SleepMs(a[0] / 1000 + ((a[0] % 1000) != 0 ? 1 : 0));
+    return rtos::kOk;
+  }
+  if (name == "k_yield") {
+    k.Yield();
+    return rtos::kOk;
+  }
+  if (name == "k_sem_create") {
+    return k.SemCreate(static_cast<uint32_t>(a[0]), static_cast<uint32_t>(a[1]));
+  }
+  if (name == "k_sem_take") {
+    rtos::Semaphore* s = k.Sem(a[0]);
+    return s != nullptr ? s->Take(a[1]) : rtos::kEinval;
+  }
+  if (name == "k_sem_give") {
+    rtos::Semaphore* s = k.Sem(a[0]);
+    if (s == nullptr) return rtos::kEinval;
+    s->Give();
+    return rtos::kOk;
+  }
+  if (name == "k_sem_count_get") {
+    rtos::Semaphore* s = k.Sem(a[0]);
+    return s != nullptr ? s->Count() : rtos::kEinval;
+  }
+  if (name == "k_mutex_create") return k.MutexCreate();
+  if (name == "k_mutex_lock") {
+    rtos::Mutex* m = k.Mut(a[0]);
+    return m != nullptr ? m->Lock(a[1]) : rtos::kEinval;
+  }
+  if (name == "k_mutex_unlock") {
+    rtos::Mutex* m = k.Mut(a[0]);
+    return m != nullptr ? m->Unlock() : rtos::kEinval;
+  }
+  if (name == "k_msgq_create") {
+    return k.MsgqCreate(static_cast<uint32_t>(a[0]), static_cast<uint32_t>(a[1]));
+  }
+  if (name == "k_msgq_put") {
+    rtos::MsgQueue* q = k.Msgq(a[0]);
+    if (q == nullptr) return rtos::kEinval;
+    const void* msg = c.Ptr(static_cast<uint64_t>(a[1]), q->msg_size());
+    if (msg == nullptr) return rtos::kEinval;
+    return q->Put(msg, a[2]);
+  }
+  if (name == "k_msgq_get") {
+    rtos::MsgQueue* q = k.Msgq(a[0]);
+    if (q == nullptr) return rtos::kEinval;
+    void* msg = c.Ptr(static_cast<uint64_t>(a[1]), q->msg_size());
+    if (msg == nullptr) return rtos::kEinval;
+    return q->Get(msg, a[2]);
+  }
+  if (name == "k_msgq_num_used_get") {
+    rtos::MsgQueue* q = k.Msgq(a[0]);
+    return q != nullptr ? q->NumUsed() : rtos::kEinval;
+  }
+  if (name == "k_thread_create") {
+    return c.proc.SpawnThread(static_cast<uint32_t>(a[0]), static_cast<uint64_t>(a[1]),
+                              static_cast<int>(a[2]));
+  }
+  if (name == "k_thread_join") {
+    return k.ThreadJoin(a[0], a[1]);
+  }
+  if (name == "device_get_binding") {
+    std::string dev_name;
+    if (!c.GetStr(static_cast<uint64_t>(a[0]), &dev_name)) return rtos::kEinval;
+    return k.DeviceGetBinding(dev_name);
+  }
+  if (name == "uart_poll_out") {
+    auto* dev = dynamic_cast<rtos::UartDevice*>(k.DeviceByHandle(a[0]));
+    if (dev == nullptr) return rtos::kEnodev;
+    dev->PollOut(static_cast<uint8_t>(a[1]));
+    return rtos::kOk;
+  }
+  if (name == "uart_poll_in") {
+    auto* dev = dynamic_cast<rtos::UartDevice*>(k.DeviceByHandle(a[0]));
+    if (dev == nullptr) return rtos::kEnodev;
+    auto* byte = static_cast<uint8_t*>(c.Ptr(static_cast<uint64_t>(a[1]), 1));
+    if (byte == nullptr) return rtos::kEinval;
+    return dev->PollIn(byte);
+  }
+  if (name == "gpio_pin_configure") {
+    auto* dev = dynamic_cast<rtos::GpioDevice*>(k.DeviceByHandle(a[0]));
+    if (dev == nullptr) return rtos::kEnodev;
+    return dev->Configure(static_cast<uint32_t>(a[1]), static_cast<uint32_t>(a[2]));
+  }
+  if (name == "gpio_pin_set") {
+    auto* dev = dynamic_cast<rtos::GpioDevice*>(k.DeviceByHandle(a[0]));
+    if (dev == nullptr) return rtos::kEnodev;
+    return dev->Set(static_cast<uint32_t>(a[1]), static_cast<uint32_t>(a[2]));
+  }
+  if (name == "gpio_pin_get") {
+    auto* dev = dynamic_cast<rtos::GpioDevice*>(k.DeviceByHandle(a[0]));
+    if (dev == nullptr) return rtos::kEnodev;
+    return dev->Get(static_cast<uint32_t>(a[1]));
+  }
+  if (name == "sensor_sample_fetch") {
+    auto* dev = dynamic_cast<rtos::SensorDevice*>(k.DeviceByHandle(a[0]));
+    if (dev == nullptr) return rtos::kEnodev;
+    return dev->SampleFetch();
+  }
+  if (name == "sensor_channel_get") {
+    auto* dev = dynamic_cast<rtos::SensorDevice*>(k.DeviceByHandle(a[0]));
+    if (dev == nullptr) return rtos::kEnodev;
+    return dev->ChannelGet(static_cast<uint32_t>(a[1]));
+  }
+  if (name == "k_oops") {
+    k.RecordFault();
+    c.exec.SetTrap(wasm::TrapKind::kHostError, "k_oops");
+    return rtos::kEinval;
+  }
+  return rtos::kEinval;
+}
+
+}  // namespace
+
+WaziProcess::~WaziProcess() { JoinThreads(); }
+
+void WaziProcess::AdoptInstance(wasm::Instance* instance) {
+  instance->set_user_data(this);
+}
+
+int64_t WaziProcess::SpawnThread(uint32_t func_index, uint64_t arg, int priority) {
+  wasm::Linker::InstantiateOptions opts;
+  opts.memory0_override = memory;
+  opts.apply_data = false;
+  opts.run_start = false;
+  opts.user_data = this;
+  opts.instance_name = "k_thread";
+  auto instOr = runtime->linker()->Instantiate(module, opts);
+  if (!instOr.ok()) {
+    return rtos::kEnomem;
+  }
+  std::shared_ptr<wasm::Instance> inst = std::move(*instOr);
+  AdoptInstance(inst.get());
+  auto table = inst->table(0);
+  if (table == nullptr || func_index >= table->elems.size() ||
+      table->elems[func_index].IsNull()) {
+    return rtos::kEinval;
+  }
+  wasm::FuncRef entry = table->elems[func_index];
+  return kernel->ThreadCreate(
+      [inst, entry, arg]() {
+        wasm::RunResult r =
+            inst->CallRef(entry, {wasm::Value::I32(static_cast<uint32_t>(arg))}, {});
+        if (!r.ok() && r.trap != wasm::TrapKind::kExit) {
+          LOG_ERROR() << "wazi thread trapped: " << wasm::TrapKindName(r.trap);
+        }
+      },
+      priority, "wazi-thread");
+}
+
+void WaziProcess::JoinThreads() {
+  // Kernel-owned threads joined via kernel teardown or k_thread_join.
+}
+
+WaziRuntime::WaziRuntime(wasm::Linker* linker, rtos::Kernel* kernel)
+    : linker_(linker), kernel_(kernel) {
+  Register();
+}
+
+void WaziRuntime::Register() {
+  // Auto-generation from the encoding table (paper §5): one uniform binding
+  // per encoded syscall. Only Dispatch() bodies are hand-written.
+  for (const rtos::KSyscallDesc& desc : rtos::SyscallEncoding()) {
+    wasm::FuncType type;
+    type.params.assign(desc.nargs, wasm::ValType::kI64);
+    type.results = {wasm::ValType::kI64};
+    std::string name = desc.name;
+    linker_->DefineHostFunc(
+        "wazi", name, type,
+        [this, name](wasm::ExecContext& ctx, const uint64_t* args,
+                     uint64_t* results) -> wasm::TrapKind {
+          auto* proc = static_cast<WaziProcess*>(ctx.current_instance()->user_data());
+          if (proc == nullptr) {
+            ctx.SetTrap(wasm::TrapKind::kHostError, "WAZI call outside a WAZI process");
+            return ctx.trap;
+          }
+          proc->syscall_count.fetch_add(1, std::memory_order_relaxed);
+          WaziCtx c{ctx, *proc, *proc->memory};
+          results[0] =
+              static_cast<uint64_t>(Dispatch(name, c, reinterpret_cast<const int64_t*>(args)));
+          return ctx.trap;
+        });
+    ++num_bound_;
+  }
+}
+
+common::StatusOr<std::unique_ptr<WaziProcess>> WaziRuntime::CreateProcess(
+    std::shared_ptr<const wasm::Module> module) {
+  auto proc = std::make_unique<WaziProcess>(this, kernel_);
+  proc->module = module;
+  wasm::Linker::InstantiateOptions opts;
+  opts.user_data = proc.get();
+  opts.instance_name = "wazi-app";
+  ASSIGN_OR_RETURN(std::unique_ptr<wasm::Instance> inst,
+                   linker_->Instantiate(module, opts));
+  proc->main_instance = std::move(inst);
+  proc->memory = proc->main_instance->memory(0);
+  if (proc->memory == nullptr) {
+    return common::InvalidArgument("WAZI modules must declare a memory");
+  }
+  proc->AdoptInstance(proc->main_instance.get());
+  return proc;
+}
+
+wasm::RunResult WaziRuntime::RunMain(WaziProcess& process) {
+  wasm::RunResult r = process.main_instance->CallExport("main", {}, {});
+  if (r.ok() && !r.values.empty()) {
+    r.exit_code = static_cast<int32_t>(r.values[0].i32());
+  }
+  return r;
+}
+
+}  // namespace wazi

@@ -1,0 +1,78 @@
+// WAZI: the thin kernel interface for the Zephyr-class RTOS simulator,
+// built by applying the paper's §5 recipe:
+//   (1) name-bind every kernel call (auto-generated from the kernel's
+//       compile-time syscall encoding table),
+//   (2) sandbox every memory address crossing the boundary,
+//   (3) ISA-portable argument encodings (handles + i64 scalars),
+//   (4) map the process model (k_thread_create spawns instance-per-thread
+//       sharing linear memory, as in WALI),
+//   (5) kernel memory services stay inside linear memory,
+//   (6) asynchronous interactions surface at safepoints.
+#ifndef SRC_WAZI_WAZI_H_
+#define SRC_WAZI_WAZI_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/rtos/kernel.h"
+#include "src/wasm/wasm.h"
+
+namespace wazi {
+
+class WaziRuntime;
+
+// One WAZI application context (a Zephyr "image" instance).
+class WaziProcess {
+ public:
+  WaziProcess(WaziRuntime* runtime, rtos::Kernel* kernel)
+      : runtime(runtime), kernel(kernel) {}
+  ~WaziProcess();
+
+  void AdoptInstance(wasm::Instance* instance);
+  // k_thread_create backend: fresh instance sharing linear memory, entry is
+  // a funcref table index with signature (i32)->i32.
+  int64_t SpawnThread(uint32_t func_index, uint64_t arg, int priority);
+  void JoinThreads();
+
+  WaziRuntime* runtime;
+  rtos::Kernel* kernel;
+  std::shared_ptr<const wasm::Module> module;
+  std::unique_ptr<wasm::Instance> main_instance;
+  std::shared_ptr<wasm::Memory> memory;
+  std::atomic<uint64_t> syscall_count{0};
+
+ private:
+  std::mutex threads_mu_;
+  std::vector<std::thread> threads_;
+};
+
+class WaziRuntime {
+ public:
+  // Registers the "wazi" namespace on `linker`, binding every entry of the
+  // kernel's SyscallEncoding() table. `kernel` must outlive the runtime.
+  WaziRuntime(wasm::Linker* linker, rtos::Kernel* kernel);
+
+  common::StatusOr<std::unique_ptr<WaziProcess>> CreateProcess(
+      std::shared_ptr<const wasm::Module> module);
+  wasm::RunResult RunMain(WaziProcess& process);
+
+  // How many kernel calls were auto-generated vs hand-written (paper §5:
+  // most of the implementation comes from the encoding table).
+  int num_bound_syscalls() const { return num_bound_; }
+
+  wasm::Linker* linker() { return linker_; }
+  rtos::Kernel* kernel() { return kernel_; }
+
+ private:
+  void Register();
+
+  wasm::Linker* linker_;
+  rtos::Kernel* kernel_;
+  int num_bound_ = 0;
+};
+
+}  // namespace wazi
+
+#endif  // SRC_WAZI_WAZI_H_

@@ -1,0 +1,772 @@
+#include "src/workloads/workloads.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/time_util.h"
+
+namespace workloads {
+
+namespace {
+
+// ---------------------------------------------------------------- lua -----
+// Compute-dominated: prime sieve + iterative fib per iteration, with
+// allocator traffic through mmap/munmap (lua's allocator behaviour; the
+// paper notes lua's frequent memory allocation requests).
+const char* kLuaWat = R"((module
+  (import "wali" "SYS_mmap" (func $mmap (param i64 i64 i64 i64 i64 i64) (result i64)))
+  (import "wali" "SYS_munmap" (func $munmap (param i64 i64) (result i64)))
+  (import "wali" "SYS_brk" (func $brk (param i64) (result i64)))
+  (memory 4 2048)
+  (func $sieve (param $n i32) (result i32)
+    (local $i i32) (local $j i32) (local $count i32)
+    (memory.fill (i32.const 8192) (i32.const 0) (local.get $n))
+    (local.set $i (i32.const 2))
+    (block $done
+      (loop $outer
+        (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+        (if (i32.eqz (i32.load8_u (i32.add (i32.const 8192) (local.get $i))))
+          (then
+            (local.set $count (i32.add (local.get $count) (i32.const 1)))
+            (local.set $j (i32.add (local.get $i) (local.get $i)))
+            (block $jdone
+              (loop $inner
+                (br_if $jdone (i32.ge_u (local.get $j) (local.get $n)))
+                (i32.store8 (i32.add (i32.const 8192) (local.get $j)) (i32.const 1))
+                (local.set $j (i32.add (local.get $j) (local.get $i)))
+                (br $inner)))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $outer)))
+    (local.get $count))
+  (func $fib (param $n i32) (result i32)
+    (local $a i32) (local $b i32) (local $t i32) (local $i i32)
+    (local.set $b (i32.const 1))
+    (block $done
+      (loop $l
+        (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+        (local.set $t (i32.add (local.get $a) (local.get $b)))
+        (local.set $a (local.get $b))
+        (local.set $b (local.get $t))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+    (local.get $a))
+  (func (export "main") (result i32)
+    (local $iter i32) (local $acc i32) (local $arena i64)
+    (drop (call $brk (i64.const 0)))
+    (block $out
+      (loop $main
+        (br_if $out (i32.ge_u (local.get $iter) (i32.const {SCALE})))
+        (local.set $arena (call $mmap (i64.const 0) (i64.const 65536) (i64.const 3)
+                                (i64.const 0x22) (i64.const -1) (i64.const 0)))
+        (local.set $acc (i32.add (local.get $acc) (call $sieve (i32.const 10000))))
+        (local.set $acc (i32.add (local.get $acc) (call $fib (i32.const 24))))
+        (if (i64.gt_s (local.get $arena) (i64.const 0))
+          (then
+            (i32.store (i32.wrap_i64 (local.get $arena)) (local.get $acc))
+            (drop (call $munmap (local.get $arena) (i64.const 65536)))))
+        (local.set $iter (i32.add (local.get $iter) (i32.const 1)))
+        (br $main)))
+    (local.get $acc))
+))";
+
+int64_t LuaNative(int scale) {
+  int64_t acc = 0;
+  std::vector<uint8_t> flags(10000);
+  for (int iter = 0; iter < scale; ++iter) {
+    void* arena = mmap(nullptr, 65536, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    std::memset(flags.data(), 0, flags.size());
+    int count = 0;
+    for (uint32_t i = 2; i < 10000; ++i) {
+      if (flags[i] == 0) {
+        ++count;
+        for (uint32_t j = i + i; j < 10000; j += i) flags[j] = 1;
+      }
+    }
+    acc += count;
+    uint32_t a = 0, b = 1;
+    for (int i = 0; i < 24; ++i) {
+      uint32_t t = a + b;
+      a = b;
+      b = t;
+    }
+    acc += a;
+    if (arena != MAP_FAILED) {
+      *static_cast<volatile int64_t*>(arena) = acc;
+      munmap(arena, 65536);
+    }
+  }
+  return acc;
+}
+
+const char* kLuaRv = R"(
+main:
+  li s0, 0
+  li s6, {SCALE}
+  li s3, 0
+outer:
+  li t1, 10000
+  li t2, flags
+  li t0, 0
+clear:
+  bge t0, t1, clear_done
+  add t3, t2, t0
+  sb x0, 0(t3)
+  addi t0, t0, 1
+  j clear
+clear_done:
+  li s1, 2
+  li s2, 0
+sieve_outer:
+  bge s1, t1, sieve_done
+  add t3, t2, s1
+  lbu t4, 0(t3)
+  bne t4, x0, next_i
+  addi s2, s2, 1
+  add t5, s1, s1
+sieve_inner:
+  bge t5, t1, next_i
+  add t3, t2, t5
+  li t6, 1
+  sb t6, 0(t3)
+  add t5, t5, s1
+  j sieve_inner
+next_i:
+  addi s1, s1, 1
+  j sieve_outer
+sieve_done:
+  add s3, s3, s2
+  li t0, 0
+  li t3, 1
+  li t4, 24
+  li t5, 0
+fib_loop:
+  bge t5, t4, fib_done
+  add t6, t0, t3
+  mv t0, t3
+  mv t3, t6
+  addi t5, t5, 1
+  j fib_loop
+fib_done:
+  add s3, s3, t0
+  addi s0, s0, 1
+  blt s0, s6, outer
+  andi a0, s3, 127
+  li a7, 93
+  ecall
+.data
+flags: .space 10240
+)";
+
+// ---------------------------------------------------------------- bash ----
+// Syscall-chatty: per "command" it hashes the command text (tokenizer
+// behaviour), stats a path, creates a pipe, pushes data through it, closes.
+const char* kBashWat = R"((module
+  (import "wali" "SYS_pipe2" (func $pipe2 (param i64 i64) (result i64)))
+  (import "wali" "SYS_read" (func $read (param i64 i64 i64) (result i64)))
+  (import "wali" "SYS_write" (func $write (param i64 i64 i64) (result i64)))
+  (import "wali" "SYS_close" (func $close (param i64) (result i64)))
+  (import "wali" "SYS_getpid" (func $getpid (result i64)))
+  (import "wali" "SYS_stat" (func $stat (param i64 i64) (result i64)))
+  (import "wali" "SYS_dup" (func $dup (param i64) (result i64)))
+  (memory 2 64)
+  (data (i32.const 512) "/tmp\00")
+  (data (i32.const 640) "for f in $(ls /etc); do echo $f | grep -c conf >> /dev/null; done")
+  (func $hash (param $addr i32) (param $len i32) (result i32)
+    (local $h i32) (local $i i32)
+    (local.set $h (i32.const 0x811c9dc5))
+    (block $done
+      (loop $l
+        (br_if $done (i32.ge_u (local.get $i) (local.get $len)))
+        (local.set $h (i32.mul (i32.xor (local.get $h)
+                                        (i32.load8_u (i32.add (local.get $addr)
+                                                              (local.get $i))))
+                               (i32.const 16777619)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+    (local.get $h))
+  (func (export "main") (result i32)
+    (local $i i32) (local $acc i32) (local $r i64) (local $w i64) (local $k i32)
+    (block $out
+      (loop $main
+        (br_if $out (i32.ge_u (local.get $i) (i32.const {SCALE})))
+        ;; tokenize the command a few times (shells re-scan strings a lot)
+        (local.set $k (i32.const 0))
+        (block $hdone
+          (loop $h
+            (br_if $hdone (i32.ge_u (local.get $k) (i32.const 20)))
+            (local.set $acc (i32.add (local.get $acc)
+                                     (call $hash (i32.const 640) (i32.const 66))))
+            (local.set $k (i32.add (local.get $k) (i32.const 1)))
+            (br $h)))
+        (drop (call $getpid))
+        (drop (call $stat (i64.const 512) (i64.const 2048)))
+        (if (i64.eqz (call $pipe2 (i64.const 128) (i64.const 0)))
+          (then
+            (local.set $r (i64.extend_i32_u (i32.load (i32.const 128))))
+            (local.set $w (i64.extend_i32_u (i32.load (i32.const 132))))
+            (drop (call $write (local.get $w) (i64.const 640) (i64.const 64)))
+            (drop (call $read (local.get $r) (i64.const 1024) (i64.const 64)))
+            (drop (call $close (local.get $r)))
+            (drop (call $close (local.get $w)))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $main)))
+    (local.get $acc))
+))";
+
+int64_t BashNative(int scale) {
+  int64_t acc = 0;
+  const char* cmd = "for f in $(ls /etc); do echo $f | grep -c conf >> /dev/null; done";
+  size_t cmd_len = strlen(cmd);
+  char buf[128];
+  for (int i = 0; i < scale; ++i) {
+    for (int k = 0; k < 20; ++k) {
+      uint32_t h = 0x811c9dc5;
+      for (size_t j = 0; j < 66 && j <= cmd_len; ++j) {
+        h = (h ^ static_cast<uint8_t>(cmd[j])) * 16777619u;
+      }
+      acc += h;
+    }
+    acc += getpid();
+    struct stat st;
+    stat("/tmp", &st);
+    int fds[2];
+    if (pipe(fds) == 0) {
+      ssize_t ignored = write(fds[1], cmd, 64);
+      (void)ignored;
+      ignored = read(fds[0], buf, 64);
+      (void)ignored;
+      close(fds[0]);
+      close(fds[1]);
+    }
+  }
+  return acc;
+}
+
+const char* kBashRv = R"(
+main:
+  li s0, 0
+  li s6, {SCALE}
+  li s3, 0
+outer:
+  li s4, 0
+hash_rounds:
+  li t5, 20
+  bge s4, t5, rounds_done
+  li t0, 0x811c9dc5
+  li t1, 0
+  li t2, cmd
+hash_loop:
+  li t5, 66
+  bge t1, t5, hash_done
+  add t3, t2, t1
+  lbu t4, 0(t3)
+  xor t0, t0, t4
+  li t6, 16777619
+  mul t0, t0, t6
+  addi t1, t1, 1
+  j hash_loop
+hash_done:
+  add s3, s3, t0
+  addi s4, s4, 1
+  j hash_rounds
+rounds_done:
+  ; emulated "syscall chatter": write a status line to the console
+  li a0, 1
+  li a1, msg
+  li a2, 9
+  li a7, 64
+  ecall
+  addi s0, s0, 1
+  blt s0, s6, outer
+  andi a0, s3, 127
+  li a7, 93
+  ecall
+.data
+cmd: .asciiz "for f in $(ls /etc); do echo $f | grep -c conf >> /dev/null; done"
+msg: .asciiz "bash: ok"
+)";
+
+// -------------------------------------------------------------- sqlite3 ---
+// Page-store I/O: pwrite/fsync/pread over a database file plus an in-memory
+// sorted-insert (btree-page behaviour). The real sqlite needs mremap
+// (Table 1), exercised for the page cache.
+const char* kSqliteWat = R"((module
+  (import "wali" "SYS_open" (func $open (param i64 i64 i64) (result i64)))
+  (import "wali" "SYS_close" (func $close (param i64) (result i64)))
+  (import "wali" "SYS_pwrite64" (func $pwrite (param i64 i64 i64 i64) (result i64)))
+  (import "wali" "SYS_pread64" (func $pread (param i64 i64 i64 i64) (result i64)))
+  (import "wali" "SYS_fsync" (func $fsync (param i64) (result i64)))
+  (import "wali" "SYS_unlink" (func $unlink (param i64) (result i64)))
+  (import "wali" "SYS_mmap" (func $mmap (param i64 i64 i64 i64 i64 i64) (result i64)))
+  (import "wali" "SYS_mremap" (func $mremap (param i64 i64 i64 i64 i64) (result i64)))
+  (memory 4 256)
+  (data (i32.const 512) "/tmp/wali_sqlite3_bench.db\00")
+  ;; sorted insert into i32 array at 65536 (count at 65532)
+  (func $btree_insert (param $key i32)
+    (local $n i32) (local $pos i32) (local $j i32)
+    (local.set $n (i32.load (i32.const 65532)))
+    (if (i32.ge_u (local.get $n) (i32.const 4096))
+      (then (i32.store (i32.const 65532) (i32.const 0))
+            (local.set $n (i32.const 0))))
+    ;; find insert position (linear probe, like a page scan)
+    (block $found
+      (loop $scan
+        (br_if $found (i32.ge_u (local.get $pos) (local.get $n)))
+        (br_if $found (i32.gt_u (i32.load (i32.add (i32.const 65536)
+                                                   (i32.mul (local.get $pos) (i32.const 4))))
+                                (local.get $key)))
+        (local.set $pos (i32.add (local.get $pos) (i32.const 1)))
+        (br $scan)))
+    ;; shift tail right
+    (local.set $j (local.get $n))
+    (block $shifted
+      (loop $shift
+        (br_if $shifted (i32.le_u (local.get $j) (local.get $pos)))
+        (i32.store (i32.add (i32.const 65536) (i32.mul (local.get $j) (i32.const 4)))
+                   (i32.load (i32.add (i32.const 65536)
+                                      (i32.mul (i32.sub (local.get $j) (i32.const 1))
+                                               (i32.const 4)))))
+        (local.set $j (i32.sub (local.get $j) (i32.const 1)))
+        (br $shift)))
+    (i32.store (i32.add (i32.const 65536) (i32.mul (local.get $pos) (i32.const 4)))
+               (local.get $key))
+    (i32.store (i32.const 65532) (i32.add (local.get $n) (i32.const 1))))
+  (func $fill_page (param $seed i32)
+    (local $k i32)
+    (block $done
+      (loop $l
+        (br_if $done (i32.ge_u (local.get $k) (i32.const 4096)))
+        (i32.store (i32.add (i32.const 4096) (local.get $k))
+                   (i32.mul (i32.add (local.get $seed) (local.get $k))
+                            (i32.const 2654435761)))
+        (local.set $k (i32.add (local.get $k) (i32.const 4)))
+        (br $l)))
+  )
+  (func (export "main") (result i32)
+    (local $i i32) (local $acc i32) (local $fd i64) (local $cache i64)
+    ;; page cache arena, grown once via mremap (sqlite's cache resize)
+    (local.set $cache (call $mmap (i64.const 0) (i64.const 65536) (i64.const 3)
+                            (i64.const 0x22) (i64.const -1) (i64.const 0)))
+    (if (i64.gt_s (local.get $cache) (i64.const 0))
+      (then (local.set $cache (call $mremap (local.get $cache) (i64.const 65536)
+                                    (i64.const 131072) (i64.const 1) (i64.const 0)))))
+    ;; open(path, O_RDWR|O_CREAT|O_TRUNC = 0x242, 0644)
+    (local.set $fd (call $open (i64.const 512) (i64.const 0x242) (i64.const 0x1a4)))
+    (if (i64.lt_s (local.get $fd) (i64.const 0)) (then (return (i32.const -1))))
+    (block $out
+      (loop $main
+        (br_if $out (i32.ge_u (local.get $i) (i32.const {SCALE})))
+        (call $fill_page (local.get $i))
+        (drop (call $pwrite (local.get $fd) (i64.const 4096) (i64.const 4096)
+                    (i64.extend_i32_u (i32.mul (i32.rem_u (local.get $i) (i32.const 32))
+                                               (i32.const 4096)))))
+        (call $btree_insert (i32.mul (local.get $i) (i32.const 2654435761)))
+        (if (i32.eq (i32.and (local.get $i) (i32.const 7)) (i32.const 7))
+          (then (drop (call $fsync (local.get $fd)))))
+        (drop (call $pread (local.get $fd) (i64.const 12288) (i64.const 4096)
+                    (i64.extend_i32_u (i32.mul (i32.rem_u (local.get $i) (i32.const 32))
+                                               (i32.const 4096)))))
+        (local.set $acc (i32.add (local.get $acc) (i32.load (i32.const 12288))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $main)))
+    (drop (call $close (local.get $fd)))
+    (drop (call $unlink (i64.const 512)))
+    (local.get $acc))
+))";
+
+int64_t SqliteNative(int scale) {
+  const char* path = "/tmp/wali_sqlite3_native.db";
+  int fd = open(path, O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return -1;
+  int64_t acc = 0;
+  std::vector<uint32_t> page(1024);
+  std::vector<uint32_t> rd(1024);
+  std::vector<uint32_t> btree;
+  btree.reserve(4096);
+  for (int i = 0; i < scale; ++i) {
+    for (int k = 0; k < 1024; ++k) {
+      page[k] = static_cast<uint32_t>(i + 4 * k) * 2654435761u;
+    }
+    ssize_t ignored = pwrite(fd, page.data(), 4096, (i % 32) * 4096);
+    (void)ignored;
+    uint32_t key = static_cast<uint32_t>(i) * 2654435761u;
+    if (btree.size() >= 4096) btree.clear();
+    size_t pos = 0;
+    while (pos < btree.size() && btree[pos] <= key) ++pos;
+    btree.insert(btree.begin() + static_cast<long>(pos), key);
+    if ((i & 7) == 7) fsync(fd);
+    ignored = pread(fd, rd.data(), 4096, (i % 32) * 4096);
+    (void)ignored;
+    acc += rd[0];
+  }
+  close(fd);
+  unlink(path);
+  return acc;
+}
+
+const char* kSqliteRv = R"(
+main:
+  ; fd = openat(AT_FDCWD=-100, path, O_RDWR|O_CREAT|O_TRUNC=0x242, 0644)
+  li a0, -100
+  li a1, path
+  li a2, 0x242
+  li a3, 0x1a4
+  li a7, 56
+  ecall
+  mv s5, a0          ; fd
+  blt s5, x0, fail
+  li s0, 0           ; i
+  li s6, {SCALE}
+  li s3, 0           ; acc
+outer:
+  ; fill page buffer
+  li t0, 0
+  li t1, 4096
+  li t2, page
+fill:
+  bge t0, t1, fill_done
+  add t3, s0, t0
+  li t4, 2654435761
+  mul t3, t3, t4
+  add t5, t2, t0
+  sw t3, 0(t5)
+  addi t0, t0, 4
+  j fill
+fill_done:
+  ; pwrite(fd, page, 4096, (i%32)*4096)
+  mv a0, s5
+  li a1, page
+  li a2, 4096
+  li t0, 32
+  rem t1, s0, t0
+  li t0, 4096
+  mul a3, t1, t0
+  mv s7, a3
+  li a7, 68
+  ecall
+  ; fsync every 8
+  andi t0, s0, 7
+  li t1, 7
+  bne t0, t1, skip_sync
+  mv a0, s5
+  li a7, 82
+  ecall
+skip_sync:
+  ; pread(fd, rdbuf, 4096, same offset)
+  mv a0, s5
+  li a1, rdbuf
+  li a2, 4096
+  mv a3, s7
+  li a7, 67
+  ecall
+  li t0, rdbuf
+  lwu t1, 0(t0)
+  add s3, s3, t1
+  addi s0, s0, 1
+  blt s0, s6, outer
+  ; close + unlink
+  mv a0, s5
+  li a7, 57
+  ecall
+  li a0, -100
+  li a1, path
+  li a2, 0
+  li a7, 35
+  ecall
+  andi a0, s3, 127
+  li a7, 93
+  ecall
+fail:
+  li a0, 1
+  li a7, 93
+  ecall
+.data
+path: .asciiz "/tmp/minirv_sqlite3_bench.db"
+page: .space 4096
+rdbuf: .space 4096
+)";
+
+// ------------------------------------------------------------ memcached ---
+// Threaded kv daemon: a cloned server thread services get/set over a
+// socketpair; the client pumps SCALE requests. Exercises clone, sockets,
+// shared memory, futex-class synchronization (Table 1: memcached needs mmap
+// and threads; Fig. 7 notes its multithreaded syscall overhead).
+const char* kMemcachedWat = R"((module
+  (import "wali" "SYS_socketpair" (func $socketpair (param i64 i64 i64 i64) (result i64)))
+  (import "wali" "SYS_clone" (func $clone (param i64 i64 i64 i64 i64) (result i64)))
+  (import "wali" "SYS_read" (func $read (param i64 i64 i64) (result i64)))
+  (import "wali" "SYS_write" (func $write (param i64 i64 i64) (result i64)))
+  (import "wali" "SYS_close" (func $close (param i64) (result i64)))
+  (import "wali" "SYS_mmap" (func $mmap (param i64 i64 i64 i64 i64 i64) (result i64)))
+  (memory 4 64 shared)
+  (table 4 funcref)
+  ;; layout: sv pair @256, server rx buffer @4096, server tx @4160,
+  ;;         client tx @1024, client rx @1088, hashtable @65536 (1024*8)
+  (func $server (param i32) (result i32)
+    (local $fd i64) (local $op i32) (local $key i32) (local $val i32) (local $slot i32)
+    (local.set $fd (i64.extend_i32_u (i32.load (i32.const 260))))
+    (block $quit
+      (loop $serve
+        (br_if $quit (i64.ne (call $read (local.get $fd) (i64.const 4096) (i64.const 16))
+                             (i64.const 16)))
+        (local.set $op (i32.load (i32.const 4096)))
+        (local.set $key (i32.load (i32.const 4100)))
+        (local.set $val (i32.load (i32.const 4104)))
+        (local.set $slot (i32.add (i32.const 65536)
+                                  (i32.mul (i32.rem_u (local.get $key) (i32.const 1024))
+                                           (i32.const 8))))
+        (if (i32.eq (local.get $op) (i32.const 1))
+          (then  ;; set
+            (i32.store (local.get $slot) (local.get $key))
+            (i32.store offset=4 (local.get $slot) (local.get $val))
+            (i32.store (i32.const 4160) (i32.const 1))
+            (i32.store offset=4 (i32.const 4160) (local.get $val)))
+          (else
+            (if (i32.eq (local.get $op) (i32.const 2))
+              (then  ;; quit
+                (i32.store (i32.const 4160) (i32.const 2))
+                (drop (call $write (local.get $fd) (i64.const 4160) (i64.const 16)))
+                (br $quit))
+              (else  ;; get
+                (i32.store (i32.const 4160) (i32.const 0))
+                (i32.store offset=4 (i32.const 4160)
+                  (if (result i32) (i32.eq (i32.load (local.get $slot)) (local.get $key))
+                    (then (i32.load offset=4 (local.get $slot)))
+                    (else (i32.const 0))))))))
+        (drop (call $write (local.get $fd) (i64.const 4160) (i64.const 16)))
+        (br $serve)))
+    (i32.const 0))
+  (elem (i32.const 1) $server)
+  (func (export "main") (result i32)
+    (local $i i32) (local $acc i32) (local $cfd i64)
+    ;; AF_UNIX=1, SOCK_STREAM=1
+    (if (i64.ne (call $socketpair (i64.const 1) (i64.const 1) (i64.const 0)
+                      (i64.const 256))
+                (i64.const 0))
+      (then (return (i32.const -1))))
+    (local.set $cfd (i64.extend_i32_u (i32.load (i32.const 256))))
+    (if (i64.lt_s (call $clone (i64.const 0x100) (i64.const 1) (i64.const 0)
+                        (i64.const 0) (i64.const 0))
+                  (i64.const 0))
+      (then (return (i32.const -2))))
+    (block $out
+      (loop $pump
+        (br_if $out (i32.ge_u (local.get $i) (i32.const {SCALE})))
+        ;; 3 sets then 1 get
+        (i32.store (i32.const 1024)
+                   (if (result i32) (i32.eq (i32.and (local.get $i) (i32.const 3))
+                                            (i32.const 3))
+                     (then (i32.const 0)) (else (i32.const 1))))
+        (i32.store (i32.const 1028) (i32.and (local.get $i) (i32.const 255)))
+        (i32.store (i32.const 1032) (i32.mul (local.get $i) (i32.const 7)))
+        (drop (call $write (local.get $cfd) (i64.const 1024) (i64.const 16)))
+        (drop (call $read (local.get $cfd) (i64.const 1088) (i64.const 16)))
+        (local.set $acc (i32.add (local.get $acc) (i32.load offset=4 (i32.const 1088))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $pump)))
+    ;; quit
+    (i32.store (i32.const 1024) (i32.const 2))
+    (drop (call $write (local.get $cfd) (i64.const 1024) (i64.const 16)))
+    (drop (call $read (local.get $cfd) (i64.const 1088) (i64.const 16)))
+    (drop (call $close (local.get $cfd)))
+    (local.get $acc))
+))";
+
+// ----------------------------------------------------------- paho-bench ---
+// Blocking publish/ack loopback (the paper's mqtt-app alias): dominated by
+// kernel time in small read/write pairs (Fig. 7 shows ~97.6% app+kernel).
+const char* kPahoWat = R"((module
+  (import "wali" "SYS_pipe2" (func $pipe2 (param i64 i64) (result i64)))
+  (import "wali" "SYS_read" (func $read (param i64 i64 i64) (result i64)))
+  (import "wali" "SYS_write" (func $write (param i64 i64 i64) (result i64)))
+  (import "wali" "SYS_close" (func $close (param i64) (result i64)))
+  (memory 2 16)
+  (func $checksum (param $addr i32) (param $len i32) (result i32)
+    (local $s i32) (local $i i32)
+    (block $done
+      (loop $l
+        (br_if $done (i32.ge_u (local.get $i) (local.get $len)))
+        (local.set $s (i32.add (local.get $s)
+                               (i32.load8_u (i32.add (local.get $addr) (local.get $i)))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+    (local.get $s))
+  (func (export "main") (result i32)
+    (local $i i32) (local $acc i32) (local $r i64) (local $w i64) (local $k i32)
+    (if (i64.ne (call $pipe2 (i64.const 128) (i64.const 0)) (i64.const 0))
+      (then (return (i32.const -1))))
+    (local.set $r (i64.extend_i32_u (i32.load (i32.const 128))))
+    (local.set $w (i64.extend_i32_u (i32.load (i32.const 132))))
+    ;; build a 128-byte "publish" packet
+    (local.set $k (i32.const 0))
+    (block $built
+      (loop $b
+        (br_if $built (i32.ge_u (local.get $k) (i32.const 128)))
+        (i32.store8 (i32.add (i32.const 1024) (local.get $k))
+                    (i32.mul (local.get $k) (i32.const 31)))
+        (local.set $k (i32.add (local.get $k) (i32.const 1)))
+        (br $b)))
+    (block $out
+      (loop $pump
+        (br_if $out (i32.ge_u (local.get $i) (i32.const {SCALE})))
+        (drop (call $write (local.get $w) (i64.const 1024) (i64.const 128)))
+        (drop (call $read (local.get $r) (i64.const 2048) (i64.const 128)))
+        (local.set $acc (i32.add (local.get $acc)
+                                 (call $checksum (i32.const 2048) (i32.const 128))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $pump)))
+    (drop (call $close (local.get $r)))
+    (drop (call $close (local.get $w)))
+    (local.get $acc))
+))";
+
+std::string ReplaceScale(const std::string& text, int scale) {
+  std::string out = text;
+  const std::string needle = "{SCALE}";
+  size_t pos;
+  while ((pos = out.find(needle)) != std::string::npos) {
+    out.replace(pos, needle.size(), std::to_string(scale));
+  }
+  return out;
+}
+
+std::vector<Workload>* BuildWorkloads() {
+  auto* list = new std::vector<Workload>();
+
+  Workload lua;
+  lua.name = "lua";
+  lua.description = "script-interpreter analog: compute + allocator traffic";
+  lua.wat = kLuaWat;
+  lua.native = LuaNative;
+  lua.minirv_asm = kLuaRv;
+  lua.required_features = {"dup"};
+  lua.is_benchmark = true;
+  list->push_back(std::move(lua));
+
+  Workload bash;
+  bash.name = "bash";
+  bash.description = "shell analog: pipes, stat, small reads/writes, signals";
+  bash.wat = kBashWat;
+  bash.native = BashNative;
+  bash.minirv_asm = kBashRv;
+  bash.required_features = {"signals", "pipes", "fork"};
+  bash.is_benchmark = true;
+  list->push_back(std::move(bash));
+
+  Workload sqlite;
+  sqlite.name = "sqlite3";
+  sqlite.description = "database analog: page writes, fsync, mremap page cache";
+  sqlite.wat = kSqliteWat;
+  sqlite.native = SqliteNative;
+  sqlite.minirv_asm = kSqliteRv;
+  sqlite.required_features = {"mremap"};
+  sqlite.is_benchmark = true;
+  list->push_back(std::move(sqlite));
+
+  Workload memcached;
+  memcached.name = "memcached";
+  memcached.description = "kv-daemon analog: clone thread + socketpair ops";
+  memcached.wat = kMemcachedWat;
+  memcached.required_features = {"mmap", "threads", "sockets"};
+  memcached.uses_threads = true;
+  memcached.is_benchmark = true;
+  list->push_back(std::move(memcached));
+
+  Workload paho;
+  paho.name = "paho-bench";
+  paho.description = "mqtt-app analog: blocking publish/ack loopback I/O";
+  paho.wat = kPahoWat;
+  paho.required_features = {"sockopt", "sockets"};
+  paho.is_benchmark = true;
+  list->push_back(std::move(paho));
+
+  // Table 1 porting corpus (catalog-only: the real apps' feature needs).
+  auto catalog = [&](const char* name, const char* desc,
+                     std::vector<std::string> features) {
+    Workload w;
+    w.name = name;
+    w.description = desc;
+    w.required_features = std::move(features);
+    list->push_back(std::move(w));
+  };
+  catalog("virgil", "compiler", {"chmod"});
+  catalog("wizard", "wasm engine (self-host)", {"self-host", "mmap"});
+  catalog("openssh", "system services", {"users", "signals", "sockets"});
+  catalog("make", "CLI tool", {"wait4", "fork"});
+  catalog("vim", "CLI tool", {"mmap", "signals"});
+  catalog("wasm-inst", "CLI tool", {"sysconf"});
+  catalog("libuvwasi", "WASI library", {"ioctl"});
+  catalog("zlib", "compression lib", {});
+  catalog("libevent", "system lib", {"socketpair"});
+  catalog("libncurses", "system lib", {"pgroups"});
+  catalog("openssl", "security lib", {"ioctl"});
+  catalog("LTP", "test harness", {"linux"});
+
+  return list;
+}
+
+}  // namespace
+
+const std::vector<Workload>& AllWorkloads() {
+  static const std::vector<Workload>* kList = BuildWorkloads();
+  return *kList;
+}
+
+const Workload* FindWorkload(const std::string& name) {
+  for (const Workload& w : AllWorkloads()) {
+    if (w.name == name) return &w;
+  }
+  return nullptr;
+}
+
+std::string InstantiateWat(const Workload& w, int scale) {
+  return ReplaceScale(w.wat, scale);
+}
+
+WaliRunStats RunUnderWali(const Workload& w, int scale, wasm::SafepointScheme scheme) {
+  WaliRunStats stats;
+  int64_t t0 = common::MonotonicNanos();
+  auto parsed = wasm::ParseAndValidateWat(InstantiateWat(w, scale));
+  if (!parsed.ok()) {
+    stats.result.trap = wasm::TrapKind::kHostError;
+    stats.result.trap_message = parsed.status().ToString();
+    return stats;
+  }
+  wasm::Linker linker;
+  wali::WaliRuntime::Options opts;
+  opts.scheme = scheme;
+  wali::WaliRuntime runtime(&linker, opts);
+  auto proc = runtime.CreateProcess(*parsed, {w.name, std::to_string(scale)}, {});
+  if (!proc.ok()) {
+    stats.result.trap = wasm::TrapKind::kHostError;
+    stats.result.trap_message = proc.status().ToString();
+    return stats;
+  }
+  stats.startup_ns = common::MonotonicNanos() - t0;
+
+  int64_t t1 = common::MonotonicNanos();
+  stats.result = runtime.RunMain(**proc);
+  stats.wall_ns = common::MonotonicNanos() - t1;
+
+  wali::WaliProcess& process = **proc;
+  stats.wali_ns = process.trace.wali_nanos();
+  stats.kernel_ns = process.trace.kernel_nanos();
+  stats.peak_linear_memory = process.memory->size_bytes();
+  const auto& defs = runtime.syscalls();
+  for (size_t id = 0; id < defs.size(); ++id) {
+    uint64_t n = process.trace.count(static_cast<uint32_t>(id));
+    if (n > 0) {
+      stats.syscall_counts[defs[id].name] = n;
+      stats.total_syscalls += n;
+    }
+  }
+  return stats;
+}
+
+}  // namespace workloads

@@ -1,0 +1,179 @@
+// ABI substrate tests (§2, §3.5): per-ISA syscall table invariants and
+// portable-layout marshalling round-trips across all three ISAs on one host.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstring>
+#include <set>
+
+#include "src/abi/layout.h"
+#include "src/abi/syscall_table.h"
+
+namespace {
+
+using wabi::Isa;
+
+TEST(SyscallTable, SortedUniqueAndLookupable) {
+  const auto& table = wabi::SyscallTable();
+  ASSERT_GT(table.size(), 300u);
+  std::set<std::string> names;
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(std::string(table[i - 1].name), std::string(table[i].name));
+    }
+    EXPECT_TRUE(names.insert(table[i].name).second) << table[i].name;
+  }
+  EXPECT_NE(wabi::FindSyscall("openat"), nullptr);
+  EXPECT_NE(wabi::FindSyscall("rt_sigaction"), nullptr);
+  EXPECT_EQ(wabi::FindSyscall("not_a_syscall"), nullptr);
+}
+
+TEST(SyscallTable, LegacyCallsAreX86Only) {
+  for (const char* legacy : {"open", "stat", "fork", "pipe", "access", "dup2",
+                             "select", "getdents", "unlink", "mkdir"}) {
+    const wabi::SyscallEntry* e = wabi::FindSyscall(legacy);
+    ASSERT_NE(e, nullptr) << legacy;
+    EXPECT_TRUE(e->PresentOn(Isa::kX8664)) << legacy;
+    EXPECT_FALSE(e->PresentOn(Isa::kAarch64)) << legacy;
+    EXPECT_FALSE(e->PresentOn(Isa::kRiscv64)) << legacy;
+  }
+}
+
+TEST(SyscallTable, ModernCoreIsUniversal) {
+  for (const char* name : {"openat", "read", "write", "clone", "mmap", "futex",
+                           "rt_sigaction", "clock_gettime", "exit_group"}) {
+    const wabi::SyscallEntry* e = wabi::FindSyscall(name);
+    ASSERT_NE(e, nullptr) << name;
+    for (int i = 0; i < wabi::kNumIsas; ++i) {
+      EXPECT_TRUE(e->PresentOn(static_cast<Isa>(i))) << name;
+    }
+  }
+}
+
+TEST(SyscallTable, NumbersUniquePerIsa) {
+  for (int i = 0; i < wabi::kNumIsas; ++i) {
+    std::set<int> numbers;
+    for (const auto& e : wabi::SyscallTable()) {
+      int n = e.number[i];
+      if (n >= 0) {
+        EXPECT_TRUE(numbers.insert(n).second)
+            << wabi::IsaName(static_cast<Isa>(i)) << " duplicate number " << n
+            << " (" << e.name << ")";
+      }
+    }
+  }
+}
+
+TEST(SyscallTable, SimilarityMatchesPaperShape) {
+  wabi::IsaSimilarity sim = wabi::ComputeIsaSimilarity();
+  // x86-64 strictly largest; arm64/riscv64 within a couple of each other.
+  EXPECT_GT(sim.total[0], sim.total[1]);
+  EXPECT_GT(sim.total[0], sim.total[2]);
+  EXPECT_NEAR(sim.total[1], sim.total[2], 3);
+  EXPECT_GT(sim.common_all, 250);
+  EXPECT_GT(sim.arch_specific[0], 30);  // x86 legacy block
+  EXPECT_LE(sim.arch_specific[1], 2);
+  EXPECT_LE(sim.arch_specific[2], 2);
+}
+
+// ---- layout marshalling ----
+
+class StatLayoutRoundtrip : public ::testing::TestWithParam<Isa> {};
+
+TEST_P(StatLayoutRoundtrip, PortableToNativeAndBack) {
+  Isa isa = GetParam();
+  wabi::WaliKStat in = {};
+  in.dev = 0x1122334455667788ull;
+  in.ino = 987654321;
+  in.nlink = 3;
+  in.mode = 0100644;
+  in.uid = 1000;
+  in.gid = 1001;
+  in.rdev = 0xdead;
+  in.size = 123456789;
+  in.blksize = 4096;
+  in.blocks = 2048;
+  in.atime_sec = 1700000001;
+  in.atime_nsec = 111;
+  in.mtime_sec = 1700000002;
+  in.mtime_nsec = 222;
+  in.ctime_sec = 1700000003;
+  in.ctime_nsec = 333;
+
+  uint8_t native[256] = {};
+  wabi::WaliStatToNative(in, isa, native);
+  wabi::WaliKStat out = {};
+  wabi::NativeStatToWali(native, isa, &out);
+
+  EXPECT_EQ(out.dev, in.dev);
+  EXPECT_EQ(out.ino, in.ino);
+  EXPECT_EQ(out.mode, in.mode);
+  EXPECT_EQ(out.uid, in.uid);
+  EXPECT_EQ(out.gid, in.gid);
+  EXPECT_EQ(out.rdev, in.rdev);
+  EXPECT_EQ(out.size, in.size);
+  EXPECT_EQ(out.blksize, in.blksize);
+  EXPECT_EQ(out.blocks, in.blocks);
+  EXPECT_EQ(out.atime_sec, in.atime_sec);
+  EXPECT_EQ(out.mtime_nsec, in.mtime_nsec);
+  EXPECT_EQ(out.ctime_sec, in.ctime_sec);
+  // nlink truncates to 4 bytes on asm-generic; value fits, so equal too.
+  EXPECT_EQ(out.nlink, in.nlink);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, StatLayoutRoundtrip,
+                         ::testing::Values(Isa::kX8664, Isa::kAarch64,
+                                           Isa::kRiscv64));
+
+TEST(StatLayout, HostLayoutMatchesRealStructStat) {
+  // The x86-64 descriptor must agree with the host's actual struct stat.
+  const wabi::StatLayout& l = wabi::StatLayoutFor(Isa::kX8664);
+  EXPECT_EQ(l.dev.offset, offsetof(struct stat, st_dev));
+  EXPECT_EQ(l.ino.offset, offsetof(struct stat, st_ino));
+  EXPECT_EQ(l.mode.offset, offsetof(struct stat, st_mode));
+  EXPECT_EQ(l.nlink.offset, offsetof(struct stat, st_nlink));
+  EXPECT_EQ(l.uid.offset, offsetof(struct stat, st_uid));
+  EXPECT_EQ(l.size.offset, offsetof(struct stat, st_size));
+  EXPECT_EQ(l.atime_sec.offset, offsetof(struct stat, st_atim));
+  EXPECT_EQ(l.struct_size, sizeof(struct stat));
+}
+
+TEST(StatLayout, RealFstatThroughMarshalling) {
+  struct stat st;
+  ASSERT_EQ(stat("/tmp", &st), 0);
+  wabi::WaliKStat portable;
+  wabi::NativeStatToWali(&st, wabi::HostIsa(), &portable);
+  EXPECT_EQ(portable.ino, st.st_ino);
+  EXPECT_EQ(portable.mode, st.st_mode);
+  EXPECT_EQ(portable.size, st.st_size);
+  EXPECT_EQ(portable.mtime_sec, st.st_mtim.tv_sec);
+  EXPECT_TRUE(S_ISDIR(portable.mode));
+}
+
+TEST(OpenFlags, Arm64PermutationRoundtrips) {
+  // The four permuted bits translate and round-trip on arm64; identity on
+  // the generic ISAs.
+  const uint32_t interesting[] = {
+      00040000,  // O_DIRECT (generic)
+      00100000,  // O_LARGEFILE
+      00200000,  // O_DIRECTORY
+      00400000,  // O_NOFOLLOW
+      00040000 | 00400000,
+      0x241,  // O_WRONLY|O_CREAT|O_TRUNC (unaffected bits)
+  };
+  for (uint32_t flags : interesting) {
+    for (Isa isa : {Isa::kX8664, Isa::kAarch64, Isa::kRiscv64}) {
+      uint32_t native = wabi::OpenFlagsToNative(flags, isa);
+      EXPECT_EQ(wabi::OpenFlagsFromNative(native, isa), flags)
+          << wabi::IsaName(isa) << " flags=" << flags;
+      if (isa != Isa::kAarch64) {
+        EXPECT_EQ(native, flags);
+      }
+    }
+  }
+  // On arm64 O_DIRECTORY really moves to its arm64 encoding.
+  EXPECT_EQ(wabi::OpenFlagsToNative(00200000, Isa::kAarch64), 00040000u);
+}
+
+}  // namespace

@@ -1,0 +1,331 @@
+// RTOS simulator + WAZI kernel interface tests (§5.1): kernel services,
+// device I/O from Wasm guests, instance-per-thread k_thread_create, and the
+// auto-generated binding surface.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/rtos/kernel.h"
+#include "src/wazi/wazi.h"
+#include "src/wasm/wasm.h"
+
+namespace {
+
+// ---- RTOS kernel unit tests ----
+
+TEST(Rtos, SemaphoreBasics) {
+  rtos::Semaphore sem(1, 2);
+  EXPECT_EQ(sem.Take(rtos::kNoWait), rtos::kOk);
+  EXPECT_EQ(sem.Take(rtos::kNoWait), rtos::kEbusy);
+  sem.Give();
+  sem.Give();
+  sem.Give();  // capped at limit 2
+  EXPECT_EQ(sem.Count(), 2u);
+}
+
+TEST(Rtos, SemaphoreCrossThreadWakeup) {
+  rtos::Semaphore sem(0, 1);
+  std::thread giver([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    sem.Give();
+  });
+  EXPECT_EQ(sem.Take(1000), rtos::kOk);
+  giver.join();
+}
+
+TEST(Rtos, SemaphoreTimeout) {
+  rtos::Semaphore sem(0, 1);
+  EXPECT_EQ(sem.Take(5), rtos::kEagain);
+}
+
+TEST(Rtos, MutexOwnership) {
+  rtos::Mutex mu;
+  EXPECT_EQ(mu.Lock(rtos::kForever), rtos::kOk);
+  EXPECT_EQ(mu.Unlock(), rtos::kOk);
+  // Unlocking when not owner fails.
+  EXPECT_EQ(mu.Unlock(), rtos::kEinval);
+}
+
+TEST(Rtos, MsgQueueFifoAndBlocking) {
+  rtos::MsgQueue q(8, 2);
+  uint64_t a = 111, b = 222, out = 0;
+  EXPECT_EQ(q.Put(&a, rtos::kNoWait), rtos::kOk);
+  EXPECT_EQ(q.Put(&b, rtos::kNoWait), rtos::kOk);
+  uint64_t c = 333;
+  EXPECT_EQ(q.Put(&c, rtos::kNoWait), rtos::kEagain);  // full
+  EXPECT_EQ(q.NumUsed(), 2u);
+  EXPECT_EQ(q.Get(&out, rtos::kNoWait), rtos::kOk);
+  EXPECT_EQ(out, 111u);
+  EXPECT_EQ(q.Get(&out, rtos::kNoWait), rtos::kOk);
+  EXPECT_EQ(out, 222u);
+  EXPECT_EQ(q.Get(&out, rtos::kNoWait), rtos::kEagain);  // empty
+}
+
+TEST(Rtos, KernelObjectsAndDevices) {
+  rtos::Kernel kernel;
+  int64_t sem = kernel.SemCreate(0, 5);
+  EXPECT_GT(sem, 0);
+  EXPECT_NE(kernel.Sem(sem), nullptr);
+  EXPECT_EQ(kernel.Sem(9999), nullptr);
+
+  EXPECT_GT(kernel.DeviceGetBinding("uart0"), 0);
+  EXPECT_GT(kernel.DeviceGetBinding("gpio0"), 0);
+  EXPECT_GT(kernel.DeviceGetBinding("temp0"), 0);
+  EXPECT_EQ(kernel.DeviceGetBinding("nope"), rtos::kEnodev);
+
+  EXPECT_GE(kernel.UptimeMs(), 0);
+}
+
+TEST(Rtos, GpioToggleCounting) {
+  rtos::GpioDevice gpio("g", 8);
+  EXPECT_EQ(gpio.Configure(3, 1), rtos::kOk);
+  gpio.Set(3, 1);
+  gpio.Set(3, 0);
+  gpio.Set(3, 1);
+  gpio.Set(3, 1);  // no toggle
+  EXPECT_EQ(gpio.toggle_count(3), 3u);
+  EXPECT_EQ(gpio.Get(3), 1);
+  EXPECT_EQ(gpio.Set(99, 1), rtos::kEinval);
+}
+
+TEST(Rtos, SensorDeterministicSawtooth) {
+  rtos::SensorDevice s("t");
+  EXPECT_EQ(s.ChannelGet(0), rtos::kEinval);  // no sample yet
+  s.SampleFetch();
+  int64_t v1 = s.ChannelGet(0);
+  EXPECT_GE(v1, 20000);
+  EXPECT_LT(v1, 30000);
+  s.SampleFetch();
+  EXPECT_NE(s.ChannelGet(0), v1);
+}
+
+TEST(Rtos, SyscallEncodingTableShape) {
+  const auto& table = rtos::SyscallEncoding();
+  EXPECT_GE(table.size(), 25u);
+  int device_calls = 0;
+  for (const auto& d : table) {
+    if (std::string(d.group) == "device") ++device_calls;
+    EXPECT_GE(d.nargs, 0);
+    EXPECT_LE(d.nargs, 6);
+  }
+  EXPECT_GE(device_calls, 8);
+}
+
+// ---- WAZI integration ----
+
+struct WaziWorld {
+  rtos::Kernel kernel;
+  wasm::Linker linker;
+  std::unique_ptr<wazi::WaziRuntime> runtime;
+  std::unique_ptr<wazi::WaziProcess> process;
+  wasm::RunResult result;
+};
+
+void RunWazi(WaziWorld& world, const std::string& wat) {
+  auto parsed = wasm::ParseAndValidateWat(wat);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  world.runtime = std::make_unique<wazi::WaziRuntime>(&world.linker, &world.kernel);
+  auto proc = world.runtime->CreateProcess(*parsed);
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+  world.process = std::move(*proc);
+  world.result = world.runtime->RunMain(*world.process);
+}
+
+TEST(Wazi, AllEncodedSyscallsAreBound) {
+  rtos::Kernel kernel;
+  wasm::Linker linker;
+  wazi::WaziRuntime runtime(&linker, &kernel);
+  EXPECT_EQ(runtime.num_bound_syscalls(),
+            static_cast<int>(rtos::SyscallEncoding().size()));
+  // Every encoded name resolves as a host function.
+  for (const auto& d : rtos::SyscallEncoding()) {
+    EXPECT_FALSE(linker.FindFunc("wazi", d.name).IsNull()) << d.name;
+  }
+}
+
+TEST(Wazi, HelloUartConsole) {
+  WaziWorld world;
+  RunWazi(world, R"((module
+    (import "wazi" "device_get_binding" (func $bind (param i64) (result i64)))
+    (import "wazi" "uart_poll_out" (func $putc (param i64 i64) (result i64)))
+    (memory 1)
+    (data (i32.const 64) "uart0\00")
+    (data (i32.const 128) "hello zephyr")
+    (func (export "main") (result i32)
+      (local $dev i64) (local $i i32)
+      (local.set $dev (call $bind (i64.const 64)))
+      (if (i64.le_s (local.get $dev) (i64.const 0)) (then (return (i32.const 1))))
+      (block $done
+        (loop $l
+          (br_if $done (i32.ge_u (local.get $i) (i32.const 12)))
+          (drop (call $putc (local.get $dev)
+                      (i64.extend_i32_u
+                        (i32.load8_u (i32.add (i32.const 128) (local.get $i))))))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $l)))
+      (i32.const 0))
+  ))");
+  ASSERT_EQ(world.result.trap, wasm::TrapKind::kNone) << world.result.trap_message;
+  EXPECT_EQ(world.kernel.Console()->TakeOutput(), "hello zephyr");
+}
+
+TEST(Wazi, BlinkGpioAndUptime) {
+  WaziWorld world;
+  RunWazi(world, R"((module
+    (import "wazi" "device_get_binding" (func $bind (param i64) (result i64)))
+    (import "wazi" "gpio_pin_configure" (func $cfg (param i64 i64 i64) (result i64)))
+    (import "wazi" "gpio_pin_set" (func $set (param i64 i64 i64) (result i64)))
+    (import "wazi" "gpio_pin_get" (func $get (param i64 i64) (result i64)))
+    (import "wazi" "k_uptime_get" (func $uptime (result i64)))
+    (memory 1)
+    (data (i32.const 64) "gpio0\00")
+    (func (export "main") (result i32)
+      (local $dev i64) (local $i i32)
+      (local.set $dev (call $bind (i64.const 64)))
+      (drop (call $cfg (local.get $dev) (i64.const 5) (i64.const 1)))
+      (block $done
+        (loop $blink
+          (br_if $done (i32.ge_u (local.get $i) (i32.const 10)))
+          (drop (call $set (local.get $dev) (i64.const 5)
+                      (i64.extend_i32_u (i32.and (local.get $i) (i32.const 1)))))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $blink)))
+      (if (i64.lt_s (call $uptime) (i64.const 0)) (then (return (i32.const 9))))
+      (i32.wrap_i64 (call $get (local.get $dev) (i64.const 5))))
+  ))");
+  ASSERT_EQ(world.result.trap, wasm::TrapKind::kNone) << world.result.trap_message;
+  EXPECT_EQ(world.result.values[0].i32(), 1u);  // ended high (i=9 odd)
+  auto* gpio = dynamic_cast<rtos::GpioDevice*>(
+      world.kernel.DeviceByHandle(world.kernel.DeviceGetBinding("gpio0")));
+  ASSERT_NE(gpio, nullptr);
+  EXPECT_GE(gpio->toggle_count(5), 8u);
+}
+
+TEST(Wazi, SensorSamplingLoop) {
+  WaziWorld world;
+  RunWazi(world, R"((module
+    (import "wazi" "device_get_binding" (func $bind (param i64) (result i64)))
+    (import "wazi" "sensor_sample_fetch" (func $fetch (param i64) (result i64)))
+    (import "wazi" "sensor_channel_get" (func $chan (param i64 i64) (result i64)))
+    (memory 1)
+    (data (i32.const 64) "temp0\00")
+    (func (export "main") (result i32)
+      (local $dev i64) (local $i i32) (local $sum i64)
+      (local.set $dev (call $bind (i64.const 64)))
+      (block $done
+        (loop $sample
+          (br_if $done (i32.ge_u (local.get $i) (i32.const 5)))
+          (drop (call $fetch (local.get $dev)))
+          (local.set $sum (i64.add (local.get $sum)
+                                   (call $chan (local.get $dev) (i64.const 0))))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $sample)))
+      ;; average reading must be a plausible milli-degree value
+      (i32.wrap_i64 (i64.div_s (local.get $sum) (i64.const 5))))
+  ))");
+  ASSERT_EQ(world.result.trap, wasm::TrapKind::kNone) << world.result.trap_message;
+  EXPECT_GE(world.result.values[0].i32(), 20000u);
+  EXPECT_LT(world.result.values[0].i32(), 30000u);
+}
+
+TEST(Wazi, SemaphoreHandshakeAcrossKThreads) {
+  // Producer thread gives a semaphore 5 times; main takes 5 times and
+  // counts. Exercises the instance-per-thread model on the RTOS side.
+  WaziWorld world;
+  RunWazi(world, R"((module
+    (import "wazi" "k_sem_create" (func $sem_create (param i64 i64) (result i64)))
+    (import "wazi" "k_sem_take" (func $sem_take (param i64 i64) (result i64)))
+    (import "wazi" "k_sem_give" (func $sem_give (param i64) (result i64)))
+    (import "wazi" "k_thread_create" (func $spawn (param i64 i64 i64) (result i64)))
+    (import "wazi" "k_thread_join" (func $join (param i64 i64) (result i64)))
+    (import "wazi" "k_yield" (func $yield (result i64)))
+    (memory 1 4 shared)
+    (table 4 funcref)
+    ;; sem handle stored at 256 (shared memory)
+    (func $producer (param i32) (result i32)
+      (local $i i32) (local $sem i64)
+      (local.set $sem (i64.load (i32.const 256)))
+      (block $done
+        (loop $give
+          (br_if $done (i32.ge_u (local.get $i) (i32.const 5)))
+          (drop (call $sem_give (local.get $sem)))
+          (drop (call $yield))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $give)))
+      (i32.const 0))
+    (elem (i32.const 1) $producer)
+    (func (export "main") (result i32)
+      (local $sem i64) (local $tid i64) (local $got i32)
+      (local.set $sem (call $sem_create (i64.const 0) (i64.const 5)))
+      (i64.store (i32.const 256) (local.get $sem))
+      (local.set $tid (call $spawn (i64.const 1) (i64.const 0) (i64.const 5)))
+      (if (i64.le_s (local.get $tid) (i64.const 0)) (then (return (i32.const -1))))
+      (block $done
+        (loop $take
+          (br_if $done (i32.ge_u (local.get $got) (i32.const 5)))
+          (if (i64.eqz (call $sem_take (local.get $sem) (i64.const 2000)))
+            (then (local.set $got (i32.add (local.get $got) (i32.const 1))))
+            (else (return (i32.const -2))))
+          (br $take)))
+      (drop (call $join (local.get $tid) (i64.const -1)))
+      (local.get $got))
+  ))");
+  ASSERT_EQ(world.result.trap, wasm::TrapKind::kNone) << world.result.trap_message;
+  EXPECT_EQ(world.result.values[0].i32(), 5u);
+}
+
+TEST(Wazi, MsgQueueThroughKernel) {
+  WaziWorld world;
+  RunWazi(world, R"((module
+    (import "wazi" "k_msgq_create" (func $mq_create (param i64 i64) (result i64)))
+    (import "wazi" "k_msgq_put" (func $mq_put (param i64 i64 i64) (result i64)))
+    (import "wazi" "k_msgq_get" (func $mq_get (param i64 i64 i64) (result i64)))
+    (import "wazi" "k_msgq_num_used_get" (func $mq_used (param i64) (result i64)))
+    (memory 1)
+    (func (export "main") (result i32)
+      (local $q i64)
+      (local.set $q (call $mq_create (i64.const 8) (i64.const 4)))
+      (i64.store (i32.const 512) (i64.const 777))
+      (if (i64.ne (call $mq_put (local.get $q) (i64.const 512) (i64.const 0))
+                  (i64.const 0))
+        (then (return (i32.const 1))))
+      (if (i64.ne (call $mq_used (local.get $q)) (i64.const 1))
+        (then (return (i32.const 2))))
+      (if (i64.ne (call $mq_get (local.get $q) (i64.const 640) (i64.const 0))
+                  (i64.const 0))
+        (then (return (i32.const 3))))
+      (i32.wrap_i64 (i64.load (i32.const 640))))
+  ))");
+  ASSERT_EQ(world.result.trap, wasm::TrapKind::kNone) << world.result.trap_message;
+  EXPECT_EQ(world.result.values[0].i32(), 777u);
+}
+
+TEST(Wazi, OopsTrapsAndCountsFault) {
+  WaziWorld world;
+  RunWazi(world, R"((module
+    (import "wazi" "k_oops" (func $oops (result i64)))
+    (memory 1)
+    (func (export "main") (result i32)
+      (drop (call $oops))
+      (i32.const 0))
+  ))");
+  EXPECT_EQ(world.result.trap, wasm::TrapKind::kHostError);
+  EXPECT_EQ(world.kernel.faults(), 1u);
+}
+
+TEST(Wazi, OutOfBoundsPointerRejected) {
+  // Recipe step (2): addresses crossing the boundary are sandboxed.
+  WaziWorld world;
+  RunWazi(world, R"((module
+    (import "wazi" "uart_poll_in" (func $getc (param i64 i64) (result i64)))
+    (import "wazi" "device_get_binding" (func $bind (param i64) (result i64)))
+    (memory 1)
+    (data (i32.const 64) "uart0\00")
+    (func (export "main") (result i32)
+      (i32.wrap_i64 (call $getc (call $bind (i64.const 64)) (i64.const 0x7FFFFFFF))))
+  ))");
+  ASSERT_EQ(world.result.trap, wasm::TrapKind::kNone);
+  EXPECT_EQ(static_cast<int32_t>(world.result.values[0].i32()), rtos::kEinval);
+}
+
+}  // namespace

@@ -1,0 +1,276 @@
+// Virtualization baselines: MiniRV assembler/emulator semantics and the
+// container runtime's startup/rootfs behavior (Fig. 8 comparators).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "src/virt/container.h"
+#include "src/virt/minirv.h"
+
+namespace {
+
+using virt::AssembleRv;
+using virt::MiniRvMachine;
+
+MiniRvMachine::RunResult RunAsm(const std::string& source,
+                                MiniRvMachine* out_machine = nullptr) {
+  auto prog = AssembleRv(source);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  if (!prog.ok()) return {};
+  MiniRvMachine::Options opts;
+  MiniRvMachine machine(opts);
+  EXPECT_TRUE(machine.Load(*prog).ok());
+  auto r = machine.Run();
+  if (out_machine != nullptr) {
+    *out_machine = std::move(machine);
+  }
+  return r;
+}
+
+TEST(MiniRv, ArithmeticAndExit) {
+  auto r = RunAsm(R"(
+main:
+  li t0, 6
+  li t1, 7
+  mul a0, t0, t1
+  li a7, 93
+  ecall
+)");
+  ASSERT_TRUE(r.exited) << r.error;
+  EXPECT_EQ(r.exit_code, 42);
+}
+
+TEST(MiniRv, LoopSumAndBranches) {
+  // sum 1..100 = 5050; exit 5050 & 0xff = 186
+  auto r = RunAsm(R"(
+main:
+  li t0, 0
+  li t1, 1
+  li t2, 100
+loop:
+  bgt_check:
+  blt t2, t1, done
+  add t0, t0, t1
+  addi t1, t1, 1
+  j loop
+done:
+  andi a0, t0, 255
+  li a7, 93
+  ecall
+)");
+  ASSERT_TRUE(r.exited) << r.error;
+  EXPECT_EQ(r.exit_code, 5050 & 255);
+}
+
+TEST(MiniRv, MemoryAndData) {
+  auto r = RunAsm(R"(
+main:
+  li t0, table
+  ld t1, 0(t0)
+  ld t2, 8(t0)
+  add a0, t1, t2
+  sd a0, 16(t0)
+  ld a0, 16(t0)
+  li a7, 93
+  ecall
+.data
+table:
+  .word 30
+  .word 12
+  .word 0
+)");
+  ASSERT_TRUE(r.exited) << r.error;
+  EXPECT_EQ(r.exit_code, 42);
+}
+
+TEST(MiniRv, FunctionCallRet) {
+  auto r = RunAsm(R"(
+main:
+  li a0, 5
+  call double_it
+  call double_it
+  li a7, 93
+  ecall
+double_it:
+  add a0, a0, a0
+  ret
+)");
+  ASSERT_TRUE(r.exited) << r.error;
+  EXPECT_EQ(r.exit_code, 20);
+}
+
+TEST(MiniRv, ConsoleWrite) {
+  MiniRvMachine machine({});
+  auto r = RunAsm(R"(
+main:
+  li a0, 1
+  li a1, msg
+  li a2, 5
+  li a7, 64
+  ecall
+  li a0, 0
+  li a7, 93
+  ecall
+.data
+msg: .asciiz "howdy"
+)", &machine);
+  ASSERT_TRUE(r.exited) << r.error;
+  EXPECT_EQ(machine.console(), "howdy");
+}
+
+TEST(MiniRv, SoftmmuFaultsOnRamExhaustion) {
+  MiniRvMachine::Options opts;
+  opts.ram_pages = 32;  // 128 KiB
+  MiniRvMachine machine(opts);
+  auto prog = AssembleRv(R"(
+main:
+  li t0, 0x10000
+  li t1, 0x700000
+fill:
+  bge t0, t1, done
+  sb x0, 0(t0)
+  addi t0, t0, 4096
+  j fill
+done:
+  li a0, 0
+  li a7, 93
+  ecall
+)");
+  ASSERT_TRUE(prog.ok());
+  ASSERT_TRUE(machine.Load(*prog).ok());
+  auto r = machine.Run();
+  EXPECT_FALSE(r.exited);
+  EXPECT_EQ(r.error, "store fault");
+}
+
+TEST(MiniRv, InstructionBudget) {
+  MiniRvMachine::Options opts;
+  opts.max_instrs = 1000;
+  MiniRvMachine machine(opts);
+  auto prog = AssembleRv("main:\n  j main\n");
+  ASSERT_TRUE(prog.ok());
+  ASSERT_TRUE(machine.Load(*prog).ok());
+  auto r = machine.Run();
+  EXPECT_FALSE(r.exited);
+  EXPECT_EQ(r.executed, 1000u);
+}
+
+TEST(MiniRv, UnknownSyscallIsEnosys) {
+  auto r = RunAsm(R"(
+main:
+  li a7, 9999
+  ecall
+  mv t0, a0
+  li a7, 93
+  sub a0, x0, t0
+  ecall
+)");
+  ASSERT_TRUE(r.exited) << r.error;
+  EXPECT_EQ(r.exit_code, 38);  // ENOSYS
+}
+
+TEST(MiniRv, AssemblerRejectsBadInput) {
+  EXPECT_FALSE(AssembleRv("main:\n  frobnicate t0, t1\n").ok());
+  EXPECT_FALSE(AssembleRv("main:\n  addi t0\n").ok());
+  EXPECT_FALSE(AssembleRv("main:\n  beq t0, t1, nowhere\n").ok());
+  EXPECT_FALSE(AssembleRv("main:\n  add t9, t0, t1\n").ok());
+}
+
+TEST(MiniRv, FootprintTracksCommittedPages) {
+  MiniRvMachine machine({});
+  auto prog = AssembleRv(R"(
+main:
+  li t0, 0x500000
+  sb x0, 0(t0)
+  li a0, 0
+  li a7, 93
+  ecall
+)");
+  ASSERT_TRUE(prog.ok());
+  ASSERT_TRUE(machine.Load(*prog).ok());
+  uint64_t before = machine.footprint_bytes();
+  machine.Run();
+  EXPECT_GT(machine.footprint_bytes(), before);
+}
+
+// ---- container runtime ----
+
+class ContainerTest : public ::testing::Test {
+ protected:
+  std::string StateDir() {
+    return testing::TempDir() + "/ctr_state_" + std::to_string(getpid());
+  }
+};
+
+TEST_F(ContainerTest, StartupAssemblesRootfsWithMeasurableCost) {
+  virt::ContainerRuntime runtime(StateDir());
+  virt::ImageSpec image;
+  image.num_layers = 3;
+  image.files_per_layer = 10;
+  image.daemon_cache_bytes = 1 << 20;
+  ASSERT_TRUE(runtime.PrepareImage(image).ok());
+  auto c = runtime.Start(image);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_GT(c->startup_ns, 0);
+  EXPECT_EQ(c->rootfs_bytes, 3u * 10u * 4096u);
+  // The merged rootfs really exists.
+  EXPECT_EQ(access((c->rootfs + "/layer0/f0").c_str(), R_OK), 0);
+  EXPECT_EQ(access((c->rootfs + "/.runtime/pid").c_str(), R_OK), 0);
+  EXPECT_TRUE(runtime.Stop(*c).ok());
+  EXPECT_NE(access((c->rootfs + "/layer0/f0").c_str(), R_OK), 0);
+}
+
+TEST_F(ContainerTest, RunExecutesWorkloadNatively) {
+  virt::ContainerRuntime runtime(StateDir() + "_run");
+  virt::ImageSpec image;
+  image.num_layers = 1;
+  image.files_per_layer = 2;
+  image.daemon_cache_bytes = 0;
+  ASSERT_TRUE(runtime.PrepareImage(image).ok());
+  auto c = runtime.Start(image);
+  ASSERT_TRUE(c.ok());
+  int counter = 0;
+  int64_t ns = runtime.Run(*c, [&] { counter = 41 + 1; });
+  EXPECT_EQ(counter, 42);
+  EXPECT_GT(ns, 0);
+  EXPECT_TRUE(runtime.Stop(*c).ok());
+}
+
+TEST_F(ContainerTest, DaemonCacheModelsBaseOverhead) {
+  virt::ContainerRuntime runtime(StateDir() + "_mem");
+  virt::ImageSpec image;
+  image.daemon_cache_bytes = 2 << 20;
+  image.num_layers = 1;
+  image.files_per_layer = 1;
+  ASSERT_TRUE(runtime.PrepareImage(image).ok());
+  EXPECT_EQ(runtime.daemon_bytes(), 2u << 20);
+}
+
+TEST_F(ContainerTest, StartupScalesWithLayerCount) {
+  virt::ContainerRuntime runtime(StateDir() + "_scale");
+  virt::ImageSpec small;
+  small.num_layers = 1;
+  small.files_per_layer = 5;
+  small.daemon_cache_bytes = 0;
+  virt::ImageSpec big = small;
+  big.name = "big";
+  big.num_layers = 8;
+  big.files_per_layer = 40;
+  ASSERT_TRUE(runtime.PrepareImage(small).ok());
+  ASSERT_TRUE(runtime.PrepareImage(big).ok());
+  // Average a few runs: file-system timing is noisy.
+  int64_t small_ns = 0, big_ns = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto cs = runtime.Start(small);
+    ASSERT_TRUE(cs.ok());
+    small_ns += cs->startup_ns;
+    ASSERT_TRUE(runtime.Stop(*cs).ok());
+    auto cb = runtime.Start(big);
+    ASSERT_TRUE(cb.ok());
+    big_ns += cb->startup_ns;
+    ASSERT_TRUE(runtime.Stop(*cb).ok());
+  }
+  EXPECT_GT(big_ns, small_ns);
+}
+
+}  // namespace

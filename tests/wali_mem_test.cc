@@ -1,0 +1,194 @@
+// WALI memory-management syscalls: anonymous and file-backed mmap inside the
+// sandbox, zero-copy file maps, munmap-to-zeros, mremap, brk, and the PROT
+// restrictions of §3.6.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "tests/wali_test_util.h"
+
+namespace {
+
+using wali_test::ExpectWaliMain;
+using wali_test::RunWali;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/wali_mem_" + std::to_string(getpid()) + "_" + name;
+}
+
+TEST(WaliMem, AnonymousMmapReadWrite) {
+  // mmap(0, 8192, RW, ANON|PRIVATE) then store/load through the mapping.
+  std::string body = R"(
+    (memory 2 256)
+    (func (export "main") (result i32)
+      (local $p i64)
+      (local.set $p (call $mmap (i64.const 0) (i64.const 8192) (i64.const 3)
+                          (i64.const 0x22) (i64.const -1) (i64.const 0)))
+      (if (i64.lt_s (local.get $p) (i64.const 0)) (then (return (i32.const 1))))
+      (i32.store (i32.wrap_i64 (local.get $p)) (i32.const 0x12345678))
+      (if (i32.ne (i32.load (i32.wrap_i64 (local.get $p))) (i32.const 0x12345678))
+        (then (return (i32.const 2))))
+      ;; fresh anonymous maps are zero-filled beyond what we wrote
+      (if (i32.ne (i32.load offset=4096 (i32.wrap_i64 (local.get $p))) (i32.const 0))
+        (then (return (i32.const 3))))
+      (i32.const 0))
+  )";
+  ExpectWaliMain(body, 0);
+}
+
+TEST(WaliMem, FileBackedMmapZeroCopy) {
+  std::string path = TempPath("mapfile");
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  // One page of 'A' then "WALI".
+  for (int i = 0; i < 4096; ++i) fputc('A', f);
+  fputs("WALI", f);
+  fclose(f);
+  std::string body = R"(
+    (memory 2 256)
+    (data (i32.const 64) ")" + path + R"(\00")" + R"()
+    (func (export "main") (result i32)
+      (local $fd i64) (local $p i64)
+      (local.set $fd (call $open (i64.const 64) (i64.const 0) (i64.const 0)))
+      (if (i64.lt_s (local.get $fd) (i64.const 0)) (then (return (i32.const 1))))
+      ;; map the second page: mmap(0, 4096, READ, PRIVATE, fd, 4096)
+      (local.set $p (call $mmap (i64.const 0) (i64.const 4096) (i64.const 1)
+                          (i64.const 0x2) (local.get $fd) (i64.const 4096)))
+      (if (i64.lt_s (local.get $p) (i64.const 0)) (then (return (i32.const 2))))
+      ;; "WALI" little-endian = 0x494C4157
+      (if (i32.ne (i32.load (i32.wrap_i64 (local.get $p))) (i32.const 0x494C4157))
+        (then (return (i32.const 3))))
+      (drop (call $close (local.get $fd)))
+      (if (i64.ne (call $munmap (local.get $p) (i64.const 4096)) (i64.const 0))
+        (then (return (i32.const 4))))
+      ;; after munmap the sandbox page reads as zeros, never faults
+      (if (i32.ne (i32.load (i32.wrap_i64 (local.get $p))) (i32.const 0))
+        (then (return (i32.const 5))))
+      (i32.const 0))
+  )";
+  ExpectWaliMain(body, 0);
+  unlink(path.c_str());
+}
+
+TEST(WaliMem, MmapRejectsExec) {
+  // PROT_EXEC mappings are impossible by construction (§3.6).
+  std::string body = R"(
+    (memory 2 64)
+    (func (export "main") (result i32)
+      (i32.wrap_i64
+        (i64.sub (i64.const 0)
+          (call $mmap (i64.const 0) (i64.const 4096) (i64.const 7)
+                (i64.const 0x22) (i64.const -1) (i64.const 0)))))
+  )";
+  ExpectWaliMain(body, EPERM);
+}
+
+TEST(WaliMem, MremapGrows) {
+  std::string body = R"(
+    (memory 2 256)
+    (func (export "main") (result i32)
+      (local $p i64) (local $q i64)
+      (local.set $p (call $mmap (i64.const 0) (i64.const 4096) (i64.const 3)
+                          (i64.const 0x22) (i64.const -1) (i64.const 0)))
+      (if (i64.lt_s (local.get $p) (i64.const 0)) (then (return (i32.const 1))))
+      (i32.store (i32.wrap_i64 (local.get $p)) (i32.const 777))
+      ;; mremap(p, 4096, 65536, MREMAP_MAYMOVE)
+      (local.set $q (call $mremap (local.get $p) (i64.const 4096) (i64.const 65536)
+                          (i64.const 1) (i64.const 0)))
+      (if (i64.lt_s (local.get $q) (i64.const 0)) (then (return (i32.const 2))))
+      ;; contents preserved across the move/grow
+      (if (i32.ne (i32.load (i32.wrap_i64 (local.get $q))) (i32.const 777))
+        (then (return (i32.const 3))))
+      ;; tail of the grown mapping is writable
+      (i32.store offset=65000 (i32.wrap_i64 (local.get $q)) (i32.const 5))
+      (i32.const 0))
+  )";
+  ExpectWaliMain(body, 0);
+}
+
+TEST(WaliMem, BrkEmulation) {
+  std::string body = R"(
+    (memory 2 256)
+    (func (export "main") (result i32)
+      (local $cur i64) (local $next i64)
+      (local.set $cur (call $brk (i64.const 0)))
+      (if (i64.le_s (local.get $cur) (i64.const 0)) (then (return (i32.const 1))))
+      (local.set $next (call $brk (i64.add (local.get $cur) (i64.const 65536))))
+      (if (i64.ne (local.get $next) (i64.add (local.get $cur) (i64.const 65536)))
+        (then (return (i32.const 2))))
+      ;; heap memory is usable
+      (i32.store (i32.wrap_i64 (local.get $cur)) (i32.const 99))
+      (if (i32.ne (i32.load (i32.wrap_i64 (local.get $cur))) (i32.const 99))
+        (then (return (i32.const 3))))
+      ;; brk(0) now reports the new break
+      (if (i64.ne (call $brk (i64.const 0)) (local.get $next))
+        (then (return (i32.const 4))))
+      (i32.const 0))
+  )";
+  ExpectWaliMain(body, 0);
+}
+
+TEST(WaliMem, MunmapBelowPoolRejected) {
+  // Unmapping module data (below the allocation pool) must be refused.
+  std::string body = R"(
+    (memory 2 64)
+    (func (export "main") (result i32)
+      (i32.wrap_i64
+        (i64.sub (i64.const 0)
+                 (call $munmap (i64.const 4096) (i64.const 4096)))))
+  )";
+  ExpectWaliMain(body, EINVAL);
+}
+
+TEST(WaliMem, PoolExhaustionReturnsEnomem) {
+  // Max memory 4 pages = 256 KiB; asking for 1 MiB must fail cleanly.
+  std::string body = R"(
+    (memory 2 4)
+    (func (export "main") (result i32)
+      (i32.wrap_i64
+        (i64.sub (i64.const 0)
+          (call $mmap (i64.const 0) (i64.const 1048576) (i64.const 3)
+                (i64.const 0x22) (i64.const -1) (i64.const 0)))))
+  )";
+  ExpectWaliMain(body, ENOMEM);
+}
+
+TEST(WaliMem, MmapManagerInvariants) {
+  // Direct unit coverage of the pool allocator.
+  wasm::Limits limits;
+  limits.min = 2;
+  limits.max = 64;
+  limits.has_max = true;
+  auto mem = wasm::Memory::Create(limits);
+  ASSERT_TRUE(mem.ok());
+  wali::MmapManager mgr;
+  mgr.Bind(mem->get());
+  uint64_t a = mgr.Allocate(10000, 0, false);
+  ASSERT_NE(a, 0u);
+  EXPECT_EQ(a % wali::kMmapPageSize, 0u);
+  uint64_t b = mgr.Allocate(4096, 0, false);
+  ASSERT_NE(b, 0u);
+  EXPECT_TRUE(mgr.IsMapped(a, 10000));
+  EXPECT_TRUE(mgr.IsMapped(b, 4096));
+  // Release the first; its space is reusable.
+  EXPECT_TRUE(mgr.Release(a, 10000));
+  EXPECT_FALSE(mgr.IsMapped(a, 4096));
+  uint64_t c = mgr.Allocate(4096, 0, false);
+  EXPECT_EQ(c, a);  // first-fit reuses the gap
+  // Fixed mapping over an in-use range replaces it (MAP_FIXED semantics).
+  uint64_t f = mgr.Allocate(8192, b, true);
+  EXPECT_EQ(f, b);
+  // Partial release keeps the tails.
+  uint64_t big = mgr.Allocate(5 * 4096, 0, false);
+  ASSERT_NE(big, 0u);
+  EXPECT_TRUE(mgr.Release(big + 4096, 4096));
+  EXPECT_TRUE(mgr.IsMapped(big, 4096));
+  EXPECT_FALSE(mgr.IsMapped(big + 4096, 4096));
+  EXPECT_TRUE(mgr.IsMapped(big + 2 * 4096, 3 * 4096));
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+// User-space syscall policy layer (§3.6 / §6): deny, kill, audit logging,
+// default actions, and fault injection — interposed above WALI without
+// touching the engine's TCB.
+#include <gtest/gtest.h>
+
+#include <errno.h>
+#include <unistd.h>
+
+#include "tests/wali_test_util.h"
+
+namespace {
+
+using wali_test::RunWali;
+
+const char* kGetpidLoop = R"(
+  (memory 1)
+  (func (export "main") (result i32)
+    (local $i i32) (local $last i64)
+    (block $out
+      (loop $l
+        (br_if $out (i32.ge_u (local.get $i) (i32.const 10)))
+        (local.set $last (call $getpid))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+    (i32.wrap_i64 (local.get $last)))
+)";
+
+// Builds the world but installs `policy` before running main.
+wali_test::WaliWorld RunWithPolicy(const std::string& body,
+                                   std::shared_ptr<wali::SyscallPolicy> policy) {
+  wali_test::WaliWorld world;
+  std::string wat = std::string("(module ") + wali_test::kPrelude + body + ")";
+  auto parsed = wasm::ParseAndValidateWat(wat);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  if (!parsed.ok()) return world;
+  world.linker = std::make_unique<wasm::Linker>();
+  world.runtime = std::make_unique<wali::WaliRuntime>(world.linker.get());
+  auto proc = world.runtime->CreateProcess(*parsed, {"test"}, {});
+  EXPECT_TRUE(proc.ok());
+  if (!proc.ok()) return world;
+  world.process = std::move(*proc);
+  world.process->policy = std::move(policy);
+  world.result = world.runtime->RunMain(*world.process);
+  return world;
+}
+
+TEST(WaliPolicy, DenyReturnsConfiguredErrno) {
+  auto policy = std::make_shared<wali::SyscallPolicy>();
+  policy->Deny("getpid", EPERM);
+  auto world = RunWithPolicy(kGetpidLoop, policy);
+  ASSERT_EQ(world.result.trap, wasm::TrapKind::kNone);
+  EXPECT_EQ(static_cast<int32_t>(world.result.values[0].i32()), -EPERM);
+  EXPECT_EQ(policy->calls("getpid"), 10u);
+  EXPECT_EQ(policy->denials("getpid"), 10u);
+}
+
+TEST(WaliPolicy, KillTrapsTheProcess) {
+  auto policy = std::make_shared<wali::SyscallPolicy>();
+  policy->Kill("getpid");
+  auto world = RunWithPolicy(kGetpidLoop, policy);
+  EXPECT_EQ(world.result.trap, wasm::TrapKind::kHostError);
+}
+
+TEST(WaliPolicy, AllowListDefaultDeny) {
+  // seccomp-strict style: everything denied except an explicit allow list.
+  auto policy = std::make_shared<wali::SyscallPolicy>();
+  policy->SetDefault(wali::SyscallPolicy::Action::kDeny, ENOSYS);
+  policy->Allow("getpid");
+  std::string body = R"(
+    (memory 1)
+    (func (export "main") (result i32)
+      ;; getpid allowed; getuid falls to the default-deny
+      (if (i64.le_s (call $getpid) (i64.const 0)) (then (return (i32.const 1))))
+      (i32.wrap_i64 (i64.sub (i64.const 0) (call $getuid))))
+  )";
+  auto world = RunWithPolicy(body, policy);
+  ASSERT_EQ(world.result.trap, wasm::TrapKind::kNone);
+  EXPECT_EQ(world.result.values[0].i32(), static_cast<uint32_t>(ENOSYS));
+}
+
+TEST(WaliPolicy, FaultInjectionCadence) {
+  // Every 3rd getpid fails with EIO: out of 10 calls, calls 3,6,9 fail.
+  auto policy = std::make_shared<wali::SyscallPolicy>();
+  policy->InjectFault("getpid", 3, EIO);
+  std::string body = R"(
+    (memory 1)
+    (func (export "main") (result i32)
+      (local $i i32) (local $failures i32)
+      (block $out
+        (loop $l
+          (br_if $out (i32.ge_u (local.get $i) (i32.const 10)))
+          (if (i64.lt_s (call $getpid) (i64.const 0))
+            (then (local.set $failures (i32.add (local.get $failures) (i32.const 1)))))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $l)))
+      (local.get $failures))
+  )";
+  auto world = RunWithPolicy(body, policy);
+  ASSERT_EQ(world.result.trap, wasm::TrapKind::kNone);
+  EXPECT_EQ(world.result.values[0].i32(), 3u);
+  EXPECT_EQ(policy->denials("getpid"), 3u);
+}
+
+TEST(WaliPolicy, AuditLogCoversDefaultActionCalls) {
+  auto policy = std::make_shared<wali::SyscallPolicy>();
+  auto world = RunWithPolicy(kGetpidLoop, policy);
+  ASSERT_EQ(world.result.trap, wasm::TrapKind::kNone);
+  auto log = policy->AuditLog();
+  bool found = false;
+  for (const auto& [name, calls] : log) {
+    if (name == "getpid") {
+      found = true;
+      EXPECT_EQ(calls, 10u);
+    }
+  }
+  EXPECT_TRUE(found);
+  // And the run itself succeeded (default allow).
+  EXPECT_EQ(world.result.values[0].i32(), static_cast<uint32_t>(getpid()));
+}
+
+TEST(WaliPolicy, NoPolicyMeansNoInterference) {
+  auto world = RunWali(kGetpidLoop);
+  ASSERT_EQ(world.result.trap, wasm::TrapKind::kNone);
+  EXPECT_EQ(world.result.values[0].i32(), static_cast<uint32_t>(getpid()));
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+// WALI process model (paper §3.1): identity passthrough, argv/env transfer
+// (§3.4), exit codes, fork+wait4 passthrough, and instance-per-thread clone
+// with shared linear memory and futex-based join.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+
+#include "tests/wali_test_util.h"
+
+namespace {
+
+using wali_test::ExpectWaliMain;
+using wali_test::RunWali;
+
+TEST(WaliProc, GetpidMatchesHost) {
+  auto world = RunWali(R"(
+    (memory 1)
+    (func (export "main") (result i32) (i32.wrap_i64 (call $getpid)))
+  )");
+  ASSERT_EQ(world.result.trap, wasm::TrapKind::kNone);
+  EXPECT_EQ(world.result.values[0].i32(), static_cast<uint32_t>(getpid()));
+}
+
+TEST(WaliProc, UnameReportsWasm32) {
+  // machine field is at offset 4*65 in struct utsname.
+  std::string body = R"(
+    (memory 2)
+    (func (export "main") (result i32)
+      (if (i64.ne (call $uname (i64.const 1024)) (i64.const 0))
+        (then (return (i32.const 1))))
+      ;; "wasm" little-endian = 0x6D736177
+      (if (i32.ne (i32.load offset=260 (i32.const 1024)) (i32.const 0x6D736177))
+        (then (return (i32.const 2))))
+      (i32.const 0))
+  )";
+  ExpectWaliMain(body, 0);
+}
+
+TEST(WaliProc, ArgvTransfer) {
+  // Reads argv[1] ("abc") through get_argc/get_argv_len/copy_argv.
+  std::string body = R"(
+    (memory 1)
+    (func (export "main") (result i32)
+      (if (i64.ne (call $get_argc) (i64.const 2)) (then (return (i32.const 1))))
+      (if (i64.ne (call $get_argv_len (i64.const 1)) (i64.const 4))
+        (then (return (i32.const 2))))
+      (if (i64.ne (call $copy_argv (i64.const 1024) (i64.const 1)) (i64.const 4))
+        (then (return (i32.const 3))))
+      ;; "abc\0" = 0x00636261
+      (if (i32.ne (i32.load (i32.const 1024)) (i32.const 0x00636261))
+        (then (return (i32.const 4))))
+      (i32.const 0))
+  )";
+  ExpectWaliMain(body, 0, {"prog", "abc"});
+}
+
+TEST(WaliProc, EnvTransferExplicitOnly) {
+  std::string body = R"(
+    (memory 1)
+    (func (export "main") (result i32)
+      (if (i64.ne (call $get_envc) (i64.const 1)) (then (return (i32.const 1))))
+      (drop (call $copy_env (i64.const 1024) (i64.const 0)))
+      ;; "K=V\0"
+      (if (i32.ne (i32.load (i32.const 1024)) (i32.const 0x00563D4B))
+        (then (return (i32.const 2))))
+      (i32.const 0))
+  )";
+  ExpectWaliMain(body, 0, {"prog"}, {"K=V"});
+}
+
+TEST(WaliProc, ExitGroupCode) {
+  auto world = RunWali(R"(
+    (memory 1)
+    (func (export "main") (result i32)
+      (drop (call $exit_group (i64.const 42)))
+      (i32.const 0))
+  )");
+  EXPECT_EQ(world.result.trap, wasm::TrapKind::kExit);
+  EXPECT_EQ(world.result.exit_code, 42);
+}
+
+TEST(WaliProc, ForkAndWait4Passthrough) {
+  // Guest forks; the child exits 7 via exit_group, the parent wait4s and
+  // returns the decoded exit status. The child's host process must leave
+  // gtest immediately — detected by exit code 7 from RunMain.
+  std::string body = R"(
+    (memory 1)
+    (func (export "main") (result i32)
+      (local $pid i64) (local $status i32)
+      (local.set $pid (call $fork))
+      (if (i64.lt_s (local.get $pid) (i64.const 0)) (then (return (i32.const 1))))
+      (if (i64.eqz (local.get $pid))
+        (then (drop (call $exit_group (i64.const 7))) (return (i32.const 99))))
+      (if (i64.lt_s (call $wait4 (local.get $pid) (i64.const 1024) (i64.const 0)
+                          (i64.const 0))
+                    (i64.const 0))
+        (then (return (i32.const 2))))
+      ;; WEXITSTATUS(status) = (status >> 8) & 0xff
+      (local.set $status (i32.load (i32.const 1024)))
+      (i32.and (i32.shr_u (local.get $status) (i32.const 8)) (i32.const 0xff)))
+  )";
+  auto world = RunWali(body);
+  if (world.result.trap == wasm::TrapKind::kExit && world.result.exit_code == 7) {
+    _exit(7);  // we are the forked child: leave the test binary quietly
+  }
+  ASSERT_EQ(world.result.trap, wasm::TrapKind::kNone) << world.result.trap_message;
+  EXPECT_EQ(world.result.values[0].i32(), 7u);
+}
+
+TEST(WaliProc, CloneSpawnsSharedMemoryThread) {
+  // Parent clones a thread that adds 100..109 into a shared counter via
+  // atomic rmw, then stores a done-flag. Parent spin-waits at safepoints.
+  std::string body = R"(
+    (memory 2 4 shared)
+    (table 4 funcref)
+    (func $child (param i32) (result i32)
+      (local $i i32)
+      (loop $l
+        (drop (i32.atomic.rmw.add (i32.const 2048)
+                                  (i32.add (i32.const 100) (local.get $i))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br_if $l (i32.lt_u (local.get $i) (i32.const 10))))
+      (i32.atomic.store (i32.const 2052) (i32.const 1))
+      (i32.const 0))
+    (elem (i32.const 1) $child)
+    (func (export "main") (result i32)
+      ;; clone(CLONE_VM, entry=1, arg=0, ptid=0, ctid=0)
+      (if (i64.lt_s (call $clone (i64.const 0x100) (i64.const 1) (i64.const 0)
+                          (i64.const 0) (i64.const 0))
+                    (i64.const 0))
+        (then (return (i32.const 1))))
+      (block $done
+        (loop $spin
+          (br_if $done (i32.eq (i32.atomic.load (i32.const 2052)) (i32.const 1)))
+          (drop (call $sched_yield))
+          (br $spin)))
+      ;; sum of 100..109 = 1045
+      (i32.atomic.load (i32.const 2048)))
+  )";
+  auto world = RunWali(body);
+  ASSERT_EQ(world.result.trap, wasm::TrapKind::kNone) << world.result.trap_message;
+  EXPECT_EQ(world.result.values[0].i32(), 1045u);
+  EXPECT_EQ(world.process->thread_count(), 0);  // joined by RunMain
+}
+
+TEST(WaliProc, CloneRequiresVmFlag) {
+  std::string body = R"(
+    (memory 1)
+    (table 1 funcref)
+    (func (export "main") (result i32)
+      (i32.wrap_i64
+        (i64.sub (i64.const 0)
+          (call $clone (i64.const 0) (i64.const 0) (i64.const 0) (i64.const 0)
+                (i64.const 0)))))
+  )";
+  ExpectWaliMain(body, ENOSYS);
+}
+
+TEST(WaliProc, ExitGroupStopsSiblingThreads) {
+  // A spawned thread spins forever; the main thread exit_groups. The spinner
+  // must be terminated at a safepoint and the process join cleanly.
+  std::string body = R"(
+    (memory 2 4 shared)
+    (table 4 funcref)
+    (func $spinner (param i32) (result i32)
+      (loop $forever
+        (drop (call $sched_yield))
+        (br $forever))
+      (i32.const 0))
+    (elem (i32.const 1) $spinner)
+    (func (export "main") (result i32)
+      (if (i64.lt_s (call $clone (i64.const 0x100) (i64.const 1) (i64.const 0)
+                          (i64.const 0) (i64.const 0))
+                    (i64.const 0))
+        (then (return (i32.const 1))))
+      (drop (call $exit_group (i64.const 11)))
+      (i32.const 99))
+  )";
+  auto world = RunWali(body);
+  EXPECT_EQ(world.result.trap, wasm::TrapKind::kExit);
+  EXPECT_EQ(world.result.exit_code, 11);
+}
+
+TEST(WaliProc, GetrandomFillsBuffer) {
+  std::string body = R"(
+    (memory 1)
+    (func (export "main") (result i32)
+      (if (i64.ne (call $getrandom (i64.const 1024) (i64.const 16) (i64.const 0))
+                  (i64.const 16))
+        (then (return (i32.const 1))))
+      ;; 16 random bytes being all-zero has probability 2^-128
+      (if (i64.eqz (i64.or (i64.load (i32.const 1024))
+                           (i64.load (i32.const 1032))))
+        (then (return (i32.const 2))))
+      (i32.const 0))
+  )";
+  ExpectWaliMain(body, 0);
+}
+
+}  // namespace

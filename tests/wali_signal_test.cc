@@ -1,0 +1,227 @@
+// WALI asynchronous signal pipeline (paper §3.3, Fig. 5): registration via
+// rt_sigaction, generation through the kernel, safepoint delivery, Wasm
+// handler execution, masks, SIG_IGN, sigreturn prohibition, and safepoint
+// scheme behavior (Table 3 semantics).
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <string>
+
+#include "tests/wali_test_util.h"
+
+namespace {
+
+using wali_test::ExpectWaliMain;
+using wali_test::RunWali;
+
+// Registers $handler (table slot 2) for SIGUSR1, raises it via kill(self),
+// and spin-waits until the handler stores the signo it received.
+const char* kCatchUsr1 = R"(
+  (memory 2)
+  (table 4 funcref)
+  (global $got (mut i32) (i32.const 0))
+  (func $handler (param i32)
+    (global.set $got (local.get 0)))
+  (elem (i32.const 2) $handler)
+  (func $install (param $signo i64) (result i64)
+    ;; WaliKSigaction{handler=2, flags=0, mask=0} at 1024
+    (i32.store (i32.const 1024) (i32.const 2))
+    (i32.store (i32.const 1028) (i32.const 0))
+    (i64.store (i32.const 1032) (i64.const 0))
+    (call $sigaction (local.get $signo) (i64.const 1024) (i64.const 0) (i64.const 8)))
+  (func (export "main") (result i32)
+    (if (i64.ne (call $install (i64.const 10)) (i64.const 0))
+      (then (return (i32.const -1))))
+    (drop (call $kill (call $getpid) (i64.const 10)))
+    (block $done
+      (loop $spin
+        (br_if $done (i32.ne (global.get $got) (i32.const 0)))
+        (br $spin)))
+    (global.get $got))
+)";
+
+TEST(WaliSignal, AsyncDeliveryAtLoopSafepoint) {
+  ExpectWaliMain(kCatchUsr1, SIGUSR1);
+}
+
+TEST(WaliSignal, DeliveryCountTracked) {
+  auto world = RunWali(kCatchUsr1);
+  ASSERT_EQ(world.result.trap, wasm::TrapKind::kNone);
+  EXPECT_GE(world.process->sigtable.delivered_count(), 1u);
+}
+
+TEST(WaliSignal, EveryInstrSchemeAlsoDelivers) {
+  auto world = RunWali(kCatchUsr1, {"test"}, {}, wasm::SafepointScheme::kEveryInstr);
+  ASSERT_EQ(world.result.trap, wasm::TrapKind::kNone) << world.result.trap_message;
+  EXPECT_EQ(world.result.values[0].i32(), static_cast<uint32_t>(SIGUSR1));
+}
+
+TEST(WaliSignal, NoneSchemeNeverDelivers) {
+  // Without safepoints the handler cannot run; guard the loop with fuel via
+  // a bounded iteration count instead of spinning forever.
+  std::string body = R"(
+    (memory 2)
+    (table 4 funcref)
+    (global $got (mut i32) (i32.const 0))
+    (func $handler (param i32) (global.set $got (local.get 0)))
+    (elem (i32.const 2) $handler)
+    (func (export "main") (result i32)
+      (local $i i32)
+      (i32.store (i32.const 1024) (i32.const 2))
+      (i32.store (i32.const 1028) (i32.const 0))
+      (i64.store (i32.const 1032) (i64.const 0))
+      (drop (call $sigaction (i64.const 10) (i64.const 1024) (i64.const 0) (i64.const 8)))
+      (drop (call $kill (call $getpid) (i64.const 10)))
+      (loop $l
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br_if $l (i32.lt_u (local.get $i) (i32.const 100000))))
+      (global.get $got))
+  )";
+  auto world = RunWali(body, {"test"}, {}, wasm::SafepointScheme::kNone);
+  ASSERT_EQ(world.result.trap, wasm::TrapKind::kNone) << world.result.trap_message;
+  EXPECT_EQ(world.result.values[0].i32(), 0u);  // never delivered
+  EXPECT_TRUE(world.process->sigtable.AnyPending());  // but still pending
+}
+
+TEST(WaliSignal, MaskBlocksThenUnblockDelivers) {
+  std::string body = R"(
+    (memory 2)
+    (table 4 funcref)
+    (global $got (mut i32) (i32.const 0))
+    (func $handler (param i32) (global.set $got (local.get 0)))
+    (elem (i32.const 2) $handler)
+    (func (export "main") (result i32)
+      (local $i i32)
+      (i32.store (i32.const 1024) (i32.const 2))
+      (i32.store (i32.const 1028) (i32.const 0))
+      (i64.store (i32.const 1032) (i64.const 0))
+      (drop (call $sigaction (i64.const 10) (i64.const 1024) (i64.const 0) (i64.const 8)))
+      ;; block SIGUSR1: mask bit 9 (1<<(10-1)) at addr 2048
+      (i64.store (i32.const 2048) (i64.const 0x200))
+      (drop (call $sigprocmask (i64.const 0) (i64.const 2048) (i64.const 0) (i64.const 8)))
+      (drop (call $kill (call $getpid) (i64.const 10)))
+      ;; run a bounded loop: the handler must NOT fire while masked
+      (loop $l
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br_if $l (i32.lt_u (local.get $i) (i32.const 50000))))
+      (if (i32.ne (global.get $got) (i32.const 0)) (then (return (i32.const 100))))
+      ;; unblock (SIG_UNBLOCK=1) and wait for delivery
+      (drop (call $sigprocmask (i64.const 1) (i64.const 2048) (i64.const 0) (i64.const 8)))
+      (block $done
+        (loop $spin
+          (br_if $done (i32.ne (global.get $got) (i32.const 0)))
+          (br $spin)))
+      (global.get $got))
+  )";
+  ExpectWaliMain(body, SIGUSR1);
+}
+
+TEST(WaliSignal, SigIgnDropsSignal) {
+  std::string body = R"(
+    (memory 2)
+    (table 4 funcref)
+    (func (export "main") (result i32)
+      (local $i i32)
+      ;; SIG_IGN = handler value 1
+      (i32.store (i32.const 1024) (i32.const 1))
+      (i32.store (i32.const 1028) (i32.const 0))
+      (i64.store (i32.const 1032) (i64.const 0))
+      (drop (call $sigaction (i64.const 10) (i64.const 1024) (i64.const 0) (i64.const 8)))
+      (drop (call $kill (call $getpid) (i64.const 10)))
+      (loop $l
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br_if $l (i32.lt_u (local.get $i) (i32.const 10000))))
+      (i32.const 0))
+  )";
+  ExpectWaliMain(body, 0);
+}
+
+TEST(WaliSignal, OldActionReturned) {
+  std::string body = R"(
+    (memory 2)
+    (table 4 funcref)
+    (func $h1 (param i32))
+    (func $h2 (param i32))
+    (elem (i32.const 2) $h1 $h2)
+    (func $set (param $h i64) (result i64)
+      (i32.store (i32.const 1024) (i32.wrap_i64 (local.get $h)))
+      (i32.store (i32.const 1028) (i32.const 0))
+      (i64.store (i32.const 1032) (i64.const 0))
+      (call $sigaction (i64.const 10) (i64.const 1024) (i64.const 2048) (i64.const 8)))
+    (func (export "main") (result i32)
+      (drop (call $set (i64.const 2)))
+      ;; installing h2 must return old handler h1 (=2) via oldact
+      (drop (call $set (i64.const 3)))
+      (i32.load (i32.const 2048)))
+  )";
+  ExpectWaliMain(body, 2);
+}
+
+TEST(WaliSignal, SigreturnTraps) {
+  std::string body = R"(
+    (import "wali" "SYS_rt_sigreturn" (func $sigreturn (result i64)))
+    (memory 1)
+    (func (export "main") (result i32)
+      (drop (call $sigreturn))
+      (i32.const 0))
+  )";
+  auto world = RunWali(body);
+  EXPECT_EQ(world.result.trap, wasm::TrapKind::kHostError);
+}
+
+TEST(WaliSignal, KillSigkillToSelfIsRejectedForTable) {
+  // rt_sigaction(SIGKILL, ...) must fail with -EINVAL like the kernel.
+  std::string body = R"(
+    (memory 2)
+    (table 4 funcref)
+    (func $handler (param i32))
+    (elem (i32.const 2) $handler)
+    (func (export "main") (result i32)
+      (i32.store (i32.const 1024) (i32.const 2))
+      (i32.store (i32.const 1028) (i32.const 0))
+      (i64.store (i32.const 1032) (i64.const 0))
+      (i32.wrap_i64
+        (i64.sub (i64.const 0)
+          (call $sigaction (i64.const 9) (i64.const 1024) (i64.const 0) (i64.const 8)))))
+  )";
+  ExpectWaliMain(body, EINVAL);
+}
+
+TEST(WaliSignal, HandlerRunsDuringBlockingNanosleep) {
+  // SA_RESTART keeps nanosleep going; after it completes the safepoint at
+  // the return loop delivers the handler. Uses a short self-directed timer
+  // via a cloned thread that kills the process after ~10ms.
+  std::string body = R"(
+    (memory 2 4 shared)
+    (table 4 funcref)
+    (global $got (mut i32) (i32.const 0))
+    (func $handler (param i32) (global.set $got (i32.const 55)))
+    (func $pinger (param i32) (result i32)
+      ;; sleep 10ms then signal the process
+      (i64.store (i32.const 3072) (i64.const 0))
+      (i64.store (i32.const 3080) (i64.const 10000000))
+      (drop (call $nanosleep (i64.const 3072) (i64.const 0)))
+      (drop (call $kill (call $getpid) (i64.const 10)))
+      (i32.const 0))
+    (elem (i32.const 2) $handler $pinger)
+    (func (export "main") (result i32)
+      (i32.store (i32.const 1024) (i32.const 2))
+      (i32.store (i32.const 1028) (i32.const 0))
+      (i64.store (i32.const 1032) (i64.const 0))
+      (drop (call $sigaction (i64.const 10) (i64.const 1024) (i64.const 0) (i64.const 8)))
+      (if (i64.lt_s (call $clone (i64.const 0x100) (i64.const 3) (i64.const 0)
+                          (i64.const 0) (i64.const 0))
+                    (i64.const 0))
+        (then (return (i32.const 1))))
+      (block $done
+        (loop $spin
+          (br_if $done (i32.ne (global.get $got) (i32.const 0)))
+          (drop (call $sched_yield))
+          (br $spin)))
+      (global.get $got))
+  )";
+  ExpectWaliMain(body, 55);
+}
+
+}  // namespace

@@ -1,0 +1,233 @@
+// Numeric instruction semantics: arithmetic, comparisons, conversions,
+// trapping edge cases. Parameterized sweeps cover the edge values the spec
+// calls out (division overflow, float->int range, shift masking).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "tests/wat_test_util.h"
+
+namespace {
+
+using wasm::TrapKind;
+using wasm::Value;
+using wasm_test::ExpectI32;
+using wasm_test::ExpectI64;
+using wasm_test::ExpectTrap;
+using wasm_test::RunWat;
+
+const char* kBinI32 = R"((module
+  (func (export "add") (param i32 i32) (result i32) (i32.add (local.get 0) (local.get 1)))
+  (func (export "sub") (param i32 i32) (result i32) (i32.sub (local.get 0) (local.get 1)))
+  (func (export "mul") (param i32 i32) (result i32) (i32.mul (local.get 0) (local.get 1)))
+  (func (export "div_s") (param i32 i32) (result i32) (i32.div_s (local.get 0) (local.get 1)))
+  (func (export "div_u") (param i32 i32) (result i32) (i32.div_u (local.get 0) (local.get 1)))
+  (func (export "rem_s") (param i32 i32) (result i32) (i32.rem_s (local.get 0) (local.get 1)))
+  (func (export "rem_u") (param i32 i32) (result i32) (i32.rem_u (local.get 0) (local.get 1)))
+  (func (export "and") (param i32 i32) (result i32) (i32.and (local.get 0) (local.get 1)))
+  (func (export "or") (param i32 i32) (result i32) (i32.or (local.get 0) (local.get 1)))
+  (func (export "xor") (param i32 i32) (result i32) (i32.xor (local.get 0) (local.get 1)))
+  (func (export "shl") (param i32 i32) (result i32) (i32.shl (local.get 0) (local.get 1)))
+  (func (export "shr_s") (param i32 i32) (result i32) (i32.shr_s (local.get 0) (local.get 1)))
+  (func (export "shr_u") (param i32 i32) (result i32) (i32.shr_u (local.get 0) (local.get 1)))
+  (func (export "rotl") (param i32 i32) (result i32) (i32.rotl (local.get 0) (local.get 1)))
+  (func (export "rotr") (param i32 i32) (result i32) (i32.rotr (local.get 0) (local.get 1)))
+))";
+
+TEST(NumericI32, BasicArithmetic) {
+  ExpectI32(kBinI32, "add", {Value::I32(2), Value::I32(3)}, 5);
+  ExpectI32(kBinI32, "add", {Value::I32(0xFFFFFFFF), Value::I32(1)}, 0);  // wraps
+  ExpectI32(kBinI32, "sub", {Value::I32(3), Value::I32(5)}, 0xFFFFFFFE);
+  ExpectI32(kBinI32, "mul", {Value::I32(0x10000), Value::I32(0x10000)}, 0);
+  ExpectI32(kBinI32, "div_s", {Value::I32(static_cast<uint32_t>(-7)), Value::I32(2)},
+            static_cast<uint32_t>(-3));
+  ExpectI32(kBinI32, "div_u", {Value::I32(static_cast<uint32_t>(-7)), Value::I32(2)},
+            0x7FFFFFFC);
+  ExpectI32(kBinI32, "rem_s", {Value::I32(static_cast<uint32_t>(-7)), Value::I32(2)},
+            static_cast<uint32_t>(-1));
+  ExpectI32(kBinI32, "rem_u", {Value::I32(7), Value::I32(2)}, 1);
+}
+
+TEST(NumericI32, DivisionTraps) {
+  ExpectTrap(kBinI32, "div_s", {Value::I32(1), Value::I32(0)}, TrapKind::kDivByZero);
+  ExpectTrap(kBinI32, "div_u", {Value::I32(1), Value::I32(0)}, TrapKind::kDivByZero);
+  ExpectTrap(kBinI32, "rem_s", {Value::I32(1), Value::I32(0)}, TrapKind::kDivByZero);
+  ExpectTrap(kBinI32, "rem_u", {Value::I32(1), Value::I32(0)}, TrapKind::kDivByZero);
+  ExpectTrap(kBinI32, "div_s", {Value::I32(0x80000000), Value::I32(0xFFFFFFFF)},
+             TrapKind::kIntOverflow);
+  // INT_MIN % -1 == 0, not a trap.
+  ExpectI32(kBinI32, "rem_s", {Value::I32(0x80000000), Value::I32(0xFFFFFFFF)}, 0);
+}
+
+TEST(NumericI32, ShiftsMaskCount) {
+  ExpectI32(kBinI32, "shl", {Value::I32(1), Value::I32(33)}, 2);  // count & 31
+  ExpectI32(kBinI32, "shr_u", {Value::I32(0x80000000), Value::I32(31)}, 1);
+  ExpectI32(kBinI32, "shr_s", {Value::I32(0x80000000), Value::I32(31)}, 0xFFFFFFFF);
+  ExpectI32(kBinI32, "rotl", {Value::I32(0x80000001), Value::I32(1)}, 3);
+  ExpectI32(kBinI32, "rotr", {Value::I32(3), Value::I32(1)}, 0x80000001);
+  ExpectI32(kBinI32, "rotl", {Value::I32(0xABCD1234), Value::I32(32)}, 0xABCD1234);
+}
+
+TEST(NumericI32, CountingOps) {
+  const char* wat = R"((module
+    (func (export "clz") (param i32) (result i32) (i32.clz (local.get 0)))
+    (func (export "ctz") (param i32) (result i32) (i32.ctz (local.get 0)))
+    (func (export "popcnt") (param i32) (result i32) (i32.popcnt (local.get 0)))
+    (func (export "eqz") (param i32) (result i32) (i32.eqz (local.get 0)))
+  ))";
+  ExpectI32(wat, "clz", {Value::I32(0)}, 32);
+  ExpectI32(wat, "clz", {Value::I32(1)}, 31);
+  ExpectI32(wat, "clz", {Value::I32(0x80000000)}, 0);
+  ExpectI32(wat, "ctz", {Value::I32(0)}, 32);
+  ExpectI32(wat, "ctz", {Value::I32(0x80000000)}, 31);
+  ExpectI32(wat, "popcnt", {Value::I32(0xF0F0F0F0)}, 16);
+  ExpectI32(wat, "eqz", {Value::I32(0)}, 1);
+  ExpectI32(wat, "eqz", {Value::I32(7)}, 0);
+}
+
+TEST(NumericI64, Basics) {
+  const char* wat = R"((module
+    (func (export "add") (param i64 i64) (result i64) (i64.add (local.get 0) (local.get 1)))
+    (func (export "mul") (param i64 i64) (result i64) (i64.mul (local.get 0) (local.get 1)))
+    (func (export "div_s") (param i64 i64) (result i64) (i64.div_s (local.get 0) (local.get 1)))
+    (func (export "shr_s") (param i64 i64) (result i64) (i64.shr_s (local.get 0) (local.get 1)))
+    (func (export "clz") (param i64) (result i64) (i64.clz (local.get 0)))
+    (func (export "lt_s") (param i64 i64) (result i32) (i64.lt_s (local.get 0) (local.get 1)))
+  ))";
+  ExpectI64(wat, "add", {Value::I64(0xFFFFFFFFFFFFFFFFull), Value::I64(1)}, 0);
+  ExpectI64(wat, "mul", {Value::I64(1ull << 32), Value::I64(1ull << 32)}, 0);
+  ExpectI64(wat, "div_s", {Value::I64(static_cast<uint64_t>(-100)), Value::I64(7)},
+            static_cast<uint64_t>(-14));
+  ExpectI64(wat, "shr_s", {Value::I64(0x8000000000000000ull), Value::I64(63)},
+            0xFFFFFFFFFFFFFFFFull);
+  ExpectI64(wat, "clz", {Value::I64(0)}, 64);
+  ExpectI32(wat, "lt_s", {Value::I64(static_cast<uint64_t>(-1)), Value::I64(0)}, 1);
+  ExpectTrap(wat, "div_s", {Value::I64(0x8000000000000000ull),
+                            Value::I64(0xFFFFFFFFFFFFFFFFull)},
+             TrapKind::kIntOverflow);
+}
+
+TEST(NumericFloat, ArithmeticAndSpecials) {
+  const char* wat = R"((module
+    (func (export "fadd") (param f64 f64) (result f64) (f64.add (local.get 0) (local.get 1)))
+    (func (export "fdiv") (param f64 f64) (result f64) (f64.div (local.get 0) (local.get 1)))
+    (func (export "fmin") (param f64 f64) (result f64) (f64.min (local.get 0) (local.get 1)))
+    (func (export "fmax") (param f64 f64) (result f64) (f64.max (local.get 0) (local.get 1)))
+    (func (export "fsqrt") (param f64) (result f64) (f64.sqrt (local.get 0)))
+    (func (export "fnearest") (param f64) (result f64) (f64.nearest (local.get 0)))
+    (func (export "ffloor") (param f64) (result f64) (f64.floor (local.get 0)))
+  ))";
+  auto run1 = [&](const char* fn, double a) {
+    auto r = RunWat(wat, fn, {Value::F64(a)});
+    EXPECT_EQ(r.trap, TrapKind::kNone);
+    return r.values[0].f64();
+  };
+  auto run2 = [&](const char* fn, double a, double b) {
+    auto r = RunWat(wat, fn, {Value::F64(a), Value::F64(b)});
+    EXPECT_EQ(r.trap, TrapKind::kNone);
+    return r.values[0].f64();
+  };
+  EXPECT_DOUBLE_EQ(run2("fadd", 1.5, 2.25), 3.75);
+  EXPECT_TRUE(std::isinf(run2("fdiv", 1.0, 0.0)));
+  EXPECT_TRUE(std::isnan(run2("fdiv", 0.0, 0.0)));
+  EXPECT_TRUE(std::isnan(run2("fmin", NAN, 1.0)));
+  EXPECT_DOUBLE_EQ(run2("fmin", -0.0, 0.0), -0.0);
+  EXPECT_TRUE(std::signbit(run2("fmin", -0.0, 0.0)));
+  EXPECT_FALSE(std::signbit(run2("fmax", -0.0, 0.0)));
+  EXPECT_DOUBLE_EQ(run1("fsqrt", 9.0), 3.0);
+  EXPECT_DOUBLE_EQ(run1("fnearest", 2.5), 2.0);  // round-to-even
+  EXPECT_DOUBLE_EQ(run1("fnearest", 3.5), 4.0);
+  EXPECT_DOUBLE_EQ(run1("ffloor", -0.5), -1.0);
+}
+
+TEST(NumericConvert, TruncTrapsAndSat) {
+  const char* wat = R"((module
+    (func (export "trunc") (param f64) (result i32) (i32.trunc_f64_s (local.get 0)))
+    (func (export "trunc_u") (param f64) (result i32) (i32.trunc_f64_u (local.get 0)))
+    (func (export "sat") (param f64) (result i32) (i32.trunc_sat_f64_s (local.get 0)))
+    (func (export "sat_u") (param f64) (result i32) (i32.trunc_sat_f64_u (local.get 0)))
+    (func (export "sat64") (param f64) (result i64) (i64.trunc_sat_f64_s (local.get 0)))
+  ))";
+  ExpectI32(wat, "trunc", {Value::F64(-3.99)}, static_cast<uint32_t>(-3));
+  ExpectTrap(wat, "trunc", {Value::F64(NAN)}, TrapKind::kInvalidConversion);
+  ExpectTrap(wat, "trunc", {Value::F64(2147483648.0)}, TrapKind::kIntOverflow);
+  ExpectTrap(wat, "trunc_u", {Value::F64(-1.0)}, TrapKind::kIntOverflow);
+  ExpectI32(wat, "trunc_u", {Value::F64(4294967295.0)}, 0xFFFFFFFF);
+  ExpectI32(wat, "sat", {Value::F64(NAN)}, 0);
+  ExpectI32(wat, "sat", {Value::F64(1e300)}, 0x7FFFFFFF);
+  ExpectI32(wat, "sat", {Value::F64(-1e300)}, 0x80000000);
+  ExpectI32(wat, "sat_u", {Value::F64(-5.0)}, 0);
+  ExpectI32(wat, "sat_u", {Value::F64(1e300)}, 0xFFFFFFFF);
+  ExpectI64(wat, "sat64", {Value::F64(1e300)}, 0x7FFFFFFFFFFFFFFFull);
+}
+
+TEST(NumericConvert, ExtendWrapReinterpret) {
+  const char* wat = R"((module
+    (func (export "wrap") (param i64) (result i32) (i32.wrap_i64 (local.get 0)))
+    (func (export "ext_s") (param i32) (result i64) (i64.extend_i32_s (local.get 0)))
+    (func (export "ext_u") (param i32) (result i64) (i64.extend_i32_u (local.get 0)))
+    (func (export "ext8") (param i32) (result i32) (i32.extend8_s (local.get 0)))
+    (func (export "ext16_64") (param i64) (result i64) (i64.extend16_s (local.get 0)))
+    (func (export "reint") (param f64) (result i64) (i64.reinterpret_f64 (local.get 0)))
+    (func (export "reint2") (param i32) (result f32) (f32.reinterpret_i32 (local.get 0)))
+  ))";
+  ExpectI32(wat, "wrap", {Value::I64(0x1234567890ABCDEFull)}, 0x90ABCDEF);
+  ExpectI64(wat, "ext_s", {Value::I32(0xFFFFFFFF)}, 0xFFFFFFFFFFFFFFFFull);
+  ExpectI64(wat, "ext_u", {Value::I32(0xFFFFFFFF)}, 0xFFFFFFFFull);
+  ExpectI32(wat, "ext8", {Value::I32(0x80)}, 0xFFFFFF80);
+  ExpectI64(wat, "ext16_64", {Value::I64(0x8000)}, 0xFFFFFFFFFFFF8000ull);
+  auto r = RunWat(wat, "reint", {Value::F64(1.0)});
+  EXPECT_EQ(r.values[0].i64(), 0x3FF0000000000000ull);
+  auto r2 = RunWat(wat, "reint2", {Value::I32(0x3F800000)});
+  EXPECT_FLOAT_EQ(r2.values[0].f32(), 1.0f);
+}
+
+TEST(NumericConvert, IntToFloat) {
+  const char* wat = R"((module
+    (func (export "c1") (param i32) (result f64) (f64.convert_i32_s (local.get 0)))
+    (func (export "c2") (param i32) (result f64) (f64.convert_i32_u (local.get 0)))
+    (func (export "c3") (param i64) (result f32) (f32.convert_i64_s (local.get 0)))
+    (func (export "c4") (param i64) (result f64) (f64.convert_i64_u (local.get 0)))
+    (func (export "promote") (param f32) (result f64) (f64.promote_f32 (local.get 0)))
+    (func (export "demote") (param f64) (result f32) (f32.demote_f64 (local.get 0)))
+  ))";
+  auto r1 = RunWat(wat, "c1", {Value::I32(static_cast<uint32_t>(-5))});
+  EXPECT_DOUBLE_EQ(r1.values[0].f64(), -5.0);
+  auto r2 = RunWat(wat, "c2", {Value::I32(0xFFFFFFFF)});
+  EXPECT_DOUBLE_EQ(r2.values[0].f64(), 4294967295.0);
+  auto r3 = RunWat(wat, "c3", {Value::I64(static_cast<uint64_t>(-1) << 40)});
+  EXPECT_FLOAT_EQ(r3.values[0].f32(), -1099511627776.0f);
+  auto r4 = RunWat(wat, "c4", {Value::I64(0xFFFFFFFFFFFFFFFFull)});
+  EXPECT_DOUBLE_EQ(r4.values[0].f64(), 18446744073709551616.0);
+  auto r5 = RunWat(wat, "promote", {Value::F32(1.5f)});
+  EXPECT_DOUBLE_EQ(r5.values[0].f64(), 1.5);
+  auto r6 = RunWat(wat, "demote", {Value::F64(1.5)});
+  EXPECT_FLOAT_EQ(r6.values[0].f32(), 1.5f);
+}
+
+// Parameterized sweep: i32.div_s quotient semantics (truncation toward zero)
+// across sign combinations.
+struct DivCase {
+  int32_t a, b, want;
+};
+
+class DivSweep : public ::testing::TestWithParam<DivCase> {};
+
+TEST_P(DivSweep, TruncatesTowardZero) {
+  DivCase c = GetParam();
+  ExpectI32(kBinI32, "div_s",
+            {Value::I32(static_cast<uint32_t>(c.a)), Value::I32(static_cast<uint32_t>(c.b))},
+            static_cast<uint32_t>(c.want));
+}
+
+INSTANTIATE_TEST_SUITE_P(SignCombos, DivSweep,
+                         ::testing::Values(DivCase{7, 2, 3}, DivCase{-7, 2, -3},
+                                           DivCase{7, -2, -3}, DivCase{-7, -2, 3},
+                                           DivCase{0, 5, 0}, DivCase{1, 1, 1},
+                                           DivCase{INT32_MAX, 1, INT32_MAX},
+                                           DivCase{INT32_MIN, 1, INT32_MIN},
+                                           DivCase{INT32_MIN, 2, INT32_MIN / 2}));
+
+}  // namespace

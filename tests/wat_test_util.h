@@ -1,0 +1,80 @@
+// Shared helpers for engine tests: parse/validate/instantiate WAT and invoke
+// an exported function in one step.
+#ifndef TESTS_WAT_TEST_UTIL_H_
+#define TESTS_WAT_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/wasm/wasm.h"
+
+namespace wasm_test {
+
+struct WatFixture {
+  std::shared_ptr<wasm::Module> module;
+  std::unique_ptr<wasm::Linker> linker;
+  std::unique_ptr<wasm::Instance> instance;
+};
+
+// Builds an instance from WAT; fails the test on any error.
+inline WatFixture Instantiate(const std::string& wat,
+                              const std::function<void(wasm::Linker&)>& add_imports = {}) {
+  WatFixture fx;
+  auto parsed = wasm::ParseAndValidateWat(wat);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  if (!parsed.ok()) return fx;
+  fx.module = *parsed;
+  fx.linker = std::make_unique<wasm::Linker>();
+  if (add_imports) {
+    add_imports(*fx.linker);
+  }
+  auto inst = fx.linker->Instantiate(fx.module);
+  EXPECT_TRUE(inst.ok()) << inst.status().ToString();
+  if (!inst.ok()) return fx;
+  fx.instance = std::move(*inst);
+  return fx;
+}
+
+// Runs `func` in a fresh instance of `wat` and returns the result.
+inline wasm::RunResult RunWat(const std::string& wat, const std::string& func,
+                              const std::vector<wasm::Value>& args = {},
+                              const wasm::ExecOptions& opts = {}) {
+  WatFixture fx = Instantiate(wat);
+  if (fx.instance == nullptr) {
+    wasm::RunResult r;
+    r.trap = wasm::TrapKind::kHostError;
+    r.trap_message = "instantiation failed";
+    return r;
+  }
+  return fx.instance->CallExport(func, args, opts);
+}
+
+// Asserts a single i32 result.
+inline void ExpectI32(const std::string& wat, const std::string& func,
+                      const std::vector<wasm::Value>& args, uint32_t want) {
+  wasm::RunResult r = RunWat(wat, func, args);
+  ASSERT_EQ(r.trap, wasm::TrapKind::kNone) << wasm::TrapKindName(r.trap) << " " << r.trap_message;
+  ASSERT_EQ(r.values.size(), 1u);
+  EXPECT_EQ(r.values[0].i32(), want);
+}
+
+inline void ExpectI64(const std::string& wat, const std::string& func,
+                      const std::vector<wasm::Value>& args, uint64_t want) {
+  wasm::RunResult r = RunWat(wat, func, args);
+  ASSERT_EQ(r.trap, wasm::TrapKind::kNone) << wasm::TrapKindName(r.trap) << " " << r.trap_message;
+  ASSERT_EQ(r.values.size(), 1u);
+  EXPECT_EQ(r.values[0].i64(), want);
+}
+
+inline void ExpectTrap(const std::string& wat, const std::string& func,
+                       const std::vector<wasm::Value>& args, wasm::TrapKind want) {
+  wasm::RunResult r = RunWat(wat, func, args);
+  EXPECT_EQ(r.trap, want) << r.trap_message;
+}
+
+}  // namespace wasm_test
+
+#endif  // TESTS_WAT_TEST_UTIL_H_

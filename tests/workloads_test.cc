@@ -1,0 +1,132 @@
+// Workload suite sanity: every runnable analog executes under WALI without
+// trapping, produces consistent results across runs and backends
+// (differential: WALI vs native vs MiniRV where applicable), and emits the
+// syscall mix its real counterpart is known for.
+#include <gtest/gtest.h>
+
+#include "src/virt/minirv.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+using workloads::AllWorkloads;
+using workloads::FindWorkload;
+using workloads::RunUnderWali;
+using workloads::WaliRunStats;
+
+TEST(Workloads, RegistryShape) {
+  EXPECT_GE(AllWorkloads().size(), 15u);  // 5 runnable + Table 1 corpus
+  int runnable = 0;
+  for (const auto& w : AllWorkloads()) {
+    if (!w.wat.empty()) ++runnable;
+  }
+  EXPECT_EQ(runnable, 5);
+  EXPECT_NE(FindWorkload("lua"), nullptr);
+  EXPECT_NE(FindWorkload("sqlite3"), nullptr);
+  EXPECT_EQ(FindWorkload("nonexistent"), nullptr);
+}
+
+class RunnableWorkloads : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RunnableWorkloads, RunsCleanUnderWali) {
+  const workloads::Workload* w = FindWorkload(GetParam());
+  ASSERT_NE(w, nullptr);
+  WaliRunStats stats = RunUnderWali(*w, 3);
+  ASSERT_TRUE(stats.result.ok_or_exit0()) << stats.result.trap_message;
+  EXPECT_GT(stats.total_syscalls, 0u);
+  EXPECT_GT(stats.wall_ns, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, RunnableWorkloads,
+                         ::testing::Values("lua", "bash", "sqlite3", "memcached",
+                                           "paho-bench"));
+
+TEST(Workloads, DeterministicAcrossRuns) {
+  const workloads::Workload* w = FindWorkload("lua");
+  auto r1 = RunUnderWali(*w, 4);
+  auto r2 = RunUnderWali(*w, 4);
+  ASSERT_TRUE(r1.result.ok());
+  ASSERT_TRUE(r2.result.ok());
+  EXPECT_EQ(r1.result.values[0].i32(), r2.result.values[0].i32());
+}
+
+TEST(Workloads, LuaDifferentialWaliVsNative) {
+  // The checksum under WALI must equal the native implementation's
+  // (mod 2^32): same computation, different substrate.
+  const workloads::Workload* w = FindWorkload("lua");
+  auto wali = RunUnderWali(*w, 5);
+  ASSERT_TRUE(wali.result.ok());
+  int64_t native = w->native(5);
+  EXPECT_EQ(wali.result.values[0].i32(), static_cast<uint32_t>(native));
+}
+
+TEST(Workloads, SqliteDifferentialWaliVsNative) {
+  const workloads::Workload* w = FindWorkload("sqlite3");
+  auto wali = RunUnderWali(*w, 8);
+  ASSERT_TRUE(wali.result.ok());
+  int64_t native = w->native(8);
+  EXPECT_EQ(wali.result.values[0].i32(), static_cast<uint32_t>(native));
+}
+
+TEST(Workloads, LuaDifferentialWaliVsMiniRv) {
+  // MiniRV exits with acc&127; compare against the WALI checksum.
+  const workloads::Workload* w = FindWorkload("lua");
+  auto wali = RunUnderWali(*w, 2);
+  ASSERT_TRUE(wali.result.ok());
+  auto prog = virt::AssembleRv(workloads::InstantiateWat(
+      {.name = "", .wat = w->minirv_asm}, 2));
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  virt::MiniRvMachine::Options opts;
+  virt::MiniRvMachine machine(opts);
+  ASSERT_TRUE(machine.Load(*prog).ok());
+  auto r = machine.Run();
+  ASSERT_TRUE(r.exited) << r.error;
+  EXPECT_EQ(r.exit_code, wali.result.values[0].i32() & 127);
+}
+
+TEST(Workloads, SyscallMixMatchesAppProfile) {
+  // Fig. 2's premise: each app has a distinctive syscall mix.
+  auto bash = RunUnderWali(*FindWorkload("bash"), 4);
+  ASSERT_TRUE(bash.result.ok());
+  EXPECT_GE(bash.syscall_counts["pipe2"], 4u);
+  EXPECT_GE(bash.syscall_counts["getpid"], 4u);
+  EXPECT_GE(bash.syscall_counts["stat"], 4u);
+
+  auto sqlite = RunUnderWali(*FindWorkload("sqlite3"), 8);
+  ASSERT_TRUE(sqlite.result.ok());
+  EXPECT_GE(sqlite.syscall_counts["pwrite64"], 8u);
+  EXPECT_GE(sqlite.syscall_counts["fsync"], 1u);
+  EXPECT_GE(sqlite.syscall_counts["mremap"], 1u);
+
+  auto lua = RunUnderWali(*FindWorkload("lua"), 4);
+  ASSERT_TRUE(lua.result.ok());
+  EXPECT_GE(lua.syscall_counts["mmap"], 4u);
+  // lua is compute-bound: far fewer syscalls than bash per unit scale.
+  EXPECT_LT(lua.total_syscalls, bash.total_syscalls * 3);
+
+  auto memcached = RunUnderWali(*FindWorkload("memcached"), 16);
+  ASSERT_TRUE(memcached.result.ok());
+  EXPECT_GE(memcached.syscall_counts["clone"], 1u);
+  EXPECT_GE(memcached.syscall_counts["socketpair"], 1u);
+  EXPECT_GE(memcached.syscall_counts["read"], 16u);
+}
+
+TEST(Workloads, MemcachedServesCorrectValues) {
+  // 3 sets then a get per 4 ops; replies accumulate deterministically.
+  auto r1 = RunUnderWali(*FindWorkload("memcached"), 64);
+  auto r2 = RunUnderWali(*FindWorkload("memcached"), 64);
+  ASSERT_TRUE(r1.result.ok()) << r1.result.trap_message;
+  ASSERT_TRUE(r2.result.ok());
+  EXPECT_EQ(r1.result.values[0].i32(), r2.result.values[0].i32());
+}
+
+TEST(Workloads, ScalingIsMonotonic) {
+  const workloads::Workload* w = FindWorkload("paho-bench");
+  auto small = RunUnderWali(*w, 10);
+  auto large = RunUnderWali(*w, 100);
+  ASSERT_TRUE(small.result.ok());
+  ASSERT_TRUE(large.result.ok());
+  EXPECT_GT(large.total_syscalls, small.total_syscalls);
+}
+
+}  // namespace
