@@ -1,0 +1,23 @@
+;; Minimal multi-tenant demo guest for `walirun --serve`: does a little
+;; compute, issues a few syscalls through the thin interface, and exits 9 so
+;; the serve-mode exit histogram is easy to eyeball:
+;;
+;;   walirun --serve 8 --repeat 100 examples/serve_guest.wat
+(module
+  (import "wali" "SYS_getpid" (func $getpid (result i64)))
+  (import "wali" "SYS_gettid" (func $gettid (result i64)))
+  (import "wali" "SYS_exit" (func $exit (param i64) (result i64)))
+  (memory 2)
+  (func (export "main") (result i32)
+    (local $i i32)
+    (drop (call $getpid))
+    (drop (call $gettid))
+    (block $done
+      (loop $spin
+        (br_if $done (i32.ge_u (local.get $i) (i32.const 5000)))
+        (i32.store (i32.add (i32.const 1024) (i32.and (local.get $i) (i32.const 1023)))
+                   (local.get $i))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $spin)))
+    (drop (call $exit (i64.const 9)))
+    (i32.const 0)))

@@ -1,0 +1,19 @@
+// Umbrella header for the multi-tenant hosting subsystem (layered above the
+// WALI thin kernel interface; see docs/ARCHITECTURE.md).
+//
+// Quickstart:
+//   wasm::Linker linker;
+//   wali::WaliRuntime runtime(&linker);
+//   host::ModuleCache cache;
+//   auto module = cache.Load(bytes);                       // decode once
+//   host::Supervisor sup(&runtime, {.workers = 8});
+//   auto fut = sup.Submit({*module, {"app"}, {}});         // run many times
+//   host::RunReport report = fut.get();
+#ifndef SRC_HOST_HOST_H_
+#define SRC_HOST_HOST_H_
+
+#include "src/host/instance_pool.h"  // IWYU pragma: export
+#include "src/host/module_cache.h"   // IWYU pragma: export
+#include "src/host/supervisor.h"     // IWYU pragma: export
+
+#endif  // SRC_HOST_HOST_H_

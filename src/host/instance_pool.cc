@@ -1,0 +1,143 @@
+#include "src/host/instance_pool.h"
+
+#include <utility>
+
+namespace host {
+
+InstancePool::Lease& InstancePool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    proc_ = std::move(other.proc_);
+    recycled_ = other.recycled_;
+    other.pool_ = nullptr;
+    other.recycled_ = false;
+  }
+  return *this;
+}
+
+void InstancePool::Lease::Release() {
+  if (pool_ != nullptr && proc_ != nullptr) {
+    pool_->Return(std::move(proc_));
+  }
+  pool_ = nullptr;
+  proc_.reset();
+}
+
+InstancePool::InstancePool(wali::WaliRuntime* runtime)
+    : InstancePool(runtime, Options()) {}
+
+InstancePool::InstancePool(wali::WaliRuntime* runtime, const Options& options)
+    : runtime_(runtime), options_(options) {}
+
+common::StatusOr<InstancePool::Lease> InstancePool::Acquire(
+    std::shared_ptr<const wasm::Module> module, std::vector<std::string> argv,
+    std::vector<std::string> env) {
+  std::unique_ptr<wali::WaliProcess> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = idle_.find(module.get());
+    if (it != idle_.end() && !it->second.empty()) {
+      slot = std::move(it->second.back().proc);
+      it->second.pop_back();
+      --idle_count_;
+      if (it->second.empty()) {
+        idle_.erase(it);
+      }
+    }
+  }
+
+  bool recycled = false;
+  if (slot != nullptr) {
+    // Pass copies: a failed reset must not consume the caller's argv/env,
+    // which the cold-build fallback below still needs.
+    common::Status reset = runtime_->ResetProcess(*slot, module, argv, env);
+    if (reset.ok()) {
+      recycled = true;
+    } else {
+      // A slot that cannot be recycled is destroyed; fall back to a cold
+      // build rather than failing the acquire.
+      slot.reset();
+    }
+  }
+  if (slot == nullptr) {
+    ASSIGN_OR_RETURN(slot, runtime_->CreateProcess(module, std::move(argv),
+                                                   std::move(env)));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (recycled) {
+      ++stats_.hits;
+      ++stats_.resets;
+    } else {
+      ++stats_.misses;
+    }
+    ++leased_;
+    if (leased_ > stats_.high_water) {
+      stats_.high_water = leased_;
+    }
+  }
+  return Lease(this, std::move(slot), recycled);
+}
+
+void InstancePool::Return(std::unique_ptr<wali::WaliProcess> proc) {
+  // Guests may have spawned instance-per-thread clones; the slab cannot be
+  // recycled while any of them still runs.
+  proc->JoinThreads();
+  // Release the finished tenant's fds now, not at the next recycle: an idle
+  // slot must not hold files locked or sockets half-open indefinitely.
+  proc->CloseGuestFds();
+  const wasm::Module* key = proc->module.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (leased_ > 0) {
+    --leased_;
+  }
+  if (key == nullptr) {
+    ++stats_.drops;
+    return;  // mid-reset corpse; nothing worth keeping
+  }
+  std::vector<IdleSlot>& list = idle_[key];
+  if (list.size() >= options_.max_idle_per_module) {
+    ++stats_.drops;
+    return;  // unique_ptr destroys the slot
+  }
+  list.push_back(IdleSlot{std::move(proc), ++idle_stamp_});
+  ++idle_count_;
+  TrimIdleLocked();
+}
+
+void InstancePool::TrimIdleLocked() {
+  while (idle_count_ > options_.max_idle_total) {
+    auto victim_key = idle_.end();
+    size_t victim_index = 0;
+    uint64_t oldest = ~0ULL;
+    for (auto it = idle_.begin(); it != idle_.end(); ++it) {
+      for (size_t i = 0; i < it->second.size(); ++i) {
+        if (it->second[i].stamp < oldest) {
+          oldest = it->second[i].stamp;
+          victim_key = it;
+          victim_index = i;
+        }
+      }
+    }
+    if (victim_key == idle_.end()) {
+      return;
+    }
+    victim_key->second.erase(victim_key->second.begin() + victim_index);
+    if (victim_key->second.empty()) {
+      idle_.erase(victim_key);
+    }
+    --idle_count_;
+    ++stats_.drops;
+  }
+}
+
+InstancePool::Stats InstancePool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.idle = idle_count_;
+  return s;
+}
+
+}  // namespace host

@@ -1,0 +1,73 @@
+// ModuleCache: decode/validate a guest module once, instantiate many times.
+//
+// The hosting layer's cold path (decode + validate) dominates per-request
+// startup cost once linear memory is pooled, so the cache keys fully
+// validated wasm::Module objects by content hash and hands out
+// shared_ptr<const Module> for repeated instantiation across tenants. Both
+// binary .wasm and textual .wat inputs are accepted (auto-detected). Entries
+// are evicted LRU beyond the configured capacity.
+#ifndef SRC_HOST_MODULE_CACHE_H_
+#define SRC_HOST_MODULE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/wasm/module.h"
+
+namespace host {
+
+class ModuleCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+
+  explicit ModuleCache(size_t capacity = 64);
+
+  // Returns the validated module for `bytes` (binary .wasm if it carries the
+  // \0asm magic, otherwise parsed as WAT), decoding at most once per distinct
+  // content. Thread-safe.
+  common::StatusOr<std::shared_ptr<const wasm::Module>> Load(
+      const std::string& bytes);
+
+  // Convenience: reads `path` and calls Load.
+  common::StatusOr<std::shared_ptr<const wasm::Module>> LoadFile(
+      const std::string& path);
+
+  // 64-bit FNV-1a over the module bytes (the cache key).
+  static uint64_t ContentHash(const void* data, size_t len);
+
+  Stats stats() const;
+
+ private:
+  // FNV-1a is fast but not collision-resistant, so a hit must be confirmed
+  // against the original bytes: a tenant must never be served another
+  // tenant's module off a crafted collision. Colliding contents coexist in
+  // the same bucket.
+  struct Entry {
+    std::string bytes;
+    std::shared_ptr<const wasm::Module> module;
+    uint64_t last_used = 0;
+  };
+
+  void EvictIfNeededLocked();
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t tick_ = 0;
+  size_t count_ = 0;
+  Stats stats_;
+  std::unordered_map<uint64_t, std::vector<Entry>> buckets_;
+};
+
+}  // namespace host
+
+#endif  // SRC_HOST_MODULE_CACHE_H_

@@ -1,0 +1,131 @@
+#include "src/host/supervisor.h"
+
+#include "src/common/time_util.h"
+#include "src/wali/trace.h"
+
+namespace host {
+
+Supervisor::Supervisor(wali::WaliRuntime* runtime, const Options& options)
+    : runtime_(runtime), pool_(runtime, options.pool) {
+  size_t n = options.workers > 0 ? options.workers : 1;
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Supervisor::~Supervisor() { Shutdown(); }
+
+std::future<RunReport> Supervisor::Submit(GuestJob job) {
+  Task task;
+  task.job = std::move(job);
+  std::future<RunReport> fut = task.done.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      RunReport r;
+      r.trap = wasm::TrapKind::kHostError;
+      r.trap_message = "supervisor is shut down";
+      task.done.set_value(std::move(r));
+      return fut;
+    }
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+std::vector<RunReport> Supervisor::RunAll(std::vector<GuestJob> jobs) {
+  std::vector<std::future<RunReport>> futures;
+  futures.reserve(jobs.size());
+  for (GuestJob& job : jobs) {
+    futures.push_back(Submit(std::move(job)));
+  }
+  std::vector<RunReport> reports;
+  reports.reserve(futures.size());
+  for (std::future<RunReport>& f : futures) {
+    reports.push_back(f.get());
+  }
+  return reports;
+}
+
+void Supervisor::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Already requested; fall through to join whatever is left.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) {
+      w.join();
+    }
+  }
+}
+
+void Supervisor::WorkerLoop() {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task.done.set_value(RunOne(task.job));
+  }
+}
+
+RunReport Supervisor::RunOne(GuestJob& job) {
+  RunReport report;
+  common::StatusOr<InstancePool::Lease> lease =
+      pool_.Acquire(job.module, std::move(job.argv), std::move(job.env));
+  if (!lease.ok()) {
+    report.trap = wasm::TrapKind::kHostError;
+    report.trap_message = lease.status().ToString();
+    return report;
+  }
+  wali::WaliProcess& proc = **lease;
+  report.pooled = lease->recycled();
+  proc.policy = job.policy;
+
+  wasm::ExecOptions opts = runtime_->exec_options();
+  if (job.fuel != 0) {
+    opts.fuel = job.fuel;
+  }
+  if (job.max_frames != 0) {
+    opts.max_frames = job.max_frames;
+  }
+
+  int64_t t0 = common::MonotonicNanos();
+  wasm::RunResult r = runtime_->RunMain(proc, opts);
+  report.wall_nanos = common::MonotonicNanos() - t0;
+
+  report.trap = r.trap;
+  report.trap_message = r.trap_message;
+  report.executed_instrs = r.executed_instrs;
+  if (r.trap == wasm::TrapKind::kExit) {
+    report.exit_code = r.exit_code;
+  } else if (r.ok() && !r.values.empty()) {
+    report.exit_code = static_cast<int32_t>(r.values[0].i32());
+  }
+
+  const std::vector<wali::SyscallDef>& defs = runtime_->syscalls();
+  for (size_t id = 0; id < defs.size(); ++id) {
+    uint64_t n = proc.trace.count(static_cast<uint32_t>(id));
+    if (n > 0) {
+      report.syscall_counts.emplace_back(defs[id].name, n);
+      report.total_syscalls += n;
+    }
+  }
+  report.wali_nanos = proc.trace.wali_nanos();
+  report.kernel_nanos = proc.trace.kernel_nanos();
+  return report;
+}
+
+}  // namespace host

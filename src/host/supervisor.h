@@ -1,0 +1,111 @@
+// Supervisor: concurrent multi-tenant WALI hosting on a worker-thread pool.
+//
+// Each submitted GuestJob runs in its own WaliProcess (leased from an
+// InstancePool, so warm submissions recycle linear-memory slabs) with a
+// per-tenant SyscallPolicy and per-run fuel / frame limits. The outcome of
+// every run is collected into a RunReport: exit code or trap, syscall counts
+// from the process's SyscallTrace, and wall / WALI / kernel time.
+//
+// Position in the stack (docs/ARCHITECTURE.md): guest module -> WALI/WASI
+// syscall layer -> host supervisor. Every future scaling layer (sharding,
+// async syscall batching, admission control) drives this interface.
+#ifndef SRC_HOST_SUPERVISOR_H_
+#define SRC_HOST_SUPERVISOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/host/instance_pool.h"
+#include "src/wali/policy.h"
+#include "src/wasm/instance.h"
+
+namespace host {
+
+// One tenant request: which module to run, with what identity and limits.
+struct GuestJob {
+  std::shared_ptr<const wasm::Module> module;
+  std::vector<std::string> argv;
+  std::vector<std::string> env;
+  // Optional per-tenant syscall policy, consulted before every dispatch.
+  std::shared_ptr<wali::SyscallPolicy> policy;
+  uint64_t fuel = 0;        // instruction budget; 0 = runtime default
+  uint32_t max_frames = 0;  // call-depth cap; 0 = runtime default
+};
+
+// Everything the host layer knows about one finished guest run.
+struct RunReport {
+  wasm::TrapKind trap = wasm::TrapKind::kNone;
+  std::string trap_message;
+  int32_t exit_code = 0;
+  uint64_t executed_instrs = 0;
+  uint64_t total_syscalls = 0;
+  // (syscall name, count) for every syscall the guest issued.
+  std::vector<std::pair<std::string, uint64_t>> syscall_counts;
+  int64_t wall_nanos = 0;
+  int64_t wali_nanos = 0;    // time inside WALI handlers (exclusive)
+  int64_t kernel_nanos = 0;  // time inside the kernel
+  bool pooled = false;       // served from a recycled slot
+
+  // The run reached a normal end: fell off main or exited with any code.
+  bool completed() const {
+    return trap == wasm::TrapKind::kNone || trap == wasm::TrapKind::kExit;
+  }
+};
+
+class Supervisor {
+ public:
+  struct Options {
+    size_t workers = 4;  // concurrent guests
+    InstancePool::Options pool;
+  };
+
+  // `runtime` (and its linker) must outlive the supervisor. The runtime's
+  // registry is immutable after construction, so workers share it freely.
+  Supervisor(wali::WaliRuntime* runtime, const Options& options);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  // Enqueues a job; the future resolves when the guest finishes.
+  std::future<RunReport> Submit(GuestJob job);
+
+  // Convenience barrier: submits every job and waits for all reports,
+  // returned in submission order.
+  std::vector<RunReport> RunAll(std::vector<GuestJob> jobs);
+
+  // Drains the queue, then stops the workers. Idempotent; the destructor
+  // calls it. Jobs submitted after Shutdown fail with a kHostError report.
+  void Shutdown();
+
+  const InstancePool& pool() const { return pool_; }
+  size_t workers() const { return workers_.size(); }
+
+ private:
+  struct Task {
+    GuestJob job;
+    std::promise<RunReport> done;
+  };
+
+  void WorkerLoop();
+  RunReport RunOne(GuestJob& job);
+
+  wali::WaliRuntime* runtime_;
+  InstancePool pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace host
+
+#endif  // SRC_HOST_SUPERVISOR_H_

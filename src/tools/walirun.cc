@@ -10,13 +10,22 @@
 //   --compile OUT    encode the module to binary .wasm at OUT and exit
 //   --trace          print the syscall profile after the run (WALI_VERBOSE-
 //                    style diagnostics; set WALI_LOG=3 for per-call logging)
+//   --serve N        multi-tenant mode: run the program on the host
+//                    supervisor with N concurrent workers (instance-pooled)
+//   --repeat K       with --serve: each worker lane runs the guest K times
+//                    (N*K total runs); reports per-exit-code counts,
+//                    throughput, and pool statistics
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/common/time_util.h"
+#include "src/host/host.h"
 #include "src/wali/wali.h"
 #include "src/wasm/wasm.h"
 
@@ -25,33 +34,80 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: walirun [-e K=V]... [--scheme loop|function|all|none]\n"
-               "               [--compile out.wasm] [--trace] <prog.wat|prog.wasm> "
+               "               [--compile out.wasm] [--trace]\n"
+               "               [--serve N [--repeat K]] <prog.wat|prog.wasm> "
                "[args...]\n");
   return 2;
 }
 
-bool ReadFile(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return false;
-  }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  *out = ss.str();
-  return true;
-}
-
-bool LooksLikeBinary(const std::string& bytes) {
-  return bytes.size() >= 4 && bytes[0] == '\0' && bytes[1] == 'a' && bytes[2] == 's' &&
-         bytes[3] == 'm';
-}
-
 }  // namespace
+
+// Multi-tenant serving mode: N*K runs of the guest on the supervisor, with
+// per-run reports aggregated into an exit-code histogram and pool stats.
+int Serve(wali::WaliRuntime& runtime, std::shared_ptr<const wasm::Module> module,
+          const std::vector<std::string>& guest_argv,
+          const std::vector<std::string>& env, int workers, int repeat) {
+  host::Supervisor::Options sopts;
+  sopts.workers = static_cast<size_t>(workers);
+  sopts.pool.max_idle_per_module = static_cast<size_t>(workers);
+  host::Supervisor sup(&runtime, sopts);
+
+  const int total = workers * repeat;
+  std::vector<std::future<host::RunReport>> futures;
+  futures.reserve(total);
+  int64_t t0 = common::MonotonicNanos();
+  for (int k = 0; k < total; ++k) {
+    host::GuestJob job;
+    job.module = module;
+    job.argv = guest_argv;
+    job.env = env;
+    job.env.push_back("WALI_RUN_INDEX=" + std::to_string(k));
+    futures.push_back(sup.Submit(std::move(job)));
+  }
+
+  std::map<int32_t, int> exit_histogram;
+  int completed = 0, trapped = 0, pooled = 0;
+  uint64_t syscalls = 0;
+  for (std::future<host::RunReport>& f : futures) {
+    host::RunReport r = f.get();
+    if (r.completed()) {
+      ++completed;
+      ++exit_histogram[r.exit_code];
+    } else {
+      ++trapped;
+      std::fprintf(stderr, "walirun: guest trap: %s %s\n",
+                   wasm::TrapKindName(r.trap), r.trap_message.c_str());
+    }
+    if (r.pooled) ++pooled;
+    syscalls += r.total_syscalls;
+  }
+  double secs = (common::MonotonicNanos() - t0) / 1e9;
+
+  std::printf("serve: %d workers x %d runs = %d guests in %.3f s (%.0f guests/s)\n",
+              workers, repeat, total, secs, secs > 0 ? total / secs : 0.0);
+  std::printf("serve: %d completed, %d trapped, %d pooled, %llu syscalls\n",
+              completed, trapped, pooled, static_cast<unsigned long long>(syscalls));
+  for (const auto& [code, n] : exit_histogram) {
+    std::printf("serve: exit %d x %d\n", code, n);
+  }
+  host::InstancePool::Stats ps = sup.pool().stats();
+  std::printf(
+      "pool: hits=%llu misses=%llu resets=%llu drops=%llu high_water=%llu "
+      "idle=%zu\n",
+      static_cast<unsigned long long>(ps.hits),
+      static_cast<unsigned long long>(ps.misses),
+      static_cast<unsigned long long>(ps.resets),
+      static_cast<unsigned long long>(ps.drops),
+      static_cast<unsigned long long>(ps.high_water), ps.idle);
+  return trapped == 0 ? 0 : 1;
+}
 
 int main(int argc, char** argv) {
   std::vector<std::string> env;
   std::string compile_out;
   bool trace = false;
+  int serve_workers = 0;
+  int serve_repeat = 1;
   wasm::SafepointScheme scheme = wasm::SafepointScheme::kLoop;
 
   int i = 1;
@@ -59,6 +115,12 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "-e" && i + 1 < argc) {
       env.push_back(argv[++i]);
+    } else if (arg == "--serve" && i + 1 < argc) {
+      serve_workers = std::atoi(argv[++i]);
+      if (serve_workers <= 0) return Usage();
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      serve_repeat = std::atoi(argv[++i]);
+      if (serve_repeat <= 0) return Usage();
     } else if (arg == "--scheme" && i + 1 < argc) {
       std::string s = argv[++i];
       if (s == "loop") scheme = wasm::SafepointScheme::kLoop;
@@ -81,24 +143,13 @@ int main(int argc, char** argv) {
   }
 
   std::string path = argv[i];
-  std::string bytes;
-  if (!ReadFile(path, &bytes)) {
-    std::fprintf(stderr, "walirun: cannot read %s\n", path.c_str());
-    return 1;
-  }
-
-  common::StatusOr<std::shared_ptr<wasm::Module>> parsed =
-      LooksLikeBinary(bytes)
-          ? wasm::DecodeModule(reinterpret_cast<const uint8_t*>(bytes.data()),
-                               bytes.size())
-          : wasm::ParseWat(bytes);
+  // Single front end for .wat/.wasm detection, decode, and validation — the
+  // same layer serve mode instantiates from.
+  host::ModuleCache cache(/*capacity=*/1);
+  common::StatusOr<std::shared_ptr<const wasm::Module>> parsed =
+      cache.LoadFile(path);
   if (!parsed.ok()) {
     std::fprintf(stderr, "walirun: %s\n", parsed.status().ToString().c_str());
-    return 1;
-  }
-  common::Status validated = wasm::Validate(**parsed);
-  if (!validated.ok()) {
-    std::fprintf(stderr, "walirun: %s\n", validated.ToString().c_str());
     return 1;
   }
 
@@ -122,6 +173,11 @@ int main(int argc, char** argv) {
   wali::WaliRuntime::Options opts;
   opts.scheme = scheme;
   wali::WaliRuntime runtime(&linker, opts);
+
+  if (serve_workers > 0) {
+    return Serve(runtime, *parsed, guest_argv, env, serve_workers, serve_repeat);
+  }
+
   auto proc = runtime.CreateProcess(*parsed, guest_argv, env);
   if (!proc.ok()) {
     std::fprintf(stderr, "walirun: %s\n", proc.status().ToString().c_str());

@@ -34,6 +34,18 @@ uint64_t MmapManager::pool_base() {
   return base_;
 }
 
+void MmapManager::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  initialized_ = false;
+  base_ = 0;
+  limit_ = 0;
+  used_.clear();
+  virgin_base_ = 0;
+  brk_base_ = 0;
+  brk_cur_ = 0;
+  brk_limit_ = 0;
+}
+
 uint64_t MmapManager::bytes_in_use() {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;

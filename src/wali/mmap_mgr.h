@@ -46,6 +46,12 @@ class MmapManager {
   uint64_t pool_base();       // lazy-init
   uint64_t bytes_in_use();    // mapped bytes (tests/metrics)
 
+  // Forgets all mappings and the program break, returning to the
+  // never-initialized state; the pool geometry is re-derived lazily from the
+  // bound memory's (post-reset) size at next use. Used when a pooled process
+  // slot is recycled for a fresh guest.
+  void Reset();
+
   // Program-break emulation for SYS_brk: a dedicated region carved from the
   // pool on first use.
   uint64_t Brk(uint64_t new_break);

@@ -25,7 +25,57 @@ WaliProcess::WaliProcess(WaliRuntime* rt, std::vector<std::string> argv_in,
                          std::vector<std::string> env_in)
     : runtime(rt), argv(std::move(argv_in)), env(std::move(env_in)) {}
 
-WaliProcess::~WaliProcess() { JoinThreads(); }
+WaliProcess::~WaliProcess() {
+  JoinThreads();
+  CloseGuestFds();
+}
+
+void WaliProcess::TrackFd(int fd) {
+  if (fd <= 2) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(fds_mu_);
+  guest_fds_.insert(fd);
+}
+
+void WaliProcess::UntrackFd(int fd) {
+  std::lock_guard<std::mutex> lock(fds_mu_);
+  guest_fds_.erase(fd);
+}
+
+void WaliProcess::CloseGuestFds() {
+  std::set<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(fds_mu_);
+    fds.swap(guest_fds_);
+  }
+  for (int fd : fds) {
+    ::close(fd);
+  }
+}
+
+int WaliProcess::tracked_fd_count() {
+  std::lock_guard<std::mutex> lock(fds_mu_);
+  return static_cast<int>(guest_fds_.size());
+}
+
+void WaliProcess::ResetForReuse(std::vector<std::string> argv_in,
+                                std::vector<std::string> env_in) {
+  JoinThreads();
+  argv = std::move(argv_in);
+  env = std::move(env_in);
+  exit_all.store(false, std::memory_order_release);
+  exit_code.store(0, std::memory_order_release);
+  in_signal_handler.store(false, std::memory_order_release);
+  clear_child_tid.store(0, std::memory_order_release);
+  sigtable.Reset();
+  mmap.Reset();
+  trace.Reset();
+  CloseGuestFds();
+  policy.reset();
+  main_instance.reset();
+  module.reset();
+}
 
 int WaliProcess::thread_count() {
   std::lock_guard<std::mutex> lock(threads_mu_);

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,6 +47,25 @@ class WaliProcess {
   void JoinThreads();
   int thread_count();
 
+  // Host fds minted for this guest (open/dup/socket/pipe/...), maintained by
+  // the syscall dispatch layer. Tenants share one host process, so anything
+  // the guest leaves open must be closed when the process dies or its slot
+  // is recycled — otherwise fds (and the files behind them) leak across
+  // tenants. Only fds > 2 are tracked; stdio is shared by design.
+  void TrackFd(int fd);
+  void UntrackFd(int fd);
+  // Closes every tracked fd (destructor and slot recycling).
+  void CloseGuestFds();
+  int tracked_fd_count();
+
+  // Returns the process to a just-constructed state while keeping the linear
+  // memory slab alive for reuse: joins straggler threads, clears exit/signal/
+  // mmap/trace/policy state and the tid registration, and drops the old
+  // instance and module. The caller (WaliRuntime::ResetProcess) is responsible
+  // for zeroing the memory and re-instantiating into it.
+  void ResetForReuse(std::vector<std::string> argv_in,
+                     std::vector<std::string> env_in);
+
   // Requests process-wide termination; sibling threads observe it at their
   // next safepoint (used by SYS_exit_group).
   void RequestExitAll(int32_t code) {
@@ -82,6 +102,9 @@ class WaliProcess {
   };
   std::mutex threads_mu_;
   std::vector<std::unique_ptr<GuestThread>> threads_;
+
+  std::mutex fds_mu_;
+  std::set<int> guest_fds_;
 };
 
 }  // namespace wali

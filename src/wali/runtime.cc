@@ -1,9 +1,12 @@
 #include "src/wali/runtime.h"
 
 #include <errno.h>
+#include <fcntl.h>
+#include <limits.h>
 #include <sys/syscall.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
 
 #include "src/common/logging.h"
@@ -107,21 +110,176 @@ int64_t WaliCtx::Raw(long number, long a0, long a1, long a2, long a3, long a4,
   return ret;
 }
 
-bool PathAllowed(const std::string& path) {
-  // Reject /proc/<anything>/mem and /proc/<anything>/maps-style windows into
-  // the host address space (paper §3.6 "Filesystem Sandboxing").
-  if (path.rfind("/proc/", 0) != 0) {
-    return true;
+std::string NormalizePath(const std::string& path) {
+  const bool absolute = !path.empty() && path[0] == '/';
+  std::vector<std::string> segs;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    size_t j = i;
+    while (j < path.size() && path[j] != '/') ++j;
+    std::string seg = path.substr(i, j - i);
+    i = j;
+    if (seg.empty() || seg == ".") {
+      continue;
+    }
+    if (seg == "..") {
+      if (!segs.empty() && segs.back() != "..") {
+        segs.pop_back();
+      } else if (!absolute) {
+        // Relative paths keep leading ".." (no anchor to resolve against);
+        // absolute paths clamp at the root like the kernel does.
+        segs.push_back("..");
+      }
+      continue;
+    }
+    segs.push_back(std::move(seg));
   }
-  std::string rest = path.substr(6);
-  auto slash = rest.find('/');
-  if (slash == std::string::npos) {
-    return true;
+  std::string out = absolute ? "/" : "";
+  for (size_t k = 0; k < segs.size(); ++k) {
+    if (k > 0) out += '/';
+    out += segs[k];
   }
-  std::string leaf = rest.substr(slash + 1);
-  return !(leaf == "mem" || leaf == "maps" || leaf == "pagemap" ||
-           leaf.rfind("map_files", 0) == 0);
+  if (out.empty()) {
+    out = ".";
+  }
+  return out;
 }
+
+namespace {
+
+// Checks an already-absolute, already-normalized path against the /proc
+// interposition rules.
+bool NormalizedPathAllowed(const std::string& norm);
+
+// Anchors `path` to an absolute form: as-is when absolute, joined to `base`
+// (itself absolute) otherwise, then lexically normalized.
+std::string AnchoredNormalize(const std::string& base, const std::string& path) {
+  if (!path.empty() && path[0] == '/') {
+    return NormalizePath(path);
+  }
+  return NormalizePath(base + "/" + path);
+}
+
+// True when a ".." segment follows a named segment ("a/../f"). Collapsing
+// such a path lexically disagrees with the kernel when the named segment is
+// a symlink (the kernel follows the link before applying ".."), so those
+// paths must not be rewritten into their lexical form — only checked.
+bool HasDotDotAfterName(const std::string& path) {
+  bool seen_name = false;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    size_t j = i;
+    while (j < path.size() && path[j] != '/') ++j;
+    std::string seg = path.substr(i, j - i);
+    i = j;
+    if (seg.empty() || seg == ".") continue;
+    if (seg == "..") {
+      if (seen_name) return true;
+    } else {
+      seen_name = true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool PathAllowed(const std::string& path, std::string* resolved) {
+  std::string norm = NormalizePath(path);
+  if (norm.empty() || norm[0] != '/') {
+    // Relative path: the kernel resolves it against the cwd, so the filter
+    // must too — ../../proc/self/mem from / is /proc/self/mem.
+    char cwd[PATH_MAX];
+    if (getcwd(cwd, sizeof(cwd)) != nullptr) {
+      norm = AnchoredNormalize(cwd, norm);
+    }
+    if (norm.empty() || norm[0] != '/') {
+      return true;  // could not anchor; not a /proc path we can judge
+    }
+    if (!NormalizedPathAllowed(norm)) {
+      return false;
+    }
+    if (resolved != nullptr && !HasDotDotAfterName(path)) {
+      // Bind the syscall to the snapshot just checked: a sibling thread's
+      // chdir between check and use must not re-point the path. Skipped for
+      // "a/../f"-style paths whose kernel resolution can differ lexically.
+      *resolved = std::move(norm);
+    }
+    return true;
+  }
+  return NormalizedPathAllowed(norm);
+}
+
+bool PathAllowedAt(int64_t dirfd, const std::string& path,
+                   std::string* resolved) {
+  if (!path.empty() && path[0] == '/') {
+    return PathAllowed(path, resolved);
+  }
+  if (dirfd == AT_FDCWD) {
+    return PathAllowed(path, resolved);
+  }
+  // Resolve the directory the fd refers to; if it cannot be resolved the
+  // kernel will fail the syscall anyway, so allowing is safe.
+  char link[64];
+  std::snprintf(link, sizeof(link), "/proc/self/fd/%lld",
+                static_cast<long long>(dirfd));
+  char target[PATH_MAX];
+  ssize_t n = readlink(link, target, sizeof(target) - 1);
+  if (n <= 0) {
+    return true;
+  }
+  target[n] = '\0';
+  if (target[0] != '/') {
+    return true;  // pipes/sockets print as "pipe:[...]"; not a directory
+  }
+  std::string norm = AnchoredNormalize(target, path);
+  if (!NormalizedPathAllowed(norm)) {
+    return false;
+  }
+  if (resolved != nullptr && !HasDotDotAfterName(path)) {
+    *resolved = std::move(norm);  // immune to a concurrent dup2 on dirfd
+  }
+  return true;
+}
+
+namespace {
+
+bool NormalizedPathAllowed(const std::string& norm) {
+  // Reject /proc/<anything>/{mem,maps,pagemap,map_files*} windows into the
+  // host address space (paper §3.6 "Filesystem Sandboxing"). Matching runs on
+  // the lexically normalized path so `.`/`..`/`//` spellings such as
+  // /proc/self/../self/mem or /proc//self/task/7/mem cannot slip through.
+  if (norm.rfind("/proc/", 0) != 0) {
+    return true;
+  }
+  // Split the part after /proc/ and inspect every component: this also covers
+  // nested windows like /proc/self/task/<tid>/mem.
+  std::vector<std::string> segs;
+  size_t i = 6;
+  while (i < norm.size()) {
+    size_t j = norm.find('/', i);
+    if (j == std::string::npos) j = norm.size();
+    segs.push_back(norm.substr(i, j - i));
+    i = j + 1;
+  }
+  if (segs.size() < 2) {
+    return true;  // /proc or /proc/<pid> themselves are fine
+  }
+  const std::string& leaf = segs.back();
+  if (leaf == "mem" || leaf == "maps" || leaf == "pagemap") {
+    return false;
+  }
+  for (const std::string& seg : segs) {
+    if (seg.rfind("map_files", 0) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 WaliRuntime::WaliRuntime(wasm::Linker* linker) : WaliRuntime(linker, Options()) {}
 
@@ -144,6 +302,32 @@ int WaliRuntime::SyscallId(const std::string& name) const {
   return it == ids_.end() ? -1 : it->second;
 }
 
+void WaliRuntime::ApplyFdEffect(WaliProcess& proc, size_t id,
+                                const uint64_t* args, int64_t ret) const {
+  if (fd_effects_[id] == FdEffect::kClosesFd) {
+    // Linux frees the fd even when close(2) fails (EINTR/EIO); keeping it
+    // tracked would double-close a number the kernel has since reused.
+    proc.UntrackFd(static_cast<int>(args[0]));
+    return;
+  }
+  if (ret < 0) {
+    return;
+  }
+  switch (fd_effects_[id]) {
+    case FdEffect::kNone:
+    case FdEffect::kClosesFd:
+      break;
+    case FdEffect::kMintsFd:
+      proc.TrackFd(static_cast<int>(ret));
+      break;
+    case FdEffect::kFcntl:
+      if (args[1] == F_DUPFD || args[1] == F_DUPFD_CLOEXEC) {
+        proc.TrackFd(static_cast<int>(ret));
+      }
+      break;
+  }
+}
+
 void WaliRuntime::RegisterAll() {
   RegisterFsSyscalls(defs_);
   RegisterMemSyscalls(defs_);
@@ -152,6 +336,23 @@ void WaliRuntime::RegisterAll() {
   RegisterNetSyscalls(defs_);
   RegisterTimeSyscalls(defs_);
   RegisterMiscSyscalls(defs_);
+
+  fd_effects_.assign(defs_.size(), FdEffect::kNone);
+  auto mark = [this](const char* name, FdEffect effect) {
+    for (size_t id = 0; id < defs_.size(); ++id) {
+      if (std::strcmp(defs_[id].name, name) == 0) {
+        fd_effects_[id] = effect;
+      }
+    }
+  };
+  // Every registered syscall whose successful result is a new fd. Keep in
+  // lockstep with the registry: an unmatched name here is dead config.
+  for (const char* name : {"open", "openat", "dup", "dup2", "dup3", "socket",
+                           "accept", "accept4", "epoll_create1", "eventfd2"}) {
+    mark(name, FdEffect::kMintsFd);
+  }
+  mark("close", FdEffect::kClosesFd);
+  mark("fcntl", FdEffect::kFcntl);
 
   for (size_t id = 0; id < defs_.size(); ++id) {
     const SyscallDef& def = defs_[id];
@@ -189,6 +390,7 @@ void WaliRuntime::RegisterAll() {
           if (timed) {
             proc->trace.AddWaliNanos(common::MonotonicNanos() - t0);
           }
+          ApplyFdEffect(*proc, id, args, ret);
           proc->trace.Count(static_cast<uint32_t>(id));
           if (common::LogEnabled(common::LogLevel::kDebug)) {
             LOG_DEBUG() << "SYS_" << def.name << " -> " << ret;
@@ -297,6 +499,9 @@ common::StatusOr<std::unique_ptr<WaliProcess>> WaliRuntime::CreateProcess(
   proc->module = module;
   wasm::Linker::InstantiateOptions opts;
   opts.user_data = proc.get();
+  // Deferred to RunMain so it executes with the process's safepoints,
+  // policy, and fuel/frame limits — a tenant's (start) must not escape them.
+  opts.run_start = false;
   opts.instance_name = proc->argv.empty() ? "wali-proc" : proc->argv[0];
   ASSIGN_OR_RETURN(std::unique_ptr<wasm::Instance> inst,
                    linker_->Instantiate(module, opts));
@@ -310,17 +515,91 @@ common::StatusOr<std::unique_ptr<WaliProcess>> WaliRuntime::CreateProcess(
   return proc;
 }
 
+namespace {
+
+// Declared min pages of the module's memory 0, local or imported.
+common::StatusOr<uint64_t> ModuleMinMemoryPages(const wasm::Module& module) {
+  if (!module.memories.empty()) {
+    return module.memories[0].limits.min;
+  }
+  for (const wasm::Import& imp : module.imports) {
+    if (imp.kind == wasm::ExternKind::kMemory) {
+      return imp.limits.min;
+    }
+  }
+  return common::InvalidArgument("WALI modules must declare or import a memory");
+}
+
+}  // namespace
+
+common::Status WaliRuntime::ResetProcess(WaliProcess& process,
+                                         std::shared_ptr<const wasm::Module> module,
+                                         std::vector<std::string> argv,
+                                         std::vector<std::string> env) {
+  if (process.memory == nullptr) {
+    return common::FailedPrecondition("process has no memory slab to recycle");
+  }
+  ASSIGN_OR_RETURN(uint64_t min_pages, ModuleMinMemoryPages(*module));
+  std::shared_ptr<wasm::Memory> slab = process.memory;
+  if (min_pages > slab->max_pages()) {
+    return common::InvalidArgument("module memory exceeds the pooled slab reservation");
+  }
+  process.ResetForReuse(std::move(argv), std::move(env));
+  RETURN_IF_ERROR(slab->ResetToPages(min_pages));
+  wasm::Linker::InstantiateOptions opts;
+  opts.user_data = &process;
+  opts.memory0_override = slab;
+  opts.run_start = false;  // deferred to RunMain, as in CreateProcess
+  opts.instance_name = process.argv.empty() ? "wali-proc" : process.argv[0];
+  ASSIGN_OR_RETURN(std::unique_ptr<wasm::Instance> inst,
+                   linker_->Instantiate(std::move(module), opts));
+  process.main_instance = std::move(inst);
+  process.module = process.main_instance->module_ptr();
+  process.memory = slab;
+  process.mmap.Bind(slab.get());
+  process.AdoptInstance(process.main_instance.get());
+  return common::OkStatus();
+}
+
 wasm::RunResult WaliRuntime::RunMain(WaliProcess& process) {
-  wasm::ExecOptions opts = exec_options();
+  return RunMain(process, exec_options());
+}
+
+wasm::RunResult WaliRuntime::RunMain(WaliProcess& process,
+                                     const wasm::ExecOptions& opts) {
   wasm::RunResult r;
+  // The (start) function, deferred from instantiation: runs with the same
+  // limits and policy as the entry point, and what it burns comes out of the
+  // one per-run fuel budget — (start) must not grant a tenant a second one.
+  wasm::ExecOptions entry_opts = opts;
+  uint64_t start_instrs = 0;
+  if (process.module->start.has_value()) {
+    r = process.main_instance->Call(*process.module->start, {}, opts);
+    start_instrs = r.executed_instrs;
+    if (r.ok() && opts.fuel != 0 && start_instrs >= opts.fuel) {
+      r.trap = wasm::TrapKind::kFuelExhausted;
+      r.trap_message = "fuel exhausted by start function";
+    }
+    if (!r.ok()) {
+      process.JoinThreads();
+      if (r.trap == wasm::TrapKind::kExit) {
+        r.values.clear();
+      }
+      return r;
+    }
+    if (opts.fuel != 0) {
+      entry_opts.fuel = opts.fuel - start_instrs;
+    }
+  }
   if (process.module->FindExport("_start", wasm::ExternKind::kFunc) != nullptr) {
-    r = process.main_instance->CallExport("_start", {}, opts);
+    r = process.main_instance->CallExport("_start", {}, entry_opts);
   } else {
-    r = process.main_instance->CallExport("main", {}, opts);
+    r = process.main_instance->CallExport("main", {}, entry_opts);
     if (r.ok() && !r.values.empty()) {
       r.exit_code = static_cast<int32_t>(r.values[0].i32());
     }
   }
+  r.executed_instrs += start_instrs;
   process.JoinThreads();
   if (r.trap == wasm::TrapKind::kExit) {
     // Clean process exit.

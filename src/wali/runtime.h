@@ -78,9 +78,22 @@ class WaliRuntime {
       std::shared_ptr<const wasm::Module> module, std::vector<std::string> argv,
       std::vector<std::string> env);
 
+  // Recycles `process` for a fresh run of `module` without reallocating its
+  // linear-memory slab: resets all engine-side process state, zeroes and
+  // truncates the memory back to the module's declared min pages, and
+  // re-instantiates into it (data segments re-applied). The module must fit
+  // the slab's reservation. This is the pooled fast path used by
+  // host::InstancePool; CreateProcess is the cold path.
+  common::Status ResetProcess(WaliProcess& process,
+                              std::shared_ptr<const wasm::Module> module,
+                              std::vector<std::string> argv,
+                              std::vector<std::string> env);
+
   // Runs the process entry point: exported `_start` ()->() if present, else
   // `main` ()->i32. SYS_exit(_group) surfaces as trap==kExit with the code.
   wasm::RunResult RunMain(WaliProcess& process);
+  // Same, with per-run execution limits (per-tenant fuel / frame caps).
+  wasm::RunResult RunMain(WaliProcess& process, const wasm::ExecOptions& opts);
 
   const std::vector<SyscallDef>& syscalls() const { return defs_; }
   int SyscallId(const std::string& name) const;
@@ -89,13 +102,28 @@ class WaliRuntime {
   wasm::ExecOptions exec_options() const;
 
  private:
+  // How a syscall affects the process's host-fd set; applied centrally in
+  // the dispatch wrapper so pooled slots can close tenant leftovers.
+  // pipe/pipe2/socketpair track their fd pairs inside the handlers (from a
+  // host-side buffer a sibling guest thread cannot race on), so the dispatch
+  // layer only handles single-fd results.
+  enum class FdEffect : uint8_t {
+    kNone = 0,
+    kMintsFd,   // successful result is a new fd (open, dup, socket, ...)
+    kClosesFd,  // arg0 fd is freed by the kernel even when close(2) errors
+    kFcntl,     // mints only for F_DUPFD / F_DUPFD_CLOEXEC
+  };
+
   void RegisterAll();
   void RegisterSupportMethods();
+  void ApplyFdEffect(WaliProcess& proc, size_t id, const uint64_t* args,
+                     int64_t ret) const;
 
   wasm::Linker* linker_;
   Options options_;
   std::vector<SyscallDef> defs_;
   std::map<std::string, int> ids_;
+  std::vector<FdEffect> fd_effects_;
 };
 
 // Registry population, grouped by subsystem (one .cc per group).
@@ -108,8 +136,28 @@ void RegisterTimeSyscalls(std::vector<SyscallDef>& defs);
 void RegisterMiscSyscalls(std::vector<SyscallDef>& defs);
 
 // Security interposition (paper §3.6): rejects sandbox-escaping paths such
-// as /proc/<pid>/mem and /proc/self/mem.
-bool PathAllowed(const std::string& path);
+// as /proc/<pid>/mem and /proc/self/mem. Paths are lexically normalized
+// (`.`/`..`/`//` collapsed) before matching, so spellings like
+// /proc/self/../self/mem cannot bypass the filter; relative paths are
+// anchored at the current working directory first, so ../../proc/self/mem
+// is caught too. When a relative path is allowed, `resolved` (if non-null)
+// receives the check-time absolute form; callers must pass THAT to the
+// kernel, or a sibling guest thread can chdir between check and use and
+// re-point the relative path at a blocked target.
+bool PathAllowed(const std::string& path, std::string* resolved = nullptr);
+
+// Same check for dirfd-relative syscalls (openat): a relative `path` is
+// anchored at the directory `dirfd` refers to (resolved via /proc/self/fd),
+// closing the open("/proc/self") + openat(fd, "mem") two-step. `resolved`
+// works as in PathAllowed (and also guards against dup2 swapping the dirfd
+// between check and use).
+bool PathAllowedAt(int64_t dirfd, const std::string& path,
+                   std::string* resolved = nullptr);
+
+// Lexical path normalization used by PathAllowed (exposed for tests):
+// collapses empty and `.` segments and resolves `..` against the prefix.
+// `..` at the root of an absolute path stays at the root, as in the kernel.
+std::string NormalizePath(const std::string& path);
 
 }  // namespace wali
 

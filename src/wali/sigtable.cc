@@ -11,6 +11,20 @@ namespace {
 // Global routing table for the native trampoline (async-signal-safe reads).
 std::atomic<SigTable*> g_route[kNumSignals + 1];
 
+// Serializes every route-update + native sigaction pair across all tables.
+// The trampoline itself only loads g_route (never takes the lock), so this
+// stays async-signal-safe; without it, one tenant's Reset can interleave
+// with another tenant's InstallNativeTrampoline and revert the freshly
+// installed handler to SIG_DFL.
+std::mutex g_native_mu;
+
+// How many live tables currently hold SIG_IGN for each signal (guarded by
+// g_native_mu). Native dispositions are host-process-global, so a recycled
+// tenant's SIG_IGN may only be reverted to SIG_DFL once no other tenant
+// still depends on ignoring that signal (think two tenants both ignoring
+// SIGPIPE: the first slot reset must not re-arm the default kill).
+int g_ign_count[kNumSignals + 1] = {};
+
 void NativeTrampoline(int signo) {
   if (signo < 1 || signo > kNumSignals) {
     return;
@@ -26,10 +40,16 @@ void NativeTrampoline(int signo) {
 SigTable::SigTable() = default;
 
 SigTable::~SigTable() {
-  // Unroute any signals still pointing at this table.
+  // Unroute any signals still pointing at this table and drop this table's
+  // SIG_IGN holds (without reverting dispositions: leaving a signal ignored
+  // is the safe direction for any tenant still running).
+  std::lock_guard<std::mutex> native_lock(g_native_mu);
   for (int s = 1; s <= kNumSignals; ++s) {
     SigTable* self = this;
     g_route[s].compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
+    if (entries_[s].handler == kSigIgn && g_ign_count[s] > 0) {
+      --g_ign_count[s];
+    }
   }
 }
 
@@ -42,12 +62,25 @@ int SigTable::SetAction(int signo, const SigEntry& entry, SigEntry* old) {
     *old = entries_[signo];
   }
   int rc = 0;
-  if (entry.handler == kSigDfl || entry.handler == kSigIgn) {
-    rc = RestoreNativeDisposition(signo, entry.handler);
-    SigTable* self = this;
-    g_route[signo].compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
-  } else {
-    rc = InstallNativeTrampoline(signo, this);
+  const uint32_t prev_handler = entries_[signo].handler;
+  {
+    std::lock_guard<std::mutex> native_lock(g_native_mu);
+    if (entry.handler == kSigDfl || entry.handler == kSigIgn) {
+      rc = RestoreNativeDisposition(signo, entry.handler);
+      SigTable* self = this;
+      g_route[signo].compare_exchange_strong(self, nullptr,
+                                             std::memory_order_acq_rel);
+    } else {
+      rc = InstallNativeTrampoline(signo, this);
+    }
+    if (rc == 0) {
+      if (entry.handler == kSigIgn && prev_handler != kSigIgn) {
+        ++g_ign_count[signo];
+      } else if (entry.handler != kSigIgn && prev_handler == kSigIgn &&
+                 g_ign_count[signo] > 0) {
+        --g_ign_count[signo];
+      }
+    }
   }
   if (rc == 0) {
     entries_[signo] = entry;
@@ -62,6 +95,45 @@ SigEntry SigTable::GetAction(int signo) {
     return SigEntry{};
   }
   return entries_[signo];
+}
+
+void SigTable::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int s = 1; s <= kNumSignals; ++s) {
+    SigEntry& e = entries_[s];
+    // Route check and native sigaction must be one atomic step with respect
+    // to other tables' SetAction, or a concurrent tenant's freshly installed
+    // trampoline could be reverted to SIG_DFL underneath it — turning that
+    // tenant's next signal into whole-host process death.
+    std::lock_guard<std::mutex> native_lock(g_native_mu);
+    if (e.registered) {
+      // Only touch the native disposition while this table still owns the
+      // route: a concurrently running tenant may have re-registered the
+      // signal for its own table.
+      SigTable* self = this;
+      if (g_route[s].compare_exchange_strong(self, nullptr,
+                                             std::memory_order_acq_rel)) {
+        RestoreNativeDisposition(s, kSigDfl);
+      }
+    } else if (e.handler == kSigIgn) {
+      // SIG_IGN was applied natively on this tenant's behalf (SetAction
+      // clears `registered` for it); undo it so the next tenant in the
+      // recycled slot starts from default dispositions — but only once no
+      // other live tenant still ignores the signal, and never while a
+      // tenant has routed it to its own trampoline.
+      if (g_ign_count[s] > 0) {
+        --g_ign_count[s];
+      }
+      if (g_ign_count[s] == 0 &&
+          g_route[s].load(std::memory_order_acquire) == nullptr) {
+        RestoreNativeDisposition(s, kSigDfl);
+      }
+    }
+    e = SigEntry{};
+  }
+  pending_.store(0, std::memory_order_release);
+  sigmask_.store(0, std::memory_order_release);
+  delivered_.store(0, std::memory_order_relaxed);
 }
 
 uint64_t SigTable::TakePending(uint64_t masked) {

@@ -39,6 +39,11 @@ class SigTable {
   int SetAction(int signo, const SigEntry& entry, SigEntry* old);
   SigEntry GetAction(int signo);
 
+  // Restores every registered signal to SIG_DFL, unroutes the trampolines,
+  // and clears pending bits, the virtual mask, and the delivery counter.
+  // Returns the table to its freshly constructed state (pooled slot reuse).
+  void Reset();
+
   // Marks `signo` pending (called from the native trampoline; must stay
   // async-signal-safe: single atomic OR).
   void RaiseVirtual(int signo) {

@@ -98,7 +98,11 @@ int64_t SysPwrite64(WaliCtx& c, const int64_t* a) {
 int64_t SysOpen(WaliCtx& c, const int64_t* a) {
   std::string path;
   if (!c.GetStr(a[0], &path)) return -EFAULT;
-  if (!PathAllowed(path)) return -EACCES;
+  std::string resolved;
+  if (!PathAllowed(path, &resolved)) return -EACCES;
+  // A relative path is opened via its check-time absolute form so a sibling
+  // thread's chdir cannot re-point it between check and use.
+  if (!resolved.empty()) path = std::move(resolved);
   uint32_t flags = wabi::OpenFlagsToNative(static_cast<uint32_t>(a[1]), wabi::HostIsa());
   return c.Raw(SYS_openat, AT_FDCWD, reinterpret_cast<long>(path.c_str()), flags, a[2]);
 }
@@ -106,8 +110,17 @@ int64_t SysOpen(WaliCtx& c, const int64_t* a) {
 int64_t SysOpenat(WaliCtx& c, const int64_t* a) {
   std::string path;
   if (!c.GetStr(a[1], &path)) return -EFAULT;
-  if (!PathAllowed(path)) return -EACCES;
+  // dirfd-aware: anchors relative paths at the fd's directory, so an opened
+  // /proc/self handle cannot be used to reach "mem" in a second step.
+  std::string resolved;
+  if (!PathAllowedAt(a[0], path, &resolved)) return -EACCES;
   uint32_t flags = wabi::OpenFlagsToNative(static_cast<uint32_t>(a[2]), wabi::HostIsa());
+  if (!resolved.empty()) {
+    // Open the snapshot that was checked (also immune to a concurrent dup2
+    // swapping the dirfd).
+    return c.Raw(SYS_openat, AT_FDCWD, reinterpret_cast<long>(resolved.c_str()),
+                 flags, a[3]);
+  }
   return c.Raw(SYS_openat, a[0], reinterpret_cast<long>(path.c_str()), flags, a[3]);
 }
 
@@ -128,7 +141,7 @@ int64_t SysAccess(WaliCtx& c, const int64_t* a) {
 int64_t SysFaccessat(WaliCtx& c, const int64_t* a) {
   std::string path;
   if (!c.GetStr(a[1], &path)) return -EFAULT;
-  if (!PathAllowed(path)) return -EACCES;
+  if (!PathAllowedAt(a[0], path)) return -EACCES;
   return c.Raw(SYS_faccessat, a[0], reinterpret_cast<long>(path.c_str()), a[2]);
 }
 
@@ -224,16 +237,27 @@ int64_t SysDup3(WaliCtx& c, const int64_t* a) {
   return c.Raw(SYS_dup3, a[0], a[1], a[2]);
 }
 
-int64_t SysPipe(WaliCtx& c, const int64_t* a) {
-  void* fds = c.Ptr(a[0], 8);
-  if (fds == nullptr) return -EFAULT;
-  return c.Raw(SYS_pipe2, reinterpret_cast<long>(fds), 0);
+// pipe/pipe2 go through a host-side buffer: the kernel's fd pair must be
+// tracked from memory the guest cannot race on (a sibling thread scribbling
+// over the guest words before tracking would poison the fd set with
+// attacker-chosen numbers).
+int64_t PipeCommon(WaliCtx& c, uint64_t fds_addr, uint64_t flags) {
+  void* guest_fds = c.Ptr(fds_addr, 8);
+  if (guest_fds == nullptr) return -EFAULT;
+  int host_fds[2] = {-1, -1};
+  int64_t r = c.Raw(SYS_pipe2, reinterpret_cast<long>(host_fds), flags);
+  if (r >= 0) {
+    c.proc.TrackFd(host_fds[0]);
+    c.proc.TrackFd(host_fds[1]);
+    std::memcpy(guest_fds, host_fds, sizeof(host_fds));
+  }
+  return r;
 }
 
+int64_t SysPipe(WaliCtx& c, const int64_t* a) { return PipeCommon(c, a[0], 0); }
+
 int64_t SysPipe2(WaliCtx& c, const int64_t* a) {
-  void* fds = c.Ptr(a[0], 8);
-  if (fds == nullptr) return -EFAULT;
-  return c.Raw(SYS_pipe2, reinterpret_cast<long>(fds), a[1]);
+  return PipeCommon(c, a[0], a[1]);
 }
 
 int64_t SysMkdir(WaliCtx& c, const int64_t* a) {
@@ -291,6 +315,9 @@ int64_t SysLink(WaliCtx& c, const int64_t* a) {
 int64_t SysSymlink(WaliCtx& c, const int64_t* a) {
   std::string target, linkpath;
   if (!c.GetStr(a[0], &target) || !c.GetStr(a[1], &linkpath)) return -EFAULT;
+  // A guest must not mint a symlink aimed at a blocked /proc window and
+  // then open it through the innocent-looking link path.
+  if (!PathAllowed(target)) return -EACCES;
   return c.Raw(SYS_symlinkat, reinterpret_cast<long>(target.c_str()), AT_FDCWD,
                reinterpret_cast<long>(linkpath.c_str()));
 }
@@ -308,7 +335,7 @@ int64_t SysReadlink(WaliCtx& c, const int64_t* a) {
 int64_t SysReadlinkat(WaliCtx& c, const int64_t* a) {
   std::string path;
   if (!c.GetStr(a[1], &path)) return -EFAULT;
-  if (!PathAllowed(path)) return -EACCES;
+  if (!PathAllowedAt(a[0], path)) return -EACCES;
   void* buf = c.Ptr(a[2], a[3]);
   if (buf == nullptr) return -EFAULT;
   return c.Raw(SYS_readlinkat, a[0], reinterpret_cast<long>(path.c_str()),

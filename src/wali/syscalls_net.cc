@@ -5,6 +5,8 @@
 #include <sys/socket.h>
 #include <sys/syscall.h>
 
+#include <cstring>
+
 #include "src/wali/runtime.h"
 
 namespace wali {
@@ -18,7 +20,17 @@ int64_t SysSocket(WaliCtx& c, const int64_t* a) {
 int64_t SysSocketpair(WaliCtx& c, const int64_t* a) {
   void* sv = c.Ptr(a[3], 8);
   if (sv == nullptr) return -EFAULT;
-  return c.Raw(SYS_socketpair, a[0], a[1], a[2], reinterpret_cast<long>(sv));
+  // Host-side buffer so fd tracking cannot be raced by a sibling guest
+  // thread rewriting the pair in linear memory (see PipeCommon).
+  int host_sv[2] = {-1, -1};
+  int64_t r = c.Raw(SYS_socketpair, a[0], a[1], a[2],
+                    reinterpret_cast<long>(host_sv));
+  if (r >= 0) {
+    c.proc.TrackFd(host_sv[0]);
+    c.proc.TrackFd(host_sv[1]);
+    std::memcpy(sv, host_sv, sizeof(host_sv));
+  }
+  return r;
 }
 
 int64_t SysBind(WaliCtx& c, const int64_t* a) {

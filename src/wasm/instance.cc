@@ -166,12 +166,37 @@ common::StatusOr<std::unique_ptr<Instance>> Linker::Instantiate(
     }
   }
 
-  // Local definitions.
-  for (const MemoryDecl& m : module->memories) {
-    ASSIGN_OR_RETURN(std::shared_ptr<Memory> mem, Memory::Create(m.limits));
+  // Local definitions. When memory 0 is overridden (thread clones, pooled
+  // slab reuse), the first local declaration is not Create()d — the override
+  // takes its slot below and no reservation syscalls are issued.
+  const bool override_replaces_local0 =
+      opts.memory0_override != nullptr && inst->memories_.empty();
+  for (size_t mi = 0; mi < module->memories.size(); ++mi) {
+    if (mi == 0 && override_replaces_local0) {
+      inst->memories_.push_back(nullptr);  // placeholder, installed below
+      continue;
+    }
+    ASSIGN_OR_RETURN(std::shared_ptr<Memory> mem,
+                     Memory::Create(module->memories[mi].limits));
     inst->memories_.push_back(std::move(mem));
   }
   if (opts.memory0_override != nullptr) {
+    // Single owner of the override decision, whether memory 0 is imported or
+    // locally declared: the slab must cover the declared min either way.
+    uint64_t declared_min = 0;
+    if (module->num_imported_memories > 0) {
+      for (const Import& imp : module->imports) {
+        if (imp.kind == ExternKind::kMemory) {
+          declared_min = imp.limits.min;
+          break;
+        }
+      }
+    } else if (!module->memories.empty()) {
+      declared_min = module->memories[0].limits.min;
+    }
+    if (declared_min > opts.memory0_override->max_pages()) {
+      return common::InvalidArgument("memory override smaller than declared min");
+    }
     if (inst->memories_.empty()) {
       inst->memories_.push_back(opts.memory0_override);
     } else {

@@ -64,6 +64,38 @@ int64_t Memory::Grow(uint64_t delta_pages) {
   return static_cast<int64_t>(old_pages);
 }
 
+common::Status Memory::ResetToPages(uint64_t pages) {
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  if (pages > max_pages_) {
+    return common::InvalidArgument("reset beyond reserved maximum");
+  }
+  uint64_t new_bytes = pages * kWasmPageSize;
+  uint64_t cur_bytes = size_bytes_.load(std::memory_order_relaxed);
+  if (cur_bytes == new_bytes) {
+    // Common pooled-reuse case: same module, memory never grew. DONTNEED
+    // restores zero pages without touching protections or VMAs, which is
+    // markedly cheaper than the remap below.
+    if (new_bytes > 0 && madvise(base_, new_bytes, MADV_DONTNEED) == 0) {
+      return common::OkStatus();
+    }
+    // fall through to the remap path on madvise failure
+  }
+  uint64_t drop_bytes = cur_bytes > new_bytes ? cur_bytes : new_bytes;
+  if (drop_bytes > 0) {
+    void* got = mmap(base_, drop_bytes, PROT_NONE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_FIXED, -1, 0);
+    if (got == MAP_FAILED) {
+      return common::Internal("anonymous remap during memory reset failed");
+    }
+  }
+  if (new_bytes > 0 &&
+      mprotect(base_, new_bytes, PROT_READ | PROT_WRITE) != 0) {
+    return common::ResourceExhausted("mprotect of reset pages failed");
+  }
+  size_bytes_.store(new_bytes, std::memory_order_release);
+  return common::OkStatus();
+}
+
 bool Memory::GrowToCover(uint64_t end) {
   uint64_t cur = size_bytes();
   if (end <= cur) {

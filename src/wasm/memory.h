@@ -40,6 +40,14 @@ class Memory {
   // Grows until size_bytes() >= end (page-rounded). Used by WALI mmap.
   bool GrowToCover(uint64_t end);
 
+  // Returns the memory to a pristine `pages`-page state: every committed page
+  // reads as zero again and the wasm size shrinks (or grows) to `pages`.
+  // The base address is preserved, which is what lets the host layer recycle
+  // a reserved slab across guest instantiations instead of re-reserving.
+  // Implemented as an anonymous MAP_FIXED remap of the committed range, so
+  // cost is page-table teardown, not a memset of the whole slab.
+  common::Status ResetToPages(uint64_t pages);
+
   bool InBounds(uint64_t offset, uint64_t len) const {
     uint64_t size = size_bytes();
     return offset <= size && len <= size - offset;

@@ -119,6 +119,109 @@ TEST(WaliFs, ProcSelfMemBlocked) {
   ExpectWaliMain(body, EACCES);
 }
 
+TEST(WaliFs, ProcSelfMemDotDotSpellingBlocked) {
+  // Regression: the interposition must normalize `.`/`..` segments before
+  // matching, or /proc/self/../self/mem walks straight around the filter.
+  std::string body = R"(
+    (memory 1)
+    (data (i32.const 64) "/proc/self/../self/mem\00")
+    (func (export "main") (result i32)
+      (i32.wrap_i64
+        (i64.sub (i64.const 0)
+                 (call $open (i64.const 64) (i64.const 0) (i64.const 0)))))
+  )";
+  ExpectWaliMain(body, EACCES);
+}
+
+TEST(WaliFs, PathAllowedNormalizesEvasiveSpellings) {
+  // Direct unit coverage of the filter across evasive spellings.
+  EXPECT_FALSE(wali::PathAllowed("/proc/self/mem"));
+  EXPECT_FALSE(wali::PathAllowed("/proc/self/../self/mem"));
+  EXPECT_FALSE(wali::PathAllowed("/proc//self//mem"));
+  EXPECT_FALSE(wali::PathAllowed("/proc/self/./mem"));
+  EXPECT_FALSE(wali::PathAllowed("/etc/../proc/self/mem"));
+  EXPECT_FALSE(wali::PathAllowed("/proc/1234/maps"));
+  EXPECT_FALSE(wali::PathAllowed("/proc/self/task/77/mem"));
+  EXPECT_FALSE(wali::PathAllowed("/proc/self/map_files"));
+  EXPECT_FALSE(wali::PathAllowed("/proc/self/map_files/0-0"));
+  EXPECT_FALSE(wali::PathAllowed("/proc/self/pagemap"));
+
+  EXPECT_TRUE(wali::PathAllowed("/proc/self/cmdline"));
+  EXPECT_TRUE(wali::PathAllowed("/proc/self/status"));
+  EXPECT_TRUE(wali::PathAllowed("/proc/cpuinfo"));
+  EXPECT_TRUE(wali::PathAllowed("/tmp/mem"));
+  EXPECT_TRUE(wali::PathAllowed("/proc/self/mem/..")) << "resolves to /proc/self";
+  EXPECT_TRUE(wali::PathAllowed("relative/path"));
+}
+
+TEST(WaliFs, RelativePathsAnchoredAtCwd) {
+  // ../../proc/self/mem resolves against the cwd exactly like the kernel
+  // would; enough `..`s clamp at the root from any depth.
+  std::string deep;
+  for (int i = 0; i < 16; ++i) deep += "../";
+  EXPECT_FALSE(wali::PathAllowed(deep + "proc/self/mem"));
+  EXPECT_TRUE(wali::PathAllowed(deep + "tmp/ok"));
+}
+
+TEST(WaliFs, PathAllowedAtResolvesDirfd) {
+  // The two-step escape: open /proc/self (allowed), then openat(fd, "mem").
+  int dirfd = ::open("/proc/self", O_RDONLY | O_DIRECTORY);
+  ASSERT_GE(dirfd, 0);
+  EXPECT_FALSE(wali::PathAllowedAt(dirfd, "mem"));
+  EXPECT_FALSE(wali::PathAllowedAt(dirfd, "task/1/mem"));
+  EXPECT_TRUE(wali::PathAllowedAt(dirfd, "status"));
+  ::close(dirfd);
+  EXPECT_TRUE(wali::PathAllowedAt(AT_FDCWD, "somefile"));
+  EXPECT_FALSE(wali::PathAllowedAt(AT_FDCWD, "/proc/self/mem"));
+}
+
+TEST(WaliFs, OpenatDirfdEscapeBlockedEndToEnd) {
+  // Guest opens /proc/self, then tries openat(dirfd, "mem"): the second
+  // step must fail with EACCES even though both strings look innocent.
+  std::string body = R"(
+    (memory 1)
+    (data (i32.const 64) "/proc/self\00")
+    (data (i32.const 96) "mem\00")
+    (func (export "main") (result i32)
+      (local $dirfd i64)
+      ;; O_RDONLY|O_DIRECTORY = 0x10000 in the portable flag space may vary;
+      ;; plain O_RDONLY works for open(2) on a directory.
+      (local.set $dirfd (call $open (i64.const 64) (i64.const 0) (i64.const 0)))
+      (if (i64.lt_s (local.get $dirfd) (i64.const 0)) (then (return (i32.const 1))))
+      (i32.wrap_i64
+        (i64.sub (i64.const 0)
+                 (call $openat (local.get $dirfd) (i64.const 96)
+                               (i64.const 0) (i64.const 0)))))
+  )";
+  ExpectWaliMain(body, EACCES);
+}
+
+TEST(WaliFs, NormalizePathLexicalRules) {
+  EXPECT_EQ(wali::NormalizePath("/proc/self/../self/mem"), "/proc/self/mem");
+  EXPECT_EQ(wali::NormalizePath("/a//b/./c"), "/a/b/c");
+  EXPECT_EQ(wali::NormalizePath("/../.."), "/");
+  EXPECT_EQ(wali::NormalizePath("a/../b"), "b");
+  EXPECT_EQ(wali::NormalizePath("../a"), "../a");
+  EXPECT_EQ(wali::NormalizePath(""), ".");
+  EXPECT_EQ(wali::NormalizePath("/"), "/");
+}
+
+TEST(WaliFs, SymlinkToBlockedTargetRefused) {
+  // A guest must not mint a symlink at /proc/self/mem and open it through
+  // the innocent-looking link path: symlink creation itself is filtered.
+  std::string link = TempPath("mem_link");
+  std::string body = R"(
+    (import "wali" "SYS_symlink" (func $symlink (param i64 i64) (result i64)))
+    (memory 1)
+    (data (i32.const 64) "/proc/self/mem\00")
+    (data (i32.const 128) ")" + link + R"(\00")
+    (func (export "main") (result i32)
+      (i32.wrap_i64 (i64.sub (i64.const 0)
+        (call $symlink (i64.const 64) (i64.const 128)))))
+  )";
+  ExpectWaliMain(body, EACCES);
+}
+
 TEST(WaliFs, ProcCmdlineStillAllowed) {
   // Interposition is surgical: other /proc entries pass through.
   std::string body = R"(
