@@ -64,6 +64,15 @@ int64_t MedianNanos(std::vector<int64_t>& samples) {
   return samples.empty() ? 0 : samples[samples.size() / 2];
 }
 
+// `samples` must already be sorted. p in [0, 100].
+int64_t PercentileNanos(const std::vector<int64_t>& samples, double p) {
+  if (samples.empty()) {
+    return 0;
+  }
+  size_t idx = static_cast<size_t>(p / 100.0 * (samples.size() - 1));
+  return samples[idx];
+}
+
 }  // namespace
 
 int main() {
@@ -189,6 +198,76 @@ int main() {
     std::printf("supervisor: %d workers  %4d/%d guests  %8.0f guests/s  %s\n",
                 workers, completed, total, secs > 0 ? total / secs : 0,
                 bench::Bar(std::min(1.0, total / secs / 20000.0), 30).c_str());
+  }
+
+  // --- admission control under saturation: 4x oversubmission ---
+  // Capacity is what the bounded queues will hold plus what the workers can
+  // run (workers + workers * queue_depth); we submit 4x that and let the
+  // admission layer sort it out: excess submits bounce (rejected), queued
+  // jobs whose deadline passes are shed, the rest run. Reported: shed /
+  // reject rates and the queue-latency distribution of the runs that made
+  // it through.
+  {
+    const int kWorkers = 4;
+    const size_t kQueueDepth = 32;
+    host::Supervisor::Options sopts;
+    sopts.workers = kWorkers;
+    sopts.queue_depth = kQueueDepth;
+    sopts.pool.max_idle_per_module = kWorkers;
+    host::Supervisor sup(&runtime, sopts);
+    auto module = cache.Load(bytes);
+    if (!module.ok()) return 1;
+
+    const int capacity = kWorkers + kWorkers * static_cast<int>(kQueueDepth);
+    const int total = 4 * capacity;
+    const int64_t deadline =
+        common::MonotonicNanos() + 10 * 1000 * 1000;  // 10ms to get scheduled
+    std::vector<std::future<host::RunReport>> futures;
+    futures.reserve(total);
+    int64_t t0 = common::MonotonicNanos();
+    for (int k = 0; k < total; ++k) {
+      host::GuestJob job;
+      job.module = *module;
+      job.argv = argv;
+      job.tenant = "bench-" + std::to_string(k % kWorkers);
+      job.deadline_nanos = deadline;
+      futures.push_back(sup.Submit(std::move(job)));
+    }
+    int ran = 0, shed = 0, rejected = 0, other = 0;
+    std::vector<int64_t> queue_lat;
+    queue_lat.reserve(total);
+    for (std::future<host::RunReport>& f : futures) {
+      host::RunReport r = f.get();
+      switch (r.outcome) {
+        case host::Outcome::kCompleted:
+          ++ran;
+          queue_lat.push_back(r.queue_nanos);
+          break;
+        case host::Outcome::kShed:
+          ++shed;
+          break;
+        case host::Outcome::kRejected:
+          ++rejected;
+          break;
+        default:
+          ++other;
+          break;
+      }
+    }
+    double secs = (common::MonotonicNanos() - t0) / 1e9;
+    std::sort(queue_lat.begin(), queue_lat.end());
+    std::printf(
+        "saturation: %dx oversubmission (%d jobs, %d workers, depth %zu) "
+        "in %.3f s\n",
+        4, total, kWorkers, kQueueDepth, secs);
+    std::printf(
+        "saturation: ran %d (%.0f%%)  shed %d (%.0f%%)  rejected %d (%.0f%%)"
+        "  other %d\n",
+        ran, 100.0 * ran / total, shed, 100.0 * shed / total, rejected,
+        100.0 * rejected / total, other);
+    std::printf("saturation: queue latency p50 %8.1f us  p99 %8.1f us\n",
+                PercentileNanos(queue_lat, 50) / 1e3,
+                PercentileNanos(queue_lat, 99) / 1e3);
   }
 
   return speedup >= 5.0 ? 0 : 3;

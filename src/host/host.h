@@ -15,5 +15,6 @@
 #include "src/host/instance_pool.h"  // IWYU pragma: export
 #include "src/host/module_cache.h"   // IWYU pragma: export
 #include "src/host/supervisor.h"     // IWYU pragma: export
+#include "src/host/tenant_ledger.h"  // IWYU pragma: export
 
 #endif  // SRC_HOST_HOST_H_

@@ -89,9 +89,14 @@ void InstancePool::Return(std::unique_ptr<wali::WaliProcess> proc) {
   // slot must not hold files locked or sockets half-open indefinitely.
   proc->CloseGuestFds();
   const wasm::Module* key = proc->module.get();
+  const uint64_t mem_hw =
+      proc->memory != nullptr ? proc->memory->high_water_pages() : 0;
   std::lock_guard<std::mutex> lock(mu_);
   if (leased_ > 0) {
     --leased_;
+  }
+  if (mem_hw > stats_.mem_high_water_pages) {
+    stats_.mem_high_water_pages = mem_hw;
   }
   if (key == nullptr) {
     ++stats_.drops;

@@ -40,6 +40,11 @@ class InstancePool {
     uint64_t resets = 0;     // successful slot resets (== recycles)
     uint64_t drops = 0;      // slots destroyed because the idle list was full
     uint64_t high_water = 0; // max simultaneously leased slots
+    // Max linear-memory pages any returned slot had committed during its
+    // lease (wasm::Memory::high_water_pages at Return). Sizes the slab a
+    // recycled reservation must absorb; also the pool-level view of the
+    // per-run mem_high_water_pages the supervisor charges per tenant.
+    uint64_t mem_high_water_pages = 0;
     size_t idle = 0;         // currently idle slots across all modules
   };
 

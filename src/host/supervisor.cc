@@ -5,8 +5,23 @@
 
 namespace host {
 
+const char* OutcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::kCompleted: return "completed";
+    case Outcome::kTrapped: return "trapped";
+    case Outcome::kShed: return "shed";
+    case Outcome::kRejected: return "rejected";
+    case Outcome::kBudget: return "budget";
+  }
+  return "<bad>";
+}
+
 Supervisor::Supervisor(wali::WaliRuntime* runtime, const Options& options)
-    : runtime_(runtime), pool_(runtime, options.pool) {
+    : runtime_(runtime),
+      pool_(runtime, options.pool),
+      clock_(options.clock ? options.clock : [] { return common::MonotonicNanos(); }),
+      queue_depth_(options.queue_depth),
+      paused_(options.start_paused) {
   size_t n = options.workers > 0 ? options.workers : 1;
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -16,20 +31,51 @@ Supervisor::Supervisor(wali::WaliRuntime* runtime, const Options& options)
 
 Supervisor::~Supervisor() { Shutdown(); }
 
+RunReport Supervisor::ControlReport(const GuestJob& job, Outcome outcome,
+                                    std::string message) const {
+  RunReport r;
+  r.outcome = outcome;
+  r.tenant = job.tenant;
+  r.trap = wasm::TrapKind::kHostError;
+  r.trap_message = std::move(message);
+  return r;
+}
+
 std::future<RunReport> Supervisor::Submit(GuestJob job) {
   Task task;
   task.job = std::move(job);
   std::future<RunReport> fut = task.done.get_future();
+  const std::string tenant = task.job.tenant;
+
+  std::string reject_reason;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
-      RunReport r;
-      r.trap = wasm::TrapKind::kHostError;
-      r.trap_message = "supervisor is shut down";
-      task.done.set_value(std::move(r));
-      return fut;
+      reject_reason = "supervisor is shut down";
+    } else {
+      TenantQueue& tq = queues_[tenant];
+      if (task.job.weight > 0) {
+        tq.weight = task.job.weight;
+      }
+      if (queue_depth_ > 0 && tq.q.size() >= queue_depth_) {
+        reject_reason = "admission queue full for tenant '" + tenant + "'";
+      } else {
+        task.enqueue_nanos = clock_();
+        tq.q.push_back(std::move(task));
+        if (!tq.in_ring) {
+          tq.in_ring = true;
+          ring_.push_back(tenant);
+        }
+      }
     }
-    queue_.push_back(std::move(task));
+  }
+  if (!reject_reason.empty()) {
+    TenantUsage delta;
+    delta.rejected = 1;
+    ledger_.Charge(tenant, delta);
+    task.done.set_value(
+        ControlReport(task.job, Outcome::kRejected, std::move(reject_reason)));
+    return fut;
   }
   cv_.notify_one();
   return fut;
@@ -41,12 +87,27 @@ std::vector<RunReport> Supervisor::RunAll(std::vector<GuestJob> jobs) {
   for (GuestJob& job : jobs) {
     futures.push_back(Submit(std::move(job)));
   }
+  // Futures are collected in submission order, so the reports come back in
+  // submission order no matter how the scheduler interleaved the runs.
   std::vector<RunReport> reports;
   reports.reserve(futures.size());
   for (std::future<RunReport>& f : futures) {
     reports.push_back(f.get());
   }
   return reports;
+}
+
+void Supervisor::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void Supervisor::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
 }
 
 void Supervisor::Shutdown() {
@@ -65,29 +126,122 @@ void Supervisor::Shutdown() {
   }
 }
 
+size_t Supervisor::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [tenant, tq] : queues_) {
+    n += tq.q.size();
+  }
+  return n;
+}
+
+bool Supervisor::PopLocked(Task* out, std::vector<Task>* shed) {
+  const int64_t now = clock_();
+  while (!ring_.empty()) {
+    const std::string name = ring_.front();
+    TenantQueue& tq = queues_[name];
+    // Shedding happens here, at pop time: a job whose deadline expired in
+    // the queue is failed without running and without consuming the
+    // tenant's scheduling credit.
+    while (!tq.q.empty() && tq.q.front().job.deadline_nanos != 0 &&
+           now >= tq.q.front().job.deadline_nanos) {
+      shed->push_back(std::move(tq.q.front()));
+      tq.q.pop_front();
+    }
+    if (tq.q.empty()) {
+      ring_.pop_front();
+      queues_.erase(name);  // drained: tenant scheduler state is dropped
+      continue;
+    }
+    if (tq.credits == 0) {
+      tq.credits = tq.weight > 0 ? tq.weight : 1;
+    }
+    *out = std::move(tq.q.front());
+    tq.q.pop_front();
+    if (--tq.credits == 0 || tq.q.empty()) {
+      // Burst over (or nothing left): rotate this tenant to the back so the
+      // next tenant in the ring gets its share.
+      ring_.pop_front();
+      if (tq.q.empty()) {
+        queues_.erase(name);  // drained: tenant scheduler state is dropped
+      } else {
+        tq.credits = 0;
+        ring_.push_back(name);
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
 void Supervisor::WorkerLoop() {
   while (true) {
     Task task;
+    std::vector<Task> shed;
+    bool got = false;
+    bool drained = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        return;  // stopping and drained
+      cv_.wait(lock, [this] {
+        return stopping_ || (!paused_ && RunnableLocked());
+      });
+      got = PopLocked(&task, &shed);
+      if (!got && stopping_ && !RunnableLocked()) {
+        drained = true;
       }
-      task = std::move(queue_.front());
-      queue_.pop_front();
     }
-    task.done.set_value(RunOne(task.job));
+    for (Task& s : shed) {
+      TenantUsage delta;
+      delta.shed = 1;
+      ledger_.Charge(s.job.tenant, delta);
+      RunReport r = ControlReport(s.job, Outcome::kShed,
+                                  "shed: deadline expired while queued");
+      r.queue_nanos = clock_() - s.enqueue_nanos;
+      s.done.set_value(std::move(r));
+    }
+    if (got) {
+      task.done.set_value(RunOne(task));
+    } else if (drained) {
+      return;  // stopping and nothing left to schedule
+    }
   }
 }
 
-RunReport Supervisor::RunOne(GuestJob& job) {
+RunReport Supervisor::RunOne(Task& task) {
+  GuestJob& job = task.job;
   RunReport report;
+  report.tenant = job.tenant;
+  report.queue_nanos = clock_() - task.enqueue_nanos;
+  report.dispatch_seq = dispatch_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // Cumulative-budget admission: a tenant over any hard limit is refused
+  // before a slot is leased; the refusal still consumed a scheduling slot,
+  // which keeps an exhausted tenant from pinning the ring.
+  TenantLedger::Verdict verdict = ledger_.Admit(job.tenant);
+  if (verdict != TenantLedger::Verdict::kAdmit) {
+    TenantUsage delta;
+    delta.budget_stops = 1;
+    ledger_.Charge(job.tenant, delta);
+    RunReport r = ControlReport(
+        job, Outcome::kBudget,
+        std::string("tenant budget exhausted: ") +
+            TenantLedger::VerdictName(verdict));
+    r.queue_nanos = report.queue_nanos;
+    r.dispatch_seq = report.dispatch_seq;
+    return r;
+  }
+
   common::StatusOr<InstancePool::Lease> lease =
       pool_.Acquire(job.module, std::move(job.argv), std::move(job.env));
   if (!lease.ok()) {
+    report.outcome = Outcome::kTrapped;
     report.trap = wasm::TrapKind::kHostError;
     report.trap_message = lease.status().ToString();
+    // The guest never started, but the tenant did consume a dispatch; keep
+    // it visible in the ledger instead of vanishing from telemetry.
+    TenantUsage delta;
+    delta.host_errors = 1;
+    ledger_.Charge(job.tenant, delta);
     return report;
   }
   wali::WaliProcess& proc = **lease;
@@ -102,13 +256,50 @@ RunReport Supervisor::RunOne(GuestJob& job) {
     opts.max_frames = job.max_frames;
   }
 
+  // Arm mid-run budget enforcement from the tenant's remaining slices,
+  // RESERVED in the ledger up front so concurrent runs of the same tenant
+  // split the cumulative budget instead of each taking the whole remainder
+  // (SettleSlices swaps the reservation for actual consumption below).
+  // Fuel rides the interpreter's existing per-instruction check; syscalls
+  // trip in the dispatch wrapper; memory is capped at the allocation (grow
+  // past the cap fails) with a safepoint backstop; CPU trips at WALI
+  // safepoints, armed as a wall-clock deadline, which can only fire early
+  // (wall >= cpu), never grant extra time.
+  TenantLedger::RunReservation reserved =
+      ledger_.ReserveSlices(job.tenant, job.fuel);
+  bool fuel_clamped = false;
+  if (reserved.fuel != 0 && (opts.fuel == 0 || reserved.fuel < opts.fuel)) {
+    opts.fuel = reserved.fuel;
+    fuel_clamped = true;
+  }
+  if (reserved.cpu_nanos != 0) {
+    proc.cpu_deadline_nanos.store(common::MonotonicNanos() + reserved.cpu_nanos,
+                                  std::memory_order_release);
+  }
+  if (reserved.syscalls != 0) {
+    proc.syscall_budget.store(reserved.syscalls, std::memory_order_release);
+  }
+  TenantBudget budget = ledger_.budget(job.tenant);
+  if (budget.max_mem_pages != 0) {
+    proc.mem_budget_pages.store(budget.max_mem_pages, std::memory_order_release);
+    proc.memory->SetGrowBudgetPages(budget.max_mem_pages);
+  }
+
+  int64_t cpu0 = common::ThreadCpuNanos();
   int64_t t0 = common::MonotonicNanos();
   wasm::RunResult r = runtime_->RunMain(proc, opts);
   report.wall_nanos = common::MonotonicNanos() - t0;
+  report.cpu_nanos = common::ThreadCpuNanos() - cpu0;
+  proc.cpu_deadline_nanos.store(0, std::memory_order_release);
+  proc.mem_budget_pages.store(0, std::memory_order_release);
+  proc.syscall_budget.store(0, std::memory_order_release);
+  proc.memory->SetGrowBudgetPages(0);
 
   report.trap = r.trap;
   report.trap_message = r.trap_message;
   report.executed_instrs = r.executed_instrs;
+  report.fuel_consumed = r.executed_instrs;
+  report.mem_high_water_pages = proc.memory->high_water_pages();
   if (r.trap == wasm::TrapKind::kExit) {
     report.exit_code = r.exit_code;
   } else if (r.ok() && !r.values.empty()) {
@@ -125,6 +316,31 @@ RunReport Supervisor::RunOne(GuestJob& job) {
   }
   report.wali_nanos = proc.trace.wali_nanos();
   report.kernel_nanos = proc.trace.kernel_nanos();
+
+  if (r.trap == wasm::TrapKind::kBudgetExhausted ||
+      (r.trap == wasm::TrapKind::kFuelExhausted && fuel_clamped)) {
+    report.outcome = Outcome::kBudget;
+  } else if (report.trap == wasm::TrapKind::kNone ||
+             report.trap == wasm::TrapKind::kExit) {
+    report.outcome = Outcome::kCompleted;
+  } else {
+    report.outcome = Outcome::kTrapped;
+  }
+
+  // Settle the reservation against actual consumption, then charge the
+  // unreserved dimensions.
+  TenantUsage actual;
+  actual.fuel = report.fuel_consumed;
+  actual.cpu_nanos = report.cpu_nanos;
+  actual.syscalls = report.total_syscalls;
+  ledger_.SettleSlices(job.tenant, reserved, actual);
+  TenantUsage delta;
+  delta.runs = 1;
+  delta.mem_high_water_pages = report.mem_high_water_pages;
+  if (report.outcome == Outcome::kBudget) {
+    delta.budget_stops = 1;
+  }
+  ledger_.Charge(job.tenant, delta);
   return report;
 }
 

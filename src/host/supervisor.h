@@ -1,21 +1,39 @@
-// Supervisor: concurrent multi-tenant WALI hosting on a worker-thread pool.
+// Supervisor: concurrent multi-tenant WALI hosting on a worker-thread pool,
+// behind an admission-controlled, per-tenant fair queue.
 //
-// Each submitted GuestJob runs in its own WaliProcess (leased from an
+// Submit enqueues a GuestJob on its tenant's bounded queue (beyond
+// Options::queue_depth pending jobs the submit is rejected immediately with
+// Outcome::kRejected). Workers pull jobs in weighted-round-robin order
+// across tenants: each tenant gets `weight` consecutive slots per ring
+// rotation, so under saturation a weight-2 tenant completes twice the runs
+// of a weight-1 tenant and no tenant exceeds its share by more than one
+// burst. A job whose deadline passes while still queued is shed at pop time
+// (Outcome::kShed, zero guest execution).
+//
+// Each admitted job runs in its own WaliProcess (leased from an
 // InstancePool, so warm submissions recycle linear-memory slabs) with a
-// per-tenant SyscallPolicy and per-run fuel / frame limits. The outcome of
-// every run is collected into a RunReport: exit code or trap, syscall counts
-// from the process's SyscallTrace, and wall / WALI / kernel time.
+// per-tenant SyscallPolicy and per-run fuel / frame limits. Every run is
+// charged to the TenantLedger (fuel, thread-CPU, syscalls, memory
+// high-water); tenants with a TenantBudget are refused once a cumulative
+// limit is reached, and a run in progress is stopped at the next safepoint
+// when its tenant's remaining fuel or CPU slice runs dry
+// (Outcome::kBudget). The outcome of every run is collected into a
+// RunReport: exit code or trap, resource consumption, syscall counts from
+// the process's SyscallTrace, and wall / WALI / kernel time.
 //
 // Position in the stack (docs/ARCHITECTURE.md): guest module -> WALI/WASI
 // syscall layer -> host supervisor. Every future scaling layer (sharding,
-// async syscall batching, admission control) drives this interface.
+// async syscall batching) drives this interface.
 #ifndef SRC_HOST_SUPERVISOR_H_
 #define SRC_HOST_SUPERVISOR_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -23,6 +41,7 @@
 #include <vector>
 
 #include "src/host/instance_pool.h"
+#include "src/host/tenant_ledger.h"
 #include "src/wali/policy.h"
 #include "src/wasm/instance.h"
 
@@ -37,25 +56,59 @@ struct GuestJob {
   std::shared_ptr<wali::SyscallPolicy> policy;
   uint64_t fuel = 0;        // instruction budget; 0 = runtime default
   uint32_t max_frames = 0;  // call-depth cap; 0 = runtime default
+
+  // Admission control. Jobs with the same tenant id share one bounded
+  // queue, one scheduler weight, and one ledger account ("" is a valid
+  // tenant). weight > 0 updates the tenant's weight; 0 keeps the current
+  // one (tenants start at weight 1, and a tenant's weight lasts only while
+  // it has queued work — an idle tenant's scheduler state is dropped, so
+  // persistent weights must be re-supplied on submit). A nonzero deadline
+  // (absolute, on the supervisor's clock) sheds the job if it is still
+  // queued at that time.
+  std::string tenant;
+  uint32_t weight = 0;
+  int64_t deadline_nanos = 0;
 };
+
+// How a submitted job left the supervisor.
+enum class Outcome : uint8_t {
+  kCompleted = 0,  // ran to a normal end (fell off main or exited)
+  kTrapped,        // ran and trapped (or could not be instantiated)
+  kShed,           // deadline expired while queued; zero guest execution
+  kRejected,       // bounded queue full (or supervisor shut down) at submit
+  kBudget,         // tenant budget exhausted, before or during the run
+};
+
+const char* OutcomeName(Outcome o);
 
 // Everything the host layer knows about one finished guest run.
 struct RunReport {
+  Outcome outcome = Outcome::kCompleted;
+  std::string tenant;
   wasm::TrapKind trap = wasm::TrapKind::kNone;
   std::string trap_message;
   int32_t exit_code = 0;
   uint64_t executed_instrs = 0;
+  // Resource consumption, as charged to the TenantLedger.
+  uint64_t fuel_consumed = 0;          // == executed_instrs, ledger units
+  uint64_t mem_high_water_pages = 0;   // linear-memory peak during the run
+  int64_t cpu_nanos = 0;               // worker thread-CPU time in the run
   uint64_t total_syscalls = 0;
   // (syscall name, count) for every syscall the guest issued.
   std::vector<std::pair<std::string, uint64_t>> syscall_counts;
   int64_t wall_nanos = 0;
   int64_t wali_nanos = 0;    // time inside WALI handlers (exclusive)
   int64_t kernel_nanos = 0;  // time inside the kernel
-  bool pooled = false;       // served from a recycled slot
+  int64_t queue_nanos = 0;   // submit -> dispatch (or shed) latency
+  // Global dispatch order (1-based); 0 for jobs that were never dispatched
+  // to a worker (kRejected and kShed).
+  uint64_t dispatch_seq = 0;
+  bool pooled = false;  // served from a recycled slot
 
   // The run reached a normal end: fell off main or exited with any code.
   bool completed() const {
-    return trap == wasm::TrapKind::kNone || trap == wasm::TrapKind::kExit;
+    return outcome == Outcome::kCompleted &&
+           (trap == wasm::TrapKind::kNone || trap == wasm::TrapKind::kExit);
   }
 };
 
@@ -63,6 +116,17 @@ class Supervisor {
  public:
   struct Options {
     size_t workers = 4;  // concurrent guests
+    // Max pending jobs per tenant; submits beyond it fail immediately with
+    // Outcome::kRejected. 0 = unbounded (no admission control).
+    size_t queue_depth = 0;
+    // Workers do not pick up jobs until Resume() is called. Lets tests (and
+    // batch planners) build up a queue and observe pure scheduling order.
+    bool start_paused = false;
+    // Scheduler clock used for enqueue stamps and deadline shedding;
+    // defaults to common::MonotonicNanos. Tests inject a manual clock here
+    // to make shedding deterministic. Mid-run CPU budget enforcement always
+    // uses the real monotonic clock.
+    std::function<int64_t()> clock;
     InstancePool::Options pool;
   };
 
@@ -74,34 +138,78 @@ class Supervisor {
   Supervisor(const Supervisor&) = delete;
   Supervisor& operator=(const Supervisor&) = delete;
 
-  // Enqueues a job; the future resolves when the guest finishes.
+  // Enqueues a job on its tenant's queue; the future resolves when the
+  // guest finishes, is shed, or is rejected. Rejection (queue full,
+  // supervisor shut down) resolves the future immediately.
   std::future<RunReport> Submit(GuestJob job);
 
-  // Convenience barrier: submits every job and waits for all reports,
-  // returned in submission order.
+  // Convenience barrier: submits every job and waits for all reports.
+  // Reports are returned in SUBMISSION order, regardless of the order in
+  // which the scheduler dispatches or completes them (reports[i] always
+  // belongs to jobs[i]); RunReport.dispatch_seq carries the scheduler's
+  // actual dispatch order for callers who need it.
   std::vector<RunReport> RunAll(std::vector<GuestJob> jobs);
 
-  // Drains the queue, then stops the workers. Idempotent; the destructor
-  // calls it. Jobs submitted after Shutdown fail with a kHostError report.
+  // Pauses/resumes job pickup. Already-running guests finish; queued jobs
+  // (and deadline shedding, which happens at pop time) wait for Resume.
+  void Pause();
+  void Resume();
+
+  // Drains the queue (Shutdown overrides Pause), then stops the workers.
+  // Idempotent; the destructor calls it. Jobs submitted after Shutdown fail
+  // with a kRejected / kHostError report.
   void Shutdown();
 
   const InstancePool& pool() const { return pool_; }
+  TenantLedger& ledger() { return ledger_; }
+  const TenantLedger& ledger() const { return ledger_; }
   size_t workers() const { return workers_.size(); }
+  // Jobs currently queued across all tenants (excludes running guests).
+  size_t queued() const;
 
  private:
   struct Task {
     GuestJob job;
     std::promise<RunReport> done;
+    int64_t enqueue_nanos = 0;
+  };
+
+  // Per-tenant scheduler state. Entries exist only while the tenant has
+  // queued work: PopLocked erases a drained tenant's entry, so an open
+  // tenant namespace (hostile or not) cannot grow this map beyond the jobs
+  // actually pending. (Cumulative accounting lives in the TenantLedger,
+  // which by design does not self-evict — see TenantLedger::Forget.)
+  struct TenantQueue {
+    std::deque<Task> q;
+    uint32_t weight = 1;
+    uint32_t credits = 0;  // remaining slots in the current WRR burst
+    bool in_ring = false;
   };
 
   void WorkerLoop();
-  RunReport RunOne(GuestJob& job);
+  // Weighted-round-robin pop. Returns true with `*out` filled when a
+  // runnable task was taken; expired-deadline tasks encountered at queue
+  // heads are moved to `*shed` (they do not consume scheduling credit).
+  bool PopLocked(Task* out, std::vector<Task>* shed);
+  bool RunnableLocked() const { return !ring_.empty(); }
+  RunReport RunOne(Task& task);
+  // Report for a job that never ran (shed / rejected / budget-refused).
+  RunReport ControlReport(const GuestJob& job, Outcome outcome,
+                          std::string message) const;
 
   wali::WaliRuntime* runtime_;
   InstancePool pool_;
-  std::mutex mu_;
+  TenantLedger ledger_;
+  std::function<int64_t()> clock_;
+  size_t queue_depth_;
+  std::atomic<uint64_t> dispatch_seq_{0};
+
+  mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Task> queue_;
+  std::map<std::string, TenantQueue> queues_;
+  // Tenants with pending work, in rotation order (front = next scheduled).
+  std::deque<std::string> ring_;
+  bool paused_ = false;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

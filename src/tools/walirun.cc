@@ -15,9 +15,24 @@
 //   --repeat K       with --serve: each worker lane runs the guest K times
 //                    (N*K total runs); reports per-exit-code counts,
 //                    throughput, and pool statistics
+//   --queue-depth D  with --serve: bound the per-tenant admission queue to
+//                    D pending jobs. Serve paces its own submissions to
+//                    the window (workers + D) so all N*K runs execute;
+//                    submits that still overflow (overload races) are
+//                    rejected (Outcome::kRejected) instead of queued
+//   --tenant-budget SPEC
+//                    with --serve: cumulative budget for the serving
+//                    tenant, as comma-separated k=v pairs out of
+//                    fuel=<instrs>, cpu_ms=<ms>, syscalls=<n>,
+//                    mem_pages=<pages>; runs over fuel/cpu/syscall budget
+//                    are stopped mid-run and further runs refused
+//                    (kBudget), while mem_pages caps what memory.grow can
+//                    commit per run
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -35,71 +50,168 @@ int Usage() {
   std::fprintf(stderr,
                "usage: walirun [-e K=V]... [--scheme loop|function|all|none]\n"
                "               [--compile out.wasm] [--trace]\n"
-               "               [--serve N [--repeat K]] <prog.wat|prog.wasm> "
-               "[args...]\n");
+               "               [--serve N [--repeat K] [--queue-depth D]\n"
+               "                [--tenant-budget fuel=N,cpu_ms=N,syscalls=N,"
+               "mem_pages=N]]\n"
+               "               <prog.wat|prog.wasm> [args...]\n");
   return 2;
+}
+
+// Parses "fuel=N,cpu_ms=N,syscalls=N,mem_pages=N" (any subset, any order).
+bool ParseTenantBudget(const std::string& spec, host::TenantBudget* out) {
+  size_t i = 0;
+  while (i < spec.size()) {
+    size_t comma = spec.find(',', i);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string pair = spec.substr(i, comma - i);
+    i = comma + 1;
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return false;
+    }
+    std::string key = pair.substr(0, eq);
+    long long value = std::atoll(pair.c_str() + eq + 1);
+    if (value <= 0) {
+      return false;
+    }
+    if (key == "fuel") {
+      out->max_fuel = static_cast<uint64_t>(value);
+    } else if (key == "cpu_ms") {
+      out->max_cpu_nanos = value * 1000000;
+    } else if (key == "syscalls") {
+      out->max_syscalls = static_cast<uint64_t>(value);
+    } else if (key == "mem_pages") {
+      out->max_mem_pages = static_cast<uint64_t>(value);
+    } else {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
 
 // Multi-tenant serving mode: N*K runs of the guest on the supervisor, with
-// per-run reports aggregated into an exit-code histogram and pool stats.
+// per-run reports aggregated into exit-code and outcome histograms, the
+// tenant's ledger line, and pool stats. All runs bill to one tenant
+// ("serve"), so --tenant-budget caps the whole serving session and
+// --queue-depth bounds its admission queue.
 int Serve(wali::WaliRuntime& runtime, std::shared_ptr<const wasm::Module> module,
           const std::vector<std::string>& guest_argv,
-          const std::vector<std::string>& env, int workers, int repeat) {
+          const std::vector<std::string>& env, int workers, int repeat,
+          int queue_depth, const host::TenantBudget& budget) {
+  const char* kTenant = "serve";
   host::Supervisor::Options sopts;
   sopts.workers = static_cast<size_t>(workers);
+  sopts.queue_depth = static_cast<size_t>(queue_depth);
   sopts.pool.max_idle_per_module = static_cast<size_t>(workers);
   host::Supervisor sup(&runtime, sopts);
+  if (!budget.Unlimited()) {
+    sup.ledger().SetBudget(kTenant, budget);
+  }
 
   const int total = workers * repeat;
-  std::vector<std::future<host::RunReport>> futures;
-  futures.reserve(total);
-  int64_t t0 = common::MonotonicNanos();
-  for (int k = 0; k < total; ++k) {
+  std::map<int32_t, int> exit_histogram;
+  std::map<host::Outcome, int> outcome_histogram;
+  int completed = 0, failed = 0, pooled = 0;
+  uint64_t syscalls = 0;
+  auto consume = [&](host::RunReport r) {
+    ++outcome_histogram[r.outcome];
+    if (r.completed()) {
+      ++completed;
+      ++exit_histogram[r.exit_code];
+    } else {
+      ++failed;
+      if (r.outcome == host::Outcome::kTrapped) {
+        std::fprintf(stderr, "walirun: guest trap: %s %s\n",
+                     wasm::TrapKindName(r.trap), r.trap_message.c_str());
+      }
+    }
+    if (r.pooled) ++pooled;
+    syscalls += r.total_syscalls;
+  };
+
+  auto make_job = [&](int k) {
     host::GuestJob job;
     job.module = module;
     job.argv = guest_argv;
     job.env = env;
     job.env.push_back("WALI_RUN_INDEX=" + std::to_string(k));
-    futures.push_back(sup.Submit(std::move(job)));
-  }
+    job.tenant = kTenant;
+    return job;
+  };
 
-  std::map<int32_t, int> exit_histogram;
-  int completed = 0, trapped = 0, pooled = 0;
-  uint64_t syscalls = 0;
-  for (std::future<host::RunReport>& f : futures) {
-    host::RunReport r = f.get();
-    if (r.completed()) {
-      ++completed;
-      ++exit_histogram[r.exit_code];
-    } else {
-      ++trapped;
-      std::fprintf(stderr, "walirun: guest trap: %s %s\n",
-                   wasm::TrapKindName(r.trap), r.trap_message.c_str());
+  // With a bounded queue, pace submission to the admission window (running
+  // guests + queue capacity) so all N*K runs actually execute; a submit
+  // that still bounces off a momentarily full queue (worker handoff race)
+  // is retried after draining one in-flight run. Unbounded: submit all.
+  const size_t window = queue_depth > 0
+                            ? static_cast<size_t>(workers + queue_depth)
+                            : static_cast<size_t>(total);
+  std::deque<std::future<host::RunReport>> in_flight;
+  int64_t t0 = common::MonotonicNanos();
+  int submitted = 0;
+  while (submitted < total) {
+    while (in_flight.size() >= window) {
+      consume(in_flight.front().get());
+      in_flight.pop_front();
     }
-    if (r.pooled) ++pooled;
-    syscalls += r.total_syscalls;
+    std::future<host::RunReport> fut = sup.Submit(make_job(submitted));
+    if (fut.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      host::RunReport r = fut.get();
+      if (r.outcome == host::Outcome::kRejected && !in_flight.empty()) {
+        consume(in_flight.front().get());
+        in_flight.pop_front();
+        continue;  // retry this run index against the freed slot
+      }
+      consume(std::move(r));  // instantly-finished run (or terminal reject)
+    } else {
+      in_flight.push_back(std::move(fut));
+    }
+    ++submitted;
+  }
+  while (!in_flight.empty()) {
+    consume(in_flight.front().get());
+    in_flight.pop_front();
   }
   double secs = (common::MonotonicNanos() - t0) / 1e9;
 
   std::printf("serve: %d workers x %d runs = %d guests in %.3f s (%.0f guests/s)\n",
               workers, repeat, total, secs, secs > 0 ? total / secs : 0.0);
-  std::printf("serve: %d completed, %d trapped, %d pooled, %llu syscalls\n",
-              completed, trapped, pooled, static_cast<unsigned long long>(syscalls));
+  std::printf("serve: %d completed, %d failed, %d pooled, %llu syscalls\n",
+              completed, failed, pooled, static_cast<unsigned long long>(syscalls));
+  for (const auto& [outcome, n] : outcome_histogram) {
+    std::printf("serve: outcome %s x %d\n", host::OutcomeName(outcome), n);
+  }
   for (const auto& [code, n] : exit_histogram) {
     std::printf("serve: exit %d x %d\n", code, n);
   }
+  host::TenantUsage usage = sup.ledger().usage(kTenant);
+  std::printf(
+      "ledger[%s]: runs=%llu fuel=%llu cpu_ms=%.1f syscalls=%llu "
+      "mem_hw_pages=%llu shed=%llu rejected=%llu budget_stops=%llu "
+      "host_errors=%llu\n",
+      kTenant, static_cast<unsigned long long>(usage.runs),
+      static_cast<unsigned long long>(usage.fuel), usage.cpu_nanos / 1e6,
+      static_cast<unsigned long long>(usage.syscalls),
+      static_cast<unsigned long long>(usage.mem_high_water_pages),
+      static_cast<unsigned long long>(usage.shed),
+      static_cast<unsigned long long>(usage.rejected),
+      static_cast<unsigned long long>(usage.budget_stops),
+      static_cast<unsigned long long>(usage.host_errors));
   host::InstancePool::Stats ps = sup.pool().stats();
   std::printf(
       "pool: hits=%llu misses=%llu resets=%llu drops=%llu high_water=%llu "
-      "idle=%zu\n",
+      "mem_hw_pages=%llu idle=%zu\n",
       static_cast<unsigned long long>(ps.hits),
       static_cast<unsigned long long>(ps.misses),
       static_cast<unsigned long long>(ps.resets),
       static_cast<unsigned long long>(ps.drops),
-      static_cast<unsigned long long>(ps.high_water), ps.idle);
-  return trapped == 0 ? 0 : 1;
+      static_cast<unsigned long long>(ps.high_water),
+      static_cast<unsigned long long>(ps.mem_high_water_pages), ps.idle);
+  // Admission-control refusals (shed/rejected/budget) are policy working as
+  // configured, not errors; only real guest traps fail the serve.
+  return outcome_histogram[host::Outcome::kTrapped] == 0 ? 0 : 1;
 }
 
 int main(int argc, char** argv) {
@@ -108,6 +220,8 @@ int main(int argc, char** argv) {
   bool trace = false;
   int serve_workers = 0;
   int serve_repeat = 1;
+  int queue_depth = 0;
+  host::TenantBudget budget;
   wasm::SafepointScheme scheme = wasm::SafepointScheme::kLoop;
 
   int i = 1;
@@ -121,6 +235,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--repeat" && i + 1 < argc) {
       serve_repeat = std::atoi(argv[++i]);
       if (serve_repeat <= 0) return Usage();
+    } else if (arg == "--queue-depth" && i + 1 < argc) {
+      queue_depth = std::atoi(argv[++i]);
+      if (queue_depth <= 0) return Usage();
+    } else if (arg == "--tenant-budget" && i + 1 < argc) {
+      if (!ParseTenantBudget(argv[++i], &budget)) return Usage();
     } else if (arg == "--scheme" && i + 1 < argc) {
       std::string s = argv[++i];
       if (s == "loop") scheme = wasm::SafepointScheme::kLoop;
@@ -175,7 +294,8 @@ int main(int argc, char** argv) {
   wali::WaliRuntime runtime(&linker, opts);
 
   if (serve_workers > 0) {
-    return Serve(runtime, *parsed, guest_argv, env, serve_workers, serve_repeat);
+    return Serve(runtime, *parsed, guest_argv, env, serve_workers, serve_repeat,
+                 queue_depth, budget);
   }
 
   auto proc = runtime.CreateProcess(*parsed, guest_argv, env);

@@ -64,6 +64,10 @@ void WaliProcess::ResetForReuse(std::vector<std::string> argv_in,
   JoinThreads();
   argv = std::move(argv_in);
   env = std::move(env_in);
+  cpu_deadline_nanos.store(0, std::memory_order_release);
+  mem_budget_pages.store(0, std::memory_order_release);
+  syscall_budget.store(0, std::memory_order_release);
+  run_syscalls.store(0, std::memory_order_release);
   exit_all.store(false, std::memory_order_release);
   exit_code.store(0, std::memory_order_release);
   in_signal_handler.store(false, std::memory_order_release);

@@ -87,6 +87,23 @@ class WaliProcess {
   // Optional user-space syscall policy (§3.6); consulted before dispatch.
   std::shared_ptr<SyscallPolicy> policy;
 
+  // Per-tenant budget enforcement, observed at the same safepoints as
+  // async signal delivery (and alongside the interpreter's fuel check):
+  // when the monotonic clock passes `cpu_deadline_nanos`, or linear memory
+  // grows beyond `mem_budget_pages`, the run traps kBudgetExhausted (the
+  // memory cap is additionally enforced at the allocation itself via
+  // wasm::Memory's grow budget, so pages past the cap are never committed;
+  // the safepoint check is the backstop for a cap below the module's
+  // declared minimum). `syscall_budget` is checked in the syscall dispatch
+  // wrapper — one dispatch past the budget traps — against `run_syscalls`,
+  // the process's cheap dispatch counter. Zero disables any check. Set by
+  // the host supervisor from the tenant's remaining TenantLedger slices
+  // before each run.
+  std::atomic<int64_t> cpu_deadline_nanos{0};
+  std::atomic<uint64_t> mem_budget_pages{0};
+  std::atomic<uint64_t> syscall_budget{0};
+  std::atomic<uint64_t> run_syscalls{0};
+
   std::atomic<bool> exit_all{false};
   std::atomic<int32_t> exit_code{0};
   // Defers nested handler execution while one is running (paper: stack-based

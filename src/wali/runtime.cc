@@ -26,6 +26,21 @@ wasm::TrapKind WaliSafepoint(wasm::ExecContext& ctx) {
     ctx.RequestExit(proc->exit_code.load(std::memory_order_acquire));
     return wasm::TrapKind::kExit;
   }
+  // Tenant budget enforcement (host accounting layer): the supervisor arms
+  // these from the tenant's remaining cumulative budget; they trip here so a
+  // run over budget stops at the next safepoint, exactly where fuel and
+  // virtual signals are observed.
+  int64_t cpu_deadline = proc->cpu_deadline_nanos.load(std::memory_order_acquire);
+  if (cpu_deadline != 0 && common::MonotonicNanos() >= cpu_deadline) {
+    ctx.SetTrap(wasm::TrapKind::kBudgetExhausted, "tenant cpu budget exhausted");
+    return wasm::TrapKind::kBudgetExhausted;
+  }
+  uint64_t mem_budget = proc->mem_budget_pages.load(std::memory_order_acquire);
+  if (mem_budget != 0 && proc->memory != nullptr &&
+      proc->memory->size_pages() > mem_budget) {
+    ctx.SetTrap(wasm::TrapKind::kBudgetExhausted, "tenant memory budget exhausted");
+    return wasm::TrapKind::kBudgetExhausted;
+  }
   if (!proc->sigtable.AnyPending()) {
     return wasm::TrapKind::kNone;
   }
@@ -370,6 +385,18 @@ void WaliRuntime::RegisterAll() {
             return ctx.trap;
           }
           const SyscallDef& def = defs_[id];
+          // Tenant syscall budget: enforced at the dispatch boundary (the
+          // natural "safepoint" for syscalls — nothing kernel-visible has
+          // happened yet when it trips, and the tripping dispatch itself
+          // never reaches the trace, so it is not billed).
+          uint64_t prior_syscalls =
+              proc->run_syscalls.fetch_add(1, std::memory_order_acq_rel);
+          uint64_t sys_budget = proc->syscall_budget.load(std::memory_order_acquire);
+          if (sys_budget != 0 && prior_syscalls >= sys_budget) {
+            ctx.SetTrap(wasm::TrapKind::kBudgetExhausted,
+                        "tenant syscall budget exhausted");
+            return ctx.trap;
+          }
           if (proc->policy != nullptr) {
             SyscallPolicy::Decision d = proc->policy->Evaluate(def.name);
             if (d.action == SyscallPolicy::Action::kKill) {

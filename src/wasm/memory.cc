@@ -37,6 +37,7 @@ common::StatusOr<std::shared_ptr<Memory>> Memory::Create(const Limits& limits) {
     }
   }
   mem->size_bytes_.store(initial, std::memory_order_release);
+  mem->high_water_pages_.store(limits.min, std::memory_order_release);
   return mem;
 }
 
@@ -56,11 +57,19 @@ int64_t Memory::Grow(uint64_t delta_pages) {
   if (old_pages + delta_pages > max_pages_) {
     return -1;
   }
+  uint64_t grow_budget = grow_budget_pages_.load(std::memory_order_acquire);
+  if (grow_budget != 0 && old_pages + delta_pages > grow_budget) {
+    return -1;  // tenant memory cap: fails exactly like the declared max
+  }
   uint64_t new_bytes = (old_pages + delta_pages) * kWasmPageSize;
   if (mprotect(base_ + old_bytes, new_bytes - old_bytes, PROT_READ | PROT_WRITE) != 0) {
     return -1;
   }
   size_bytes_.store(new_bytes, std::memory_order_release);
+  uint64_t new_pages = old_pages + delta_pages;
+  if (new_pages > high_water_pages_.load(std::memory_order_relaxed)) {
+    high_water_pages_.store(new_pages, std::memory_order_release);
+  }
   return static_cast<int64_t>(old_pages);
 }
 
@@ -76,6 +85,8 @@ common::Status Memory::ResetToPages(uint64_t pages) {
     // restores zero pages without touching protections or VMAs, which is
     // markedly cheaper than the remap below.
     if (new_bytes > 0 && madvise(base_, new_bytes, MADV_DONTNEED) == 0) {
+      high_water_pages_.store(pages, std::memory_order_release);
+      grow_budget_pages_.store(0, std::memory_order_release);
       return common::OkStatus();
     }
     // fall through to the remap path on madvise failure
@@ -93,6 +104,8 @@ common::Status Memory::ResetToPages(uint64_t pages) {
     return common::ResourceExhausted("mprotect of reset pages failed");
   }
   size_bytes_.store(new_bytes, std::memory_order_release);
+  high_water_pages_.store(pages, std::memory_order_release);
+  grow_budget_pages_.store(0, std::memory_order_release);
   return common::OkStatus();
 }
 

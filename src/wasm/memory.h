@@ -33,6 +33,27 @@ class Memory {
   uint64_t max_pages() const { return max_pages_; }
   bool shared() const { return shared_; }
 
+  // Largest committed size (in pages) since creation or the last
+  // ResetToPages. Memory never shrinks within a run, so this is the run's
+  // memory high-water mark — the number the host accounting layer charges
+  // per tenant (RunReport.mem_high_water_pages).
+  uint64_t high_water_pages() const {
+    return high_water_pages_.load(std::memory_order_acquire);
+  }
+
+  // Soft cap below max_pages, enforced in Grow (and thus GrowToCover /
+  // MapFileFixed): a grow past it fails like a grow past the declared
+  // maximum, so pages beyond the cap are never committed — a single huge
+  // memory.grow cannot overshoot it the way a poll-at-safepoint check
+  // could. 0 = no cap. Armed per run by the host supervisor from the
+  // tenant's memory budget; cleared on ResetToPages (slab recycle).
+  void SetGrowBudgetPages(uint64_t pages) {
+    grow_budget_pages_.store(pages, std::memory_order_release);
+  }
+  uint64_t grow_budget_pages() const {
+    return grow_budget_pages_.load(std::memory_order_acquire);
+  }
+
   // Grows by delta pages; returns previous size in pages or -1 on failure
   // (Wasm memory.grow semantics).
   int64_t Grow(uint64_t delta_pages);
@@ -83,6 +104,8 @@ class Memory {
 
   uint8_t* base_ = nullptr;
   std::atomic<uint64_t> size_bytes_{0};
+  std::atomic<uint64_t> high_water_pages_{0};
+  std::atomic<uint64_t> grow_budget_pages_{0};
   uint64_t max_pages_ = 0;
   uint64_t reserved_bytes_ = 0;
   bool shared_ = false;

@@ -79,6 +79,7 @@ const char* TrapKindName(TrapKind t) {
     case TrapKind::kHostError: return "host error";
     case TrapKind::kUnalignedAtomic: return "unaligned atomic access";
     case TrapKind::kFuelExhausted: return "fuel exhausted";
+    case TrapKind::kBudgetExhausted: return "tenant budget exhausted";
     case TrapKind::kExit: return "exit";
   }
   return "<bad>";

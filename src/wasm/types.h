@@ -70,6 +70,9 @@ enum class TrapKind : uint8_t {
   kHostError,
   kUnalignedAtomic,
   kFuelExhausted,
+  // A cumulative per-tenant resource budget (CPU time, memory pages) ran
+  // dry; raised from the safepoint poll, like async signal delivery.
+  kBudgetExhausted,
   kExit,
 };
 

@@ -1,0 +1,487 @@
+// Deterministic scheduler harness for the supervisor's admission control:
+// bounded-queue rejection, weighted round-robin fairness, deadline shedding,
+// and per-tenant budget exhaustion. Determinism comes from two hooks on
+// Supervisor::Options — start_paused (build the whole queue before any
+// worker pops) and a manual clock (deadlines only expire when the test
+// advances time) — plus a single worker, so dispatch order is exactly the
+// scheduler's pop order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/host/host.h"
+#include "tests/wali_test_util.h"
+
+namespace {
+
+std::string WrapModule(const std::string& body) {
+  return std::string("(module ") + wali_test::kPrelude + body + ")";
+}
+
+// Trivial guest: exits with argv[1]'s first digit (0 when absent).
+const char* kQuickGuest = R"(
+  (memory 2)
+  (func (export "main") (result i32)
+    (if (i64.lt_s (call $get_argc) (i64.const 2))
+      (then (return (i32.const 0))))
+    (drop (call $copy_argv (i64.const 512) (i64.const 1)))
+    (i32.sub (i32.load8_u (i32.const 512)) (i32.const 48)))
+)";
+
+// Manual scheduler clock shared between the test and the supervisor.
+struct ManualClock {
+  std::shared_ptr<std::atomic<int64_t>> now =
+      std::make_shared<std::atomic<int64_t>>(0);
+
+  std::function<int64_t()> fn() const {
+    auto n = now;
+    return [n] { return n->load(std::memory_order_acquire); };
+  }
+  void Advance(int64_t nanos) {
+    now->fetch_add(nanos, std::memory_order_acq_rel);
+  }
+};
+
+struct AdmissionWorld {
+  std::unique_ptr<wasm::Linker> linker;
+  std::unique_ptr<wali::WaliRuntime> runtime;
+  std::unique_ptr<host::ModuleCache> cache;
+  std::unique_ptr<host::Supervisor> sup;
+  ManualClock clock;
+};
+
+AdmissionWorld MakeWorld(size_t workers, size_t queue_depth,
+                         bool start_paused) {
+  AdmissionWorld w;
+  w.linker = std::make_unique<wasm::Linker>();
+  w.runtime = std::make_unique<wali::WaliRuntime>(w.linker.get());
+  w.cache = std::make_unique<host::ModuleCache>();
+  host::Supervisor::Options opts;
+  opts.workers = workers;
+  opts.queue_depth = queue_depth;
+  opts.start_paused = start_paused;
+  opts.clock = w.clock.fn();
+  opts.pool.max_idle_per_module = workers;
+  w.sup = std::make_unique<host::Supervisor>(w.runtime.get(), opts);
+  return w;
+}
+
+host::GuestJob MakeJob(std::shared_ptr<const wasm::Module> module,
+                       const std::string& tenant, uint32_t weight = 0,
+                       int64_t deadline = 0) {
+  host::GuestJob job;
+  job.module = module;
+  job.argv = {tenant};
+  job.tenant = tenant;
+  job.weight = weight;
+  job.deadline_nanos = deadline;
+  return job;
+}
+
+TEST(Admission, BoundedQueueRejectsBeyondDepth) {
+  AdmissionWorld w = MakeWorld(/*workers=*/1, /*queue_depth=*/2,
+                               /*start_paused=*/true);
+  auto module = w.cache->Load(WrapModule(kQuickGuest));
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+
+  // Paused supervisor: nothing drains, so the queue depth is exactly what
+  // Submit sees. Jobs 3 and 4 must bounce immediately.
+  std::vector<std::future<host::RunReport>> futures;
+  for (int k = 0; k < 4; ++k) {
+    futures.push_back(w.sup->Submit(MakeJob(*module, "tenant-a")));
+  }
+  EXPECT_EQ(w.sup->queued(), 2u);
+  for (int k = 2; k < 4; ++k) {
+    ASSERT_EQ(futures[k].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "rejection must resolve the future immediately";
+    host::RunReport r = futures[k].get();
+    EXPECT_EQ(r.outcome, host::Outcome::kRejected);
+    EXPECT_EQ(r.trap, wasm::TrapKind::kHostError);
+    EXPECT_EQ(r.dispatch_seq, 0u);
+    EXPECT_EQ(r.fuel_consumed, 0u);
+  }
+
+  w.sup->Resume();
+  for (int k = 0; k < 2; ++k) {
+    host::RunReport r = futures[k].get();
+    EXPECT_TRUE(r.completed()) << r.trap_message;
+    EXPECT_EQ(r.outcome, host::Outcome::kCompleted);
+  }
+  host::TenantUsage u = w.sup->ledger().usage("tenant-a");
+  EXPECT_EQ(u.rejected, 2u);
+  EXPECT_EQ(u.runs, 2u);
+  // A queue slot freed by a completed run admits new work again.
+  host::RunReport r = w.sup->Submit(MakeJob(*module, "tenant-a")).get();
+  EXPECT_TRUE(r.completed());
+}
+
+TEST(Admission, WeightedFairnessBetweenTwoTenants) {
+  AdmissionWorld w = MakeWorld(/*workers=*/1, /*queue_depth=*/0,
+                               /*start_paused=*/true);
+  auto module = w.cache->Load(WrapModule(kQuickGuest));
+  ASSERT_TRUE(module.ok());
+
+  // Saturation: both tenants have a full backlog before the single worker
+  // starts popping. heavy (weight 2) gets bursts of two slots, light
+  // (weight 1) one slot per ring rotation: H H L H H L ...
+  const int kHeavyJobs = 12, kLightJobs = 6;
+  std::vector<std::future<host::RunReport>> heavy, light;
+  for (int k = 0; k < kHeavyJobs; ++k) {
+    heavy.push_back(w.sup->Submit(MakeJob(*module, "heavy", /*weight=*/2)));
+  }
+  for (int k = 0; k < kLightJobs; ++k) {
+    light.push_back(w.sup->Submit(MakeJob(*module, "light", /*weight=*/1)));
+  }
+  w.sup->Resume();
+
+  // dispatch_seq is the scheduler's pop order (1-based, single worker).
+  std::vector<char> order(kHeavyJobs + kLightJobs, '?');
+  for (auto& f : heavy) {
+    host::RunReport r = f.get();
+    ASSERT_TRUE(r.completed()) << r.trap_message;
+    ASSERT_GE(r.dispatch_seq, 1u);
+    order[r.dispatch_seq - 1] = 'H';
+  }
+  for (auto& f : light) {
+    host::RunReport r = f.get();
+    ASSERT_TRUE(r.completed()) << r.trap_message;
+    order[r.dispatch_seq - 1] = 'L';
+  }
+
+  // Over any prefix, neither tenant exceeds its weight share (2/3 vs 1/3)
+  // by more than one slot — the WRR guarantee the header promises.
+  int h = 0, l = 0;
+  for (size_t n = 0; n < order.size(); ++n) {
+    ASSERT_NE(order[n], '?') << "dispatch_seq gap at slot " << n;
+    (order[n] == 'H' ? h : l)++;
+    double share_h = 2.0 * (n + 1) / 3.0;
+    double share_l = 1.0 * (n + 1) / 3.0;
+    EXPECT_LE(h, static_cast<int>(share_h) + 1)
+        << "heavy over its share at prefix " << n + 1;
+    EXPECT_LE(l, static_cast<int>(share_l) + 1)
+        << "light over its share at prefix " << n + 1;
+  }
+  // Under saturation (first 9 slots both tenants still had a backlog) the
+  // weight-2 tenant completes exactly 2x the weight-1 tenant's runs.
+  int h9 = 0;
+  for (int n = 0; n < 9; ++n) h9 += order[n] == 'H' ? 1 : 0;
+  EXPECT_EQ(h9, 6);
+  EXPECT_EQ(9 - h9, 3);
+}
+
+TEST(Admission, DeadlineSheddingWithoutExecution) {
+  AdmissionWorld w = MakeWorld(/*workers=*/1, /*queue_depth=*/0,
+                               /*start_paused=*/true);
+  auto module = w.cache->Load(WrapModule(kQuickGuest));
+  ASSERT_TRUE(module.ok());
+
+  // Deadline at t=100ns on the manual clock; the keeper has none.
+  auto doomed = w.sup->Submit(
+      MakeJob(*module, "tenant-a", /*weight=*/0, /*deadline=*/100));
+  auto keeper = w.sup->Submit(MakeJob(*module, "tenant-a"));
+  w.clock.Advance(200);  // the doomed job's deadline passes while queued
+  w.sup->Resume();
+
+  host::RunReport shed = doomed.get();
+  EXPECT_EQ(shed.outcome, host::Outcome::kShed);
+  EXPECT_EQ(shed.trap, wasm::TrapKind::kHostError);
+  // Zero guest execution: never dispatched, never instantiated, no fuel,
+  // no syscalls.
+  EXPECT_EQ(shed.dispatch_seq, 0u);
+  EXPECT_EQ(shed.fuel_consumed, 0u);
+  EXPECT_EQ(shed.executed_instrs, 0u);
+  EXPECT_EQ(shed.total_syscalls, 0u);
+  EXPECT_EQ(shed.queue_nanos, 200);
+
+  host::RunReport ok = keeper.get();
+  EXPECT_TRUE(ok.completed()) << ok.trap_message;
+  EXPECT_EQ(w.sup->ledger().usage("tenant-a").shed, 1u);
+  EXPECT_EQ(w.sup->ledger().usage("tenant-a").runs, 1u);
+}
+
+TEST(Admission, FuelBudgetStopsRunMidwayThenRefusesAdmission) {
+  AdmissionWorld w = MakeWorld(/*workers=*/1, /*queue_depth=*/0,
+                               /*start_paused=*/false);
+  // Spin guest: far more instructions than the tenant's lifetime budget.
+  auto module = w.cache->Load(WrapModule(R"(
+    (memory 2)
+    (func (export "main") (result i32)
+      (local $i i32)
+      (block $done
+        (loop $spin
+          (br_if $done (i32.ge_u (local.get $i) (i32.const 1000000)))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $spin)))
+      (i32.const 7))
+  )"));
+  ASSERT_TRUE(module.ok());
+
+  host::TenantBudget budget;
+  budget.max_fuel = 50000;  // lifetime instruction allowance
+  w.sup->ledger().SetBudget("metered", budget);
+
+  // First run: admitted, but the remaining budget is armed as this run's
+  // fuel, so the spin is cut off mid-run.
+  host::RunReport first = w.sup->Submit(MakeJob(*module, "metered")).get();
+  EXPECT_EQ(first.outcome, host::Outcome::kBudget);
+  EXPECT_EQ(first.trap, wasm::TrapKind::kFuelExhausted);
+  EXPECT_GT(first.fuel_consumed, 0u);
+  EXPECT_LE(first.fuel_consumed, budget.max_fuel + 1);
+
+  // Second run: the ledger remembers; the tenant is refused before a slot
+  // is even leased.
+  host::RunReport second = w.sup->Submit(MakeJob(*module, "metered")).get();
+  EXPECT_EQ(second.outcome, host::Outcome::kBudget);
+  EXPECT_EQ(second.fuel_consumed, 0u);
+  EXPECT_NE(second.trap_message.find("fuel"), std::string::npos)
+      << second.trap_message;
+  EXPECT_GE(second.dispatch_seq, 1u) << "refusal still consumes a slot";
+
+  // An unmetered tenant on the same supervisor is unaffected.
+  host::RunReport other = w.sup->Submit(MakeJob(*module, "free")).get();
+  EXPECT_TRUE(other.completed()) << other.trap_message;
+  EXPECT_EQ(other.exit_code, 7);
+
+  host::TenantUsage u = w.sup->ledger().usage("metered");
+  EXPECT_GE(u.budget_stops, 2u);
+  EXPECT_GE(u.fuel, first.fuel_consumed);
+}
+
+TEST(Admission, MemoryBudgetCapsCommitAtGrow) {
+  AdmissionWorld w = MakeWorld(/*workers=*/1, /*queue_depth=*/0,
+                               /*start_paused=*/false);
+  // Tries one big grow (20 pages at once), then single pages; exits with
+  // the count of grows that succeeded.
+  auto module = w.cache->Load(WrapModule(R"(
+    (memory 2)
+    (func (export "main") (result i32)
+      (local $i i32)
+      (local $won i32)
+      (if (i32.ne (memory.grow (i32.const 20)) (i32.const -1))
+        (then (local.set $won (i32.add (local.get $won) (i32.const 1)))))
+      (block $done
+        (loop $grow
+          (br_if $done (i32.ge_u (local.get $i) (i32.const 30)))
+          (if (i32.ne (memory.grow (i32.const 1)) (i32.const -1))
+            (then (local.set $won (i32.add (local.get $won) (i32.const 1)))))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $grow)))
+      (local.get $won))
+  )"));
+  ASSERT_TRUE(module.ok());
+
+  host::TenantBudget budget;
+  budget.max_mem_pages = 6;
+  w.sup->ledger().SetBudget("memhog", budget);
+
+  host::RunReport r = w.sup->Submit(MakeJob(*module, "memhog")).get();
+  // The cap is enforced at the allocation: the 20-page surge fails (no
+  // overshoot, not even transiently), single-page grows succeed only up to
+  // the cap (2 declared + 4 grown = 6), and the guest otherwise runs on.
+  EXPECT_TRUE(r.completed()) << r.trap_message;
+  EXPECT_EQ(r.exit_code, 4);
+  EXPECT_EQ(r.mem_high_water_pages, 6u);
+  // The run stayed within budget, so it is not a budget stop.
+  EXPECT_EQ(w.sup->ledger().usage("memhog").budget_stops, 0u);
+}
+
+TEST(Admission, MemoryBudgetBelowModuleMinTripsAtSafepoint) {
+  AdmissionWorld w = MakeWorld(/*workers=*/1, /*queue_depth=*/0,
+                               /*start_paused=*/false);
+  // The module declares 2 pages; the cap is 1, so the process is over
+  // budget from instantiation — the safepoint backstop must kill it at the
+  // first poll (the grow-time check never fires: nothing grows).
+  auto module = w.cache->Load(WrapModule(R"(
+    (memory 2)
+    (func (export "main") (result i32)
+      (local $i i32)
+      (block $done
+        (loop $spin
+          (br_if $done (i32.ge_u (local.get $i) (i32.const 100000)))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $spin)))
+      (i32.const 0))
+  )"));
+  ASSERT_TRUE(module.ok());
+
+  host::TenantBudget budget;
+  budget.max_mem_pages = 1;
+  w.sup->ledger().SetBudget("tiny", budget);
+
+  host::RunReport r = w.sup->Submit(MakeJob(*module, "tiny")).get();
+  EXPECT_EQ(r.outcome, host::Outcome::kBudget);
+  EXPECT_EQ(r.trap, wasm::TrapKind::kBudgetExhausted);
+  EXPECT_NE(r.trap_message.find("memory"), std::string::npos)
+      << r.trap_message;
+  EXPECT_EQ(w.sup->ledger().usage("tiny").budget_stops, 1u);
+}
+
+TEST(Admission, SyscallBudgetTripsAtDispatch) {
+  AdmissionWorld w = MakeWorld(/*workers=*/1, /*queue_depth=*/0,
+                               /*start_paused=*/false);
+  // Issues 100 getpid calls; the tenant's lifetime budget allows 5.
+  auto module = w.cache->Load(WrapModule(R"(
+    (memory 2)
+    (func (export "main") (result i32)
+      (local $i i32)
+      (block $done
+        (loop $call
+          (br_if $done (i32.ge_u (local.get $i) (i32.const 100)))
+          (drop (call $getpid))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $call)))
+      (i32.const 0))
+  )"));
+  ASSERT_TRUE(module.ok());
+
+  host::TenantBudget budget;
+  budget.max_syscalls = 5;
+  w.sup->ledger().SetBudget("chatty", budget);
+
+  host::RunReport r = w.sup->Submit(MakeJob(*module, "chatty")).get();
+  EXPECT_EQ(r.outcome, host::Outcome::kBudget);
+  EXPECT_EQ(r.trap, wasm::TrapKind::kBudgetExhausted);
+  EXPECT_NE(r.trap_message.find("syscall"), std::string::npos)
+      << r.trap_message;
+  // Exactly the budgeted dispatches reached the kernel; the tripping sixth
+  // did not execute and is not billed.
+  EXPECT_EQ(r.total_syscalls, 5u);
+  EXPECT_EQ(w.sup->ledger().usage("chatty").syscalls, 5u);
+
+  // The ledger remembers across runs: the next run is refused at admission.
+  host::RunReport second = w.sup->Submit(MakeJob(*module, "chatty")).get();
+  EXPECT_EQ(second.outcome, host::Outcome::kBudget);
+  EXPECT_EQ(second.total_syscalls, 0u);
+}
+
+TEST(Admission, ConcurrentRunsSplitTheBudgetInsteadOfOvershooting) {
+  // Regression for N-fold budget overshoot: with 4 workers running the
+  // same tenant concurrently, each run must NOT be armed with the full
+  // remaining fuel slice. Reservations make the cumulative total hard: the
+  // ledger can exceed the budget only by the per-run trap overshoot (~1
+  // instruction per run), never by workers x budget.
+  AdmissionWorld w = MakeWorld(/*workers=*/4, /*queue_depth=*/0,
+                               /*start_paused=*/true);
+  auto module = w.cache->Load(WrapModule(R"(
+    (memory 2)
+    (func (export "main") (result i32)
+      (local $i i32)
+      (block $done
+        (loop $spin
+          (br_if $done (i32.ge_u (local.get $i) (i32.const 1000000)))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $spin)))
+      (i32.const 7))
+  )"));
+  ASSERT_TRUE(module.ok());
+
+  const uint64_t kBudgetFuel = 50000;
+  host::TenantBudget budget;
+  budget.max_fuel = kBudgetFuel;
+  w.sup->ledger().SetBudget("metered", budget);
+
+  const int kJobs = 8;
+  std::vector<std::future<host::RunReport>> futures;
+  for (int k = 0; k < kJobs; ++k) {
+    futures.push_back(w.sup->Submit(MakeJob(*module, "metered")));
+  }
+  w.sup->Resume();
+  int budget_stopped = 0;
+  for (auto& f : futures) {
+    host::RunReport r = f.get();
+    EXPECT_EQ(r.outcome, host::Outcome::kBudget);
+    budget_stopped += 1;
+  }
+  EXPECT_EQ(budget_stopped, kJobs);
+  host::TenantUsage u = w.sup->ledger().usage("metered");
+  EXPECT_LE(u.fuel, kBudgetFuel + static_cast<uint64_t>(kJobs) * 2)
+      << "concurrent runs overshot the cumulative fuel budget";
+  EXPECT_GT(u.fuel, 0u);
+}
+
+TEST(Admission, CpuBudgetStopsSpinningGuest) {
+  AdmissionWorld w = MakeWorld(/*workers=*/1, /*queue_depth=*/0,
+                               /*start_paused=*/false);
+  // A spin that would take far longer than the CPU allowance (the loop
+  // bound keeps the test finite even if enforcement were broken).
+  auto module = w.cache->Load(WrapModule(R"(
+    (memory 2)
+    (func (export "main") (result i32)
+      (local $i i32)
+      (block $done
+        (loop $spin
+          (br_if $done (i32.ge_u (local.get $i) (i32.const 268435456)))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $spin)))
+      (i32.const 0))
+  )"));
+  ASSERT_TRUE(module.ok());
+
+  host::TenantBudget budget;
+  budget.max_cpu_nanos = 20 * 1000 * 1000;  // 20ms lifetime CPU
+  w.sup->ledger().SetBudget("spinner", budget);
+
+  host::RunReport r = w.sup->Submit(MakeJob(*module, "spinner")).get();
+  EXPECT_EQ(r.outcome, host::Outcome::kBudget);
+  EXPECT_EQ(r.trap, wasm::TrapKind::kBudgetExhausted);
+  EXPECT_NE(r.trap_message.find("cpu"), std::string::npos) << r.trap_message;
+}
+
+TEST(Admission, BudgetedTenantWithPerRunFuelRunsConcurrently) {
+  // Regression: a tenant with ample budget must not have concurrent runs
+  // spuriously refused or starved just because another of its runs is in
+  // flight. Per-run fuel caps bound each reservation's demand, so the
+  // unreserved remainder stays available to the other workers.
+  AdmissionWorld w = MakeWorld(/*workers=*/4, /*queue_depth=*/0,
+                               /*start_paused=*/true);
+  auto module = w.cache->Load(WrapModule(kQuickGuest));
+  ASSERT_TRUE(module.ok());
+
+  host::TenantBudget budget;
+  budget.max_fuel = 1000 * 1000;  // ample: ~8 runs of ~100s of instructions
+  w.sup->ledger().SetBudget("wealthy", budget);
+
+  const int kJobs = 8;
+  std::vector<std::future<host::RunReport>> futures;
+  for (int k = 0; k < kJobs; ++k) {
+    host::GuestJob job = MakeJob(*module, "wealthy");
+    job.fuel = 2000;  // per-run cap == reservation demand
+    futures.push_back(w.sup->Submit(std::move(job)));
+  }
+  w.sup->Resume();
+  for (auto& f : futures) {
+    host::RunReport r = f.get();
+    EXPECT_TRUE(r.completed())
+        << host::OutcomeName(r.outcome) << ": " << r.trap_message;
+  }
+  host::TenantUsage u = w.sup->ledger().usage("wealthy");
+  EXPECT_EQ(u.runs, static_cast<uint64_t>(kJobs));
+  EXPECT_EQ(u.budget_stops, 0u);
+  EXPECT_LT(u.fuel, budget.max_fuel);
+}
+
+TEST(Admission, ShutdownDrainsQueuedJobs) {
+  AdmissionWorld w = MakeWorld(/*workers=*/2, /*queue_depth=*/0,
+                               /*start_paused=*/true);
+  auto module = w.cache->Load(WrapModule(kQuickGuest));
+  ASSERT_TRUE(module.ok());
+  std::vector<std::future<host::RunReport>> futures;
+  for (int k = 0; k < 6; ++k) {
+    futures.push_back(w.sup->Submit(MakeJob(*module, "t" + std::to_string(k % 2))));
+  }
+  // Shutdown overrides pause: queued work drains before workers exit.
+  w.sup->Shutdown();
+  for (auto& f : futures) {
+    host::RunReport r = f.get();
+    EXPECT_TRUE(r.completed()) << r.trap_message;
+  }
+}
+
+}  // namespace

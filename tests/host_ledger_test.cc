@@ -1,0 +1,282 @@
+// TenantLedger unit tests: accumulation across recycled pool slots (a
+// tenant's account outlives the WaliProcess that served each run),
+// lossless concurrent charging from many worker threads (exercised under
+// the ASan/UBSan CI job), and budget reset semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/host/host.h"
+#include "tests/wali_test_util.h"
+
+namespace {
+
+std::string WrapModule(const std::string& body) {
+  return std::string("(module ") + wali_test::kPrelude + body + ")";
+}
+
+TEST(TenantLedger, AccumulatesAcrossRecycledPoolSlots) {
+  wasm::Linker linker;
+  wali::WaliRuntime runtime(&linker);
+  host::ModuleCache cache;
+  host::Supervisor::Options opts;
+  opts.workers = 1;
+  opts.pool.max_idle_per_module = 1;
+  host::Supervisor sup(&runtime, opts);
+
+  // Each run burns a known amount: a short spin plus two syscalls.
+  auto module = cache.Load(WrapModule(R"(
+    (memory 2)
+    (func (export "main") (result i32)
+      (local $i i32)
+      (drop (call $getpid))
+      (drop (call $gettid))
+      (block $done
+        (loop $spin
+          (br_if $done (i32.ge_u (local.get $i) (i32.const 1000)))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $spin)))
+      (i32.const 0))
+  )"));
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+
+  const int kRuns = 5;
+  uint64_t fuel_sum = 0, syscall_sum = 0;
+  int pooled_runs = 0;
+  for (int k = 0; k < kRuns; ++k) {
+    host::GuestJob job;
+    job.module = *module;
+    job.argv = {"acct"};
+    job.tenant = "acct";
+    host::RunReport r = sup.Submit(std::move(job)).get();
+    ASSERT_TRUE(r.completed()) << r.trap_message;
+    EXPECT_GT(r.fuel_consumed, 0u);
+    fuel_sum += r.fuel_consumed;
+    syscall_sum += r.total_syscalls;
+    pooled_runs += r.pooled ? 1 : 0;
+  }
+  // With one worker and one idle slot, every run after the first recycled
+  // the same slot — the per-process trace was reset each time, yet the
+  // ledger kept the running total.
+  EXPECT_GE(pooled_runs, kRuns - 1);
+  host::TenantUsage u = sup.ledger().usage("acct");
+  EXPECT_EQ(u.runs, static_cast<uint64_t>(kRuns));
+  EXPECT_EQ(u.fuel, fuel_sum);
+  EXPECT_EQ(u.syscalls, syscall_sum);
+  EXPECT_EQ(u.syscalls, static_cast<uint64_t>(2 * kRuns));
+  EXPECT_GE(u.mem_high_water_pages, 2u);
+  EXPECT_GT(u.cpu_nanos, 0);
+}
+
+TEST(TenantLedger, ConcurrentChargesAreLossless) {
+  host::TenantLedger ledger;
+  constexpr int kThreads = 8;
+  constexpr int kChargesPerThread = 10000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ledger, t] {
+      for (int k = 0; k < kChargesPerThread; ++k) {
+        host::TenantUsage delta;
+        delta.runs = 1;
+        delta.fuel = 3;
+        delta.cpu_nanos = 2;
+        delta.syscalls = 5;
+        // Max-merged: the final high-water must be the global max, not the
+        // last writer's value.
+        delta.mem_high_water_pages = static_cast<uint64_t>(t * 100 + (k % 7));
+        ledger.Charge("shared", delta);
+        ledger.Charge("private-" + std::to_string(t), delta);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  host::TenantUsage shared = ledger.usage("shared");
+  const uint64_t total = static_cast<uint64_t>(kThreads) * kChargesPerThread;
+  EXPECT_EQ(shared.runs, total);
+  EXPECT_EQ(shared.fuel, 3 * total);
+  EXPECT_EQ(shared.cpu_nanos, static_cast<int64_t>(2 * total));
+  EXPECT_EQ(shared.syscalls, 5 * total);
+  EXPECT_EQ(shared.mem_high_water_pages,
+            static_cast<uint64_t>((kThreads - 1) * 100 + 6));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(ledger.usage("private-" + std::to_string(t)).runs,
+              static_cast<uint64_t>(kChargesPerThread));
+  }
+  EXPECT_EQ(ledger.Snapshot().size(), static_cast<size_t>(kThreads + 1));
+}
+
+TEST(TenantLedger, BudgetResetSemantics) {
+  host::TenantLedger ledger;
+  host::TenantBudget budget;
+  budget.max_fuel = 100;
+  budget.max_syscalls = 10;
+  ledger.SetBudget("t", budget);
+
+  EXPECT_EQ(ledger.Admit("t"), host::TenantLedger::Verdict::kAdmit);
+
+  host::TenantUsage delta;
+  delta.fuel = 100;
+  ledger.Charge("t", delta);
+  EXPECT_EQ(ledger.Admit("t"), host::TenantLedger::Verdict::kFuel);
+
+  // Usage reset (billing-period rollover): consumption clears, the budget
+  // stays armed.
+  ledger.ResetUsage("t");
+  EXPECT_EQ(ledger.Admit("t"), host::TenantLedger::Verdict::kAdmit);
+  EXPECT_EQ(ledger.usage("t").fuel, 0u);
+  EXPECT_EQ(ledger.budget("t").max_fuel, 100u);
+
+  // Syscall budget trips independently of fuel.
+  host::TenantUsage sys;
+  sys.syscalls = 10;
+  ledger.Charge("t", sys);
+  EXPECT_EQ(ledger.Admit("t"), host::TenantLedger::Verdict::kSyscalls);
+
+  // Raising the budget re-admits without touching usage.
+  budget.max_syscalls = 20;
+  ledger.SetBudget("t", budget);
+  EXPECT_EQ(ledger.Admit("t"), host::TenantLedger::Verdict::kAdmit);
+  EXPECT_EQ(ledger.usage("t").syscalls, 10u);
+}
+
+TEST(TenantLedger, RemainingSlicesNeverReportZeroForLimitedTenants) {
+  host::TenantLedger ledger;
+  // No budget: 0 means unlimited.
+  EXPECT_EQ(ledger.RemainingFuel("t"), 0u);
+  EXPECT_EQ(ledger.RemainingCpuNanos("t"), 0);
+
+  host::TenantBudget budget;
+  budget.max_fuel = 100;
+  budget.max_cpu_nanos = 1000;
+  ledger.SetBudget("t", budget);
+  EXPECT_EQ(ledger.RemainingFuel("t"), 100u);
+
+  host::TenantUsage delta;
+  delta.fuel = 40;
+  delta.cpu_nanos = 400;
+  ledger.Charge("t", delta);
+  EXPECT_EQ(ledger.RemainingFuel("t"), 60u);
+  EXPECT_EQ(ledger.RemainingCpuNanos("t"), 600);
+
+  // Exhausted (or overdrawn): 1 unit, never the 0 that means "no cap".
+  delta.fuel = 100;
+  delta.cpu_nanos = 1000;
+  ledger.Charge("t", delta);
+  EXPECT_EQ(ledger.RemainingFuel("t"), 1u);
+  EXPECT_EQ(ledger.RemainingCpuNanos("t"), 1);
+}
+
+TEST(TenantLedger, ReservationsSplitBudgetAndSettleToActuals) {
+  host::TenantLedger ledger;
+  host::TenantBudget budget;
+  budget.max_fuel = 1000;
+  budget.max_cpu_nanos = 500;
+  budget.max_syscalls = 50;
+  ledger.SetBudget("t", budget);
+
+  // First reservation (unknown demand) takes the whole unreserved
+  // remainder — but usage and Admit see only real consumption, so the
+  // in-flight reservation neither inflates telemetry nor blocks admission.
+  host::TenantLedger::RunReservation r1 = ledger.ReserveSlices("t");
+  EXPECT_EQ(r1.fuel, 1000u);
+  EXPECT_EQ(r1.cpu_nanos, 500);
+  EXPECT_EQ(r1.syscalls, 50u);
+  EXPECT_EQ(ledger.usage("t").fuel, 0u);
+  EXPECT_EQ(ledger.Admit("t"), host::TenantLedger::Verdict::kAdmit);
+  EXPECT_EQ(ledger.RemainingFuel("t"), 1u)
+      << "the remainder is held by the live reservation";
+
+  // A concurrent second reservation gets the 1-unit exhausted slice, not
+  // the full budget again.
+  host::TenantLedger::RunReservation r2 = ledger.ReserveSlices("t");
+  EXPECT_EQ(r2.fuel, 1u);
+  EXPECT_EQ(r2.syscalls, 1u);
+
+  // Settling releases the reservation and charges actual consumption.
+  host::TenantUsage a1;
+  a1.fuel = 300;
+  a1.cpu_nanos = 100;
+  a1.syscalls = 7;
+  ledger.SettleSlices("t", r1, a1);
+  host::TenantUsage a2;
+  a2.fuel = 2;
+  ledger.SettleSlices("t", r2, a2);
+  host::TenantUsage u = ledger.usage("t");
+  EXPECT_EQ(u.fuel, 302u);
+  EXPECT_EQ(u.cpu_nanos, 100);
+  EXPECT_EQ(u.syscalls, 7u);
+  EXPECT_EQ(ledger.Admit("t"), host::TenantLedger::Verdict::kAdmit);
+  EXPECT_EQ(ledger.RemainingSyscalls("t"), 43u);
+  EXPECT_EQ(ledger.RemainingFuel("t"), 698u);
+
+  // Unbudgeted tenants reserve nothing and settle as a plain charge.
+  host::TenantLedger::RunReservation free = ledger.ReserveSlices("free");
+  EXPECT_EQ(free.fuel, 0u);
+  host::TenantUsage af;
+  af.fuel = 123;
+  ledger.SettleSlices("free", free, af);
+  EXPECT_EQ(ledger.usage("free").fuel, 123u);
+}
+
+TEST(TenantLedger, DemandBoundedReservationsAllowConcurrentRuns) {
+  // The reviewer scenario for hard budgets under concurrency: a tenant
+  // with ample budget and per-run fuel caps must be able to hold several
+  // live reservations at once, each sized to its demand.
+  host::TenantLedger ledger;
+  host::TenantBudget budget;
+  budget.max_fuel = 1000;
+  ledger.SetBudget("t", budget);
+
+  host::TenantLedger::RunReservation r1 = ledger.ReserveSlices("t", 100);
+  host::TenantLedger::RunReservation r2 = ledger.ReserveSlices("t", 100);
+  EXPECT_EQ(r1.fuel, 100u);
+  EXPECT_EQ(r2.fuel, 100u);
+  EXPECT_EQ(ledger.RemainingFuel("t"), 800u);
+
+  // Demand larger than the unreserved remainder is clipped to it.
+  host::TenantLedger::RunReservation r3 = ledger.ReserveSlices("t", 5000);
+  EXPECT_EQ(r3.fuel, 800u);
+  EXPECT_EQ(ledger.RemainingFuel("t"), 1u);
+
+  host::TenantUsage a;
+  a.fuel = 90;
+  ledger.SettleSlices("t", r1, a);
+  ledger.SettleSlices("t", r2, a);
+  ledger.SettleSlices("t", r3, a);
+  EXPECT_EQ(ledger.usage("t").fuel, 270u);
+  EXPECT_EQ(ledger.RemainingFuel("t"), 730u);
+}
+
+TEST(TenantLedger, ForgetDropsTenantEntirely) {
+  host::TenantLedger ledger;
+  host::TenantBudget budget;
+  budget.max_fuel = 10;
+  ledger.SetBudget("t", budget);
+  host::TenantUsage delta;
+  delta.fuel = 10;
+  ledger.Charge("t", delta);
+  EXPECT_EQ(ledger.Admit("t"), host::TenantLedger::Verdict::kFuel);
+
+  ledger.Forget("t");
+  EXPECT_EQ(ledger.Admit("t"), host::TenantLedger::Verdict::kAdmit);
+  EXPECT_TRUE(ledger.budget("t").Unlimited());
+  EXPECT_TRUE(ledger.Snapshot().empty());
+}
+
+TEST(TenantLedger, UnknownTenantIsUnbudgeted) {
+  host::TenantLedger ledger;
+  EXPECT_EQ(ledger.Admit("nobody"), host::TenantLedger::Verdict::kAdmit);
+  EXPECT_EQ(ledger.usage("nobody").runs, 0u);
+  EXPECT_TRUE(ledger.budget("nobody").Unlimited());
+  EXPECT_TRUE(ledger.Snapshot().empty());
+}
+
+}  // namespace

@@ -220,6 +220,81 @@ TEST(Supervisor, ReportsCarrySyscallProfile) {
   EXPECT_GE(r.wall_nanos, 0);
 }
 
+TEST(Supervisor, ReportsCarryResourceConsumption) {
+  // Regression for the accounting plumbing: fuel_consumed and
+  // mem_high_water_pages must be nonzero and must grow monotonically with
+  // the work a guest actually does (more spin -> more fuel, more
+  // memory.grow -> higher high-water). Before the ledger existed these
+  // fields were never asserted on anywhere.
+  SupWorld w = MakeWorld(/*workers=*/1);
+  // argv[1] digit d: grows d pages and spins d*10000 iterations.
+  auto module = w.cache->Load(WrapModule(R"(
+    (memory 2)
+    (func (export "main") (result i32)
+      (local $d i32)
+      (local $i i32)
+      (drop (call $copy_argv (i64.const 512) (i64.const 1)))
+      (local.set $d (i32.sub (i32.load8_u (i32.const 512)) (i32.const 48)))
+      (drop (memory.grow (local.get $d)))
+      (block $done
+        (loop $spin
+          (br_if $done (i32.ge_u (local.get $i)
+                                 (i32.mul (local.get $d) (i32.const 10000))))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $spin)))
+      (i32.const 0))
+  )"));
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+
+  uint64_t prev_fuel = 0, prev_mem = 0;
+  for (int d = 1; d <= 3; ++d) {
+    host::GuestJob job;
+    job.module = *module;
+    job.argv = {"grower", std::to_string(d)};
+    host::RunReport r = w.sup->RunAll({std::move(job)})[0];
+    ASSERT_TRUE(r.completed()) << r.trap_message;
+    EXPECT_GT(r.fuel_consumed, 0u);
+    EXPECT_EQ(r.fuel_consumed, r.executed_instrs);
+    // 2 declared pages + d grown; pooled slot resets must not leak the
+    // previous run's larger high-water into this report.
+    EXPECT_EQ(r.mem_high_water_pages, 2u + static_cast<uint64_t>(d));
+    EXPECT_GT(r.fuel_consumed, prev_fuel);
+    EXPECT_GT(r.mem_high_water_pages, prev_mem);
+    prev_fuel = r.fuel_consumed;
+    prev_mem = r.mem_high_water_pages;
+  }
+}
+
+TEST(Supervisor, RunAllReturnsReportsInSubmissionOrder) {
+  // RunAll's contract: reports[i] always belongs to jobs[i], even when the
+  // scheduler dispatches in a different order. Two tenants submitted as
+  // all-of-A-then-all-of-B get round-robin interleaved by the fair queue
+  // (observable via dispatch_seq), but the reports still come back in
+  // submission order.
+  SupWorld w = MakeWorld(/*workers=*/2);
+  auto module = w.cache->Load(WrapModule(kTenantGuest));
+  ASSERT_TRUE(module.ok());
+
+  const int kPerTenant = 6;
+  std::vector<host::GuestJob> jobs;
+  for (int k = 0; k < 2 * kPerTenant; ++k) {
+    host::GuestJob job;
+    job.module = *module;
+    job.argv = {"tenant", std::to_string(k % 10)};
+    job.tenant = k < kPerTenant ? "a" : "b";
+    jobs.push_back(std::move(job));
+  }
+  std::vector<host::RunReport> reports = w.sup->RunAll(std::move(jobs));
+  ASSERT_EQ(reports.size(), static_cast<size_t>(2 * kPerTenant));
+  for (int k = 0; k < 2 * kPerTenant; ++k) {
+    ASSERT_TRUE(reports[k].completed()) << reports[k].trap_message;
+    EXPECT_EQ(reports[k].exit_code, k % 10)
+        << "report " << k << " does not belong to job " << k;
+    EXPECT_EQ(reports[k].tenant, k < kPerTenant ? "a" : "b");
+    EXPECT_GE(reports[k].dispatch_seq, 1u);
+  }
+}
+
 TEST(Supervisor, SubmitAfterShutdownFails) {
   SupWorld w = MakeWorld(/*workers=*/2);
   auto module = w.cache->Load(WrapModule(
@@ -231,6 +306,7 @@ TEST(Supervisor, SubmitAfterShutdownFails) {
   job.argv = {"late"};
   host::RunReport r = w.sup->Submit(std::move(job)).get();
   EXPECT_EQ(r.trap, wasm::TrapKind::kHostError);
+  EXPECT_EQ(r.outcome, host::Outcome::kRejected);
 }
 
 TEST(Supervisor, ManyRoundsReuseBoundedSlots) {
