@@ -9,40 +9,54 @@
 int main() {
   bench::Header("Figure 7", "runtime breakdown: wasm-app / kernel / wali");
   bench::Note("attribution via per-layer clocks around every WALI handler and "
-              "raw syscall (Fig. 7 in the paper)");
+              "raw syscall (Fig. 7 in the paper); reported for both interpreter "
+              "dispatch modes — faster dispatch shrinks the wasm-app share, the "
+              "thin-kernel-interface claim (kernel+wali stay small) must hold in "
+              "both");
 
   const char* apps[] = {"lua", "bash", "sqlite3", "paho-bench", "memcached"};
   const int scales[] = {20, 120, 300, 1200, 400};
+  const wasm::DispatchMode modes[] = {wasm::DispatchMode::kSwitch,
+                                      wasm::DispatchMode::kThreaded};
 
-  std::printf("\n%-12s %10s %10s %10s   breakdown (a=app k=kernel w=wali)\n", "App",
-              "wasm-app%", "kernel%", "wali%");
-  for (size_t i = 0; i < std::size(apps); ++i) {
-    const workloads::Workload* w = workloads::FindWorkload(apps[i]);
-    if (w == nullptr) continue;
-    auto stats = workloads::RunUnderWali(*w, scales[i]);
-    if (!stats.result.ok_or_exit0()) {
-      std::printf("%-12s <failed: %s>\n", apps[i], stats.result.trap_message.c_str());
-      continue;
+  for (wasm::DispatchMode mode : modes) {
+    std::printf("\n--- dispatch=%s%s ---\n", wasm::DispatchModeName(mode),
+                mode == wasm::DispatchMode::kThreaded &&
+                        !wasm::ThreadedDispatchAvailable()
+                    ? " (not built in; runs switch)"
+                    : "");
+    std::printf("%-12s %10s %10s %10s %9s   breakdown (a=app k=kernel w=wali)\n",
+                "App", "wasm-app%", "kernel%", "wali%", "wall-ms");
+    for (size_t i = 0; i < std::size(apps); ++i) {
+      const workloads::Workload* w = workloads::FindWorkload(apps[i]);
+      if (w == nullptr) continue;
+      auto stats =
+          workloads::RunUnderWali(*w, scales[i], wasm::SafepointScheme::kLoop, mode);
+      if (!stats.result.ok_or_exit0()) {
+        std::printf("%-12s <failed: %s>\n", apps[i], stats.result.trap_message.c_str());
+        continue;
+      }
+      double wall = static_cast<double>(stats.wall_ns);
+      double kernel = static_cast<double>(stats.kernel_ns);
+      double wali = static_cast<double>(stats.wali_ns);
+      if (kernel + wali > wall) {
+        wall = kernel + wali;  // threaded apps: layer clocks sum across threads
+      }
+      double app = wall - kernel - wali;
+      double ap = 100.0 * app / wall, kp = 100.0 * kernel / wall, wp = 100.0 * wali / wall;
+      std::string bar(50, 'a');
+      int kchars = static_cast<int>(kp / 2 + 0.5);
+      int wchars = static_cast<int>(wp / 2 + 0.5);
+      for (int c = 0; c < kchars && c < 50; ++c) bar[49 - c] = 'k';
+      for (int c = kchars; c < kchars + wchars && c < 50; ++c) bar[49 - c] = 'w';
+      std::printf("%-12s %9.1f%% %9.1f%% %9.1f%% %9.2f   |%s|\n", apps[i], ap, kp, wp,
+                  bench::Ms(stats.wall_ns), bar.c_str());
     }
-    double wall = static_cast<double>(stats.wall_ns);
-    double kernel = static_cast<double>(stats.kernel_ns);
-    double wali = static_cast<double>(stats.wali_ns);
-    if (kernel + wali > wall) {
-      wall = kernel + wali;  // threaded apps: layer clocks sum across threads
-    }
-    double app = wall - kernel - wali;
-    double ap = 100.0 * app / wall, kp = 100.0 * kernel / wall, wp = 100.0 * wali / wall;
-    std::string bar(50, 'a');
-    int kchars = static_cast<int>(kp / 2 + 0.5);
-    int wchars = static_cast<int>(wp / 2 + 0.5);
-    for (int c = 0; c < kchars && c < 50; ++c) bar[49 - c] = 'k';
-    for (int c = kchars; c < kchars + wchars && c < 50; ++c) bar[49 - c] = 'w';
-    std::printf("%-12s %9.1f%% %9.1f%% %9.1f%%   |%s|\n", apps[i], ap, kp, wp,
-                bar.c_str());
   }
   std::printf("\nshape check (paper Fig. 7): WALI itself takes ~0.1-2.4%% of wall\n"
               "time; compute apps (lua, paho) are app-dominated; sqlite3 is\n"
               "kernel-heavy (fsync); memcached pays the most WALI time due to\n"
-              "threading.\n");
+              "threading. Threaded dispatch lowers wall time on the app-dominated\n"
+              "workloads without changing the kernel/wali attribution.\n");
   return 0;
 }

@@ -1,0 +1,350 @@
+// Interpreter dispatch A/B: portable switch loop vs computed-goto threaded
+// dispatch with superinstruction fusion and block-granular fuel accounting
+// (src/wasm/prepare + interp). Runs interpreter-bound kernels plus the
+// compute-dominated `lua` workload analog from src/workloads/ in both modes,
+// checks the results are bit-identical, and reports per-kernel and geomean
+// speedups.
+//
+//   interp_dispatch [--json out.json] [--quick]
+//
+// Exit codes: 0 ok; 3 when threaded dispatch is available but the geomean
+// speedup is below the 1.5x bar (ISSUE 3 acceptance); 1 on engine errors.
+// --json writes a machine-readable record (checked in as BENCH_interp.json
+// at the repo root to track the perf trajectory).
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/time_util.h"
+#include "src/workloads/workloads.h"
+#include "src/wasm/wasm.h"
+
+namespace {
+
+struct Kernel {
+  const char* name;
+  const char* wat;
+  uint32_t arg;
+};
+
+// Tight counting loop: local.get/i32.const/i32.add/local.set and cmp+br_if
+// chains — the fusion pass's bread and butter.
+const char* kLoopArith = R"((module
+  (func (export "run") (param $n i32) (result i32)
+    (local $i i32) (local $acc i32)
+    (block $done
+      (loop $l
+        (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+        (local.set $acc (i32.add (local.get $acc) (i32.mul (local.get $i) (i32.const 3))))
+        (local.set $acc (i32.xor (local.get $acc) (i32.shr_u (local.get $acc) (i32.const 7))))
+        (local.set $acc (i32.add (local.get $acc) (i32.const 0x9E37)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+    (local.get $acc)))
+)";
+
+// Call-heavy recursion (frame push/pop, if/else control).
+const char* kFib = R"((module
+  (func $fib (export "run") (param i32) (result i32)
+    (if (result i32) (i32.lt_u (local.get 0) (i32.const 2))
+      (then (local.get 0))
+      (else (i32.add
+        (call $fib (i32.sub (local.get 0) (i32.const 1)))
+        (call $fib (i32.sub (local.get 0) (i32.const 2))))))))
+)";
+
+// Byte-granular memory traffic (loads, stores, memory.fill) over 256 KiB.
+const char* kSieve = R"((module
+  (memory 4)
+  (func (export "run") (param $limit i32) (result i32)
+    (local $i i32) (local $j i32) (local $count i32)
+    (memory.fill (i32.const 0) (i32.const 1) (local.get $limit))
+    (i32.store8 (i32.const 0) (i32.const 0))
+    (i32.store8 (i32.const 1) (i32.const 0))
+    (local.set $i (i32.const 2))
+    (block $done
+      (loop $outer
+        (br_if $done (i32.gt_u (i32.mul (local.get $i) (local.get $i)) (local.get $limit)))
+        (if (i32.load8_u (local.get $i))
+          (then
+            (local.set $j (i32.mul (local.get $i) (local.get $i)))
+            (block $jdone
+              (loop $inner
+                (br_if $jdone (i32.ge_u (local.get $j) (local.get $limit)))
+                (i32.store8 (local.get $j) (i32.const 0))
+                (local.set $j (i32.add (local.get $j) (local.get $i)))
+                (br $inner)))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $outer)))
+    (local.set $i (i32.const 0))
+    (block $cdone
+      (loop $c
+        (br_if $cdone (i32.ge_u (local.get $i) (local.get $limit)))
+        (local.set $count (i32.add (local.get $count) (i32.load8_u (local.get $i))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $c)))
+    (local.get $count)))
+)";
+
+// Word-granular matmul (n x n, i32) — local.get+i32.load addressing chains.
+const char* kMatmul = R"((module
+  (memory 2)
+  (func (export "run") (param $n i32) (result i32)
+    (local $i i32) (local $j i32) (local $k i32) (local $sum i32) (local $check i32)
+    ;; init a[i] = i*7+3 over 2*n*n words
+    (local.set $i (i32.const 0))
+    (block $idone
+      (loop $init
+        (br_if $idone (i32.ge_u (local.get $i) (i32.mul (i32.const 2) (i32.mul (local.get $n) (local.get $n)))))
+        (i32.store (i32.mul (local.get $i) (i32.const 4))
+                   (i32.add (i32.mul (local.get $i) (i32.const 7)) (i32.const 3)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $init)))
+    (local.set $i (i32.const 0))
+    (block $done
+      (loop $li
+        (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+        (local.set $j (i32.const 0))
+        (block $jdone
+          (loop $lj
+            (br_if $jdone (i32.ge_u (local.get $j) (local.get $n)))
+            (local.set $sum (i32.const 0))
+            (local.set $k (i32.const 0))
+            (block $kdone
+              (loop $lk
+                (br_if $kdone (i32.ge_u (local.get $k) (local.get $n)))
+                (local.set $sum (i32.add (local.get $sum)
+                  (i32.mul
+                    (i32.load (i32.mul (i32.add (i32.mul (local.get $i) (local.get $n)) (local.get $k)) (i32.const 4)))
+                    (i32.load (i32.mul (i32.add (i32.mul (local.get $k) (local.get $n)) (local.get $j))
+                                       (i32.const 4))))))
+                (local.set $k (i32.add (local.get $k) (i32.const 1)))
+                (br $lk)))
+            (local.set $check (i32.xor (local.get $check) (local.get $sum)))
+            (local.set $j (i32.add (local.get $j) (i32.const 1)))
+            (br $lj)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $li)))
+    (local.get $check)))
+)";
+
+// Branch-dense kernel: collatz trajectory lengths. Exercises the
+// i32.eqz/i32.cmp + br_if superinstructions on an unpredictable branch mix.
+const char* kCollatz = R"((module
+  (func (export "run") (param $limit i32) (result i32)
+    (local $n i32) (local $x i32) (local $steps i32)
+    (local.set $n (i32.const 1))
+    (block $done
+      (loop $outer
+        (br_if $done (i32.gt_u (local.get $n) (local.get $limit)))
+        (local.set $x (local.get $n))
+        (block $conv
+          (loop $step
+            (br_if $conv (i32.eq (local.get $x) (i32.const 1)))
+            (if (i32.and (local.get $x) (i32.const 1))
+              (then (local.set $x (i32.add (i32.mul (local.get $x) (i32.const 3)) (i32.const 1))))
+              (else (local.set $x (i32.shr_u (local.get $x) (i32.const 1)))))
+            (local.set $steps (i32.add (local.get $steps) (i32.const 1)))
+            (br $step)))
+        (local.set $n (i32.add (local.get $n) (i32.const 1)))
+        (br $outer)))
+    (local.get $steps)))
+)";
+
+// 64-bit scramble loop (xorshift-style): i64 ALU ops dominate.
+const char* kI64Mix = R"((module
+  (func (export "run") (param $n i32) (result i64)
+    (local $i i32) (local $x i64)
+    (local.set $x (i64.const 0x9E3779B97F4A7C15))
+    (block $done
+      (loop $l
+        (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+        (local.set $x (i64.xor (local.get $x) (i64.shr_u (local.get $x) (i64.const 13))))
+        (local.set $x (i64.rotl (local.get $x) (i64.const 31)))
+        (local.set $x (i64.mul (local.get $x) (i64.const 0x2545F4914F6CDD1D)))
+        (local.set $x (i64.add (local.get $x) (i64.extend_i32_u (local.get $i))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+    (local.get $x)))
+)";
+
+struct ModeResult {
+  bool ok = false;
+  int64_t best_ns = 0;
+  uint64_t instrs = 0;
+  uint64_t bits = 0;
+  std::string error;
+};
+
+ModeResult RunKernel(const Kernel& k, wasm::DispatchMode mode, int reps) {
+  ModeResult out;
+  auto parsed = wasm::ParseAndValidateWat(k.wat);
+  if (!parsed.ok()) {
+    out.error = parsed.status().ToString();
+    return out;
+  }
+  wasm::Linker linker;
+  auto inst = linker.Instantiate(*parsed);
+  if (!inst.ok()) {
+    out.error = inst.status().ToString();
+    return out;
+  }
+  wasm::ExecOptions opts;
+  opts.dispatch = mode;
+  std::vector<wasm::Value> args = {wasm::Value::I32(k.arg)};
+  out.best_ns = INT64_MAX;
+  for (int r = 0; r < reps + 1; ++r) {  // first rep is warmup
+    int64_t t0 = common::MonotonicNanos();
+    wasm::RunResult res = (*inst)->CallExport("run", args, opts);
+    int64_t dt = common::MonotonicNanos() - t0;
+    if (!res.ok()) {
+      out.error = std::string(wasm::TrapKindName(res.trap)) + " " + res.trap_message;
+      return out;
+    }
+    if (r == 0) {
+      out.instrs = res.executed_instrs;
+      out.bits = res.values.empty() ? 0 : res.values[0].bits;
+    }
+    if (r > 0 && dt < out.best_ns) out.best_ns = dt;
+  }
+  out.ok = true;
+  return out;
+}
+
+ModeResult RunLuaWorkload(wasm::DispatchMode mode, int scale, int reps) {
+  ModeResult out;
+  const workloads::Workload* w = workloads::FindWorkload("lua");
+  if (w == nullptr) {
+    out.error = "lua workload missing";
+    return out;
+  }
+  out.best_ns = INT64_MAX;
+  for (int r = 0; r < reps + 1; ++r) {
+    auto stats = workloads::RunUnderWali(*w, scale, wasm::SafepointScheme::kLoop, mode);
+    if (!stats.result.ok_or_exit0()) {
+      out.error = stats.result.trap_message;
+      return out;
+    }
+    if (r == 0) {
+      out.instrs = stats.result.executed_instrs;
+      out.bits = static_cast<uint64_t>(stats.result.exit_code);
+    }
+    if (r > 0 && stats.wall_ns < out.best_ns) out.best_ns = stats.wall_ns;
+  }
+  out.ok = true;
+  return out;
+}
+
+struct Row {
+  std::string name;
+  ModeResult sw, th;
+  double speedup = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  const int reps = quick ? 2 : 5;
+  const uint32_t scale = quick ? 1 : 4;
+
+  bench::Header("interp dispatch", "switch vs threaded+fused interpreter");
+  bench::Note(std::string("threaded dispatch built in: ") +
+              (wasm::ThreadedDispatchAvailable() ? "yes" : "NO (switch-only build)"));
+
+  const Kernel kernels[] = {
+      {"loop_arith", kLoopArith, 1000000 * scale},
+      {"fib", kFib, quick ? 24u : 27u},
+      {"sieve", kSieve, 60000 * scale},
+      {"matmul", kMatmul, quick ? 32u : 56u},
+      {"collatz", kCollatz, 30000 * scale},
+      {"i64_mix", kI64Mix, 600000 * scale},
+  };
+
+  std::vector<Row> rows;
+  for (const Kernel& k : kernels) {
+    Row row;
+    row.name = k.name;
+    row.sw = RunKernel(k, wasm::DispatchMode::kSwitch, reps);
+    row.th = RunKernel(k, wasm::DispatchMode::kThreaded, reps);
+    rows.push_back(row);
+  }
+  {
+    Row row;
+    row.name = "lua(workload)";
+    row.sw = RunLuaWorkload(wasm::DispatchMode::kSwitch, quick ? 10 : 30, reps);
+    row.th = RunLuaWorkload(wasm::DispatchMode::kThreaded, quick ? 10 : 30, reps);
+    rows.push_back(row);
+  }
+
+  std::printf("\n%-14s %12s %12s %9s %10s  %s\n", "kernel", "switch-ms", "threaded-ms",
+              "speedup", "Minstr/s", "(threaded)");
+  double log_sum = 0;
+  int counted = 0;
+  bool failed = false;
+  for (Row& r : rows) {
+    if (!r.sw.ok || !r.th.ok) {
+      std::printf("%-14s <failed: %s>\n", r.name.c_str(),
+                  (!r.sw.ok ? r.sw.error : r.th.error).c_str());
+      failed = true;
+      continue;
+    }
+    if (r.sw.bits != r.th.bits || r.sw.instrs != r.th.instrs) {
+      std::printf("%-14s RESULT MISMATCH switch=(%" PRIu64 ",%" PRIu64
+                  ") threaded=(%" PRIu64 ",%" PRIu64 ")\n",
+                  r.name.c_str(), r.sw.bits, r.sw.instrs, r.th.bits, r.th.instrs);
+      failed = true;
+      continue;
+    }
+    r.speedup = static_cast<double>(r.sw.best_ns) / static_cast<double>(r.th.best_ns);
+    double mips = r.th.best_ns > 0
+                      ? static_cast<double>(r.th.instrs) * 1e3 / static_cast<double>(r.th.best_ns)
+                      : 0;
+    std::printf("%-14s %12.2f %12.2f %8.2fx %10.0f  |%s|\n", r.name.c_str(),
+                bench::Ms(r.sw.best_ns), bench::Ms(r.th.best_ns), r.speedup, mips,
+                bench::Bar(r.speedup / 4.0, 24).c_str());
+    log_sum += std::log(r.speedup);
+    ++counted;
+  }
+  double geomean = counted > 0 ? std::exp(log_sum / counted) : 0;
+  std::printf("\ngeomean speedup (threaded+fused vs switch): %.2fx over %d kernels "
+              "(bar: >= 1.5x)\n", geomean, counted);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"interp_dispatch\",\n";
+    out << "  \"threaded_available\": "
+        << (wasm::ThreadedDispatchAvailable() ? "true" : "false") << ",\n";
+    out << "  \"kernels\": [\n";
+    bool first = true;
+    for (const Row& r : rows) {
+      if (!r.sw.ok || !r.th.ok) continue;
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"name\": \"" << r.name << "\", \"switch_ns\": " << r.sw.best_ns
+          << ", \"threaded_ns\": " << r.th.best_ns << ", \"instrs\": " << r.th.instrs
+          << ", \"speedup\": " << r.speedup << "}";
+    }
+    out << "\n  ],\n  \"geomean_speedup\": " << geomean << "\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (failed) return 1;
+  // The bar only binds when the threaded loop is actually in the build;
+  // a switch-only build measures 1.0x by construction.
+  if (wasm::ThreadedDispatchAvailable() && geomean < 1.5) return 3;
+  return 0;
+}

@@ -1,9 +1,12 @@
-// ModuleCache: decode/validate a guest module once, instantiate many times.
+// ModuleCache: decode/validate/prepare a guest module once, instantiate
+// many times.
 //
-// The hosting layer's cold path (decode + validate) dominates per-request
-// startup cost once linear memory is pooled, so the cache keys fully
-// validated wasm::Module objects by content hash and hands out
-// shared_ptr<const Module> for repeated instantiation across tenants. Both
+// The hosting layer's cold path (decode + validate + the interpreter's
+// prepare pass, which Validate runs: superinstruction fusion and block
+// fuel metadata in Function::prepared) dominates per-request startup cost
+// once linear memory is pooled, so the cache keys fully validated modules
+// by content hash and hands out shared_ptr<const Module> — prepared
+// execution code included — for repeated instantiation across tenants. Both
 // binary .wasm and textual .wat inputs are accepted (auto-detected). Entries
 // are evicted LRU beyond the configured capacity.
 #ifndef SRC_HOST_MODULE_CACHE_H_

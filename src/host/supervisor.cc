@@ -21,6 +21,7 @@ Supervisor::Supervisor(wali::WaliRuntime* runtime, const Options& options)
       pool_(runtime, options.pool),
       clock_(options.clock ? options.clock : [] { return common::MonotonicNanos(); }),
       queue_depth_(options.queue_depth),
+      dispatch_(options.dispatch),
       paused_(options.start_paused) {
   size_t n = options.workers > 0 ? options.workers : 1;
   workers_.reserve(n);
@@ -249,6 +250,9 @@ RunReport Supervisor::RunOne(Task& task) {
   proc.policy = job.policy;
 
   wasm::ExecOptions opts = runtime_->exec_options();
+  if (dispatch_ != wasm::DispatchMode::kAuto) {
+    opts.dispatch = dispatch_;
+  }
   if (job.fuel != 0) {
     opts.fuel = job.fuel;
   }

@@ -127,6 +127,11 @@ class Supervisor {
     // to make shedding deterministic. Mid-run CPU budget enforcement always
     // uses the real monotonic clock.
     std::function<int64_t()> clock;
+    // Interpreter dispatch for guest runs. kAuto inherits the runtime's
+    // setting; kSwitch/kThreaded force a loop for A/B comparisons
+    // (fuel accounting is bit-identical either way, so RunReports and
+    // TenantLedger math do not depend on this knob).
+    wasm::DispatchMode dispatch = wasm::DispatchMode::kAuto;
     InstancePool::Options pool;
   };
 
@@ -202,6 +207,7 @@ class Supervisor {
   TenantLedger ledger_;
   std::function<int64_t()> clock_;
   size_t queue_depth_;
+  wasm::DispatchMode dispatch_;
   std::atomic<uint64_t> dispatch_seq_{0};
 
   mutable std::mutex mu_;

@@ -7,6 +7,10 @@
 //   -e KEY=VALUE     add an environment variable (repeatable; §3.4: env is
 //                    explicit, never inherited)
 //   --scheme S       safepoint scheme: loop (default) | function | all | none
+//   --dispatch D     interpreter dispatch: threaded (computed-goto, default
+//                    when built with WASM_THREADED_DISPATCH) | switch
+//                    (portable big-switch loop). For A/B perf runs; results,
+//                    traps, and fuel accounting are identical in both.
 //   --compile OUT    encode the module to binary .wasm at OUT and exit
 //   --trace          print the syscall profile after the run (WALI_VERBOSE-
 //                    style diagnostics; set WALI_LOG=3 for per-call logging)
@@ -49,6 +53,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: walirun [-e K=V]... [--scheme loop|function|all|none]\n"
+               "               [--dispatch threaded|switch]\n"
                "               [--compile out.wasm] [--trace]\n"
                "               [--serve N [--repeat K] [--queue-depth D]\n"
                "                [--tenant-budget fuel=N,cpu_ms=N,syscalls=N,"
@@ -109,6 +114,11 @@ int Serve(wali::WaliRuntime& runtime, std::shared_ptr<const wasm::Module> module
   if (!budget.Unlimited()) {
     sup.ledger().SetBudget(kTenant, budget);
   }
+
+  // Active dispatch mode: what RunLoop actually resolves for these options.
+  std::printf("serve: dispatch=%s scheme=%s\n",
+              wasm::DispatchModeName(wasm::ResolveDispatch(runtime.exec_options())),
+              wasm::SafepointSchemeName(runtime.options().scheme));
 
   const int total = workers * repeat;
   std::map<int32_t, int> exit_histogram;
@@ -223,6 +233,7 @@ int main(int argc, char** argv) {
   int queue_depth = 0;
   host::TenantBudget budget;
   wasm::SafepointScheme scheme = wasm::SafepointScheme::kLoop;
+  wasm::DispatchMode dispatch = wasm::DispatchMode::kAuto;
 
   int i = 1;
   for (; i < argc; ++i) {
@@ -247,6 +258,16 @@ int main(int argc, char** argv) {
       else if (s == "all") scheme = wasm::SafepointScheme::kEveryInstr;
       else if (s == "none") scheme = wasm::SafepointScheme::kNone;
       else return Usage();
+    } else if (arg == "--dispatch" && i + 1 < argc) {
+      std::string s = argv[++i];
+      if (s == "switch") dispatch = wasm::DispatchMode::kSwitch;
+      else if (s == "threaded") dispatch = wasm::DispatchMode::kThreaded;
+      else return Usage();
+      if (s == "threaded" && !wasm::ThreadedDispatchAvailable()) {
+        std::fprintf(stderr,
+                     "walirun: threaded dispatch not in this build "
+                     "(WASM_THREADED_DISPATCH=OFF); using switch\n");
+      }
     } else if (arg == "--compile" && i + 1 < argc) {
       compile_out = argv[++i];
     } else if (arg == "--trace") {
@@ -291,6 +312,7 @@ int main(int argc, char** argv) {
   wasm::Linker linker;
   wali::WaliRuntime::Options opts;
   opts.scheme = scheme;
+  opts.dispatch = dispatch;
   wali::WaliRuntime runtime(&linker, opts);
 
   if (serve_workers > 0) {

@@ -77,6 +77,20 @@ void WaliProcess::ResetForReuse(std::vector<std::string> argv_in,
   trace.Reset();
   CloseGuestFds();
   policy.reset();
+  // Keep the recycled interpreter buffers warm across slot reuse, but bound
+  // what a slot retains: a deep run can grow the operand stack toward
+  // max_value_stack (32 MiB), and that scratch is invisible to the tenant
+  // accounting layer — a pool of such slots must not pin it for the host's
+  // lifetime. Typical runs stay well under these caps and keep their
+  // capacity.
+  constexpr size_t kMaxRetainedStackSlots = 1 << 16;  // 512 KiB
+  constexpr size_t kMaxRetainedFrames = 1024;
+  if (exec_buffers.stack.capacity() > kMaxRetainedStackSlots) {
+    std::vector<uint64_t>().swap(exec_buffers.stack);
+  }
+  if (exec_buffers.frames.capacity() > kMaxRetainedFrames) {
+    std::vector<wasm::ExecContext::Frame>().swap(exec_buffers.frames);
+  }
   main_instance.reset();
   module.reset();
 }

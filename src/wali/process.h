@@ -84,6 +84,14 @@ class WaliProcess {
   SigTable sigtable;
   MmapManager mmap;
   SyscallTrace trace;
+  // Recycled interpreter stack/frame storage for the main-thread run: wired
+  // into ExecOptions by RunMain, so pooled slots (host::InstancePool) reuse
+  // grown capacity across guest runs instead of reallocating per run.
+  // ResetForReuse keeps it warm but trims outlier capacity (a deep run can
+  // grow toward max_value_stack; that must not stay resident per slot).
+  // Guest threads and re-entrant signal handlers do not share it (one owner
+  // per invocation).
+  wasm::ExecBuffers exec_buffers;
   // Optional user-space syscall policy (§3.6); consulted before dispatch.
   std::shared_ptr<SyscallPolicy> policy;
 

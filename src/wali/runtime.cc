@@ -77,6 +77,9 @@ wasm::TrapKind WaliSafepoint(wasm::ExecContext& ctx) {
     }
     proc->sigtable.count_delivery();
     wasm::ExecOptions opts = ctx.opts;
+    // The interrupted invocation holds the recycled buffers; the handler
+    // re-entry allocates its own.
+    opts.buffers = nullptr;
     wasm::RunResult r =
         inst->CallRef(handler, {wasm::Value::I32(static_cast<uint32_t>(signo))}, opts);
     if (!r.ok()) {
@@ -309,6 +312,7 @@ wasm::ExecOptions WaliRuntime::exec_options() const {
   opts.scheme = options_.scheme;
   opts.max_frames = options_.max_frames;
   opts.fuel = options_.fuel;
+  opts.dispatch = options_.dispatch;
   return opts;
 }
 
@@ -599,9 +603,14 @@ wasm::RunResult WaliRuntime::RunMain(WaliProcess& process,
   // limits and policy as the entry point, and what it burns comes out of the
   // one per-run fuel budget — (start) must not grant a tenant a second one.
   wasm::ExecOptions entry_opts = opts;
+  // Main-thread runs recycle the process's interpreter buffers; pooled
+  // slots thus stop reallocating stack/frame storage per guest run.
+  if (entry_opts.buffers == nullptr) {
+    entry_opts.buffers = &process.exec_buffers;
+  }
   uint64_t start_instrs = 0;
   if (process.module->start.has_value()) {
-    r = process.main_instance->Call(*process.module->start, {}, opts);
+    r = process.main_instance->Call(*process.module->start, {}, entry_opts);
     start_instrs = r.executed_instrs;
     if (r.ok() && opts.fuel != 0 && start_instrs >= opts.fuel) {
       r.trap = wasm::TrapKind::kFuelExhausted;

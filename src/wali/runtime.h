@@ -66,6 +66,9 @@ class WaliRuntime {
     bool attribute_time = true;  // per-layer timing (small clock overhead)
     uint32_t max_frames = 4096;
     uint64_t fuel = 0;
+    // Interpreter dispatch (walirun --dispatch): kAuto = threaded when built
+    // in, except under the kEveryInstr scheme (switch slow path).
+    wasm::DispatchMode dispatch = wasm::DispatchMode::kAuto;
   };
 
   // Registers all host functions on `linker`; the linker must outlive the

@@ -7,6 +7,15 @@
 
 namespace wasm {
 
+const char* DispatchModeName(DispatchMode m) {
+  switch (m) {
+    case DispatchMode::kAuto: return "auto";
+    case DispatchMode::kSwitch: return "switch";
+    case DispatchMode::kThreaded: return "threaded";
+  }
+  return "<bad>";
+}
+
 const char* SafepointSchemeName(SafepointScheme s) {
   switch (s) {
     case SafepointScheme::kNone: return "none";

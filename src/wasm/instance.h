@@ -62,12 +62,41 @@ enum class SafepointScheme : uint8_t {
 
 const char* SafepointSchemeName(SafepointScheme s);
 
+// Interpreter dispatch strategy. kThreaded (computed-goto with
+// block-granular fuel/safepoint accounting over prepared code) needs
+// compiler support and a WASM_THREADED_DISPATCH build; kAuto picks it when
+// available. SafepointScheme::kEveryInstr always runs the portable switch
+// loop over the unfused stream so per-instruction polling stays exact.
+enum class DispatchMode : uint8_t {
+  kAuto = 0,
+  kSwitch,
+  kThreaded,
+};
+
+const char* DispatchModeName(DispatchMode m);
+// True when this build carries the computed-goto loop.
+bool ThreadedDispatchAvailable();
+
+// Reusable interpreter buffers (operand stack + frame stack). Host layers
+// keep one per pooled process slot so repeated runs reuse grown capacity
+// instead of reallocating; defined in interp.h.
+struct ExecBuffers;
+
 struct ExecOptions {
   SafepointScheme scheme = SafepointScheme::kLoop;
   uint32_t max_frames = 4096;
   uint64_t max_value_stack = 1ULL << 22;  // slots
   uint64_t fuel = 0;                      // 0 = unlimited instructions
+  DispatchMode dispatch = DispatchMode::kAuto;
+  // Optional recycled stack/frame storage; must not be shared by two
+  // concurrent invocations. Nested re-entry (signal handlers) is safe: the
+  // outer Invoke has already swapped the live vectors out.
+  ExecBuffers* buffers = nullptr;
 };
+
+// The dispatch loop that would actually run for `opts` in this build
+// (resolves kAuto, unavailable kThreaded, and the kEveryInstr slow path).
+DispatchMode ResolveDispatch(const ExecOptions& opts);
 
 // Outcome of an invocation.
 struct RunResult {

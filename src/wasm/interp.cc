@@ -1,13 +1,28 @@
 #include "src/wasm/interp.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
+#include <mutex>
 
 #include "src/common/logging.h"
+
+// Computed-goto dispatch needs the GNU &&label extension and an opt-in from
+// the build (-DWASM_THREADED_DISPATCH, CMake option of the same name).
+#if defined(WASM_THREADED_DISPATCH) && (defined(__GNUC__) || defined(__clang__))
+#define WASM_THREADED_OK 1
+#else
+#define WASM_THREADED_OK 0
+#endif
 
 namespace wasm {
 
 namespace {
+
+// Initial capacities for a fresh (non-recycled) invocation; recycled
+// ExecBuffers keep whatever they grew to.
+constexpr size_t kStackReserve = 1024;
+constexpr size_t kFramesReserve = 64;
 
 inline uint64_t BitsOfF32(float v) {
   uint32_t u;
@@ -53,21 +68,36 @@ inline double FMax64(double a, double b) {
 }
 
 // Pushes a new wasm frame; arguments must already be on the stack.
+// The frame binds the execution stream: the prepared (fused, block-metadata)
+// form by default, the original decoded stream under kEveryInstr so that
+// per-instruction safepoint polling stays per *source* instruction.
 bool PushFrame(ExecContext& ctx, const FuncRef& ref) {
   if (ctx.frames.size() >= ctx.opts.max_frames ||
       ctx.stack.size() >= ctx.opts.max_value_stack) {
     ctx.SetTrap(TrapKind::kStackExhausted);
     return false;
   }
+  const Function* fn = ref.code;
+  const bool use_prepared = !fn->prepared.code.empty() &&
+                            ctx.opts.scheme != SafepointScheme::kEveryInstr;
   ExecContext::Frame fr;
   fr.inst = ref.owner;
-  fr.fn = ref.code;
-  fr.code = ref.code->code.data();
+  fr.fn = fn;
+  if (use_prepared) {
+    fr.code = fn->prepared.code.data();
+    fr.tables = fn->prepared.br_tables.data();
+    fr.lcost = fn->prepared.linear_cost.data();
+  } else {
+    fr.code = fn->code.data();
+    fr.tables = fn->br_tables.data();
+    fr.lcost = nullptr;
+  }
   fr.pc = 0;
   fr.type = ref.type;
   fr.locals_base = static_cast<uint32_t>(ctx.stack.size() - ref.type->params.size());
-  for (size_t i = 0; i < ref.code->locals.size(); ++i) {
-    ctx.stack.push_back(0);
+  if (!fn->locals.empty()) {
+    // One grow for all locals; resize value-initializes the slots to zero.
+    ctx.stack.resize(ctx.stack.size() + fn->locals.size());
   }
   fr.stack_base = static_cast<uint32_t>(ctx.stack.size());
   fr.mem = ref.owner->memory(0).get();
@@ -106,734 +136,73 @@ TrapKind CallHost(ExecContext& ctx, const HostFunc& host) {
   return TrapKind::kNone;
 }
 
+// ---- dispatch loops -------------------------------------------------------
+// One body (interp_body.inc), two expansions: the portable switch loop and,
+// when the build allows, the computed-goto threaded loop.
+
+#define WASM_BODY_THREADED 0
+#define WASM_LOOP_NAME RunLoopSwitch
+#include "src/wasm/interp_body.inc"  // NOLINT
+#undef WASM_LOOP_NAME
+#undef WASM_BODY_THREADED
+
+#if WASM_THREADED_OK
+#define WASM_BODY_THREADED 1
+#define WASM_LOOP_NAME RunLoopThreadedImpl
+#include "src/wasm/interp_body.inc"  // NOLINT
+#undef WASM_LOOP_NAME
+#undef WASM_BODY_THREADED
+#endif
+
+// RAII swap of recycled stack/frame storage into a fresh ExecContext and
+// back out on every exit path, preserving grown capacity across runs.
+struct BufferLease {
+  ExecContext& ctx;
+  ExecBuffers* buffers;
+
+  BufferLease(ExecContext& c, ExecBuffers* b) : ctx(c), buffers(b) {
+    if (buffers != nullptr) {
+      ctx.stack.swap(buffers->stack);
+      ctx.frames.swap(buffers->frames);
+      ctx.stack.clear();
+      ctx.frames.clear();
+    }
+    if (ctx.stack.capacity() < kStackReserve) ctx.stack.reserve(kStackReserve);
+    if (ctx.frames.capacity() < kFramesReserve) ctx.frames.reserve(kFramesReserve);
+  }
+  ~BufferLease() {
+    if (buffers != nullptr) {
+      ctx.stack.swap(buffers->stack);
+      ctx.frames.swap(buffers->frames);
+    }
+  }
+};
+
 }  // namespace
 
-#define TRAP(kind)          \
-  do {                      \
-    ctx.SetTrap(kind);      \
-    return ctx.trap;        \
-  } while (0)
+bool ThreadedDispatchAvailable() { return WASM_THREADED_OK != 0; }
 
-TrapKind RunLoop(ExecContext& ctx) {
-  std::vector<uint64_t>& stack = ctx.stack;
-  const bool fuel_limited = ctx.opts.fuel != 0;
-  const SafepointScheme scheme = ctx.opts.scheme;
-
-  auto do_poll = [&]() -> TrapKind {
-    if (ctx.poll != nullptr && *ctx.poll) {
-      TrapKind t = (*ctx.poll)(ctx);
-      if (t != TrapKind::kNone && ctx.trap == TrapKind::kNone) {
-        ctx.trap = t;
-      }
-      return ctx.trap;
-    }
-    return TrapKind::kNone;
-  };
-
-  while (!ctx.frames.empty()) {
-    ExecContext::Frame* fr = &ctx.frames.back();
-    const Instr* code = fr->code;
-    uint32_t pc = fr->pc;
-    Memory* mem = fr->mem;
-    const uint32_t locals_base = fr->locals_base;
-    const uint32_t stack_base = fr->stack_base;
-
-    auto pop = [&]() -> uint64_t {
-      uint64_t v = stack.back();
-      stack.pop_back();
-      return v;
-    };
-    auto push = [&](uint64_t v) { stack.push_back(v); };
-    auto pop32 = [&]() -> uint32_t { return static_cast<uint32_t>(pop()); };
-    auto push32 = [&](uint32_t v) { stack.push_back(v); };
-
-    // Unwinds the operand stack for a branch carrying `arity` values.
-    auto do_branch = [&](uint32_t target_pc, uint32_t height, uint32_t arity) {
-      size_t abs = stack_base + height;
-      if (arity > 0 && stack.size() != abs + arity) {
-        std::memmove(&stack[abs], &stack[stack.size() - arity],
-                     arity * sizeof(uint64_t));
-      }
-      stack.resize(abs + arity);
-      pc = target_pc;
-    };
-
-    bool switch_frame = false;
-    while (!switch_frame) {
-      const Instr& in = code[pc];
-      ++pc;
-      ++ctx.executed;
-      if (fuel_limited && ctx.executed > ctx.opts.fuel) {
-        TRAP(TrapKind::kFuelExhausted);
-      }
-      if (scheme == SafepointScheme::kEveryInstr) {
-        if (do_poll() != TrapKind::kNone) return ctx.trap;
-      }
-
-      switch (in.op) {
-        case Op::kUnreachable:
-          TRAP(TrapKind::kUnreachable);
-        case Op::kNop:
-        case Op::kBlock:
-        case Op::kEnd:
-          break;
-        case Op::kLoop:
-          if (scheme == SafepointScheme::kLoop) {
-            if (do_poll() != TrapKind::kNone) return ctx.trap;
-          }
-          break;
-        case Op::kIf: {
-          if (pop32() == 0) pc = in.a;
-          break;
-        }
-        case Op::kElse:
-          pc = in.a;  // fell out of the then-branch: jump to end
-          break;
-        case Op::kBr: {
-          // Backward branches target the kLoop instruction itself, which is
-          // where loop-scheme safepoint polling happens (once per iteration).
-          do_branch(in.a, in.b, in.arity);
-          break;
-        }
-        case Op::kBrIf: {
-          if (pop32() != 0) {
-            do_branch(in.a, in.b, in.arity);
-          }
-          break;
-        }
-        case Op::kBrTable: {
-          const BrTable& table = fr->fn->br_tables[in.a];
-          uint32_t idx = pop32();
-          const BrTarget& t = idx < table.targets.size() - 1
-                                  ? table.targets[idx]
-                                  : table.targets.back();
-          do_branch(t.pc, t.height, t.arity);
-          break;
-        }
-        case Op::kReturn: {
-          size_t arity = fr->type->results.size();
-          if (arity > 0 && stack.size() != locals_base + arity) {
-            std::memmove(&stack[locals_base], &stack[stack.size() - arity],
-                         arity * sizeof(uint64_t));
-          }
-          stack.resize(locals_base + arity);
-          ctx.frames.pop_back();
-          switch_frame = true;
-          break;
-        }
-        case Op::kCall: {
-          const FuncRef& f = fr->inst->func(in.a);
-          if (f.IsHost()) {
-            fr->pc = pc;
-            if (CallHost(ctx, *f.host) != TrapKind::kNone) return ctx.trap;
-            // Host may have re-entered and resized the frames vector.
-            fr = &ctx.frames.back();
-            code = fr->code;
-            pc = fr->pc;
-            mem = fr->mem;
-          } else {
-            fr->pc = pc;
-            if (scheme == SafepointScheme::kFunction) {
-              if (do_poll() != TrapKind::kNone) return ctx.trap;
-            }
-            if (!PushFrame(ctx, f)) return ctx.trap;
-            switch_frame = true;
-          }
-          break;
-        }
-        case Op::kCallIndirect: {
-          TableInst* table = fr->inst->table(in.b).get();
-          if (table == nullptr) TRAP(TrapKind::kIndirectOob);
-          uint32_t idx = pop32();
-          if (idx >= table->elems.size()) TRAP(TrapKind::kIndirectOob);
-          const FuncRef& f = table->elems[idx];
-          if (f.IsNull()) TRAP(TrapKind::kIndirectNull);
-          const FuncType& expected = fr->inst->module().types[in.a];
-          if (!(expected == *f.type)) TRAP(TrapKind::kIndirectSigMismatch);
-          if (f.IsHost()) {
-            fr->pc = pc;
-            if (CallHost(ctx, *f.host) != TrapKind::kNone) return ctx.trap;
-            fr = &ctx.frames.back();
-            code = fr->code;
-            pc = fr->pc;
-            mem = fr->mem;
-          } else {
-            fr->pc = pc;
-            if (scheme == SafepointScheme::kFunction) {
-              if (do_poll() != TrapKind::kNone) return ctx.trap;
-            }
-            if (!PushFrame(ctx, f)) return ctx.trap;
-            switch_frame = true;
-          }
-          break;
-        }
-        case Op::kDrop:
-          stack.pop_back();
-          break;
-        case Op::kSelect: {
-          uint32_t c = pop32();
-          uint64_t b = pop();
-          uint64_t a = pop();
-          push(c != 0 ? a : b);
-          break;
-        }
-        case Op::kLocalGet:
-          push(stack[locals_base + in.a]);
-          break;
-        case Op::kLocalSet:
-          stack[locals_base + in.a] = pop();
-          break;
-        case Op::kLocalTee:
-          stack[locals_base + in.a] = stack.back();
-          break;
-        case Op::kGlobalGet:
-          push(fr->inst->global(in.a).bits);
-          break;
-        case Op::kGlobalSet:
-          fr->inst->global(in.a).bits = pop();
-          break;
-
-#define MEM_LOAD(ctype, dsttype, extend)                                    \
-  {                                                                         \
-    uint64_t ea = static_cast<uint64_t>(pop32()) + in.a;                    \
-    if (mem == nullptr || !mem->InBounds(ea, sizeof(ctype)))                \
-      TRAP(TrapKind::kMemOutOfBounds);                                      \
-    ctype v;                                                                \
-    std::memcpy(&v, mem->At(ea), sizeof(ctype));                            \
-    push(static_cast<uint64_t>(static_cast<dsttype>(extend(v))));           \
-    break;                                                                  \
+DispatchMode ResolveDispatch(const ExecOptions& opts) {
+  // kEveryInstr polls after every source instruction; that contract lives
+  // in the per-instruction switch loop over the unfused stream.
+  if (opts.scheme == SafepointScheme::kEveryInstr) {
+    return DispatchMode::kSwitch;
   }
-#define MEM_STORE(ctype, srcexpr)                                           \
-  {                                                                         \
-    ctype v = static_cast<ctype>(srcexpr);                                  \
-    uint64_t ea = static_cast<uint64_t>(pop32()) + in.a;                    \
-    if (mem == nullptr || !mem->InBounds(ea, sizeof(ctype)))                \
-      TRAP(TrapKind::kMemOutOfBounds);                                      \
-    std::memcpy(mem->At(ea), &v, sizeof(ctype));                            \
-    break;                                                                  \
+  if (opts.dispatch == DispatchMode::kSwitch) {
+    return DispatchMode::kSwitch;
   }
-#define ID(x) (x)
-
-        case Op::kI32Load: MEM_LOAD(uint32_t, uint32_t, ID)
-        case Op::kI64Load: MEM_LOAD(uint64_t, uint64_t, ID)
-        case Op::kF32Load: MEM_LOAD(uint32_t, uint32_t, ID)
-        case Op::kF64Load: MEM_LOAD(uint64_t, uint64_t, ID)
-        case Op::kI32Load8S: MEM_LOAD(int8_t, uint32_t, static_cast<int32_t>)
-        case Op::kI32Load8U: MEM_LOAD(uint8_t, uint32_t, ID)
-        case Op::kI32Load16S: MEM_LOAD(int16_t, uint32_t, static_cast<int32_t>)
-        case Op::kI32Load16U: MEM_LOAD(uint16_t, uint32_t, ID)
-        case Op::kI64Load8S: MEM_LOAD(int8_t, uint64_t, static_cast<int64_t>)
-        case Op::kI64Load8U: MEM_LOAD(uint8_t, uint64_t, ID)
-        case Op::kI64Load16S: MEM_LOAD(int16_t, uint64_t, static_cast<int64_t>)
-        case Op::kI64Load16U: MEM_LOAD(uint16_t, uint64_t, ID)
-        case Op::kI64Load32S: MEM_LOAD(int32_t, uint64_t, static_cast<int64_t>)
-        case Op::kI64Load32U: MEM_LOAD(uint32_t, uint64_t, ID)
-        case Op::kI32Store: MEM_STORE(uint32_t, pop())
-        case Op::kI64Store: MEM_STORE(uint64_t, pop())
-        case Op::kF32Store: MEM_STORE(uint32_t, pop())
-        case Op::kF64Store: MEM_STORE(uint64_t, pop())
-        case Op::kI32Store8: MEM_STORE(uint8_t, pop())
-        case Op::kI32Store16: MEM_STORE(uint16_t, pop())
-        case Op::kI64Store8: MEM_STORE(uint8_t, pop())
-        case Op::kI64Store16: MEM_STORE(uint16_t, pop())
-        case Op::kI64Store32: MEM_STORE(uint32_t, pop())
-
-        case Op::kMemorySize:
-          push32(mem != nullptr ? static_cast<uint32_t>(mem->size_pages()) : 0);
-          break;
-        case Op::kMemoryGrow: {
-          uint32_t delta = pop32();
-          int64_t old_pages = mem != nullptr ? mem->Grow(delta) : -1;
-          push32(static_cast<uint32_t>(old_pages));
-          break;
-        }
-        case Op::kMemoryCopy: {
-          uint32_t n = pop32(), s = pop32(), d = pop32();
-          if (mem == nullptr || !mem->InBounds(s, n) || !mem->InBounds(d, n)) {
-            TRAP(TrapKind::kMemOutOfBounds);
-          }
-          std::memmove(mem->At(d), mem->At(s), n);
-          break;
-        }
-        case Op::kMemoryFill: {
-          uint32_t n = pop32(), val = pop32(), d = pop32();
-          if (mem == nullptr || !mem->InBounds(d, n)) {
-            TRAP(TrapKind::kMemOutOfBounds);
-          }
-          std::memset(mem->At(d), static_cast<int>(val & 0xFF), n);
-          break;
-        }
-
-        case Op::kI32Const:
-        case Op::kI64Const:
-        case Op::kF32Const:
-        case Op::kF64Const:
-          push(in.imm);
-          break;
-
-#define I32_BINOP(expr)                       \
-  {                                           \
-    uint32_t rb = pop32(), ra = pop32();      \
-    (void)ra; (void)rb;                       \
-    push32(expr);                             \
-    break;                                    \
-  }
-#define I64_BINOP(expr)                       \
-  {                                           \
-    uint64_t rb = pop(), ra = pop();          \
-    (void)ra; (void)rb;                       \
-    push(expr);                               \
-    break;                                    \
-  }
-#define F32_BINOP(expr)                                  \
-  {                                                      \
-    float rb = F32OfBits(pop()), ra = F32OfBits(pop());  \
-    (void)ra; (void)rb;                                  \
-    push(BitsOfF32(expr));                               \
-    break;                                               \
-  }
-#define F64_BINOP(expr)                                  \
-  {                                                      \
-    double rb = F64OfBits(pop()), ra = F64OfBits(pop()); \
-    (void)ra; (void)rb;                                  \
-    push(BitsOfF64(expr));                               \
-    break;                                               \
-  }
-#define F32_CMP(expr)                                    \
-  {                                                      \
-    float rb = F32OfBits(pop()), ra = F32OfBits(pop());  \
-    push32((expr) ? 1 : 0);                              \
-    break;                                               \
-  }
-#define F64_CMP(expr)                                    \
-  {                                                      \
-    double rb = F64OfBits(pop()), ra = F64OfBits(pop()); \
-    push32((expr) ? 1 : 0);                              \
-    break;                                               \
-  }
-
-        case Op::kI32Eqz: push32(pop32() == 0 ? 1 : 0); break;
-        case Op::kI32Eq: I32_BINOP(ra == rb ? 1 : 0)
-        case Op::kI32Ne: I32_BINOP(ra != rb ? 1 : 0)
-        case Op::kI32LtS: I32_BINOP(static_cast<int32_t>(ra) < static_cast<int32_t>(rb) ? 1 : 0)
-        case Op::kI32LtU: I32_BINOP(ra < rb ? 1 : 0)
-        case Op::kI32GtS: I32_BINOP(static_cast<int32_t>(ra) > static_cast<int32_t>(rb) ? 1 : 0)
-        case Op::kI32GtU: I32_BINOP(ra > rb ? 1 : 0)
-        case Op::kI32LeS: I32_BINOP(static_cast<int32_t>(ra) <= static_cast<int32_t>(rb) ? 1 : 0)
-        case Op::kI32LeU: I32_BINOP(ra <= rb ? 1 : 0)
-        case Op::kI32GeS: I32_BINOP(static_cast<int32_t>(ra) >= static_cast<int32_t>(rb) ? 1 : 0)
-        case Op::kI32GeU: I32_BINOP(ra >= rb ? 1 : 0)
-
-        case Op::kI64Eqz: push32(pop() == 0 ? 1 : 0); break;
-        case Op::kI64Eq: { uint64_t rb = pop(), ra = pop(); push32(ra == rb ? 1 : 0); break; }
-        case Op::kI64Ne: { uint64_t rb = pop(), ra = pop(); push32(ra != rb ? 1 : 0); break; }
-        case Op::kI64LtS: { int64_t rb = static_cast<int64_t>(pop()), ra = static_cast<int64_t>(pop()); push32(ra < rb ? 1 : 0); break; }
-        case Op::kI64LtU: { uint64_t rb = pop(), ra = pop(); push32(ra < rb ? 1 : 0); break; }
-        case Op::kI64GtS: { int64_t rb = static_cast<int64_t>(pop()), ra = static_cast<int64_t>(pop()); push32(ra > rb ? 1 : 0); break; }
-        case Op::kI64GtU: { uint64_t rb = pop(), ra = pop(); push32(ra > rb ? 1 : 0); break; }
-        case Op::kI64LeS: { int64_t rb = static_cast<int64_t>(pop()), ra = static_cast<int64_t>(pop()); push32(ra <= rb ? 1 : 0); break; }
-        case Op::kI64LeU: { uint64_t rb = pop(), ra = pop(); push32(ra <= rb ? 1 : 0); break; }
-        case Op::kI64GeS: { int64_t rb = static_cast<int64_t>(pop()), ra = static_cast<int64_t>(pop()); push32(ra >= rb ? 1 : 0); break; }
-        case Op::kI64GeU: { uint64_t rb = pop(), ra = pop(); push32(ra >= rb ? 1 : 0); break; }
-
-        case Op::kF32Eq: F32_CMP(ra == rb)
-        case Op::kF32Ne: F32_CMP(ra != rb)
-        case Op::kF32Lt: F32_CMP(ra < rb)
-        case Op::kF32Gt: F32_CMP(ra > rb)
-        case Op::kF32Le: F32_CMP(ra <= rb)
-        case Op::kF32Ge: F32_CMP(ra >= rb)
-        case Op::kF64Eq: F64_CMP(ra == rb)
-        case Op::kF64Ne: F64_CMP(ra != rb)
-        case Op::kF64Lt: F64_CMP(ra < rb)
-        case Op::kF64Gt: F64_CMP(ra > rb)
-        case Op::kF64Le: F64_CMP(ra <= rb)
-        case Op::kF64Ge: F64_CMP(ra >= rb)
-
-        case Op::kI32Clz: { uint32_t v = pop32(); push32(v == 0 ? 32 : __builtin_clz(v)); break; }
-        case Op::kI32Ctz: { uint32_t v = pop32(); push32(v == 0 ? 32 : __builtin_ctz(v)); break; }
-        case Op::kI32Popcnt: push32(__builtin_popcount(pop32())); break;
-        case Op::kI32Add: I32_BINOP(ra + rb)
-        case Op::kI32Sub: I32_BINOP(ra - rb)
-        case Op::kI32Mul: I32_BINOP(ra * rb)
-        case Op::kI32DivS: {
-          int32_t rb = static_cast<int32_t>(pop32()), ra = static_cast<int32_t>(pop32());
-          if (rb == 0) TRAP(TrapKind::kDivByZero);
-          if (ra == INT32_MIN && rb == -1) TRAP(TrapKind::kIntOverflow);
-          push32(static_cast<uint32_t>(ra / rb));
-          break;
-        }
-        case Op::kI32DivU: {
-          uint32_t rb = pop32(), ra = pop32();
-          if (rb == 0) TRAP(TrapKind::kDivByZero);
-          push32(ra / rb);
-          break;
-        }
-        case Op::kI32RemS: {
-          int32_t rb = static_cast<int32_t>(pop32()), ra = static_cast<int32_t>(pop32());
-          if (rb == 0) TRAP(TrapKind::kDivByZero);
-          push32(ra == INT32_MIN && rb == -1 ? 0 : static_cast<uint32_t>(ra % rb));
-          break;
-        }
-        case Op::kI32RemU: {
-          uint32_t rb = pop32(), ra = pop32();
-          if (rb == 0) TRAP(TrapKind::kDivByZero);
-          push32(ra % rb);
-          break;
-        }
-        case Op::kI32And: I32_BINOP(ra & rb)
-        case Op::kI32Or: I32_BINOP(ra | rb)
-        case Op::kI32Xor: I32_BINOP(ra ^ rb)
-        case Op::kI32Shl: I32_BINOP(ra << (rb & 31))
-        case Op::kI32ShrS: I32_BINOP(static_cast<uint32_t>(static_cast<int32_t>(ra) >> (rb & 31)))
-        case Op::kI32ShrU: I32_BINOP(ra >> (rb & 31))
-        case Op::kI32Rotl: I32_BINOP((ra << (rb & 31)) | (ra >> ((32 - rb) & 31)))
-        case Op::kI32Rotr: I32_BINOP((ra >> (rb & 31)) | (ra << ((32 - rb) & 31)))
-
-        case Op::kI64Clz: { uint64_t v = pop(); push(v == 0 ? 64 : __builtin_clzll(v)); break; }
-        case Op::kI64Ctz: { uint64_t v = pop(); push(v == 0 ? 64 : __builtin_ctzll(v)); break; }
-        case Op::kI64Popcnt: push(__builtin_popcountll(pop())); break;
-        case Op::kI64Add: I64_BINOP(ra + rb)
-        case Op::kI64Sub: I64_BINOP(ra - rb)
-        case Op::kI64Mul: I64_BINOP(ra * rb)
-        case Op::kI64DivS: {
-          int64_t rb = static_cast<int64_t>(pop()), ra = static_cast<int64_t>(pop());
-          if (rb == 0) TRAP(TrapKind::kDivByZero);
-          if (ra == INT64_MIN && rb == -1) TRAP(TrapKind::kIntOverflow);
-          push(static_cast<uint64_t>(ra / rb));
-          break;
-        }
-        case Op::kI64DivU: {
-          uint64_t rb = pop(), ra = pop();
-          if (rb == 0) TRAP(TrapKind::kDivByZero);
-          push(ra / rb);
-          break;
-        }
-        case Op::kI64RemS: {
-          int64_t rb = static_cast<int64_t>(pop()), ra = static_cast<int64_t>(pop());
-          if (rb == 0) TRAP(TrapKind::kDivByZero);
-          push(ra == INT64_MIN && rb == -1 ? 0 : static_cast<uint64_t>(ra % rb));
-          break;
-        }
-        case Op::kI64RemU: {
-          uint64_t rb = pop(), ra = pop();
-          if (rb == 0) TRAP(TrapKind::kDivByZero);
-          push(ra % rb);
-          break;
-        }
-        case Op::kI64And: I64_BINOP(ra & rb)
-        case Op::kI64Or: I64_BINOP(ra | rb)
-        case Op::kI64Xor: I64_BINOP(ra ^ rb)
-        case Op::kI64Shl: I64_BINOP(ra << (rb & 63))
-        case Op::kI64ShrS: I64_BINOP(static_cast<uint64_t>(static_cast<int64_t>(ra) >> (rb & 63)))
-        case Op::kI64ShrU: I64_BINOP(ra >> (rb & 63))
-        case Op::kI64Rotl: I64_BINOP((ra << (rb & 63)) | (ra >> ((64 - rb) & 63)))
-        case Op::kI64Rotr: I64_BINOP((ra >> (rb & 63)) | (ra << ((64 - rb) & 63)))
-
-        case Op::kF32Abs: push(BitsOfF32(std::fabs(F32OfBits(pop())))); break;
-        case Op::kF32Neg: push(BitsOfF32(-F32OfBits(pop()))); break;
-        case Op::kF32Ceil: push(BitsOfF32(std::ceil(F32OfBits(pop())))); break;
-        case Op::kF32Floor: push(BitsOfF32(std::floor(F32OfBits(pop())))); break;
-        case Op::kF32Trunc: push(BitsOfF32(std::trunc(F32OfBits(pop())))); break;
-        case Op::kF32Nearest: push(BitsOfF32(std::nearbyintf(F32OfBits(pop())))); break;
-        case Op::kF32Sqrt: push(BitsOfF32(std::sqrt(F32OfBits(pop())))); break;
-        case Op::kF32Add: F32_BINOP(ra + rb)
-        case Op::kF32Sub: F32_BINOP(ra - rb)
-        case Op::kF32Mul: F32_BINOP(ra * rb)
-        case Op::kF32Div: F32_BINOP(ra / rb)
-        case Op::kF32Min: F32_BINOP(FMin32(ra, rb))
-        case Op::kF32Max: F32_BINOP(FMax32(ra, rb))
-        case Op::kF32Copysign: F32_BINOP(std::copysign(ra, rb))
-
-        case Op::kF64Abs: push(BitsOfF64(std::fabs(F64OfBits(pop())))); break;
-        case Op::kF64Neg: push(BitsOfF64(-F64OfBits(pop()))); break;
-        case Op::kF64Ceil: push(BitsOfF64(std::ceil(F64OfBits(pop())))); break;
-        case Op::kF64Floor: push(BitsOfF64(std::floor(F64OfBits(pop())))); break;
-        case Op::kF64Trunc: push(BitsOfF64(std::trunc(F64OfBits(pop())))); break;
-        case Op::kF64Nearest: push(BitsOfF64(std::nearbyint(F64OfBits(pop())))); break;
-        case Op::kF64Sqrt: push(BitsOfF64(std::sqrt(F64OfBits(pop())))); break;
-        case Op::kF64Add: F64_BINOP(ra + rb)
-        case Op::kF64Sub: F64_BINOP(ra - rb)
-        case Op::kF64Mul: F64_BINOP(ra * rb)
-        case Op::kF64Div: F64_BINOP(ra / rb)
-        case Op::kF64Min: F64_BINOP(FMin64(ra, rb))
-        case Op::kF64Max: F64_BINOP(FMax64(ra, rb))
-        case Op::kF64Copysign: F64_BINOP(std::copysign(ra, rb))
-
-        case Op::kI32WrapI64: push32(static_cast<uint32_t>(pop())); break;
-        case Op::kI32TruncF32S: {
-          float v = F32OfBits(pop());
-          if (std::isnan(v)) TRAP(TrapKind::kInvalidConversion);
-          if (v >= 2147483648.0f || v < -2147483648.0f) TRAP(TrapKind::kIntOverflow);
-          push32(static_cast<uint32_t>(static_cast<int32_t>(v)));
-          break;
-        }
-        case Op::kI32TruncF32U: {
-          float v = F32OfBits(pop());
-          if (std::isnan(v)) TRAP(TrapKind::kInvalidConversion);
-          if (v >= 4294967296.0f || v <= -1.0f) TRAP(TrapKind::kIntOverflow);
-          push32(static_cast<uint32_t>(v));
-          break;
-        }
-        case Op::kI32TruncF64S: {
-          double v = F64OfBits(pop());
-          if (std::isnan(v)) TRAP(TrapKind::kInvalidConversion);
-          if (v >= 2147483648.0 || v <= -2147483649.0) TRAP(TrapKind::kIntOverflow);
-          push32(static_cast<uint32_t>(static_cast<int32_t>(v)));
-          break;
-        }
-        case Op::kI32TruncF64U: {
-          double v = F64OfBits(pop());
-          if (std::isnan(v)) TRAP(TrapKind::kInvalidConversion);
-          if (v >= 4294967296.0 || v <= -1.0) TRAP(TrapKind::kIntOverflow);
-          push32(static_cast<uint32_t>(v));
-          break;
-        }
-        case Op::kI64ExtendI32S:
-          push(static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(pop32()))));
-          break;
-        case Op::kI64ExtendI32U: push(pop32()); break;
-        case Op::kI64TruncF32S: {
-          float v = F32OfBits(pop());
-          if (std::isnan(v)) TRAP(TrapKind::kInvalidConversion);
-          if (v >= 9223372036854775808.0f || v < -9223372036854775808.0f) {
-            TRAP(TrapKind::kIntOverflow);
-          }
-          push(static_cast<uint64_t>(static_cast<int64_t>(v)));
-          break;
-        }
-        case Op::kI64TruncF32U: {
-          float v = F32OfBits(pop());
-          if (std::isnan(v)) TRAP(TrapKind::kInvalidConversion);
-          if (v >= 18446744073709551616.0f || v <= -1.0f) TRAP(TrapKind::kIntOverflow);
-          push(static_cast<uint64_t>(v));
-          break;
-        }
-        case Op::kI64TruncF64S: {
-          double v = F64OfBits(pop());
-          if (std::isnan(v)) TRAP(TrapKind::kInvalidConversion);
-          if (v >= 9223372036854775808.0 || v < -9223372036854775808.0) {
-            TRAP(TrapKind::kIntOverflow);
-          }
-          push(static_cast<uint64_t>(static_cast<int64_t>(v)));
-          break;
-        }
-        case Op::kI64TruncF64U: {
-          double v = F64OfBits(pop());
-          if (std::isnan(v)) TRAP(TrapKind::kInvalidConversion);
-          if (v >= 18446744073709551616.0 || v <= -1.0) TRAP(TrapKind::kIntOverflow);
-          push(static_cast<uint64_t>(v));
-          break;
-        }
-        case Op::kF32ConvertI32S: push(BitsOfF32(static_cast<float>(static_cast<int32_t>(pop32())))); break;
-        case Op::kF32ConvertI32U: push(BitsOfF32(static_cast<float>(pop32()))); break;
-        case Op::kF32ConvertI64S: push(BitsOfF32(static_cast<float>(static_cast<int64_t>(pop())))); break;
-        case Op::kF32ConvertI64U: push(BitsOfF32(static_cast<float>(pop()))); break;
-        case Op::kF32DemoteF64: push(BitsOfF32(static_cast<float>(F64OfBits(pop())))); break;
-        case Op::kF64ConvertI32S: push(BitsOfF64(static_cast<double>(static_cast<int32_t>(pop32())))); break;
-        case Op::kF64ConvertI32U: push(BitsOfF64(static_cast<double>(pop32()))); break;
-        case Op::kF64ConvertI64S: push(BitsOfF64(static_cast<double>(static_cast<int64_t>(pop())))); break;
-        case Op::kF64ConvertI64U: push(BitsOfF64(static_cast<double>(pop()))); break;
-        case Op::kF64PromoteF32: push(BitsOfF64(static_cast<double>(F32OfBits(pop())))); break;
-        case Op::kI32ReinterpretF32: push32(static_cast<uint32_t>(pop())); break;
-        case Op::kI64ReinterpretF64: break;  // bits already on stack
-        case Op::kF32ReinterpretI32: break;
-        case Op::kF64ReinterpretI64: break;
-        case Op::kI32Extend8S: push32(static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(pop32())))); break;
-        case Op::kI32Extend16S: push32(static_cast<uint32_t>(static_cast<int32_t>(static_cast<int16_t>(pop32())))); break;
-        case Op::kI64Extend8S: push(static_cast<uint64_t>(static_cast<int64_t>(static_cast<int8_t>(pop())))); break;
-        case Op::kI64Extend16S: push(static_cast<uint64_t>(static_cast<int64_t>(static_cast<int16_t>(pop())))); break;
-        case Op::kI64Extend32S: push(static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(pop())))); break;
-
-        case Op::kI32TruncSatF32S: {
-          float v = F32OfBits(pop());
-          int32_t out;
-          if (std::isnan(v)) out = 0;
-          else if (v <= -2147483648.0f) out = INT32_MIN;
-          else if (v >= 2147483648.0f) out = INT32_MAX;
-          else out = static_cast<int32_t>(v);
-          push32(static_cast<uint32_t>(out));
-          break;
-        }
-        case Op::kI32TruncSatF32U: {
-          float v = F32OfBits(pop());
-          uint32_t out;
-          if (std::isnan(v) || v <= -1.0f) out = 0;
-          else if (v >= 4294967296.0f) out = UINT32_MAX;
-          else out = static_cast<uint32_t>(v);
-          push32(out);
-          break;
-        }
-        case Op::kI32TruncSatF64S: {
-          double v = F64OfBits(pop());
-          int32_t out;
-          if (std::isnan(v)) out = 0;
-          else if (v <= -2147483648.0) out = INT32_MIN;
-          else if (v >= 2147483647.0) out = INT32_MAX;
-          else out = static_cast<int32_t>(v);
-          push32(static_cast<uint32_t>(out));
-          break;
-        }
-        case Op::kI32TruncSatF64U: {
-          double v = F64OfBits(pop());
-          uint32_t out;
-          if (std::isnan(v) || v <= -1.0) out = 0;
-          else if (v >= 4294967295.0) out = UINT32_MAX;
-          else out = static_cast<uint32_t>(v);
-          push32(out);
-          break;
-        }
-        case Op::kI64TruncSatF32S: {
-          float v = F32OfBits(pop());
-          int64_t out;
-          if (std::isnan(v)) out = 0;
-          else if (v <= -9223372036854775808.0f) out = INT64_MIN;
-          else if (v >= 9223372036854775808.0f) out = INT64_MAX;
-          else out = static_cast<int64_t>(v);
-          push(static_cast<uint64_t>(out));
-          break;
-        }
-        case Op::kI64TruncSatF32U: {
-          float v = F32OfBits(pop());
-          uint64_t out;
-          if (std::isnan(v) || v <= -1.0f) out = 0;
-          else if (v >= 18446744073709551616.0f) out = UINT64_MAX;
-          else out = static_cast<uint64_t>(v);
-          push(out);
-          break;
-        }
-        case Op::kI64TruncSatF64S: {
-          double v = F64OfBits(pop());
-          int64_t out;
-          if (std::isnan(v)) out = 0;
-          else if (v <= -9223372036854775808.0) out = INT64_MIN;
-          else if (v >= 9223372036854775808.0) out = INT64_MAX;
-          else out = static_cast<int64_t>(v);
-          push(static_cast<uint64_t>(out));
-          break;
-        }
-        case Op::kI64TruncSatF64U: {
-          double v = F64OfBits(pop());
-          uint64_t out;
-          if (std::isnan(v) || v <= -1.0) out = 0;
-          else if (v >= 18446744073709551616.0) out = UINT64_MAX;
-          else out = static_cast<uint64_t>(v);
-          push(out);
-          break;
-        }
-
-#define ATOMIC_EA(size)                                                      \
-  uint64_t ea = static_cast<uint64_t>(pop32()) + in.a;                       \
-  if (mem == nullptr || !mem->InBounds(ea, size)) TRAP(TrapKind::kMemOutOfBounds); \
-  if ((ea & ((size) - 1)) != 0) TRAP(TrapKind::kUnalignedAtomic)
-
-        case Op::kAtomicNotify: {
-          uint32_t count = pop32();
-          ATOMIC_EA(4);
-          push32(mem->Notify(ea, count));
-          break;
-        }
-        case Op::kAtomicWait32: {
-          int64_t timeout = static_cast<int64_t>(pop());
-          uint32_t expected = pop32();
-          ATOMIC_EA(4);
-          push32(static_cast<uint32_t>(mem->Wait32(ea, expected, timeout)));
-          break;
-        }
-        case Op::kAtomicWait64: {
-          int64_t timeout = static_cast<int64_t>(pop());
-          uint64_t expected = pop();
-          ATOMIC_EA(8);
-          push32(static_cast<uint32_t>(mem->Wait64(ea, expected, timeout)));
-          break;
-        }
-        case Op::kAtomicFence:
-          __atomic_thread_fence(__ATOMIC_SEQ_CST);
-          break;
-        case Op::kI32AtomicLoad: {
-          ATOMIC_EA(4);
-          uint32_t v;
-          __atomic_load(reinterpret_cast<uint32_t*>(mem->At(ea)), &v, __ATOMIC_SEQ_CST);
-          push32(v);
-          break;
-        }
-        case Op::kI64AtomicLoad: {
-          ATOMIC_EA(8);
-          uint64_t v;
-          __atomic_load(reinterpret_cast<uint64_t*>(mem->At(ea)), &v, __ATOMIC_SEQ_CST);
-          push(v);
-          break;
-        }
-        case Op::kI32AtomicStore: {
-          uint32_t v = pop32();
-          ATOMIC_EA(4);
-          __atomic_store(reinterpret_cast<uint32_t*>(mem->At(ea)), &v, __ATOMIC_SEQ_CST);
-          break;
-        }
-        case Op::kI64AtomicStore: {
-          uint64_t v = pop();
-          ATOMIC_EA(8);
-          __atomic_store(reinterpret_cast<uint64_t*>(mem->At(ea)), &v, __ATOMIC_SEQ_CST);
-          break;
-        }
-
-#define ATOMIC_RMW32(builtin)                                                \
-  {                                                                          \
-    uint32_t v = pop32();                                                    \
-    ATOMIC_EA(4);                                                            \
-    push32(builtin(reinterpret_cast<uint32_t*>(mem->At(ea)), v, __ATOMIC_SEQ_CST)); \
-    break;                                                                   \
-  }
-#define ATOMIC_RMW64(builtin)                                                \
-  {                                                                          \
-    uint64_t v = pop();                                                      \
-    ATOMIC_EA(8);                                                            \
-    push(builtin(reinterpret_cast<uint64_t*>(mem->At(ea)), v, __ATOMIC_SEQ_CST)); \
-    break;                                                                   \
-  }
-
-        case Op::kI32AtomicRmwAdd: ATOMIC_RMW32(__atomic_fetch_add)
-        case Op::kI64AtomicRmwAdd: ATOMIC_RMW64(__atomic_fetch_add)
-        case Op::kI32AtomicRmwSub: ATOMIC_RMW32(__atomic_fetch_sub)
-        case Op::kI64AtomicRmwSub: ATOMIC_RMW64(__atomic_fetch_sub)
-        case Op::kI32AtomicRmwAnd: ATOMIC_RMW32(__atomic_fetch_and)
-        case Op::kI64AtomicRmwAnd: ATOMIC_RMW64(__atomic_fetch_and)
-        case Op::kI32AtomicRmwOr: ATOMIC_RMW32(__atomic_fetch_or)
-        case Op::kI64AtomicRmwOr: ATOMIC_RMW64(__atomic_fetch_or)
-        case Op::kI32AtomicRmwXor: ATOMIC_RMW32(__atomic_fetch_xor)
-        case Op::kI64AtomicRmwXor: ATOMIC_RMW64(__atomic_fetch_xor)
-        case Op::kI32AtomicRmwXchg: ATOMIC_RMW32(__atomic_exchange_n)
-        case Op::kI64AtomicRmwXchg: ATOMIC_RMW64(__atomic_exchange_n)
-        case Op::kI32AtomicRmwCmpxchg: {
-          uint32_t replacement = pop32();
-          uint32_t expected = pop32();
-          ATOMIC_EA(4);
-          __atomic_compare_exchange_n(reinterpret_cast<uint32_t*>(mem->At(ea)),
-                                      &expected, replacement, false,
-                                      __ATOMIC_SEQ_CST, __ATOMIC_SEQ_CST);
-          push32(expected);
-          break;
-        }
-        case Op::kI64AtomicRmwCmpxchg: {
-          uint64_t replacement = pop();
-          uint64_t expected = pop();
-          ATOMIC_EA(8);
-          __atomic_compare_exchange_n(reinterpret_cast<uint64_t*>(mem->At(ea)),
-                                      &expected, replacement, false,
-                                      __ATOMIC_SEQ_CST, __ATOMIC_SEQ_CST);
-          push(expected);
-          break;
-        }
-
-        default:
-          ctx.SetTrap(TrapKind::kHostError, "unimplemented opcode");
-          return ctx.trap;
-      }
-    }
-  }
-  return TrapKind::kNone;
+  return ThreadedDispatchAvailable() ? DispatchMode::kThreaded
+                                     : DispatchMode::kSwitch;
 }
 
-#undef TRAP
+TrapKind RunLoop(ExecContext& ctx) {
+#if WASM_THREADED_OK
+  if (ResolveDispatch(ctx.opts) == DispatchMode::kThreaded) {
+    return RunLoopThreadedImpl(ctx);
+  }
+#endif
+  return RunLoopSwitch(ctx);
+}
 
 RunResult Invoke(Instance* inst, const FuncRef& ref, const std::vector<Value>& args,
                  const ExecOptions& opts) {
@@ -853,6 +222,7 @@ RunResult Invoke(Instance* inst, const FuncRef& ref, const std::vector<Value>& a
   ctx.root = inst;
   ctx.opts = opts;
   ctx.poll = &inst->safepoint_fn();
+  BufferLease lease(ctx, opts.buffers);
 
   if (ref.IsHost()) {
     for (const Value& v : args) {

@@ -23,7 +23,13 @@ class ExecContext {
   struct Frame {
     Instance* inst = nullptr;
     const Function* fn = nullptr;
+    // Executed stream: fn->prepared.code normally, fn->code under the
+    // kEveryInstr scheme (per-source-instruction polling). `tables` and
+    // `lcost` match the chosen stream; lcost is null for the unfused
+    // stream, which pins the frame to the switch loop.
     const Instr* code = nullptr;
+    const BrTable* tables = nullptr;
+    const uint32_t* lcost = nullptr;
     uint32_t pc = 0;
     uint32_t locals_base = 0;  // stack slot where params/locals begin
     uint32_t stack_base = 0;   // operand stack floor for this frame
@@ -65,11 +71,23 @@ class ExecContext {
   }
 };
 
+// Recyclable interpreter buffers (see ExecOptions::buffers): Invoke swaps
+// these in on entry and back out on exit, so capacity grown by one run is
+// reused by the next instead of being reallocated. One owner per concurrent
+// invocation (host::InstancePool keeps one per pooled process slot).
+struct ExecBuffers {
+  std::vector<uint64_t> stack;
+  std::vector<ExecContext::Frame> frames;
+};
+
 // Invokes `ref` (wasm or host function) with typed arguments.
 RunResult Invoke(Instance* inst, const FuncRef& ref, const std::vector<Value>& args,
                  const ExecOptions& opts);
 
 // Dispatch loop; returns the trap kind (kNone on normal completion).
+// Resolves ExecOptions::dispatch: computed-goto threaded dispatch with
+// block-granular fuel/safepoint accounting when available, the portable
+// switch loop otherwise (and always for SafepointScheme::kEveryInstr).
 TrapKind RunLoop(ExecContext& ctx);
 
 }  // namespace wasm

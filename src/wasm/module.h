@@ -33,9 +33,20 @@ inline constexpr uint64_t kVoidBlockType = 0x40;
 //   if:            imm = blocktype; a = false-branch target, b = end pc
 //   else:          a = end pc
 //   memory ops:    a = offset, b = align
+// Superinstructions (prepare pass; never on the wire):
+//   kFLocalLocalI32Add: a = lhs local, b = rhs local
+//   kFI32AddConst:      imm = addend
+//   kFLocalI32Load:     a = load offset, b = address local
+//   kFBrIfEqz:          a/b/arity as br_if (branches when operand == 0)
+//   kFI32CmpBrIf:       a/b/arity as br_if, imm = fused i32 comparison Op
+//   kFLocalCopy:        a = src local, b = dst local
 struct Instr {
   Op op = Op::kNop;
   uint8_t flags = 0;
+  // Source instructions this op accounts for: 1 for every decoded wire op,
+  // the fused sequence length for superinstructions. Fuel and executed_instrs
+  // are charged in these units, so fused and unfused streams bill the same.
+  uint8_t cost = 1;
   uint16_t arity = 0;
   uint32_t a = 0;
   uint32_t b = 0;
@@ -56,11 +67,33 @@ struct BrTable {
   std::vector<BrTarget> targets;  // last entry is the default
 };
 
+// Execution-optimized form of a function body, built by the prepare pass
+// (src/wasm/prepare) after validation. `code` is the (optionally fused)
+// instruction stream with branch targets remapped; `br_tables` are the
+// remapped copies of Function::br_tables. `linear_cost[pc]` is the source-
+// instruction cost from pc up to AND INCLUDING the next control-transfer op
+// in linear order — the interpreter charges fuel per straight-line segment
+// at segment entry instead of per instruction, and reconciles on traps.
+struct PreparedCode {
+  std::vector<Instr> code;
+  std::vector<BrTable> br_tables;
+  std::vector<uint32_t> linear_cost;
+};
+
 struct Function {
   uint32_t type_index = 0;
   std::vector<ValType> locals;  // non-param locals
-  std::vector<Instr> code;      // terminated by kEnd
+  std::vector<Instr> code;      // terminated by kEnd; wire-faithful (encoder)
   std::vector<BrTable> br_tables;
+  // Peak operand-stack height of the body (validator high-water mark,
+  // excluding params/locals). Lets the threaded dispatch loop pre-size the
+  // value stack once per frame and run on a raw stack pointer; fusion can
+  // only lower the true peak, so this stays a safe bound for prepared code.
+  uint32_t max_operand_stack = 0;
+  // Built by Prepare (called from Validate); the interpreter executes this
+  // stream except under SafepointScheme::kEveryInstr, which runs `code` so
+  // per-instruction polling stays per *source* instruction.
+  PreparedCode prepared;
   std::string debug_name;
 };
 

@@ -10,6 +10,7 @@ const char* OpName(Op op) {
   case Op::name:                             \
     return text;
     WASM_OPCODE_LIST(WASM_OP_NAME)
+    WASM_INTERNAL_OPCODE_LIST(WASM_OP_NAME)
 #undef WASM_OP_NAME
   }
   return "<bad-op>";
@@ -21,9 +22,21 @@ ImmKind OpImmKind(Op op) {
   case Op::name:                            \
     return ImmKind::imm;
     WASM_OPCODE_LIST(WASM_OP_IMM)
+    WASM_INTERNAL_OPCODE_LIST(WASM_OP_IMM)
 #undef WASM_OP_IMM
   }
   return ImmKind::kNone;
+}
+
+bool IsFusedOp(Op op) {
+  switch (op) {
+#define WASM_OP_FUSED(name, value, imm, text) case Op::name:
+    WASM_INTERNAL_OPCODE_LIST(WASM_OP_FUSED)
+#undef WASM_OP_FUSED
+    return true;
+    default:
+      return false;
+  }
 }
 
 std::optional<Op> OpFromText(std::string_view text) {

@@ -241,11 +241,31 @@ enum class ImmKind : uint8_t {
   V(kI64AtomicRmwXchg, 0x242, kMem,         "i64.atomic.rmw.xchg") \
   V(kI32AtomicRmwCmpxchg, 0x248, kMem,      "i32.atomic.rmw.cmpxchg") \
   V(kI64AtomicRmwCmpxchg, 0x249, kMem,      "i64.atomic.rmw.cmpxchg")
+
+// Internal superinstructions, produced by the prepare pass (src/wasm/prepare)
+// from peephole-fused wire-op sequences. They never appear on the wire: the
+// decoder/encoder and the text parser only know WASM_OPCODE_LIST, and
+// IsKnownOp rejects these values. Instr::cost on a fused op carries the
+// number of source instructions it stands for, so fuel accounting is
+// bit-identical to the unfused stream. The "~" name prefix marks them as
+// non-wire in diagnostics.
+#define WASM_INTERNAL_OPCODE_LIST(V) \
+  V(kFLocalLocalI32Add, 0x280, kNone, "~local.get+local.get+i32.add") \
+  V(kFI32AddConst,      0x281, kNone, "~i32.const+i32.add") \
+  V(kFLocalI32Load,     0x282, kNone, "~local.get+i32.load") \
+  V(kFBrIfEqz,          0x283, kNone, "~i32.eqz+br_if") \
+  V(kFI32CmpBrIf,       0x284, kNone, "~i32.cmp+br_if") \
+  V(kFLocalCopy,        0x285, kNone, "~local.get+local.set")
 // clang-format on
+
+// One past the largest opcode value (wire or internal); sizes the threaded
+// dispatch table.
+inline constexpr uint32_t kOpValueLimit = 0x2C0;
 
 enum class Op : uint16_t {
 #define WASM_OP_ENUM(name, value, imm, text) name = value,
   WASM_OPCODE_LIST(WASM_OP_ENUM)
+  WASM_INTERNAL_OPCODE_LIST(WASM_OP_ENUM)
 #undef WASM_OP_ENUM
 };
 
@@ -253,8 +273,11 @@ const char* OpName(Op op);
 ImmKind OpImmKind(Op op);
 // Looks an opcode up by its text-format mnemonic (used by the WAT parser).
 std::optional<Op> OpFromText(std::string_view text);
-// True if `raw` (flattened encoding) denotes a known opcode.
+// True if `raw` (flattened encoding) denotes a known WIRE opcode; internal
+// superinstructions are rejected so crafted binaries cannot inject them.
 bool IsKnownOp(uint32_t raw);
+// True if `op` is an internal superinstruction (prepare-pass output).
+bool IsFusedOp(Op op);
 
 }  // namespace wasm
 

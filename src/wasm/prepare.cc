@@ -1,0 +1,230 @@
+#include "src/wasm/prepare.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace wasm {
+
+namespace {
+
+// Ops after which control does not simply fall to pc+1 (or where the
+// interpreter needs an exact executed count: safepoint sites, calls, traps
+// that end the run). These end the straight-line segments that linear_cost
+// measures; everything else is charged as part of its segment.
+bool IsSegmentTerminator(Op op) {
+  switch (op) {
+    case Op::kUnreachable:
+    case Op::kLoop:  // back-edge target and loop-scheme safepoint site
+    case Op::kIf:
+    case Op::kElse:
+    case Op::kBr:
+    case Op::kBrIf:
+    case Op::kBrTable:
+    case Op::kReturn:
+    case Op::kCall:
+    case Op::kCallIndirect:
+    case Op::kFBrIfEqz:
+    case Op::kFI32CmpBrIf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsI32Cmp(Op op) {
+  switch (op) {
+    case Op::kI32Eq:
+    case Op::kI32Ne:
+    case Op::kI32LtS:
+    case Op::kI32LtU:
+    case Op::kI32GtS:
+    case Op::kI32GtU:
+    case Op::kI32LeS:
+    case Op::kI32LeU:
+    case Op::kI32GeS:
+    case Op::kI32GeU:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Marks every pc that any control instruction can jump to. Fusion must not
+// swallow a jump target into the middle of a superinstruction: the target
+// would vanish from the rewritten stream. (Block/loop end annotations are
+// included conservatively even though plain ends are only reached by
+// fall-through.)
+std::vector<uint8_t> ComputeLeaders(const Function& fn) {
+  const std::vector<Instr>& code = fn.code;
+  std::vector<uint8_t> leader(code.size(), 0);
+  auto mark = [&](uint32_t pc) {
+    if (pc < leader.size()) leader[pc] = 1;
+  };
+  for (const Instr& in : code) {
+    switch (in.op) {
+      case Op::kBlock:
+      case Op::kLoop:
+      case Op::kElse:
+      case Op::kBr:
+      case Op::kBrIf:
+        mark(in.a);
+        break;
+      case Op::kIf:
+        mark(in.a);
+        mark(in.b);
+        break;
+      case Op::kBrTable:
+        if (in.a < fn.br_tables.size()) {
+          for (const BrTarget& t : fn.br_tables[in.a].targets) {
+            mark(t.pc);
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return leader;
+}
+
+}  // namespace
+
+void PrepareFunction(Function& fn, const PrepareOptions& opts,
+                     PrepareStats* stats) {
+  const std::vector<Instr>& src = fn.code;
+  const size_t n = src.size();
+  PreparedCode& out = fn.prepared;
+  out.code.clear();
+  out.code.reserve(n);
+  out.br_tables = fn.br_tables;
+
+  std::vector<uint8_t> leader = ComputeLeaders(fn);
+  // Old pc -> new pc. Instructions swallowed by a fusion map to the fusion
+  // head; nothing branches to them (leader check), so this is only for
+  // map-completeness.
+  std::vector<uint32_t> map(n, 0);
+
+  uint32_t fused = 0;
+  size_t i = 0;
+  while (i < n) {
+    map[i] = static_cast<uint32_t>(out.code.size());
+    const Instr& a = src[i];
+    if (opts.fuse) {
+      if (i + 2 < n && !leader[i + 1] && !leader[i + 2] &&
+          a.op == Op::kLocalGet && src[i + 1].op == Op::kLocalGet &&
+          src[i + 2].op == Op::kI32Add) {
+        Instr f;
+        f.op = Op::kFLocalLocalI32Add;
+        f.cost = 3;
+        f.a = a.a;
+        f.b = src[i + 1].a;
+        map[i + 1] = map[i + 2] = map[i];
+        out.code.push_back(f);
+        i += 3;
+        ++fused;
+        continue;
+      }
+      if (i + 1 < n && !leader[i + 1]) {
+        const Instr& b = src[i + 1];
+        Instr f;
+        f.cost = 2;
+        bool matched = true;
+        if (a.op == Op::kLocalGet && b.op == Op::kI32Load) {
+          f.op = Op::kFLocalI32Load;
+          f.a = b.a;  // load offset
+          f.b = a.a;  // address local
+        } else if (a.op == Op::kLocalGet && b.op == Op::kLocalSet) {
+          f.op = Op::kFLocalCopy;
+          f.a = a.a;  // src local
+          f.b = b.a;  // dst local
+        } else if (a.op == Op::kI32Const && b.op == Op::kI32Add) {
+          f.op = Op::kFI32AddConst;
+          f.imm = a.imm;
+        } else if (a.op == Op::kI32Eqz && b.op == Op::kBrIf) {
+          f.op = Op::kFBrIfEqz;
+          f.a = b.a;
+          f.b = b.b;
+          f.arity = b.arity;
+        } else if (IsI32Cmp(a.op) && b.op == Op::kBrIf) {
+          f.op = Op::kFI32CmpBrIf;
+          f.imm = static_cast<uint64_t>(a.op);
+          f.a = b.a;
+          f.b = b.b;
+          f.arity = b.arity;
+        } else {
+          matched = false;
+        }
+        if (matched) {
+          map[i + 1] = map[i];
+          out.code.push_back(f);
+          i += 2;
+          ++fused;
+          continue;
+        }
+      }
+    }
+    out.code.push_back(a);
+    ++i;
+  }
+
+  // Remap branch targets into the rewritten stream. Only control operands
+  // hold pcs; indices (call targets, locals, memory offsets) pass through.
+  for (Instr& in : out.code) {
+    switch (in.op) {
+      case Op::kBlock:
+      case Op::kLoop:
+      case Op::kElse:
+      case Op::kBr:
+      case Op::kBrIf:
+      case Op::kFBrIfEqz:
+      case Op::kFI32CmpBrIf:
+        in.a = map[in.a];
+        break;
+      case Op::kIf:
+        in.a = map[in.a];
+        in.b = map[in.b];
+        break;
+      default:
+        break;
+    }
+  }
+  for (BrTable& table : out.br_tables) {
+    for (BrTarget& t : table.targets) {
+      t.pc = map[t.pc];
+    }
+  }
+
+  // Straight-line cost metadata: lc[pc] = source units from pc through the
+  // next terminator (inclusive). The dispatch loop charges a whole segment
+  // on entry and falls back to per-instruction accounting only when the
+  // remaining fuel cannot cover the segment, so executed counts and the
+  // kFuelExhausted boundary stay bit-identical to per-instruction charging.
+  std::vector<uint32_t>& lc = out.linear_cost;
+  lc.assign(out.code.size(), 0);
+  uint32_t run = 0;
+  for (size_t j = out.code.size(); j-- > 0;) {
+    if (IsSegmentTerminator(out.code[j].op)) {
+      run = out.code[j].cost;
+    } else {
+      run += out.code[j].cost;
+    }
+    lc[j] = run;
+  }
+
+  if (stats != nullptr) {
+    ++stats->functions;
+    stats->source_instrs += static_cast<uint32_t>(n);
+    stats->prepared_instrs += static_cast<uint32_t>(out.code.size());
+    stats->fused += fused;
+  }
+}
+
+PrepareStats PrepareModule(Module& module, const PrepareOptions& opts) {
+  PrepareStats stats;
+  for (Function& fn : module.functions) {
+    PrepareFunction(fn, opts, &stats);
+  }
+  return stats;
+}
+
+}  // namespace wasm

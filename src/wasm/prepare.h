@@ -1,0 +1,45 @@
+// Post-validation translation pass: rewrites each function's decoded,
+// validator-annotated Instr stream into an execution-optimized form
+// (Function::prepared) — peephole-fused superinstructions, remapped branch
+// targets, and per-pc straight-line cost metadata that lets the interpreter
+// hoist fuel charging and safepoint checks to basic-block granularity.
+//
+// The pass is semantics-preserving by construction: every superinstruction
+// carries the source-instruction count it replaces (Instr::cost), fusion
+// never crosses a branch-target boundary, and Function::code is left intact
+// for the encoder and for the kEveryInstr safepoint slow path. Validate()
+// runs it automatically with fusion enabled; callers (tests, A/B benches)
+// may re-run it with different options at any point where no frame is
+// executing the function.
+#ifndef SRC_WASM_PREPARE_H_
+#define SRC_WASM_PREPARE_H_
+
+#include <cstdint>
+
+#include "src/wasm/module.h"
+
+namespace wasm {
+
+struct PrepareOptions {
+  bool fuse = true;  // false: 1:1 translation (A/B baseline, still prepared)
+};
+
+struct PrepareStats {
+  uint32_t functions = 0;
+  uint32_t source_instrs = 0;
+  uint32_t prepared_instrs = 0;
+  uint32_t fused = 0;  // superinstructions emitted
+};
+
+// Rebuilds fn.prepared from fn.code. The function must already be
+// validator-annotated (resolved branch targets, synthetic trailing return).
+void PrepareFunction(Function& fn, const PrepareOptions& opts,
+                     PrepareStats* stats = nullptr);
+
+// Prepares every local function in the module. Idempotent; safe to re-run
+// with different options between executions.
+PrepareStats PrepareModule(Module& module, const PrepareOptions& opts = {});
+
+}  // namespace wasm
+
+#endif  // SRC_WASM_PREPARE_H_

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "src/wasm/prepare.h"
+
 namespace wasm {
 
 namespace {
@@ -206,7 +208,12 @@ class FunctionValidator {
     return !got.has_value() || *got == want;
   }
 
-  void Push(ValType t) { stack_.push_back(t); }
+  void Push(ValType t) {
+    stack_.push_back(t);
+    if (stack_.size() > max_stack_) {
+      max_stack_ = static_cast<uint32_t>(stack_.size());
+    }
+  }
 
   void MarkUnreachable() {
     Ctrl& top = ctrls_.back();
@@ -274,6 +281,7 @@ class FunctionValidator {
   std::vector<Ctrl> ctrls_;
   uint32_t pc_ = 0;
   uint16_t result_arity_ = 0;
+  uint32_t max_stack_ = 0;
   std::optional<ValType> result_type_;
 };
 
@@ -526,6 +534,7 @@ common::Status FunctionValidator::Run() {
   Instr ret;
   ret.op = Op::kReturn;
   fn_.code.push_back(ret);
+  fn_.max_operand_stack = max_stack_;
   return common::OkStatus();
 }
 
@@ -650,6 +659,10 @@ common::Status Validate(Module& module) {
   for (Function& f : module.functions) {
     FunctionValidator v(module, f, global_types);
     RETURN_IF_ERROR(v.Run());
+    // Translate the annotated body into its execution form (fused
+    // superinstructions + block fuel metadata) while we still hold the
+    // mutable module — everything downstream shares it as const.
+    PrepareFunction(f, PrepareOptions{});
   }
 
   module.validated = true;

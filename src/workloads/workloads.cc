@@ -729,7 +729,8 @@ std::string InstantiateWat(const Workload& w, int scale) {
   return ReplaceScale(w.wat, scale);
 }
 
-WaliRunStats RunUnderWali(const Workload& w, int scale, wasm::SafepointScheme scheme) {
+WaliRunStats RunUnderWali(const Workload& w, int scale, wasm::SafepointScheme scheme,
+                          wasm::DispatchMode dispatch) {
   WaliRunStats stats;
   int64_t t0 = common::MonotonicNanos();
   auto parsed = wasm::ParseAndValidateWat(InstantiateWat(w, scale));
@@ -741,6 +742,7 @@ WaliRunStats RunUnderWali(const Workload& w, int scale, wasm::SafepointScheme sc
   wasm::Linker linker;
   wali::WaliRuntime::Options opts;
   opts.scheme = scheme;
+  opts.dispatch = dispatch;
   wali::WaliRuntime runtime(&linker, opts);
   auto proc = runtime.CreateProcess(*parsed, {w.name, std::to_string(scale)}, {});
   if (!proc.ok()) {

@@ -61,7 +61,8 @@ struct WaliRunStats {
 };
 
 WaliRunStats RunUnderWali(const Workload& w, int scale,
-                          wasm::SafepointScheme scheme = wasm::SafepointScheme::kLoop);
+                          wasm::SafepointScheme scheme = wasm::SafepointScheme::kLoop,
+                          wasm::DispatchMode dispatch = wasm::DispatchMode::kAuto);
 
 // Renders the workload's WAT at a concrete scale (exposed for tests).
 std::string InstantiateWat(const Workload& w, int scale);

@@ -1,0 +1,336 @@
+// Differential tests for the interpreter dispatch modes: the portable
+// switch loop and the computed-goto threaded loop must produce identical
+// results, trap kinds, and bit-identical executed_instrs/fuel boundaries,
+// over both the fused and unfused prepared streams. This is what lets the
+// host layer's TenantLedger reservation math treat dispatch mode as a pure
+// performance knob.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/wasm/prepare.h"
+#include "src/wasm/wasm.h"
+#include "src/workloads/workloads.h"
+#include "tests/wat_test_util.h"
+
+namespace {
+
+using wasm::DispatchMode;
+using wasm::ExecOptions;
+using wasm::RunResult;
+using wasm::SafepointScheme;
+using wasm::TrapKind;
+using wasm::Value;
+
+struct ModeRun {
+  std::string label;
+  RunResult result;
+  uint64_t mem_pages = 0;
+  uint64_t mem_high_water = 0;
+};
+
+// Runs `func` under every dispatch x fusion combination, each in a fresh
+// instance (fresh memory/globals) of the same module text.
+std::vector<ModeRun> RunAllModes(const std::string& wat, const std::string& func,
+                                 const std::vector<Value>& args,
+                                 ExecOptions base = {}) {
+  std::vector<ModeRun> runs;
+  for (bool fuse : {true, false}) {
+    auto parsed = wasm::ParseAndValidateWat(wat);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    if (!parsed.ok()) return runs;
+    wasm::PrepareOptions popts;
+    popts.fuse = fuse;
+    wasm::PrepareModule(**parsed, popts);
+    for (DispatchMode mode : {DispatchMode::kSwitch, DispatchMode::kThreaded}) {
+      wasm::Linker linker;
+      auto inst = linker.Instantiate(*parsed);
+      EXPECT_TRUE(inst.ok()) << inst.status().ToString();
+      if (!inst.ok()) return runs;
+      ExecOptions opts = base;
+      opts.dispatch = mode;
+      ModeRun run;
+      run.label = std::string(fuse ? "fused" : "unfused") + "+" +
+                  wasm::DispatchModeName(mode);
+      run.result = (*inst)->CallExport(func, args, opts);
+      auto mem = (*inst)->memory(0);
+      if (mem != nullptr) {
+        run.mem_pages = mem->size_pages();
+        run.mem_high_water = mem->high_water_pages();
+      }
+      runs.push_back(std::move(run));
+    }
+  }
+  return runs;
+}
+
+// All four runs must agree bit-for-bit on everything observable.
+void ExpectAllAgree(const std::vector<ModeRun>& runs) {
+  ASSERT_EQ(runs.size(), 4u);
+  const ModeRun& ref = runs[0];
+  for (const ModeRun& r : runs) {
+    EXPECT_EQ(r.result.trap, ref.result.trap) << r.label;
+    EXPECT_EQ(r.result.executed_instrs, ref.result.executed_instrs) << r.label;
+    EXPECT_EQ(r.result.exit_code, ref.result.exit_code) << r.label;
+    ASSERT_EQ(r.result.values.size(), ref.result.values.size()) << r.label;
+    for (size_t i = 0; i < r.result.values.size(); ++i) {
+      EXPECT_EQ(r.result.values[i].bits, ref.result.values[i].bits) << r.label;
+    }
+    EXPECT_EQ(r.mem_pages, ref.mem_pages) << r.label;
+    EXPECT_EQ(r.mem_high_water, ref.mem_high_water) << r.label;
+  }
+}
+
+TEST(InterpDispatch, ThreadedModeMatchesBuild) {
+  ExecOptions opts;
+  opts.dispatch = DispatchMode::kAuto;
+  DispatchMode resolved = wasm::ResolveDispatch(opts);
+  if (wasm::ThreadedDispatchAvailable()) {
+    EXPECT_EQ(resolved, DispatchMode::kThreaded);
+  } else {
+    EXPECT_EQ(resolved, DispatchMode::kSwitch);
+  }
+  // kEveryInstr polling always runs the per-instruction switch slow path.
+  opts.scheme = SafepointScheme::kEveryInstr;
+  opts.dispatch = DispatchMode::kThreaded;
+  EXPECT_EQ(wasm::ResolveDispatch(opts), DispatchMode::kSwitch);
+}
+
+TEST(InterpDispatch, ArithmeticLoop) {
+  ExpectAllAgree(RunAllModes(R"((module
+    (func (export "f") (param $n i32) (result i32)
+      (local $i i32) (local $acc i32)
+      (block $done (loop $l
+        (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+        (local.set $acc (i32.add (local.get $acc) (i32.mul (local.get $i) (i32.const 3))))
+        (local.set $acc (i32.xor (local.get $acc) (i32.shr_u (local.get $acc) (i32.const 7))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+      (local.get $acc))))",
+                             "f", {Value::I32(5000)}));
+}
+
+TEST(InterpDispatch, CallInExpressionRegression) {
+  // Regression: caller-pushed call arguments must survive the threaded
+  // loop's raw-sp/vector handoff (loop-header polls between push and call).
+  ExpectAllAgree(RunAllModes(R"((module
+    (func $hash (param $addr i32) (param $len i32) (result i32)
+      (local $h i32) (local $i i32)
+      (local.set $h (i32.const 0x811c9dc5))
+      (block $done (loop $l
+        (br_if $done (i32.ge_u (local.get $i) (local.get $len)))
+        (local.set $h (i32.mul (i32.xor (local.get $h)
+          (i32.add (local.get $addr) (local.get $i))) (i32.const 16777619)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+      (local.get $h))
+    (func (export "f") (result i32)
+      (local $k i32) (local $acc i32)
+      (block $hd (loop $hl
+        (br_if $hd (i32.ge_u (local.get $k) (i32.const 20)))
+        (local.set $acc (i32.add (local.get $acc) (call $hash (i32.const 640) (i32.const 66))))
+        (local.set $k (i32.add (local.get $k) (i32.const 1)))
+        (br $hl)))
+      (local.get $acc))))",
+                             "f", {}));
+}
+
+TEST(InterpDispatch, RecursionAndControl) {
+  ExpectAllAgree(RunAllModes(R"((module
+    (func $fib (export "f") (param i32) (result i32)
+      (if (result i32) (i32.lt_u (local.get 0) (i32.const 2))
+        (then (local.get 0))
+        (else (i32.add
+          (call $fib (i32.sub (local.get 0) (i32.const 1)))
+          (call $fib (i32.sub (local.get 0) (i32.const 2)))))))
+  ))",
+                             "f", {Value::I32(18)}));
+}
+
+TEST(InterpDispatch, BrTableSelectGlobals) {
+  ExpectAllAgree(RunAllModes(R"((module
+    (global $g (mut i32) (i32.const 5))
+    (func (export "f") (result i32)
+      (local $i i32) (local $acc i32)
+      (block $out (loop $m
+        (br_if $out (i32.ge_u (local.get $i) (i32.const 300)))
+        (global.set $g (i32.add (global.get $g) (i32.const 3)))
+        (local.set $acc (i32.add (local.get $acc)
+          (select (i32.const 7) (i32.const 11) (i32.and (local.get $i) (i32.const 1)))))
+        (block $b2 (block $b1 (block $b0
+          (br_table $b0 $b1 $b2 (i32.rem_u (local.get $i) (i32.const 3))))
+          (local.set $acc (i32.add (local.get $acc) (i32.const 1))))
+          (local.set $acc (i32.add (local.get $acc) (i32.const 2))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $m)))
+      (i32.add (local.get $acc) (global.get $g)))))",
+                             "f", {}));
+}
+
+TEST(InterpDispatch, MemoryOpsAndGrow) {
+  ExpectAllAgree(RunAllModes(R"((module
+    (memory 1 4)
+    (func (export "f") (result i32)
+      (local $i i32) (local $acc i32)
+      (drop (memory.grow (i32.const 1)))
+      (block $done (loop $l
+        (br_if $done (i32.ge_u (local.get $i) (i32.const 5000)))
+        (i32.store (i32.mul (local.get $i) (i32.const 4))
+                   (i32.mul (local.get $i) (i32.const 17)))
+        (local.set $acc (i32.add (local.get $acc)
+          (i32.load (i32.mul (local.get $i) (i32.const 4)))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+      (i32.add (local.get $acc) (i32.mul (memory.size) (i32.const 1000))))))",
+                             "f", {}));
+}
+
+TEST(InterpDispatch, TrapParityOutOfBounds) {
+  // The trapping access sits mid-segment: the threaded loop must reconcile
+  // its up-front block charge so executed counts match per-instruction
+  // accounting exactly, including the trapping instruction.
+  ExpectAllAgree(RunAllModes(R"((module
+    (memory 1 1)
+    (func (export "f") (param $i i32) (result i32)
+      (local $x i32)
+      (local.set $x (i32.const 3))
+      (i32.add (local.get $x) (i32.load (local.get $i))))
+  ))",
+                             "f", {Value::I32(70000)}));
+}
+
+TEST(InterpDispatch, TrapParityDivByZeroAndUnreachable) {
+  ExpectAllAgree(RunAllModes(R"((module
+    (func (export "f") (param $d i32) (result i32)
+      (local $i i32) (local $acc i32)
+      (block $done (loop $l
+        (br_if $done (i32.ge_u (local.get $i) (i32.const 100)))
+        (local.set $acc (i32.add (local.get $acc)
+          (i32.div_u (i32.const 1000) (i32.sub (i32.const 50) (local.get $i)))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+      (local.get $acc))))",
+                             "f", {Value::I32(0)}));
+  ExpectAllAgree(RunAllModes(
+      "(module (func (export \"f\") (local $x i32) (local.set $x (i32.const 2)) unreachable))",
+      "f", {}));
+}
+
+TEST(InterpDispatch, FuelBoundaryBitIdentical) {
+  const char* wat = R"((module
+    (func (export "f") (param $n i32) (result i32)
+      (local $i i32) (local $acc i32)
+      (block $done (loop $l
+        (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+        (local.set $acc (i32.add (local.get $acc) (i32.const 2)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+      (local.get $acc))))";
+  // Baseline instruction count with no fuel limit.
+  std::vector<ModeRun> free_runs = RunAllModes(wat, "f", {Value::I32(200)});
+  ExpectAllAgree(free_runs);
+  const uint64_t f0 = free_runs[0].result.executed_instrs;
+  ASSERT_GT(f0, 100u);
+
+  for (uint64_t fuel : {uint64_t{1}, uint64_t{2}, uint64_t{3}, uint64_t{7},
+                        f0 / 2, f0 - 1, f0, f0 + 5}) {
+    ExecOptions base;
+    base.fuel = fuel;
+    std::vector<ModeRun> runs = RunAllModes(wat, "f", {Value::I32(200)}, base);
+    ExpectAllAgree(runs);
+    const RunResult& r = runs[0].result;
+    if (fuel < f0) {
+      EXPECT_EQ(r.trap, TrapKind::kFuelExhausted) << "fuel=" << fuel;
+      // Exhaustion bills exactly one instruction past the budget, in every
+      // dispatch/fusion combination (TenantLedger reservation guard).
+      EXPECT_EQ(r.executed_instrs, fuel + 1) << "fuel=" << fuel;
+    } else {
+      EXPECT_EQ(r.trap, TrapKind::kNone) << "fuel=" << fuel;
+      EXPECT_EQ(r.executed_instrs, f0);
+    }
+  }
+}
+
+TEST(InterpDispatch, SafepointPollCountParity) {
+  const char* wat = R"((module
+    (func $inner (param $n i32) (result i32)
+      (local $i i32)
+      (block $done (loop $l
+        (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+      (local.get $i))
+    (func (export "f") (result i32)
+      (i32.add (call $inner (i32.const 10)) (call $inner (i32.const 20))))
+  ))";
+  for (SafepointScheme scheme :
+       {SafepointScheme::kLoop, SafepointScheme::kFunction,
+        SafepointScheme::kEveryInstr}) {
+    uint64_t counts[2] = {0, 0};
+    uint64_t executed[2] = {0, 0};
+    int mode_i = 0;
+    for (DispatchMode mode : {DispatchMode::kSwitch, DispatchMode::kThreaded}) {
+      wasm_test::WatFixture fx = wasm_test::Instantiate(wat);
+      ASSERT_NE(fx.instance, nullptr);
+      uint64_t polls = 0;
+      fx.instance->set_safepoint_fn([&polls](wasm::ExecContext&) {
+        ++polls;
+        return TrapKind::kNone;
+      });
+      ExecOptions opts;
+      opts.scheme = scheme;
+      opts.dispatch = mode;
+      RunResult r = fx.instance->CallExport("f", {}, opts);
+      ASSERT_TRUE(r.ok());
+      counts[mode_i] = polls;
+      executed[mode_i] = r.executed_instrs;
+      ++mode_i;
+    }
+    EXPECT_EQ(counts[0], counts[1]) << "scheme " << static_cast<int>(scheme);
+    EXPECT_EQ(executed[0], executed[1]) << "scheme " << static_cast<int>(scheme);
+    EXPECT_GT(counts[0], 0u) << "scheme " << static_cast<int>(scheme);
+  }
+}
+
+TEST(InterpDispatch, ExecBuffersRecycleAcrossRuns) {
+  wasm_test::WatFixture fx = wasm_test::Instantiate(R"((module
+    (func (export "f") (param $n i32) (result i32)
+      (local $i i32)
+      (block $d (loop $l
+        (br_if $d (i32.ge_u (local.get $i) (local.get $n)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+      (local.get $i))))");
+  ASSERT_NE(fx.instance, nullptr);
+  wasm::ExecBuffers buffers;
+  ExecOptions opts;
+  opts.buffers = &buffers;
+  for (int i = 0; i < 3; ++i) {
+    RunResult r = fx.instance->CallExport("f", {Value::I32(100)}, opts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.values[0].i32(), 100u);
+    // The run's grown storage is swapped back for the next invocation.
+    EXPECT_GT(buffers.stack.capacity(), 0u);
+    EXPECT_GT(buffers.frames.capacity(), 0u);
+  }
+}
+
+TEST(InterpDispatch, WorkloadSuiteDifferential) {
+  // The actual serving workloads (non-threaded ones are deterministic in
+  // instruction count): identical results, traps and executed counts.
+  for (const workloads::Workload& w : workloads::AllWorkloads()) {
+    if (w.wat.empty() || w.uses_threads) continue;
+    auto sw = workloads::RunUnderWali(w, 3, SafepointScheme::kLoop,
+                                      DispatchMode::kSwitch);
+    auto th = workloads::RunUnderWali(w, 3, SafepointScheme::kLoop,
+                                      DispatchMode::kThreaded);
+    EXPECT_EQ(sw.result.trap, th.result.trap) << w.name;
+    EXPECT_EQ(sw.result.exit_code, th.result.exit_code) << w.name;
+    EXPECT_EQ(sw.result.executed_instrs, th.result.executed_instrs) << w.name;
+    EXPECT_EQ(sw.peak_linear_memory, th.peak_linear_memory) << w.name;
+  }
+}
+
+}  // namespace

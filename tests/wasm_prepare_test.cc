@@ -1,0 +1,189 @@
+// Prepare-pass tests: superinstruction fusion, branch-target remapping,
+// cost conservation (fuel units must be identical between the wire stream
+// and the fused execution stream), and linear_cost segment metadata.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/wasm/prepare.h"
+#include "src/wasm/wasm.h"
+#include "src/workloads/workloads.h"
+#include "tests/wat_test_util.h"
+
+namespace {
+
+using wasm::Function;
+using wasm::Instr;
+using wasm::Module;
+using wasm::Op;
+
+const char* kHashWat = R"((module
+  (func $hash (export "hash") (param $addr i32) (param $len i32) (result i32)
+    (local $h i32) (local $i i32)
+    (local.set $h (i32.const 0x811c9dc5))
+    (block $done (loop $l
+      (br_if $done (i32.ge_u (local.get $i) (local.get $len)))
+      (local.set $h (i32.mul (i32.xor (local.get $h)
+        (i32.add (local.get $addr) (local.get $i))) (i32.const 16777619)))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $l)))
+    (local.get $h))))";
+
+uint64_t SumCosts(const std::vector<Instr>& code) {
+  uint64_t total = 0;
+  for (const Instr& in : code) total += in.cost;
+  return total;
+}
+
+int CountFused(const std::vector<Instr>& code) {
+  int n = 0;
+  for (const Instr& in : code) n += wasm::IsFusedOp(in.op) ? 1 : 0;
+  return n;
+}
+
+TEST(Prepare, FusesKnownPatternsAndConservesCost) {
+  auto parsed = wasm::ParseAndValidateWat(kHashWat);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Function& fn = (*parsed)->functions[0];
+
+  // Validate() runs the prepare pass with fusion on.
+  ASSERT_FALSE(fn.prepared.code.empty());
+  EXPECT_LT(fn.prepared.code.size(), fn.code.size());
+  EXPECT_GT(CountFused(fn.prepared.code), 0);
+
+  bool saw_cmp_brif = false, saw_lladd = false, saw_addconst = false;
+  for (const Instr& in : fn.prepared.code) {
+    saw_cmp_brif |= in.op == Op::kFI32CmpBrIf;
+    saw_lladd |= in.op == Op::kFLocalLocalI32Add;
+    saw_addconst |= in.op == Op::kFI32AddConst;
+  }
+  EXPECT_TRUE(saw_cmp_brif);   // i32.ge_u + br_if
+  EXPECT_TRUE(saw_lladd);      // local.get + local.get + i32.add
+  EXPECT_TRUE(saw_addconst);   // i32.const 1 + i32.add
+
+  // Fuel-unit conservation: the fused stream must bill exactly the source
+  // instruction count (this is what keeps TenantLedger math identical).
+  EXPECT_EQ(SumCosts(fn.prepared.code), fn.code.size());
+  EXPECT_EQ(SumCosts(fn.code), fn.code.size());  // wire stream: all cost 1
+
+  // linear_cost invariants: every entry covers at least its own op; the
+  // final (synthetic return) op is its own segment.
+  ASSERT_EQ(fn.prepared.linear_cost.size(), fn.prepared.code.size());
+  for (size_t i = 0; i < fn.prepared.code.size(); ++i) {
+    EXPECT_GE(fn.prepared.linear_cost[i], fn.prepared.code[i].cost);
+  }
+  EXPECT_EQ(fn.prepared.linear_cost.back(), fn.prepared.code.back().cost);
+}
+
+TEST(Prepare, UnfusedRepreparationIsOneToOne) {
+  auto parsed = wasm::ParseAndValidateWat(kHashWat);
+  ASSERT_TRUE(parsed.ok());
+  Module& m = **parsed;
+  wasm::PrepareOptions opts;
+  opts.fuse = false;
+  wasm::PrepareStats stats = wasm::PrepareModule(m, opts);
+  EXPECT_EQ(stats.fused, 0u);
+  const Function& fn = m.functions[0];
+  ASSERT_EQ(fn.prepared.code.size(), fn.code.size());
+  for (size_t i = 0; i < fn.code.size(); ++i) {
+    EXPECT_EQ(fn.prepared.code[i].op, fn.code[i].op);
+    EXPECT_EQ(fn.prepared.code[i].cost, 1);
+  }
+  // Re-preparing with fusion restores the fused form (idempotent rebuild).
+  wasm::PrepareModule(m);
+  EXPECT_GT(CountFused(fn.prepared.code), 0);
+  EXPECT_EQ(SumCosts(fn.prepared.code), fn.code.size());
+}
+
+TEST(Prepare, FusedAndUnfusedExecutionsAgreeExactly) {
+  auto parsed = wasm::ParseAndValidateWat(kHashWat);
+  ASSERT_TRUE(parsed.ok());
+  std::shared_ptr<Module> m = *parsed;
+
+  auto run = [&]() {
+    wasm::Linker linker;
+    auto inst = linker.Instantiate(m);
+    EXPECT_TRUE(inst.ok());
+    return (*inst)->CallExport(
+        "hash", {wasm::Value::I32(640), wasm::Value::I32(66)}, {});
+  };
+
+  wasm::RunResult fused = run();
+  wasm::PrepareOptions opts;
+  opts.fuse = false;
+  wasm::PrepareModule(*m, opts);
+  wasm::RunResult unfused = run();
+
+  ASSERT_TRUE(fused.ok());
+  ASSERT_TRUE(unfused.ok());
+  EXPECT_EQ(fused.values[0].bits, unfused.values[0].bits);
+  EXPECT_EQ(fused.executed_instrs, unfused.executed_instrs);
+}
+
+TEST(Prepare, BranchTargetsStayInsideRewrittenStream) {
+  // br_table + nested blocks + fusions before and after branch targets.
+  const char* wat = R"((module
+    (func (export "f") (param $x i32) (result i32)
+      (local $acc i32)
+      (block $b2 (block $b1 (block $b0
+        (br_table $b0 $b1 $b2 (local.get $x)))
+        (local.set $acc (i32.add (local.get $acc) (i32.const 1))))
+        (local.set $acc (i32.add (local.get $acc) (i32.const 10))))
+      (i32.add (local.get $acc) (i32.const 100)))
+  ))";
+  auto parsed = wasm::ParseAndValidateWat(wat);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Function& fn = (*parsed)->functions[0];
+  const size_t n = fn.prepared.code.size();
+  for (const Instr& in : fn.prepared.code) {
+    switch (in.op) {
+      case Op::kBlock:
+      case Op::kLoop:
+      case Op::kElse:
+      case Op::kBr:
+      case Op::kBrIf:
+      case Op::kFBrIfEqz:
+      case Op::kFI32CmpBrIf:
+        EXPECT_LT(in.a, n);
+        break;
+      default:
+        break;
+    }
+  }
+  for (const wasm::BrTable& t : fn.prepared.br_tables) {
+    for (const wasm::BrTarget& target : t.targets) {
+      EXPECT_LT(target.pc, n);
+    }
+  }
+  // And the rewritten table dispatch actually works.
+  for (uint32_t x : {0u, 1u, 2u, 7u}) {
+    uint32_t want = x == 0 ? 111 : (x == 1 ? 110 : 100);
+    wasm_test::ExpectI32(wat, "f", {wasm::Value::I32(x)}, want);
+  }
+}
+
+TEST(Prepare, CostConservationAcrossWorkloadSuite) {
+  // Every benchmark workload's module must bill identical fuel in wire and
+  // prepared form — this is the suite the host supervisor actually serves.
+  for (const workloads::Workload& w : workloads::AllWorkloads()) {
+    if (w.wat.empty()) continue;
+    auto parsed = wasm::ParseAndValidateWat(workloads::InstantiateWat(w, 3));
+    ASSERT_TRUE(parsed.ok()) << w.name << ": " << parsed.status().ToString();
+    for (const Function& fn : (*parsed)->functions) {
+      EXPECT_EQ(SumCosts(fn.prepared.code), fn.code.size())
+          << w.name << "/" << fn.debug_name;
+      EXPECT_EQ(fn.prepared.linear_cost.size(), fn.prepared.code.size());
+    }
+  }
+}
+
+TEST(Prepare, InternalOpsAreNotWireOps) {
+  EXPECT_FALSE(wasm::IsKnownOp(static_cast<uint32_t>(Op::kFLocalLocalI32Add)));
+  EXPECT_FALSE(wasm::IsKnownOp(static_cast<uint32_t>(Op::kFI32CmpBrIf)));
+  EXPECT_TRUE(wasm::IsFusedOp(Op::kFBrIfEqz));
+  EXPECT_FALSE(wasm::IsFusedOp(Op::kI32Add));
+  // Names exist for diagnostics.
+  EXPECT_NE(std::string(wasm::OpName(Op::kFLocalCopy)), "<bad-op>");
+}
+
+}  // namespace
