@@ -13,6 +13,7 @@
 #define SRC_HOST_HOST_H_
 
 #include "src/host/instance_pool.h"  // IWYU pragma: export
+#include "src/host/io_reactor.h"     // IWYU pragma: export
 #include "src/host/module_cache.h"   // IWYU pragma: export
 #include "src/host/supervisor.h"     // IWYU pragma: export
 #include "src/host/tenant_ledger.h"  // IWYU pragma: export

@@ -22,7 +22,33 @@ Supervisor::Supervisor(wali::WaliRuntime* runtime, const Options& options)
       clock_(options.clock ? options.clock : [] { return common::MonotonicNanos(); }),
       queue_depth_(options.queue_depth),
       dispatch_(options.dispatch),
+      io_(options.io_backend),
       paused_(options.start_paused) {
+  if (io_ != nullptr) {
+    // Completion side of the park/resume lifecycle: move the parked run to
+    // the ready queue and hand it to a worker. Completions for cookies that
+    // are no longer parked (shed, shut down) are absorbed as orphans.
+    io_->SetCompletionHandler([this](uint64_t cookie, const IoCompletion& c) {
+      ReadyEntry entry;
+      bool found = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = parked_.find(cookie);
+        if (it != parked_.end()) {
+          entry.st = std::move(it->second);
+          entry.completion = c;
+          parked_.erase(it);
+          ready_.push_back(std::move(entry));
+          found = true;
+        }
+      }
+      if (!found) {
+        orphan_completions_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      cv_.notify_one();
+    });
+  }
   size_t n = options.workers > 0 ? options.workers : 1;
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -112,18 +138,48 @@ void Supervisor::Resume() {
 }
 
 void Supervisor::Shutdown() {
+  // Sweep the parked and ready sets: their guests are suspended in blocking
+  // syscalls that may never complete, so shutdown resolves them as shed
+  // (with their partial consumption settled) rather than waiting. Queued
+  // jobs still drain normally — workers keep popping under stopping_.
+  std::vector<uint64_t> cookies;
+  std::vector<RunState> abandoned;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       // Already requested; fall through to join whatever is left.
     }
     stopping_ = true;
+    for (auto& [cookie, st] : parked_) {
+      cookies.push_back(cookie);
+      abandoned.push_back(std::move(st));
+    }
+    parked_.clear();
+    while (!ready_.empty()) {
+      abandoned.push_back(std::move(ready_.front().st));
+      ready_.pop_front();
+    }
+  }
+  if (io_ != nullptr) {
+    for (uint64_t cookie : cookies) {
+      io_->Cancel(cookie);
+    }
+  }
+  for (RunState& st : abandoned) {
+    FinishAbandoned(std::move(st), Outcome::kShed,
+                    "shed: supervisor shutdown with syscall parked");
   }
   cv_.notify_all();
   for (std::thread& w : workers_) {
     if (w.joinable()) {
       w.join();
     }
+  }
+  if (io_ != nullptr) {
+    // Detach from the backend last: blocks until any in-flight delivery
+    // into this supervisor has drained, so the backend can safely outlive
+    // or be destroyed independently of us from here on.
+    io_->SetCompletionHandler(nullptr);
   }
 }
 
@@ -134,6 +190,29 @@ size_t Supervisor::queued() const {
     n += tq.q.size();
   }
   return n;
+}
+
+size_t Supervisor::parked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return parked_.size();
+}
+
+Supervisor::IoStats Supervisor::io_stats() const {
+  IoStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.parked_now = parked_.size();
+    s.ready_now = ready_.size();
+  }
+  s.in_flight_now = in_flight_.load(std::memory_order_relaxed);
+  s.peak_in_flight = peak_in_flight_.load(std::memory_order_relaxed);
+  s.parks_total = parks_total_.load(std::memory_order_relaxed);
+  s.resumes_total = resumes_total_.load(std::memory_order_relaxed);
+  s.orphan_completions = orphan_completions_.load(std::memory_order_relaxed);
+  s.sheds_while_parked = sheds_while_parked_.load(std::memory_order_relaxed);
+  s.budget_stops_while_parked =
+      budget_stops_while_parked_.load(std::memory_order_relaxed);
+  return s;
 }
 
 bool Supervisor::PopLocked(Task* out, std::vector<Task>* shed) {
@@ -179,16 +258,27 @@ void Supervisor::WorkerLoop() {
   while (true) {
     Task task;
     std::vector<Task> shed;
+    ReadyEntry ready;
     bool got = false;
+    bool got_ready = false;
     bool drained = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] {
-        return stopping_ || (!paused_ && RunnableLocked());
+        return stopping_ || (!paused_ && (!ready_.empty() || RunnableLocked()));
       });
-      got = PopLocked(&task, &shed);
-      if (!got && stopping_ && !RunnableLocked()) {
-        drained = true;
+      // Completed parks resume ahead of fresh admissions: a resumed guest
+      // already holds a pool lease and reserved budget slices, so getting
+      // it out frees more than admitting new work would.
+      if (!paused_ && !ready_.empty()) {
+        ready = std::move(ready_.front());
+        ready_.pop_front();
+        got_ready = true;
+      } else {
+        got = PopLocked(&task, &shed);
+        if (!got && stopping_ && !RunnableLocked() && ready_.empty()) {
+          drained = true;
+        }
       }
     }
     for (Task& s : shed) {
@@ -200,17 +290,22 @@ void Supervisor::WorkerLoop() {
       r.queue_nanos = clock_() - s.enqueue_nanos;
       s.done.set_value(std::move(r));
     }
-    if (got) {
-      task.done.set_value(RunOne(task));
+    if (got_ready) {
+      ResumeOne(std::move(ready));
+    } else if (got) {
+      RunOne(task);
     } else if (drained) {
       return;  // stopping and nothing left to schedule
     }
   }
 }
 
-RunReport Supervisor::RunOne(Task& task) {
-  GuestJob& job = task.job;
-  RunReport report;
+void Supervisor::RunOne(Task& task) {
+  RunState st;
+  st.job = std::move(task.job);
+  st.done = std::move(task.done);
+  GuestJob& job = st.job;
+  RunReport& report = st.report;
   report.tenant = job.tenant;
   report.queue_nanos = clock_() - task.enqueue_nanos;
   report.dispatch_seq = dispatch_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -229,7 +324,8 @@ RunReport Supervisor::RunOne(Task& task) {
             TenantLedger::VerdictName(verdict));
     r.queue_nanos = report.queue_nanos;
     r.dispatch_seq = report.dispatch_seq;
-    return r;
+    st.done.set_value(std::move(r));
+    return;
   }
 
   common::StatusOr<InstancePool::Lease> lease =
@@ -243,11 +339,20 @@ RunReport Supervisor::RunOne(Task& task) {
     TenantUsage delta;
     delta.host_errors = 1;
     ledger_.Charge(job.tenant, delta);
-    return report;
+    st.done.set_value(std::move(report));
+    return;
   }
-  wali::WaliProcess& proc = **lease;
-  report.pooled = lease->recycled();
+  st.lease = std::move(*lease);
+  wali::WaliProcess& proc = *st.lease;
+  report.pooled = st.lease.recycled();
   proc.policy = job.policy;
+
+  uint64_t now_in_flight = in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  uint64_t peak = peak_in_flight_.load(std::memory_order_relaxed);
+  while (now_in_flight > peak &&
+         !peak_in_flight_.compare_exchange_weak(peak, now_in_flight,
+                                                std::memory_order_relaxed)) {
+  }
 
   wasm::ExecOptions opts = runtime_->exec_options();
   if (dispatch_ != wasm::DispatchMode::kAuto) {
@@ -263,25 +368,26 @@ RunReport Supervisor::RunOne(Task& task) {
   // Arm mid-run budget enforcement from the tenant's remaining slices,
   // RESERVED in the ledger up front so concurrent runs of the same tenant
   // split the cumulative budget instead of each taking the whole remainder
-  // (SettleSlices swaps the reservation for actual consumption below).
+  // (SettleSlices swaps the reservation for actual consumption at finish).
   // Fuel rides the interpreter's existing per-instruction check; syscalls
   // trip in the dispatch wrapper; memory is capped at the allocation (grow
   // past the cap fails) with a safepoint backstop; CPU trips at WALI
   // safepoints, armed as a wall-clock deadline, which can only fire early
-  // (wall >= cpu), never grant extra time.
-  TenantLedger::RunReservation reserved =
-      ledger_.ReserveSlices(job.tenant, job.fuel);
-  bool fuel_clamped = false;
-  if (reserved.fuel != 0 && (opts.fuel == 0 || reserved.fuel < opts.fuel)) {
-    opts.fuel = reserved.fuel;
-    fuel_clamped = true;
+  // (wall >= cpu), never grant extra time. A parked run keeps its
+  // reservation (the slices are still spoken for) but its CPU deadline is
+  // re-armed from the unconsumed remainder at resume, so blocked wall time
+  // is never billed as CPU.
+  st.reserved = ledger_.ReserveSlices(job.tenant, job.fuel);
+  if (st.reserved.fuel != 0 && (opts.fuel == 0 || st.reserved.fuel < opts.fuel)) {
+    opts.fuel = st.reserved.fuel;
+    st.fuel_clamped = true;
   }
-  if (reserved.cpu_nanos != 0) {
-    proc.cpu_deadline_nanos.store(common::MonotonicNanos() + reserved.cpu_nanos,
+  if (st.reserved.cpu_nanos != 0) {
+    proc.cpu_deadline_nanos.store(common::MonotonicNanos() + st.reserved.cpu_nanos,
                                   std::memory_order_release);
   }
-  if (reserved.syscalls != 0) {
-    proc.syscall_budget.store(reserved.syscalls, std::memory_order_release);
+  if (st.reserved.syscalls != 0) {
+    proc.syscall_budget.store(st.reserved.syscalls, std::memory_order_release);
   }
   TenantBudget budget = ledger_.budget(job.tenant);
   if (budget.max_mem_pages != 0) {
@@ -291,9 +397,156 @@ RunReport Supervisor::RunOne(Task& task) {
 
   int64_t cpu0 = common::ThreadCpuNanos();
   int64_t t0 = common::MonotonicNanos();
-  wasm::RunResult r = runtime_->RunMain(proc, opts);
-  report.wall_nanos = common::MonotonicNanos() - t0;
-  report.cpu_nanos = common::ThreadCpuNanos() - cpu0;
+  wasm::RunResult r =
+      runtime_->RunMain(proc, opts, io_ != nullptr ? &st.cont : nullptr);
+  report.wall_nanos += common::MonotonicNanos() - t0;
+  report.cpu_nanos += common::ThreadCpuNanos() - cpu0;
+
+  if (r.trap == wasm::TrapKind::kSyscallPending) {
+    ParkRun(std::move(st));
+    return;
+  }
+  FinishRun(std::move(st), r);
+}
+
+void Supervisor::ParkRun(RunState st) {
+  wali::WaliProcess& proc = *st.lease;
+  RunReport& report = st.report;
+  report.parks += 1;
+  parks_total_.fetch_add(1, std::memory_order_relaxed);
+  // Partial instruction tally, so an abandoned park settles real fuel.
+  report.executed_instrs = st.cont.susp.ctx != nullptr
+                               ? st.cont.susp.ctx->executed + st.cont.start_instrs
+                               : report.executed_instrs;
+  report.fuel_consumed = report.executed_instrs;
+
+  wali::PendingIo& pio = proc.pending_io;
+  st.retry = std::move(pio.retry);
+  wali::IoOp op = pio.op;
+  st.timeout_is_shed = false;
+
+  // Fold the job's queue-style deadline into the parked op: the backend
+  // deadline becomes min(op timeout, job deadline), and a kTimedOut
+  // completion that stems from the job deadline sheds the parked guest.
+  if (st.job.deadline_nanos != 0) {
+    int64_t remaining = st.job.deadline_nanos - clock_();
+    if (remaining <= 0) {
+      FinishAbandoned(std::move(st), Outcome::kShed,
+                      "shed: deadline expired entering a blocking syscall");
+      return;
+    }
+    if (op.kind == wali::IoOp::Kind::kSleep) {
+      if (remaining < op.sleep_nanos) {
+        op.sleep_nanos = remaining;
+        st.timeout_is_shed = true;
+      }
+    } else if (op.timeout_nanos < 0 || remaining < op.timeout_nanos) {
+      op.timeout_nanos = remaining;
+      st.timeout_is_shed = true;
+    }
+  }
+
+  st.park_stamp = clock_();
+  bool parked = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      uint64_t cookie = next_cookie_++;
+      parked_.emplace(cookie, std::move(st));
+      parked = true;
+      // Submitted under mu_ on purpose: Shutdown's sweep also holds mu_,
+      // so it can never run between the emplace and the submit — its
+      // Cancel(cookie) always sees an op the backend knows about, and no
+      // zombie op outlives the sweep. (Safe lock order: backends take only
+      // their own internal mutex in Submit and never call back into the
+      // supervisor from it.)
+      io_->Submit(cookie, op);
+    }
+  }
+  if (!parked) {
+    // Shutdown already swept the parked set; this run must not slip in
+    // behind the sweep and wait on a completion nobody will deliver.
+    FinishAbandoned(std::move(st), Outcome::kShed,
+                    "shed: supervisor shutdown with syscall parked");
+  }
+}
+
+void Supervisor::ResumeOne(ReadyEntry entry) {
+  RunState st = std::move(entry.st);
+  const IoCompletion& c = entry.completion;
+  wali::WaliProcess& proc = *st.lease;
+  RunReport& report = st.report;
+  report.blocked_nanos += clock_() - st.park_stamp;
+  resumes_total_.fetch_add(1, std::memory_order_relaxed);
+
+  // Shed: the job deadline fired while parked (tagged at park time), or the
+  // supervisor clock has passed it regardless of what completed.
+  const bool deadline_shed =
+      (st.timeout_is_shed && c.status == IoCompletion::Status::kTimedOut &&
+       !c.has_value) ||
+      (st.job.deadline_nanos != 0 && clock_() >= st.job.deadline_nanos);
+  if (deadline_shed) {
+    sheds_while_parked_.fetch_add(1, std::memory_order_relaxed);
+    FinishAbandoned(std::move(st), Outcome::kShed,
+                    "shed: deadline expired while parked");
+    return;
+  }
+
+  // Budget re-check: the tenant may have exhausted its cumulative budget
+  // (through other runs) while this guest was parked.
+  if (ledger_.Admit(st.job.tenant) != TenantLedger::Verdict::kAdmit) {
+    budget_stops_while_parked_.fetch_add(1, std::memory_order_relaxed);
+    FinishAbandoned(std::move(st), Outcome::kBudget,
+                    "tenant budget exhausted while parked");
+    return;
+  }
+
+  // Materialize the syscall result: a scripted completion wins outright; a
+  // backend error (kError: it could not wait on this op) surfaces its
+  // -errno WITHOUT running the retry — the op never became ready, and
+  // re-issuing the real syscall here would block this worker, exactly what
+  // offload exists to prevent. Otherwise the retry performs the now-ready
+  // syscall on this worker, and a sleep (no retry) completes with 0.
+  int64_t sys_ret;
+  if (c.has_value) {
+    sys_ret = c.value;
+  } else if (c.status == IoCompletion::Status::kError) {
+    sys_ret = c.value;
+  } else if (st.retry != nullptr) {
+    sys_ret = st.retry();
+  } else {
+    sys_ret = 0;
+  }
+  st.retry = nullptr;
+
+  // Re-arm the CPU deadline from the unconsumed remainder of this run's
+  // reservation: the deadline is wall-clock-based and the park let wall
+  // time pass without consuming CPU.
+  if (st.reserved.cpu_nanos != 0) {
+    int64_t remaining = st.reserved.cpu_nanos - st.report.cpu_nanos;
+    if (remaining <= 0) {
+      remaining = 1;  // exhausted: trip at the first safepoint
+    }
+    proc.cpu_deadline_nanos.store(common::MonotonicNanos() + remaining,
+                                  std::memory_order_release);
+  }
+
+  int64_t cpu0 = common::ThreadCpuNanos();
+  int64_t t0 = common::MonotonicNanos();
+  wasm::RunResult r = runtime_->ResumeMain(proc, st.cont, sys_ret);
+  report.wall_nanos += common::MonotonicNanos() - t0;
+  report.cpu_nanos += common::ThreadCpuNanos() - cpu0;
+
+  if (r.trap == wasm::TrapKind::kSyscallPending) {
+    ParkRun(std::move(st));
+    return;
+  }
+  FinishRun(std::move(st), r);
+}
+
+void Supervisor::FinishRun(RunState st, const wasm::RunResult& r) {
+  wali::WaliProcess& proc = *st.lease;
+  RunReport& report = st.report;
   proc.cpu_deadline_nanos.store(0, std::memory_order_release);
   proc.mem_budget_pages.store(0, std::memory_order_release);
   proc.syscall_budget.store(0, std::memory_order_release);
@@ -322,7 +575,7 @@ RunReport Supervisor::RunOne(Task& task) {
   report.kernel_nanos = proc.trace.kernel_nanos();
 
   if (r.trap == wasm::TrapKind::kBudgetExhausted ||
-      (r.trap == wasm::TrapKind::kFuelExhausted && fuel_clamped)) {
+      (r.trap == wasm::TrapKind::kFuelExhausted && st.fuel_clamped)) {
     report.outcome = Outcome::kBudget;
   } else if (report.trap == wasm::TrapKind::kNone ||
              report.trap == wasm::TrapKind::kExit) {
@@ -337,15 +590,64 @@ RunReport Supervisor::RunOne(Task& task) {
   actual.fuel = report.fuel_consumed;
   actual.cpu_nanos = report.cpu_nanos;
   actual.syscalls = report.total_syscalls;
-  ledger_.SettleSlices(job.tenant, reserved, actual);
+  ledger_.SettleSlices(st.job.tenant, st.reserved, actual);
   TenantUsage delta;
   delta.runs = 1;
   delta.mem_high_water_pages = report.mem_high_water_pages;
   if (report.outcome == Outcome::kBudget) {
     delta.budget_stops = 1;
   }
-  ledger_.Charge(job.tenant, delta);
-  return report;
+  ledger_.Charge(st.job.tenant, delta);
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  st.done.set_value(std::move(report));
+}
+
+void Supervisor::FinishAbandoned(RunState st, Outcome outcome,
+                                 std::string message) {
+  wali::WaliProcess& proc = *st.lease;
+  RunReport& report = st.report;
+  proc.cpu_deadline_nanos.store(0, std::memory_order_release);
+  proc.mem_budget_pages.store(0, std::memory_order_release);
+  proc.syscall_budget.store(0, std::memory_order_release);
+  proc.memory->SetGrowBudgetPages(0);
+  // Drop the suspended interpreter state before the lease goes back to the
+  // pool: the suspension pins the instance and the slot's exec buffers.
+  st.cont.Discard();
+  proc.pending_io.Reset();
+
+  report.outcome = outcome;
+  report.trap = wasm::TrapKind::kHostError;
+  report.trap_message = std::move(message);
+  report.mem_high_water_pages = proc.memory->high_water_pages();
+  const std::vector<wali::SyscallDef>& defs = runtime_->syscalls();
+  for (size_t id = 0; id < defs.size(); ++id) {
+    uint64_t n = proc.trace.count(static_cast<uint32_t>(id));
+    if (n > 0) {
+      report.syscall_counts.emplace_back(defs[id].name, n);
+      report.total_syscalls += n;
+    }
+  }
+  report.wali_nanos = proc.trace.wali_nanos();
+  report.kernel_nanos = proc.trace.kernel_nanos();
+
+  // The guest DID run (partially): settle its real consumption, and record
+  // the abandonment in the admission-outcome counters.
+  TenantUsage actual;
+  actual.fuel = report.fuel_consumed;
+  actual.cpu_nanos = report.cpu_nanos;
+  actual.syscalls = report.total_syscalls;
+  ledger_.SettleSlices(st.job.tenant, st.reserved, actual);
+  TenantUsage delta;
+  delta.runs = 1;
+  delta.mem_high_water_pages = report.mem_high_water_pages;
+  if (outcome == Outcome::kShed) {
+    delta.shed = 1;
+  } else if (outcome == Outcome::kBudget) {
+    delta.budget_stops = 1;
+  }
+  ledger_.Charge(st.job.tenant, delta);
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  st.done.set_value(std::move(report));
 }
 
 }  // namespace host

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "src/host/instance_pool.h"
+#include "src/host/io_reactor.h"
 #include "src/host/tenant_ledger.h"
 #include "src/wali/policy.h"
 #include "src/wasm/instance.h"
@@ -92,14 +93,23 @@ struct RunReport {
   // Resource consumption, as charged to the TenantLedger.
   uint64_t fuel_consumed = 0;          // == executed_instrs, ledger units
   uint64_t mem_high_water_pages = 0;   // linear-memory peak during the run
-  int64_t cpu_nanos = 0;               // worker thread-CPU time in the run
+  int64_t cpu_nanos = 0;               // worker thread-CPU time (on-worker
+                                       // segments only; parked time is free)
   uint64_t total_syscalls = 0;
   // (syscall name, count) for every syscall the guest issued.
   std::vector<std::pair<std::string, uint64_t>> syscall_counts;
-  int64_t wall_nanos = 0;
+  int64_t wall_nanos = 0;    // on-worker wall time (excludes parked time)
   int64_t wali_nanos = 0;    // time inside WALI handlers (exclusive)
   int64_t kernel_nanos = 0;  // time inside the kernel
-  int64_t queue_nanos = 0;   // submit -> dispatch (or shed) latency
+  int64_t queue_nanos = 0;   // submit -> FIRST dispatch (or shed) latency;
+                             // never includes parked/blocked time
+  // Time spent parked off-worker in blocking syscalls (park -> resume
+  // dispatch, summed over parks, on the supervisor's clock). A sleeping or
+  // I/O-bound guest accrues blocked_nanos without holding a worker, so it
+  // inflates neither queue_nanos nor cpu_nanos.
+  int64_t blocked_nanos = 0;
+  // How many times the run parked at a syscall boundary (async offload).
+  uint64_t parks = 0;
   // Global dispatch order (1-based); 0 for jobs that were never dispatched
   // to a worker (kRejected and kShed).
   uint64_t dispatch_seq = 0;
@@ -132,6 +142,15 @@ class Supervisor {
     // (fuel accounting is bit-identical either way, so RunReports and
     // TenantLedger math do not depend on this knob).
     wasm::DispatchMode dispatch = wasm::DispatchMode::kAuto;
+    // Async syscall offload. Non-null enables the park-at-the-WALI-boundary
+    // path: a guest entering a blocking-capable syscall suspends
+    // (kSyscallPending) instead of blocking its worker; the op is
+    // registered here and the job is parked off-worker until the backend
+    // completes it. Null (default) keeps the fully synchronous 1:1 model.
+    // Borrowed; must outlive the supervisor's Shutdown. Suspended/resumed
+    // runs are bit-identical to blocking runs in instruction counts, fuel,
+    // and syscall results (tests/host_io_test.cc holds the line).
+    IoBackend* io_backend = nullptr;
     InstancePool::Options pool;
   };
 
@@ -171,12 +190,58 @@ class Supervisor {
   size_t workers() const { return workers_.size(); }
   // Jobs currently queued across all tenants (excludes running guests).
   size_t queued() const;
+  // Jobs currently parked off-worker in a blocking syscall.
+  size_t parked() const;
+
+  // Async-offload telemetry. in_flight counts dispatched-but-unfinished
+  // jobs (running + parked + awaiting resume); with offload active it can
+  // exceed the worker count — that headroom is the whole point.
+  struct IoStats {
+    size_t parked_now = 0;
+    size_t ready_now = 0;           // completions awaiting a worker
+    uint64_t in_flight_now = 0;
+    uint64_t peak_in_flight = 0;
+    uint64_t parks_total = 0;
+    uint64_t resumes_total = 0;
+    // Completions for cookies no longer parked (guest shed / shut down
+    // before its I/O finished). Absorbed, never an error.
+    uint64_t orphan_completions = 0;
+    uint64_t sheds_while_parked = 0;
+    uint64_t budget_stops_while_parked = 0;
+  };
+  IoStats io_stats() const;
 
  private:
   struct Task {
     GuestJob job;
     std::promise<RunReport> done;
     int64_t enqueue_nanos = 0;
+  };
+
+  // A dispatched run's full in-progress state. Lives on the worker's stack
+  // between dispatch and completion for synchronous runs; moves into
+  // `parked_` (keyed by backend cookie) while the guest is suspended in a
+  // blocking syscall, and back out via `ready_` when the op completes.
+  struct RunState {
+    GuestJob job;
+    std::promise<RunReport> done;
+    InstancePool::Lease lease;
+    wali::WaliRuntime::MainContinuation cont;
+    TenantLedger::RunReservation reserved;
+    bool fuel_clamped = false;
+    RunReport report;  // accumulated across on-worker segments
+    // Resume-time syscall closure captured at park (see wali::PendingIo).
+    std::function<int64_t()> retry;
+    int64_t park_stamp = 0;       // clock_ at park, for blocked_nanos
+    // The backend deadline was tightened to the job's deadline, so a
+    // kTimedOut completion means "shed the parked guest", not "the
+    // syscall's own timeout elapsed".
+    bool timeout_is_shed = false;
+  };
+
+  struct ReadyEntry {
+    RunState st;
+    IoCompletion completion;
   };
 
   // Per-tenant scheduler state. Entries exist only while the tenant has
@@ -197,7 +262,21 @@ class Supervisor {
   // heads are moved to `*shed` (they do not consume scheduling credit).
   bool PopLocked(Task* out, std::vector<Task>* shed);
   bool RunnableLocked() const { return !ring_.empty(); }
-  RunReport RunOne(Task& task);
+  // Dispatches one task: admission, lease, budget arming, first guest
+  // segment. Resolves the promise itself unless the run parks.
+  void RunOne(Task& task);
+  // Continues a parked run whose op completed: materializes the syscall
+  // result and runs the next on-worker segment (which may park again).
+  void ResumeOne(ReadyEntry entry);
+  // Parks a suspended run: captures the pending op, tightens its deadline
+  // to the job's, registers it with the backend. Sheds instead when the
+  // deadline already passed or the supervisor is shutting down.
+  void ParkRun(RunState st);
+  // Common completion tail: outcome mapping, trace harvest, ledger settle.
+  void FinishRun(RunState st, const wasm::RunResult& r);
+  // Abandons a dispatched run mid-park (shed / budget / shutdown): settles
+  // partial consumption, discards the suspension, resolves the promise.
+  void FinishAbandoned(RunState st, Outcome outcome, std::string message);
   // Report for a job that never ran (shed / rejected / budget-refused).
   RunReport ControlReport(const GuestJob& job, Outcome outcome,
                           std::string message) const;
@@ -208,13 +287,30 @@ class Supervisor {
   std::function<int64_t()> clock_;
   size_t queue_depth_;
   wasm::DispatchMode dispatch_;
+  IoBackend* io_;
   std::atomic<uint64_t> dispatch_seq_{0};
+
+  // Async-offload counters (outside mu_: bumped on hot completion paths).
+  std::atomic<uint64_t> in_flight_{0};
+  std::atomic<uint64_t> peak_in_flight_{0};
+  std::atomic<uint64_t> parks_total_{0};
+  std::atomic<uint64_t> resumes_total_{0};
+  std::atomic<uint64_t> orphan_completions_{0};
+  std::atomic<uint64_t> sheds_while_parked_{0};
+  std::atomic<uint64_t> budget_stops_while_parked_{0};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<std::string, TenantQueue> queues_;
   // Tenants with pending work, in rotation order (front = next scheduled).
   std::deque<std::string> ring_;
+  // Runs suspended in a blocking syscall, keyed by backend cookie; moved to
+  // ready_ by the completion handler and picked up by workers ahead of
+  // fresh queue pops (a resumed guest holds a lease and budget slices — it
+  // should leave, not wait behind new admissions).
+  std::map<uint64_t, RunState> parked_;
+  std::deque<ReadyEntry> ready_;
+  uint64_t next_cookie_ = 1;
   bool paused_ = false;
   bool stopping_ = false;
   std::vector<std::thread> workers_;

@@ -1,0 +1,91 @@
+// Async syscall offload seam (the "park at the WALI boundary" path).
+//
+// A blocking-capable syscall handler that can offload does not block its
+// worker thread: it files a PendingIo on the process — a readiness class
+// (IoOp) the host's completion loop can wait on without knowing anything
+// about WALI or guest memory, plus an optional retry closure that performs
+// the real (now ready, so prompt) syscall on a worker thread at resume —
+// and the dispatch wrapper unwinds the interpreter with
+// wasm::TrapKind::kSyscallPending. The host supervisor registers the IoOp
+// with its IoBackend (host::IoReactor, or a deterministic fake in tests),
+// parks the job off-worker, and on completion materializes the syscall
+// result into the suspended guest frame via WaliRuntime::ResumeMain.
+//
+// This header is intentionally tiny and dependency-free: it is the whole
+// contract between the WALI syscall layer and the host completion loop.
+#ifndef SRC_WALI_ASYNC_H_
+#define SRC_WALI_ASYNC_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace wali {
+
+// One offloadable blocking operation, as a readiness class. The completion
+// loop only ever needs "this fd is readable/writable" or "this much time
+// elapsed" — the syscall itself is re-issued by the retry closure once the
+// op is ready, so completion loops never touch guest state.
+struct IoOp {
+  enum class Kind : uint8_t {
+    kNone = 0,
+    kSleep,     // elapse `sleep_nanos` on the backend's clock
+    kReadable,  // wait until `fd` is readable (or error/hup: retry decides)
+    kWritable,  // wait until `fd` is writable
+  };
+
+  Kind kind = Kind::kNone;
+  int fd = -1;              // kReadable / kWritable
+  int64_t sleep_nanos = 0;  // kSleep: relative duration
+  // kReadable/kWritable: the op's own timeout (poll(2) semantics), relative;
+  // < 0 means wait forever. On expiry the op completes kTimedOut and the
+  // retry (e.g. poll with timeout 0) yields the syscall's timeout answer.
+  int64_t timeout_nanos = -1;
+
+  static IoOp Sleep(int64_t nanos) {
+    IoOp op;
+    op.kind = Kind::kSleep;
+    op.sleep_nanos = nanos;
+    return op;
+  }
+  static IoOp Readable(int fd, int64_t timeout_nanos = -1) {
+    IoOp op;
+    op.kind = Kind::kReadable;
+    op.fd = fd;
+    op.timeout_nanos = timeout_nanos;
+    return op;
+  }
+  static IoOp Writable(int fd, int64_t timeout_nanos = -1) {
+    IoOp op;
+    op.kind = Kind::kWritable;
+    op.fd = fd;
+    op.timeout_nanos = timeout_nanos;
+    return op;
+  }
+};
+
+// The park request one syscall files instead of blocking. Owned by the
+// WaliProcess; armed by a handler (via WaliCtx::Park), consumed by the host
+// supervisor when the interpreter unwinds with kSyscallPending. At most one
+// is armed per process at a time — the main invocation is suspended the
+// moment it is filed.
+struct PendingIo {
+  bool armed = false;
+  IoOp op;
+  const char* syscall = nullptr;  // registry name, for reports/telemetry
+  // Performs the (now ready) syscall at resume, on a worker thread with the
+  // process intact; returns the kernel convention (-errno on failure).
+  // Null: the completion itself determines the result (sleeps complete with
+  // 0; fakes may script any value).
+  std::function<int64_t()> retry;
+
+  void Reset() {
+    armed = false;
+    op = IoOp();
+    syscall = nullptr;
+    retry = nullptr;
+  }
+};
+
+}  // namespace wali
+
+#endif  // SRC_WALI_ASYNC_H_

@@ -75,6 +75,7 @@ void WaliProcess::ResetForReuse(std::vector<std::string> argv_in,
   sigtable.Reset();
   mmap.Reset();
   trace.Reset();
+  pending_io.Reset();
   CloseGuestFds();
   policy.reset();
   // Keep the recycled interpreter buffers warm across slot reuse, but bound

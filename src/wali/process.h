@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/wali/async.h"
 #include "src/wali/mmap_mgr.h"
 #include "src/wali/policy.h"
 #include "src/wali/sigtable.h"
@@ -111,6 +112,14 @@ class WaliProcess {
   std::atomic<uint64_t> mem_budget_pages{0};
   std::atomic<uint64_t> syscall_budget{0};
   std::atomic<uint64_t> run_syscalls{0};
+
+  // Park request filed by a blocking-capable syscall instead of blocking
+  // (src/wali/async.h). Only the main-run invocation can park (guest
+  // threads and signal-handler re-entries run without a suspension slot),
+  // so this needs no lock: it is written by the handler and read by the
+  // supervisor strictly after the interpreter unwound with
+  // kSyscallPending. Cleared per run and on slot recycling.
+  PendingIo pending_io;
 
   std::atomic<bool> exit_all{false};
   std::atomic<int32_t> exit_code{0};

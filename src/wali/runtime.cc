@@ -3,6 +3,7 @@
 #include <errno.h>
 #include <fcntl.h>
 #include <limits.h>
+#include <sys/stat.h>
 #include <sys/syscall.h>
 #include <unistd.h>
 
@@ -78,8 +79,11 @@ wasm::TrapKind WaliSafepoint(wasm::ExecContext& ctx) {
     proc->sigtable.count_delivery();
     wasm::ExecOptions opts = ctx.opts;
     // The interrupted invocation holds the recycled buffers; the handler
-    // re-entry allocates its own.
+    // re-entry allocates its own. It must also not inherit the suspension
+    // slot — the parked state of the interrupted run lives there, and a
+    // handler's syscalls have no parked-job identity to resume under.
     opts.buffers = nullptr;
+    opts.suspend_to = nullptr;
     wasm::RunResult r =
         inst->CallRef(handler, {wasm::Value::I32(static_cast<uint32_t>(signo))}, opts);
     if (!r.ok()) {
@@ -114,6 +118,34 @@ bool WaliCtx::GetStr(uint64_t addr, std::string* out) const {
   }
   out->assign(p, n);
   return true;
+}
+
+bool OffloadableFd(int fd) {
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    return false;  // bad fd: let the real syscall surface the errno
+  }
+  if (!(S_ISFIFO(st.st_mode) || S_ISSOCK(st.st_mode) || S_ISCHR(st.st_mode))) {
+    return false;
+  }
+  // O_NONBLOCK fds never block — the kernel answers -EAGAIN instantly, and
+  // event-loop guests depend on exactly that. Parking one would turn a
+  // readiness probe into an indefinite suspension, diverging from the
+  // blocking path this offload must match bit-for-bit.
+  int fl = ::fcntl(fd, F_GETFL);
+  return fl >= 0 && (fl & O_NONBLOCK) == 0;
+}
+
+int64_t RetryRaw(WaliProcess& proc, long number, long a0, long a1, long a2,
+                 long a3, long a4, long a5) {
+  const bool timed = proc.runtime->options().attribute_time;
+  int64_t t0 = timed ? common::MonotonicNanos() : 0;
+  long r = ::syscall(number, a0, a1, a2, a3, a4, a5);
+  int64_t ret = r >= 0 ? static_cast<int64_t>(r) : -static_cast<int64_t>(errno);
+  if (timed) {
+    proc.trace.AddKernelNanos(common::MonotonicNanos() - t0);
+  }
+  return ret;
 }
 
 int64_t WaliCtx::Raw(long number, long a0, long a1, long a2, long a3, long a4,
@@ -421,6 +453,17 @@ void WaliRuntime::RegisterAll() {
           if (timed) {
             proc->trace.AddWaliNanos(common::MonotonicNanos() - t0);
           }
+          if (proc->pending_io.armed) {
+            // Park at the WALI boundary: the handler filed a PendingIo
+            // instead of blocking. The dispatch is counted NOW (suspended
+            // runs must match blocking runs bit-for-bit in syscall counts);
+            // the result — and any fd effect — is materialized at resume.
+            proc->pending_io.syscall = def.name;
+            proc->trace.Count(static_cast<uint32_t>(id));
+            ctx.SetTrap(wasm::TrapKind::kSyscallPending,
+                        "syscall parked for async completion");
+            return ctx.trap;
+          }
           ApplyFdEffect(*proc, id, args, ret);
           proc->trace.Count(static_cast<uint32_t>(id));
           if (common::LogEnabled(common::LogLevel::kDebug)) {
@@ -598,6 +641,12 @@ wasm::RunResult WaliRuntime::RunMain(WaliProcess& process) {
 
 wasm::RunResult WaliRuntime::RunMain(WaliProcess& process,
                                      const wasm::ExecOptions& opts) {
+  return RunMain(process, opts, nullptr);
+}
+
+wasm::RunResult WaliRuntime::RunMain(WaliProcess& process,
+                                     const wasm::ExecOptions& opts,
+                                     MainContinuation* cont) {
   wasm::RunResult r;
   // The (start) function, deferred from instantiation: runs with the same
   // limits and policy as the entry point, and what it burns comes out of the
@@ -607,6 +656,15 @@ wasm::RunResult WaliRuntime::RunMain(WaliProcess& process,
   // slots thus stop reallocating stack/frame storage per guest run.
   if (entry_opts.buffers == nullptr) {
     entry_opts.buffers = &process.exec_buffers;
+  }
+  // (start) always runs synchronously — CanOffload() sees no suspension
+  // slot and handlers take the blocking path — so a parked run is always
+  // parked in the entry function and resume never has to replay into the
+  // start/entry sequencing below.
+  entry_opts.suspend_to = nullptr;
+  process.pending_io.Reset();
+  if (cont != nullptr) {
+    cont->Discard();
   }
   uint64_t start_instrs = 0;
   if (process.module->start.has_value()) {
@@ -627,18 +685,51 @@ wasm::RunResult WaliRuntime::RunMain(WaliProcess& process,
       entry_opts.fuel = opts.fuel - start_instrs;
     }
   }
+  if (cont != nullptr) {
+    entry_opts.suspend_to = &cont->susp;
+  }
+  bool entry_is_main = false;
   if (process.module->FindExport("_start", wasm::ExternKind::kFunc) != nullptr) {
     r = process.main_instance->CallExport("_start", {}, entry_opts);
   } else {
+    entry_is_main = true;
     r = process.main_instance->CallExport("main", {}, entry_opts);
-    if (r.ok() && !r.values.empty()) {
-      r.exit_code = static_cast<int32_t>(r.values[0].i32());
-    }
+  }
+  if (r.trap == wasm::TrapKind::kSyscallPending) {
+    cont->start_instrs = start_instrs;
+    cont->entry_is_main = entry_is_main;
+    // Partial count so far; the final tally is assembled in ResumeMain.
+    return r;
+  }
+  if (entry_is_main && r.ok() && !r.values.empty()) {
+    r.exit_code = static_cast<int32_t>(r.values[0].i32());
   }
   r.executed_instrs += start_instrs;
   process.JoinThreads();
   if (r.trap == wasm::TrapKind::kExit) {
     // Clean process exit.
+    r.values.clear();
+  }
+  return r;
+}
+
+wasm::RunResult WaliRuntime::ResumeMain(WaliProcess& process,
+                                        MainContinuation& cont,
+                                        int64_t syscall_result) {
+  process.pending_io.Reset();
+  uint64_t bits = static_cast<uint64_t>(syscall_result);
+  wasm::RunResult r = wasm::ResumeInvoke(cont.susp, &bits, 1);
+  if (r.trap == wasm::TrapKind::kSyscallPending) {
+    return r;  // parked again; cont stays armed
+  }
+  if (cont.entry_is_main && r.ok() && !r.values.empty()) {
+    r.exit_code = static_cast<int32_t>(r.values[0].i32());
+  }
+  r.executed_instrs += cont.start_instrs;
+  cont.start_instrs = 0;
+  cont.entry_is_main = false;
+  process.JoinThreads();
+  if (r.trap == wasm::TrapKind::kExit) {
     r.values.clear();
   }
   return r;

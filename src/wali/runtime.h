@@ -47,6 +47,24 @@ struct WaliCtx {
   // Timed raw syscall passthrough (kernel time accounted for Fig. 7).
   int64_t Raw(long number, long a0 = 0, long a1 = 0, long a2 = 0, long a3 = 0,
               long a4 = 0, long a5 = 0) const;
+
+  // True when this invocation may park at the syscall boundary instead of
+  // blocking: the host entered it resumably (ExecOptions::suspend_to) and
+  // no park request is already armed. Guest threads and signal-handler
+  // re-entries always see false and take the blocking path.
+  bool CanOffload() const {
+    return exec.opts.suspend_to != nullptr && !proc.pending_io.armed;
+  }
+  // Files a park request (see src/wali/async.h): the dispatch wrapper turns
+  // it into kSyscallPending and the handler's return value is ignored. Only
+  // call when CanOffload().
+  void Park(IoOp op, std::function<int64_t()> retry,
+            const char* syscall_name = nullptr) const {
+    proc.pending_io.armed = true;
+    proc.pending_io.op = op;
+    proc.pending_io.syscall = syscall_name;
+    proc.pending_io.retry = std::move(retry);
+  }
 };
 
 using SyscallHandler = int64_t (*)(WaliCtx&, const int64_t*);
@@ -92,11 +110,43 @@ class WaliRuntime {
                               std::vector<std::string> argv,
                               std::vector<std::string> env);
 
+  // A main run parked at a syscall boundary: everything needed to continue
+  // it once the blocking operation completes. Owned by the host layer (the
+  // supervisor keeps one per parked job); the underlying wasm::Suspension
+  // pins the process's instance and recycled exec buffers, so it must be
+  // resumed or discarded before the process slot is recycled.
+  struct MainContinuation {
+    wasm::Suspension susp;
+    uint64_t start_instrs = 0;   // fuel the deferred (start) burned
+    bool entry_is_main = false;  // exit code comes from main's i32 result
+
+    bool armed() const { return susp.armed(); }
+    void Discard() {
+      susp.Discard();
+      start_instrs = 0;
+      entry_is_main = false;
+    }
+  };
+
   // Runs the process entry point: exported `_start` ()->() if present, else
   // `main` ()->i32. SYS_exit(_group) surfaces as trap==kExit with the code.
   wasm::RunResult RunMain(WaliProcess& process);
   // Same, with per-run execution limits (per-tenant fuel / frame caps).
   wasm::RunResult RunMain(WaliProcess& process, const wasm::ExecOptions& opts);
+  // Same, resumable: a blocking-capable syscall may park instead of
+  // blocking, returning trap == kSyscallPending with `*cont` armed and the
+  // park request in process.pending_io. The caller registers the op with
+  // its completion loop and calls ResumeMain once the result is known.
+  // A null `cont` is the synchronous overload. The deferred (start)
+  // function always runs synchronously — only the entry call can park.
+  wasm::RunResult RunMain(WaliProcess& process, const wasm::ExecOptions& opts,
+                          MainContinuation* cont);
+  // Continues a parked main run with the suspended syscall's result
+  // (kernel convention). May park again (kSyscallPending, `cont` re-armed);
+  // any other return is final, with executed_instrs / fuel / exit-code
+  // semantics bit-identical to an uninterrupted RunMain.
+  wasm::RunResult ResumeMain(WaliProcess& process, MainContinuation& cont,
+                             int64_t syscall_result);
 
   const std::vector<SyscallDef>& syscalls() const { return defs_; }
   int SyscallId(const std::string& name) const;
@@ -128,6 +178,21 @@ class WaliRuntime {
   std::map<std::string, int> ids_;
   std::vector<FdEffect> fd_effects_;
 };
+
+// Async-offload helpers shared by the syscall groups.
+//
+// True for fd types whose read/write/accept can block indefinitely (pipes,
+// FIFOs, sockets, character devices such as ttys); regular files and
+// directories return false and take the synchronous thin-interface path —
+// page-cache I/O is the fast path the paper's design optimizes for, and
+// offloading it would only add completion-loop latency.
+bool OffloadableFd(int fd);
+
+// Raw syscall with kernel-time attribution for resume-time retry closures,
+// which run on a worker thread after the original ExecContext (and thus
+// WaliCtx::Raw) is gone. Returns the kernel convention (-errno on failure).
+int64_t RetryRaw(WaliProcess& proc, long number, long a0 = 0, long a1 = 0,
+                 long a2 = 0, long a3 = 0, long a4 = 0, long a5 = 0);
 
 // Registry population, grouped by subsystem (one .cc per group).
 void RegisterFsSyscalls(std::vector<SyscallDef>& defs);

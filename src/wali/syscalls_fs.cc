@@ -60,12 +60,42 @@ int64_t StatCommon(WaliCtx& c, int64_t raw_result, const struct stat& native,
 int64_t SysRead(WaliCtx& c, const int64_t* a) {
   void* buf = c.Ptr(a[1], a[2]);
   if (buf == nullptr && a[2] != 0) return -EFAULT;
+  int fd = static_cast<int>(a[0]);
+  if (c.CanOffload() && OffloadableFd(fd)) {
+    // Park until the fd is readable; the retry performs the read on a
+    // worker thread at resume, when it completes promptly. The guest
+    // address is re-translated then — the slab base is fixed, but the
+    // bounds are re-checked against the live memory.
+    WaliProcess* proc = &c.proc;
+    uint64_t addr = static_cast<uint64_t>(a[1]);
+    uint64_t len = static_cast<uint64_t>(a[2]);
+    c.Park(IoOp::Readable(fd), [proc, fd, addr, len]() -> int64_t {
+      if (len != 0 && !proc->memory->InBounds(addr, len)) return -EFAULT;
+      void* p = len != 0 ? proc->memory->At(addr) : nullptr;
+      return RetryRaw(*proc, SYS_read, fd, reinterpret_cast<long>(p),
+                      static_cast<long>(len));
+    });
+    return 0;
+  }
   return c.Raw(SYS_read, a[0], reinterpret_cast<long>(buf), a[2]);
 }
 
 int64_t SysWrite(WaliCtx& c, const int64_t* a) {
   void* buf = c.Ptr(a[1], a[2]);
   if (buf == nullptr && a[2] != 0) return -EFAULT;
+  int fd = static_cast<int>(a[0]);
+  if (c.CanOffload() && OffloadableFd(fd)) {
+    WaliProcess* proc = &c.proc;
+    uint64_t addr = static_cast<uint64_t>(a[1]);
+    uint64_t len = static_cast<uint64_t>(a[2]);
+    c.Park(IoOp::Writable(fd), [proc, fd, addr, len]() -> int64_t {
+      if (len != 0 && !proc->memory->InBounds(addr, len)) return -EFAULT;
+      void* p = len != 0 ? proc->memory->At(addr) : nullptr;
+      return RetryRaw(*proc, SYS_write, fd, reinterpret_cast<long>(p),
+                      static_cast<long>(len));
+    });
+    return 0;
+  }
   return c.Raw(SYS_write, a[0], reinterpret_cast<long>(buf), a[2]);
 }
 

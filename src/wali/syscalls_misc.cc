@@ -1,9 +1,12 @@
 // Polling, futex, epoll, eventfd, randomness. pollfd/epoll_event/fd_set all
 // have ISA-independent layouts — zero-copy passthrough after translation.
 #include <errno.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/select.h>
 #include <sys/syscall.h>
+
+#include <cstring>
 
 #include "src/wali/runtime.h"
 
@@ -35,10 +38,49 @@ int64_t SysFutex(WaliCtx& c, const int64_t* a) {
                uaddr2, a[5]);
 }
 
+// Re-issues a parked poll with timeout 0 at resume: readiness completions
+// fill in revents, timeout completions correctly report 0 ready fds.
+int64_t PollRetryNow(WaliProcess& proc, uint64_t fds_addr, uint64_t nfds) {
+  if (!proc.memory->InBounds(fds_addr, nfds * 8)) return -EFAULT;
+  void* fds = proc.memory->At(fds_addr);
+#ifdef SYS_poll
+  return RetryRaw(proc, SYS_poll, reinterpret_cast<long>(fds),
+                  static_cast<long>(nfds), 0);
+#else
+  struct timespec zero = {0, 0};
+  return RetryRaw(proc, SYS_ppoll, reinterpret_cast<long>(fds),
+                  static_cast<long>(nfds), reinterpret_cast<long>(&zero), 0, 8);
+#endif
+}
+
 int64_t SysPoll(WaliCtx& c, const int64_t* a) {
   uint64_t nfds = static_cast<uint64_t>(a[1]);
   void* fds = c.Ptr(a[0], nfds * 8);  // struct pollfd = 8 bytes everywhere
   if (fds == nullptr && nfds != 0) return -EFAULT;
+  // Single-fd polls for plain readability/writability — by far the common
+  // shape in event-loop guests — are offloadable: the completion loop waits
+  // on the one fd (bounded by the poll's own timeout) and the retry polls
+  // with timeout 0 to materialize revents. Zero-timeout polls are
+  // non-blocking by contract and go straight to the kernel; multi-fd sets
+  // would need multi-wait support in the IoOp vocabulary, so they take the
+  // blocking path too.
+  if (c.CanOffload() && nfds == 1 && a[2] != 0) {
+    struct pollfd pfd;
+    std::memcpy(&pfd, fds, sizeof(pfd));
+    const bool wants_in = (pfd.events & POLLIN) != 0;
+    const bool wants_out = (pfd.events & POLLOUT) != 0;
+    if (wants_in != wants_out) {  // exactly one readiness class
+      int64_t timeout_nanos = a[2] < 0 ? -1 : a[2] * 1000000;
+      IoOp op = wants_in ? IoOp::Readable(pfd.fd, timeout_nanos)
+                         : IoOp::Writable(pfd.fd, timeout_nanos);
+      WaliProcess* proc = &c.proc;
+      uint64_t fds_addr = static_cast<uint64_t>(a[0]);
+      c.Park(op, [proc, fds_addr]() -> int64_t {
+        return PollRetryNow(*proc, fds_addr, 1);
+      });
+      return 0;
+    }
+  }
 #ifdef SYS_poll
   return c.Raw(SYS_poll, reinterpret_cast<long>(fds), nfds, a[2]);
 #else

@@ -61,11 +61,51 @@ int64_t AddrLenCall(WaliCtx& c, long nr, int64_t fd, int64_t addr, int64_t lenp,
   return c.Raw(nr, fd, addr_ptr, len_ptr);
 }
 
+// Offloaded accept: park until the listening socket is readable (a pending
+// connection), then perform the accept in the retry — which also re-does
+// the addr/len translation against live memory and tracks the minted fd
+// (the dispatch wrapper's fd-effect pass is skipped on the parked path).
+int64_t ParkAccept(WaliCtx& c, long nr, int64_t fd, int64_t addr, int64_t lenp,
+                   int64_t flags, bool has_flags) {
+  WaliProcess* proc = &c.proc;
+  c.Park(IoOp::Readable(static_cast<int>(fd)),
+         [proc, nr, fd, addr, lenp, flags, has_flags]() -> int64_t {
+           long addr_ptr = 0, len_ptr = 0;
+           if (addr != 0) {
+             if (!proc->memory->InBounds(static_cast<uint64_t>(lenp), 4)) {
+               return -EFAULT;
+             }
+             auto* len = reinterpret_cast<uint32_t*>(
+                 proc->memory->At(static_cast<uint64_t>(lenp)));
+             if (!proc->memory->InBounds(static_cast<uint64_t>(addr), *len)) {
+               return -EFAULT;
+             }
+             addr_ptr = reinterpret_cast<long>(
+                 proc->memory->At(static_cast<uint64_t>(addr)));
+             len_ptr = reinterpret_cast<long>(len);
+           }
+           int64_t r = has_flags
+                           ? RetryRaw(*proc, nr, fd, addr_ptr, len_ptr, flags)
+                           : RetryRaw(*proc, nr, fd, addr_ptr, len_ptr);
+           if (r >= 0) {
+             proc->TrackFd(static_cast<int>(r));
+           }
+           return r;
+         });
+  return 0;
+}
+
 int64_t SysAccept(WaliCtx& c, const int64_t* a) {
+  if (c.CanOffload() && OffloadableFd(static_cast<int>(a[0]))) {
+    return ParkAccept(c, SYS_accept, a[0], a[1], a[2], 0, false);
+  }
   return AddrLenCall(c, SYS_accept, a[0], a[1], a[2]);
 }
 
 int64_t SysAccept4(WaliCtx& c, const int64_t* a) {
+  if (c.CanOffload() && OffloadableFd(static_cast<int>(a[0]))) {
+    return ParkAccept(c, SYS_accept4, a[0], a[1], a[2], a[3], true);
+  }
   return AddrLenCall(c, SYS_accept4, a[0], a[1], a[2], a[3], /*has_flags=*/true);
 }
 

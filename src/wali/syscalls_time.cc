@@ -4,6 +4,9 @@
 #include <sys/syscall.h>
 #include <time.h>
 
+#include <cstdint>
+#include <cstring>
+
 #include "src/abi/layout.h"
 #include "src/wali/runtime.h"
 
@@ -31,6 +34,23 @@ int64_t SysClockSettime(WaliCtx& c, const int64_t* a) {
   return -EPERM;  // never allow the sandbox to set host clocks
 }
 
+// Validates a guest timespec and flattens it to nanoseconds (kernel
+// nanosleep rules: negative seconds or out-of-range nanos are EINVAL).
+// Durations past int64 range (sec is guest-controlled) saturate: a
+// ~292-year sleep and an infinite one are indistinguishable in practice,
+// and the multiply must not be allowed to overflow (UB) into a 0ns sleep.
+bool SleepDurationNanos(const wabi::WaliTimespec& ts, int64_t* out) {
+  if (ts.sec < 0 || ts.nsec < 0 || ts.nsec >= 1000000000) {
+    return false;
+  }
+  if (ts.sec > (INT64_MAX - ts.nsec) / 1000000000) {
+    *out = INT64_MAX;
+    return true;
+  }
+  *out = ts.sec * 1000000000 + ts.nsec;
+  return true;
+}
+
 int64_t SysNanosleep(WaliCtx& c, const int64_t* a) {
   const void* req = c.Ptr(a[0], sizeof(wabi::WaliTimespec));
   if (req == nullptr) return -EFAULT;
@@ -39,6 +59,18 @@ int64_t SysNanosleep(WaliCtx& c, const int64_t* a) {
     void* rem = c.Ptr(a[1], sizeof(wabi::WaliTimespec));
     if (rem == nullptr) return -EFAULT;
     rem_ptr = reinterpret_cast<long>(rem);
+  }
+  if (c.CanOffload()) {
+    // Offload: elapse the duration on the host's completion loop instead of
+    // parking a worker thread in the kernel. The completion value (0) is
+    // the syscall result — an offloaded sleep is never EINTR'd, so `rem`
+    // is left untouched, exactly like an uninterrupted kernel sleep.
+    wabi::WaliTimespec ts;
+    std::memcpy(&ts, req, sizeof(ts));
+    int64_t dur = 0;
+    if (!SleepDurationNanos(ts, &dur)) return -EINVAL;
+    c.Park(IoOp::Sleep(dur), nullptr);
+    return 0;
   }
   return c.Raw(SYS_nanosleep, reinterpret_cast<long>(req), rem_ptr);
 }
@@ -51,6 +83,17 @@ int64_t SysClockNanosleep(WaliCtx& c, const int64_t* a) {
     void* rem = c.Ptr(a[3], sizeof(wabi::WaliTimespec));
     if (rem == nullptr) return -EFAULT;
     rem_ptr = reinterpret_cast<long>(rem);
+  }
+  // Only the relative form is offloadable: TIMER_ABSTIME is anchored to the
+  // target clock's epoch, which a manual-clock completion loop cannot
+  // honor; it takes the blocking path.
+  if (c.CanOffload() && (a[1] & TIMER_ABSTIME) == 0) {
+    wabi::WaliTimespec ts;
+    std::memcpy(&ts, req, sizeof(ts));
+    int64_t dur = 0;
+    if (!SleepDurationNanos(ts, &dur)) return -EINVAL;
+    c.Park(IoOp::Sleep(dur), nullptr);
+    return 0;
   }
   return c.Raw(SYS_clock_nanosleep, a[0], a[1], reinterpret_cast<long>(req), rem_ptr);
 }

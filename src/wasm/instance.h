@@ -81,6 +81,7 @@ bool ThreadedDispatchAvailable();
 // keep one per pooled process slot so repeated runs reuse grown capacity
 // instead of reallocating; defined in interp.h.
 struct ExecBuffers;
+struct Suspension;
 
 struct ExecOptions {
   SafepointScheme scheme = SafepointScheme::kLoop;
@@ -92,6 +93,14 @@ struct ExecOptions {
   // concurrent invocations. Nested re-entry (signal handlers) is safe: the
   // outer Invoke has already swapped the live vectors out.
   ExecBuffers* buffers = nullptr;
+  // When non-null, host calls may suspend the invocation instead of
+  // blocking (TrapKind::kSyscallPending): the interpreter state is parked
+  // into this slot and ResumeInvoke(*suspend_to, ...) continues the run
+  // with the host call's results materialized on the operand stack. Null
+  // (the default) means suspension is unavailable and host functions must
+  // complete synchronously. One slot per invocation; re-entrant invocations
+  // (signal handlers, guest threads) must clear it.
+  Suspension* suspend_to = nullptr;
 };
 
 // The dispatch loop that would actually run for `opts` in this build

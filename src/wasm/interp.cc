@@ -121,6 +121,20 @@ TrapKind CallHost(ExecContext& ctx, const HostFunc& host) {
   }
   ctx.stack.resize(ctx.stack.size() - nargs);
   TrapKind t = host.fn(ctx, argbuf, resbuf);
+  if (t == TrapKind::kSyscallPending || ctx.trap == TrapKind::kSyscallPending) {
+    if (ctx.opts.suspend_to == nullptr) {
+      // A host function parked an invocation that cannot be resumed (no
+      // suspension slot). Programming error in the host layer; fail loudly
+      // rather than losing the call's results.
+      ctx.SetTrap(TrapKind::kHostError, "host call suspended without a suspension slot");
+      return ctx.trap;
+    }
+    // The args are consumed; the results arrive via ResumeInvoke. The frame
+    // state was synced before the call, so the context is resumable as-is.
+    ctx.trap = TrapKind::kSyscallPending;
+    ctx.pending_host_results = static_cast<uint32_t>(nres);
+    return ctx.trap;
+  }
   if (t != TrapKind::kNone) {
     if (ctx.trap == TrapKind::kNone) {
       ctx.trap = t;
@@ -204,6 +218,62 @@ TrapKind RunLoop(ExecContext& ctx) {
   return RunLoopSwitch(ctx);
 }
 
+namespace {
+
+// Marshals a finished (non-suspended) context into a RunResult. Result
+// values are read from the operand-stack top when the run completed.
+RunResult HarvestResult(ExecContext& ctx, const FuncType* type, TrapKind t) {
+  RunResult result;
+  result.trap = t;
+  result.trap_message = ctx.trap_msg;
+  result.exit_code = ctx.exit_code;
+  result.executed_instrs = ctx.executed;
+  if (t == TrapKind::kNone) {
+    size_t nres = type->results.size();
+    for (size_t i = 0; i < nres; ++i) {
+      Value v;
+      v.type = type->results[i];
+      v.bits = ctx.stack[ctx.stack.size() - nres + i];
+      result.values.push_back(v);
+    }
+  }
+  return result;
+}
+
+// Shared entry setup: pushes args and the first frame, runs the dispatch
+// loop to completion or suspension. Buffer swap-in/out is the caller's
+// concern (RAII for the synchronous path, manual for the resumable one).
+TrapKind RunEntry(ExecContext& ctx, const FuncRef& ref, const std::vector<Value>& args) {
+  for (const Value& v : args) {
+    ctx.stack.push_back(v.bits);
+  }
+  if (ref.IsHost()) {
+    return CallHost(ctx, *ref.host);
+  }
+  if (!PushFrame(ctx, ref)) {
+    return ctx.trap;
+  }
+  if (ctx.opts.scheme == SafepointScheme::kFunction && ctx.poll != nullptr && *ctx.poll) {
+    (*ctx.poll)(ctx);
+  }
+  return ctx.trap != TrapKind::kNone ? ctx.trap : RunLoop(ctx);
+}
+
+}  // namespace
+
+void Suspension::Discard() {
+  if (ctx != nullptr && buffers != nullptr) {
+    // Hand the borrowed storage (and its grown capacity) back to its owner;
+    // the parked stack contents are dead, only the allocation is recycled.
+    ctx->stack.swap(buffers->stack);
+    ctx->frames.swap(buffers->frames);
+  }
+  ctx.reset();
+  entry_type = nullptr;
+  buffers = nullptr;
+  pending_results = 0;
+}
+
 RunResult Invoke(Instance* inst, const FuncRef& ref, const std::vector<Value>& args,
                  const ExecOptions& opts) {
   RunResult result;
@@ -218,56 +288,91 @@ RunResult Invoke(Instance* inst, const FuncRef& ref, const std::vector<Value>& a
     return result;
   }
 
-  ExecContext ctx;
+  if (opts.suspend_to == nullptr) {
+    // Synchronous path: the context lives on this stack frame and the
+    // borrowed buffers are returned on every exit via RAII.
+    ExecContext ctx;
+    ctx.root = inst;
+    ctx.opts = opts;
+    ctx.poll = &inst->safepoint_fn();
+    BufferLease lease(ctx, opts.buffers);
+    TrapKind t = RunEntry(ctx, ref, args);
+    return HarvestResult(ctx, ref.type, t);
+  }
+
+  // Resumable path: the context is heap-allocated so a suspension can move
+  // it into the caller's Suspension slot; borrowed buffers are swapped in
+  // here and handed back only when the run finally completes (ResumeInvoke)
+  // or is abandoned (Suspension::Discard).
+  Suspension& susp = *opts.suspend_to;
+  susp.Discard();  // a stale armed slot must not leak its parked context
+  auto ctxp = std::make_unique<ExecContext>();
+  ExecContext& ctx = *ctxp;
   ctx.root = inst;
   ctx.opts = opts;
   ctx.poll = &inst->safepoint_fn();
-  BufferLease lease(ctx, opts.buffers);
+  if (opts.buffers != nullptr) {
+    ctx.stack.swap(opts.buffers->stack);
+    ctx.frames.swap(opts.buffers->frames);
+    ctx.stack.clear();
+    ctx.frames.clear();
+  }
+  if (ctx.stack.capacity() < kStackReserve) ctx.stack.reserve(kStackReserve);
+  if (ctx.frames.capacity() < kFramesReserve) ctx.frames.reserve(kFramesReserve);
 
-  if (ref.IsHost()) {
-    for (const Value& v : args) {
-      ctx.stack.push_back(v.bits);
-    }
-    TrapKind t = CallHost(ctx, *ref.host);
-    result.trap = t != TrapKind::kNone ? t : ctx.trap;
+  TrapKind t = RunEntry(ctx, ref, args);
+  if (t == TrapKind::kSyscallPending) {
+    susp.entry_type = ref.type;
+    susp.buffers = opts.buffers;
+    susp.pending_results = ctx.pending_host_results;
+    susp.ctx = std::move(ctxp);
+    result.trap = t;
     result.trap_message = ctx.trap_msg;
-    result.exit_code = ctx.exit_code;
     result.executed_instrs = ctx.executed;
-    if (result.trap == TrapKind::kNone) {
-      for (size_t i = 0; i < ref.type->results.size(); ++i) {
-        Value v;
-        v.type = ref.type->results[i];
-        v.bits = ctx.stack[i];
-        result.values.push_back(v);
-      }
-    }
     return result;
   }
+  result = HarvestResult(ctx, ref.type, t);
+  if (opts.buffers != nullptr) {
+    ctx.stack.swap(opts.buffers->stack);
+    ctx.frames.swap(opts.buffers->frames);
+  }
+  return result;
+}
 
-  for (const Value& v : args) {
-    ctx.stack.push_back(v.bits);
-  }
-  if (!PushFrame(ctx, ref)) {
-    result.trap = ctx.trap;
+RunResult ResumeInvoke(Suspension& susp, const uint64_t* results, size_t nres) {
+  RunResult result;
+  if (!susp.armed()) {
+    result.trap = TrapKind::kHostError;
+    result.trap_message = "resume of an unarmed suspension";
     return result;
   }
-  if (opts.scheme == SafepointScheme::kFunction && ctx.poll != nullptr && *ctx.poll) {
-    (*ctx.poll)(ctx);
+  if (nres != susp.pending_results) {
+    susp.Discard();
+    result.trap = TrapKind::kHostError;
+    result.trap_message = "suspended host call result arity mismatch";
+    return result;
   }
-  TrapKind t = ctx.trap != TrapKind::kNone ? ctx.trap : RunLoop(ctx);
-  result.trap = t;
-  result.trap_message = ctx.trap_msg;
-  result.exit_code = ctx.exit_code;
-  result.executed_instrs = ctx.executed;
-  if (t == TrapKind::kNone) {
-    size_t nres = ref.type->results.size();
-    for (size_t i = 0; i < nres; ++i) {
-      Value v;
-      v.type = ref.type->results[i];
-      v.bits = ctx.stack[ctx.stack.size() - nres + i];
-      result.values.push_back(v);
-    }
+  ExecContext& ctx = *susp.ctx;
+  ctx.trap = TrapKind::kNone;
+  ctx.trap_msg.clear();
+  ctx.pending_host_results = 0;
+  // Materialize the host call's results exactly where CallHost would have
+  // pushed them, then continue from the saved frame (fr->pc already points
+  // past the call site). An empty frame stack means the suspended call WAS
+  // the entry invocation; its results are the run's results.
+  for (size_t i = 0; i < nres; ++i) {
+    ctx.stack.push_back(results[i]);
   }
+  TrapKind t = ctx.frames.empty() ? TrapKind::kNone : RunLoop(ctx);
+  if (t == TrapKind::kSyscallPending) {
+    susp.pending_results = ctx.pending_host_results;
+    result.trap = t;
+    result.trap_message = ctx.trap_msg;
+    result.executed_instrs = ctx.executed;
+    return result;
+  }
+  result = HarvestResult(ctx, susp.entry_type, t);
+  susp.Discard();
   return result;
 }
 

@@ -6,6 +6,7 @@
 #define SRC_WASM_INTERP_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,10 @@ class ExecContext {
   int32_t exit_code = 0;
   uint64_t executed = 0;
   const SafepointFn* poll = nullptr;
+  // Result arity of the host call that suspended (kSyscallPending): how
+  // many operand-stack slots ResumeInvoke must materialize before the
+  // interpreter continues past the call site.
+  uint32_t pending_host_results = 0;
 
   Instance* current_instance() {
     return frames.empty() ? root : frames.back().inst;
@@ -80,9 +85,36 @@ struct ExecBuffers {
   std::vector<ExecContext::Frame> frames;
 };
 
+// A parked invocation: the full interpreter state of a run that unwound at
+// a host-call boundary with TrapKind::kSyscallPending. Filled by Invoke
+// when ExecOptions::suspend_to points here and a host function suspends;
+// consumed by ResumeInvoke (continue) or Discard (abandon). The suspension
+// pins the instance graph and any ExecBuffers the invocation borrowed, so
+// it must not outlive either.
+struct Suspension {
+  std::unique_ptr<ExecContext> ctx;
+  const FuncType* entry_type = nullptr;  // result marshaling at final exit
+  ExecBuffers* buffers = nullptr;        // returned on finish/discard
+  uint32_t pending_results = 0;          // slots ResumeInvoke must supply
+
+  bool armed() const { return ctx != nullptr; }
+  // Abandons the parked run: drops the interpreter state and hands any
+  // borrowed buffers (with their grown capacity) back to their owner.
+  void Discard();
+};
+
 // Invokes `ref` (wasm or host function) with typed arguments.
 RunResult Invoke(Instance* inst, const FuncRef& ref, const std::vector<Value>& args,
                  const ExecOptions& opts);
+
+// Continues a parked invocation: pushes the suspended host call's results
+// (`results[0..nres)`, which must match Suspension::pending_results) and
+// re-enters the dispatch loop at the saved frame. Returns exactly what the
+// uninterrupted Invoke would have — executed_instrs, fuel accounting, traps
+// and result values are bit-identical to a run whose host call completed
+// synchronously — or suspends again (kSyscallPending) if another host call
+// parks. The suspension is disarmed on any non-pending return.
+RunResult ResumeInvoke(Suspension& susp, const uint64_t* results, size_t nres);
 
 // Dispatch loop; returns the trap kind (kNone on normal completion).
 // Resolves ExecOptions::dispatch: computed-goto threaded dispatch with

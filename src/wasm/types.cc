@@ -80,6 +80,7 @@ const char* TrapKindName(TrapKind t) {
     case TrapKind::kUnalignedAtomic: return "unaligned atomic access";
     case TrapKind::kFuelExhausted: return "fuel exhausted";
     case TrapKind::kBudgetExhausted: return "tenant budget exhausted";
+    case TrapKind::kSyscallPending: return "syscall pending";
     case TrapKind::kExit: return "exit";
   }
   return "<bad>";

@@ -73,6 +73,11 @@ enum class TrapKind : uint8_t {
   // A cumulative per-tenant resource budget (CPU time, memory pages) ran
   // dry; raised from the safepoint poll, like async signal delivery.
   kBudgetExhausted,
+  // A host call parked instead of blocking: the invocation unwound with its
+  // interpreter state captured in a wasm::Suspension (ExecOptions must have
+  // carried a suspend_to slot), and ResumeInvoke continues it once the
+  // host materializes the call's results. Not a failure — the run is live.
+  kSyscallPending,
   kExit,
 };
 

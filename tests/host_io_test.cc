@@ -1,0 +1,521 @@
+// Deterministic fake-I/O harness for the supervisor's async syscall
+// offload: guests entering blocking syscalls park OFF-worker (the worker is
+// released), the FakeIoBackend's manual clock and scriptable completions
+// drive resume order, and suspended/resumed runs stay bit-identical to
+// blocking runs. Fault injection rides the same seam: completions arriving
+// after a guest was shed, deadline sheds of parked guests, tenant Forget
+// and budget exhaustion mid-park, and supervisor shutdown with parked
+// guests — all without real I/O or real time (the sole blocking-baseline
+// differential uses a 2ms real sleep).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/host/host.h"
+#include "tests/wali_test_util.h"
+
+namespace {
+
+constexpr int64_t kMs = 1000000;
+
+std::string WrapModule(const std::string& body) {
+  return std::string("(module ") + wali_test::kPrelude + body + ")";
+}
+
+// Sleeps 50ms once, does a little compute, exits 42.
+const char* kSleeperGuest = R"(
+  (memory 2)
+  (func (export "main") (result i32)
+    (local $i i32)
+    (i64.store (i32.const 512) (i64.const 0))
+    (i64.store (i32.const 520) (i64.const 50000000))
+    (drop (call $nanosleep (i64.const 512) (i64.const 0)))
+    (block $done
+      (loop $spin
+        (br_if $done (i32.ge_u (local.get $i) (i32.const 100)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $spin)))
+    (i32.const 42))
+)";
+
+// Two 2ms sleeps with compute between: short enough to run for real as the
+// blocking baseline of the differential test.
+const char* kTwoSleepGuest = R"(
+  (memory 2)
+  (func (export "main") (result i32)
+    (local $i i32) (local $acc i32)
+    (i64.store (i32.const 512) (i64.const 0))
+    (i64.store (i32.const 520) (i64.const 2000000))
+    (drop (call $nanosleep (i64.const 512) (i64.const 0)))
+    (block $done
+      (loop $spin
+        (br_if $done (i32.ge_u (local.get $i) (i32.const 500)))
+        (local.set $acc (i32.add (local.get $acc) (local.get $i)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $spin)))
+    (drop (call $nanosleep (i64.const 512) (i64.const 0)))
+    (i32.rem_u (local.get $acc) (i32.const 97)))
+)";
+
+// Pipe round-trip through parked writes and reads: pipe2, write one byte
+// (parks: Writable), read it back (parks: Readable), exit with the byte.
+const char* kPipeGuest = R"(
+  (memory 2)
+  (func (export "main") (result i32)
+    (local $rfd i64) (local $wfd i64) (local $r i64)
+    (drop (call $pipe2 (i64.const 256) (i64.const 0)))
+    (local.set $rfd (i64.load32_s (i32.const 256)))
+    (local.set $wfd (i64.load32_s (i32.const 260)))
+    (i32.store8 (i32.const 1024) (i32.const 77))
+    (drop (call $write (local.get $wfd) (i64.const 1024) (i64.const 1)))
+    (local.set $r (call $read (local.get $rfd) (i64.const 2048) (i64.const 1)))
+    (if (i64.ne (local.get $r) (i64.const 1))
+      (then (return (i32.const 255))))
+    (i32.load8_u (i32.const 2048)))
+)";
+
+// Non-blocking I/O must NOT park: O_NONBLOCK pipe (pipe2 flag 0x800) read
+// returns -EAGAIN (-11) inline, and poll with timeout 0 returns 0 inline.
+// Exits 9 only if both answers match the blocking-path contract.
+const char* kNonBlockGuest = R"(
+  (memory 2)
+  (func (export "main") (result i32)
+    (local $rfd i64)
+    (drop (call $pipe2 (i64.const 256) (i64.const 2048)))  ;; O_NONBLOCK
+    (local.set $rfd (i64.load32_s (i32.const 256)))
+    (if (i64.ne (call $read (local.get $rfd) (i64.const 1024) (i64.const 1))
+                (i64.const -11))
+      (then (return (i32.const 1))))
+    ;; pollfd at 512: fd, events=POLLIN(1), revents
+    (i32.store (i32.const 512) (i32.wrap_i64 (local.get $rfd)))
+    (i32.store16 (i32.const 516) (i32.const 1))
+    (if (i64.ne (call $poll (i64.const 512) (i64.const 1) (i64.const 0))
+                (i64.const 0))
+      (then (return (i32.const 2))))
+    (i32.const 9))
+)";
+
+// Pure compute, no syscalls: used to burn tenant fuel deterministically.
+const char* kBurnGuest = R"(
+  (memory 2)
+  (func (export "main") (result i32)
+    (local $i i32)
+    (block $done
+      (loop $spin
+        (br_if $done (i32.ge_u (local.get $i) (i32.const 20000)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $spin)))
+    (i32.const 0))
+)";
+
+struct ManualClock {
+  std::shared_ptr<std::atomic<int64_t>> now =
+      std::make_shared<std::atomic<int64_t>>(0);
+
+  std::function<int64_t()> fn() const {
+    auto n = now;
+    return [n] { return n->load(std::memory_order_acquire); };
+  }
+  void Advance(int64_t nanos) { now->fetch_add(nanos, std::memory_order_acq_rel); }
+};
+
+struct IoWorld {
+  std::unique_ptr<wasm::Linker> linker;
+  std::unique_ptr<wali::WaliRuntime> runtime;
+  std::unique_ptr<host::ModuleCache> cache;
+  // Owned via pointer (mutex members make the backend immovable);
+  // declared before sup so it is destroyed after the supervisor detaches.
+  std::unique_ptr<host::FakeIoBackend> fake =
+      std::make_unique<host::FakeIoBackend>();
+  std::unique_ptr<host::Supervisor> sup;
+  ManualClock clock;
+};
+
+IoWorld MakeIoWorld(size_t workers, bool with_backend = true,
+                    wasm::DispatchMode dispatch = wasm::DispatchMode::kAuto) {
+  IoWorld w;
+  w.linker = std::make_unique<wasm::Linker>();
+  w.runtime = std::make_unique<wali::WaliRuntime>(w.linker.get());
+  w.cache = std::make_unique<host::ModuleCache>();
+  host::Supervisor::Options opts;
+  opts.workers = workers;
+  opts.clock = w.clock.fn();
+  opts.dispatch = dispatch;
+  opts.pool.max_idle_per_module = workers;
+  if (with_backend) {
+    opts.io_backend = w.fake.get();
+  }
+  w.sup = std::make_unique<host::Supervisor>(w.runtime.get(), opts);
+  return w;
+}
+
+host::GuestJob MakeJob(std::shared_ptr<const wasm::Module> module,
+                       const std::string& tenant, int64_t deadline = 0) {
+  host::GuestJob job;
+  job.module = module;
+  job.argv = {tenant};
+  job.tenant = tenant;
+  job.deadline_nanos = deadline;
+  return job;
+}
+
+// Real threads park asynchronously; bound the wait for the backend to see
+// the expected number of pending ops.
+bool WaitForPending(const host::FakeIoBackend& fake, size_t n,
+                    int timeout_ms = 10000) {
+  for (int i = 0; i < timeout_ms; ++i) {
+    if (fake.pending() == n) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return fake.pending() == n;
+}
+
+TEST(HostIo, ParkedSleepReleasesWorkerAndResumes) {
+  IoWorld w = MakeIoWorld(/*workers=*/1);
+  auto sleeper = w.cache->Load(WrapModule(kSleeperGuest));
+  ASSERT_TRUE(sleeper.ok()) << sleeper.status().ToString();
+  auto burner = w.cache->Load(WrapModule(kBurnGuest));
+  ASSERT_TRUE(burner.ok());
+
+  std::future<host::RunReport> slept = w.sup->Submit(MakeJob(*sleeper, "t"));
+  ASSERT_TRUE(WaitForPending(*w.fake, 1));
+  EXPECT_EQ(w.sup->parked(), 1u);
+  EXPECT_EQ(slept.wait_for(std::chrono::seconds(0)), std::future_status::timeout);
+
+  // The single worker is free while the sleeper is parked: an unrelated job
+  // runs to completion with the sleeper still blocked.
+  host::RunReport quick = w.sup->Submit(MakeJob(*burner, "t")).get();
+  EXPECT_TRUE(quick.completed());
+  EXPECT_EQ(w.sup->parked(), 1u);
+
+  w.fake->AdvanceBy(50 * kMs);
+  host::RunReport r = slept.get();
+  EXPECT_TRUE(r.completed()) << r.trap_message;
+  EXPECT_EQ(r.exit_code, 42);
+  EXPECT_EQ(r.parks, 1u);
+  EXPECT_EQ(r.total_syscalls, 1u);
+  host::Supervisor::IoStats s = w.sup->io_stats();
+  EXPECT_EQ(s.parks_total, 1u);
+  EXPECT_EQ(s.resumes_total, 1u);
+  EXPECT_EQ(s.parked_now, 0u);
+}
+
+TEST(HostIo, SixtyFourGuestsInFlightOnFourWorkers) {
+  // The acceptance bar: 64 guests blocked on a fake sleep, 4 workers — all
+  // 64 in flight concurrently, and ONE 50ms clock advance completes them
+  // all (the deterministic analogue of "~1 sleep-duration wall-clock").
+  constexpr size_t kGuests = 64;
+  constexpr size_t kWorkers = 4;
+  IoWorld w = MakeIoWorld(kWorkers);
+  auto module = w.cache->Load(WrapModule(kSleeperGuest));
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+
+  std::vector<std::future<host::RunReport>> futures;
+  for (size_t i = 0; i < kGuests; ++i) {
+    futures.push_back(w.sup->Submit(MakeJob(*module, "t" + std::to_string(i % 8))));
+  }
+  ASSERT_TRUE(WaitForPending(*w.fake, kGuests))
+      << "all guests must park concurrently; pending=" << w.fake->pending();
+
+  host::Supervisor::IoStats s = w.sup->io_stats();
+  EXPECT_EQ(s.parked_now, kGuests);
+  EXPECT_EQ(s.in_flight_now, kGuests);
+  EXPECT_GT(s.peak_in_flight, kWorkers)
+      << "parked guests must not hold workers 1:1";
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::timeout);
+  }
+
+  w.fake->AdvanceBy(50 * kMs);
+  for (auto& f : futures) {
+    host::RunReport r = f.get();
+    EXPECT_TRUE(r.completed()) << r.trap_message;
+    EXPECT_EQ(r.exit_code, 42);
+    EXPECT_EQ(r.parks, 1u);
+  }
+  s = w.sup->io_stats();
+  EXPECT_EQ(s.peak_in_flight, kGuests);
+  EXPECT_EQ(s.parks_total, kGuests);
+  EXPECT_EQ(s.resumes_total, kGuests);
+  EXPECT_EQ(s.parked_now, 0u);
+  EXPECT_EQ(s.in_flight_now, 0u);
+}
+
+TEST(HostIo, SuspendedRunBitIdenticalToBlockingRun) {
+  // The cross-stack differential: the same guest under (a) the synchronous
+  // 1:1 model with REAL 2ms kernel sleeps and (b) the fake-I/O offload
+  // path must agree bit-for-bit on executed_instrs, fuel_consumed, syscall
+  // counts, and exit code — across both dispatch modes.
+  for (wasm::DispatchMode mode :
+       {wasm::DispatchMode::kSwitch, wasm::DispatchMode::kThreaded}) {
+    SCOPED_TRACE(wasm::DispatchModeName(mode));
+    IoWorld blocking = MakeIoWorld(1, /*with_backend=*/false, mode);
+    auto m1 = blocking.cache->Load(WrapModule(kTwoSleepGuest));
+    ASSERT_TRUE(m1.ok()) << m1.status().ToString();
+    host::RunReport want = blocking.sup->Submit(MakeJob(*m1, "t")).get();
+    ASSERT_TRUE(want.completed()) << want.trap_message;
+    EXPECT_EQ(want.parks, 0u);
+
+    IoWorld offload = MakeIoWorld(1, /*with_backend=*/true, mode);
+    auto m2 = offload.cache->Load(WrapModule(kTwoSleepGuest));
+    ASSERT_TRUE(m2.ok());
+    std::future<host::RunReport> fut = offload.sup->Submit(MakeJob(*m2, "t"));
+    for (int park = 0; park < 2; ++park) {
+      ASSERT_TRUE(WaitForPending(*offload.fake, 1)) << "park " << park;
+      offload.fake->AdvanceBy(2 * kMs);
+    }
+    host::RunReport got = fut.get();
+    ASSERT_TRUE(got.completed()) << got.trap_message;
+    EXPECT_EQ(got.parks, 2u);
+
+    EXPECT_EQ(got.exit_code, want.exit_code);
+    EXPECT_EQ(got.executed_instrs, want.executed_instrs);
+    EXPECT_EQ(got.fuel_consumed, want.fuel_consumed);
+    EXPECT_EQ(got.total_syscalls, want.total_syscalls);
+    ASSERT_EQ(got.syscall_counts.size(), want.syscall_counts.size());
+    for (size_t i = 0; i < want.syscall_counts.size(); ++i) {
+      EXPECT_EQ(got.syscall_counts[i], want.syscall_counts[i]);
+    }
+  }
+}
+
+TEST(HostIo, PipeRoundTripThroughScriptedCompletions) {
+  // Write parks (Writable), read parks (Readable); the test drives the
+  // completion ORDER and the retries perform the real, now-ready syscalls.
+  IoWorld w = MakeIoWorld(1);
+  auto module = w.cache->Load(WrapModule(kPipeGuest));
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+
+  std::future<host::RunReport> fut = w.sup->Submit(MakeJob(*module, "t"));
+  ASSERT_TRUE(WaitForPending(*w.fake, 1));
+  std::vector<uint64_t> cookies = w.fake->PendingCookies();
+  ASSERT_EQ(cookies.size(), 1u);
+  wali::IoOp op;
+  ASSERT_TRUE(w.fake->LookupOp(cookies[0], &op));
+  EXPECT_EQ(op.kind, wali::IoOp::Kind::kWritable);
+  ASSERT_TRUE(w.fake->CompleteReady(cookies[0]));  // pipe has space: retry writes
+
+  ASSERT_TRUE(WaitForPending(*w.fake, 1));
+  cookies = w.fake->PendingCookies();
+  ASSERT_TRUE(w.fake->LookupOp(cookies[0], &op));
+  EXPECT_EQ(op.kind, wali::IoOp::Kind::kReadable);
+  ASSERT_TRUE(w.fake->CompleteReady(cookies[0]));  // byte is there: retry reads
+
+  host::RunReport r = fut.get();
+  EXPECT_TRUE(r.completed()) << r.trap_message;
+  EXPECT_EQ(r.exit_code, 77);
+  EXPECT_EQ(r.parks, 2u);
+}
+
+TEST(HostIo, ScriptedResultOverridesRetry) {
+  // A completion carrying a value IS the syscall result — the retry is
+  // skipped. This is how tests inject exact kernel answers (here: EBADF
+  // for an fd that "closed while the op was in flight").
+  IoWorld w = MakeIoWorld(1);
+  auto module = w.cache->Load(WrapModule(kPipeGuest));
+  ASSERT_TRUE(module.ok());
+
+  std::future<host::RunReport> fut = w.sup->Submit(MakeJob(*module, "t"));
+  ASSERT_TRUE(WaitForPending(*w.fake, 1));
+  std::vector<uint64_t> cookies = w.fake->PendingCookies();
+  ASSERT_TRUE(w.fake->CompleteReady(cookies[0]));  // write proceeds
+  ASSERT_TRUE(WaitForPending(*w.fake, 1));
+  cookies = w.fake->PendingCookies();
+  // Script the read's answer: -EBADF (fd closed mid-flight). Guest sees
+  // read() != 1 and exits 255.
+  ASSERT_TRUE(w.fake->CompleteWithResult(cookies[0], -9));
+  host::RunReport r = fut.get();
+  EXPECT_TRUE(r.completed());
+  EXPECT_EQ(r.exit_code, 255);
+}
+
+TEST(HostIo, BlockedTimeIsNotQueueTime) {
+  // Regression for the RunReport timing split: a sleeping guest accrues
+  // blocked_nanos, NOT queue_nanos — and it does not inflate the queue
+  // latency of jobs submitted while it sleeps (the pre-offload failure
+  // mode: a parked worker made everyone else queue behind it).
+  IoWorld w = MakeIoWorld(1);
+  auto sleeper = w.cache->Load(WrapModule(kSleeperGuest));
+  ASSERT_TRUE(sleeper.ok());
+  auto burner = w.cache->Load(WrapModule(kBurnGuest));
+  ASSERT_TRUE(burner.ok());
+
+  std::future<host::RunReport> slept = w.sup->Submit(MakeJob(*sleeper, "t"));
+  ASSERT_TRUE(WaitForPending(*w.fake, 1));
+  // One full second passes (on the supervisor's clock) while parked.
+  w.clock.Advance(1000 * kMs);
+  host::RunReport quick = w.sup->Submit(MakeJob(*burner, "t")).get();
+  EXPECT_TRUE(quick.completed());
+  EXPECT_EQ(quick.queue_nanos, 0)
+      << "a parked guest must not make later jobs queue";
+
+  w.fake->AdvanceBy(50 * kMs);
+  host::RunReport r = slept.get();
+  EXPECT_TRUE(r.completed());
+  EXPECT_EQ(r.queue_nanos, 0) << "queue_nanos must exclude parked time";
+  EXPECT_GE(r.blocked_nanos, 1000 * kMs);
+  EXPECT_EQ(r.parks, 1u);
+}
+
+TEST(HostIo, DeadlineShedsParkedGuestAndOrphanCompletionIsAbsorbed) {
+  IoWorld w = MakeIoWorld(1);
+  auto module = w.cache->Load(WrapModule(kSleeperGuest));
+  ASSERT_TRUE(module.ok());
+
+  // Deadline 10ms from now on the supervisor clock; the guest sleeps 50ms.
+  // The park folds the deadline into the backend op, so advancing 10ms
+  // fires a timeout completion tagged as a shed.
+  std::future<host::RunReport> fut =
+      w.sup->Submit(MakeJob(*module, "t", /*deadline=*/10 * kMs));
+  ASSERT_TRUE(WaitForPending(*w.fake, 1));
+  std::vector<uint64_t> cookies = w.fake->PendingCookies();
+  ASSERT_EQ(cookies.size(), 1u);
+  w.clock.Advance(10 * kMs);
+  w.fake->AdvanceBy(10 * kMs);
+
+  host::RunReport r = fut.get();
+  EXPECT_EQ(r.outcome, host::Outcome::kShed);
+  EXPECT_EQ(r.parks, 1u);
+  EXPECT_GT(r.executed_instrs, 0u) << "partial execution is settled, not lost";
+  EXPECT_EQ(w.sup->io_stats().sheds_while_parked, 1u);
+  // Partial consumption reached the ledger.
+  host::TenantUsage u = w.sup->ledger().usage("t");
+  EXPECT_EQ(u.shed, 1u);
+  EXPECT_GT(u.fuel, 0u);
+
+  // Fault injection: the op's "real" completion arrives AFTER the guest
+  // was shed. The supervisor absorbs it as an orphan.
+  w.fake->ForceComplete(cookies[0], host::IoCompletion::Result(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(w.sup->io_stats().orphan_completions, 1u);
+  EXPECT_EQ(w.sup->parked(), 0u);
+}
+
+TEST(HostIo, TenantForgottenWhileParked) {
+  // TenantLedger::Forget with a parked op: the resume settles into a fresh
+  // ledger entry; nothing dangles, nothing crashes (ASan holds the line).
+  IoWorld w = MakeIoWorld(1);
+  auto module = w.cache->Load(WrapModule(kSleeperGuest));
+  ASSERT_TRUE(module.ok());
+
+  std::future<host::RunReport> fut = w.sup->Submit(MakeJob(*module, "gone"));
+  ASSERT_TRUE(WaitForPending(*w.fake, 1));
+  w.sup->ledger().Forget("gone");
+  w.fake->AdvanceBy(50 * kMs);
+  host::RunReport r = fut.get();
+  EXPECT_TRUE(r.completed()) << r.trap_message;
+  // The post-Forget settle re-created the account with this run's usage.
+  host::TenantUsage u = w.sup->ledger().usage("gone");
+  EXPECT_EQ(u.runs, 1u);
+  EXPECT_GT(u.fuel, 0u);
+}
+
+TEST(HostIo, BudgetExhaustedWhileParked) {
+  // Tenant budget exhaustion mid-park: while guest A is parked, the tenant
+  // accrues usage (guest B) and the control plane lowers its budget below
+  // what is already consumed. A's resume re-checks admission and stops with
+  // kBudget instead of running on a dead account.
+  IoWorld w = MakeIoWorld(1);
+  auto sleeper = w.cache->Load(WrapModule(kSleeperGuest));
+  ASSERT_TRUE(sleeper.ok());
+  auto burner = w.cache->Load(WrapModule(kBurnGuest));
+  ASSERT_TRUE(burner.ok());
+
+  std::future<host::RunReport> parked = w.sup->Submit(MakeJob(*sleeper, "t"));
+  ASSERT_TRUE(WaitForPending(*w.fake, 1));
+  host::RunReport burn = w.sup->Submit(MakeJob(*burner, "t")).get();
+  EXPECT_TRUE(burn.completed());
+  ASSERT_GT(w.sup->ledger().usage("t").fuel, 1u);
+  host::TenantBudget budget;
+  budget.max_fuel = 1;  // now far below the tenant's accrued usage
+  w.sup->ledger().SetBudget("t", budget);
+
+  w.fake->AdvanceBy(50 * kMs);
+  host::RunReport r = parked.get();
+  EXPECT_EQ(r.outcome, host::Outcome::kBudget);
+  EXPECT_EQ(r.parks, 1u);
+  EXPECT_EQ(w.sup->io_stats().budget_stops_while_parked, 1u);
+}
+
+TEST(HostIo, ShutdownDrainsParkedGuests) {
+  // Supervisor shutdown with guests parked in syscalls that will never
+  // complete: every future resolves (as shed, with partial accounting),
+  // every backend op is cancelled, nothing leaks (the ASan job runs this).
+  IoWorld w = MakeIoWorld(2);
+  auto module = w.cache->Load(WrapModule(kSleeperGuest));
+  ASSERT_TRUE(module.ok());
+
+  std::vector<std::future<host::RunReport>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(w.sup->Submit(MakeJob(*module, "t" + std::to_string(i))));
+  }
+  ASSERT_TRUE(WaitForPending(*w.fake, 3));
+  w.sup->Shutdown();
+  for (auto& f : futures) {
+    host::RunReport r = f.get();
+    EXPECT_EQ(r.outcome, host::Outcome::kShed);
+    EXPECT_GT(r.executed_instrs, 0u);
+  }
+  EXPECT_EQ(w.fake->pending(), 0u) << "shutdown must cancel parked ops";
+  EXPECT_EQ(w.sup->io_stats().in_flight_now, 0u);
+}
+
+TEST(HostIo, NonBlockingIoNeverParks) {
+  // O_NONBLOCK fds and zero-timeout polls are non-blocking by kernel
+  // contract: with offload enabled they must answer inline (-EAGAIN / 0
+  // ready fds), never suspend. The guest verifies both answers itself and
+  // the report proves no park happened.
+  IoWorld w = MakeIoWorld(1);
+  auto module = w.cache->Load(WrapModule(kNonBlockGuest));
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  host::RunReport r = w.sup->Submit(MakeJob(*module, "t")).get();
+  EXPECT_TRUE(r.completed()) << r.trap_message;
+  EXPECT_EQ(r.exit_code, 9);
+  EXPECT_EQ(r.parks, 0u);
+  EXPECT_EQ(w.sup->io_stats().parks_total, 0u);
+}
+
+TEST(HostIo, RunAllPreservesSubmissionOrderAcrossParks) {
+  // Reports come back in submission order even when some guests park and
+  // resume out of order relative to synchronous guests.
+  IoWorld w = MakeIoWorld(2);
+  auto sleeper = w.cache->Load(WrapModule(kSleeperGuest));
+  ASSERT_TRUE(sleeper.ok());
+  auto burner = w.cache->Load(WrapModule(kBurnGuest));
+  ASSERT_TRUE(burner.ok());
+
+  std::vector<host::GuestJob> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back(MakeJob(i % 2 == 0 ? *sleeper : *burner, "t"));
+  }
+  std::thread completer([&w] {
+    // Drive the fake from the side: keep elapsing sleep time until all
+    // three sleepers have resumed.
+    while (w.sup->io_stats().resumes_total < 3) {
+      if (w.fake->pending() > 0) {
+        w.fake->AdvanceBy(50 * kMs);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+  std::vector<host::RunReport> reports = w.sup->RunAll(std::move(jobs));
+  completer.join();
+  ASSERT_EQ(reports.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(reports[i].completed()) << i << ": " << reports[i].trap_message;
+    EXPECT_EQ(reports[i].exit_code, i % 2 == 0 ? 42 : 0) << i;
+    EXPECT_EQ(reports[i].parks, i % 2 == 0 ? 1u : 0u) << i;
+  }
+}
+
+}  // namespace

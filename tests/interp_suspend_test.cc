@@ -1,0 +1,279 @@
+// Syscall-boundary suspension semantics (async offload tentpole): a host
+// call may park the invocation (TrapKind::kSyscallPending) instead of
+// completing synchronously, and ResumeInvoke must continue it so that the
+// finished run is BIT-IDENTICAL to a run whose host calls completed inline
+// — same result values, same executed_instrs (and therefore fuel/ledger
+// math), same traps at the same points — across both dispatch modes and
+// safepoint schemes. This is the interpreter-level contract the WALI park
+// path and the host supervisor build on (tests/host_io_test.cc covers the
+// full stack).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/wasm/wasm.h"
+#include "tests/wat_test_util.h"
+
+namespace {
+
+using wasm::DispatchMode;
+using wasm::ExecOptions;
+using wasm::RunResult;
+using wasm::SafepointScheme;
+using wasm::TrapKind;
+using wasm::Value;
+
+// The scripted "syscall": a pure function of its argument so the blocking
+// and suspending hosts can't drift.
+int64_t ScriptedResult(int64_t arg) { return arg * 2 + 1; }
+
+// Loop + nested call + memory traffic around every host call, so resuming
+// exercises branch targets, frame re-entry, and the threaded loop's cached
+// memory state.
+const char* kGuest = R"((module
+  (import "env" "blocking" (func $b (param i64) (result i64)))
+  (export "blocking" (func $b))
+  (memory 1)
+  (func $work (param $n i32) (result i64)
+    (local $i i32) (local $acc i64)
+    (block $done
+      (loop $l
+        (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+        (local.set $acc (i64.add (local.get $acc)
+            (call $b (i64.extend_i32_u (local.get $i)))))
+        (i64.store (i32.const 64) (local.get $acc))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+    (local.get $acc))
+  (func (export "main") (param i32) (result i64)
+    (call $work (local.get 0)))
+))";
+
+struct SuspendWorld {
+  wasm_test::WatFixture fx;
+  std::vector<int64_t> parked_args;  // args seen by the suspending host
+};
+
+// Instantiates kGuest with a host that ALWAYS parks: it records the arg and
+// unwinds with kSyscallPending, exactly like the WALI dispatch wrapper.
+SuspendWorld MakeSuspending() {
+  SuspendWorld w;
+  auto* parked = &w.parked_args;
+  w.fx = wasm_test::Instantiate(kGuest, [parked](wasm::Linker& linker) {
+    wasm::FuncType type;
+    type.params = {wasm::ValType::kI64};
+    type.results = {wasm::ValType::kI64};
+    linker.DefineHostFunc(
+        "env", "blocking", type,
+        [parked](wasm::ExecContext& ctx, const uint64_t* args, uint64_t*) {
+          parked->push_back(static_cast<int64_t>(args[0]));
+          ctx.SetTrap(TrapKind::kSyscallPending, "parked");
+          return ctx.trap;
+        });
+  });
+  return w;
+}
+
+wasm_test::WatFixture MakeBlocking() {
+  return wasm_test::Instantiate(kGuest, [](wasm::Linker& linker) {
+    wasm::FuncType type;
+    type.params = {wasm::ValType::kI64};
+    type.results = {wasm::ValType::kI64};
+    linker.DefineHostFunc(
+        "env", "blocking", type,
+        [](wasm::ExecContext&, const uint64_t* args, uint64_t* results) {
+          results[0] = static_cast<uint64_t>(
+              ScriptedResult(static_cast<int64_t>(args[0])));
+          return TrapKind::kNone;
+        });
+  });
+}
+
+// Drives a suspending run to completion: every park is answered with the
+// scripted result, like the supervisor materializing completions.
+RunResult RunSuspendedToEnd(SuspendWorld& w, const std::string& func,
+                            const std::vector<Value>& args, ExecOptions opts,
+                            int* park_count = nullptr) {
+  wasm::Suspension susp;
+  opts.suspend_to = &susp;
+  RunResult r = w.fx.instance->CallExport(func, args, opts);
+  int parks = 0;
+  while (r.trap == TrapKind::kSyscallPending) {
+    EXPECT_TRUE(susp.armed());
+    EXPECT_EQ(susp.pending_results, 1u);
+    ++parks;
+    uint64_t bits = static_cast<uint64_t>(ScriptedResult(w.parked_args.back()));
+    r = wasm::ResumeInvoke(susp, &bits, 1);
+  }
+  EXPECT_FALSE(susp.armed());
+  if (park_count != nullptr) {
+    *park_count = parks;
+  }
+  return r;
+}
+
+struct ModeCase {
+  DispatchMode dispatch;
+  SafepointScheme scheme;
+};
+
+std::vector<ModeCase> AllModes() {
+  return {
+      {DispatchMode::kSwitch, SafepointScheme::kLoop},
+      {DispatchMode::kThreaded, SafepointScheme::kLoop},
+      {DispatchMode::kSwitch, SafepointScheme::kEveryInstr},
+      {DispatchMode::kThreaded, SafepointScheme::kFunction},
+  };
+}
+
+TEST(InterpSuspend, ResumedRunBitIdenticalToBlockingRun) {
+  for (const ModeCase& mode : AllModes()) {
+    SCOPED_TRACE(std::string("dispatch=") + wasm::DispatchModeName(mode.dispatch) +
+                 " scheme=" + wasm::SafepointSchemeName(mode.scheme));
+    ExecOptions opts;
+    opts.dispatch = mode.dispatch;
+    opts.scheme = mode.scheme;
+
+    wasm_test::WatFixture blocking = MakeBlocking();
+    ASSERT_NE(blocking.instance, nullptr);
+    RunResult want =
+        blocking.instance->CallExport("main", {Value::I32(7)}, opts);
+    ASSERT_EQ(want.trap, TrapKind::kNone) << want.trap_message;
+
+    SuspendWorld w = MakeSuspending();
+    ASSERT_NE(w.fx.instance, nullptr);
+    int parks = 0;
+    RunResult got =
+        RunSuspendedToEnd(w, "main", {Value::I32(7)}, opts, &parks);
+
+    EXPECT_EQ(parks, 7);
+    ASSERT_EQ(got.trap, TrapKind::kNone) << got.trap_message;
+    ASSERT_EQ(got.values.size(), want.values.size());
+    EXPECT_EQ(got.values[0].bits, want.values[0].bits);
+    EXPECT_EQ(got.executed_instrs, want.executed_instrs)
+        << "suspension must not perturb instruction accounting";
+  }
+}
+
+TEST(InterpSuspend, FuelAccountingIdenticalAcrossSuspension) {
+  // Sweep fuel through the whole run's cost: at every limit, the suspended
+  // run must trap (or complete) exactly where the blocking run does, with
+  // the same executed count — this is what makes TenantLedger math
+  // independent of whether a run parked.
+  ExecOptions probe;
+  wasm_test::WatFixture blocking = MakeBlocking();
+  ASSERT_NE(blocking.instance, nullptr);
+  RunResult full = blocking.instance->CallExport("main", {Value::I32(5)}, probe);
+  ASSERT_EQ(full.trap, TrapKind::kNone);
+  const uint64_t total = full.executed_instrs;
+  ASSERT_GT(total, 10u);
+
+  for (const ModeCase& mode : AllModes()) {
+    for (uint64_t fuel = 1; fuel <= total + 1; ++fuel) {
+      ExecOptions opts;
+      opts.dispatch = mode.dispatch;
+      opts.scheme = mode.scheme;
+      opts.fuel = fuel;
+
+      wasm_test::WatFixture b = MakeBlocking();
+      RunResult want = b.instance->CallExport("main", {Value::I32(5)}, opts);
+
+      SuspendWorld w = MakeSuspending();
+      RunResult got = RunSuspendedToEnd(w, "main", {Value::I32(5)}, opts);
+
+      ASSERT_EQ(got.trap, want.trap)
+          << "fuel=" << fuel << " dispatch=" << static_cast<int>(mode.dispatch)
+          << " scheme=" << static_cast<int>(mode.scheme);
+      ASSERT_EQ(got.executed_instrs, want.executed_instrs) << "fuel=" << fuel;
+      if (want.trap == TrapKind::kNone) {
+        ASSERT_EQ(got.values[0].bits, want.values[0].bits) << "fuel=" << fuel;
+      }
+    }
+  }
+}
+
+TEST(InterpSuspend, TopLevelHostCallSuspends) {
+  // The suspended call IS the entry invocation (re-exported import): resume
+  // materializes the run's result directly through the empty-frame path.
+  SuspendWorld w = MakeSuspending();
+  ASSERT_NE(w.fx.instance, nullptr);
+  wasm::Suspension susp;
+  ExecOptions opts;
+  opts.suspend_to = &susp;
+  RunResult r = w.fx.instance->CallExport("blocking", {Value::I64(21)}, opts);
+  ASSERT_EQ(r.trap, TrapKind::kSyscallPending);
+  ASSERT_TRUE(susp.armed());
+  uint64_t bits = 43;
+  r = wasm::ResumeInvoke(susp, &bits, 1);
+  ASSERT_EQ(r.trap, TrapKind::kNone) << r.trap_message;
+  ASSERT_EQ(r.values.size(), 1u);
+  EXPECT_EQ(r.values[0].i64(), 43u);
+  EXPECT_FALSE(susp.armed());
+}
+
+TEST(InterpSuspend, SuspensionUnavailableIsHostError) {
+  // A host that parks without a suspension slot must fail loudly, not lose
+  // the call (guards against handlers bypassing WaliCtx::CanOffload).
+  SuspendWorld w = MakeSuspending();
+  ASSERT_NE(w.fx.instance, nullptr);
+  RunResult r = w.fx.instance->CallExport("main", {Value::I32(1)}, ExecOptions{});
+  EXPECT_EQ(r.trap, TrapKind::kHostError);
+}
+
+TEST(InterpSuspend, RecycledBuffersSurviveSuspension) {
+  // A suspended run borrows ExecBuffers across the park; they must come
+  // back (with their grown capacity) at finish, and be reusable.
+  wasm::ExecBuffers buffers;
+  for (int round = 0; round < 3; ++round) {
+    SuspendWorld w = MakeSuspending();
+    ASSERT_NE(w.fx.instance, nullptr);
+    ExecOptions opts;
+    opts.buffers = &buffers;
+    RunResult r = RunSuspendedToEnd(w, "main", {Value::I32(4)}, opts);
+    ASSERT_EQ(r.trap, TrapKind::kNone) << r.trap_message;
+    EXPECT_GT(buffers.stack.capacity(), 0u)
+        << "buffers must be handed back after a suspended run";
+  }
+}
+
+TEST(InterpSuspend, DiscardAbandonsParkedRun) {
+  // Shedding a parked guest: the suspension is dropped mid-run. No resume,
+  // no result — and no leak (the ASan job runs this test).
+  wasm::ExecBuffers buffers;
+  SuspendWorld w = MakeSuspending();
+  ASSERT_NE(w.fx.instance, nullptr);
+  wasm::Suspension susp;
+  ExecOptions opts;
+  opts.suspend_to = &susp;
+  opts.buffers = &buffers;
+  RunResult r = w.fx.instance->CallExport("main", {Value::I32(8)}, opts);
+  ASSERT_EQ(r.trap, TrapKind::kSyscallPending);
+  ASSERT_TRUE(susp.armed());
+  susp.Discard();
+  EXPECT_FALSE(susp.armed());
+  // The buffers were handed back on discard and are reusable immediately.
+  RunResult again = RunSuspendedToEnd(w, "main", {Value::I32(2)}, opts);
+  EXPECT_EQ(again.trap, TrapKind::kNone) << again.trap_message;
+}
+
+TEST(InterpSuspend, ResumeArityMismatchFailsSafely) {
+  SuspendWorld w = MakeSuspending();
+  ASSERT_NE(w.fx.instance, nullptr);
+  wasm::Suspension susp;
+  ExecOptions opts;
+  opts.suspend_to = &susp;
+  RunResult r = w.fx.instance->CallExport("main", {Value::I32(1)}, opts);
+  ASSERT_EQ(r.trap, TrapKind::kSyscallPending);
+  uint64_t bits[2] = {1, 2};
+  r = wasm::ResumeInvoke(susp, bits, 2);
+  EXPECT_EQ(r.trap, TrapKind::kHostError);
+  EXPECT_FALSE(susp.armed());
+  // Resuming an unarmed suspension is also an error, not a crash.
+  uint64_t one = 1;
+  r = wasm::ResumeInvoke(susp, &one, 1);
+  EXPECT_EQ(r.trap, TrapKind::kHostError);
+}
+
+}  // namespace
