@@ -1,16 +1,24 @@
-// Interpreter dispatch A/B: portable switch loop vs computed-goto threaded
-// dispatch with superinstruction fusion and block-granular fuel accounting
-// (src/wasm/prepare + interp). Runs interpreter-bound kernels plus the
-// compute-dominated `lua` workload analog from src/workloads/ in both modes,
-// checks the results are bit-identical, and reports per-kernel and geomean
-// speedups.
+// Interpreter execution-pipeline A/B/C: the portable switch loop over the
+// UNFUSED stream (the baseline interpreter, before any of the prepare/
+// dispatch work), the switch loop over the fused stream (fusion alone), and
+// computed-goto threaded dispatch over the fused stream with TOS caching
+// and the inline call fast path (the full pipeline). Runs interpreter-bound
+// kernels plus the compute-dominated `lua` workload analog from
+// src/workloads/ in all three configurations, checks results AND executed
+// instruction counts are bit-identical, and reports per-kernel and geomean
+// speedups for the full pipeline (threaded+fused vs the switch baseline)
+// with the fusion-only ratio alongside for attribution.
 //
 //   interp_dispatch [--json out.json] [--quick]
 //
-// Exit codes: 0 ok; 3 when threaded dispatch is available but the geomean
-// speedup is below the 1.5x bar (ISSUE 3 acceptance); 1 on engine errors.
-// --json writes a machine-readable record (checked in as BENCH_interp.json
-// at the repo root to track the perf trajectory).
+// Exit codes: 0 ok; 3 when threaded dispatch is available but the full-
+// pipeline geomean is below the 1.9x bar or the call-dense `fib` kernel is
+// below its 1.6x bar (ISSUE 5 acceptance); 1 on engine errors. --quick cuts
+// iterations for the CI smoke gate: the perf bars stay advisory there, but
+// a result mismatch is always a hard failure. --json writes one
+// machine-readable run; the checked-in BENCH_interp.json at the repo root
+// keeps the TRAJECTORY (an array of such runs, appended per optimization
+// PR, never overwritten).
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -22,6 +30,7 @@
 #include "bench/bench_util.h"
 #include "src/common/time_util.h"
 #include "src/workloads/workloads.h"
+#include "src/wasm/prepare.h"
 #include "src/wasm/wasm.h"
 
 namespace {
@@ -181,12 +190,18 @@ struct ModeResult {
   std::string error;
 };
 
-ModeResult RunKernel(const Kernel& k, wasm::DispatchMode mode, int reps) {
+ModeResult RunKernel(const Kernel& k, wasm::DispatchMode mode, bool fuse,
+                     int reps) {
   ModeResult out;
   auto parsed = wasm::ParseAndValidateWat(k.wat);
   if (!parsed.ok()) {
     out.error = parsed.status().ToString();
     return out;
+  }
+  if (!fuse) {
+    wasm::PrepareOptions popts;
+    popts.fuse = false;
+    wasm::PrepareModule(**parsed, popts);
   }
   wasm::Linker linker;
   auto inst = linker.Instantiate(*parsed);
@@ -216,7 +231,8 @@ ModeResult RunKernel(const Kernel& k, wasm::DispatchMode mode, int reps) {
   return out;
 }
 
-ModeResult RunLuaWorkload(wasm::DispatchMode mode, int scale, int reps) {
+ModeResult RunLuaWorkload(wasm::DispatchMode mode, bool fuse, int scale,
+                          int reps) {
   ModeResult out;
   const workloads::Workload* w = workloads::FindWorkload("lua");
   if (w == nullptr) {
@@ -225,7 +241,8 @@ ModeResult RunLuaWorkload(wasm::DispatchMode mode, int scale, int reps) {
   }
   out.best_ns = INT64_MAX;
   for (int r = 0; r < reps + 1; ++r) {
-    auto stats = workloads::RunUnderWali(*w, scale, wasm::SafepointScheme::kLoop, mode);
+    auto stats = workloads::RunUnderWali(*w, scale, wasm::SafepointScheme::kLoop,
+                                         mode, fuse);
     if (!stats.result.ok_or_exit0()) {
       out.error = stats.result.trap_message;
       return out;
@@ -242,8 +259,11 @@ ModeResult RunLuaWorkload(wasm::DispatchMode mode, int scale, int reps) {
 
 struct Row {
   std::string name;
-  ModeResult sw, th;
-  double speedup = 0;
+  ModeResult base;  // switch dispatch, unfused stream (the pre-pipeline IR)
+  ModeResult swf;   // switch dispatch, fused stream (fusion alone)
+  ModeResult th;    // threaded dispatch, fused stream (the full pipeline)
+  double speedup = 0;        // base / threaded
+  double fused_speedup = 0;  // swf / threaded (dispatch + TOS gains alone)
 };
 
 }  // namespace
@@ -261,9 +281,14 @@ int main(int argc, char** argv) {
   const int reps = quick ? 2 : 5;
   const uint32_t scale = quick ? 1 : 4;
 
-  bench::Header("interp dispatch", "switch vs threaded+fused interpreter");
+  bench::Header("interp dispatch",
+                "switch baseline vs fusion vs threaded+fused+TOS pipeline");
   bench::Note(std::string("threaded dispatch built in: ") +
               (wasm::ThreadedDispatchAvailable() ? "yes" : "NO (switch-only build)"));
+  if (quick) {
+    bench::Note("--quick: reduced iterations (CI smoke gate; result mismatch "
+                "is fatal, perf bars advisory)");
+  }
 
   const Kernel kernels[] = {
       {"loop_arith", kLoopArith, 1000000 * scale},
@@ -278,73 +303,102 @@ int main(int argc, char** argv) {
   for (const Kernel& k : kernels) {
     Row row;
     row.name = k.name;
-    row.sw = RunKernel(k, wasm::DispatchMode::kSwitch, reps);
-    row.th = RunKernel(k, wasm::DispatchMode::kThreaded, reps);
+    row.base = RunKernel(k, wasm::DispatchMode::kSwitch, /*fuse=*/false, reps);
+    row.swf = RunKernel(k, wasm::DispatchMode::kSwitch, /*fuse=*/true, reps);
+    row.th = RunKernel(k, wasm::DispatchMode::kThreaded, /*fuse=*/true, reps);
     rows.push_back(row);
   }
   {
+    const int scale = quick ? 10 : 30;
     Row row;
     row.name = "lua(workload)";
-    row.sw = RunLuaWorkload(wasm::DispatchMode::kSwitch, quick ? 10 : 30, reps);
-    row.th = RunLuaWorkload(wasm::DispatchMode::kThreaded, quick ? 10 : 30, reps);
+    row.base = RunLuaWorkload(wasm::DispatchMode::kSwitch, /*fuse=*/false, scale, reps);
+    row.swf = RunLuaWorkload(wasm::DispatchMode::kSwitch, /*fuse=*/true, scale, reps);
+    row.th = RunLuaWorkload(wasm::DispatchMode::kThreaded, /*fuse=*/true, scale, reps);
     rows.push_back(row);
   }
 
-  std::printf("\n%-14s %12s %12s %9s %10s  %s\n", "kernel", "switch-ms", "threaded-ms",
-              "speedup", "Minstr/s", "(threaded)");
+  std::printf("\n%-14s %11s %11s %11s %9s %9s %9s  %s\n", "kernel", "switch-ms",
+              "sw+fuse-ms", "threaded-ms", "speedup", "vs-fused", "Minstr/s",
+              "(full pipeline)");
   double log_sum = 0;
+  double fib_speedup = 0;
   int counted = 0;
   bool failed = false;
   for (Row& r : rows) {
-    if (!r.sw.ok || !r.th.ok) {
+    if (!r.base.ok || !r.swf.ok || !r.th.ok) {
       std::printf("%-14s <failed: %s>\n", r.name.c_str(),
-                  (!r.sw.ok ? r.sw.error : r.th.error).c_str());
+                  (!r.base.ok ? r.base.error
+                              : (!r.swf.ok ? r.swf.error : r.th.error)).c_str());
       failed = true;
       continue;
     }
-    if (r.sw.bits != r.th.bits || r.sw.instrs != r.th.instrs) {
-      std::printf("%-14s RESULT MISMATCH switch=(%" PRIu64 ",%" PRIu64
-                  ") threaded=(%" PRIu64 ",%" PRIu64 ")\n",
-                  r.name.c_str(), r.sw.bits, r.sw.instrs, r.th.bits, r.th.instrs);
+    // Bit-identical results AND executed counts across all three
+    // configurations: this is the TenantLedger contract — fusion level and
+    // dispatch mode are pure performance knobs.
+    if (r.base.bits != r.th.bits || r.base.instrs != r.th.instrs ||
+        r.swf.bits != r.th.bits || r.swf.instrs != r.th.instrs) {
+      std::printf("%-14s RESULT MISMATCH base=(%" PRIu64 ",%" PRIu64
+                  ") fused=(%" PRIu64 ",%" PRIu64 ") threaded=(%" PRIu64
+                  ",%" PRIu64 ")\n",
+                  r.name.c_str(), r.base.bits, r.base.instrs, r.swf.bits,
+                  r.swf.instrs, r.th.bits, r.th.instrs);
       failed = true;
       continue;
     }
-    r.speedup = static_cast<double>(r.sw.best_ns) / static_cast<double>(r.th.best_ns);
+    r.speedup = static_cast<double>(r.base.best_ns) / static_cast<double>(r.th.best_ns);
+    r.fused_speedup =
+        static_cast<double>(r.swf.best_ns) / static_cast<double>(r.th.best_ns);
+    if (r.name == "fib") {
+      fib_speedup = r.speedup;
+    }
     double mips = r.th.best_ns > 0
                       ? static_cast<double>(r.th.instrs) * 1e3 / static_cast<double>(r.th.best_ns)
                       : 0;
-    std::printf("%-14s %12.2f %12.2f %8.2fx %10.0f  |%s|\n", r.name.c_str(),
-                bench::Ms(r.sw.best_ns), bench::Ms(r.th.best_ns), r.speedup, mips,
+    std::printf("%-14s %11.2f %11.2f %11.2f %8.2fx %8.2fx %9.0f  |%s|\n",
+                r.name.c_str(), bench::Ms(r.base.best_ns), bench::Ms(r.swf.best_ns),
+                bench::Ms(r.th.best_ns), r.speedup, r.fused_speedup, mips,
                 bench::Bar(r.speedup / 4.0, 24).c_str());
     log_sum += std::log(r.speedup);
     ++counted;
   }
   double geomean = counted > 0 ? std::exp(log_sum / counted) : 0;
-  std::printf("\ngeomean speedup (threaded+fused vs switch): %.2fx over %d kernels "
-              "(bar: >= 1.5x)\n", geomean, counted);
+  std::printf("\ngeomean speedup (threaded+fused+TOS vs unfused switch baseline): "
+              "%.2fx over %d kernels (bar: >= 1.9x; fib bar: >= 1.6x, got %.2fx)\n",
+              geomean, counted, fib_speedup);
 
   if (!json_path.empty()) {
+    // One run record; append it to the BENCH_interp.json trajectory array.
     std::ofstream out(json_path);
     out << "{\n  \"bench\": \"interp_dispatch\",\n";
     out << "  \"threaded_available\": "
         << (wasm::ThreadedDispatchAvailable() ? "true" : "false") << ",\n";
+    out << "  \"baseline\": \"switch dispatch over the unfused stream\",\n";
     out << "  \"kernels\": [\n";
     bool first = true;
     for (const Row& r : rows) {
-      if (!r.sw.ok || !r.th.ok) continue;
+      if (!r.base.ok || !r.swf.ok || !r.th.ok) continue;
       if (!first) out << ",\n";
       first = false;
-      out << "    {\"name\": \"" << r.name << "\", \"switch_ns\": " << r.sw.best_ns
+      out << "    {\"name\": \"" << r.name << "\", \"switch_ns\": " << r.base.best_ns
+          << ", \"switch_fused_ns\": " << r.swf.best_ns
           << ", \"threaded_ns\": " << r.th.best_ns << ", \"instrs\": " << r.th.instrs
-          << ", \"speedup\": " << r.speedup << "}";
+          << ", \"speedup\": " << r.speedup
+          << ", \"speedup_vs_fused\": " << r.fused_speedup << "}";
     }
-    out << "\n  ],\n  \"geomean_speedup\": " << geomean << "\n}\n";
+    out << "\n  ],\n  \"geomean_speedup\": " << geomean
+        << ",\n  \"fib_speedup\": " << fib_speedup << "\n}\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
 
   if (failed) return 1;
-  // The bar only binds when the threaded loop is actually in the build;
-  // a switch-only build measures 1.0x by construction.
-  if (wasm::ThreadedDispatchAvailable() && geomean < 1.5) return 3;
+  // The perf bars only bind when the threaded loop is actually in the build
+  // (a switch-only build measures fusion alone) and the run is a full
+  // measurement — `--quick` is the CI smoke gate, where shared-runner
+  // timing noise must not fail the build (mismatches above still exit 1).
+  if (!quick && wasm::ThreadedDispatchAvailable() &&
+      (geomean < 1.9 || fib_speedup < 1.6)) {
+    return 3;
+  }
   return 0;
 }

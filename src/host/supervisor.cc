@@ -373,10 +373,13 @@ void Supervisor::RunOne(Task& task) {
   // trip in the dispatch wrapper; memory is capped at the allocation (grow
   // past the cap fails) with a safepoint backstop; CPU trips at WALI
   // safepoints, armed as a wall-clock deadline, which can only fire early
-  // (wall >= cpu), never grant extra time. A parked run keeps its
-  // reservation (the slices are still spoken for) but its CPU deadline is
-  // re-armed from the unconsumed remainder at resume, so blocked wall time
-  // is never billed as CPU.
+  // (wall >= cpu), never grant extra time. A park RELEASES the
+  // reservation (ParkRun settles consumed-so-far and hands the unconsumed
+  // slices back, so a sleeping fleet cannot starve the tenant's runnable
+  // jobs); ResumeOne re-reserves fresh slices after its Admit re-check
+  // and re-arms fuel/CPU/syscall enforcement from the new grant — blocked
+  // wall time is never billed as CPU, and RunState::settled keeps the
+  // finish-time settle from double-billing the parked partials.
   st.reserved = ledger_.ReserveSlices(job.tenant, job.fuel);
   if (st.reserved.fuel != 0 && (opts.fuel == 0 || st.reserved.fuel < opts.fuel)) {
     opts.fuel = st.reserved.fuel;
@@ -444,6 +447,27 @@ void Supervisor::ParkRun(RunState st) {
       op.timeout_nanos = remaining;
       st.timeout_is_shed = true;
     }
+  }
+
+  // Release the run's budget reservation while it sleeps off-worker:
+  // settle what it actually consumed so far and hand the unconsumed slices
+  // back to the tenant's unreserved pool, so a parked fleet cannot starve
+  // the tenant's runnable jobs. ResumeOne re-reserves after its Admit
+  // re-check; the finish paths charge totals minus `settled`, so nothing
+  // is billed twice.
+  {
+    TenantUsage sofar;
+    sofar.fuel = report.fuel_consumed - st.settled.fuel;
+    sofar.cpu_nanos = report.cpu_nanos - st.settled.cpu_nanos;
+    // Trace-counted dispatches: same source as the finish-time report (a
+    // budget-tripped dispatch never reaches the trace, so this can never
+    // run ahead of what Finish* will bill).
+    sofar.syscalls = proc.trace.total_calls() - st.settled.syscalls;
+    ledger_.SettleSlices(st.job.tenant, st.reserved, sofar);
+    st.settled.fuel += sofar.fuel;
+    st.settled.cpu_nanos += sofar.cpu_nanos;
+    st.settled.syscalls += sofar.syscalls;
+    st.reserved = TenantLedger::RunReservation{};
   }
 
   st.park_stamp = clock_();
@@ -519,16 +543,44 @@ void Supervisor::ResumeOne(ReadyEntry entry) {
   }
   st.retry = nullptr;
 
-  // Re-arm the CPU deadline from the unconsumed remainder of this run's
-  // reservation: the deadline is wall-clock-based and the park let wall
-  // time pass without consuming CPU.
-  if (st.reserved.cpu_nanos != 0) {
-    int64_t remaining = st.reserved.cpu_nanos - st.report.cpu_nanos;
-    if (remaining <= 0) {
-      remaining = 1;  // exhausted: trip at the first safepoint
+  // Re-reserve budget slices for the on-worker continuation — the park
+  // released this run's reservation back to the tenant's pool. The fresh
+  // slices come out of the CURRENT unreserved remainder (concurrent runs
+  // may have consumed some while we slept), so the cumulative budget stays
+  // hard across park/resume cycles. The suspended interpreter's remaining
+  // fuel bounds the demand (the run can never consume more than that), so
+  // a resumed run near completion takes a small slice and leaves the rest
+  // of the remainder for the tenant's other runs.
+  uint64_t fuel_demand = st.job.fuel;
+  if (st.cont.susp.ctx != nullptr && st.cont.susp.ctx->opts.fuel != 0) {
+    uint64_t remaining =
+        st.cont.susp.ctx->opts.fuel - st.cont.susp.ctx->executed;
+    fuel_demand = remaining > 0 ? remaining : 1;
+  }
+  st.reserved = ledger_.ReserveSlices(st.job.tenant, fuel_demand);
+  if (st.reserved.fuel != 0 && st.cont.susp.ctx != nullptr) {
+    // Tighten the suspended interpreter's fuel to consumed + the new
+    // slice, so the re-reserved (possibly smaller) grant is enforced by
+    // the same per-instruction mechanism as at first dispatch.
+    uint64_t cap = st.cont.susp.ctx->executed + st.reserved.fuel;
+    if (st.cont.susp.ctx->opts.fuel == 0 || cap < st.cont.susp.ctx->opts.fuel) {
+      st.cont.susp.ctx->opts.fuel = cap;
+      st.fuel_clamped = true;
     }
-    proc.cpu_deadline_nanos.store(common::MonotonicNanos() + remaining,
+  }
+  // Re-arm the CPU deadline from the fresh slice: the deadline is
+  // wall-clock-based and the park let wall time pass without consuming
+  // CPU, so it restarts from now.
+  if (st.reserved.cpu_nanos != 0) {
+    proc.cpu_deadline_nanos.store(common::MonotonicNanos() + st.reserved.cpu_nanos,
                                   std::memory_order_release);
+  }
+  if (st.reserved.syscalls != 0) {
+    // The dispatch-wrapper check compares the run's cumulative dispatch
+    // counter, so the new grant is "dispatches so far + fresh slice".
+    proc.syscall_budget.store(
+        proc.run_syscalls.load(std::memory_order_acquire) + st.reserved.syscalls,
+        std::memory_order_release);
   }
 
   int64_t cpu0 = common::ThreadCpuNanos();
@@ -584,12 +636,12 @@ void Supervisor::FinishRun(RunState st, const wasm::RunResult& r) {
     report.outcome = Outcome::kTrapped;
   }
 
-  // Settle the reservation against actual consumption, then charge the
-  // unreserved dimensions.
+  // Settle the reservation against actual consumption (minus anything a
+  // park already settled), then charge the unreserved dimensions.
   TenantUsage actual;
-  actual.fuel = report.fuel_consumed;
-  actual.cpu_nanos = report.cpu_nanos;
-  actual.syscalls = report.total_syscalls;
+  actual.fuel = report.fuel_consumed - st.settled.fuel;
+  actual.cpu_nanos = report.cpu_nanos - st.settled.cpu_nanos;
+  actual.syscalls = report.total_syscalls - st.settled.syscalls;
   ledger_.SettleSlices(st.job.tenant, st.reserved, actual);
   TenantUsage delta;
   delta.runs = 1;
@@ -630,12 +682,13 @@ void Supervisor::FinishAbandoned(RunState st, Outcome outcome,
   report.wali_nanos = proc.trace.wali_nanos();
   report.kernel_nanos = proc.trace.kernel_nanos();
 
-  // The guest DID run (partially): settle its real consumption, and record
-  // the abandonment in the admission-outcome counters.
+  // The guest DID run (partially): settle its real consumption (minus what
+  // earlier parks already settled), and record the abandonment in the
+  // admission-outcome counters.
   TenantUsage actual;
-  actual.fuel = report.fuel_consumed;
-  actual.cpu_nanos = report.cpu_nanos;
-  actual.syscalls = report.total_syscalls;
+  actual.fuel = report.fuel_consumed - st.settled.fuel;
+  actual.cpu_nanos = report.cpu_nanos - st.settled.cpu_nanos;
+  actual.syscalls = report.total_syscalls - st.settled.syscalls;
   ledger_.SettleSlices(st.job.tenant, st.reserved, actual);
   TenantUsage delta;
   delta.runs = 1;

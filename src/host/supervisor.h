@@ -228,6 +228,13 @@ class Supervisor {
     InstancePool::Lease lease;
     wali::WaliRuntime::MainContinuation cont;
     TenantLedger::RunReservation reserved;
+    // Consumption already settled into the ledger by earlier parks of this
+    // run. A park RELEASES the reservation (settling consumed-so-far), so
+    // a sleeping guest's unused slices go back to the tenant's pool and
+    // cannot starve its runnable jobs; resume re-reserves after the Admit
+    // re-check. Finish paths charge report totals MINUS this, so nothing
+    // is billed twice.
+    TenantUsage settled;
     bool fuel_clamped = false;
     RunReport report;  // accumulated across on-worker segments
     // Resume-time syscall closure captured at park (see wali::PendingIo).

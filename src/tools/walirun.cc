@@ -15,7 +15,10 @@
 //   --trace          print the syscall profile after the run (WALI_VERBOSE-
 //                    style diagnostics; set WALI_LOG=3 for per-call logging)
 //   --serve N        multi-tenant mode: run the program on the host
-//                    supervisor with N concurrent workers (instance-pooled)
+//                    supervisor with N concurrent workers (instance-pooled).
+//                    Prints the active dispatch mode and the prepare pass's
+//                    fusion stats (per-superinstruction counts), so perf
+//                    reports are attributable to the executing configuration
 //   --repeat K       with --serve: each worker lane runs the guest K times
 //                    (N*K total runs); reports per-exit-code counts,
 //                    throughput, and pool statistics
@@ -133,6 +136,24 @@ int Serve(wali::WaliRuntime& runtime, std::shared_ptr<const wasm::Module> module
               wasm::DispatchModeName(wasm::ResolveDispatch(runtime.exec_options())),
               wasm::SafepointSchemeName(runtime.options().scheme),
               async_io ? "on" : "off");
+  // Fusion attribution next to the dispatch mode, so serve-mode perf
+  // reports can name the superinstruction set actually serving traffic.
+  {
+    const wasm::PrepareStats& ps = module->prepare_stats;
+    std::printf(
+        "serve: fusion: %u superinstructions + %u direct calls over %u source "
+        "instrs -> %u prepared (%u funcs)\n",
+        ps.fused, ps.direct_calls, ps.source_instrs, ps.prepared_instrs,
+        ps.functions);
+    for (uint32_t i = 0; i < wasm::kNumInternalOps; ++i) {
+      if (ps.per_op[i] == 0) {
+        continue;
+      }
+      std::printf("serve: fused op %-40s x %u\n",
+                  wasm::OpName(static_cast<wasm::Op>(wasm::kFirstInternalOp + i)),
+                  ps.per_op[i]);
+    }
+  }
 
   const int total = workers * repeat;
   std::map<int32_t, int> exit_histogram;

@@ -43,6 +43,33 @@ void WaliProcess::UntrackFd(int fd) {
   guest_fds_.erase(fd);
 }
 
+bool WaliProcess::OffloadableCached(int fd) {
+  // Classify under the lock: a concurrent InvalidateOffloadFd (another
+  // guest thread's close/dup2/F_SETFL dispatch) must serialize either
+  // before the fstat+fcntl here (we classify the new state) or after the
+  // insert (it erases our entry) — never between them, which would pin a
+  // stale answer. Misses are once-per-fd and the syscalls are cheap, so
+  // holding the mutex across them is fine.
+  std::lock_guard<std::mutex> lock(offload_mu_);
+  auto it = offload_cache_.find(fd);
+  if (it != offload_cache_.end()) {
+    return it->second;
+  }
+  bool offloadable = OffloadableFd(fd);
+  offload_cache_[fd] = offloadable;
+  return offloadable;
+}
+
+void WaliProcess::InvalidateOffloadFd(int fd) {
+  std::lock_guard<std::mutex> lock(offload_mu_);
+  offload_cache_.erase(fd);
+}
+
+void WaliProcess::ClearOffloadCache() {
+  std::lock_guard<std::mutex> lock(offload_mu_);
+  offload_cache_.clear();
+}
+
 void WaliProcess::CloseGuestFds() {
   std::set<int> fds;
   {
@@ -77,6 +104,7 @@ void WaliProcess::ResetForReuse(std::vector<std::string> argv_in,
   trace.Reset();
   pending_io.Reset();
   CloseGuestFds();
+  ClearOffloadCache();  // next tenant's fd numbers mean different files
   policy.reset();
   // Keep the recycled interpreter buffers warm across slot reuse, but bound
   // what a slot retains: a deep run can grow the operand stack toward

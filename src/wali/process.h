@@ -9,6 +9,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <map>
 #include <set>
 #include <string>
 #include <thread>
@@ -58,6 +59,20 @@ class WaliProcess {
   // Closes every tracked fd (destructor and slot recycling).
   void CloseGuestFds();
   int tracked_fd_count();
+
+  // Cached per-fd offloadability classification (see wali::OffloadableFd):
+  // with async-io on, every blocking-capable read/write/accept dispatch
+  // used to pay an fstat+fcntl to decide sync-vs-park. The classification
+  // is a pure function of the open file description's type and O_NONBLOCK
+  // flag, so it is cached per process and invalidated wherever either can
+  // change under us: close (fd number freed for reuse), dup2/dup3 (target
+  // fd silently replaced), fcntl(F_SETFL) and ioctl(FIONBIO) (O_NONBLOCK
+  // flipped), and slot recycling (ResetForReuse). Invalidation hooks live in the syscall
+  // dispatch wrapper (WaliRuntime::ApplyFdEffect), so no handler can mint
+  // or retire an fd without the cache hearing about it.
+  bool OffloadableCached(int fd);
+  void InvalidateOffloadFd(int fd);
+  void ClearOffloadCache();
 
   // Returns the process to a just-constructed state while keeping the linear
   // memory slab alive for reuse: joins straggler threads, clears exit/signal/
@@ -139,6 +154,9 @@ class WaliProcess {
 
   std::mutex fds_mu_;
   std::set<int> guest_fds_;
+
+  std::mutex offload_mu_;
+  std::map<int, bool> offload_cache_;
 };
 
 }  // namespace wali

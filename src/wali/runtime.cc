@@ -2,6 +2,7 @@
 
 #include <errno.h>
 #include <fcntl.h>
+#include <sys/ioctl.h>
 #include <limits.h>
 #include <sys/stat.h>
 #include <sys/syscall.h>
@@ -359,6 +360,9 @@ void WaliRuntime::ApplyFdEffect(WaliProcess& proc, size_t id,
     // Linux frees the fd even when close(2) fails (EINTR/EIO); keeping it
     // tracked would double-close a number the kernel has since reused.
     proc.UntrackFd(static_cast<int>(args[0]));
+    // The freed number can come back as a different file type; a stale
+    // offloadability entry would then misroute sync-vs-park decisions.
+    proc.InvalidateOffloadFd(static_cast<int>(args[0]));
     return;
   }
   if (ret < 0) {
@@ -370,10 +374,24 @@ void WaliRuntime::ApplyFdEffect(WaliProcess& proc, size_t id,
       break;
     case FdEffect::kMintsFd:
       proc.TrackFd(static_cast<int>(ret));
+      // dup2/dup3 replace an OPEN target fd in place (ret == newfd), and
+      // open/socket/accept can resurrect any previously classified number.
+      proc.InvalidateOffloadFd(static_cast<int>(ret));
       break;
     case FdEffect::kFcntl:
       if (args[1] == F_DUPFD || args[1] == F_DUPFD_CLOEXEC) {
         proc.TrackFd(static_cast<int>(ret));
+        proc.InvalidateOffloadFd(static_cast<int>(ret));
+      } else if (args[1] == F_SETFL) {
+        // O_NONBLOCK may have flipped: the classification depends on it
+        // (non-blocking fds must answer -EAGAIN inline, never park).
+        proc.InvalidateOffloadFd(static_cast<int>(args[0]));
+      }
+      break;
+    case FdEffect::kIoctl:
+      if (args[1] == FIONBIO) {
+        // ioctl's alternate spelling of the O_NONBLOCK flip.
+        proc.InvalidateOffloadFd(static_cast<int>(args[0]));
       }
       break;
   }
@@ -404,6 +422,7 @@ void WaliRuntime::RegisterAll() {
   }
   mark("close", FdEffect::kClosesFd);
   mark("fcntl", FdEffect::kFcntl);
+  mark("ioctl", FdEffect::kIoctl);
 
   for (size_t id = 0; id < defs_.size(); ++id) {
     const SyscallDef& def = defs_[id];

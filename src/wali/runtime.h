@@ -165,6 +165,7 @@ class WaliRuntime {
     kMintsFd,   // successful result is a new fd (open, dup, socket, ...)
     kClosesFd,  // arg0 fd is freed by the kernel even when close(2) errors
     kFcntl,     // mints only for F_DUPFD / F_DUPFD_CLOEXEC
+    kIoctl,     // FIONBIO flips O_NONBLOCK: offload cache must hear it
   };
 
   void RegisterAll();
@@ -185,7 +186,11 @@ class WaliRuntime {
 // FIFOs, sockets, character devices such as ttys); regular files and
 // directories return false and take the synchronous thin-interface path —
 // page-cache I/O is the fast path the paper's design optimizes for, and
-// offloading it would only add completion-loop latency.
+// offloading it would only add completion-loop latency. This is the UNCACHED
+// classification (one fstat + one fcntl); dispatch-path callers go through
+// WaliProcess::OffloadableCached, which memoizes it per fd and is
+// invalidated on close/dup2/dup3/fcntl(F_SETFL)/ioctl(FIONBIO) and slot
+// recycling.
 bool OffloadableFd(int fd);
 
 // Raw syscall with kernel-time attribution for resume-time retry closures,

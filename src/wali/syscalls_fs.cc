@@ -61,7 +61,7 @@ int64_t SysRead(WaliCtx& c, const int64_t* a) {
   void* buf = c.Ptr(a[1], a[2]);
   if (buf == nullptr && a[2] != 0) return -EFAULT;
   int fd = static_cast<int>(a[0]);
-  if (c.CanOffload() && OffloadableFd(fd)) {
+  if (c.CanOffload() && c.proc.OffloadableCached(fd)) {
     // Park until the fd is readable; the retry performs the read on a
     // worker thread at resume, when it completes promptly. The guest
     // address is re-translated then — the slab base is fixed, but the
@@ -84,7 +84,7 @@ int64_t SysWrite(WaliCtx& c, const int64_t* a) {
   void* buf = c.Ptr(a[1], a[2]);
   if (buf == nullptr && a[2] != 0) return -EFAULT;
   int fd = static_cast<int>(a[0]);
-  if (c.CanOffload() && OffloadableFd(fd)) {
+  if (c.CanOffload() && c.proc.OffloadableCached(fd)) {
     WaliProcess* proc = &c.proc;
     uint64_t addr = static_cast<uint64_t>(a[1]);
     uint64_t len = static_cast<uint64_t>(a[2]);

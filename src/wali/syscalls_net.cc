@@ -96,14 +96,14 @@ int64_t ParkAccept(WaliCtx& c, long nr, int64_t fd, int64_t addr, int64_t lenp,
 }
 
 int64_t SysAccept(WaliCtx& c, const int64_t* a) {
-  if (c.CanOffload() && OffloadableFd(static_cast<int>(a[0]))) {
+  if (c.CanOffload() && c.proc.OffloadableCached(static_cast<int>(a[0]))) {
     return ParkAccept(c, SYS_accept, a[0], a[1], a[2], 0, false);
   }
   return AddrLenCall(c, SYS_accept, a[0], a[1], a[2]);
 }
 
 int64_t SysAccept4(WaliCtx& c, const int64_t* a) {
-  if (c.CanOffload() && OffloadableFd(static_cast<int>(a[0]))) {
+  if (c.CanOffload() && c.proc.OffloadableCached(static_cast<int>(a[0]))) {
     return ParkAccept(c, SYS_accept4, a[0], a[1], a[2], a[3], true);
   }
   return AddrLenCall(c, SYS_accept4, a[0], a[1], a[2], a[3], /*has_flags=*/true);

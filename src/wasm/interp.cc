@@ -67,6 +67,79 @@ inline double FMax64(double a, double b) {
   return a > b ? a : b;
 }
 
+// Interpreters for the generic-operator superinstructions (prepare pass
+// folds the concrete operator into an immediate). Only non-trapping ops are
+// ever folded (no division), so these are total functions.
+inline uint32_t CmpI32(Op op, uint32_t ra, uint32_t rb) {
+  const int32_t sa = static_cast<int32_t>(ra);
+  const int32_t sb = static_cast<int32_t>(rb);
+  switch (op) {
+    case Op::kI32Eq: return ra == rb;
+    case Op::kI32Ne: return ra != rb;
+    case Op::kI32LtS: return sa < sb;
+    case Op::kI32LtU: return ra < rb;
+    case Op::kI32GtS: return sa > sb;
+    case Op::kI32GtU: return ra > rb;
+    case Op::kI32LeS: return sa <= sb;
+    case Op::kI32LeU: return ra <= rb;
+    case Op::kI32GeS: return sa >= sb;
+    case Op::kI32GeU: return ra >= rb;
+    default: return 0;
+  }
+}
+
+inline uint32_t CmpI64(Op op, uint64_t ra, uint64_t rb) {
+  const int64_t sa = static_cast<int64_t>(ra);
+  const int64_t sb = static_cast<int64_t>(rb);
+  switch (op) {
+    case Op::kI64Eq: return ra == rb;
+    case Op::kI64Ne: return ra != rb;
+    case Op::kI64LtS: return sa < sb;
+    case Op::kI64LtU: return ra < rb;
+    case Op::kI64GtS: return sa > sb;
+    case Op::kI64GtU: return ra > rb;
+    case Op::kI64LeS: return sa <= sb;
+    case Op::kI64LeU: return ra <= rb;
+    case Op::kI64GeS: return sa >= sb;
+    case Op::kI64GeU: return ra >= rb;
+    default: return 0;
+  }
+}
+
+inline uint32_t AluI32(Op op, uint32_t ra, uint32_t rb) {
+  switch (op) {
+    case Op::kI32Add: return ra + rb;
+    case Op::kI32Sub: return ra - rb;
+    case Op::kI32Mul: return ra * rb;
+    case Op::kI32And: return ra & rb;
+    case Op::kI32Or: return ra | rb;
+    case Op::kI32Xor: return ra ^ rb;
+    case Op::kI32Shl: return ra << (rb & 31);
+    case Op::kI32ShrS: return static_cast<uint32_t>(static_cast<int32_t>(ra) >> (rb & 31));
+    case Op::kI32ShrU: return ra >> (rb & 31);
+    case Op::kI32Rotl: return (ra << (rb & 31)) | (ra >> ((32 - rb) & 31));
+    case Op::kI32Rotr: return (ra >> (rb & 31)) | (ra << ((32 - rb) & 31));
+    default: return CmpI32(op, ra, rb);
+  }
+}
+
+inline uint64_t AluI64(Op op, uint64_t ra, uint64_t rb) {
+  switch (op) {
+    case Op::kI64Add: return ra + rb;
+    case Op::kI64Sub: return ra - rb;
+    case Op::kI64Mul: return ra * rb;
+    case Op::kI64And: return ra & rb;
+    case Op::kI64Or: return ra | rb;
+    case Op::kI64Xor: return ra ^ rb;
+    case Op::kI64Shl: return ra << (rb & 63);
+    case Op::kI64ShrS: return static_cast<uint64_t>(static_cast<int64_t>(ra) >> (rb & 63));
+    case Op::kI64ShrU: return ra >> (rb & 63);
+    case Op::kI64Rotl: return (ra << (rb & 63)) | (ra >> ((64 - rb) & 63));
+    case Op::kI64Rotr: return (ra >> (rb & 63)) | (ra << ((64 - rb) & 63));
+    default: return CmpI64(op, ra, rb);
+  }
+}
+
 // Pushes a new wasm frame; arguments must already be on the stack.
 // The frame binds the execution stream: the prepared (fused, block-metadata)
 // form by default, the original decoded stream under kEveryInstr so that
@@ -95,10 +168,12 @@ bool PushFrame(ExecContext& ctx, const FuncRef& ref) {
   fr.pc = 0;
   fr.type = ref.type;
   fr.locals_base = static_cast<uint32_t>(ctx.stack.size() - ref.type->params.size());
-  if (!fn->locals.empty()) {
-    // One grow for all locals; resize value-initializes the slots to zero.
-    ctx.stack.resize(ctx.stack.size() + fn->locals.size());
-  }
+  // One grow for all locals PLUS one scratch slot between the locals and
+  // the operand region; resize value-initializes the slots to zero. The
+  // scratch slot is where the threaded loop's TOS cache lands its dead
+  // spills when the operand stack is empty — every frame carries it so
+  // both dispatch loops agree on operand positions (stack_base + k).
+  ctx.stack.resize(ctx.stack.size() + fn->locals.size() + 1);
   fr.stack_base = static_cast<uint32_t>(ctx.stack.size());
   fr.mem = ref.owner->memory(0).get();
   ctx.frames.push_back(fr);

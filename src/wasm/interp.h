@@ -33,7 +33,12 @@ class ExecContext {
     const uint32_t* lcost = nullptr;
     uint32_t pc = 0;
     uint32_t locals_base = 0;  // stack slot where params/locals begin
-    uint32_t stack_base = 0;   // operand stack floor for this frame
+    // Operand stack floor for this frame. Frames are laid out as
+    // `locals | gap | operands`: slot stack_base - 1 is a scratch ("gap")
+    // slot that absorbs the threaded loop's dead TOS-cache spills when the
+    // operand stack is empty (see interp_body.inc); operand k lives at
+    // stack_base + k in both dispatch loops.
+    uint32_t stack_base = 0;
     Memory* mem = nullptr;     // cached memory 0 of inst
     const FuncType* type = nullptr;
   };

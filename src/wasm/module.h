@@ -37,9 +37,26 @@ inline constexpr uint64_t kVoidBlockType = 0x40;
 //   kFLocalLocalI32Add: a = lhs local, b = rhs local
 //   kFI32AddConst:      imm = addend
 //   kFLocalI32Load:     a = load offset, b = address local
+//   kFLocalI64Load:     a = load offset, b = address local
 //   kFBrIfEqz:          a/b/arity as br_if (branches when operand == 0)
 //   kFI32CmpBrIf:       a/b/arity as br_if, imm = fused i32 comparison Op
+//   kFI64CmpBrIf:       a/b/arity as br_if, imm = fused i64 comparison Op
 //   kFLocalCopy:        a = src local, b = dst local
+//   kFI32ConstOp:       b = fused i32 binop/cmp Op, imm = constant (rhs)
+//   kFI64ConstOp:       b = fused i64 binop/cmp Op, imm = constant (rhs)
+//   kFI32LoadOp:        a = load offset, b = fused i32 binop Op
+//   kFI32CmpSel:        imm = fused i32 comparison Op (feeds select)
+//   kFI64CmpSel:        imm = fused i64 comparison Op (feeds select)
+//   kFLocalTeeBrIf:     a/b/arity as br_if, imm = local index (tee target)
+//   kFLocalLocalCmp:    a = lhs local, b = rhs local, arity = i32 cmp Op
+//   kFLocalLocalCmpBrIf: a/b/arity as br_if,
+//                        imm = cmp Op | lhs local << 16 | rhs local << 32
+//   kFLocalConstI32Op:  a = local, b = fused i32 binop/cmp Op, imm = const
+//   kFLocalConstI32OpSet: a = src local, b = dst local, arity = i32 binop Op,
+//                         imm = const (dst = op(src, const); no stack traffic)
+//   kFCallWasm:         a = function index (statically known local wasm
+//                       callee; the threaded loop takes an inline frame-push
+//                       fast path with no host-function checks)
 struct Instr {
   Op op = Op::kNop;
   uint8_t flags = 0;
@@ -78,6 +95,18 @@ struct PreparedCode {
   std::vector<Instr> code;
   std::vector<BrTable> br_tables;
   std::vector<uint32_t> linear_cost;
+};
+
+// Aggregate output of the prepare pass, kept on the Module so operators
+// (walirun --serve) can attribute perf reports to the active fusion set.
+// per_op[op - kFirstInternalOp] counts emissions of each superinstruction.
+struct PrepareStats {
+  uint32_t functions = 0;
+  uint32_t source_instrs = 0;
+  uint32_t prepared_instrs = 0;
+  uint32_t fused = 0;  // superinstructions emitted (excludes kFCallWasm)
+  uint32_t direct_calls = 0;  // kCall sites rewritten to kFCallWasm
+  uint32_t per_op[kNumInternalOps] = {0};
 };
 
 struct Function {
@@ -169,6 +198,9 @@ struct Module {
   std::string name;
 
   bool validated = false;
+  // Fusion statistics from the last PrepareModule / Validate run over this
+  // module (per-superinstruction emission counts for perf attribution).
+  PrepareStats prepare_stats;
 
   // Import-space counts (imports precede local definitions in index spaces).
   uint32_t num_imported_funcs = 0;

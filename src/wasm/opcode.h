@@ -255,12 +255,30 @@ enum class ImmKind : uint8_t {
   V(kFLocalI32Load,     0x282, kNone, "~local.get+i32.load") \
   V(kFBrIfEqz,          0x283, kNone, "~i32.eqz+br_if") \
   V(kFI32CmpBrIf,       0x284, kNone, "~i32.cmp+br_if") \
-  V(kFLocalCopy,        0x285, kNone, "~local.get+local.set")
+  V(kFLocalCopy,        0x285, kNone, "~local.get+local.set") \
+  V(kFI64ConstOp,       0x286, kNone, "~i64.const+i64.op") \
+  V(kFI32ConstOp,       0x287, kNone, "~i32.const+i32.op") \
+  V(kFLocalI64Load,     0x288, kNone, "~local.get+i64.load") \
+  V(kFI32LoadOp,        0x289, kNone, "~i32.load+i32.op") \
+  V(kFI64CmpBrIf,       0x28A, kNone, "~i64.cmp+br_if") \
+  V(kFI32CmpSel,        0x28B, kNone, "~i32.cmp+select") \
+  V(kFI64CmpSel,        0x28C, kNone, "~i64.cmp+select") \
+  V(kFLocalTeeBrIf,     0x28D, kNone, "~local.tee+br_if") \
+  V(kFLocalLocalCmp,    0x28E, kNone, "~local.get+local.get+i32.cmp") \
+  V(kFLocalLocalCmpBrIf, 0x28F, kNone, "~local.get+local.get+i32.cmp+br_if") \
+  V(kFLocalConstI32Op,  0x290, kNone, "~local.get+i32.const+i32.op") \
+  V(kFLocalConstI32OpSet, 0x291, kNone, "~local.get+i32.const+i32.op+local.set") \
+  V(kFCallWasm,         0x292, kNone, "~call(wasm)")
 // clang-format on
+
+// Internal opcodes occupy the dense range [kFirstInternalOp, kOpValueLimit);
+// per-op prepare statistics index by (op - kFirstInternalOp).
+inline constexpr uint32_t kFirstInternalOp = 0x280;
 
 // One past the largest opcode value (wire or internal); sizes the threaded
 // dispatch table.
 inline constexpr uint32_t kOpValueLimit = 0x2C0;
+inline constexpr uint32_t kNumInternalOps = kOpValueLimit - kFirstInternalOp;
 
 enum class Op : uint16_t {
 #define WASM_OP_ENUM(name, value, imm, text) name = value,

@@ -22,14 +22,16 @@ namespace wasm {
 
 struct PrepareOptions {
   bool fuse = true;  // false: 1:1 translation (A/B baseline, still prepared)
+  // Import-space function count of the owning module. Call sites with a
+  // statically known local-wasm callee (index >= this) are rewritten to the
+  // kFCallWasm fast-path op; 0 (the default for bare PrepareFunction calls
+  // without module context) keeps every call on the generic path, which is
+  // always correct. PrepareModule fills it from the module.
+  uint32_t num_imported_funcs = 0;
+  uint32_t num_funcs = 0;  // total function index space (bounds the rewrite)
 };
 
-struct PrepareStats {
-  uint32_t functions = 0;
-  uint32_t source_instrs = 0;
-  uint32_t prepared_instrs = 0;
-  uint32_t fused = 0;  // superinstructions emitted
-};
+// PrepareStats lives in module.h (the Module keeps the last run's stats).
 
 // Rebuilds fn.prepared from fn.code. The function must already be
 // validator-annotated (resolved branch targets, synthetic trailing return).

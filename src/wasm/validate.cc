@@ -656,14 +656,19 @@ common::Status Validate(Module& module) {
     }
   }
 
+  PrepareOptions popts;
+  popts.num_imported_funcs = module.num_imported_funcs;
+  popts.num_funcs = module.NumFuncs();
+  PrepareStats pstats;
   for (Function& f : module.functions) {
     FunctionValidator v(module, f, global_types);
     RETURN_IF_ERROR(v.Run());
     // Translate the annotated body into its execution form (fused
     // superinstructions + block fuel metadata) while we still hold the
     // mutable module — everything downstream shares it as const.
-    PrepareFunction(f, PrepareOptions{});
+    PrepareFunction(f, popts, &pstats);
   }
+  module.prepare_stats = pstats;
 
   module.validated = true;
   return common::OkStatus();

@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "src/common/time_util.h"
+#include "src/wasm/prepare.h"
 
 namespace workloads {
 
@@ -730,7 +731,7 @@ std::string InstantiateWat(const Workload& w, int scale) {
 }
 
 WaliRunStats RunUnderWali(const Workload& w, int scale, wasm::SafepointScheme scheme,
-                          wasm::DispatchMode dispatch) {
+                          wasm::DispatchMode dispatch, bool fuse) {
   WaliRunStats stats;
   int64_t t0 = common::MonotonicNanos();
   auto parsed = wasm::ParseAndValidateWat(InstantiateWat(w, scale));
@@ -738,6 +739,11 @@ WaliRunStats RunUnderWali(const Workload& w, int scale, wasm::SafepointScheme sc
     stats.result.trap = wasm::TrapKind::kHostError;
     stats.result.trap_message = parsed.status().ToString();
     return stats;
+  }
+  if (!fuse) {
+    wasm::PrepareOptions popts;
+    popts.fuse = false;
+    wasm::PrepareModule(**parsed, popts);
   }
   wasm::Linker linker;
   wali::WaliRuntime::Options opts;

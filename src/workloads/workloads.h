@@ -60,9 +60,12 @@ struct WaliRunStats {
   uint64_t total_syscalls = 0;
 };
 
+// `fuse` controls the prepare pass's superinstruction fusion (A/B benches
+// re-run the module unfused to isolate fusion from dispatch gains).
 WaliRunStats RunUnderWali(const Workload& w, int scale,
                           wasm::SafepointScheme scheme = wasm::SafepointScheme::kLoop,
-                          wasm::DispatchMode dispatch = wasm::DispatchMode::kAuto);
+                          wasm::DispatchMode dispatch = wasm::DispatchMode::kAuto,
+                          bool fuse = true);
 
 // Renders the workload's WAT at a concrete scale (exposed for tests).
 std::string InstantiateWat(const Workload& w, int scale);

@@ -9,6 +9,9 @@
 // differential uses a 2ms real sleep).
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <functional>
@@ -482,6 +485,158 @@ TEST(HostIo, NonBlockingIoNeverParks) {
   EXPECT_EQ(r.exit_code, 9);
   EXPECT_EQ(r.parks, 0u);
   EXPECT_EQ(w.sup->io_stats().parks_total, 0u);
+}
+
+TEST(HostIo, ParkedRunReleasesLedgerReservation) {
+  // A parked guest must not sit on its budget reservation: the park settles
+  // consumed-so-far and releases the slices, so a runnable job of the same
+  // tenant can reserve and complete while the fleet sleeps. (Before the
+  // release, the sleeper's unknown-demand reservation took the tenant's
+  // WHOLE fuel remainder, and the burner would have been clamped to a
+  // 1-instruction slice and stopped with kBudget.)
+  IoWorld w = MakeIoWorld(2);
+  auto sleeper = w.cache->Load(WrapModule(kSleeperGuest));
+  ASSERT_TRUE(sleeper.ok());
+  auto burner = w.cache->Load(WrapModule(kBurnGuest));
+  ASSERT_TRUE(burner.ok());
+  host::TenantBudget budget;
+  budget.max_fuel = 10000000;  // ample for both runs
+  w.sup->ledger().SetBudget("t", budget);
+
+  std::future<host::RunReport> slept = w.sup->Submit(MakeJob(*sleeper, "t"));
+  ASSERT_TRUE(WaitForPending(*w.fake, 1));
+
+  // While the sleeper is parked, its reservation is released: the whole
+  // unconsumed remainder is available again.
+  ASSERT_GT(w.sup->ledger().RemainingFuel("t"), budget.max_fuel / 2);
+
+  host::RunReport burn = w.sup->Submit(MakeJob(*burner, "t")).get();
+  EXPECT_TRUE(burn.completed()) << burn.trap_message;
+  EXPECT_EQ(burn.outcome, host::Outcome::kCompleted);
+  EXPECT_GT(burn.fuel_consumed, 10000u);
+
+  w.fake->AdvanceBy(50 * kMs);
+  host::RunReport r = slept.get();
+  EXPECT_TRUE(r.completed()) << r.trap_message;
+  EXPECT_EQ(r.exit_code, 42);
+  EXPECT_EQ(r.parks, 1u);
+
+  // Park-time partial settles plus finish-time deltas must add up to
+  // exactly the two runs' consumption — no double billing.
+  host::TenantUsage usage = w.sup->ledger().usage("t");
+  EXPECT_EQ(usage.fuel, burn.fuel_consumed + r.fuel_consumed);
+  EXPECT_EQ(usage.syscalls, burn.total_syscalls + r.total_syscalls);
+}
+
+// Blocking pipe read parks; after the guest flips O_NONBLOCK with
+// fcntl(F_SETFL), the cached offloadability classification is invalidated
+// and the very next read takes the synchronous path again (-EAGAIN inline,
+// no park) — the regression a stale per-fd cache would break.
+const char* kFlipNonBlockGuest = R"(
+  (memory 2)
+  (func (export "main") (result i32)
+    (local $rfd i64) (local $r i64)
+    (drop (call $pipe2 (i64.const 256) (i64.const 0)))
+    (local.set $rfd (i64.load32_s (i32.const 256)))
+    ;; blocking + async-io => this read parks (completion scripts 0)
+    (local.set $r (call $read (local.get $rfd) (i64.const 1024) (i64.const 1)))
+    (if (i64.ne (local.get $r) (i64.const 0))
+      (then (return (i32.const 1))))
+    ;; F_SETFL = 4, O_NONBLOCK = 0x800
+    (drop (call $fcntl (local.get $rfd) (i64.const 4) (i64.const 2048)))
+    ;; the sync path must re-engage: empty nonblocking pipe answers -EAGAIN
+    (if (i64.ne (call $read (local.get $rfd) (i64.const 1024) (i64.const 1))
+                (i64.const -11))
+      (then (return (i32.const 2))))
+    (i32.const 9))
+)";
+
+TEST(HostIo, SetflInvalidatesOffloadabilityCache) {
+  wasm::Linker linker;
+  wali::WaliRuntime runtime(&linker);
+  auto parsed = wasm::ParseAndValidateWat(WrapModule(kFlipNonBlockGuest));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto proc = runtime.CreateProcess(*parsed, {"flip"}, {});
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+
+  wali::WaliRuntime::MainContinuation cont;
+  wasm::RunResult r = runtime.RunMain(**proc, runtime.exec_options(), &cont);
+  // First read: classified offloadable (and cached) -> parks.
+  ASSERT_EQ(r.trap, wasm::TrapKind::kSyscallPending) << r.trap_message;
+  ASSERT_TRUE(cont.armed());
+  EXPECT_EQ((*proc)->pending_io.op.kind, wali::IoOp::Kind::kReadable);
+
+  // Resume with "read returned 0". The guest then flips O_NONBLOCK and
+  // reads again: that read must NOT park — a second kSyscallPending here
+  // means the stale cache routed a non-blocking fd to the async path.
+  r = runtime.ResumeMain(**proc, cont, 0);
+  ASSERT_NE(r.trap, wasm::TrapKind::kSyscallPending)
+      << "read after F_SETFL(O_NONBLOCK) must take the sync path";
+  EXPECT_TRUE(r.ok() || r.trap == wasm::TrapKind::kExit) << r.trap_message;
+  EXPECT_EQ(r.exit_code, 9);
+}
+
+// Same regression through ioctl(FIONBIO), the alternate O_NONBLOCK flip.
+const char* kIoctlFlipGuest = R"(
+  (memory 2)
+  (func (export "main") (result i32)
+    (local $rfd i64) (local $r i64)
+    (drop (call $pipe2 (i64.const 256) (i64.const 0)))
+    (local.set $rfd (i64.load32_s (i32.const 256)))
+    (local.set $r (call $read (local.get $rfd) (i64.const 1024) (i64.const 1)))
+    (if (i64.ne (local.get $r) (i64.const 0))
+      (then (return (i32.const 1))))
+    ;; FIONBIO = 0x5421, *argp = 1 (enable non-blocking)
+    (i32.store (i32.const 512) (i32.const 1))
+    (drop (call $ioctl (local.get $rfd) (i64.const 0x5421) (i64.const 512)))
+    (if (i64.ne (call $read (local.get $rfd) (i64.const 1024) (i64.const 1))
+                (i64.const -11))
+      (then (return (i32.const 2))))
+    (i32.const 9))
+)";
+
+TEST(HostIo, IoctlFionbioInvalidatesOffloadabilityCache) {
+  wasm::Linker linker;
+  wali::WaliRuntime runtime(&linker);
+  auto parsed = wasm::ParseAndValidateWat(WrapModule(kIoctlFlipGuest));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto proc = runtime.CreateProcess(*parsed, {"ioctl-flip"}, {});
+  ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+
+  wali::WaliRuntime::MainContinuation cont;
+  wasm::RunResult r = runtime.RunMain(**proc, runtime.exec_options(), &cont);
+  ASSERT_EQ(r.trap, wasm::TrapKind::kSyscallPending) << r.trap_message;
+  r = runtime.ResumeMain(**proc, cont, 0);
+  ASSERT_NE(r.trap, wasm::TrapKind::kSyscallPending)
+      << "read after ioctl(FIONBIO) must take the sync path";
+  EXPECT_TRUE(r.ok() || r.trap == wasm::TrapKind::kExit) << r.trap_message;
+  EXPECT_EQ(r.exit_code, 9);
+}
+
+TEST(HostIo, OffloadCacheClassifiesAndInvalidates) {
+  wasm::Linker linker;
+  wali::WaliRuntime runtime(&linker);
+  auto parsed = wasm::ParseAndValidateWat(WrapModule(kBurnGuest));
+  ASSERT_TRUE(parsed.ok());
+  auto proc = runtime.CreateProcess(*parsed, {"cache"}, {});
+  ASSERT_TRUE(proc.ok());
+  wali::WaliProcess& p = **proc;
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // Pipes classify offloadable; the answer is cached.
+  EXPECT_TRUE(p.OffloadableCached(fds[0]));
+  // Flip O_NONBLOCK behind the cache's back: the cached (now stale) answer
+  // survives until an invalidation hook fires — this is exactly why the
+  // dispatch wrapper invalidates on fcntl(F_SETFL).
+  int fl = ::fcntl(fds[0], F_GETFL);
+  ASSERT_GE(fl, 0);
+  ASSERT_EQ(::fcntl(fds[0], F_SETFL, fl | O_NONBLOCK), 0);
+  EXPECT_TRUE(p.OffloadableCached(fds[0]));  // stale, by construction
+  p.InvalidateOffloadFd(fds[0]);
+  EXPECT_FALSE(p.OffloadableCached(fds[0]));  // reclassified: non-blocking
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 TEST(HostIo, RunAllPreservesSubmissionOrderAcrossParks) {

@@ -253,6 +253,213 @@ TEST(InterpDispatch, FuelBoundaryBitIdentical) {
   }
 }
 
+TEST(InterpDispatch, WidenedSuperinstructionDifferential) {
+  // One kernel exercising the PR 5 fusion set: i64 const-ops, i64 cmp
+  // branches, local.get+i64.load, load+op, cmp+select, local.tee+br_if,
+  // local.get+local.get+cmp(+br_if), local+const+op(+set), and the direct
+  // call fast path — all under every dispatch x fusion combination.
+  const char* wat = R"((module
+    (memory 1)
+    (func $mix (param $x i64) (result i64)
+      (local $v i64)
+      (local.set $v (i64.xor (local.get $x) (i64.shr_u (local.get $x) (i64.const 13))))
+      (local.set $v (i64.mul (local.get $v) (i64.const 0x2545F4914F6CDD1D)))
+      (i64.rotl (local.get $v) (i64.const 31)))
+    (func (export "f") (param $n i32) (result i64)
+      (local $i i32) (local $acc i64) (local $t i32) (local $lim i32)
+      (local.set $lim (local.get $n))
+      (i64.store (i32.const 128) (i64.const 0x1122334455667788))
+      (block $done
+        (loop $l
+          (br_if $done (i32.ge_u (local.get $i) (local.get $lim)))
+          (local.set $acc (i64.add (local.get $acc) (call $mix (i64.extend_i32_u (local.get $i)))))
+          (local.set $acc (i64.add (local.get $acc) (i64.load (i32.const 128))))
+          (local.set $acc (i64.add (local.get $acc)
+            (i64.extend_i32_u (i32.add (local.get $t)
+              (i32.load (i32.and (local.get $i) (i32.const 0xFC)))))))
+          (local.set $t (select (i32.const 3) (i32.const 5)
+            (i64.lt_u (local.get $acc) (i64.const 0x8000000000000000))))
+          (block $skip
+            (br_if $skip (local.tee $t (i32.and (local.get $t) (i32.const 7))))
+            (local.set $t (i32.const 1)))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $l)))
+      (local.get $acc))))";
+  ExpectAllAgree(RunAllModes(wat, "f", {Value::I32(4000)}));
+
+  // Fuel sweep over the same kernel: exhaustion must land at exactly
+  // executed == fuel + 1 in every dispatch x fusion combination, even when
+  // the boundary falls inside a fused region.
+  std::vector<ModeRun> free_runs = RunAllModes(wat, "f", {Value::I32(50)});
+  ExpectAllAgree(free_runs);
+  const uint64_t f0 = free_runs[0].result.executed_instrs;
+  ASSERT_GT(f0, 200u);
+  for (uint64_t fuel = f0 - 40; fuel <= f0 + 1; ++fuel) {
+    ExecOptions base;
+    base.fuel = fuel;
+    std::vector<ModeRun> runs = RunAllModes(wat, "f", {Value::I32(50)}, base);
+    ExpectAllAgree(runs);
+    if (fuel < f0) {
+      EXPECT_EQ(runs[0].result.trap, TrapKind::kFuelExhausted) << "fuel=" << fuel;
+      EXPECT_EQ(runs[0].result.executed_instrs, fuel + 1) << "fuel=" << fuel;
+    } else {
+      EXPECT_EQ(runs[0].result.trap, TrapKind::kNone) << "fuel=" << fuel;
+    }
+  }
+}
+
+TEST(InterpDispatch, BranchDiscardingNothingKeepsLiveTop) {
+  // Regression: an arity-0 branch whose target height equals the current
+  // depth discards nothing — the surviving top may live only in the
+  // threaded loop's TOS cache, and reloading it from its (stale) home slot
+  // replaced a live value with garbage. The enclosing expression's operand
+  // must survive a br out of a value-less block.
+  ExpectAllAgree(RunAllModes(R"((module
+    (func (export "f") (result i32)
+      (i32.const 42)
+      (block $b (br $b))
+      (i32.add (i32.const 1))))
+  )",
+                             "f", {}));
+  wasm_test::ExpectI32(R"((module
+    (func (export "f") (result i32)
+      (i32.const 42)
+      (block $b (br $b))
+      (i32.add (i32.const 1)))))",
+                       "f", {}, 43);
+  // Same shape through br_if (taken and untaken) and nested blocks.
+  ExpectAllAgree(RunAllModes(R"((module
+    (func (export "f") (param $c i32) (result i32)
+      (i32.const 7)
+      (block $o
+        (block $i
+          (br_if $o (local.get $c))
+          (br $i)))
+      (i32.mul (i32.const 3))))
+  )",
+                             "f", {Value::I32(1)}));
+  ExpectAllAgree(RunAllModes(R"((module
+    (func (export "f") (param $c i32) (result i32)
+      (i32.const 7)
+      (block $o
+        (block $i
+          (br_if $o (local.get $c))
+          (br $i)))
+      (i32.mul (i32.const 3))))
+  )",
+                             "f", {Value::I32(0)}));
+}
+
+TEST(InterpDispatch, LoadOpTrapBillsOneUnit) {
+  // The i32.load+op fusion traps at its FIRST source instruction; the
+  // billed executed count must match the unfused stream exactly (the load
+  // executes and traps, the ALU op never runs).
+  ExpectAllAgree(RunAllModes(R"((module
+    (memory 1 1)
+    (func (export "f") (param $i i32) (result i32)
+      (local $acc i32)
+      (local.set $acc (i32.const 7))
+      (i32.add (local.get $acc)
+               (i32.load (i32.mul (local.get $i) (i32.const 4))))))
+  )",
+                             "f", {Value::I32(70000)}));
+}
+
+TEST(InterpDispatch, DirectCallDeepRecursionParity) {
+  // kFCallWasm must hit the same kStackExhausted boundary as the generic
+  // call path (frame and value-stack limits are checked identically).
+  const char* wat = R"((module
+    (func $down (param $n i32) (result i32)
+      (if (result i32) (local.get $n)
+        (then (i32.add (i32.const 1) (call $down (i32.sub (local.get $n) (i32.const 1)))))
+        (else (i32.const 0))))
+    (func (export "f") (param $n i32) (result i32)
+      (call $down (local.get $n))))
+  )";
+  ExpectAllAgree(RunAllModes(wat, "f", {Value::I32(500)}));
+  ExecOptions tight;
+  tight.max_frames = 64;
+  std::vector<ModeRun> runs = RunAllModes(wat, "f", {Value::I32(500)}, tight);
+  ExpectAllAgree(runs);
+  EXPECT_EQ(runs[0].result.trap, TrapKind::kStackExhausted);
+}
+
+TEST(InterpDispatch, SuspendResumeThroughFusedRegion) {
+  // A host call parked mid-loop, with fused regions (loop-header cmp+br_if,
+  // counter updates, const-ops) on both sides of the call site: resuming
+  // must continue through the fused stream bit-identically to a blocking
+  // run, in both dispatch modes.
+  const char* wat = R"((module
+    (import "env" "blocking" (func $b (param i64) (result i64)))
+    (memory 1)
+    (func (export "f") (param $n i32) (result i64)
+      (local $i i32) (local $acc i64)
+      (block $done
+        (loop $l
+          (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+          (local.set $acc (i64.add (local.get $acc)
+              (call $b (i64.extend_i32_u (local.get $i)))))
+          (local.set $acc (i64.add (local.get $acc) (i64.const 17)))
+          (i64.store (i32.const 64) (local.get $acc))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $l)))
+      (local.get $acc))))";
+  for (DispatchMode mode : {DispatchMode::kSwitch, DispatchMode::kThreaded}) {
+    SCOPED_TRACE(wasm::DispatchModeName(mode));
+    // Blocking run: host answers inline.
+    wasm_test::WatFixture blocking =
+        wasm_test::Instantiate(wat, [](wasm::Linker& linker) {
+          wasm::FuncType type;
+          type.params = {wasm::ValType::kI64};
+          type.results = {wasm::ValType::kI64};
+          linker.DefineHostFunc(
+              "env", "blocking", type,
+              [](wasm::ExecContext&, const uint64_t* args, uint64_t* results) {
+                results[0] = args[0] * 3 + 1;
+                return TrapKind::kNone;
+              });
+        });
+    ASSERT_NE(blocking.instance, nullptr);
+    ExecOptions opts;
+    opts.dispatch = mode;
+    RunResult want = blocking.instance->CallExport("f", {Value::I32(25)}, opts);
+    ASSERT_TRUE(want.ok());
+
+    // Suspending run: every host call parks; results materialize via
+    // ResumeInvoke.
+    std::vector<uint64_t> parked;
+    wasm_test::WatFixture susp_fx =
+        wasm_test::Instantiate(wat, [&parked](wasm::Linker& linker) {
+          wasm::FuncType type;
+          type.params = {wasm::ValType::kI64};
+          type.results = {wasm::ValType::kI64};
+          linker.DefineHostFunc(
+              "env", "blocking", type,
+              [&parked](wasm::ExecContext& ctx, const uint64_t* args, uint64_t*) {
+                parked.push_back(args[0]);
+                ctx.SetTrap(TrapKind::kSyscallPending, "parked");
+                return ctx.trap;
+              });
+        });
+    ASSERT_NE(susp_fx.instance, nullptr);
+    wasm::Suspension susp;
+    ExecOptions sopts;
+    sopts.dispatch = mode;
+    sopts.suspend_to = &susp;
+    RunResult got = susp_fx.instance->CallExport("f", {Value::I32(25)}, sopts);
+    int parks = 0;
+    while (got.trap == TrapKind::kSyscallPending) {
+      ++parks;
+      uint64_t bits = parked.back() * 3 + 1;
+      got = wasm::ResumeInvoke(susp, &bits, 1);
+    }
+    EXPECT_EQ(parks, 25);
+    ASSERT_TRUE(got.ok()) << got.trap_message;
+    EXPECT_EQ(got.values[0].bits, want.values[0].bits);
+    EXPECT_EQ(got.executed_instrs, want.executed_instrs);
+  }
+}
+
 TEST(InterpDispatch, SafepointPollCountParity) {
   const char* wat = R"((module
     (func $inner (param $n i32) (result i32)

@@ -58,6 +58,8 @@ inline const char* kPrelude = R"(
   (import "wali" "SYS_sendto" (func $sendto (param i64 i64 i64 i64 i64 i64) (result i64)))
   (import "wali" "SYS_recvfrom" (func $recvfrom (param i64 i64 i64 i64 i64 i64) (result i64)))
   (import "wali" "SYS_poll" (func $poll (param i64 i64 i64) (result i64)))
+  (import "wali" "SYS_fcntl" (func $fcntl (param i64 i64 i64) (result i64)))
+  (import "wali" "SYS_ioctl" (func $ioctl (param i64 i64 i64) (result i64)))
   (import "wali" "get_argc" (func $get_argc (result i64)))
   (import "wali" "get_argv_len" (func $get_argv_len (param i64) (result i64)))
   (import "wali" "copy_argv" (func $copy_argv (param i64 i64) (result i64)))

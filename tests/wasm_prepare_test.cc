@@ -51,15 +51,22 @@ TEST(Prepare, FusesKnownPatternsAndConservesCost) {
   EXPECT_LT(fn.prepared.code.size(), fn.code.size());
   EXPECT_GT(CountFused(fn.prepared.code), 0);
 
-  bool saw_cmp_brif = false, saw_lladd = false, saw_addconst = false;
+  // The widened pass takes the widest match at each position: the loop
+  // header (local.get+local.get+cmp+br_if) and the counter update
+  // (local.get+i32.const+add+local.set) fuse whole; the hash mix keeps the
+  // 3-op local+local add and a const-op for the FNV multiply.
+  bool saw_llcmp_brif = false, saw_lladd = false, saw_constop = false,
+       saw_opset = false;
   for (const Instr& in : fn.prepared.code) {
-    saw_cmp_brif |= in.op == Op::kFI32CmpBrIf;
+    saw_llcmp_brif |= in.op == Op::kFLocalLocalCmpBrIf;
     saw_lladd |= in.op == Op::kFLocalLocalI32Add;
-    saw_addconst |= in.op == Op::kFI32AddConst;
+    saw_constop |= in.op == Op::kFI32ConstOp;
+    saw_opset |= in.op == Op::kFLocalConstI32OpSet;
   }
-  EXPECT_TRUE(saw_cmp_brif);   // i32.ge_u + br_if
-  EXPECT_TRUE(saw_lladd);      // local.get + local.get + i32.add
-  EXPECT_TRUE(saw_addconst);   // i32.const 1 + i32.add
+  EXPECT_TRUE(saw_llcmp_brif);  // local.get+local.get+i32.ge_u+br_if
+  EXPECT_TRUE(saw_lladd);       // local.get + local.get + i32.add
+  EXPECT_TRUE(saw_constop);     // i32.const 16777619 + i32.mul
+  EXPECT_TRUE(saw_opset);       // local.get $i+i32.const 1+i32.add+local.set $i
 
   // Fuel-unit conservation: the fused stream must bill exactly the source
   // instruction count (this is what keeps TenantLedger math identical).
@@ -73,6 +80,161 @@ TEST(Prepare, FusesKnownPatternsAndConservesCost) {
     EXPECT_GE(fn.prepared.linear_cost[i], fn.prepared.code[i].cost);
   }
   EXPECT_EQ(fn.prepared.linear_cost.back(), fn.prepared.code.back().cost);
+}
+
+// One WAT snippet per new superinstruction: the pattern must fuse, conserve
+// fuel units, and still compute the right answer.
+struct FusionCase {
+  const char* name;
+  const char* wat;
+  Op expect_op;
+  const char* func = "f";
+  std::vector<wasm::Value> args;
+  uint32_t want = 0;
+};
+
+TEST(Prepare, WidenedSuperinstructionSet) {
+  const std::vector<FusionCase> cases = {
+      {"i64_const_op",
+       R"((module (func (export "f") (param $x i64) (result i32)
+            (i32.wrap_i64 (i64.and (local.get $x) (i64.const 0xFF))))))",
+       Op::kFI64ConstOp, "f", {wasm::Value::I64(0x1234)}, 0x34},
+      {"i64_const_shl",
+       R"((module (func (export "f") (param $x i64) (result i32)
+            (i32.wrap_i64 (i64.shl (local.get $x) (i64.const 4))))))",
+       Op::kFI64ConstOp, "f", {wasm::Value::I64(3)}, 48},
+      {"i32_const_op",
+       // The lhs must not be a bare local.get, or the 3-op local+const+op
+       // pattern wins; this pins the 2-op const+op form.
+       R"((module (func (export "f") (param $x i32) (result i32)
+            (i32.xor (i32.and (local.get $x) (local.get $x)) (i32.const 0x5A)))))",
+       Op::kFI32ConstOp, "f", {wasm::Value::I32(0xFF)}, 0xA5},
+      {"local_i64_load",
+       R"((module (memory 1) (func (export "f") (param $a i32) (result i32)
+            (i64.store (i32.const 64) (i64.const 0x0102030405060708))
+            (i32.wrap_i64 (i64.load (local.get $a))))))",
+       Op::kFLocalI64Load, "f", {wasm::Value::I32(64)}, 0x05060708},
+      {"load_op",
+       R"((module (memory 1) (func (export "f") (param $x i32) (result i32)
+            (i32.store (i32.const 16) (i32.const 40))
+            (i32.add (local.get $x) (i32.load (i32.mul (i32.const 4) (i32.const 4)))))))",
+       Op::kFI32LoadOp, "f", {wasm::Value::I32(2)}, 42},
+      {"i64_cmp_brif",
+       // Two non-const operands so neither const-op nor local+const
+       // patterns swallow the comparison before the branch pair forms.
+       R"((module (func (export "f") (param $x i64) (param $y i64) (result i32)
+            (block $b
+              (br_if $b (i64.lt_u (local.get $x) (local.get $y)))
+              (return (i32.const 7)))
+            (i32.const 3))))",
+       Op::kFI64CmpBrIf, "f", {wasm::Value::I64(5), wasm::Value::I64(10)}, 3},
+      {"i32_cmp_sel",
+       R"((module (func (export "f") (param $x i32) (param $y i32) (result i32)
+            (select (i32.const 11) (i32.const 22)
+                    (i32.lt_u (i32.and (local.get $x) (i32.const 7))
+                              (local.get $y))))))",
+       Op::kFI32CmpSel, "f", {wasm::Value::I32(3), wasm::Value::I32(10)}, 11},
+      {"i64_cmp_sel",
+       R"((module (func (export "f") (param $x i64) (param $y i64) (result i32)
+            (select (i32.const 11) (i32.const 22)
+                    (i64.gt_u (i64.add (local.get $x) (i64.const 1))
+                              (local.get $y))))))",
+       Op::kFI64CmpSel, "f", {wasm::Value::I64(3), wasm::Value::I64(10)}, 22},
+      {"tee_brif",
+       R"((module (func (export "f") (param $x i32) (result i32)
+            (local $t i32)
+            (block $b
+              (br_if $b (local.tee $t (local.get $x)))
+              (return (i32.const 5)))
+            (local.get $t))))",
+       Op::kFLocalTeeBrIf, "f", {wasm::Value::I32(9)}, 9},
+      {"local_local_cmp",
+       R"((module (func (export "f") (param $a i32) (param $b i32) (result i32)
+            (i32.add (i32.const 10) (i32.lt_u (local.get $a) (local.get $b))))))",
+       Op::kFLocalLocalCmp, "f", {wasm::Value::I32(1), wasm::Value::I32(2)}, 11},
+      {"local_local_cmp_brif",
+       R"((module (func (export "f") (param $a i32) (param $b i32) (result i32)
+            (block $out
+              (br_if $out (i32.ge_u (local.get $a) (local.get $b)))
+              (return (i32.const 1)))
+            (i32.const 2))))",
+       Op::kFLocalLocalCmpBrIf, "f",
+       {wasm::Value::I32(5), wasm::Value::I32(3)}, 2},
+      {"local_const_op",
+       R"((module (func (export "f") (param $x i32) (result i32)
+            (i32.add (i32.const 100) (i32.shl (local.get $x) (i32.const 2))))))",
+       Op::kFLocalConstI32Op, "f", {wasm::Value::I32(3)}, 112},
+      {"local_const_op_set",
+       R"((module (func (export "f") (param $x i32) (result i32)
+            (local $y i32)
+            (local.set $y (i32.mul (local.get $x) (i32.const 3)))
+            (i32.add (local.get $y) (i32.const 0)))))",
+       Op::kFLocalConstI32OpSet, "f", {wasm::Value::I32(7)}, 21},
+  };
+  for (const FusionCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    auto parsed = wasm::ParseAndValidateWat(c.wat);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    const Function& fn = (*parsed)->functions[0];
+    bool saw = false;
+    for (const Instr& in : fn.prepared.code) {
+      saw |= in.op == c.expect_op;
+    }
+    EXPECT_TRUE(saw) << "expected " << wasm::OpName(c.expect_op);
+    // Cost conservation holds for every widened pattern.
+    EXPECT_EQ(SumCosts(fn.prepared.code), fn.code.size());
+    wasm_test::ExpectI32(c.wat, c.func, c.args, c.want);
+  }
+}
+
+TEST(Prepare, DirectCallRewriteOnlyForLocalWasmCallees) {
+  const char* wat = R"((module
+    (import "env" "h" (func $h (result i32)))
+    (func $leaf (result i32) (i32.const 21))
+    (func (export "f") (result i32)
+      (i32.add (call $leaf) (call $leaf)))
+    (func (export "g") (result i32) (call $h))
+  ))";
+  auto parsed = wasm::ParseAndValidateWat(wat);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Module& m = **parsed;
+  // "f" calls a local wasm function: both sites rewritten to the fast op.
+  int direct = 0, generic = 0;
+  for (const Instr& in : m.functions[1].prepared.code) {
+    direct += in.op == Op::kFCallWasm ? 1 : 0;
+    generic += in.op == Op::kCall ? 1 : 0;
+  }
+  EXPECT_EQ(direct, 2);
+  EXPECT_EQ(generic, 0);
+  // "g" calls an imported (host) function: the generic call survives.
+  direct = generic = 0;
+  for (const Instr& in : m.functions[2].prepared.code) {
+    direct += in.op == Op::kFCallWasm ? 1 : 0;
+    generic += in.op == Op::kCall ? 1 : 0;
+  }
+  EXPECT_EQ(direct, 0);
+  EXPECT_EQ(generic, 1);
+  // kFCallWasm keeps cost 1 (a 1:1 rewrite, not a fusion).
+  EXPECT_EQ(m.prepare_stats.direct_calls, 2u);
+}
+
+TEST(Prepare, ModuleKeepsPerOpFusionStats) {
+  auto parsed = wasm::ParseAndValidateWat(kHashWat);
+  ASSERT_TRUE(parsed.ok());
+  const wasm::PrepareStats& st = (*parsed)->prepare_stats;
+  EXPECT_EQ(st.functions, 1u);
+  EXPECT_GT(st.fused, 0u);
+  EXPECT_GT(st.source_instrs, st.prepared_instrs);
+  // Per-op counts sum to the total superinstruction count (direct-call
+  // rewrites are tracked separately from fusions).
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < wasm::kNumInternalOps; ++i) {
+    sum += st.per_op[i];
+  }
+  EXPECT_EQ(sum, static_cast<uint64_t>(st.fused) + st.direct_calls);
+  EXPECT_GT(
+      st.per_op[static_cast<uint32_t>(Op::kFLocalLocalCmpBrIf) - wasm::kFirstInternalOp],
+      0u);
 }
 
 TEST(Prepare, UnfusedRepreparationIsOneToOne) {
