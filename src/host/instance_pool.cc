@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/host/telemetry.h"
+
 namespace host {
 
 InstancePool::Lease& InstancePool::Lease::operator=(Lease&& other) noexcept {
@@ -29,6 +31,17 @@ InstancePool::InstancePool(wali::WaliRuntime* runtime)
 
 InstancePool::InstancePool(wali::WaliRuntime* runtime, const Options& options)
     : runtime_(runtime), options_(options) {}
+
+void InstancePool::SetTelemetry(Telemetry* tel) {
+  if (tel == nullptr) {
+    c_hits_ = c_misses_ = c_recycles_ = nullptr;
+    return;
+  }
+  metrics::Registry& reg = tel->registry();
+  c_hits_ = reg.GetCounter("instance_pool_hits_total");
+  c_misses_ = reg.GetCounter("instance_pool_misses_total");
+  c_recycles_ = reg.GetCounter("instance_pool_recycles_total");
+}
 
 common::StatusOr<InstancePool::Lease> InstancePool::Acquire(
     std::shared_ptr<const wasm::Module> module, std::vector<std::string> argv,
@@ -77,6 +90,12 @@ common::StatusOr<InstancePool::Lease> InstancePool::Acquire(
     if (leased_ > stats_.high_water) {
       stats_.high_water = leased_;
     }
+  }
+  if (recycled) {
+    if (c_hits_ != nullptr) c_hits_->Inc();
+    if (c_recycles_ != nullptr) c_recycles_->Inc();
+  } else if (c_misses_ != nullptr) {
+    c_misses_->Inc();
   }
   return Lease(this, std::move(slot), recycled);
 }

@@ -21,7 +21,13 @@
 #include "src/wali/process.h"
 #include "src/wali/runtime.h"
 
+namespace metrics {
+class Counter;
+}  // namespace metrics
+
 namespace host {
+
+class Telemetry;
 
 class InstancePool {
  public:
@@ -93,6 +99,11 @@ class InstancePool {
   wali::WaliRuntime* runtime() const { return runtime_; }
   Stats stats() const;
 
+  // Mirrors Acquire hit/miss/recycle into `tel`'s registry
+  // (instance_pool_*_total counters). Null detaches. Call before the pool
+  // is shared; the supervisor wires it at startup.
+  void SetTelemetry(Telemetry* tel);
+
  private:
   void Return(std::unique_ptr<wali::WaliProcess> proc);
 
@@ -112,6 +123,10 @@ class InstancePool {
   uint64_t leased_ = 0;
   uint64_t idle_count_ = 0;
   uint64_t idle_stamp_ = 0;
+
+  metrics::Counter* c_hits_ = nullptr;
+  metrics::Counter* c_misses_ = nullptr;
+  metrics::Counter* c_recycles_ = nullptr;
 };
 
 }  // namespace host

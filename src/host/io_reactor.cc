@@ -10,8 +10,22 @@
 
 #include "src/common/logging.h"
 #include "src/common/time_util.h"
+#include "src/host/telemetry.h"
 
 namespace host {
+
+void IoBackendMetrics::Wire(Telemetry* tel) {
+  if (tel == nullptr) {
+    submits = completes = cancels = nullptr;
+    in_flight = nullptr;
+    return;
+  }
+  metrics::Registry& reg = tel->registry();
+  submits = reg.GetCounter("io_submits_total");
+  completes = reg.GetCounter("io_completions_total");
+  cancels = reg.GetCounter("io_cancels_total");
+  in_flight = reg.GetGauge("io_in_flight");
+}
 
 namespace {
 
@@ -88,6 +102,7 @@ void IoReactor::Submit(uint64_t cookie, const wali::IoOp& op) {
     std::lock_guard<std::mutex> lock(mu_);
     ops_[cookie] = rec;
   }
+  tm_.OnSubmit();
   Wake();
 }
 
@@ -98,6 +113,7 @@ bool IoReactor::Cancel(uint64_t cookie) {
     erased = ops_.erase(cookie) != 0;
   }
   if (erased) {
+    tm_.OnCancel();
     Wake();
   }
   return erased;
@@ -172,6 +188,7 @@ void IoReactor::Loop() {
       }
     }
     for (const Due& d : due) {
+      tm_.OnComplete();
       Deliver(d.cookie, d.completion);
     }
   }
@@ -202,21 +219,31 @@ size_t FakeIoBackend::pending() const {
 }
 
 void FakeIoBackend::Submit(uint64_t cookie, const wali::IoOp& op) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Op rec;
-  rec.op = op;
-  rec.seq = seq_++;
-  if (op.kind == wali::IoOp::Kind::kSleep) {
-    rec.deadline_nanos = now_nanos_ + std::max<int64_t>(op.sleep_nanos, 0);
-  } else if (op.timeout_nanos >= 0) {
-    rec.deadline_nanos = now_nanos_ + op.timeout_nanos;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Op rec;
+    rec.op = op;
+    rec.seq = seq_++;
+    if (op.kind == wali::IoOp::Kind::kSleep) {
+      rec.deadline_nanos = now_nanos_ + std::max<int64_t>(op.sleep_nanos, 0);
+    } else if (op.timeout_nanos >= 0) {
+      rec.deadline_nanos = now_nanos_ + op.timeout_nanos;
+    }
+    ops_[cookie] = rec;
   }
-  ops_[cookie] = rec;
+  tm_.OnSubmit();
 }
 
 bool FakeIoBackend::Cancel(uint64_t cookie) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return ops_.erase(cookie) != 0;
+  bool erased;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    erased = ops_.erase(cookie) != 0;
+  }
+  if (erased) {
+    tm_.OnCancel();
+  }
+  return erased;
 }
 
 void FakeIoBackend::AdvanceTo(int64_t now_nanos) {
@@ -247,6 +274,7 @@ void FakeIoBackend::AdvanceTo(int64_t now_nanos) {
     return a.deadline != b.deadline ? a.deadline < b.deadline : a.seq < b.seq;
   });
   for (const Expired& d : due) {
+    tm_.OnComplete();
     Deliver(d.cookie, IoCompletion::TimedOut());
   }
 }
@@ -258,14 +286,21 @@ bool FakeIoBackend::Complete(uint64_t cookie, const IoCompletion& completion) {
       return false;
     }
   }
+  tm_.OnComplete();
   Deliver(cookie, completion);
   return true;
 }
 
 void FakeIoBackend::ForceComplete(uint64_t cookie, const IoCompletion& completion) {
+  bool erased;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ops_.erase(cookie);
+    erased = ops_.erase(cookie) != 0;
+  }
+  if (erased) {
+    // An untracked cookie (the usual fault-injection case) must not skew
+    // the in-flight gauge below zero.
+    tm_.OnComplete();
   }
   Deliver(cookie, completion);
 }

@@ -32,9 +32,42 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/wali/async.h"
 
 namespace host {
+
+class Telemetry;
+
+// Shared metrics wiring for IoBackend implementations: submit/complete/
+// cancel counters plus the in-flight gauge (`io_*` series). Unwired (all
+// null) until Wire is called; the hooks are no-ops then.
+struct IoBackendMetrics {
+  metrics::Counter* submits = nullptr;
+  metrics::Counter* completes = nullptr;
+  metrics::Counter* cancels = nullptr;
+  metrics::Gauge* in_flight = nullptr;
+
+  void Wire(Telemetry* tel);  // null detaches
+  void OnSubmit() {
+    if (submits != nullptr) {
+      submits->Inc();
+      in_flight->Add(1);
+    }
+  }
+  void OnComplete() {
+    if (completes != nullptr) {
+      completes->Inc();
+      in_flight->Sub(1);
+    }
+  }
+  void OnCancel() {
+    if (cancels != nullptr) {
+      cancels->Inc();
+      in_flight->Sub(1);
+    }
+  }
+};
 
 // One completion, delivered exactly once per submitted cookie (unless
 // Cancel wins the race).
@@ -119,6 +152,10 @@ class IoReactor : public IoBackend {
   int64_t NowNanos() const override;
   size_t pending() const override;
 
+  // Wires io_* counters/gauge into `tel`'s registry. Call before the first
+  // Submit; null detaches.
+  void SetTelemetry(Telemetry* tel) { tm_.Wire(tel); }
+
  private:
   struct Op {
     wali::IoOp op;
@@ -139,6 +176,7 @@ class IoReactor : public IoBackend {
   int wake_fds_[2] = {-1, -1};  // [0] read end polled by the loop
   std::atomic<bool> stopping_{false};
   std::thread loop_;
+  IoBackendMetrics tm_;
 };
 
 // Deterministic test backend: time only moves when the test advances it,
@@ -174,6 +212,10 @@ class FakeIoBackend : public IoBackend {
   std::vector<uint64_t> PendingCookies() const;
   bool LookupOp(uint64_t cookie, wali::IoOp* out) const;
 
+  // Same contract as IoReactor::SetTelemetry: tests assert the io_* series
+  // against deterministic scripted completions.
+  void SetTelemetry(Telemetry* tel) { tm_.Wire(tel); }
+
  private:
   struct Op {
     wali::IoOp op;
@@ -189,6 +231,7 @@ class FakeIoBackend : public IoBackend {
   std::map<uint64_t, Op> ops_;
   int64_t now_nanos_ = 0;
   uint64_t seq_ = 0;
+  IoBackendMetrics tm_;
 };
 
 }  // namespace host

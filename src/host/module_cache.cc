@@ -1,9 +1,11 @@
 #include "src/host/module_cache.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
+#include "src/host/telemetry.h"
 #include "src/wasm/decode.h"
 #include "src/wasm/validate.h"
 #include "src/wasm/wat_parser.h"
@@ -20,6 +22,17 @@ bool LooksLikeBinary(const std::string& bytes) {
 }  // namespace
 
 ModuleCache::ModuleCache(size_t capacity) : capacity_(capacity > 0 ? capacity : 1) {}
+
+void ModuleCache::SetTelemetry(Telemetry* tel) {
+  tel_ = tel;
+  if (tel == nullptr) {
+    c_hits_ = c_misses_ = nullptr;
+    return;
+  }
+  metrics::Registry& reg = tel->registry();
+  c_hits_ = reg.GetCounter("module_cache_hits_total");
+  c_misses_ = reg.GetCounter("module_cache_misses_total");
+}
 
 uint64_t ModuleCache::ContentHash(const void* data, size_t len) {
   const uint8_t* p = static_cast<const uint8_t*>(data);
@@ -44,6 +57,7 @@ common::StatusOr<std::shared_ptr<const wasm::Module>> ModuleCache::Load(
       for (Entry& e : it->second) {
         if (e.bytes == bytes) {
           ++stats_.hits;
+          if (c_hits_ != nullptr) c_hits_->Inc();
           e.last_used = ++tick_;
           return e.module;
         }
@@ -63,21 +77,47 @@ common::StatusOr<std::shared_ptr<const wasm::Module>> ModuleCache::Load(
   RETURN_IF_ERROR(wasm::Validate(**parsed));
   std::shared_ptr<const wasm::Module> module = std::move(parsed).value();
 
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<Entry>& bucket = buckets_[key];
-  for (Entry& e : bucket) {
-    if (e.bytes == bytes) {
-      // Another thread decoded the same content while we did; keep its copy
-      // so the pool's per-module slot keying stays stable.
-      ++stats_.hits;
-      e.last_used = ++tick_;
-      return e.module;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Entry>& bucket = buckets_[key];
+    for (Entry& e : bucket) {
+      if (e.bytes == bytes) {
+        // Another thread decoded the same content while we did; keep its copy
+        // so the pool's per-module slot keying stays stable.
+        ++stats_.hits;
+        if (c_hits_ != nullptr) c_hits_->Inc();
+        e.last_used = ++tick_;
+        return e.module;
+      }
     }
+    ++stats_.misses;
+    if (c_misses_ != nullptr) c_misses_->Inc();
+    bucket.push_back(Entry{bytes, module, ++tick_});
+    ++count_;
+    EvictIfNeededLocked();
   }
-  ++stats_.misses;
-  bucket.push_back(Entry{bytes, module, ++tick_});
-  ++count_;
-  EvictIfNeededLocked();
+  if (tel_ != nullptr) {
+    // Fold the prepare pass's fusion statistics into process-wide counters
+    // (one fold per decode, so repeated Loads of a cached module do not
+    // double-count) and register the module for hot-function export.
+    metrics::Registry& reg = tel_->registry();
+    const wasm::PrepareStats& ps = module->prepare_stats;
+    for (uint32_t i = 0; i < wasm::kNumInternalOps; ++i) {
+      if (ps.per_op[i] == 0) {
+        continue;
+      }
+      wasm::Op op = static_cast<wasm::Op>(wasm::kFirstInternalOp + i);
+      reg.GetCounter(std::string("wasm_superinstructions_emitted_total{op=\"") +
+                     wasm::OpName(op) + "\"}")
+          ->Add(ps.per_op[i]);
+    }
+    reg.GetCounter("wasm_direct_call_rewrites_total")->Add(ps.direct_calls);
+    char hash_name[32];
+    std::snprintf(hash_name, sizeof(hash_name), "mod-%016llx",
+                  static_cast<unsigned long long>(key));
+    tel_->RegisterModule(!module->name.empty() ? module->name : hash_name,
+                         std::weak_ptr<const wasm::Module>(module));
+  }
   return module;
 }
 

@@ -22,7 +22,13 @@
 #include "src/common/status.h"
 #include "src/wasm/module.h"
 
+namespace metrics {
+class Counter;
+}  // namespace metrics
+
 namespace host {
+
+class Telemetry;
 
 class ModuleCache {
  public:
@@ -50,6 +56,14 @@ class ModuleCache {
 
   Stats stats() const;
 
+  // Wires cache hit/miss counters into `tel`'s registry and, for every
+  // module decoded from then on: folds its PrepareStats into the
+  // per-superinstruction emission counters
+  // (wasm_superinstructions_emitted_total{op=...}) and registers the module
+  // (weakly) for per-function hot-profile export. Null detaches. Call
+  // before the cache is shared.
+  void SetTelemetry(Telemetry* tel);
+
  private:
   // FNV-1a is fast but not collision-resistant, so a hit must be confirmed
   // against the original bytes: a tenant must never be served another
@@ -69,6 +83,10 @@ class ModuleCache {
   size_t count_ = 0;
   Stats stats_;
   std::unordered_map<uint64_t, std::vector<Entry>> buckets_;
+
+  Telemetry* tel_ = nullptr;
+  metrics::Counter* c_hits_ = nullptr;
+  metrics::Counter* c_misses_ = nullptr;
 };
 
 }  // namespace host

@@ -5,17 +5,6 @@
 
 namespace host {
 
-const char* OutcomeName(Outcome o) {
-  switch (o) {
-    case Outcome::kCompleted: return "completed";
-    case Outcome::kTrapped: return "trapped";
-    case Outcome::kShed: return "shed";
-    case Outcome::kRejected: return "rejected";
-    case Outcome::kBudget: return "budget";
-  }
-  return "<bad>";
-}
-
 Supervisor::Supervisor(wali::WaliRuntime* runtime, const Options& options)
     : runtime_(runtime),
       pool_(runtime, options.pool),
@@ -24,19 +13,43 @@ Supervisor::Supervisor(wali::WaliRuntime* runtime, const Options& options)
       dispatch_(options.dispatch),
       io_(options.io_backend),
       paused_(options.start_paused) {
+#if defined(HOST_TELEMETRY)
+  tel_ = options.telemetry;
+#endif
+  if (tel_ != nullptr) {
+    metrics::Registry& reg = tel_->registry();
+    c_submitted_ = reg.GetCounter("supervisor_jobs_submitted_total");
+    for (size_t i = 0; i < kNumOutcomes; ++i) {
+      c_outcome_[i] = reg.GetCounter(
+          std::string("supervisor_jobs_total{outcome=\"") +
+          OutcomeName(static_cast<Outcome>(i)) + "\"}");
+    }
+    g_queue_depth_ = reg.GetGauge("supervisor_queue_depth");
+    h_queue_ = reg.GetHistogram("supervisor_queue_latency_nanos");
+    h_run_wall_ = reg.GetHistogram("supervisor_run_wall_nanos");
+    h_blocked_ = reg.GetHistogram("supervisor_blocked_nanos");
+    h_resume_queue_ = reg.GetHistogram("supervisor_resume_queue_nanos");
+    ledger_.SetTelemetry(tel_);
+    pool_.SetTelemetry(tel_);
+  }
   if (io_ != nullptr) {
     // Completion side of the park/resume lifecycle: move the parked run to
     // the ready queue and hand it to a worker. Completions for cookies that
     // are no longer parked (shed, shut down) are absorbed as orphans.
     io_->SetCompletionHandler([this](uint64_t cookie, const IoCompletion& c) {
-      ReadyEntry entry;
+      Telemetry::RunHandle trun;
+      int64_t ready_stamp = 0;
       bool found = false;
       {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = parked_.find(cookie);
         if (it != parked_.end()) {
+          ReadyEntry entry;
           entry.st = std::move(it->second);
           entry.completion = c;
+          entry.ready_stamp = clock_();
+          ready_stamp = entry.ready_stamp;
+          trun = entry.st.trun;
           parked_.erase(it);
           ready_.push_back(std::move(entry));
           found = true;
@@ -45,6 +58,9 @@ Supervisor::Supervisor(wali::WaliRuntime* runtime, const Options& options)
       if (!found) {
         orphan_completions_.fetch_add(1, std::memory_order_relaxed);
         return;
+      }
+      if (tel_ != nullptr) {
+        tel_->Record(trun, SpanEvent::kIoComplete, ready_stamp);
       }
       cv_.notify_one();
     });
@@ -68,11 +84,26 @@ RunReport Supervisor::ControlReport(const GuestJob& job, Outcome outcome,
   return r;
 }
 
+void Supervisor::EndRunTel(Telemetry::RunHandle h, Outcome outcome,
+                           uint64_t fuel) {
+  if (tel_ == nullptr || !h.valid()) {
+    return;
+  }
+  tel_->EndRun(h, outcome, clock_(), fuel);
+  c_outcome_[static_cast<size_t>(outcome)]->Inc();
+}
+
 std::future<RunReport> Supervisor::Submit(GuestJob job) {
   Task task;
   task.job = std::move(job);
   std::future<RunReport> fut = task.done.get_future();
   const std::string tenant = task.job.tenant;
+  if (tel_ != nullptr) {
+    // Rejected submits open a span too: counter exactness (per-outcome sum
+    // == submissions) depends on every admission attempt being a run.
+    task.trun = tel_->BeginRun(tenant, clock_());
+    c_submitted_->Inc();
+  }
 
   std::string reject_reason;
   {
@@ -100,9 +131,13 @@ std::future<RunReport> Supervisor::Submit(GuestJob job) {
     TenantUsage delta;
     delta.rejected = 1;
     ledger_.Charge(tenant, delta);
+    EndRunTel(task.trun, Outcome::kRejected, 0);
     task.done.set_value(
         ControlReport(task.job, Outcome::kRejected, std::move(reject_reason)));
     return fut;
+  }
+  if (g_queue_depth_ != nullptr) {
+    g_queue_depth_->Add(1);
   }
   cv_.notify_one();
   return fut;
@@ -227,6 +262,9 @@ bool Supervisor::PopLocked(Task* out, std::vector<Task>* shed) {
            now >= tq.q.front().job.deadline_nanos) {
       shed->push_back(std::move(tq.q.front()));
       tq.q.pop_front();
+      if (g_queue_depth_ != nullptr) {
+        g_queue_depth_->Sub(1);
+      }
     }
     if (tq.q.empty()) {
       ring_.pop_front();
@@ -238,6 +276,9 @@ bool Supervisor::PopLocked(Task* out, std::vector<Task>* shed) {
     }
     *out = std::move(tq.q.front());
     tq.q.pop_front();
+    if (g_queue_depth_ != nullptr) {
+      g_queue_depth_->Sub(1);
+    }
     if (--tq.credits == 0 || tq.q.empty()) {
       // Burst over (or nothing left): rotate this tenant to the back so the
       // next tenant in the ring gets its share.
@@ -288,6 +329,7 @@ void Supervisor::WorkerLoop() {
       RunReport r = ControlReport(s.job, Outcome::kShed,
                                   "shed: deadline expired while queued");
       r.queue_nanos = clock_() - s.enqueue_nanos;
+      EndRunTel(s.trun, Outcome::kShed, 0);
       s.done.set_value(std::move(r));
     }
     if (got_ready) {
@@ -304,11 +346,16 @@ void Supervisor::RunOne(Task& task) {
   RunState st;
   st.job = std::move(task.job);
   st.done = std::move(task.done);
+  st.trun = task.trun;
   GuestJob& job = st.job;
   RunReport& report = st.report;
   report.tenant = job.tenant;
   report.queue_nanos = clock_() - task.enqueue_nanos;
   report.dispatch_seq = dispatch_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (tel_ != nullptr) {
+    tel_->Record(st.trun, SpanEvent::kDispatch, clock_());
+    h_queue_->Observe(report.queue_nanos);
+  }
 
   // Cumulative-budget admission: a tenant over any hard limit is refused
   // before a slot is leased; the refusal still consumed a scheduling slot,
@@ -324,6 +371,7 @@ void Supervisor::RunOne(Task& task) {
             TenantLedger::VerdictName(verdict));
     r.queue_nanos = report.queue_nanos;
     r.dispatch_seq = report.dispatch_seq;
+    EndRunTel(st.trun, Outcome::kBudget, 0);
     st.done.set_value(std::move(r));
     return;
   }
@@ -339,6 +387,7 @@ void Supervisor::RunOne(Task& task) {
     TenantUsage delta;
     delta.host_errors = 1;
     ledger_.Charge(job.tenant, delta);
+    EndRunTel(st.trun, Outcome::kTrapped, 0);
     st.done.set_value(std::move(report));
     return;
   }
@@ -355,6 +404,7 @@ void Supervisor::RunOne(Task& task) {
   }
 
   wasm::ExecOptions opts = runtime_->exec_options();
+  opts.profile = tel_ != nullptr;
   if (dispatch_ != wasm::DispatchMode::kAuto) {
     opts.dispatch = dispatch_;
   }
@@ -471,6 +521,10 @@ void Supervisor::ParkRun(RunState st) {
   }
 
   st.park_stamp = clock_();
+  if (tel_ != nullptr) {
+    tel_->Record(st.trun, SpanEvent::kPark, st.park_stamp,
+                 report.fuel_consumed);
+  }
   bool parked = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -500,7 +554,19 @@ void Supervisor::ResumeOne(ReadyEntry entry) {
   const IoCompletion& c = entry.completion;
   wali::WaliProcess& proc = *st.lease;
   RunReport& report = st.report;
-  report.blocked_nanos += clock_() - st.park_stamp;
+  const int64_t resume_now = clock_();
+  report.blocked_nanos += resume_now - st.park_stamp;
+  if (entry.ready_stamp != 0) {
+    // The ready -> re-dispatch slice of the blocked time: how long the
+    // completed run waited behind other work for a worker.
+    report.resume_queue_nanos += resume_now - entry.ready_stamp;
+    if (h_resume_queue_ != nullptr) {
+      h_resume_queue_->Observe(resume_now - entry.ready_stamp);
+    }
+  }
+  if (tel_ != nullptr) {
+    tel_->Record(st.trun, SpanEvent::kResume, resume_now);
+  }
   resumes_total_.fetch_add(1, std::memory_order_relaxed);
 
   // Shed: the job deadline fired while parked (tagged at park time), or the
@@ -651,6 +717,11 @@ void Supervisor::FinishRun(RunState st, const wasm::RunResult& r) {
   }
   ledger_.Charge(st.job.tenant, delta);
   in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  if (tel_ != nullptr) {
+    h_run_wall_->Observe(report.wall_nanos);
+    h_blocked_->Observe(report.blocked_nanos);
+  }
+  EndRunTel(st.trun, report.outcome, report.fuel_consumed);
   st.done.set_value(std::move(report));
 }
 
@@ -700,7 +771,46 @@ void Supervisor::FinishAbandoned(RunState st, Outcome outcome,
   }
   ledger_.Charge(st.job.tenant, delta);
   in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  if (tel_ != nullptr) {
+    h_run_wall_->Observe(report.wall_nanos);
+    h_blocked_->Observe(report.blocked_nanos);
+  }
+  EndRunTel(st.trun, outcome, report.fuel_consumed);
   st.done.set_value(std::move(report));
+}
+
+void Supervisor::ForgetTenant(const std::string& tenant) {
+  std::vector<Task> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queues_.find(tenant);
+    if (it != queues_.end()) {
+      while (!it->second.q.empty()) {
+        dropped.push_back(std::move(it->second.q.front()));
+        it->second.q.pop_front();
+      }
+      queues_.erase(it);
+      for (auto rit = ring_.begin(); rit != ring_.end(); ++rit) {
+        if (*rit == tenant) {
+          ring_.erase(rit);
+          break;
+        }
+      }
+    }
+  }
+  for (Task& t : dropped) {
+    if (g_queue_depth_ != nullptr) {
+      g_queue_depth_->Sub(1);
+    }
+    // Spans close BEFORE the telemetry forget below so the rejected runs do
+    // not resurrect the tenant's series row.
+    EndRunTel(t.trun, Outcome::kRejected, 0);
+    t.done.set_value(ControlReport(t.job, Outcome::kRejected,
+                                   "rejected: tenant forgotten"));
+  }
+  // Ledger retention hook; with telemetry wired it also drops the tenant's
+  // metric series and spans.
+  ledger_.Forget(tenant);
 }
 
 }  // namespace host

@@ -42,6 +42,7 @@
 
 #include "src/host/instance_pool.h"
 #include "src/host/io_reactor.h"
+#include "src/host/telemetry.h"
 #include "src/host/tenant_ledger.h"
 #include "src/wali/policy.h"
 #include "src/wasm/instance.h"
@@ -71,16 +72,9 @@ struct GuestJob {
   int64_t deadline_nanos = 0;
 };
 
-// How a submitted job left the supervisor.
-enum class Outcome : uint8_t {
-  kCompleted = 0,  // ran to a normal end (fell off main or exited)
-  kTrapped,        // ran and trapped (or could not be instantiated)
-  kShed,           // deadline expired while queued; zero guest execution
-  kRejected,       // bounded queue full (or supervisor shut down) at submit
-  kBudget,         // tenant budget exhausted, before or during the run
-};
-
-const char* OutcomeName(Outcome o);
+// Outcome (how a submitted job left the supervisor) and OutcomeName live in
+// telemetry.h now — the span/series layer is keyed by them — and are
+// re-exported here via the include above.
 
 // Everything the host layer knows about one finished guest run.
 struct RunReport {
@@ -108,6 +102,11 @@ struct RunReport {
   // I/O-bound guest accrues blocked_nanos without holding a worker, so it
   // inflates neither queue_nanos nor cpu_nanos.
   int64_t blocked_nanos = 0;
+  // The re-dispatch wait: I/O completion -> a worker picking the run back
+  // up, summed over parks. A SUBSET of blocked_nanos — large values mean
+  // completions are ready but workers are saturated, which is a scheduling
+  // problem, not an I/O one.
+  int64_t resume_queue_nanos = 0;
   // How many times the run parked at a syscall boundary (async offload).
   uint64_t parks = 0;
   // Global dispatch order (1-based); 0 for jobs that were never dispatched
@@ -151,6 +150,12 @@ class Supervisor {
     // runs are bit-identical to blocking runs in instruction counts, fuel,
     // and syscall results (tests/host_io_test.cc holds the line).
     IoBackend* io_backend = nullptr;
+    // Observability sink. Non-null wires the supervisor (and its ledger,
+    // pool, and guest runs) into the telemetry subsystem: span events for
+    // every job lifecycle stage, process-wide counters/histograms, and
+    // interpreter frame-entry profiling. Borrowed; must outlive Shutdown.
+    // Ignored (forced null) when the build has HOST_TELEMETRY off.
+    Telemetry* telemetry = nullptr;
     InstancePool::Options pool;
   };
 
@@ -211,11 +216,20 @@ class Supervisor {
   };
   IoStats io_stats() const;
 
+  // Drops every trace of a tenant: queued jobs are rejected (their futures
+  // resolve with Outcome::kRejected), the scheduler ring entry is removed,
+  // and the ledger account — and, through the ledger's retention hook, the
+  // tenant's telemetry series and spans — are forgotten. Runs already
+  // dispatched or parked are NOT stopped; they finish under their own
+  // outcome and re-create a fresh ledger/telemetry row.
+  void ForgetTenant(const std::string& tenant);
+
  private:
   struct Task {
     GuestJob job;
     std::promise<RunReport> done;
     int64_t enqueue_nanos = 0;
+    Telemetry::RunHandle trun;  // span handle; invalid when telemetry is off
   };
 
   // A dispatched run's full in-progress state. Lives on the worker's stack
@@ -244,11 +258,15 @@ class Supervisor {
     // kTimedOut completion means "shed the parked guest", not "the
     // syscall's own timeout elapsed".
     bool timeout_is_shed = false;
+    Telemetry::RunHandle trun;  // span handle; invalid when telemetry is off
   };
 
   struct ReadyEntry {
     RunState st;
     IoCompletion completion;
+    // clock_ at completion delivery, for RunReport::resume_queue_nanos (how
+    // long the ready run waited for a worker).
+    int64_t ready_stamp = 0;
   };
 
   // Per-tenant scheduler state. Entries exist only while the tenant has
@@ -287,6 +305,9 @@ class Supervisor {
   // Report for a job that never ran (shed / rejected / budget-refused).
   RunReport ControlReport(const GuestJob& job, Outcome outcome,
                           std::string message) const;
+  // Closes a run's span (kFinish + per-outcome counter). No-op without
+  // telemetry; safe on every terminal path, exactly once per BeginRun.
+  void EndRunTel(Telemetry::RunHandle h, Outcome outcome, uint64_t fuel);
 
   wali::WaliRuntime* runtime_;
   InstancePool pool_;
@@ -296,6 +317,17 @@ class Supervisor {
   wasm::DispatchMode dispatch_;
   IoBackend* io_;
   std::atomic<uint64_t> dispatch_seq_{0};
+
+  // Telemetry wiring, resolved once at construction (null series handles
+  // when tel_ is null; hot paths check tel_ only).
+  Telemetry* tel_ = nullptr;
+  metrics::Counter* c_submitted_ = nullptr;
+  metrics::Counter* c_outcome_[kNumOutcomes] = {nullptr};
+  metrics::Gauge* g_queue_depth_ = nullptr;
+  metrics::Histogram* h_queue_ = nullptr;
+  metrics::Histogram* h_run_wall_ = nullptr;
+  metrics::Histogram* h_blocked_ = nullptr;
+  metrics::Histogram* h_resume_queue_ = nullptr;
 
   // Async-offload counters (outside mu_: bumped on hot completion paths).
   std::atomic<uint64_t> in_flight_{0};

@@ -1,5 +1,7 @@
 #include "src/host/tenant_ledger.h"
 
+#include "src/host/telemetry.h"
+
 namespace host {
 
 const char* TenantLedger::VerdictName(Verdict v) {
@@ -10,6 +12,22 @@ const char* TenantLedger::VerdictName(Verdict v) {
     case Verdict::kSyscalls: return "syscalls";
   }
   return "<bad>";
+}
+
+void TenantLedger::SetTelemetry(Telemetry* tel) {
+  tel_ = tel;
+  if (tel == nullptr) {
+    for (metrics::Counter*& c : c_denied_) {
+      c = nullptr;
+    }
+    return;
+  }
+  metrics::Registry& reg = tel->registry();
+  for (Verdict v : {Verdict::kFuel, Verdict::kCpu, Verdict::kSyscalls}) {
+    c_denied_[static_cast<size_t>(v)] = reg.GetCounter(
+        std::string("ledger_denials_total{resource=\"") + VerdictName(v) +
+        "\"}");
+  }
 }
 
 void TenantLedger::SetBudget(const std::string& tenant,
@@ -47,23 +65,28 @@ TenantUsage TenantLedger::usage(const std::string& tenant) const {
 }
 
 TenantLedger::Verdict TenantLedger::Admit(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(tenant);
-  if (it == entries_.end()) {
-    return Verdict::kAdmit;
+  Verdict verdict = Verdict::kAdmit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(tenant);
+    if (it == entries_.end()) {
+      return Verdict::kAdmit;
+    }
+    const TenantBudget& b = it->second.budget;
+    const TenantUsage& u = it->second.usage;
+    if (b.max_fuel != 0 && u.fuel >= b.max_fuel) {
+      verdict = Verdict::kFuel;
+    } else if (b.max_cpu_nanos != 0 && u.cpu_nanos >= b.max_cpu_nanos) {
+      verdict = Verdict::kCpu;
+    } else if (b.max_syscalls != 0 && u.syscalls >= b.max_syscalls) {
+      verdict = Verdict::kSyscalls;
+    }
   }
-  const TenantBudget& b = it->second.budget;
-  const TenantUsage& u = it->second.usage;
-  if (b.max_fuel != 0 && u.fuel >= b.max_fuel) {
-    return Verdict::kFuel;
+  if (verdict != Verdict::kAdmit &&
+      c_denied_[static_cast<size_t>(verdict)] != nullptr) {
+    c_denied_[static_cast<size_t>(verdict)]->Inc();
   }
-  if (b.max_cpu_nanos != 0 && u.cpu_nanos >= b.max_cpu_nanos) {
-    return Verdict::kCpu;
-  }
-  if (b.max_syscalls != 0 && u.syscalls >= b.max_syscalls) {
-    return Verdict::kSyscalls;
-  }
-  return Verdict::kAdmit;
+  return verdict;
 }
 
 namespace {
@@ -173,8 +196,15 @@ void TenantLedger::ResetUsage(const std::string& tenant) {
 }
 
 void TenantLedger::Forget(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.erase(tenant);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.erase(tenant);
+  }
+  // Retention propagates: the ledger's Forget is the one retention hook the
+  // host stack exposes, so telemetry's per-tenant series/spans ride it.
+  if (tel_ != nullptr) {
+    tel_->ForgetTenant(tenant);
+  }
 }
 
 std::vector<std::pair<std::string, TenantUsage>> TenantLedger::Snapshot() const {

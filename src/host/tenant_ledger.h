@@ -18,7 +18,13 @@
 #include <utility>
 #include <vector>
 
+namespace metrics {
+class Counter;
+}  // namespace metrics
+
 namespace host {
+
+class Telemetry;
 
 // Cumulative limits for one tenant; 0 means unlimited for that dimension.
 struct TenantBudget {
@@ -56,6 +62,12 @@ class TenantLedger {
   enum class Verdict : uint8_t { kAdmit = 0, kFuel, kCpu, kSyscalls };
 
   static const char* VerdictName(Verdict v);
+
+  // Wires budget-denial counters (`ledger_denials_total{resource=...}`)
+  // into `tel`'s registry and makes Forget also drop the tenant's telemetry
+  // series/spans. Null detaches. Not thread-safe against concurrent Admit;
+  // call before the ledger is shared (the supervisor does it at startup).
+  void SetTelemetry(Telemetry* tel);
 
   // Replaces the tenant's budget. Usage already accrued is kept: a tenant
   // over a newly lowered budget is simply no longer admitted.
@@ -135,6 +147,10 @@ class TenantLedger {
 
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
+
+  Telemetry* tel_ = nullptr;
+  // Denial counters indexed by Verdict (kAdmit's slot stays unused/null).
+  metrics::Counter* c_denied_[4] = {nullptr};
 };
 
 }  // namespace host

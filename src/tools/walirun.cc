@@ -41,6 +41,17 @@
 //                    resume when the op completes, so sleeping guests do
 //                    not hold worker threads. Serve reports parks, peak
 //                    in-flight, and blocked-time aggregates
+//   --metrics-dump P write the telemetry registry to P after the run:
+//                    Prometheus text exposition by default, or the JSON
+//                    snapshot when P ends in .json. Works in both serve
+//                    and single-run modes
+//   --trace-out P    write the run's trace spans to P as chrome://tracing
+//                    JSON (open in Perfetto). Spans are recorded by the
+//                    supervisor, so single-run traces are empty
+//   --log-level L    off | error (default) | info | debug. Serve-mode
+//                    telemetry lines (periodic stats, resume-queue
+//                    latency, hot functions) log at info, so default
+//                    output is unchanged; same scale as WALI_LOG=0..3
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -54,8 +65,10 @@
 #include <string>
 #include <vector>
 
+#include "src/common/logging.h"
 #include "src/common/time_util.h"
 #include "src/host/host.h"
+#include "src/host/telemetry.h"
 #include "src/wali/wali.h"
 #include "src/wasm/wasm.h"
 
@@ -69,6 +82,9 @@ int Usage() {
                "               [--serve N [--repeat K] [--queue-depth D]\n"
                "                [--tenant-budget fuel=N,cpu_ms=N,syscalls=N,"
                "mem_pages=N]]\n"
+               "               [--metrics-dump out.prom|out.json]"
+               " [--trace-out trace.json]\n"
+               "               [--log-level off|error|info|debug]\n"
                "               <prog.wat|prog.wasm> [args...]\n");
   return 2;
 }
@@ -105,6 +121,27 @@ bool ParseTenantBudget(const std::string& spec, host::TenantBudget* out) {
   return true;
 }
 
+// --metrics-dump / --trace-out, shared by serve and single-run modes.
+// Metrics format follows the extension: .json = snapshot JSON, anything
+// else = Prometheus text exposition.
+void DumpTelemetry(host::Telemetry& tel, const std::string& metrics_dump,
+                   const std::string& trace_out) {
+  if (!metrics_dump.empty()) {
+    const bool json =
+        metrics_dump.size() >= 5 &&
+        metrics_dump.compare(metrics_dump.size() - 5, 5, ".json") == 0;
+    if (!host::Telemetry::WriteFile(
+            metrics_dump, json ? tel.JsonText() : tel.PrometheusText())) {
+      std::fprintf(stderr, "walirun: cannot write %s\n", metrics_dump.c_str());
+    }
+  }
+  if (!trace_out.empty()) {
+    if (!host::Telemetry::WriteFile(trace_out, tel.ChromeTraceJson())) {
+      std::fprintf(stderr, "walirun: cannot write %s\n", trace_out.c_str());
+    }
+  }
+}
+
 }  // namespace
 
 // Multi-tenant serving mode: N*K runs of the guest on the supervisor, with
@@ -115,15 +152,18 @@ bool ParseTenantBudget(const std::string& spec, host::TenantBudget* out) {
 int Serve(wali::WaliRuntime& runtime, std::shared_ptr<const wasm::Module> module,
           const std::vector<std::string>& guest_argv,
           const std::vector<std::string>& env, int workers, int repeat,
-          int queue_depth, const host::TenantBudget& budget, bool async_io) {
+          int queue_depth, const host::TenantBudget& budget, bool async_io,
+          host::Telemetry* tel) {
   const char* kTenant = "serve";
   host::Supervisor::Options sopts;
   sopts.workers = static_cast<size_t>(workers);
   sopts.queue_depth = static_cast<size_t>(queue_depth);
   sopts.pool.max_idle_per_module = static_cast<size_t>(workers);
+  sopts.telemetry = tel;
   std::unique_ptr<host::IoReactor> reactor;
   if (async_io) {
     reactor = std::make_unique<host::IoReactor>();
+    reactor->SetTelemetry(tel);
     sopts.io_backend = reactor.get();
   }
   host::Supervisor sup(&runtime, sopts);
@@ -163,6 +203,10 @@ int Serve(wali::WaliRuntime& runtime, std::shared_ptr<const wasm::Module> module
   int64_t blocked_total = 0, blocked_max = 0;
   std::vector<int64_t> queue_lat;
   queue_lat.reserve(static_cast<size_t>(total));
+  std::vector<int64_t> resume_lat;  // only runs that parked at least once
+  // Periodic progress at info level (default log level hides it, keeping
+  // serve output byte-identical unless --log-level info is given).
+  int64_t last_stats = common::MonotonicNanos();
   auto consume = [&](host::RunReport r) {
     ++outcome_histogram[r.outcome];
     if (r.completed()) {
@@ -180,6 +224,15 @@ int Serve(wali::WaliRuntime& runtime, std::shared_ptr<const wasm::Module> module
     blocked_total += r.blocked_nanos;
     if (r.blocked_nanos > blocked_max) blocked_max = r.blocked_nanos;
     if (r.dispatch_seq != 0) queue_lat.push_back(r.queue_nanos);
+    if (r.resume_queue_nanos > 0) resume_lat.push_back(r.resume_queue_nanos);
+    const int64_t now = common::MonotonicNanos();
+    if (now - last_stats >= 1000000000) {
+      last_stats = now;
+      LOG_INFO() << "serve: stats " << (completed + failed) << " done, "
+                 << completed << " completed, " << failed << " failed, "
+                 << syscalls << " syscalls, blocked "
+                 << blocked_total / 1000000 << " ms";
+    }
   };
 
   auto make_job = [&](int k) {
@@ -256,6 +309,26 @@ int Serve(wali::WaliRuntime& runtime, std::shared_ptr<const wasm::Module> module
         static_cast<unsigned long long>(io.peak_in_flight),
         blocked_total / 1e6, blocked_max / 1e6);
   }
+  // Resume-queue latency (I/O completion -> re-dispatch): tail here means
+  // workers are saturated with runnable guests, not that I/O is slow.
+  std::sort(resume_lat.begin(), resume_lat.end());
+  if (!resume_lat.empty()) {
+    LOG_INFO() << "serve: resume-queue latency p50 "
+               << resume_lat[resume_lat.size() / 2] / 1000 << " us  p99 "
+               << resume_lat[static_cast<size_t>(0.99 * (resume_lat.size() - 1))] /
+                      1000
+               << " us over " << resume_lat.size() << " parked runs";
+  }
+  // Interpreter hot-function profile (top 10 by frame entries).
+  if (tel != nullptr && common::LogEnabled(common::LogLevel::kInfo)) {
+    host::Telemetry::Snapshot snap = tel->TakeSnapshot();
+    size_t shown = 0;
+    for (const host::Telemetry::HotFunction& hf : snap.hot_functions) {
+      if (++shown > 10) break;
+      LOG_INFO() << "serve: hot " << hf.module << ":" << hf.func
+                 << " entries=" << hf.entries << " fuel=" << hf.fuel;
+    }
+  }
   host::TenantUsage usage = sup.ledger().usage(kTenant);
   std::printf(
       "ledger[%s]: runs=%llu fuel=%llu cpu_ms=%.1f syscalls=%llu "
@@ -287,6 +360,8 @@ int Serve(wali::WaliRuntime& runtime, std::shared_ptr<const wasm::Module> module
 int main(int argc, char** argv) {
   std::vector<std::string> env;
   std::string compile_out;
+  std::string metrics_dump;
+  std::string trace_out;
   bool trace = false;
   int serve_workers = 0;
   int serve_repeat = 1;
@@ -333,6 +408,17 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--compile" && i + 1 < argc) {
       compile_out = argv[++i];
+    } else if (arg == "--metrics-dump" && i + 1 < argc) {
+      metrics_dump = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (arg == "--log-level" && i + 1 < argc) {
+      std::string s = argv[++i];
+      if (s == "off") common::SetLogLevel(common::LogLevel::kOff);
+      else if (s == "error") common::SetLogLevel(common::LogLevel::kError);
+      else if (s == "info") common::SetLogLevel(common::LogLevel::kInfo);
+      else if (s == "debug") common::SetLogLevel(common::LogLevel::kDebug);
+      else return Usage();
     } else if (arg == "--trace") {
       trace = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -346,9 +432,14 @@ int main(int argc, char** argv) {
   }
 
   std::string path = argv[i];
+  // Process-wide telemetry sink: the module cache folds fusion stats into it
+  // at decode, serve mode records spans and per-run metrics through it, and
+  // --metrics-dump/--trace-out export it at exit.
+  host::Telemetry& tel = host::Telemetry::Global();
   // Single front end for .wat/.wasm detection, decode, and validation — the
   // same layer serve mode instantiates from.
   host::ModuleCache cache(/*capacity=*/1);
+  cache.SetTelemetry(&tel);
   common::StatusOr<std::shared_ptr<const wasm::Module>> parsed =
       cache.LoadFile(path);
   if (!parsed.ok()) {
@@ -379,8 +470,10 @@ int main(int argc, char** argv) {
   wali::WaliRuntime runtime(&linker, opts);
 
   if (serve_workers > 0) {
-    return Serve(runtime, *parsed, guest_argv, env, serve_workers, serve_repeat,
-                 queue_depth, budget, async_io);
+    int rc = Serve(runtime, *parsed, guest_argv, env, serve_workers,
+                   serve_repeat, queue_depth, budget, async_io, &tel);
+    DumpTelemetry(tel, metrics_dump, trace_out);
+    return rc;
   }
 
   auto proc = runtime.CreateProcess(*parsed, guest_argv, env);
@@ -404,6 +497,10 @@ int main(int argc, char** argv) {
                  (*proc)->trace.wali_nanos() / 1e6,
                  (*proc)->trace.kernel_nanos() / 1e6);
   }
+
+  // Single-run exports: the registry holds the decode-time fusion counters;
+  // spans need the supervisor, so a single-run trace file is empty.
+  DumpTelemetry(tel, metrics_dump, trace_out);
 
   if (r.trap == wasm::TrapKind::kExit) {
     return r.exit_code;

@@ -101,6 +101,11 @@ struct ExecOptions {
   // complete synchronously. One slot per invocation; re-entrant invocations
   // (signal handlers, guest threads) must clear it.
   Suspension* suspend_to = nullptr;
+  // Frame-entry profiling: bump Module::func_profile slots (entries, and
+  // entry-sampled fuel attribution) on every wasm frame push. Only honored
+  // in HOST_TELEMETRY builds; costs one predicted-not-taken branch per call
+  // when off.
+  bool profile = false;
 };
 
 // The dispatch loop that would actually run for `opts` in this build

@@ -140,6 +140,42 @@ inline uint64_t AluI64(Op op, uint64_t ra, uint64_t rb) {
   }
 }
 
+#if defined(HOST_TELEMETRY)
+// Frame-entry profiling hook (ExecOptions::profile): bumps the callee's
+// entry count and attributes the fuel burned since the last frame entry to
+// the function that was executing. `executed_now` must be the caller's
+// CURRENT executed count — the threaded loop passes its local accumulator,
+// which is ahead of ctx.executed between SYNC_STATE points.
+inline void ProfileFrameEntry(ExecContext& ctx, const FuncRef& ref,
+                              uint64_t executed_now) {
+  const Module& m = ref.owner->module();
+  FuncProfileSlot* slots = m.func_profile.get();
+  if (slots == nullptr) {
+    return;
+  }
+  FuncProfileSlot& slot = slots[static_cast<size_t>(ref.code - m.functions.data())];
+  if (&slot == ctx.profile_slot) {
+    // Re-entering the function already being attributed (self-recursion,
+    // the call-dense hot case): context-local arithmetic only.
+    ctx.profile_pending_entries += 1;
+    ctx.profile_pending_fuel += executed_now - ctx.profile_mark;
+    ctx.profile_mark = executed_now;
+    return;
+  }
+  if (ctx.profile_slot != nullptr) {
+    ctx.profile_slot->entries.fetch_add(ctx.profile_pending_entries,
+                                        std::memory_order_relaxed);
+    ctx.profile_slot->fuel.fetch_add(
+        ctx.profile_pending_fuel + (executed_now - ctx.profile_mark),
+        std::memory_order_relaxed);
+  }
+  ctx.profile_slot = &slot;
+  ctx.profile_pending_entries = 1;
+  ctx.profile_pending_fuel = 0;
+  ctx.profile_mark = executed_now;
+}
+#endif
+
 // Pushes a new wasm frame; arguments must already be on the stack.
 // The frame binds the execution stream: the prepared (fused, block-metadata)
 // form by default, the original decoded stream under kEveryInstr so that
@@ -177,6 +213,11 @@ bool PushFrame(ExecContext& ctx, const FuncRef& ref) {
   fr.stack_base = static_cast<uint32_t>(ctx.stack.size());
   fr.mem = ref.owner->memory(0).get();
   ctx.frames.push_back(fr);
+#if defined(HOST_TELEMETRY)
+  if (__builtin_expect(ctx.opts.profile, 0)) {
+    ProfileFrameEntry(ctx, ref, ctx.executed);
+  }
+#endif
   return true;
 }
 
@@ -298,6 +339,21 @@ namespace {
 // Marshals a finished (non-suspended) context into a RunResult. Result
 // values are read from the operand-stack top when the run completed.
 RunResult HarvestResult(ExecContext& ctx, const FuncType* type, TrapKind t) {
+#if defined(HOST_TELEMETRY)
+  // Flush the open profile attribution window so per-function entries and
+  // fuel sum to the run's true totals for a finished run.
+  if (ctx.profile_slot != nullptr) {
+    ctx.profile_slot->entries.fetch_add(ctx.profile_pending_entries,
+                                        std::memory_order_relaxed);
+    ctx.profile_slot->fuel.fetch_add(
+        ctx.profile_pending_fuel + (ctx.executed - ctx.profile_mark),
+        std::memory_order_relaxed);
+    ctx.profile_slot = nullptr;
+    ctx.profile_pending_entries = 0;
+    ctx.profile_pending_fuel = 0;
+    ctx.profile_mark = ctx.executed;
+  }
+#endif
   RunResult result;
   result.trap = t;
   result.trap_message = ctx.trap_msg;

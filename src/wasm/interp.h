@@ -5,6 +5,7 @@
 #ifndef SRC_WASM_INTERP_H_
 #define SRC_WASM_INTERP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -56,6 +57,19 @@ class ExecContext {
   // many operand-stack slots ResumeInvoke must materialize before the
   // interpreter continues past the call site.
   uint32_t pending_host_results = 0;
+  // Frame-entry profiling state (ExecOptions::profile): the slot of the
+  // function currently being attributed, the value of `executed` at which
+  // attribution last advanced, and entry/fuel counts owed to that slot but
+  // not yet flushed to its shared atomics. Fuel between marks is charged to
+  // the function whose frame was most recently entered (entry-sampled —
+  // returns do not switch attribution back, keeping the hook off the return
+  // path). Batching matters: self-recursion re-enters the same slot, so the
+  // hot path is pure context-local arithmetic; the atomics are touched only
+  // when attribution moves to a different function (and at harvest).
+  FuncProfileSlot* profile_slot = nullptr;
+  uint64_t profile_mark = 0;
+  uint64_t profile_pending_entries = 0;
+  uint64_t profile_pending_fuel = 0;
 
   Instance* current_instance() {
     return frames.empty() ? root : frames.back().inst;

@@ -4,6 +4,7 @@
 #ifndef SRC_WASM_MODULE_H_
 #define SRC_WASM_MODULE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -109,6 +110,15 @@ struct PrepareStats {
   uint32_t per_op[kNumInternalOps] = {0};
 };
 
+// Per-function profile counters (host telemetry's tier-up signal). Indexed
+// like Module::functions; written by the interpreter's frame-entry hooks
+// with relaxed atomics, so concurrent instances of one module accumulate
+// into the same slots without tearing.
+struct FuncProfileSlot {
+  std::atomic<uint64_t> entries{0};
+  std::atomic<uint64_t> fuel{0};  // source instrs attributed to this function
+};
+
 struct Function {
   uint32_t type_index = 0;
   std::vector<ValType> locals;  // non-param locals
@@ -201,6 +211,11 @@ struct Module {
   // Fusion statistics from the last PrepareModule / Validate run over this
   // module (per-superinstruction emission counts for perf attribution).
   PrepareStats prepare_stats;
+
+  // Profile slots, one per local function; allocated by PrepareModule.
+  // shared_ptr (not unique_ptr) keeps Module copyable: copies of a module
+  // share one profile, which is what the telemetry consumer wants anyway.
+  std::shared_ptr<FuncProfileSlot[]> func_profile;
 
   // Import-space counts (imports precede local definitions in index spaces).
   uint32_t num_imported_funcs = 0;

@@ -421,6 +421,12 @@ PrepareStats PrepareModule(Module& module, const PrepareOptions& opts) {
   for (Function& fn : module.functions) {
     PrepareFunction(fn, full, &stats);
   }
+  // Profile slots survive re-prepares: counts accumulated so far stay
+  // attributed to the same function indices, which a re-prepare never moves.
+  if (!module.functions.empty() && module.func_profile == nullptr) {
+    module.func_profile = std::shared_ptr<FuncProfileSlot[]>(
+        new FuncProfileSlot[module.functions.size()]());
+  }
   module.prepare_stats = stats;
   return stats;
 }

@@ -669,6 +669,12 @@ common::Status Validate(Module& module) {
     PrepareFunction(f, popts, &pstats);
   }
   module.prepare_stats = pstats;
+  // Profile slots survive re-prepares: counts accumulated so far stay
+  // attributed to the same function indices, which a re-prepare never moves.
+  if (!module.functions.empty() && module.func_profile == nullptr) {
+    module.func_profile = std::shared_ptr<FuncProfileSlot[]>(
+        new FuncProfileSlot[module.functions.size()]());
+  }
 
   module.validated = true;
   return common::OkStatus();
