@@ -1,0 +1,29 @@
+;; Sleeping serve-mode guest for the async-offload + snapshot-eviction path:
+;; a 5ms nanosleep parks the guest off-worker (--async-io), where
+;; --evict-parked can serialize it out of its pool slab entirely; the restore
+;; path rehydrates it when the sleep elapses. Exits 9 like serve_guest.wat so
+;; the exit histogram is easy to eyeball:
+;;
+;;   walirun --serve 8 --repeat 25 --async-io --evict-parked \
+;;       examples/serve_sleep_guest.wat
+(module
+  (import "wali" "SYS_getpid" (func $getpid (result i64)))
+  (import "wali" "SYS_nanosleep" (func $nanosleep (param i64 i64) (result i64)))
+  (import "wali" "SYS_exit" (func $exit (param i64) (result i64)))
+  (memory 2)
+  (func (export "main") (result i32)
+    (local $i i32)
+    (drop (call $getpid))
+    ;; timespec at 512: 0 s, 5'000'000 ns
+    (i64.store (i32.const 512) (i64.const 0))
+    (i64.store (i32.const 520) (i64.const 5000000))
+    (drop (call $nanosleep (i64.const 512) (i64.const 0)))
+    (block $done
+      (loop $spin
+        (br_if $done (i32.ge_u (local.get $i) (i32.const 2000)))
+        (i32.store (i32.add (i32.const 1024) (i32.and (local.get $i) (i32.const 1023)))
+                   (local.get $i))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $spin)))
+    (drop (call $exit (i64.const 9)))
+    (i32.const 0)))

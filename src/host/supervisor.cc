@@ -1,6 +1,10 @@
 #include "src/host/supervisor.h"
 
+#include <cstdio>
+#include <fstream>
+
 #include "src/common/time_util.h"
+#include "src/wali/process_snapshot.h"
 #include "src/wali/trace.h"
 
 namespace host {
@@ -12,6 +16,7 @@ Supervisor::Supervisor(wali::WaliRuntime* runtime, const Options& options)
       queue_depth_(options.queue_depth),
       dispatch_(options.dispatch),
       io_(options.io_backend),
+      evict_dir_(options.evict_dir),
       paused_(options.start_paused) {
 #if defined(HOST_TELEMETRY)
   tel_ = options.telemetry;
@@ -29,6 +34,9 @@ Supervisor::Supervisor(wali::WaliRuntime* runtime, const Options& options)
     h_run_wall_ = reg.GetHistogram("supervisor_run_wall_nanos");
     h_blocked_ = reg.GetHistogram("supervisor_blocked_nanos");
     h_resume_queue_ = reg.GetHistogram("supervisor_resume_queue_nanos");
+    c_evicts_ = reg.GetCounter("supervisor_evictions_total");
+    c_restores_ = reg.GetCounter("supervisor_restores_total");
+    g_evicted_now_ = reg.GetGauge("supervisor_evicted_now");
     ledger_.SetTelemetry(tel_);
     pool_.SetTelemetry(tel_);
   }
@@ -238,6 +246,11 @@ Supervisor::IoStats Supervisor::io_stats() const {
     std::lock_guard<std::mutex> lock(mu_);
     s.parked_now = parked_.size();
     s.ready_now = ready_.size();
+    for (const auto& [cookie, st] : parked_) {
+      if (st.evicted) {
+        ++s.evicted_now;
+      }
+    }
   }
   s.in_flight_now = in_flight_.load(std::memory_order_relaxed);
   s.peak_in_flight = peak_in_flight_.load(std::memory_order_relaxed);
@@ -247,7 +260,159 @@ Supervisor::IoStats Supervisor::io_stats() const {
   s.sheds_while_parked = sheds_while_parked_.load(std::memory_order_relaxed);
   s.budget_stops_while_parked =
       budget_stops_while_parked_.load(std::memory_order_relaxed);
+  s.evicts_total = evicts_total_.load(std::memory_order_relaxed);
+  s.restores_total = restores_total_.load(std::memory_order_relaxed);
   return s;
+}
+
+std::vector<uint64_t> Supervisor::parked_cookies() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> cookies;
+  cookies.reserve(parked_.size());
+  for (const auto& [cookie, st] : parked_) {
+    cookies.push_back(cookie);  // map order == cookie order == park order
+  }
+  return cookies;
+}
+
+common::Status Supervisor::EvictParked(uint64_t cookie) {
+  // Everything happens under mu_: the completion handler also takes mu_ to
+  // move an entry to ready_, so a completion that races this evict either
+  // takes the run before we start (NotFound here) or finds it already
+  // serialized (ResumeOne restores it). Snapshot cost under the lock is the
+  // guest's resident pages — acceptable for a pressure-relief path that
+  // runs when workers are starved for memory, not for time.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = parked_.find(cookie);
+  if (it == parked_.end()) {
+    return common::NotFound("evict: cookie is not parked");
+  }
+  RunState& st = it->second;
+  if (st.evicted) {
+    return common::AlreadyExists("evict: run is already evicted");
+  }
+  if (st.retry != nullptr) {
+    return common::Unimplemented(
+        "evict: parked op resumes through a live retry closure");
+  }
+  if (!st.cont.armed()) {
+    return common::FailedPrecondition("evict: no armed continuation");
+  }
+  wali::WaliProcess& proc = *st.lease;
+  // The real resume closure lives in st.retry (moved out at park); the
+  // process-side slot is moved-from, so pin it to a definite null before
+  // the eligibility checks inside SnapshotProcess look at it.
+  proc.pending_io.retry = nullptr;
+  common::StatusOr<std::vector<uint8_t>> snap =
+      wali::SnapshotProcess(proc, st.cont);
+  if (!snap.ok()) {
+    return snap.status();
+  }
+  if (!evict_dir_.empty()) {
+    std::string path =
+        evict_dir_ + "/evict-" + std::to_string(cookie) + ".snap";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(snap->data()),
+              static_cast<std::streamsize>(snap->size()));
+    if (!out.good()) {
+      return common::Internal("evict: cannot write " + path);
+    }
+    st.evicted_path = std::move(path);
+  } else {
+    st.evicted_snapshot = std::move(*snap);
+  }
+  // RunOne moved the job's argv/env into the lease; stash them for the
+  // restore-time Acquire before the process goes back to the pool.
+  st.saved_argv = proc.argv;
+  st.saved_env = proc.env;
+  st.cont.Discard();
+  proc.pending_io.Reset();
+  st.lease.Release();  // the slab (the actual memory pressure) goes here
+  st.evicted = true;
+  evicts_total_.fetch_add(1, std::memory_order_relaxed);
+  if (tel_ != nullptr) {
+    tel_->Record(st.trun, SpanEvent::kEvict, clock_(),
+                 st.report.fuel_consumed);
+    c_evicts_->Inc();
+    g_evicted_now_->Add(1);
+  }
+  return common::OkStatus();
+}
+
+size_t Supervisor::EvictAllParked() {
+  size_t n = 0;
+  for (uint64_t cookie : parked_cookies()) {
+    if (EvictParked(cookie).ok()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool Supervisor::RestoreParked(RunState& st) {
+  std::vector<uint8_t> bytes = std::move(st.evicted_snapshot);
+  if (!st.evicted_path.empty()) {
+    std::ifstream in(st.evicted_path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+    if (bytes.empty()) {
+      std::string msg = "restore: cannot read " + st.evicted_path;
+      FinishEvictedUnrestorable(std::move(st), std::move(msg));
+      return false;
+    }
+    std::remove(st.evicted_path.c_str());
+  }
+  common::StatusOr<InstancePool::Lease> lease = pool_.Acquire(
+      st.job.module, std::move(st.saved_argv), std::move(st.saved_env));
+  if (!lease.ok()) {
+    FinishEvictedUnrestorable(std::move(st),
+                              "restore: " + lease.status().ToString());
+    return false;
+  }
+  st.lease = std::move(*lease);
+  wali::WaliProcess& proc = *st.lease;
+  common::Status restored =
+      wali::RestoreProcess(bytes.data(), bytes.size(), proc, st.cont);
+  if (!restored.ok()) {
+    // The fresh lease goes back clean; the run itself is unrecoverable (its
+    // only state was the snapshot that just failed to decode).
+    st.lease.Release();
+    FinishEvictedUnrestorable(std::move(st),
+                              "restore: " + restored.ToString());
+    return false;
+  }
+  proc.policy = st.job.policy;
+  st.evicted = false;
+  st.evicted_path.clear();
+  restores_total_.fetch_add(1, std::memory_order_relaxed);
+  if (tel_ != nullptr) {
+    tel_->Record(st.trun, SpanEvent::kRestore, clock_(),
+                 st.report.fuel_consumed);
+    c_restores_->Inc();
+    g_evicted_now_->Sub(1);
+  }
+  return true;
+}
+
+void Supervisor::FinishEvictedUnrestorable(RunState st, std::string message) {
+  RunReport& report = st.report;
+  report.outcome = Outcome::kTrapped;
+  report.trap = wasm::TrapKind::kHostError;
+  report.trap_message = std::move(message);
+  // The park already settled everything the guest consumed (st.reserved is
+  // empty off-worker), so the ledger only records the run and the host
+  // error — nothing is re-billed, nothing is lost.
+  ledger_.SettleSlices(st.job.tenant, st.reserved, TenantUsage{});
+  TenantUsage delta;
+  delta.runs = 1;
+  delta.host_errors = 1;
+  ledger_.Charge(st.job.tenant, delta);
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  if (tel_ != nullptr) {
+    g_evicted_now_->Sub(1);
+  }
+  EndRunTel(st.trun, Outcome::kTrapped, report.fuel_consumed);
+  st.done.set_value(std::move(report));
 }
 
 bool Supervisor::PopLocked(Task* out, std::vector<Task>* shed) {
@@ -552,6 +717,12 @@ void Supervisor::ParkRun(RunState st) {
 void Supervisor::ResumeOne(ReadyEntry entry) {
   RunState st = std::move(entry.st);
   const IoCompletion& c = entry.completion;
+  // An evicted run exists only as snapshot bytes: rehydrate it into a fresh
+  // slot before anything touches the process. Recorded before kResume so
+  // the trace reads park -> evict -> io_complete -> restore -> resume.
+  if (st.evicted && !RestoreParked(st)) {
+    return;  // resolved as kTrapped/kHostError by the restore path
+  }
   wali::WaliProcess& proc = *st.lease;
   RunReport& report = st.report;
   const int64_t resume_now = clock_();
@@ -727,6 +898,33 @@ void Supervisor::FinishRun(RunState st, const wasm::RunResult& r) {
 
 void Supervisor::FinishAbandoned(RunState st, Outcome outcome,
                                  std::string message) {
+  if (st.evicted) {
+    // No lease to disarm and no live process to harvest: drop the snapshot
+    // bytes (the park that preceded the evict already settled consumption).
+    if (!st.evicted_path.empty()) {
+      std::remove(st.evicted_path.c_str());
+    }
+    RunReport& report = st.report;
+    report.outcome = outcome;
+    report.trap = wasm::TrapKind::kHostError;
+    report.trap_message = std::move(message);
+    ledger_.SettleSlices(st.job.tenant, st.reserved, TenantUsage{});
+    TenantUsage delta;
+    delta.runs = 1;
+    if (outcome == Outcome::kShed) {
+      delta.shed = 1;
+    } else if (outcome == Outcome::kBudget) {
+      delta.budget_stops = 1;
+    }
+    ledger_.Charge(st.job.tenant, delta);
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    if (tel_ != nullptr) {
+      g_evicted_now_->Sub(1);
+    }
+    EndRunTel(st.trun, outcome, report.fuel_consumed);
+    st.done.set_value(std::move(report));
+    return;
+  }
   wali::WaliProcess& proc = *st.lease;
   RunReport& report = st.report;
   proc.cpu_deadline_nanos.store(0, std::memory_order_release);

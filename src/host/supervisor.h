@@ -156,6 +156,11 @@ class Supervisor {
     // interpreter frame-entry profiling. Borrowed; must outlive Shutdown.
     // Ignored (forced null) when the build has HOST_TELEMETRY off.
     Telemetry* telemetry = nullptr;
+    // Where EvictParked writes snapshots ("evict-<cookie>.snap"). Empty
+    // (default) keeps the serialized blob in memory — the slab is still
+    // released, which is most of a parked guest's footprint; a directory
+    // moves even the blob out of the process.
+    std::string evict_dir;
     InstancePool::Options pool;
   };
 
@@ -213,8 +218,40 @@ class Supervisor {
     uint64_t orphan_completions = 0;
     uint64_t sheds_while_parked = 0;
     uint64_t budget_stops_while_parked = 0;
+    // Snapshot/restore lifecycle (EvictParked / the ResumeOne restore).
+    size_t evicted_now = 0;
+    uint64_t evicts_total = 0;
+    uint64_t restores_total = 0;
   };
   IoStats io_stats() const;
+
+  // ---- snapshot eviction (memory pressure on the parked set) ----
+  //
+  // A parked guest holds a pool lease: its linear-memory slab, instance,
+  // and suspended interpreter stack stay resident for the whole blocking
+  // syscall. EvictParked serializes that state (wali::SnapshotProcess) and
+  // releases the lease; the entry stays in `parked_` under its cookie, so
+  // the backend completion path is oblivious — when the op completes, the
+  // worker that picks the run up restores it into a freshly leased slot
+  // before resuming. Billing is untouched: the park already settled
+  // consumed-so-far and released the reservation, so an evict/restore
+  // cycle adds zero ledger events.
+  //
+  // Only pure-data parks are evictable: an op whose resume path captured a
+  // live retry closure (reads/writes re-issued on the worker) refuses with
+  // Unimplemented, and the guest simply stays resident.
+
+  // Cookies of currently parked runs, oldest first (for pressure policies:
+  // evict the longest-parked first).
+  std::vector<uint64_t> parked_cookies() const;
+  // Evicts one parked run by cookie. NotFound if the cookie is not parked
+  // (already completed, restored, or never existed); FailedPrecondition /
+  // Unimplemented if the park is not serializable; otherwise the snapshot
+  // error. On success the run's lease is released (and the blob written to
+  // Options::evict_dir when set).
+  common::Status EvictParked(uint64_t cookie);
+  // Evicts every eligible parked run; returns how many were evicted.
+  size_t EvictAllParked();
 
   // Drops every trace of a tenant: queued jobs are rejected (their futures
   // resolve with Outcome::kRejected), the scheduler ring entry is removed,
@@ -259,6 +296,16 @@ class Supervisor {
     // syscall's own timeout elapsed".
     bool timeout_is_shed = false;
     Telemetry::RunHandle trun;  // span handle; invalid when telemetry is off
+    // Snapshot eviction (EvictParked): when set, the lease has been
+    // released and the run lives only as serialized bytes — in
+    // `evicted_snapshot`, or on disk at `evicted_path` when the supervisor
+    // has an evict_dir. argv/env are stashed for the restore-time lease
+    // (RunOne moved the job's copies into the original lease).
+    bool evicted = false;
+    std::vector<uint8_t> evicted_snapshot;
+    std::string evicted_path;
+    std::vector<std::string> saved_argv;
+    std::vector<std::string> saved_env;
   };
 
   struct ReadyEntry {
@@ -301,7 +348,15 @@ class Supervisor {
   void FinishRun(RunState st, const wasm::RunResult& r);
   // Abandons a dispatched run mid-park (shed / budget / shutdown): settles
   // partial consumption, discards the suspension, resolves the promise.
+  // Handles evicted runs (no lease): the snapshot bytes are simply dropped.
   void FinishAbandoned(RunState st, Outcome outcome, std::string message);
+  // Rehydrates an evicted run into a freshly leased slot (called by
+  // ResumeOne before the normal resume flow). On failure the run is
+  // resolved as kTrapped/kHostError and false is returned.
+  bool RestoreParked(RunState& st);
+  // Resolves an evicted run that cannot be restored (no lease to settle
+  // against; ledger sees only runs += 1, host_errors += 1).
+  void FinishEvictedUnrestorable(RunState st, std::string message);
   // Report for a job that never ran (shed / rejected / budget-refused).
   RunReport ControlReport(const GuestJob& job, Outcome outcome,
                           std::string message) const;
@@ -316,6 +371,7 @@ class Supervisor {
   size_t queue_depth_;
   wasm::DispatchMode dispatch_;
   IoBackend* io_;
+  std::string evict_dir_;
   std::atomic<uint64_t> dispatch_seq_{0};
 
   // Telemetry wiring, resolved once at construction (null series handles
@@ -328,6 +384,9 @@ class Supervisor {
   metrics::Histogram* h_run_wall_ = nullptr;
   metrics::Histogram* h_blocked_ = nullptr;
   metrics::Histogram* h_resume_queue_ = nullptr;
+  metrics::Counter* c_evicts_ = nullptr;
+  metrics::Counter* c_restores_ = nullptr;
+  metrics::Gauge* g_evicted_now_ = nullptr;
 
   // Async-offload counters (outside mu_: bumped on hot completion paths).
   std::atomic<uint64_t> in_flight_{0};
@@ -337,6 +396,8 @@ class Supervisor {
   std::atomic<uint64_t> orphan_completions_{0};
   std::atomic<uint64_t> sheds_while_parked_{0};
   std::atomic<uint64_t> budget_stops_while_parked_{0};
+  std::atomic<uint64_t> evicts_total_{0};
+  std::atomic<uint64_t> restores_total_{0};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -27,6 +27,8 @@ const char* SpanEventName(SpanEvent e) {
     case SpanEvent::kIoComplete: return "io_complete";
     case SpanEvent::kResume: return "resume";
     case SpanEvent::kFinish: return "finish";
+    case SpanEvent::kEvict: return "evict";
+    case SpanEvent::kRestore: return "restore";
   }
   return "<bad>";
 }
@@ -389,6 +391,11 @@ std::string Telemetry::ChromeTraceJson() const {
       case SpanEvent::kPark: phase = "run"; break;
       case SpanEvent::kIoComplete: phase = "blocked"; break;
       case SpanEvent::kResume: phase = "resume-wait"; break;
+      // Evict closes the in-memory parked phase; everything until the
+      // restore (which spans the remaining blocked time plus the decode)
+      // shows as "evicted".
+      case SpanEvent::kEvict: phase = "blocked"; break;
+      case SpanEvent::kRestore: phase = "evicted"; break;
       case SpanEvent::kFinish:
         // A run shed/rejected out of the queue finishes from kSubmit.
         phase = rc.last == SpanEvent::kSubmit ? "queued" : "run";

@@ -70,6 +70,8 @@ enum class SpanEvent : uint8_t {
   kIoComplete,  // the backend completed the parked op (ready, not running)
   kResume,      // a worker picked the completed run back up
   kFinish,      // terminal: outcome + total fuel
+  kEvict,       // parked state serialized + slab released (memory pressure)
+  kRestore,     // snapshot deserialized into a fresh slab before resume
 };
 
 const char* SpanEventName(SpanEvent e);

@@ -41,6 +41,13 @@
 //                    resume when the op completes, so sleeping guests do
 //                    not hold worker threads. Serve reports parks, peak
 //                    in-flight, and blocked-time aggregates
+//   --evict-parked   with --serve --async-io: a sweeper thread serializes
+//                    every snapshot-eligible parked guest to bytes
+//                    (Supervisor::EvictAllParked) and releases its pool
+//                    slab; completed I/O restores the guest into a fresh
+//                    slot. Exercises the whole evict/restore path under
+//                    real concurrency; the summary line and the metrics
+//                    dump report eviction/restore counts
 //   --metrics-dump P write the telemetry registry to P after the run:
 //                    Prometheus text exposition by default, or the JSON
 //                    snapshot when P ends in .json. Works in both serve
@@ -52,23 +59,43 @@
 //                    telemetry lines (periodic stats, resume-queue
 //                    latency, hot functions) log at info, so default
 //                    output is unchanged; same scale as WALI_LOG=0..3
+//   --snapshot-out P single-run mode: run the guest resumably; when it parks
+//                    in a blocking syscall whose state is pure data (e.g.
+//                    nanosleep), serialize the whole process — interpreter
+//                    suspension, globals, memory delta, fd table, signal
+//                    dispositions, syscall trace — to P and exit 0 (see
+//                    src/wasm/snapshot.h for the format). A guest that never
+//                    parks runs to its normal exit and no file is written;
+//                    a park that is not snapshotable (a read/write holding a
+//                    live resume closure) is completed in place instead
+//   --restore P      single-run mode: instead of starting the program at its
+//                    entry point, rebuild the process from the snapshot at P
+//                    (the module must be structurally identical to the one
+//                    snapshotted — same code, not just the same file name),
+//                    complete the parked op natively (a sleep sleeps out its
+//                    remaining time), and continue to the normal exit;
+//                    results are bit-identical to the never-parked run
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/logging.h"
 #include "src/common/time_util.h"
 #include "src/host/host.h"
 #include "src/host/telemetry.h"
+#include "src/wali/process_snapshot.h"
 #include "src/wali/wali.h"
 #include "src/wasm/wasm.h"
 
@@ -80,11 +107,13 @@ int Usage() {
                "               [--dispatch threaded|switch]\n"
                "               [--compile out.wasm] [--trace]\n"
                "               [--serve N [--repeat K] [--queue-depth D]\n"
+               "                [--async-io [--evict-parked]]\n"
                "                [--tenant-budget fuel=N,cpu_ms=N,syscalls=N,"
                "mem_pages=N]]\n"
                "               [--metrics-dump out.prom|out.json]"
                " [--trace-out trace.json]\n"
                "               [--log-level off|error|info|debug]\n"
+               "               [--snapshot-out snap] [--restore snap]\n"
                "               <prog.wat|prog.wasm> [args...]\n");
   return 2;
 }
@@ -153,7 +182,7 @@ int Serve(wali::WaliRuntime& runtime, std::shared_ptr<const wasm::Module> module
           const std::vector<std::string>& guest_argv,
           const std::vector<std::string>& env, int workers, int repeat,
           int queue_depth, const host::TenantBudget& budget, bool async_io,
-          host::Telemetry* tel) {
+          bool evict_parked, host::Telemetry* tel) {
   const char* kTenant = "serve";
   host::Supervisor::Options sopts;
   sopts.workers = static_cast<size_t>(workers);
@@ -169,6 +198,21 @@ int Serve(wali::WaliRuntime& runtime, std::shared_ptr<const wasm::Module> module
   host::Supervisor sup(&runtime, sopts);
   if (!budget.Unlimited()) {
     sup.ledger().SetBudget(kTenant, budget);
+  }
+
+  // Pressure-relief sweeper: every parked guest whose pending op is pure
+  // data gets serialized out of its pool slab; the restore path rehydrates
+  // it when its I/O completes. Polling at a millisecond cadence is plenty —
+  // eviction targets guests blocked for real durations, not micro-parks.
+  std::atomic<bool> serving{true};
+  std::thread evictor;
+  if (evict_parked && async_io) {
+    evictor = std::thread([&sup, &serving] {
+      while (serving.load(std::memory_order_acquire)) {
+        sup.EvictAllParked();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
   }
 
   // Active dispatch mode: what RunLoop actually resolves for these options.
@@ -279,6 +323,10 @@ int Serve(wali::WaliRuntime& runtime, std::shared_ptr<const wasm::Module> module
     in_flight.pop_front();
   }
   double secs = (common::MonotonicNanos() - t0) / 1e9;
+  serving.store(false, std::memory_order_release);
+  if (evictor.joinable()) {
+    evictor.join();
+  }
 
   std::printf("serve: %d workers x %d runs = %d guests in %.3f s (%.0f guests/s)\n",
               workers, repeat, total, secs, secs > 0 ? total / secs : 0.0);
@@ -308,6 +356,11 @@ int Serve(wali::WaliRuntime& runtime, std::shared_ptr<const wasm::Module> module
         static_cast<unsigned long long>(io.resumes_total),
         static_cast<unsigned long long>(io.peak_in_flight),
         blocked_total / 1e6, blocked_max / 1e6);
+    if (evict_parked) {
+      std::printf("serve: evictions=%llu restores=%llu\n",
+                  static_cast<unsigned long long>(io.evicts_total),
+                  static_cast<unsigned long long>(io.restores_total));
+    }
   }
   // Resume-queue latency (I/O completion -> re-dispatch): tail here means
   // workers are saturated with runnable guests, not that I/O is slow.
@@ -362,11 +415,14 @@ int main(int argc, char** argv) {
   std::string compile_out;
   std::string metrics_dump;
   std::string trace_out;
+  std::string snapshot_out;
+  std::string restore_in;
   bool trace = false;
   int serve_workers = 0;
   int serve_repeat = 1;
   int queue_depth = 0;
   bool async_io = false;
+  bool evict_parked = false;
   host::TenantBudget budget;
   wasm::SafepointScheme scheme = wasm::SafepointScheme::kLoop;
   wasm::DispatchMode dispatch = wasm::DispatchMode::kAuto;
@@ -387,6 +443,8 @@ int main(int argc, char** argv) {
       if (queue_depth <= 0) return Usage();
     } else if (arg == "--async-io") {
       async_io = true;
+    } else if (arg == "--evict-parked") {
+      evict_parked = true;
     } else if (arg == "--tenant-budget" && i + 1 < argc) {
       if (!ParseTenantBudget(argv[++i], &budget)) return Usage();
     } else if (arg == "--scheme" && i + 1 < argc) {
@@ -412,6 +470,10 @@ int main(int argc, char** argv) {
       metrics_dump = argv[++i];
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (arg == "--snapshot-out" && i + 1 < argc) {
+      snapshot_out = argv[++i];
+    } else if (arg == "--restore" && i + 1 < argc) {
+      restore_in = argv[++i];
     } else if (arg == "--log-level" && i + 1 < argc) {
       std::string s = argv[++i];
       if (s == "off") common::SetLogLevel(common::LogLevel::kOff);
@@ -471,7 +533,8 @@ int main(int argc, char** argv) {
 
   if (serve_workers > 0) {
     int rc = Serve(runtime, *parsed, guest_argv, env, serve_workers,
-                   serve_repeat, queue_depth, budget, async_io, &tel);
+                   serve_repeat, queue_depth, budget, async_io, evict_parked,
+                   &tel);
     DumpTelemetry(tel, metrics_dump, trace_out);
     return rc;
   }
@@ -481,7 +544,88 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "walirun: %s\n", proc.status().ToString().c_str());
     return 1;
   }
-  wasm::RunResult r = runtime.RunMain(**proc);
+
+  // Completes the op a resumable run parked on, on this thread: a sleep
+  // sleeps out natively; anything with a retry closure just performs the
+  // (now allowed to block) syscall. Returns the syscall result for
+  // ResumeMain. Must run BEFORE ResumeMain, which resets pending_io.
+  auto complete_parked = [](wali::WaliProcess& p) -> int64_t {
+    wali::PendingIo& pio = p.pending_io;
+    if (pio.op.kind == wali::IoOp::Kind::kScripted) {
+      return pio.op.scripted_result;  // syscall already ran; result is known
+    }
+    if (pio.op.kind == wali::IoOp::Kind::kSleep && pio.op.sleep_nanos > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(pio.op.sleep_nanos));
+    }
+    std::function<int64_t()> retry = std::move(pio.retry);
+    pio.retry = nullptr;
+    return retry ? retry() : 0;
+  };
+
+  wasm::RunResult r;
+  if (!restore_in.empty()) {
+    std::ifstream in(restore_in, std::ios::binary);
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    if (bytes.empty()) {
+      std::fprintf(stderr, "walirun: cannot read snapshot %s\n",
+                   restore_in.c_str());
+      return 1;
+    }
+    wali::WaliRuntime::MainContinuation cont;
+    wali::IoOp parked_op;
+    common::Status restored = wali::RestoreProcess(
+        bytes.data(), bytes.size(), **proc, cont, &parked_op);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "walirun: %s\n", restored.ToString().c_str());
+      return 1;
+    }
+    // The snapshotted run was parked on this op; finish it before resuming
+    // (pure-data ops only — that is what made the snapshot eligible).
+    int64_t first_result = 0;
+    if (parked_op.kind == wali::IoOp::Kind::kScripted) {
+      first_result = parked_op.scripted_result;
+    } else if (parked_op.kind == wali::IoOp::Kind::kSleep &&
+               parked_op.sleep_nanos > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(parked_op.sleep_nanos));
+    }
+    r = runtime.ResumeMain(**proc, cont, first_result);
+    while (r.trap == wasm::TrapKind::kSyscallPending) {
+      int64_t sys_ret = complete_parked(**proc);
+      r = runtime.ResumeMain(**proc, cont, sys_ret);
+    }
+  } else if (!snapshot_out.empty()) {
+    wali::WaliRuntime::MainContinuation cont;
+    r = runtime.RunMain(**proc, runtime.exec_options(), &cont);
+    while (r.trap == wasm::TrapKind::kSyscallPending) {
+      common::StatusOr<std::vector<uint8_t>> snap =
+          wali::SnapshotProcess(**proc, cont);
+      if (snap.ok()) {
+        std::ofstream out(snapshot_out, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char*>(snap->data()),
+                  static_cast<std::streamsize>(snap->size()));
+        if (!out.good()) {
+          std::fprintf(stderr, "walirun: cannot write %s\n",
+                       snapshot_out.c_str());
+          cont.Discard();
+          return 1;
+        }
+        std::fprintf(stderr, "walirun: wrote %zu-byte snapshot to %s\n",
+                     snap->size(), snapshot_out.c_str());
+        cont.Discard();
+        return 0;
+      }
+      // Not snapshotable at this park (live retry closure); complete it in
+      // place and try again at the next one.
+      std::fprintf(stderr, "walirun: park not snapshotable (%s); continuing\n",
+                   snap.status().ToString().c_str());
+      int64_t sys_ret = complete_parked(**proc);
+      r = runtime.ResumeMain(**proc, cont, sys_ret);
+    }
+  } else {
+    r = runtime.RunMain(**proc);
+  }
 
   if (trace) {
     std::fprintf(stderr, "--- syscall profile ---\n");

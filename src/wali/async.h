@@ -31,6 +31,12 @@ struct IoOp {
     kSleep,     // elapse `sleep_nanos` on the backend's clock
     kReadable,  // wait until `fd` is readable (or error/hup: retry decides)
     kWritable,  // wait until `fd` is writable
+    // The syscall already completed and `scripted_result` is its answer;
+    // the completion loop resumes with it immediately. Pure data (no retry
+    // closure), so scripted parks survive snapshot/restore — the park hook
+    // WaliProcess::park_after_syscalls files these for deterministic
+    // park-anywhere testing (tests/wasm_snapshot_test.cc).
+    kScripted,
   };
 
   Kind kind = Kind::kNone;
@@ -40,6 +46,7 @@ struct IoOp {
   // < 0 means wait forever. On expiry the op completes kTimedOut and the
   // retry (e.g. poll with timeout 0) yields the syscall's timeout answer.
   int64_t timeout_nanos = -1;
+  int64_t scripted_result = 0;  // kScripted: the syscall's known result
 
   static IoOp Sleep(int64_t nanos) {
     IoOp op;
@@ -59,6 +66,12 @@ struct IoOp {
     op.kind = Kind::kWritable;
     op.fd = fd;
     op.timeout_nanos = timeout_nanos;
+    return op;
+  }
+  static IoOp Scripted(int64_t result) {
+    IoOp op;
+    op.kind = Kind::kScripted;
+    op.scripted_result = result;
     return op;
   }
 };

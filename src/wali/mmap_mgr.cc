@@ -46,6 +46,33 @@ void MmapManager::Reset() {
   brk_limit_ = 0;
 }
 
+MmapManager::State MmapManager::ExportState() {
+  std::lock_guard<std::mutex> lock(mu_);
+  State s;
+  s.initialized = initialized_;
+  s.base = base_;
+  s.limit = limit_;
+  s.virgin_base = virgin_base_;
+  s.brk_base = brk_base_;
+  s.brk_cur = brk_cur_;
+  s.brk_limit = brk_limit_;
+  s.used.assign(used_.begin(), used_.end());
+  return s;
+}
+
+void MmapManager::ImportState(const State& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  initialized_ = s.initialized;
+  base_ = s.base;
+  limit_ = s.limit;
+  virgin_base_ = s.virgin_base;
+  brk_base_ = s.brk_base;
+  brk_cur_ = s.brk_cur;
+  brk_limit_ = s.brk_limit;
+  used_.clear();
+  used_.insert(s.used.begin(), s.used.end());
+}
+
 uint64_t MmapManager::bytes_in_use() {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;

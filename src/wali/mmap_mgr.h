@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "src/wasm/memory.h"
 
@@ -55,6 +57,23 @@ class MmapManager {
   // Program-break emulation for SYS_brk: a dedicated region carved from the
   // pool on first use.
   uint64_t Brk(uint64_t new_break);
+
+  // Snapshot support (src/wali/process_snapshot.cc): the pool geometry and
+  // the live mappings are guest-visible process state — a restored process
+  // must hand out the same addresses the original would have, and must not
+  // re-derive the pool base from the (already grown) restored memory size.
+  struct State {
+    bool initialized = false;
+    uint64_t base = 0;
+    uint64_t limit = 0;
+    uint64_t virgin_base = 0;
+    uint64_t brk_base = 0;
+    uint64_t brk_cur = 0;
+    uint64_t brk_limit = 0;
+    std::vector<std::pair<uint64_t, uint64_t>> used;  // start -> length
+  };
+  State ExportState();
+  void ImportState(const State& s);
 
  private:
   void InitLocked();

@@ -86,6 +86,20 @@ int WaliProcess::tracked_fd_count() {
   return static_cast<int>(guest_fds_.size());
 }
 
+std::vector<int> WaliProcess::GuestFds() {
+  std::lock_guard<std::mutex> lock(fds_mu_);
+  return std::vector<int>(guest_fds_.begin(), guest_fds_.end());
+}
+
+void WaliProcess::AdoptGuestFds(const std::vector<int>& fds) {
+  std::lock_guard<std::mutex> lock(fds_mu_);
+  for (int fd : fds) {
+    if (fd > 2) {
+      guest_fds_.insert(fd);
+    }
+  }
+}
+
 void WaliProcess::ResetForReuse(std::vector<std::string> argv_in,
                                 std::vector<std::string> env_in) {
   JoinThreads();
@@ -103,6 +117,8 @@ void WaliProcess::ResetForReuse(std::vector<std::string> argv_in,
   mmap.Reset();
   trace.Reset();
   pending_io.Reset();
+  park_after_syscalls = 0;
+  syscalls_since_park = 0;
   CloseGuestFds();
   ClearOffloadCache();  // next tenant's fd numbers mean different files
   policy.reset();

@@ -59,6 +59,12 @@ class WaliProcess {
   // Closes every tracked fd (destructor and slot recycling).
   void CloseGuestFds();
   int tracked_fd_count();
+  // Sorted copy of the tracked fd set (snapshot/restore: the fd table is
+  // part of the serialized process state; see src/wali/process_snapshot.cc).
+  std::vector<int> GuestFds();
+  // Bulk re-track on restore: adopts `fds` as the tracked set (union with
+  // anything already tracked, same > 2 rule as TrackFd).
+  void AdoptGuestFds(const std::vector<int>& fds);
 
   // Cached per-fd offloadability classification (see wali::OffloadableFd):
   // with async-io on, every blocking-capable read/write/accept dispatch
@@ -135,6 +141,17 @@ class WaliProcess {
   // supervisor strictly after the interpreter unwound with
   // kSyscallPending. Cleared per run and on slot recycling.
   PendingIo pending_io;
+
+  // Deterministic park hook (snapshot round-trip harness): when nonzero,
+  // the syscall dispatch wrapper parks the main run at every Nth dispatch
+  // with the handler's already-computed result as an IoOp::Scripted
+  // completion. Resuming with that result is bit-identical to never having
+  // parked — the handler ran to completion before the park — which lets
+  // tests park ANY workload mid-run at a boundary where the interpreter
+  // state is in its canonical spilled form. Main-run only (no lock needed,
+  // same discipline as pending_io); cleared on slot recycling.
+  uint64_t park_after_syscalls = 0;
+  uint64_t syscalls_since_park = 0;
 
   std::atomic<bool> exit_all{false};
   std::atomic<int32_t> exit_code{0};

@@ -1,0 +1,45 @@
+// Process-level snapshot/restore: wraps wasm::SnapshotSuspension with the
+// WALI state that makes a parked run resumable as a *process* — the fd
+// table, virtual signal dispositions, the pending IoOp, the syscall trace
+// (so per-tenant accounting survives eviction without double billing), and
+// the MainContinuation bookkeeping (deferred-start fuel, entry kind).
+//
+// Eligibility (refused with a Status, never a crash): single-threaded, not
+// inside a signal handler, and the park's retry closure must be null — only
+// ops whose completion value IS the syscall result (sleeps, scripted fakes)
+// are pure data. Reads/writes capture a live retry closure over the process
+// and are not serializable; the supervisor simply declines to evict those.
+#ifndef SRC_WALI_PROCESS_SNAPSHOT_H_
+#define SRC_WALI_PROCESS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/wali/process.h"
+#include "src/wali/runtime.h"
+
+namespace wali {
+
+// Serializes `proc` + `cont` (armed, parked at a syscall boundary) into a
+// self-contained snapshot: the wasm::Suspension section plus a WALI host
+// blob, under one header/checksum (see src/wasm/snapshot.h for the format
+// and versioning rules).
+common::StatusOr<std::vector<uint8_t>> SnapshotProcess(
+    WaliProcess& proc, const WaliRuntime::MainContinuation& cont);
+
+// Restores a snapshot into `proc`, which must be a FRESH process of the
+// structurally identical module (CreateProcess or a pool-recycled slot):
+// rebuilds the interpreter suspension, globals, memory, fd table, signal
+// dispositions, trace counters, and budgets captured at snapshot time, and
+// arms `cont` so WaliRuntime::ResumeMain continues the run bit-identically.
+// `pending_op` (optional) receives the IoOp the run was parked on, for
+// callers that must complete or re-arm it (walirun --restore sleeps it off).
+common::Status RestoreProcess(const uint8_t* data, size_t size,
+                              WaliProcess& proc,
+                              WaliRuntime::MainContinuation& cont,
+                              IoOp* pending_op = nullptr);
+
+}  // namespace wali
+
+#endif  // SRC_WALI_PROCESS_SNAPSHOT_H_

@@ -483,6 +483,24 @@ void WaliRuntime::RegisterAll() {
                         "syscall parked for async completion");
             return ctx.trap;
           }
+          if (ctx.trap == wasm::TrapKind::kNone &&
+              ctx.opts.suspend_to != nullptr && proc->park_after_syscalls != 0 &&
+              ++proc->syscalls_since_park >= proc->park_after_syscalls) {
+            // Deterministic park hook (snapshot round-trip harness): the
+            // handler already completed, so park with its result as a
+            // scripted completion. Every effect of the dispatch — fd set,
+            // trace count — is applied NOW; resuming with scripted_result
+            // is bit-identical to never having parked.
+            proc->syscalls_since_park = 0;
+            ApplyFdEffect(*proc, id, args, ret);
+            proc->trace.Count(static_cast<uint32_t>(id));
+            proc->pending_io.armed = true;
+            proc->pending_io.op = IoOp::Scripted(ret);
+            proc->pending_io.syscall = def.name;
+            ctx.SetTrap(wasm::TrapKind::kSyscallPending,
+                        "syscall parked (scripted completion)");
+            return ctx.trap;
+          }
           ApplyFdEffect(*proc, id, args, ret);
           proc->trace.Count(static_cast<uint32_t>(id));
           if (common::LogEnabled(common::LogLevel::kDebug)) {

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -671,6 +672,218 @@ TEST(HostIo, RunAllPreservesSubmissionOrderAcrossParks) {
     EXPECT_EQ(reports[i].exit_code, i % 2 == 0 ? 42 : 0) << i;
     EXPECT_EQ(reports[i].parks, i % 2 == 0 ? 1u : 0u) << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot eviction: a parked guest's state leaves the process (or the
+// process's memory) entirely and comes back bit-exact.
+
+// IoWorld plus a telemetry sink and an optional on-disk evict directory.
+struct EvictWorld {
+  std::unique_ptr<wasm::Linker> linker;
+  std::unique_ptr<wali::WaliRuntime> runtime;
+  std::unique_ptr<host::ModuleCache> cache;
+  std::unique_ptr<host::Telemetry> tel = std::make_unique<host::Telemetry>();
+  std::unique_ptr<host::FakeIoBackend> fake =
+      std::make_unique<host::FakeIoBackend>();
+  ManualClock clock;
+  std::unique_ptr<host::Supervisor> sup;
+};
+
+EvictWorld MakeEvictWorld(size_t workers, const std::string& evict_dir = "") {
+  EvictWorld w;
+  w.linker = std::make_unique<wasm::Linker>();
+  w.runtime = std::make_unique<wali::WaliRuntime>(w.linker.get());
+  w.cache = std::make_unique<host::ModuleCache>();
+  host::Supervisor::Options opts;
+  opts.workers = workers;
+  opts.clock = w.clock.fn();
+  opts.pool.max_idle_per_module = workers;
+  opts.telemetry = w.tel.get();
+  opts.evict_dir = evict_dir;
+  w.fake->SetTelemetry(w.tel.get());
+  opts.io_backend = w.fake.get();
+  w.sup = std::make_unique<host::Supervisor>(w.runtime.get(), opts);
+  return w;
+}
+
+std::vector<host::TraceEvent> EventsForRun(const host::Telemetry::Snapshot& s,
+                                           uint64_t run_id) {
+  std::vector<host::TraceEvent> out;
+  for (const host::TraceEvent& e : s.spans) {
+    if (e.run_id == run_id) out.push_back(e);
+  }
+  return out;
+}
+
+TEST(HostIo, EvictParkedRestoreLedgerExact) {
+  // Park the sleeper, serialize it out of its pool slot (in-memory mode),
+  // run an unrelated guest through the freed capacity, complete the I/O,
+  // and let the restore path rehydrate it. The run must finish exactly as
+  // an unevicted one — and the tenant ledger's park-time settle plus
+  // finish-time deltas must sum to precisely both runs' consumption: an
+  // evict/restore cycle bills nothing twice and loses nothing.
+  EvictWorld w = MakeEvictWorld(/*workers=*/1);
+  auto sleeper = w.cache->Load(WrapModule(kSleeperGuest));
+  ASSERT_TRUE(sleeper.ok()) << sleeper.status().ToString();
+  auto burner = w.cache->Load(WrapModule(kBurnGuest));
+  ASSERT_TRUE(burner.ok());
+  host::TenantBudget budget;
+  budget.max_fuel = 10000000;
+  w.sup->ledger().SetBudget("t", budget);
+
+  std::future<host::RunReport> slept = w.sup->Submit(MakeJob(*sleeper, "t"));
+  ASSERT_TRUE(WaitForPending(*w.fake, 1));
+
+  std::vector<uint64_t> cookies = w.sup->parked_cookies();
+  ASSERT_EQ(cookies.size(), 1u);
+  common::Status ev = w.sup->EvictParked(cookies[0]);
+  ASSERT_TRUE(ev.ok()) << ev.ToString();
+  host::Supervisor::IoStats s = w.sup->io_stats();
+  EXPECT_EQ(s.evicted_now, 1u);
+  EXPECT_EQ(s.evicts_total, 1u);
+  EXPECT_EQ(s.parked_now, 1u) << "evicted runs are still parked";
+
+  // Double-evicting the same cookie is refused, not fatal.
+  EXPECT_FALSE(w.sup->EvictParked(cookies[0]).ok());
+
+  // The slab is free: an unrelated guest of the same tenant runs on the
+  // sole worker while the sleeper exists only as snapshot bytes.
+  host::RunReport burn = w.sup->Submit(MakeJob(*burner, "t")).get();
+  EXPECT_TRUE(burn.completed()) << burn.trap_message;
+
+  w.fake->AdvanceBy(50 * kMs);
+  host::RunReport r = slept.get();
+  EXPECT_TRUE(r.completed()) << r.trap_message;
+  EXPECT_EQ(r.exit_code, 42);
+  EXPECT_EQ(r.parks, 1u);
+  EXPECT_EQ(r.total_syscalls, 1u);
+
+  s = w.sup->io_stats();
+  EXPECT_EQ(s.evicted_now, 0u);
+  EXPECT_EQ(s.restores_total, 1u);
+  EXPECT_EQ(s.parked_now, 0u);
+
+  // No double billing across the evict/restore boundary.
+  host::TenantUsage usage = w.sup->ledger().usage("t");
+  EXPECT_EQ(usage.fuel, burn.fuel_consumed + r.fuel_consumed);
+  EXPECT_EQ(usage.syscalls, burn.total_syscalls + r.total_syscalls);
+}
+
+TEST(HostIo, EvictParkedToDiskAndRestore) {
+  // Same lifecycle with Options::evict_dir set: the snapshot lands as a
+  // file (nothing retained in memory), and the restore consumes + deletes
+  // it.
+  std::string dir = testing::TempDir() + "wali_evict_test";
+  ::mkdir(dir.c_str(), 0700);
+  EvictWorld w = MakeEvictWorld(/*workers=*/1, dir);
+  auto sleeper = w.cache->Load(WrapModule(kSleeperGuest));
+  ASSERT_TRUE(sleeper.ok()) << sleeper.status().ToString();
+
+  std::future<host::RunReport> slept = w.sup->Submit(MakeJob(*sleeper, "t"));
+  ASSERT_TRUE(WaitForPending(*w.fake, 1));
+  std::vector<uint64_t> cookies = w.sup->parked_cookies();
+  ASSERT_EQ(cookies.size(), 1u);
+  ASSERT_TRUE(w.sup->EvictParked(cookies[0]).ok());
+
+  std::string path = dir + "/evict-" + std::to_string(cookies[0]) + ".snap";
+  EXPECT_EQ(::access(path.c_str(), F_OK), 0) << "snapshot file must exist";
+
+  w.fake->AdvanceBy(50 * kMs);
+  host::RunReport r = slept.get();
+  EXPECT_TRUE(r.completed()) << r.trap_message;
+  EXPECT_EQ(r.exit_code, 42);
+  EXPECT_NE(::access(path.c_str(), F_OK), 0)
+      << "restore must consume and remove the snapshot file";
+  ::rmdir(dir.c_str());
+}
+
+TEST(HostIo, EvictAllParkedSweepsTheParkedSet) {
+  constexpr size_t kGuests = 8;
+  EvictWorld w = MakeEvictWorld(/*workers=*/2);
+  auto sleeper = w.cache->Load(WrapModule(kSleeperGuest));
+  ASSERT_TRUE(sleeper.ok());
+  std::vector<std::future<host::RunReport>> futures;
+  for (size_t i = 0; i < kGuests; ++i) {
+    futures.push_back(w.sup->Submit(MakeJob(*sleeper, "t" + std::to_string(i))));
+  }
+  ASSERT_TRUE(WaitForPending(*w.fake, kGuests));
+  EXPECT_EQ(w.sup->EvictAllParked(), kGuests);
+  EXPECT_EQ(w.sup->io_stats().evicted_now, kGuests);
+
+  w.fake->AdvanceBy(50 * kMs);
+  for (auto& f : futures) {
+    host::RunReport r = f.get();
+    EXPECT_TRUE(r.completed()) << r.trap_message;
+    EXPECT_EQ(r.exit_code, 42);
+  }
+  host::Supervisor::IoStats s = w.sup->io_stats();
+  EXPECT_EQ(s.restores_total, kGuests);
+  EXPECT_EQ(s.evicted_now, 0u);
+}
+
+TEST(HostIo, EvictedRunSpanOrdering) {
+  // The run's telemetry trace must read, in order:
+  //   submit -> dispatch -> park -> evict -> io_complete -> restore ->
+  //   resume -> finish
+  // so an operator reading a trace can see exactly when the guest existed
+  // only as snapshot bytes.
+  EvictWorld w = MakeEvictWorld(/*workers=*/1);
+  auto sleeper = w.cache->Load(WrapModule(kSleeperGuest));
+  ASSERT_TRUE(sleeper.ok());
+
+  std::future<host::RunReport> slept = w.sup->Submit(MakeJob(*sleeper, "t"));
+  ASSERT_TRUE(WaitForPending(*w.fake, 1));
+  std::vector<uint64_t> cookies = w.sup->parked_cookies();
+  ASSERT_EQ(cookies.size(), 1u);
+  ASSERT_TRUE(w.sup->EvictParked(cookies[0]).ok());
+  w.fake->AdvanceBy(50 * kMs);
+  host::RunReport r = slept.get();
+  ASSERT_TRUE(r.completed()) << r.trap_message;
+
+  host::Telemetry::Snapshot snap = w.tel->TakeSnapshot();
+  ASSERT_FALSE(snap.spans.empty());
+  std::vector<host::TraceEvent> ev = EventsForRun(snap, snap.spans[0].run_id);
+  ASSERT_EQ(ev.size(), 8u);
+  EXPECT_EQ(ev[0].event, host::SpanEvent::kSubmit);
+  EXPECT_EQ(ev[1].event, host::SpanEvent::kDispatch);
+  EXPECT_EQ(ev[2].event, host::SpanEvent::kPark);
+  EXPECT_EQ(ev[3].event, host::SpanEvent::kEvict);
+  EXPECT_EQ(ev[4].event, host::SpanEvent::kIoComplete);
+  EXPECT_EQ(ev[5].event, host::SpanEvent::kRestore);
+  EXPECT_EQ(ev[6].event, host::SpanEvent::kResume);
+  EXPECT_EQ(ev[7].event, host::SpanEvent::kFinish);
+  for (size_t i = 1; i < ev.size(); ++i) {
+    EXPECT_GE(ev[i].t_nanos, ev[i - 1].t_nanos) << "event " << i;
+  }
+  // Metrics mirror the lifecycle.
+  uint64_t evicts = 0, restores = 0;
+  for (const auto& [name, value] : snap.registry.counters) {
+    if (name == "supervisor_evictions_total") evicts = value;
+    if (name == "supervisor_restores_total") restores = value;
+  }
+  EXPECT_EQ(evicts, 1u);
+  EXPECT_EQ(restores, 1u);
+}
+
+TEST(HostIo, ShutdownWithEvictedRunResolvesFuture) {
+  // Shutdown while a run exists only as snapshot bytes: the future must
+  // still resolve (shed, with the fuel settled at park time), and nothing
+  // leaks (the ASan job runs this).
+  EvictWorld w = MakeEvictWorld(/*workers=*/1);
+  auto sleeper = w.cache->Load(WrapModule(kSleeperGuest));
+  ASSERT_TRUE(sleeper.ok());
+  std::future<host::RunReport> slept = w.sup->Submit(MakeJob(*sleeper, "t"));
+  ASSERT_TRUE(WaitForPending(*w.fake, 1));
+  std::vector<uint64_t> cookies = w.sup->parked_cookies();
+  ASSERT_EQ(cookies.size(), 1u);
+  ASSERT_TRUE(w.sup->EvictParked(cookies[0]).ok());
+
+  w.sup->Shutdown();
+  host::RunReport r = slept.get();
+  EXPECT_EQ(r.outcome, host::Outcome::kShed);
+  EXPECT_GT(r.executed_instrs, 0u) << "park-time fuel settle must survive";
+  EXPECT_EQ(w.sup->io_stats().evicted_now, 0u);
 }
 
 }  // namespace
