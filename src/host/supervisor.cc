@@ -15,6 +15,7 @@ Supervisor::Supervisor(wali::WaliRuntime* runtime, const Options& options)
       clock_(options.clock ? options.clock : [] { return common::MonotonicNanos(); }),
       queue_depth_(options.queue_depth),
       dispatch_(options.dispatch),
+      jit_(options.jit),
       io_(options.io_backend),
       evict_dir_(options.evict_dir),
       paused_(options.start_paused) {
@@ -572,6 +573,9 @@ void Supervisor::RunOne(Task& task) {
   opts.profile = tel_ != nullptr;
   if (dispatch_ != wasm::DispatchMode::kAuto) {
     opts.dispatch = dispatch_;
+  }
+  if (jit_ != wasm::JitTier::kAuto) {
+    opts.jit = jit_;
   }
   if (job.fuel != 0) {
     opts.fuel = job.fuel;

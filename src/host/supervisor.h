@@ -141,6 +141,10 @@ class Supervisor {
     // (fuel accounting is bit-identical either way, so RunReports and
     // TenantLedger math do not depend on this knob).
     wasm::DispatchMode dispatch = wasm::DispatchMode::kAuto;
+    // Baseline-JIT tier for guest runs. kAuto inherits the runtime's
+    // setting; kOff/kOn force it per supervisor (like `dispatch`, a pure
+    // performance knob: fuel/ledger math is bit-identical either way).
+    wasm::JitTier jit = wasm::JitTier::kAuto;
     // Async syscall offload. Non-null enables the park-at-the-WALI-boundary
     // path: a guest entering a blocking-capable syscall suspends
     // (kSyscallPending) instead of blocking its worker; the op is
@@ -370,6 +374,7 @@ class Supervisor {
   std::function<int64_t()> clock_;
   size_t queue_depth_;
   wasm::DispatchMode dispatch_;
+  wasm::JitTier jit_;
   IoBackend* io_;
   std::string evict_dir_;
   std::atomic<uint64_t> dispatch_seq_{0};

@@ -224,6 +224,77 @@ Telemetry::Snapshot Telemetry::TakeSnapshot() const {
               if (a.module != b.module) return a.module < b.module;
               return a.func < b.func;
             });
+  // Baseline-JIT tier counters, aggregated over the registered modules'
+  // JitModuleState and synthesized into the registry snapshot so they ride
+  // the existing Prometheus/JSON exporters. Kept out of the live registry:
+  // the interpreter's enter-sites bump Module-level atomics so the hot path
+  // never touches a host-layer object, and snapshot time is when the two
+  // worlds meet. Absent entirely when no registered module carries tier
+  // state (interpreter-only build or none registered).
+  {
+    uint64_t compiles = 0, failures = 0, tierups = 0, osr_exits = 0;
+    uint64_t nanos_sum = 0;
+    uint64_t buckets[wasm::JitModuleState::kCompileNanosBuckets] = {};
+    bool any = false;
+    for (const auto& [mod_name, weak] : modules_) {
+      std::shared_ptr<const wasm::Module> m = weak.lock();
+      if (m == nullptr || m->jit == nullptr) {
+        continue;
+      }
+      any = true;
+      const wasm::JitModuleState& js = *m->jit;
+      compiles += js.compiles.load(std::memory_order_relaxed);
+      failures += js.compile_failures.load(std::memory_order_relaxed);
+      tierups += js.tierups.load(std::memory_order_relaxed);
+      osr_exits += js.osr_exits.load(std::memory_order_relaxed);
+      nanos_sum += js.compile_nanos_sum.load(std::memory_order_relaxed);
+      for (size_t b = 0; b < wasm::JitModuleState::kCompileNanosBuckets; ++b) {
+        buckets[b] += js.compile_nanos_bucket[b].load(std::memory_order_relaxed);
+      }
+      for (size_t i = 0; i < m->functions.size(); ++i) {
+        const wasm::JitFuncSlot& slot = m->jit->slots[i];
+        if (slot.state.load(std::memory_order_relaxed) !=
+            wasm::JitFuncSlot::kCompiled) {
+          continue;
+        }
+        TieredFunction tf;
+        tf.module = mod_name;
+        tf.func = FuncDisplayName(*m, i);
+        tf.heat = slot.heat.load(std::memory_order_relaxed);
+        tf.deopts = slot.deopts.load(std::memory_order_relaxed);
+        s.tiered_functions.push_back(std::move(tf));
+      }
+    }
+    if (any) {
+      s.registry.counters.emplace_back("jit_compiles_total", compiles);
+      s.registry.counters.emplace_back("jit_compile_failures_total", failures);
+      s.registry.counters.emplace_back("jit_tierups_total", tierups);
+      s.registry.counters.emplace_back("jit_osr_exits_total", osr_exits);
+      std::sort(s.registry.counters.begin(), s.registry.counters.end());
+      metrics::Registry::HistogramSnapshot hs;
+      hs.name = "jit_compile_nanos";
+      hs.bounds = metrics::LatencyBoundsNanos();
+      uint64_t total = 0;
+      for (size_t b = 0; b < wasm::JitModuleState::kCompileNanosBuckets; ++b) {
+        hs.buckets.push_back(buckets[b]);
+        total += buckets[b];
+      }
+      hs.count = total;
+      hs.sum = static_cast<int64_t>(nanos_sum);
+      s.registry.histograms.push_back(std::move(hs));
+      std::sort(s.registry.histograms.begin(), s.registry.histograms.end(),
+                [](const metrics::Registry::HistogramSnapshot& a,
+                   const metrics::Registry::HistogramSnapshot& b) {
+                  return a.name < b.name;
+                });
+      std::sort(s.tiered_functions.begin(), s.tiered_functions.end(),
+                [](const TieredFunction& a, const TieredFunction& b) {
+                  if (a.heat != b.heat) return a.heat > b.heat;
+                  if (a.module != b.module) return a.module < b.module;
+                  return a.func < b.func;
+                });
+    }
+  }
   return s;
 }
 

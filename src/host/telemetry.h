@@ -157,6 +157,15 @@ class Telemetry {
     uint64_t fuel = 0;
   };
 
+  // One function the baseline-JIT tier compiled, from a registered module's
+  // per-function slots (the serve-mode "top tiered" list).
+  struct TieredFunction {
+    std::string module;
+    std::string func;
+    uint64_t heat = 0;    // frame entries + loop back-edges observed
+    uint64_t deopts = 0;  // OSR exits from this function's compiled code
+  };
+
   struct Snapshot {
     metrics::Registry::Snapshot registry;
     std::vector<std::pair<std::string, TenantSeries>> tenants;  // by name
@@ -164,6 +173,7 @@ class Telemetry {
     std::map<uint32_t, std::string> tenant_names;  // span id -> tenant
     uint64_t spans_dropped = 0;
     std::vector<HotFunction> hot_functions;  // sorted by entries, desc
+    std::vector<TieredFunction> tiered_functions;  // sorted by heat, desc
   };
 
   Snapshot TakeSnapshot() const;

@@ -104,7 +104,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: walirun [-e K=V]... [--scheme loop|function|all|none]\n"
-               "               [--dispatch threaded|switch]\n"
+               "               [--dispatch threaded|switch] [--jit on|off]\n"
                "               [--compile out.wasm] [--trace]\n"
                "               [--serve N [--repeat K] [--queue-depth D]\n"
                "                [--async-io [--evict-parked]]\n"
@@ -216,9 +216,13 @@ int Serve(wali::WaliRuntime& runtime, std::shared_ptr<const wasm::Module> module
   }
 
   // Active dispatch mode: what RunLoop actually resolves for these options.
-  std::printf("serve: dispatch=%s scheme=%s async-io=%s\n",
+  std::printf("serve: dispatch=%s scheme=%s jit=%s async-io=%s\n",
               wasm::DispatchModeName(wasm::ResolveDispatch(runtime.exec_options())),
               wasm::SafepointSchemeName(runtime.options().scheme),
+              wasm::JitAvailable() &&
+                      runtime.exec_options().jit != wasm::JitTier::kOff
+                  ? "on"
+                  : "off",
               async_io ? "on" : "off");
   // Fusion attribution next to the dispatch mode, so serve-mode perf
   // reports can name the superinstruction set actually serving traffic.
@@ -382,6 +386,35 @@ int Serve(wali::WaliRuntime& runtime, std::shared_ptr<const wasm::Module> module
                  << " entries=" << hf.entries << " fuel=" << hf.fuel;
     }
   }
+  // Baseline-JIT tier attribution: module-level counters plus the top 10
+  // compiled functions by heat, straight off the module's tier state (the
+  // telemetry snapshot aggregates the same numbers for exports).
+  if (wasm::JitAvailable() && module->jit != nullptr) {
+    const wasm::JitModuleState& js = *module->jit;
+    std::printf(
+        "serve: jit compiles=%llu failures=%llu tierups=%llu osr-exits=%llu\n",
+        static_cast<unsigned long long>(js.compiles.load()),
+        static_cast<unsigned long long>(js.compile_failures.load()),
+        static_cast<unsigned long long>(js.tierups.load()),
+        static_cast<unsigned long long>(js.osr_exits.load()));
+    std::vector<std::pair<uint64_t, size_t>> tiered;  // (heat, func index)
+    for (size_t f = 0; f < module->functions.size(); ++f) {
+      if (js.slots[f].state.load() != wasm::JitFuncSlot::kCompiled) continue;
+      tiered.emplace_back(js.slots[f].heat.load(), f);
+    }
+    std::sort(tiered.begin(), tiered.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    if (tiered.size() > 10) tiered.resize(10);
+    for (const auto& [heat, f] : tiered) {
+      const std::string& dbg = module->functions[f].debug_name;
+      std::string name =
+          dbg.empty() ? "f" + std::to_string(module->num_imported_funcs + f)
+                      : dbg;
+      std::printf("serve: jit tiered %-32s heat=%llu deopts=%u\n", name.c_str(),
+                  static_cast<unsigned long long>(heat),
+                  js.slots[f].deopts.load());
+    }
+  }
   host::TenantUsage usage = sup.ledger().usage(kTenant);
   std::printf(
       "ledger[%s]: runs=%llu fuel=%llu cpu_ms=%.1f syscalls=%llu "
@@ -426,6 +459,7 @@ int main(int argc, char** argv) {
   host::TenantBudget budget;
   wasm::SafepointScheme scheme = wasm::SafepointScheme::kLoop;
   wasm::DispatchMode dispatch = wasm::DispatchMode::kAuto;
+  wasm::JitTier jit = wasm::JitTier::kAuto;
 
   int i = 1;
   for (; i < argc; ++i) {
@@ -463,6 +497,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "walirun: threaded dispatch not in this build "
                      "(WASM_THREADED_DISPATCH=OFF); using switch\n");
+      }
+    } else if (arg == "--jit" && i + 1 < argc) {
+      std::string s = argv[++i];
+      if (s == "off") jit = wasm::JitTier::kOff;
+      else if (s == "on") jit = wasm::JitTier::kOn;
+      else return Usage();
+      if (s == "on" && !wasm::JitAvailable()) {
+        std::fprintf(stderr,
+                     "walirun: baseline JIT tier not in this build "
+                     "(WASM_JIT=OFF or no threaded loop); interpreting\n");
       }
     } else if (arg == "--compile" && i + 1 < argc) {
       compile_out = argv[++i];
@@ -529,6 +573,7 @@ int main(int argc, char** argv) {
   wali::WaliRuntime::Options opts;
   opts.scheme = scheme;
   opts.dispatch = dispatch;
+  opts.jit = jit;
   wali::WaliRuntime runtime(&linker, opts);
 
   if (serve_workers > 0) {

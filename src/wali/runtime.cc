@@ -346,6 +346,8 @@ wasm::ExecOptions WaliRuntime::exec_options() const {
   opts.max_frames = options_.max_frames;
   opts.fuel = options_.fuel;
   opts.dispatch = options_.dispatch;
+  opts.jit = options_.jit;
+  opts.jit_threshold = options_.jit_threshold;
   return opts;
 }
 

@@ -87,6 +87,10 @@ class WaliRuntime {
     // Interpreter dispatch (walirun --dispatch): kAuto = threaded when built
     // in, except under the kEveryInstr scheme (switch slow path).
     wasm::DispatchMode dispatch = wasm::DispatchMode::kAuto;
+    // Baseline-JIT tier (walirun --jit): kAuto = on when built in and the
+    // threaded loop is selected; kOff pins every run to the interpreter.
+    wasm::JitTier jit = wasm::JitTier::kAuto;
+    uint32_t jit_threshold = 16;  // frame entries/back-edges before tier-up
   };
 
   // Registers all host functions on `linker`; the linker must outlive the

@@ -77,6 +77,22 @@ const char* DispatchModeName(DispatchMode m);
 // True when this build carries the computed-goto loop.
 bool ThreadedDispatchAvailable();
 
+// Baseline template-JIT tier selection. The tier only ever engages on top
+// of the threaded dispatch loop (its frame-entry/loop-header hooks are the
+// OSR seams); kAuto therefore means "on when this build carries the JIT and
+// the resolved dispatch is kThreaded", and is a no-op everywhere else —
+// notably under SafepointScheme::kEveryInstr, which pins the switch loop.
+enum class JitTier : uint8_t {
+  kAuto = 0,
+  kOff,
+  kOn,
+};
+
+const char* JitTierName(JitTier t);
+// True when this build carries the x86-64 template JIT (WASM_JIT build with
+// threaded dispatch available).
+bool JitAvailable();
+
 // Reusable interpreter buffers (operand stack + frame stack). Host layers
 // keep one per pooled process slot so repeated runs reuse grown capacity
 // instead of reallocating; defined in interp.h.
@@ -106,6 +122,14 @@ struct ExecOptions {
   // in HOST_TELEMETRY builds; costs one predicted-not-taken branch per call
   // when off.
   bool profile = false;
+  // Baseline-JIT tier selection (see JitTier). kAuto/kOn engage the tier
+  // when the build carries it and dispatch resolves to kThreaded.
+  JitTier jit = JitTier::kAuto;
+  // Frame entries + loop back-edges a function must accumulate before it is
+  // compiled (JitFuncSlot::heat). 0 compiles at first entry; the default
+  // keeps one-shot code interpreted while anything loop-shaped tiers up
+  // within a few iterations.
+  uint32_t jit_threshold = 16;
 };
 
 // The dispatch loop that would actually run for `opts` in this build

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "src/common/logging.h"
+#include "src/wasm/jit.h"
 
 // Computed-goto dispatch needs the GNU &&label extension and an opt-in from
 // the build (-DWASM_THREADED_DISPATCH, CMake option of the same name).
@@ -310,6 +311,16 @@ struct BufferLease {
 
 }  // namespace
 
+#if WASM_JIT_OK
+namespace jit {
+// interp.cc's PushFrame, re-exported so the JIT dispatcher's native call
+// path shares the single frame-geometry implementation.
+bool PushFrameForJit(ExecContext& ctx, const FuncRef& ref) {
+  return PushFrame(ctx, ref);
+}
+}  // namespace jit
+#endif
+
 bool ThreadedDispatchAvailable() { return WASM_THREADED_OK != 0; }
 
 DispatchMode ResolveDispatch(const ExecOptions& opts) {
@@ -328,9 +339,28 @@ DispatchMode ResolveDispatch(const ExecOptions& opts) {
 TrapKind RunLoop(ExecContext& ctx) {
 #if WASM_THREADED_OK
   if (ResolveDispatch(ctx.opts) == DispatchMode::kThreaded) {
+#if WASM_JIT_OK
+    // The baseline JIT tier rides on the threaded loop's OSR seams: its
+    // hooks return kNone with jit_enter set when compiled code should take
+    // over at frames.back(), and jit::Execute hands back the same way.
+    ctx.jit_active = ctx.opts.jit != JitTier::kOff;
+    for (;;) {
+      ctx.jit_enter = false;
+      TrapKind t = RunLoopThreadedImpl(ctx);
+      if (t != TrapKind::kNone || !ctx.jit_enter) {
+        return t;
+      }
+      t = jit::Execute(ctx);
+      if (t != TrapKind::kNone || ctx.frames.empty()) {
+        return t;
+      }
+    }
+#else
     return RunLoopThreadedImpl(ctx);
+#endif
   }
 #endif
+  ctx.jit_active = false;
   return RunLoopSwitch(ctx);
 }
 

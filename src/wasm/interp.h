@@ -70,6 +70,22 @@ class ExecContext {
   uint64_t profile_mark = 0;
   uint64_t profile_pending_entries = 0;
   uint64_t profile_pending_fuel = 0;
+  // ---- baseline-JIT tier state (WASM_JIT builds; inert otherwise) ----
+  // Resolved once per RunLoop: true when this run may tier up at all. The
+  // threaded loop's OSR hooks check this one bool before anything else.
+  bool jit_active = false;
+  // Set by the threaded loop when an OSR hook selected compiled code: the
+  // loop has synced fr->pc/executed/stack and returned kNone with frames
+  // still live; RunLoop's driver hands control to jit::Execute.
+  bool jit_enter = false;
+  // One-shot inhibit: after a deopt exit the interpreter must make progress
+  // past (frame, pc) before the tier re-enters, or a persistent deopt
+  // condition (unsupported op, repeating trap re-execution) would ping-pong
+  // interp<->jit without advancing. Keyed by frames.size() + pc; consumed
+  // (cleared) by the first matching hook.
+  size_t jit_inhibit_frame = 0;
+  uint32_t jit_inhibit_pc = 0;
+  bool jit_inhibit = false;
 
   Instance* current_instance() {
     return frames.empty() ? root : frames.back().inst;

@@ -30,6 +30,11 @@ class Memory {
   uint8_t* base() const { return base_; }
   uint64_t size_bytes() const { return size_bytes_.load(std::memory_order_acquire); }
   uint64_t size_pages() const { return size_bytes() / kWasmPageSize; }
+  // Address of the live size word, for code that re-reads it without holding
+  // a Memory reference per read (the JIT tier's loop-header REFRESH_MSIZE
+  // reload). base() never moves, so (base, size word) fully describes the
+  // addressable range for the lifetime of the Memory.
+  const std::atomic<uint64_t>* size_bytes_addr() const { return &size_bytes_; }
   uint64_t max_pages() const { return max_pages_; }
   bool shared() const { return shared_; }
 

@@ -119,6 +119,48 @@ struct FuncProfileSlot {
   std::atomic<uint64_t> fuel{0};  // source instrs attributed to this function
 };
 
+// Per-function baseline-JIT tier state. Indexed like Module::functions.
+// `heat` counts frame entries plus loop back-edges observed by the threaded
+// loop's OSR hooks (it ticks even when func_profile telemetry is compiled
+// out, and back-edges matter: a single-entry hot loop must still tier up).
+// `state` is a CAS latch cold -> compiling -> {compiled, failed}; the winner
+// publishes the code descriptor with a release store into `code` and every
+// enter-site reads it with a plain acquire load, so concurrent instances of
+// one cached module compile once and share the result.
+struct JitFuncSlot {
+  enum : uint32_t { kCold = 0, kCompiling = 1, kCompiled = 2, kFailed = 3 };
+  std::atomic<const void*> code{nullptr};  // jit::CompiledFn, owned by state
+  std::atomic<uint32_t> state{kCold};
+  std::atomic<uint32_t> heat{0};
+  // Deopt exits (unsupported op / trap re-execution) from this function's
+  // compiled code. A function whose hot loop keeps deopting is worse than
+  // interpreted (every round trip pays the trampoline); past the blacklist
+  // threshold the enter-sites stop selecting it.
+  std::atomic<uint32_t> deopts{0};
+};
+
+// Module-wide JIT tier state: one slot per local function plus the tier
+// counters telemetry exports (jit_compiles_total and friends). The concrete
+// subclass living in jit.cc owns the executable code buffers; this base is
+// what module.h can name without pulling in the emitter. Allocated by
+// PrepareModule (and REPLACED by it on re-prepare: compiled code is keyed to
+// the prepared stream's pcs, so a fusion-level change must discard it).
+struct JitModuleState {
+  virtual ~JitModuleState() = default;
+  std::unique_ptr<JitFuncSlot[]> slots;  // Module::functions.size() entries
+  std::atomic<uint64_t> compiles{0};
+  std::atomic<uint64_t> compile_failures{0};
+  std::atomic<uint64_t> tierups{0};    // interpreter->jit entries taken
+  std::atomic<uint64_t> osr_exits{0};  // deopt/host-call exits back to interp
+  std::atomic<uint64_t> compile_nanos_sum{0};
+  // Compile-time histogram, decade buckets matching
+  // metrics::LatencyBoundsNanos() (1us..10s, +inf last). Kept as raw atomics
+  // so module.h does not depend on the metrics layer; host::Telemetry
+  // synthesizes a registry histogram from these at snapshot time.
+  static constexpr size_t kCompileNanosBuckets = 9;
+  std::atomic<uint64_t> compile_nanos_bucket[kCompileNanosBuckets] = {};
+};
+
 struct Function {
   uint32_t type_index = 0;
   std::vector<ValType> locals;  // non-param locals
@@ -216,6 +258,13 @@ struct Module {
   // shared_ptr (not unique_ptr) keeps Module copyable: copies of a module
   // share one profile, which is what the telemetry consumer wants anyway.
   std::shared_ptr<FuncProfileSlot[]> func_profile;
+
+  // Baseline-JIT tier state (slots + compiled code), allocated by
+  // PrepareModule when the tier is compiled in, null otherwise. Shared for
+  // the same reason as func_profile: host::ModuleCache hands out copies of
+  // one cached Module, and they must share one set of compiled functions so
+  // a hot tenant compiles once per content hash.
+  std::shared_ptr<JitModuleState> jit;
 
   // Import-space counts (imports precede local definitions in index spaces).
   uint32_t num_imported_funcs = 0;

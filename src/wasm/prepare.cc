@@ -3,37 +3,13 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/wasm/jit.h"
+
 namespace wasm {
 
 namespace {
 
-// Ops after which control does not simply fall to pc+1 (or where the
-// interpreter needs an exact executed count: safepoint sites, calls, traps
-// that end the run). These end the straight-line segments that linear_cost
-// measures; everything else is charged as part of its segment.
-bool IsSegmentTerminator(Op op) {
-  switch (op) {
-    case Op::kUnreachable:
-    case Op::kLoop:  // back-edge target and loop-scheme safepoint site
-    case Op::kIf:
-    case Op::kElse:
-    case Op::kBr:
-    case Op::kBrIf:
-    case Op::kBrTable:
-    case Op::kReturn:
-    case Op::kCall:
-    case Op::kCallIndirect:
-    case Op::kFBrIfEqz:
-    case Op::kFI32CmpBrIf:
-    case Op::kFI64CmpBrIf:
-    case Op::kFLocalTeeBrIf:
-    case Op::kFLocalLocalCmpBrIf:
-    case Op::kFCallWasm:
-      return true;
-    default:
-      return false;
-  }
-}
+// IsSegmentTerminator lives in prepare.h (shared with the JIT tier).
 
 bool IsI32Cmp(Op op) {
   switch (op) {
@@ -427,6 +403,10 @@ PrepareStats PrepareModule(Module& module, const PrepareOptions& opts) {
     module.func_profile = std::shared_ptr<FuncProfileSlot[]>(
         new FuncProfileSlot[module.functions.size()]());
   }
+  // JIT tier state does NOT survive a re-prepare: compiled code is keyed to
+  // the prepared stream's pcs, which this pass just rewrote. Null when the
+  // tier is compiled out.
+  module.jit = jit::CreateModuleState(module.functions.size());
   module.prepare_stats = stats;
   return stats;
 }

@@ -33,6 +33,36 @@ struct PrepareOptions {
 
 // PrepareStats lives in module.h (the Module keeps the last run's stats).
 
+// Ops after which control does not simply fall to pc+1 (or where the
+// interpreter needs an exact executed count: safepoint sites, calls, traps
+// that end the run). These end the straight-line segments that linear_cost
+// measures; everything else is charged as part of its segment. Shared with
+// the baseline-JIT tier, whose compiled code places its fuel gates and OSR
+// seams at exactly these boundaries.
+inline bool IsSegmentTerminator(Op op) {
+  switch (op) {
+    case Op::kUnreachable:
+    case Op::kLoop:  // back-edge target and loop-scheme safepoint site
+    case Op::kIf:
+    case Op::kElse:
+    case Op::kBr:
+    case Op::kBrIf:
+    case Op::kBrTable:
+    case Op::kReturn:
+    case Op::kCall:
+    case Op::kCallIndirect:
+    case Op::kFBrIfEqz:
+    case Op::kFI32CmpBrIf:
+    case Op::kFI64CmpBrIf:
+    case Op::kFLocalTeeBrIf:
+    case Op::kFLocalLocalCmpBrIf:
+    case Op::kFCallWasm:
+      return true;
+    default:
+      return false;
+  }
+}
+
 // Rebuilds fn.prepared from fn.code. The function must already be
 // validator-annotated (resolved branch targets, synthetic trailing return).
 void PrepareFunction(Function& fn, const PrepareOptions& opts,

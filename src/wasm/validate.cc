@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/wasm/jit.h"
 #include "src/wasm/prepare.h"
 
 namespace wasm {
@@ -675,6 +676,10 @@ common::Status Validate(Module& module) {
     module.func_profile = std::shared_ptr<FuncProfileSlot[]>(
         new FuncProfileSlot[module.functions.size()]());
   }
+  // JIT tier state is created fresh whenever the prepared streams are:
+  // compiled code is keyed to the prepared pcs written above. Null when the
+  // tier is compiled out.
+  module.jit = jit::CreateModuleState(module.functions.size());
 
   module.validated = true;
   return common::OkStatus();

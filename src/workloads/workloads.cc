@@ -731,7 +731,8 @@ std::string InstantiateWat(const Workload& w, int scale) {
 }
 
 WaliRunStats RunUnderWali(const Workload& w, int scale, wasm::SafepointScheme scheme,
-                          wasm::DispatchMode dispatch, bool fuse) {
+                          wasm::DispatchMode dispatch, bool fuse,
+                          wasm::JitTier jit, uint32_t jit_threshold) {
   WaliRunStats stats;
   int64_t t0 = common::MonotonicNanos();
   auto parsed = wasm::ParseAndValidateWat(InstantiateWat(w, scale));
@@ -749,6 +750,8 @@ WaliRunStats RunUnderWali(const Workload& w, int scale, wasm::SafepointScheme sc
   wali::WaliRuntime::Options opts;
   opts.scheme = scheme;
   opts.dispatch = dispatch;
+  opts.jit = jit;
+  opts.jit_threshold = jit_threshold;
   wali::WaliRuntime runtime(&linker, opts);
   auto proc = runtime.CreateProcess(*parsed, {w.name, std::to_string(scale)}, {});
   if (!proc.ok()) {

@@ -61,11 +61,16 @@ struct WaliRunStats {
 };
 
 // `fuse` controls the prepare pass's superinstruction fusion (A/B benches
-// re-run the module unfused to isolate fusion from dispatch gains).
+// re-run the module unfused to isolate fusion from dispatch gains); `jit`
+// pins the baseline-JIT tier the same way (benches pin kOff on interpreter
+// arms so kAuto defaults never leak the tier into a baseline column). When
+// the tier is enabled, `jit_threshold` is the tier-up heat count.
 WaliRunStats RunUnderWali(const Workload& w, int scale,
                           wasm::SafepointScheme scheme = wasm::SafepointScheme::kLoop,
                           wasm::DispatchMode dispatch = wasm::DispatchMode::kAuto,
-                          bool fuse = true);
+                          bool fuse = true,
+                          wasm::JitTier jit = wasm::JitTier::kAuto,
+                          uint32_t jit_threshold = 16);
 
 // Renders the workload's WAT at a concrete scale (exposed for tests).
 std::string InstantiateWat(const Workload& w, int scale);

@@ -340,6 +340,38 @@ TEST(WasmSnapshot, RoundTripDifferentialRecursionKernel) {
   }
 }
 
+TEST(WasmSnapshot, RoundTripDifferentialJitTier) {
+  // The baseline-JIT axis: parks reached FROM COMPILED CODE (the host call
+  // deopts to the interpreter, which parks; threshold 0 compiles at first
+  // entry, threshold 2 tiers up between parks) must snapshot and restore
+  // bit-identically to a JIT-off switch-loop run. Restore lands in a fresh
+  // module whose tier state is cold — the resumed run re-tiers on its own.
+  for (const char* wat : {kLoopKernelWat, kRecursionKernelWat}) {
+    ExecOptions ref_opts;
+    ref_opts.scheme = SafepointScheme::kLoop;
+    ref_opts.dispatch = DispatchMode::kSwitch;
+    ref_opts.jit = wasm::JitTier::kOff;
+    Fx blocking_fx;
+    RunResult want = RunBlocking(wat, true, ref_opts, 5, &blocking_fx);
+    ASSERT_EQ(want.trap, TrapKind::kNone) << want.trap_message;
+
+    for (uint32_t threshold : {0u, 2u}) {
+      const std::string label =
+          std::string(wat == kLoopKernelWat ? "loop" : "rec") +
+          "+jit-threshold=" + std::to_string(threshold);
+      ExecOptions opts;
+      opts.scheme = SafepointScheme::kLoop;
+      opts.dispatch = DispatchMode::kThreaded;
+      opts.jit = wasm::JitTier::kOn;
+      opts.jit_threshold = threshold;
+      RoundTripOutcome got = RunWithSnapshotEveryPark(wat, true, opts, 5);
+      ASSERT_TRUE(got.ok) << label;
+      ExpectBitIdentical(want, got.result, label);
+      ExpectStateIdentical(blocking_fx, got.final_fx, label);
+    }
+  }
+}
+
 TEST(WasmSnapshot, EveryInstrSchemeRoundTrip) {
   // kEveryInstr pins execution to the decoded stream + switch loop; frames
   // serialize with the prepared flag clear and must restore onto the same
