@@ -9,15 +9,23 @@
 // The acceptance bar for the hosting subsystem is pooled >= 5x faster than
 // cold for a warm cache; the bench prints the measured ratio and fails its
 // exit code when the bar is missed so CI can watch regressions.
+#include <unistd.h>
+
+#include <sys/socket.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/time_util.h"
 #include "src/host/host.h"
+#include "src/host/io_uring_backend.h"
 #include "src/wali/wali.h"
 #include "src/wasm/wasm.h"
 
@@ -339,7 +347,172 @@ int main() {
     }
   }
 
-  if (!in_flight_bar) {
+  // --- slow-client echo: thousands of parked connections, 4 workers -----
+  // The C10K shape: kConns echo guests each read one byte from a client
+  // that is in no hurry to send it. Every guest parks on read readiness, so
+  // the whole fleet must fit in flight on 4 workers (in-flight >> workers);
+  // then the clients all speak at once and the echoes drain through the
+  // backend's completion path. Run against both production backends.
+  bool slow_client_bar = true;
+  {
+    constexpr int kWorkers = 4;
+    constexpr int kConns = 1200;
+    constexpr int kParkBar = 1000;
+    // argv[1] is the connection fd (guests share the host fd table); the
+    // guest parses it, echoes one byte, and exits 0.
+    const char* kEchoWat = R"((module
+  (import "wali" "SYS_read" (func $read (param i64 i64 i64) (result i64)))
+  (import "wali" "SYS_write" (func $write (param i64 i64 i64) (result i64)))
+  (import "wali" "copy_argv" (func $copy_argv (param i64 i64) (result i64)))
+  (memory 2)
+  (func $atoi (param $p i32) (param $len i32) (result i64)
+    (local $i i32) (local $v i64)
+    (block $done
+      (loop $l
+        (br_if $done (i32.ge_u (local.get $i) (local.get $len)))
+        (local.set $v
+          (i64.add (i64.mul (local.get $v) (i64.const 10))
+                   (i64.extend_i32_u
+                     (i32.sub (i32.load8_u (i32.add (local.get $p)
+                                                    (local.get $i)))
+                              (i32.const 48)))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+    (local.get $v))
+  (func (export "main") (result i32)
+    (local $fd i64) (local $n i64)
+    (local.set $n (call $copy_argv (i64.const 256) (i64.const 1)))
+    (if (i64.lt_s (local.get $n) (i64.const 2))
+      (then (return (i32.const 250))))
+    (local.set $fd (call $atoi (i32.const 256)
+                         (i32.wrap_i64 (i64.sub (local.get $n) (i64.const 1)))))
+    (if (i64.ne (call $read (local.get $fd) (i64.const 512) (i64.const 1))
+                (i64.const 1))
+      (then (return (i32.const 251))))
+    (if (i64.ne (call $write (local.get $fd) (i64.const 512) (i64.const 1))
+                (i64.const 1))
+      (then (return (i32.const 252))))
+    (i32.const 0))
+))";
+    auto echo = cache.Load(kEchoWat);
+    if (!echo.ok()) {
+      std::fprintf(stderr, "echo guest build failed: %s\n",
+                   echo.status().ToString().c_str());
+      return 1;
+    }
+
+    struct BackendUnderTest {
+      const char* name;
+      std::unique_ptr<host::IoBackend> backend;
+    };
+    std::vector<BackendUnderTest> backends;
+    backends.push_back({"poll", std::make_unique<host::IoReactor>()});
+    if (host::IoUringAvailable()) {
+      backends.push_back({"io_uring", std::make_unique<host::IoUringBackend>()});
+    } else {
+      bench::Note("io_uring unavailable on this kernel: poll backend only");
+    }
+
+    for (BackendUnderTest& bt : backends) {
+      std::vector<int> client_fds(kConns, -1);
+      std::vector<int> guest_fds(kConns, -1);
+      bool socket_fail = false;
+      for (int k = 0; k < kConns; ++k) {
+        int sv[2];
+        if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+          socket_fail = true;
+          break;
+        }
+        client_fds[k] = sv[0];
+        guest_fds[k] = sv[1];
+      }
+      if (socket_fail) {
+        std::fprintf(stderr, "socketpair failed (fd limit?)\n");
+        return 1;
+      }
+
+      host::Supervisor::Options sopts;
+      sopts.workers = kWorkers;
+      sopts.io_backend = bt.backend.get();
+      sopts.pool.max_idle_per_module = kWorkers;
+      size_t peak_parked = 0;
+      double park_ms = 0, echo_ms = 0;
+      int completed = 0;
+      {
+        host::Supervisor sup(&runtime, sopts);
+        std::vector<std::future<host::RunReport>> futures;
+        futures.reserve(kConns);
+        int64_t t0 = common::MonotonicNanos();
+        for (int k = 0; k < kConns; ++k) {
+          host::GuestJob job;
+          job.module = *echo;
+          job.argv = {"echo", std::to_string(guest_fds[k])};
+          job.tenant = "slow-" + std::to_string(k % 16);
+          futures.push_back(sup.Submit(std::move(job)));
+        }
+        // Slow clients: say nothing until the whole fleet is parked.
+        const int64_t park_deadline =
+            common::MonotonicNanos() + 30ll * 1000 * 1000 * 1000;
+        while (common::MonotonicNanos() < park_deadline) {
+          peak_parked = std::max(peak_parked, sup.io_stats().parked_now);
+          if (peak_parked >= static_cast<size_t>(kConns)) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        park_ms = (common::MonotonicNanos() - t0) / 1e6;
+
+        // Now every client speaks at once and wants its echo back.
+        int64_t t1 = common::MonotonicNanos();
+        const char byte = 'x';
+        for (int k = 0; k < kConns; ++k) {
+          (void)!write(client_fds[k], &byte, 1);
+        }
+        char got;
+        for (int k = 0; k < kConns; ++k) {
+          if (read(client_fds[k], &got, 1) != 1) {
+            std::fprintf(stderr, "echo %d lost\n", k);
+          }
+        }
+        for (std::future<host::RunReport>& f : futures) {
+          host::RunReport r = f.get();
+          completed += (r.completed() && r.exit_code == 0) ? 1 : 0;
+        }
+        echo_ms = (common::MonotonicNanos() - t1) / 1e6;
+      }
+      for (int k = 0; k < kConns; ++k) {
+        close(client_fds[k]);
+        close(guest_fds[k]);
+      }
+
+      bool bar = peak_parked >= static_cast<size_t>(kParkBar) &&
+                 completed == kConns;
+      slow_client_bar = slow_client_bar && bar;
+      std::printf(
+          "slow-client[%s]: %d conns on %d workers: peak parked %zu  "
+          "(>= %d bar: %s)\n",
+          bt.name, kConns, kWorkers, peak_parked, kParkBar,
+          bar ? "PASS" : "FAIL");
+      std::printf(
+          "slow-client[%s]: park ramp %.1f ms  echo drain %.1f ms  "
+          "%8.0f echoes/s  %s\n",
+          bt.name, park_ms, echo_ms,
+          echo_ms > 0 ? kConns / (echo_ms / 1e3) : 0,
+          bench::Bar(std::min(1.0, peak_parked / (4.0 * kWorkers) / 100.0), 30)
+              .c_str());
+      if (host::IoUringAvailable() &&
+          std::string(bt.name) == "io_uring") {
+        auto* uring = static_cast<host::IoUringBackend*>(bt.backend.get());
+        host::IoUringBackend::Stats us = uring->stats();
+        std::printf(
+            "slow-client[io_uring]: %llu sqes / %llu enters = %.1f "
+            "sqes/enter (batched submission)\n",
+            static_cast<unsigned long long>(us.sqes),
+            static_cast<unsigned long long>(us.enters),
+            us.enters > 0 ? static_cast<double>(us.sqes) / us.enters : 0.0);
+      }
+    }
+  }
+
+  if (!in_flight_bar || !slow_client_bar) {
     return 3;
   }
   return speedup >= 5.0 ? 0 : 3;

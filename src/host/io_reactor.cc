@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -14,17 +15,20 @@
 
 namespace host {
 
-void IoBackendMetrics::Wire(Telemetry* tel) {
+void IoBackendMetrics::Wire(Telemetry* tel, const char* backend) {
   if (tel == nullptr) {
     submits = completes = cancels = nullptr;
     in_flight = nullptr;
     return;
   }
+  // Labels are embedded in the series name, matching the registry's idiom
+  // (cf. supervisor_jobs_total{outcome="completed"}).
+  const std::string label = std::string("{io_backend=\"") + backend + "\"}";
   metrics::Registry& reg = tel->registry();
-  submits = reg.GetCounter("io_submits_total");
-  completes = reg.GetCounter("io_completions_total");
-  cancels = reg.GetCounter("io_cancels_total");
-  in_flight = reg.GetGauge("io_in_flight");
+  submits = reg.GetCounter("io_submits_total" + label);
+  completes = reg.GetCounter("io_completions_total" + label);
+  cancels = reg.GetCounter("io_cancels_total" + label);
+  in_flight = reg.GetGauge("io_in_flight" + label);
 }
 
 namespace {
@@ -140,6 +144,21 @@ void IoReactor::Loop() {
           p.revents = 0;
           pfds.push_back(p);
           pfd_cookies.push_back(cookie);
+        } else if (rec.op.kind == wali::IoOp::Kind::kPollSet) {
+          // One table entry per interest-set member, all mapped back to the
+          // same cookie: the first member with revents completes the op and
+          // erases it, so later members of the same set miss the find below.
+          for (const wali::IoOp::PollFd& m : rec.op.poll_fds) {
+            if (m.fd < 0) {
+              continue;  // poll(2): negative fds are ignored
+            }
+            struct pollfd p;
+            p.fd = m.fd;
+            p.events = m.events;
+            p.revents = 0;
+            pfds.push_back(p);
+            pfd_cookies.push_back(cookie);
+          }
         }
         if (rec.deadline_nanos >= 0 &&
             (next_deadline < 0 || rec.deadline_nanos < next_deadline)) {

@@ -40,32 +40,32 @@ namespace host {
 class Telemetry;
 
 // Shared metrics wiring for IoBackend implementations: submit/complete/
-// cancel counters plus the in-flight gauge (`io_*` series). Unwired (all
-// null) until Wire is called; the hooks are no-ops then.
+// cancel counters plus the in-flight gauge (`io_*` series, labeled with the
+// backend's identity, e.g. io_submits_total{io_backend="poll"}). Unwired
+// (all null) until Wire is called; the hooks are no-ops then. Each pointer
+// is checked individually — a partially-wired or mid-detach backend (Wire
+// raced with a hot completion path) must degrade to skipped samples, never
+// a null dereference.
 struct IoBackendMetrics {
   metrics::Counter* submits = nullptr;
   metrics::Counter* completes = nullptr;
   metrics::Counter* cancels = nullptr;
   metrics::Gauge* in_flight = nullptr;
 
-  void Wire(Telemetry* tel);  // null detaches
+  // `backend` becomes the io_backend label value on every series
+  // ("poll", "io_uring", "fake"). Null `tel` detaches.
+  void Wire(Telemetry* tel, const char* backend);
   void OnSubmit() {
-    if (submits != nullptr) {
-      submits->Inc();
-      in_flight->Add(1);
-    }
+    if (submits != nullptr) submits->Inc();
+    if (in_flight != nullptr) in_flight->Add(1);
   }
   void OnComplete() {
-    if (completes != nullptr) {
-      completes->Inc();
-      in_flight->Sub(1);
-    }
+    if (completes != nullptr) completes->Inc();
+    if (in_flight != nullptr) in_flight->Sub(1);
   }
   void OnCancel() {
-    if (cancels != nullptr) {
-      cancels->Inc();
-      in_flight->Sub(1);
-    }
+    if (cancels != nullptr) cancels->Inc();
+    if (in_flight != nullptr) in_flight->Sub(1);
   }
 };
 
@@ -95,6 +95,15 @@ struct IoCompletion {
     IoCompletion c;
     c.value = v;
     c.has_value = true;
+    return c;
+  }
+  // kError with value = -errno but has_value left false: the supervisor's
+  // materialization order surfaces `value` for kError directly, and leaving
+  // has_value false keeps scripted-result semantics distinct.
+  static IoCompletion Error(int64_t v) {
+    IoCompletion c;
+    c.status = Status::kError;
+    c.value = v;
     return c;
   }
 };
@@ -154,7 +163,7 @@ class IoReactor : public IoBackend {
 
   // Wires io_* counters/gauge into `tel`'s registry. Call before the first
   // Submit; null detaches.
-  void SetTelemetry(Telemetry* tel) { tm_.Wire(tel); }
+  void SetTelemetry(Telemetry* tel) { tm_.Wire(tel, "poll"); }
 
  private:
   struct Op {
@@ -214,7 +223,7 @@ class FakeIoBackend : public IoBackend {
 
   // Same contract as IoReactor::SetTelemetry: tests assert the io_* series
   // against deterministic scripted completions.
-  void SetTelemetry(Telemetry* tel) { tm_.Wire(tel); }
+  void SetTelemetry(Telemetry* tel) { tm_.Wire(tel, "fake"); }
 
  private:
   struct Op {

@@ -41,6 +41,12 @@
 //                    resume when the op completes, so sleeping guests do
 //                    not hold worker threads. Serve reports parks, peak
 //                    in-flight, and blocked-time aggregates
+//   --io-backend B   with --serve: which completion backend serves the
+//                    offloaded ops (implies --async-io). auto (default)
+//                    picks io_uring when the kernel and build support it,
+//                    else the poll(2) reactor; io_uring falls back to poll
+//                    with a notice when unavailable. The serve banner and
+//                    the io_* telemetry series carry the active backend
 //   --evict-parked   with --serve --async-io: a sweeper thread serializes
 //                    every snapshot-eligible parked guest to bytes
 //                    (Supervisor::EvictAllParked) and releases its pool
@@ -94,6 +100,7 @@
 #include "src/common/logging.h"
 #include "src/common/time_util.h"
 #include "src/host/host.h"
+#include "src/host/io_uring_backend.h"
 #include "src/host/telemetry.h"
 #include "src/wali/process_snapshot.h"
 #include "src/wali/wali.h"
@@ -108,6 +115,7 @@ int Usage() {
                "               [--compile out.wasm] [--trace]\n"
                "               [--serve N [--repeat K] [--queue-depth D]\n"
                "                [--async-io [--evict-parked]]\n"
+               "                [--io-backend auto|poll|io_uring]\n"
                "                [--tenant-budget fuel=N,cpu_ms=N,syscalls=N,"
                "mem_pages=N]]\n"
                "               [--metrics-dump out.prom|out.json]"
@@ -182,18 +190,39 @@ int Serve(wali::WaliRuntime& runtime, std::shared_ptr<const wasm::Module> module
           const std::vector<std::string>& guest_argv,
           const std::vector<std::string>& env, int workers, int repeat,
           int queue_depth, const host::TenantBudget& budget, bool async_io,
-          bool evict_parked, host::Telemetry* tel) {
+          const std::string& io_backend_choice, bool evict_parked,
+          host::Telemetry* tel) {
   const char* kTenant = "serve";
   host::Supervisor::Options sopts;
   sopts.workers = static_cast<size_t>(workers);
   sopts.queue_depth = static_cast<size_t>(queue_depth);
   sopts.pool.max_idle_per_module = static_cast<size_t>(workers);
   sopts.telemetry = tel;
-  std::unique_ptr<host::IoReactor> reactor;
+  std::unique_ptr<host::IoBackend> backend;
+  host::IoUringBackend* uring = nullptr;  // for the stats line
+  const char* backend_name = "none";
   if (async_io) {
-    reactor = std::make_unique<host::IoReactor>();
-    reactor->SetTelemetry(tel);
-    sopts.io_backend = reactor.get();
+    bool want_uring = io_backend_choice == "io_uring" ||
+                      (io_backend_choice == "auto" && host::IoUringAvailable());
+    if (io_backend_choice == "io_uring" && !host::IoUringAvailable()) {
+      std::fprintf(stderr,
+                   "walirun: io_uring unavailable on this kernel/build; "
+                   "falling back to the poll backend\n");
+      want_uring = false;
+    }
+    if (want_uring) {
+      auto u = std::make_unique<host::IoUringBackend>();
+      u->SetTelemetry(tel);
+      uring = u.get();
+      backend = std::move(u);
+      backend_name = "io_uring";
+    } else {
+      auto reactor = std::make_unique<host::IoReactor>();
+      reactor->SetTelemetry(tel);
+      backend = std::move(reactor);
+      backend_name = "poll";
+    }
+    sopts.io_backend = backend.get();
   }
   host::Supervisor sup(&runtime, sopts);
   if (!budget.Unlimited()) {
@@ -216,14 +245,14 @@ int Serve(wali::WaliRuntime& runtime, std::shared_ptr<const wasm::Module> module
   }
 
   // Active dispatch mode: what RunLoop actually resolves for these options.
-  std::printf("serve: dispatch=%s scheme=%s jit=%s async-io=%s\n",
+  std::printf("serve: dispatch=%s scheme=%s jit=%s async-io=%s io-backend=%s\n",
               wasm::DispatchModeName(wasm::ResolveDispatch(runtime.exec_options())),
               wasm::SafepointSchemeName(runtime.options().scheme),
               wasm::JitAvailable() &&
                       runtime.exec_options().jit != wasm::JitTier::kOff
                   ? "on"
                   : "off",
-              async_io ? "on" : "off");
+              async_io ? "on" : "off", backend_name);
   // Fusion attribution next to the dispatch mode, so serve-mode perf
   // reports can name the superinstruction set actually serving traffic.
   {
@@ -354,12 +383,20 @@ int Serve(wali::WaliRuntime& runtime, std::shared_ptr<const wasm::Module> module
   if (async_io) {
     host::Supervisor::IoStats io = sup.io_stats();
     std::printf(
-        "serve: async-io parks=%llu resumes=%llu peak-in-flight=%llu "
+        "serve: async-io[%s] parks=%llu resumes=%llu peak-in-flight=%llu "
         "blocked %.1f ms total, %.1f ms max/guest\n",
-        static_cast<unsigned long long>(io.parks_total),
+        backend_name, static_cast<unsigned long long>(io.parks_total),
         static_cast<unsigned long long>(io.resumes_total),
         static_cast<unsigned long long>(io.peak_in_flight),
         blocked_total / 1e6, blocked_max / 1e6);
+    if (uring != nullptr) {
+      host::IoUringBackend::Stats us = uring->stats();
+      std::printf("serve: io_uring sqes=%llu enters=%llu (%.1f sqes/enter)\n",
+                  static_cast<unsigned long long>(us.sqes),
+                  static_cast<unsigned long long>(us.enters),
+                  us.enters > 0 ? static_cast<double>(us.sqes) / us.enters
+                                : 0.0);
+    }
     if (evict_parked) {
       std::printf("serve: evictions=%llu restores=%llu\n",
                   static_cast<unsigned long long>(io.evicts_total),
@@ -455,6 +492,7 @@ int main(int argc, char** argv) {
   int serve_repeat = 1;
   int queue_depth = 0;
   bool async_io = false;
+  std::string io_backend_choice = "auto";
   bool evict_parked = false;
   host::TenantBudget budget;
   wasm::SafepointScheme scheme = wasm::SafepointScheme::kLoop;
@@ -477,6 +515,13 @@ int main(int argc, char** argv) {
       if (queue_depth <= 0) return Usage();
     } else if (arg == "--async-io") {
       async_io = true;
+    } else if (arg == "--io-backend" && i + 1 < argc) {
+      io_backend_choice = argv[++i];
+      if (io_backend_choice != "auto" && io_backend_choice != "poll" &&
+          io_backend_choice != "io_uring") {
+        return Usage();
+      }
+      async_io = true;  // choosing a backend implies offload
     } else if (arg == "--evict-parked") {
       evict_parked = true;
     } else if (arg == "--tenant-budget" && i + 1 < argc) {
@@ -578,7 +623,8 @@ int main(int argc, char** argv) {
 
   if (serve_workers > 0) {
     int rc = Serve(runtime, *parsed, guest_argv, env, serve_workers,
-                   serve_repeat, queue_depth, budget, async_io, evict_parked,
+                   serve_repeat, queue_depth, budget, async_io,
+                   io_backend_choice, evict_parked,
                    &tel);
     DumpTelemetry(tel, metrics_dump, trace_out);
     return rc;

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace wali {
 
@@ -37,6 +38,21 @@ struct IoOp {
     // WaliProcess::park_after_syscalls files these for deterministic
     // park-anywhere testing (tests/wasm_snapshot_test.cc).
     kScripted,
+    // Wait until ANY entry of `poll_fds` has readiness matching its events
+    // mask (poll(2) semantics: error/hup/nval always count, negative fds
+    // are skipped). This is the multi-fd AND dual-interest (POLLIN|POLLOUT)
+    // op class: the retry re-polls with timeout 0 to materialize revents.
+    // Ordered after kScripted so serialized kind values never shift; a
+    // kPollSet park always carries a retry closure, so it is never
+    // snapshot-eligible and poll_fds needs no serialized form.
+    kPollSet,
+  };
+
+  // One member of a kPollSet: the fd and its requested events mask, exactly
+  // as in struct pollfd (revents are materialized by the retry, never here).
+  struct PollFd {
+    int fd = -1;
+    short events = 0;
   };
 
   Kind kind = Kind::kNone;
@@ -47,6 +63,7 @@ struct IoOp {
   // retry (e.g. poll with timeout 0) yields the syscall's timeout answer.
   int64_t timeout_nanos = -1;
   int64_t scripted_result = 0;  // kScripted: the syscall's known result
+  std::vector<PollFd> poll_fds;  // kPollSet: the interest set
 
   static IoOp Sleep(int64_t nanos) {
     IoOp op;
@@ -72,6 +89,13 @@ struct IoOp {
     IoOp op;
     op.kind = Kind::kScripted;
     op.scripted_result = result;
+    return op;
+  }
+  static IoOp PollSet(std::vector<PollFd> fds, int64_t timeout_nanos = -1) {
+    IoOp op;
+    op.kind = Kind::kPollSet;
+    op.poll_fds = std::move(fds);
+    op.timeout_nanos = timeout_nanos;
     return op;
   }
 };

@@ -15,6 +15,10 @@
 #include "src/wali/process.h"
 #include "src/wasm/wasm.h"
 
+namespace wabi {
+struct WaliTimespec;  // src/abi/layout.h; only referenced, never stored
+}
+
 namespace wali {
 
 class WaliRuntime;
@@ -202,6 +206,13 @@ bool OffloadableFd(int fd);
 // WaliCtx::Raw) is gone. Returns the kernel convention (-errno on failure).
 int64_t RetryRaw(WaliProcess& proc, long number, long a0 = 0, long a1 = 0,
                  long a2 = 0, long a3 = 0, long a4 = 0, long a5 = 0);
+
+// Validates a guest timespec and flattens it to nanoseconds (kernel
+// nanosleep rules: negative seconds or out-of-range nanos are EINVAL,
+// reported as `false`; overlong durations saturate to INT64_MAX). Shared by
+// every offload gate that converts a guest-relative timeout — nanosleep,
+// clock_nanosleep, ppoll, futex. Defined in syscalls_time.cc.
+bool SleepDurationNanos(const wabi::WaliTimespec& ts, int64_t* out);
 
 // Registry population, grouped by subsystem (one .cc per group).
 void RegisterFsSyscalls(std::vector<SyscallDef>& defs);

@@ -20,19 +20,23 @@ namespace {
 
 constexpr int kMaxIov = 64;
 
-// Builds a host iovec array from a guest wasm32 iovec array.
-int TranslateIovecs(const WaliCtx& c, uint64_t iov_addr, uint64_t iovcnt,
+// Builds a host iovec array from a guest wasm32 iovec array. Takes the
+// memory directly (not WaliCtx) so resume-time retry closures — which run
+// on a worker thread after the original ExecContext is gone — can
+// re-translate against the live memory with the same bounds rules.
+int TranslateIovecs(wasm::Memory& mem, uint64_t iov_addr, uint64_t iovcnt,
                     struct iovec* out) {
   if (iovcnt > kMaxIov) {
     return -EINVAL;
   }
-  const auto* guest = static_cast<const wabi::WaliIovec*>(
-      c.Ptr(iov_addr, iovcnt * sizeof(wabi::WaliIovec)));
-  if (guest == nullptr) {
+  if (!mem.InBounds(iov_addr, iovcnt * sizeof(wabi::WaliIovec))) {
     return -EFAULT;
   }
+  const auto* guest = reinterpret_cast<const wabi::WaliIovec*>(mem.At(iov_addr));
   for (uint64_t i = 0; i < iovcnt; ++i) {
-    void* base = c.Ptr(guest[i].base, guest[i].len);
+    void* base = mem.InBounds(guest[i].base, guest[i].len)
+                     ? mem.At(guest[i].base)
+                     : nullptr;
     if (base == nullptr && guest[i].len != 0) {
       return -EFAULT;
     }
@@ -101,15 +105,46 @@ int64_t SysWrite(WaliCtx& c, const int64_t* a) {
 
 int64_t SysReadv(WaliCtx& c, const int64_t* a) {
   struct iovec iov[kMaxIov];
-  int rc = TranslateIovecs(c, a[1], a[2], iov);
+  int rc = TranslateIovecs(c.mem, a[1], a[2], iov);
   if (rc != 0) return rc;
+  int fd = static_cast<int>(a[0]);
+  if (c.CanOffload() && c.proc.OffloadableCached(fd)) {
+    // Validated inline above (same -EINVAL/-EFAULT as the blocking path),
+    // then parked like SysRead; the retry re-translates the whole iovec
+    // array against the live memory at resume.
+    WaliProcess* proc = &c.proc;
+    uint64_t iov_addr = static_cast<uint64_t>(a[1]);
+    uint64_t iovcnt = static_cast<uint64_t>(a[2]);
+    c.Park(IoOp::Readable(fd), [proc, fd, iov_addr, iovcnt]() -> int64_t {
+      struct iovec riov[kMaxIov];
+      int rrc = TranslateIovecs(*proc->memory, iov_addr, iovcnt, riov);
+      if (rrc != 0) return rrc;
+      return RetryRaw(*proc, SYS_readv, fd, reinterpret_cast<long>(riov),
+                      static_cast<long>(iovcnt));
+    });
+    return 0;
+  }
   return c.Raw(SYS_readv, a[0], reinterpret_cast<long>(iov), a[2]);
 }
 
 int64_t SysWritev(WaliCtx& c, const int64_t* a) {
   struct iovec iov[kMaxIov];
-  int rc = TranslateIovecs(c, a[1], a[2], iov);
+  int rc = TranslateIovecs(c.mem, a[1], a[2], iov);
   if (rc != 0) return rc;
+  int fd = static_cast<int>(a[0]);
+  if (c.CanOffload() && c.proc.OffloadableCached(fd)) {
+    WaliProcess* proc = &c.proc;
+    uint64_t iov_addr = static_cast<uint64_t>(a[1]);
+    uint64_t iovcnt = static_cast<uint64_t>(a[2]);
+    c.Park(IoOp::Writable(fd), [proc, fd, iov_addr, iovcnt]() -> int64_t {
+      struct iovec riov[kMaxIov];
+      int rrc = TranslateIovecs(*proc->memory, iov_addr, iovcnt, riov);
+      if (rrc != 0) return rrc;
+      return RetryRaw(*proc, SYS_writev, fd, reinterpret_cast<long>(riov),
+                      static_cast<long>(iovcnt));
+    });
+    return 0;
+  }
   return c.Raw(SYS_writev, a[0], reinterpret_cast<long>(iov), a[2]);
 }
 

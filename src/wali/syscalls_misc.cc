@@ -7,18 +7,47 @@
 #include <sys/syscall.h>
 
 #include <cstring>
+#include <utility>
+#include <vector>
 
+#include "src/abi/layout.h"
 #include "src/wali/runtime.h"
 
 namespace wali {
 
 namespace {
 
+// Offloadable poll/ppoll sets are bounded: the completion loops register
+// one waiter per member, so an attacker-sized nfds must not translate into
+// unbounded kernel registrations. Larger sets take the blocking path.
+constexpr uint64_t kMaxOffloadPollFds = 64;
+
 int64_t SysFutex(WaliCtx& c, const int64_t* a) {
   void* uaddr = c.Ptr(a[0], 4);
   if (uaddr == nullptr) return -EFAULT;
   long timeout_ptr = 0;
   int op = static_cast<int>(a[1]) & 0x7F;  // mask FUTEX_PRIVATE_FLAG
+  // Timer-class FUTEX_WAIT offload: a plain WAIT with a timeout in a
+  // process that has no other threads has no possible waker, so the wait
+  // can only end when the timeout elapses — a pure timer park. The value
+  // check happens inline (no concurrent writer exists to race with):
+  // mismatch answers -EAGAIN without parking, and the retry reports
+  // -ETIMEDOUT exactly as the kernel would. Untimed or multi-threaded
+  // waits keep the blocking path, where a real waker can reach them.
+  if (op == 0 /*WAIT*/ && c.CanOffload() && a[3] != 0 &&
+      c.proc.thread_count() == 0) {
+    void* tsp = c.Ptr(a[3], 16);
+    if (tsp == nullptr) return -EFAULT;
+    wabi::WaliTimespec ts;
+    std::memcpy(&ts, tsp, sizeof(ts));
+    int64_t dur = 0;
+    if (!SleepDurationNanos(ts, &dur)) return -EINVAL;
+    uint32_t cur;
+    std::memcpy(&cur, uaddr, 4);
+    if (cur != static_cast<uint32_t>(a[2])) return -EAGAIN;
+    c.Park(IoOp::Sleep(dur), []() -> int64_t { return -ETIMEDOUT; });
+    return 0;
+  }
   // FUTEX_WAIT-class ops pass a timespec; WAKE-class pass a count in arg4.
   bool has_timeout = (op == 0 /*WAIT*/ || op == 9 /*WAIT_BITSET*/);
   if (has_timeout && a[3] != 0) {
@@ -53,33 +82,41 @@ int64_t PollRetryNow(WaliProcess& proc, uint64_t fds_addr, uint64_t nfds) {
 #endif
 }
 
+// Parks a poll/ppoll on its full interest set: one kPollSet member per
+// guest pollfd entry, events passed through verbatim (the union of
+// requested interests — a POLLIN|POLLOUT waiter wakes on either class, and
+// error/hup/nval always count). Negative fds ride along as placeholders
+// and are skipped by every backend, so an all-negative set parks as a pure
+// timer, matching poll(2). The retry re-polls with timeout 0 to
+// materialize revents into guest memory.
+void ParkPollSet(WaliCtx& c, const void* fds, uint64_t fds_addr,
+                 uint64_t nfds, int64_t timeout_nanos) {
+  std::vector<IoOp::PollFd> set;
+  set.reserve(nfds);
+  for (uint64_t i = 0; i < nfds; ++i) {
+    struct pollfd pfd;
+    std::memcpy(&pfd, static_cast<const char*>(fds) + i * 8, sizeof(pfd));
+    set.push_back(IoOp::PollFd{pfd.fd, pfd.events});
+  }
+  WaliProcess* proc = &c.proc;
+  c.Park(IoOp::PollSet(std::move(set), timeout_nanos),
+         [proc, fds_addr, nfds]() -> int64_t {
+           return PollRetryNow(*proc, fds_addr, nfds);
+         });
+}
+
 int64_t SysPoll(WaliCtx& c, const int64_t* a) {
   uint64_t nfds = static_cast<uint64_t>(a[1]);
   void* fds = c.Ptr(a[0], nfds * 8);  // struct pollfd = 8 bytes everywhere
   if (fds == nullptr && nfds != 0) return -EFAULT;
-  // Single-fd polls for plain readability/writability — by far the common
-  // shape in event-loop guests — are offloadable: the completion loop waits
-  // on the one fd (bounded by the poll's own timeout) and the retry polls
-  // with timeout 0 to materialize revents. Zero-timeout polls are
-  // non-blocking by contract and go straight to the kernel; multi-fd sets
-  // would need multi-wait support in the IoOp vocabulary, so they take the
-  // blocking path too.
-  if (c.CanOffload() && nfds == 1 && a[2] != 0) {
-    struct pollfd pfd;
-    std::memcpy(&pfd, fds, sizeof(pfd));
-    const bool wants_in = (pfd.events & POLLIN) != 0;
-    const bool wants_out = (pfd.events & POLLOUT) != 0;
-    if (wants_in != wants_out) {  // exactly one readiness class
-      int64_t timeout_nanos = a[2] < 0 ? -1 : a[2] * 1000000;
-      IoOp op = wants_in ? IoOp::Readable(pfd.fd, timeout_nanos)
-                         : IoOp::Writable(pfd.fd, timeout_nanos);
-      WaliProcess* proc = &c.proc;
-      uint64_t fds_addr = static_cast<uint64_t>(a[0]);
-      c.Park(op, [proc, fds_addr]() -> int64_t {
-        return PollRetryNow(*proc, fds_addr, 1);
-      });
-      return 0;
-    }
+  // Blocking polls park on the whole interest set — multi-fd, dual-interest
+  // (POLLIN|POLLOUT), the lot — bounded by the poll's own timeout.
+  // Zero-timeout polls are non-blocking by contract and go straight to the
+  // kernel; oversized sets take the blocking path (see kMaxOffloadPollFds).
+  if (c.CanOffload() && a[2] != 0 && nfds >= 1 && nfds <= kMaxOffloadPollFds) {
+    int64_t timeout_nanos = a[2] < 0 ? -1 : a[2] * 1000000;
+    ParkPollSet(c, fds, static_cast<uint64_t>(a[0]), nfds, timeout_nanos);
+    return 0;
   }
 #ifdef SYS_poll
   return c.Raw(SYS_poll, reinterpret_cast<long>(fds), nfds, a[2]);
@@ -110,6 +147,25 @@ int64_t SysPpoll(WaliCtx& c, const int64_t* a) {
     void* mask = c.Ptr(a[3], 8);
     if (mask == nullptr) return -EFAULT;
     mask_ptr = reinterpret_cast<long>(mask);
+  }
+  // ppoll is what musl-linked guests actually call for poll(3), so it
+  // parks through the same path as SysPoll. A non-null sigmask needs the
+  // atomic mask-swap ppoll exists for, which a parked completion loop
+  // cannot honor — refuse to park and let the kernel do it. ppoll never
+  // writes the remaining time back, so the timeout-0 poll retry is
+  // semantically equivalent at resume. A null timespec blocks forever
+  // (timeout -1); a zero one is non-blocking and answers inline.
+  if (c.CanOffload() && a[3] == 0 && nfds >= 1 && nfds <= kMaxOffloadPollFds) {
+    int64_t timeout_nanos = -1;
+    if (ts_ptr != 0) {
+      wabi::WaliTimespec ts;
+      std::memcpy(&ts, reinterpret_cast<const void*>(ts_ptr), sizeof(ts));
+      if (!SleepDurationNanos(ts, &timeout_nanos)) return -EINVAL;
+    }
+    if (timeout_nanos != 0) {
+      ParkPollSet(c, fds, static_cast<uint64_t>(a[0]), nfds, timeout_nanos);
+      return 0;
+    }
   }
   return c.Raw(SYS_ppoll, reinterpret_cast<long>(fds), nfds, ts_ptr, mask_ptr, 8);
 }

@@ -2,6 +2,7 @@
 // layout on all Linux ISAs, so everything here is zero-copy passthrough
 // after translation. msghdr is rebuilt from the guest's wasm32 layout.
 #include <errno.h>
+#include <fcntl.h>
 #include <sys/socket.h>
 #include <sys/syscall.h>
 
@@ -112,6 +113,41 @@ int64_t SysAccept4(WaliCtx& c, const int64_t* a) {
 int64_t SysConnect(WaliCtx& c, const int64_t* a) {
   const void* addr = c.Ptr(a[1], a[2]);
   if (addr == nullptr) return -EFAULT;
+  int fd = static_cast<int>(a[0]);
+  // Offloaded connect: start the handshake non-blocking, park until the
+  // socket is writable (connect(2)'s completion signal), and read the
+  // outcome from SO_ERROR in the retry. The O_NONBLOCK flip is reverted
+  // immediately — the guest never observes the flag, and the offload cache
+  // keys on the guest-visible state. Sockets the guest itself made
+  // non-blocking answer inline by definition (OffloadableCached is false
+  // for them), so -EINPROGRESS never leaks to a guest that didn't ask for
+  // it.
+  if (c.CanOffload() && c.proc.OffloadableCached(fd)) {
+    const int64_t flags = c.Raw(SYS_fcntl, fd, F_GETFL, 0);
+    if (flags >= 0 &&
+        c.Raw(SYS_fcntl, fd, F_SETFL, flags | O_NONBLOCK) == 0) {
+      int64_t r = c.Raw(SYS_connect, fd, reinterpret_cast<long>(addr), a[2]);
+      (void)c.Raw(SYS_fcntl, fd, F_SETFL, flags);
+      if (r == -EINPROGRESS) {
+        WaliProcess* proc = &c.proc;
+        c.Park(IoOp::Writable(fd), [proc, fd]() -> int64_t {
+          int err = 0;
+          uint32_t len = sizeof(err);
+          int64_t gr = RetryRaw(*proc, SYS_getsockopt, fd, SOL_SOCKET,
+                                SO_ERROR, reinterpret_cast<long>(&err),
+                                reinterpret_cast<long>(&len));
+          if (gr < 0) return gr;
+          return err == 0 ? 0 : -err;
+        });
+        return 0;
+      }
+      if (r != -EAGAIN) {
+        return r;  // connected (or failed) inline
+      }
+      // -EAGAIN (e.g. a full unix-socket backlog): only the blocking path
+      // can wait for it, so fall through.
+    }
+  }
   return c.Raw(SYS_connect, a[0], reinterpret_cast<long>(addr), a[2]);
 }
 

@@ -12,6 +12,24 @@
 
 namespace wali {
 
+// Validates a guest timespec and flattens it to nanoseconds (kernel
+// nanosleep rules: negative seconds or out-of-range nanos are EINVAL).
+// Durations past int64 range (sec is guest-controlled) saturate: a
+// ~292-year sleep and an infinite one are indistinguishable in practice,
+// and the multiply must not be allowed to overflow (UB) into a 0ns sleep.
+// Declared in runtime.h: the ppoll and futex offload gates share it.
+bool SleepDurationNanos(const wabi::WaliTimespec& ts, int64_t* out) {
+  if (ts.sec < 0 || ts.nsec < 0 || ts.nsec >= 1000000000) {
+    return false;
+  }
+  if (ts.sec > (INT64_MAX - ts.nsec) / 1000000000) {
+    *out = INT64_MAX;
+    return true;
+  }
+  *out = ts.sec * 1000000000 + ts.nsec;
+  return true;
+}
+
 namespace {
 
 int64_t SysClockGettime(WaliCtx& c, const int64_t* a) {
@@ -32,23 +50,6 @@ int64_t SysClockGetres(WaliCtx& c, const int64_t* a) {
 
 int64_t SysClockSettime(WaliCtx& c, const int64_t* a) {
   return -EPERM;  // never allow the sandbox to set host clocks
-}
-
-// Validates a guest timespec and flattens it to nanoseconds (kernel
-// nanosleep rules: negative seconds or out-of-range nanos are EINVAL).
-// Durations past int64 range (sec is guest-controlled) saturate: a
-// ~292-year sleep and an infinite one are indistinguishable in practice,
-// and the multiply must not be allowed to overflow (UB) into a 0ns sleep.
-bool SleepDurationNanos(const wabi::WaliTimespec& ts, int64_t* out) {
-  if (ts.sec < 0 || ts.nsec < 0 || ts.nsec >= 1000000000) {
-    return false;
-  }
-  if (ts.sec > (INT64_MAX - ts.nsec) / 1000000000) {
-    *out = INT64_MAX;
-    return true;
-  }
-  *out = ts.sec * 1000000000 + ts.nsec;
-  return true;
 }
 
 int64_t SysNanosleep(WaliCtx& c, const int64_t* a) {

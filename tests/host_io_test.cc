@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -104,6 +105,138 @@ const char* kNonBlockGuest = R"(
                 (i64.const 0))
       (then (return (i32.const 2))))
     (i32.const 9))
+)";
+
+// ppoll on an empty pipe with a 50ms timespec: musl's poll(3) shape. Must
+// park (kPollSet) instead of pinning a worker in the kernel; the timeout
+// completion's retry re-polls with timeout 0 and reports 0 ready fds.
+const char* kPpollSleeperGuest = R"(
+  (memory 2)
+  (func (export "main") (result i32)
+    (local $rfd i64) (local $r i64)
+    (drop (call $pipe2 (i64.const 256) (i64.const 0)))
+    (local.set $rfd (i64.load32_s (i32.const 256)))
+    ;; pollfd at 512: fd, events=POLLIN(1)
+    (i32.store (i32.const 512) (i32.wrap_i64 (local.get $rfd)))
+    (i32.store16 (i32.const 516) (i32.const 1))
+    ;; timespec at 528: 50ms
+    (i64.store (i32.const 528) (i64.const 0))
+    (i64.store (i32.const 536) (i64.const 50000000))
+    (local.set $r (call $ppoll (i64.const 512) (i64.const 1) (i64.const 528)
+                               (i64.const 0) (i64.const 8)))
+    (if (i64.ne (local.get $r) (i64.const 0))
+      (then (return (i32.const 255))))
+    (i32.const 21))
+)";
+
+// poll with events = POLLIN|POLLOUT on a fresh socketpair end, 1s timeout.
+// The park must carry BOTH interests; the socket is writable, so the retry
+// materializes revents = POLLOUT and the guest exits with it (4).
+const char* kDualInterestPollGuest = R"(
+  (memory 2)
+  (func (export "main") (result i32)
+    (local $fd i64) (local $r i64)
+    (if (i64.ne (call $socketpair (i64.const 1) (i64.const 1) (i64.const 0)
+                                  (i64.const 256))
+                (i64.const 0))
+      (then (return (i32.const 250))))
+    (local.set $fd (i64.load32_s (i32.const 256)))
+    ;; pollfd at 512: fd, events = POLLIN|POLLOUT = 5
+    (i32.store (i32.const 512) (i32.wrap_i64 (local.get $fd)))
+    (i32.store16 (i32.const 516) (i32.const 5))
+    (local.set $r (call $poll (i64.const 512) (i64.const 1) (i64.const 1000)))
+    (if (i64.ne (local.get $r) (i64.const 1))
+      (then (return (i32.const 251))))
+    (i32.load16_u (i32.const 518)))
+)";
+
+// Plain FUTEX_WAIT with a 50ms timeout in a threadless process: value
+// mismatch answers -EAGAIN inline; a matching value parks as a pure timer
+// and the retry reports -ETIMEDOUT, exactly as the kernel would.
+const char* kFutexWaitGuest = R"(
+  (memory 2)
+  (func (export "main") (result i32)
+    (local $r i64)
+    (i32.store (i32.const 1024) (i32.const 7))
+    ;; timespec at 528: 50ms
+    (i64.store (i32.const 528) (i64.const 0))
+    (i64.store (i32.const 536) (i64.const 50000000))
+    (local.set $r (call $futex (i64.const 1024) (i64.const 0) (i64.const 8)
+                               (i64.const 528) (i64.const 0) (i64.const 0)))
+    (if (i64.ne (local.get $r) (i64.const -11))
+      (then (return (i32.const 252))))
+    (local.set $r (call $futex (i64.const 1024) (i64.const 0) (i64.const 7)
+                               (i64.const 528) (i64.const 0) (i64.const 0)))
+    (if (i64.ne (local.get $r) (i64.const -110))
+      (then (return (i32.const 253))))
+    (i32.const 31))
+)";
+
+// writev then readv through a pipe, two single-byte iovecs each: both park
+// on their readiness class and the retries re-translate the iovec arrays
+// against live memory. Exits 40 + 2 = 42.
+const char* kVectoredPipeGuest = R"(
+  (memory 2)
+  (func (export "main") (result i32)
+    (local $rfd i64) (local $wfd i64) (local $r i64)
+    (drop (call $pipe2 (i64.const 256) (i64.const 0)))
+    (local.set $rfd (i64.load32_s (i32.const 256)))
+    (local.set $wfd (i64.load32_s (i32.const 260)))
+    (i32.store8 (i32.const 1024) (i32.const 40))
+    (i32.store8 (i32.const 1025) (i32.const 2))
+    ;; iov at 768: [{1024,1},{1025,1}]
+    (i32.store (i32.const 768) (i32.const 1024))
+    (i32.store (i32.const 772) (i32.const 1))
+    (i32.store (i32.const 776) (i32.const 1025))
+    (i32.store (i32.const 780) (i32.const 1))
+    (local.set $r (call $writev (local.get $wfd) (i64.const 768) (i64.const 2)))
+    (if (i64.ne (local.get $r) (i64.const 2))
+      (then (return (i32.const 254))))
+    ;; iov at 832: [{2048,1},{2049,1}]
+    (i32.store (i32.const 832) (i32.const 2048))
+    (i32.store (i32.const 836) (i32.const 1))
+    (i32.store (i32.const 840) (i32.const 2049))
+    (i32.store (i32.const 844) (i32.const 1))
+    (local.set $r (call $readv (local.get $rfd) (i64.const 832) (i64.const 2)))
+    (if (i64.ne (local.get $r) (i64.const 2))
+      (then (return (i32.const 253))))
+    (i32.add (i32.load8_u (i32.const 2048)) (i32.load8_u (i32.const 2049))))
+)";
+
+// TCP loopback connect: bind+listen on 127.0.0.1:0, learn the port via
+// getsockname, then connect a second socket to it. Nonblocking TCP connect
+// always answers -EINPROGRESS, so the connect parks (Writable) and the
+// retry reads the outcome from SO_ERROR.
+const char* kConnectGuest = R"(
+  (memory 2)
+  (func (export "main") (result i32)
+    (local $ls i64) (local $cs i64) (local $r i64)
+    (local.set $ls (call $socket (i64.const 2) (i64.const 1) (i64.const 0)))
+    (if (i64.lt_s (local.get $ls) (i64.const 0))
+      (then (return (i32.const 240))))
+    ;; sockaddr_in at 512: family=2, port=0, addr=127.0.0.1
+    (i32.store16 (i32.const 512) (i32.const 2))
+    (i32.store16 (i32.const 514) (i32.const 0))
+    (i32.store (i32.const 516) (i32.const 0x0100007f))
+    (i64.store (i32.const 520) (i64.const 0))
+    (if (i64.ne (call $bind (local.get $ls) (i64.const 512) (i64.const 16))
+                (i64.const 0))
+      (then (return (i32.const 241))))
+    (if (i64.ne (call $listen (local.get $ls) (i64.const 8)) (i64.const 0))
+      (then (return (i32.const 242))))
+    ;; learn the bound port: getsockname into 544 (len at 576 = 16)
+    (i32.store (i32.const 576) (i32.const 16))
+    (if (i64.ne (call $getsockname (local.get $ls) (i64.const 544)
+                                   (i64.const 576))
+                (i64.const 0))
+      (then (return (i32.const 243))))
+    (local.set $cs (call $socket (i64.const 2) (i64.const 1) (i64.const 0)))
+    (if (i64.lt_s (local.get $cs) (i64.const 0))
+      (then (return (i32.const 244))))
+    (local.set $r (call $connect (local.get $cs) (i64.const 544) (i64.const 16)))
+    (if (i64.ne (local.get $r) (i64.const 0))
+      (then (return (i32.const 245))))
+    (i32.const 52))
 )";
 
 // Pure compute, no syscalls: used to burn tenant fuel deterministically.
@@ -340,6 +473,138 @@ TEST(HostIo, ScriptedResultOverridesRetry) {
   host::RunReport r = fut.get();
   EXPECT_TRUE(r.completed());
   EXPECT_EQ(r.exit_code, 255);
+}
+
+TEST(HostIo, PpollSleeperParksInsteadOfPinningWorker) {
+  // Regression: SysPpoll used to bypass the offload gate entirely, so a
+  // musl guest (whose poll(3) IS ppoll) pinned a worker in the kernel for
+  // the full timeout. It must park like poll does. Pre-fix this test hangs
+  // at WaitForPending: the fake backend never sees an op.
+  IoWorld w = MakeIoWorld(1);
+  auto module = w.cache->Load(WrapModule(kPpollSleeperGuest));
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+
+  std::future<host::RunReport> fut = w.sup->Submit(MakeJob(*module, "t"));
+  ASSERT_TRUE(WaitForPending(*w.fake, 1))
+      << "ppoll must offload, not block a worker";
+  std::vector<uint64_t> cookies = w.fake->PendingCookies();
+  ASSERT_EQ(cookies.size(), 1u);
+  wali::IoOp op;
+  ASSERT_TRUE(w.fake->LookupOp(cookies[0], &op));
+  EXPECT_EQ(op.kind, wali::IoOp::Kind::kPollSet);
+  ASSERT_EQ(op.poll_fds.size(), 1u);
+  EXPECT_EQ(op.poll_fds[0].events, POLLIN);
+  EXPECT_EQ(op.timeout_nanos, 50 * kMs);
+
+  w.fake->AdvanceBy(50 * kMs);  // kTimedOut: retry re-polls with timeout 0
+  host::RunReport r = fut.get();
+  EXPECT_TRUE(r.completed()) << r.trap_message;
+  EXPECT_EQ(r.exit_code, 21);
+  EXPECT_EQ(r.parks, 1u);
+}
+
+TEST(HostIo, DualInterestPollParksOnUnionOfInterests) {
+  // Regression: the single-fd fast path only understood "POLLIN xor
+  // POLLOUT", so events = POLLIN|POLLOUT either refused to park or parked
+  // on readability alone and slept to the full timeout on a
+  // writable-but-silent socket. The park must carry BOTH interests and the
+  // retry must surface the kernel's revents (POLLOUT here).
+  IoWorld w = MakeIoWorld(1);
+  auto module = w.cache->Load(WrapModule(kDualInterestPollGuest));
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+
+  std::future<host::RunReport> fut = w.sup->Submit(MakeJob(*module, "t"));
+  ASSERT_TRUE(WaitForPending(*w.fake, 1))
+      << "dual-interest poll must still offload";
+  std::vector<uint64_t> cookies = w.fake->PendingCookies();
+  ASSERT_EQ(cookies.size(), 1u);
+  wali::IoOp op;
+  ASSERT_TRUE(w.fake->LookupOp(cookies[0], &op));
+  ASSERT_EQ(op.kind, wali::IoOp::Kind::kPollSet);
+  ASSERT_EQ(op.poll_fds.size(), 1u);
+  EXPECT_EQ(op.poll_fds[0].events, POLLIN | POLLOUT)
+      << "the parked op must keep the union of interests";
+
+  ASSERT_TRUE(w.fake->CompleteReady(cookies[0]));  // socket is writable
+  host::RunReport r = fut.get();
+  EXPECT_TRUE(r.completed()) << r.trap_message;
+  EXPECT_EQ(r.exit_code, POLLOUT) << "guest exits with materialized revents";
+  EXPECT_EQ(r.parks, 1u);
+}
+
+TEST(HostIo, FutexWaitParksAsTimer) {
+  // A threadless FUTEX_WAIT with a timeout has no possible waker, so it is
+  // a pure timer: value mismatch answers -EAGAIN inline (no park), a match
+  // parks as kSleep and the retry reports -ETIMEDOUT.
+  IoWorld w = MakeIoWorld(1);
+  auto module = w.cache->Load(WrapModule(kFutexWaitGuest));
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+
+  std::future<host::RunReport> fut = w.sup->Submit(MakeJob(*module, "t"));
+  ASSERT_TRUE(WaitForPending(*w.fake, 1));
+  std::vector<uint64_t> cookies = w.fake->PendingCookies();
+  wali::IoOp op;
+  ASSERT_TRUE(w.fake->LookupOp(cookies[0], &op));
+  EXPECT_EQ(op.kind, wali::IoOp::Kind::kSleep);
+  EXPECT_EQ(op.sleep_nanos, 50 * kMs);
+
+  w.fake->AdvanceBy(50 * kMs);
+  host::RunReport r = fut.get();
+  EXPECT_TRUE(r.completed()) << r.trap_message;
+  EXPECT_EQ(r.exit_code, 31);
+  EXPECT_EQ(r.parks, 1u) << "the -EAGAIN probe must answer inline";
+}
+
+TEST(HostIo, VectoredPipeIoParksAndRetranslates) {
+  // readv/writev ride the same readiness classes as read/write; the retry
+  // re-translates the guest iovec array against live memory at resume time.
+  IoWorld w = MakeIoWorld(1);
+  auto module = w.cache->Load(WrapModule(kVectoredPipeGuest));
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+
+  std::future<host::RunReport> fut = w.sup->Submit(MakeJob(*module, "t"));
+  ASSERT_TRUE(WaitForPending(*w.fake, 1));
+  std::vector<uint64_t> cookies = w.fake->PendingCookies();
+  wali::IoOp op;
+  ASSERT_TRUE(w.fake->LookupOp(cookies[0], &op));
+  EXPECT_EQ(op.kind, wali::IoOp::Kind::kWritable);
+  ASSERT_TRUE(w.fake->CompleteReady(cookies[0]));  // pipe has space
+
+  ASSERT_TRUE(WaitForPending(*w.fake, 1));
+  cookies = w.fake->PendingCookies();
+  ASSERT_TRUE(w.fake->LookupOp(cookies[0], &op));
+  EXPECT_EQ(op.kind, wali::IoOp::Kind::kReadable);
+  ASSERT_TRUE(w.fake->CompleteReady(cookies[0]));  // both bytes are there
+
+  host::RunReport r = fut.get();
+  EXPECT_TRUE(r.completed()) << r.trap_message;
+  EXPECT_EQ(r.exit_code, 42);
+  EXPECT_EQ(r.parks, 2u);
+}
+
+TEST(HostIo, ConnectParksUntilEstablished) {
+  // Nonblocking TCP connect answers -EINPROGRESS even on loopback; the
+  // handler must park on writability and read the outcome from SO_ERROR
+  // instead of holding a worker through the handshake.
+  IoWorld w = MakeIoWorld(1);
+  auto module = w.cache->Load(WrapModule(kConnectGuest));
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+
+  std::future<host::RunReport> fut = w.sup->Submit(MakeJob(*module, "t"));
+  ASSERT_TRUE(WaitForPending(*w.fake, 1))
+      << "connect must offload instead of blocking";
+  std::vector<uint64_t> cookies = w.fake->PendingCookies();
+  wali::IoOp op;
+  ASSERT_TRUE(w.fake->LookupOp(cookies[0], &op));
+  EXPECT_EQ(op.kind, wali::IoOp::Kind::kWritable);
+  // Loopback handshakes complete in the kernel without our help; SO_ERROR
+  // is 0 by the time the retry runs.
+  ASSERT_TRUE(w.fake->CompleteReady(cookies[0]));
+
+  host::RunReport r = fut.get();
+  EXPECT_TRUE(r.completed()) << r.trap_message;
+  EXPECT_EQ(r.exit_code, 52);
+  EXPECT_EQ(r.parks, 1u);
 }
 
 TEST(HostIo, BlockedTimeIsNotQueueTime) {

@@ -399,7 +399,7 @@ TEST(HostTelemetry, IoStatsAndCountersConsistentUnderCompletionStorm) {
     for (int i = 0; i < 50; ++i) {
       (void)w.sup->io_stats();
       host::Telemetry::Snapshot s = w.tel->TakeSnapshot();
-      EXPECT_LE(GaugeValue(s, "io_in_flight"), static_cast<int64_t>(kRuns));
+      EXPECT_LE(GaugeValue(s, "io_in_flight{io_backend=\"fake\"}"), static_cast<int64_t>(kRuns));
     }
   });
   completer.join();
@@ -415,10 +415,10 @@ TEST(HostTelemetry, IoStatsAndCountersConsistentUnderCompletionStorm) {
   EXPECT_EQ(io.in_flight_now, 0u);
   {
     host::Telemetry::Snapshot s = w.tel->TakeSnapshot();
-    EXPECT_EQ(CounterValue(s, "io_submits_total"), kRuns);
-    EXPECT_EQ(CounterValue(s, "io_completions_total"), kRuns);
-    EXPECT_EQ(CounterValue(s, "io_cancels_total"), 0u);
-    EXPECT_EQ(GaugeValue(s, "io_in_flight"), 0);
+    EXPECT_EQ(CounterValue(s, "io_submits_total{io_backend=\"fake\"}"), kRuns);
+    EXPECT_EQ(CounterValue(s, "io_completions_total{io_backend=\"fake\"}"), kRuns);
+    EXPECT_EQ(CounterValue(s, "io_cancels_total{io_backend=\"fake\"}"), 0u);
+    EXPECT_EQ(GaugeValue(s, "io_in_flight{io_backend=\"fake\"}"), 0);
   }
 
   // Shutdown with guests still parked cancels their ops; the io_* series
@@ -430,11 +430,11 @@ TEST(HostTelemetry, IoStatsAndCountersConsistentUnderCompletionStorm) {
   (void)parked1.get();
   (void)parked2.get();
   host::Telemetry::Snapshot s = w.tel->TakeSnapshot();
-  EXPECT_EQ(CounterValue(s, "io_submits_total"),
-            CounterValue(s, "io_completions_total") +
-                CounterValue(s, "io_cancels_total"));
-  EXPECT_EQ(CounterValue(s, "io_cancels_total"), 2u);
-  EXPECT_EQ(GaugeValue(s, "io_in_flight"), 0);
+  EXPECT_EQ(CounterValue(s, "io_submits_total{io_backend=\"fake\"}"),
+            CounterValue(s, "io_completions_total{io_backend=\"fake\"}") +
+                CounterValue(s, "io_cancels_total{io_backend=\"fake\"}"));
+  EXPECT_EQ(CounterValue(s, "io_cancels_total{io_backend=\"fake\"}"), 2u);
+  EXPECT_EQ(GaugeValue(s, "io_in_flight{io_backend=\"fake\"}"), 0);
 }
 
 TEST(HostTelemetry, SpanRingIsBoundedAndCountsDrops) {

@@ -58,6 +58,13 @@ inline const char* kPrelude = R"(
   (import "wali" "SYS_sendto" (func $sendto (param i64 i64 i64 i64 i64 i64) (result i64)))
   (import "wali" "SYS_recvfrom" (func $recvfrom (param i64 i64 i64 i64 i64 i64) (result i64)))
   (import "wali" "SYS_poll" (func $poll (param i64 i64 i64) (result i64)))
+  (import "wali" "SYS_ppoll" (func $ppoll (param i64 i64 i64 i64 i64) (result i64)))
+  (import "wali" "SYS_connect" (func $connect (param i64 i64 i64) (result i64)))
+  (import "wali" "SYS_listen" (func $listen (param i64 i64) (result i64)))
+  (import "wali" "SYS_accept" (func $accept (param i64 i64 i64) (result i64)))
+  (import "wali" "SYS_getsockname" (func $getsockname (param i64 i64 i64) (result i64)))
+  (import "wali" "SYS_readv" (func $readv (param i64 i64 i64) (result i64)))
+  (import "wali" "SYS_writev" (func $writev (param i64 i64 i64) (result i64)))
   (import "wali" "SYS_fcntl" (func $fcntl (param i64 i64 i64) (result i64)))
   (import "wali" "SYS_ioctl" (func $ioctl (param i64 i64 i64) (result i64)))
   (import "wali" "get_argc" (func $get_argc (result i64)))
