@@ -10,6 +10,7 @@
 #include <condition_variable>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -95,8 +96,10 @@ struct IoUringBackend::Impl {
   // (a kPollSet fans out to one POLL_ADD per member plus an optional
   // timeout); the first relevant CQE wins and every remaining tag is
   // cancelled + ignored. `ts` must stay address-stable until the kernel
-  // consumes the SQE pointing at it, which is why cancelled records move
-  // to `retired` instead of being destroyed under the submitter's feet.
+  // consumes the SQE pointing at it, so records are heap-allocated
+  // (unique_ptr in ops_) — retiring one moves only the pointer, never the
+  // record — and `retired_` keeps them alive until the loop thread has
+  // submitted every pushed SQE.
   struct OpRec {
     wali::IoOp op;
     std::vector<std::pair<uint64_t, bool>> tags;  // (tag, is_timer)
@@ -121,14 +124,19 @@ struct IoUringBackend::Impl {
   std::condition_variable cv_;  // fallback mode's wakeup
   bool stopping_ = false;
   bool ring_ok_ = false;
-  std::map<uint64_t, OpRec> ops_;
+  // True once io_uring_enter fails in a way that can never make progress;
+  // the loop thread fails everything parked and drops to the -ENOSYS
+  // fallback. Atomic so Wake() can route wakeups without taking mu_.
+  std::atomic<bool> ring_dead_{false};
+  bool need_arm_wake_ = true;  // eventfd POLL_ADD wants re-arming (mu_)
+  std::map<uint64_t, std::unique_ptr<OpRec>> ops_;
   std::deque<uint64_t> submit_queue_;   // cookies awaiting SQE build
   std::deque<CancelReq> cancel_queue_;  // kernel-side cancels to issue
   std::map<uint64_t, TagInfo> tag_map_;
   uint64_t next_tag_ = kFirstOpTag;
   // Records detached by Cancel whose `ts` may still be read by the next
   // io_uring_enter; the loop thread frees them once it is safe.
-  std::vector<OpRec> retired_;
+  std::vector<std::unique_ptr<OpRec>> retired_;
 
   std::atomic<uint64_t> stat_enters_{0};
   std::atomic<uint64_t> stat_sqes_{0};
@@ -168,12 +176,14 @@ struct IoUringBackend::Impl {
 
   void Wake() {
 #if defined(HOST_IO_URING)
-    if (event_fd_ >= 0) {
+    if (event_fd_ >= 0 && !ring_dead_.load(std::memory_order_acquire)) {
       uint64_t one = 1;
       (void)!::write(event_fd_, &one, sizeof(one));
-      return;
     }
 #endif
+    // Always notify the cv too: a ring death racing this Wake may already
+    // have moved the loop thread into FallbackLoop's cv wait, where an
+    // eventfd write alone would be a lost wakeup.
     cv_.notify_all();
   }
 
@@ -295,32 +305,57 @@ struct IoUringBackend::Impl {
 #endif
   }
 
+  // Marks the ring unable to ever make progress again. mu_ held. The loop
+  // thread notices at its next iteration, fails everything parked with
+  // -ENOSYS and drops to FallbackLoop; *to_submit is zeroed because the
+  // pushed SQEs will never reach the kernel.
+  void KillRing(unsigned* to_submit) {
+    ring_dead_.store(true, std::memory_order_release);
+    *to_submit = 0;
+  }
+
   // Flushes already-pushed SQEs without waiting. Called with mu_ held (the
   // ring tail is only ever written by the loop thread, but SQE payloads
-  // reference OpRec memory guarded by mu_).
-  void FlushSubmissions(unsigned* to_submit) {
+  // reference OpRec memory guarded by mu_). A full CQ (-EBUSY) is drained
+  // in place to make room; any other persistent error kills the ring
+  // instead of retrying without progress.
+  void FlushSubmissions(unsigned* to_submit, std::vector<Due>* due) {
     while (*to_submit > 0) {
       int rc = SysIoUringEnter(ring_fd_, *to_submit, 0, 0);
       if (rc < 0) {
         if (errno == EINTR || errno == EAGAIN) {
           continue;
         }
-        LOG_ERROR() << "io_uring_enter(submit) failed errno=" << errno;
+        if (errno == EBUSY) {
+          DrainCqes(due);  // CQ overflow: consume completions, then retry
+          continue;
+        }
+        LOG_ERROR() << "io_uring_enter(submit) failed errno=" << errno
+                    << "; disabling ring";
+        KillRing(to_submit);
         return;
       }
       stat_enters_.fetch_add(1, std::memory_order_relaxed);
       stat_sqes_.fetch_add(static_cast<uint64_t>(rc),
                            std::memory_order_relaxed);
       *to_submit -= static_cast<unsigned>(rc);
-      if (rc == 0) {
-        return;  // defensive: don't spin
+      if (rc == 0 && *to_submit > 0) {
+        // The kernel accepted nothing and gave no errno; there is no way
+        // to make progress, so don't spin — PushSqe would otherwise loop
+        // on a full SQ forever.
+        LOG_ERROR() << "io_uring_enter(submit) made no progress; disabling "
+                       "ring";
+        KillRing(to_submit);
+        return;
       }
     }
   }
 
-  // Pushes one SQE, flushing mid-batch if the SQ is full. mu_ held.
-  void PushSqe(const struct io_uring_sqe& sqe, unsigned* to_submit) {
-    for (;;) {
+  // Pushes one SQE, flushing mid-batch if the SQ is full. mu_ held. On a
+  // dead ring the SQE is dropped: the loop thread fails its op.
+  void PushSqe(const struct io_uring_sqe& sqe, unsigned* to_submit,
+               std::vector<Due>* due) {
+    while (!ring_dead_.load(std::memory_order_relaxed)) {
       const unsigned head = __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
       const unsigned tail = *sq_tail_;  // loop thread is the sole writer
       if (tail - head < sq_entries_) {
@@ -331,28 +366,29 @@ struct IoUringBackend::Impl {
         ++*to_submit;
         return;
       }
-      FlushSubmissions(to_submit);
+      FlushSubmissions(to_submit, due);
     }
   }
 
-  void PushCancelSqe(const CancelReq& req, unsigned* to_submit) {
+  void PushCancelSqe(const CancelReq& req, unsigned* to_submit,
+                     std::vector<Due>* due) {
     struct io_uring_sqe s;
     memset(&s, 0, sizeof(s));
     s.opcode = req.is_timer ? IORING_OP_TIMEOUT_REMOVE : IORING_OP_ASYNC_CANCEL;
     s.fd = -1;
     s.addr = req.tag;  // both opcodes key the target by its user_data
     s.user_data = kCancelTag;
-    PushSqe(s, to_submit);
+    PushSqe(s, to_submit, due);
   }
 
-  void PushWakeArm(unsigned* to_submit) {
+  void PushWakeArm(unsigned* to_submit, std::vector<Due>* due) {
     struct io_uring_sqe s;
     memset(&s, 0, sizeof(s));
     s.opcode = IORING_OP_POLL_ADD;  // one-shot: re-armed after every fire
     s.fd = event_fd_;
     s.poll_events = POLLIN;
     s.user_data = kWakeTag;
-    PushSqe(s, to_submit);
+    PushSqe(s, to_submit, due);
   }
 
   // Registers one op's SQEs (or completes it immediately for ring-less
@@ -377,7 +413,7 @@ struct IoUringBackend::Impl {
         s.addr = reinterpret_cast<uintptr_t>(&rec->ts);
         s.len = 1;
         s.user_data = NewTag(cookie, /*is_timer=*/true, rec);
-        PushSqe(s, to_submit);
+        PushSqe(s, to_submit, due);
         return;
       }
       case K::kReadable:
@@ -390,7 +426,7 @@ struct IoUringBackend::Impl {
         s.user_data = NewTag(cookie, /*is_timer=*/false, rec);
         if (op.timeout_nanos >= 0) {
           s.flags |= IOSQE_IO_LINK;
-          PushSqe(s, to_submit);
+          PushSqe(s, to_submit, due);
           rec->ts = ToKernelTs(op.timeout_nanos);
           struct io_uring_sqe lt;
           memset(&lt, 0, sizeof(lt));
@@ -399,9 +435,9 @@ struct IoUringBackend::Impl {
           lt.addr = reinterpret_cast<uintptr_t>(&rec->ts);
           lt.len = 1;
           lt.user_data = NewTag(cookie, /*is_timer=*/true, rec);
-          PushSqe(lt, to_submit);
+          PushSqe(lt, to_submit, due);
         } else {
-          PushSqe(s, to_submit);
+          PushSqe(s, to_submit, due);
         }
         return;
       }
@@ -416,7 +452,7 @@ struct IoUringBackend::Impl {
           s.fd = m.fd;
           s.poll_events = static_cast<unsigned short>(m.events);
           s.user_data = NewTag(cookie, /*is_timer=*/false, rec);
-          PushSqe(s, to_submit);
+          PushSqe(s, to_submit, due);
         }
         if (op.timeout_nanos >= 0) {
           // Standalone (not linked): the first poll member to fire cancels
@@ -429,7 +465,7 @@ struct IoUringBackend::Impl {
           s.addr = reinterpret_cast<uintptr_t>(&rec->ts);
           s.len = 1;
           s.user_data = NewTag(cookie, /*is_timer=*/true, rec);
-          PushSqe(s, to_submit);
+          PushSqe(s, to_submit, due);
         }
         return;
       }
@@ -444,8 +480,9 @@ struct IoUringBackend::Impl {
   // Erases every remaining ring registration of a completed op and queues
   // kernel-side cancels for them, so loser CQEs miss tag_map_ and are
   // dropped. mu_ held.
-  void RetireOp(std::map<uint64_t, OpRec>::iterator it, uint64_t fired_tag) {
-    for (const auto& [tag, is_timer] : it->second.tags) {
+  void RetireOp(std::map<uint64_t, std::unique_ptr<OpRec>>::iterator it,
+                uint64_t fired_tag) {
+    for (const auto& [tag, is_timer] : it->second->tags) {
       tag_map_.erase(tag);
       if (tag != fired_tag) {
         cancel_queue_.push_back({tag, is_timer});
@@ -473,7 +510,7 @@ struct IoUringBackend::Impl {
         // The linked/standalone timer was killed because its op completed
         // (or is being cancelled); not a completion by itself.
         tag_map_.erase(tit);
-        auto& tags = oit->second.tags;
+        auto& tags = oit->second->tags;
         tags.erase(std::remove_if(tags.begin(), tags.end(),
                                   [tag](const std::pair<uint64_t, bool>& t) {
                                     return t.first == tag;
@@ -500,7 +537,7 @@ struct IoUringBackend::Impl {
       // Poll leg cancelled by its linked timeout; the timer CQE carries the
       // completion.
       tag_map_.erase(tit);
-      auto& tags = oit->second.tags;
+      auto& tags = oit->second->tags;
       tags.erase(std::remove_if(tags.begin(), tags.end(),
                                 [tag](const std::pair<uint64_t, bool>& t) {
                                   return t.first == tag;
@@ -524,7 +561,7 @@ struct IoUringBackend::Impl {
     return true;
   }
 
-  void DrainCqes(std::vector<Due>* due, bool* need_arm_wake) {
+  void DrainCqes(std::vector<Due>* due) {
     unsigned head = *cq_head_;  // loop thread is the sole consumer
     const unsigned tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
     while (head != tail) {
@@ -534,7 +571,7 @@ struct IoUringBackend::Impl {
         uint64_t buf;
         while (::read(event_fd_, &buf, sizeof(buf)) > 0) {
         }
-        *need_arm_wake = true;
+        need_arm_wake_ = true;
         continue;
       }
       if (cqe.user_data == kCancelTag) {
@@ -550,7 +587,6 @@ struct IoUringBackend::Impl {
 
   void RingLoop() {
     unsigned to_submit = 0;
-    bool need_arm_wake = true;
     std::vector<Due> due;
     for (;;) {
       {
@@ -563,14 +599,14 @@ struct IoUringBackend::Impl {
           // record's timespec) has been consumed by the kernel.
           retired_.clear();
         }
-        if (need_arm_wake) {
-          PushWakeArm(&to_submit);
-          need_arm_wake = false;
+        if (need_arm_wake_) {
+          PushWakeArm(&to_submit, &due);
+          need_arm_wake_ = false;
         }
         while (!cancel_queue_.empty()) {
           const CancelReq req = cancel_queue_.front();
           cancel_queue_.pop_front();
-          PushCancelSqe(req, &to_submit);
+          PushCancelSqe(req, &to_submit, &due);
         }
         while (!submit_queue_.empty()) {
           const uint64_t cookie = submit_queue_.front();
@@ -579,13 +615,37 @@ struct IoUringBackend::Impl {
           if (it == ops_.end()) {
             continue;  // cancelled before its SQEs were built
           }
-          BuildSqes(cookie, &it->second, &to_submit, &due);
+          BuildSqes(cookie, it->second.get(), &to_submit, &due);
         }
         if (!due.empty() && to_submit > 0) {
           // Immediate completions pending: flush without blocking so they
           // are delivered now; the next iteration blocks as usual.
-          FlushSubmissions(&to_submit);
+          FlushSubmissions(&to_submit, &due);
         }
+        if (ring_dead_.load(std::memory_order_relaxed)) {
+          // The ring can never make progress again: fail everything parked
+          // so no guest stays wedged. SQEs pushed but not submitted will
+          // never reach the kernel, so dropping retired_ here is safe.
+          for (auto& [cookie, rec] : ops_) {
+            due.push_back({cookie, IoCompletion::Error(-ENOSYS)});
+          }
+          ops_.clear();
+          tag_map_.clear();
+          submit_queue_.clear();
+          cancel_queue_.clear();
+          retired_.clear();
+        }
+      }
+      if (ring_dead_.load(std::memory_order_relaxed)) {
+        for (const Due& d : due) {
+          tm_.OnComplete();
+          Deliver(d.cookie, d.completion);
+        }
+        due.clear();
+        // Serve the rest of this backend's life as if io_uring were absent:
+        // every later submit completes with -ENOSYS (Wake notifies cv_).
+        FallbackLoop();
+        return;
       }
       if (due.empty()) {
         // The one enter per wakeup: submit everything coalesced above and
@@ -595,8 +655,15 @@ struct IoUringBackend::Impl {
         int rc = SysIoUringEnter(ring_fd_, submitting, 1,
                                  IORING_ENTER_GETEVENTS);
         if (rc < 0) {
-          if (errno != EINTR && errno != EAGAIN) {
-            LOG_ERROR() << "io_uring_enter(wait) failed errno=" << errno;
+          // EINTR/EAGAIN: plain retry. EBUSY: CQ overflow — fall through
+          // to DrainCqes, which makes room. Anything else is permanent:
+          // kill the ring instead of spinning on a failing enter.
+          if (errno != EINTR && errno != EAGAIN && errno != EBUSY) {
+            LOG_ERROR() << "io_uring_enter(wait) failed errno=" << errno
+                        << "; disabling ring";
+            ring_dead_.store(true, std::memory_order_release);
+            to_submit = 0;
+            continue;  // next iteration sweeps parked ops and falls back
           }
         } else {
           if (submitting > 0) {
@@ -608,7 +675,7 @@ struct IoUringBackend::Impl {
         }
         {
           std::lock_guard<std::mutex> lock(mu_);
-          DrainCqes(&due, &need_arm_wake);
+          DrainCqes(&due);
         }
       }
       for (const Due& d : due) {
@@ -657,8 +724,8 @@ void IoUringBackend::SetCompletionHandler(CompletionFn fn) {
 void IoUringBackend::Submit(uint64_t cookie, const wali::IoOp& op) {
   {
     std::lock_guard<std::mutex> lock(impl_->mu_);
-    Impl::OpRec rec;
-    rec.op = op;
+    auto rec = std::make_unique<Impl::OpRec>();
+    rec->op = op;
     impl_->ops_[cookie] = std::move(rec);
     impl_->submit_queue_.push_back(cookie);
   }
@@ -673,12 +740,16 @@ bool IoUringBackend::Cancel(uint64_t cookie) {
     if (it == impl_->ops_.end()) {
       return false;  // already delivered (or never submitted)
     }
-    for (const auto& [tag, is_timer] : it->second.tags) {
+    for (const auto& [tag, is_timer] : it->second->tags) {
       impl_->tag_map_.erase(tag);
-      if (it->second.submitted) {
+      if (it->second->submitted) {
         impl_->cancel_queue_.push_back({tag, is_timer});
       }
     }
+    // The record moves to retired_ as a unique_ptr: its heap address (and
+    // the &ts embedded in any not-yet-submitted TIMEOUT SQE) is unchanged,
+    // and the loop thread frees it only after the kernel has consumed
+    // every pushed SQE.
     impl_->retired_.push_back(std::move(it->second));
     impl_->ops_.erase(it);
   }

@@ -1,6 +1,7 @@
 // Polling, futex, epoll, eventfd, randomness. pollfd/epoll_event/fd_set all
 // have ISA-independent layouts — zero-copy passthrough after translation.
 #include <errno.h>
+#include <limits.h>
 #include <poll.h>
 #include <sys/epoll.h>
 #include <sys/select.h>
@@ -34,7 +35,13 @@ int64_t SysFutex(WaliCtx& c, const int64_t* a) {
   // mismatch answers -EAGAIN without parking, and the retry reports
   // -ETIMEDOUT exactly as the kernel would. Untimed or multi-threaded
   // waits keep the blocking path, where a real waker can reach them.
-  if (op == 0 /*WAIT*/ && c.CanOffload() && a[3] != 0 &&
+  // The gate tolerates only FUTEX_PRIVATE_FLAG: FUTEX_CLOCK_REALTIME (or
+  // any other modifier) changes what the timeout means — the offload would
+  // silently park on a relative monotonic sleep — so those stay on the
+  // blocking path, where the kernel also reports its true errno for
+  // combinations it rejects.
+  if ((a[1] & ~0x80L) == 0 /*FUTEX_WAIT, no modifier bits*/ &&
+      c.CanOffload() && a[3] != 0 &&
       c.proc.thread_count() == 0) {
     void* tsp = c.Ptr(a[3], 16);
     if (tsp == nullptr) return -EFAULT;
@@ -114,7 +121,12 @@ int64_t SysPoll(WaliCtx& c, const int64_t* a) {
   // Zero-timeout polls are non-blocking by contract and go straight to the
   // kernel; oversized sets take the blocking path (see kMaxOffloadPollFds).
   if (c.CanOffload() && a[2] != 0 && nfds >= 1 && nfds <= kMaxOffloadPollFds) {
-    int64_t timeout_nanos = a[2] < 0 ? -1 : a[2] * 1000000;
+    // poll(2)'s timeout is an int of milliseconds; clamp to that range
+    // before converting so a guest-supplied 64-bit value can't signed-
+    // overflow the nanosecond product (>INT_MAX ms is ~25 days — treat it
+    // as infinite rather than wrap negative and park with no timeout).
+    int64_t timeout_nanos =
+        (a[2] < 0 || a[2] > INT_MAX) ? -1 : a[2] * 1000000;
     ParkPollSet(c, fds, static_cast<uint64_t>(a[0]), nfds, timeout_nanos);
     return 0;
   }
